@@ -1,0 +1,37 @@
+"""Shared fixtures and result recording for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md section 2).  Besides the pytest-benchmark timings, each bench
+writes its regenerated artifact (table text, chart SVG, gnuplot inputs)
+into ``benchmarks/results/`` so the outputs survive the run and can be
+diffed against the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.ontologies.library import load_corpus
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def corpus_sst() -> SOQASimPackToolkit:
+    """The paper's 943-concept corpus behind an SST facade."""
+    return SOQASimPackToolkit(load_corpus())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Write one regenerated artifact and echo it to stdout."""
+    (results_dir / name).write_text(text, encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}")

@@ -1,0 +1,11 @@
+set title "10 most similar concepts for base1_0_daml:Professor (Shortest Path)"
+set terminal png size 900,480
+set output "fig5_most_similar.png"
+set style data histogram
+set style fill solid 0.8 border -1
+set boxwidth 0.8
+set ylabel "similarity"
+set yrange [0:*]
+set xtics rotate by -35
+set grid ytics
+plot "chart.dat" using 2:xtic(1) notitle

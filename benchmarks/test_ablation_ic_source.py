@@ -1,0 +1,62 @@
+"""Experiment X3 — ablation: IC from subclass counts vs instance corpus.
+
+The paper (section 2.2) proposes estimating concept probabilities from
+subclass counts when the instance space is sparse (the Semantic Web
+case) and from instance frequencies when "many instances are available".
+This bench computes Lin under both estimators on the corpus — whose
+ontologies carry only a handful of instances, exactly the sparse regime
+the paper describes — and shows why subclass counting is the default:
+the instance estimator collapses most of the taxonomy onto near-uniform
+smoothed probabilities.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.simpack.infocontent import lin_similarity
+from repro.viz.ascii import render_table
+
+PAIRS = [
+    (("base1_0_daml", "Professor"), ("base1_0_daml",
+                                     "AssistantProfessor")),
+    (("base1_0_daml", "Professor"), ("base1_0_daml", "Student")),
+    (("univ-bench_owl", "Professor"), ("univ-bench_owl", "Lecturer")),
+    (("SUMO_owl_txt", "Human"), ("SUMO_owl_txt", "Mammal")),
+    (("SUMO_owl_txt", "Dog"), ("SUMO_owl_txt", "Wolf")),
+]
+
+
+def compute(sst) -> list[tuple[float, float]]:
+    subclass_ic = sst.wrapper.information_content("subclasses")
+    instance_ic = sst.wrapper.information_content("instances")
+    rows = []
+    for (first_onto, first), (second_onto, second) in PAIRS:
+        first_node = f"{first_onto}:{first}"
+        second_node = f"{second_onto}:{second}"
+        rows.append((
+            lin_similarity(subclass_ic, first_node, second_node),
+            lin_similarity(instance_ic, first_node, second_node),
+        ))
+    return rows
+
+
+def test_ablation_ic_source(benchmark, corpus_sst, results_dir):
+    rows = benchmark(compute, corpus_sst)
+
+    text_rows = [[f"{first[0]}:{first[1]} vs {second[0]}:{second[1]}",
+                  f"{subclass_value:.4f}", f"{instance_value:.4f}"]
+                 for (first, second), (subclass_value, instance_value)
+                 in zip(PAIRS, rows)]
+    record(results_dir, "x3_ic_source_ablation.txt", render_table(
+        ["pair", "Lin (subclass IC)", "Lin (instance IC)"], text_rows))
+
+    subclass_values = [row[0] for row in rows]
+    instance_values = [row[1] for row in rows]
+    # Both estimators keep related pairs similar...
+    assert all(value > 0.0 for value in subclass_values)
+    assert all(value > 0.0 for value in instance_values)
+    # ...but the sparse instance corpus flattens the spread: the
+    # subclass estimator discriminates related pairs far better.
+    subclass_spread = max(subclass_values) - min(subclass_values)
+    instance_spread = max(instance_values) - min(instance_values)
+    assert subclass_spread > instance_spread

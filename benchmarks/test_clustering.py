@@ -1,0 +1,65 @@
+"""Experiment X9 — concept clustering ("data clustering and mining").
+
+Clusters a mixed concept set from the corpus — persons, organizations
+and publications drawn from three ontologies — with agglomerative
+clustering over an SST similarity matrix, and checks that the flat
+clusters recover the domain grouping.  Also writes the similarity
+heatmap (the future-work "more advanced result visualization").
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.cluster import ConceptClusterer
+from repro.core.registry import Measure
+
+PERSON_CONCEPTS = [
+    ("univ-bench_owl", "Professor"),
+    ("univ-bench_owl", "Student"),
+    ("base1_0_daml", "Professor"),
+]
+ORGANIZATION_CONCEPTS = [
+    ("univ-bench_owl", "University"),
+    ("univ-bench_owl", "Department"),
+]
+PUBLICATION_CONCEPTS = [
+    ("univ-bench_owl", "Article"),
+    ("univ-bench_owl", "Book"),
+]
+
+ALL_CONCEPTS = (PERSON_CONCEPTS + ORGANIZATION_CONCEPTS
+                + PUBLICATION_CONCEPTS)
+
+
+def test_clustering_recovers_domains(benchmark, corpus_sst, results_dir):
+    clusterer = ConceptClusterer(corpus_sst, Measure.TFIDF)
+    groups = benchmark(clusterer.cluster, ALL_CONCEPTS, 0.20)
+
+    dendrogram = clusterer.dendrogram(ALL_CONCEPTS)
+    record(results_dir, "x9_clustering.txt", dendrogram)
+
+    def group_of(concept):
+        for group in groups:
+            if concept in group:
+                return tuple(sorted(group))
+        raise AssertionError(f"{concept} missing from clusters")
+
+    # Same-domain concepts land together; cross-domain ones split.
+    assert group_of(("univ-bench_owl", "Professor")) == group_of(
+        ("base1_0_daml", "Professor"))
+    assert group_of(("univ-bench_owl", "Article")) == group_of(
+        ("univ-bench_owl", "Book"))
+    assert group_of(("univ-bench_owl", "Professor")) != group_of(
+        ("univ-bench_owl", "Article"))
+    assert group_of(("univ-bench_owl", "University")) != group_of(
+        ("univ-bench_owl", "Book"))
+
+
+def test_similarity_heatmap(benchmark, corpus_sst, results_dir):
+    chart = benchmark(corpus_sst.get_matrix_plot, ALL_CONCEPTS,
+                      Measure.TFIDF)
+    paths = chart.save(results_dir, stem="x9_heatmap")
+    assert all(path.exists() for path in paths)
+    # Diagonal dominance: each concept is most similar to itself.
+    for row_index, row in enumerate(chart.matrix):
+        assert row[row_index] == max(row)

@@ -1,0 +1,46 @@
+"""Experiment X1 — the running example's scale: five ontologies in three
+languages, 943 concepts, loaded through SOQA into one toolkit."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+from repro.ontologies.library import PAPER_CONCEPT_COUNT, load_corpus
+from repro.viz.ascii import render_table
+
+
+def test_corpus_load(benchmark, results_dir):
+    soqa = benchmark(load_corpus)
+
+    rows = [[name, soqa.ontology(name).language,
+             str(len(soqa.ontology(name)))]
+            for name in soqa.ontology_names()]
+    rows.append(["TOTAL", "-", str(soqa.concept_count())])
+    record(results_dir, "x1_corpus_scale.txt",
+           render_table(["ontology", "language", "concepts"], rows))
+
+    assert soqa.concept_count() == PAPER_CONCEPT_COUNT == 943
+    assert len(soqa.ontology_names()) == 5
+    assert set(soqa.languages_in_use()) == {"OWL", "PowerLoom", "DAML"}
+
+
+def test_unified_tree_build(benchmark, corpus_sst):
+    """Building the Super-Thing tree over all 943 concepts."""
+    from repro.core.unified import UnifiedTree
+
+    tree = benchmark(UnifiedTree, corpus_sst.soqa)
+    assert len(tree.taxonomy) > 943  # concepts + virtual roots
+    assert tree.taxonomy.roots() == ["Super Thing"]
+
+
+def test_tfidf_index_build(benchmark, corpus_sst):
+    """Indexing all 943 concept descriptions for the TFIDF measure."""
+    from repro.core.unified import UnifiedTree
+    from repro.core.wrapper import SOQAWrapperForSimPack
+
+    def build():
+        wrapper = SOQAWrapperForSimPack(
+            corpus_sst.soqa, UnifiedTree(corpus_sst.soqa))
+        return wrapper.vector_space()
+
+    space = benchmark(build)
+    assert space.index.document_count == 943

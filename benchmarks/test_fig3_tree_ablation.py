@@ -1,0 +1,102 @@
+"""Experiment F3 — Figure 3's tree-building ablation.
+
+Super Thing vs merged Thing on a two-domain corpus (university +
+ornithology): under merged Thing, ``Student`` is as similar to
+``Professor`` as to ``Blackbird`` (the paper's exact complaint); under
+Super Thing the domains stay separated.  Also contrasts the two
+shortest-path policies of section 2.2 (via-ancestor vs any path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.core.unified import MERGED_THING, SUPER_THING
+from repro.soqa.api import SOQA
+from repro.viz.ascii import render_table
+
+UNIVERSITY_OWL = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/ontology1">
+  <owl:Class rdf:ID="Student"/>
+  <owl:Class rdf:ID="Professor"/>
+</rdf:RDF>
+"""
+
+ORNITHOLOGY_OWL = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/ontology2">
+  <owl:Class rdf:ID="Blackbird"/>
+  <owl:Class rdf:ID="Sparrow"/>
+</rdf:RDF>
+"""
+
+
+@pytest.fixture(scope="module")
+def two_domain_soqa() -> SOQA:
+    soqa = SOQA()
+    soqa.load_text(UNIVERSITY_OWL, "ontology1", "OWL")
+    soqa.load_text(ORNITHOLOGY_OWL, "ontology2", "OWL")
+    return soqa
+
+
+def compute_ablation(soqa) -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+    for strategy in (SUPER_THING, MERGED_THING):
+        sst = SOQASimPackToolkit(soqa, strategy=strategy)
+        results[strategy] = {
+            "student_professor": sst.get_similarity(
+                "Student", "ontology1", "Professor", "ontology1",
+                Measure.SHORTEST_PATH),
+            "student_blackbird": sst.get_similarity(
+                "Student", "ontology1", "Blackbird", "ontology2",
+                Measure.SHORTEST_PATH),
+        }
+    return results
+
+
+def test_fig3_tree_ablation(benchmark, two_domain_soqa, results_dir):
+    results = benchmark(compute_ablation, two_domain_soqa)
+
+    rows = [[strategy,
+             f"{values['student_professor']:.4f}",
+             f"{values['student_blackbird']:.4f}"]
+            for strategy, values in results.items()]
+    record(results_dir, "fig3_tree_ablation.txt", render_table(
+        ["strategy", "sim(Student, Professor)", "sim(Student, Blackbird)"],
+        rows))
+
+    merged = results[MERGED_THING]
+    unified = results[SUPER_THING]
+    # Fig. 3(b): under merged Thing, Student is as similar to Professor
+    # as to Blackbird.
+    assert merged["student_professor"] == pytest.approx(
+        merged["student_blackbird"])
+    # Fig. 3(a): Super Thing keeps the domains separated.
+    assert unified["student_professor"] > unified["student_blackbird"]
+
+
+def test_fig3_path_policy(benchmark, two_domain_soqa, results_dir):
+    """The via-ancestor vs any-path policy choice (section 2.2)."""
+    sst = SOQASimPackToolkit(two_domain_soqa)
+    wrapper = sst.wrapper
+    from repro.core.results import QualifiedConcept
+
+    student = QualifiedConcept("ontology1", "Student")
+    blackbird = QualifiedConcept("ontology2", "Blackbird")
+
+    def compute():
+        return (wrapper.distance(student, blackbird,
+                                 policy="via_ancestor"),
+                wrapper.distance(student, blackbird, policy="any"))
+
+    via, any_path = benchmark(compute)
+    record(results_dir, "fig3_path_policy.txt",
+           f"via_ancestor distance: {via}\nany-path distance: {any_path}\n")
+    # Without common descendants the two policies agree.
+    assert via == any_path

@@ -1,0 +1,43 @@
+"""Experiment X8 — instance-level similarity services.
+
+The paper's resource model covers individuals as well as concepts
+(section 2.2).  Times the three instance views (feature, text, concept)
+on the corpus's individuals and records the k-most-similar-instances
+table for one professor individual.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.instances import InstanceSimilarityService
+from repro.viz.ascii import render_table
+
+
+@pytest.fixture(scope="module")
+def service(corpus_sst) -> InstanceSimilarityService:
+    return InstanceSimilarityService(corpus_sst)
+
+
+@pytest.mark.parametrize("view", ["features", "text", "concepts"])
+def test_instance_pairwise(benchmark, service, view):
+    value = benchmark(service.get_similarity, "Professor0",
+                      "univ-bench_owl", "jhendler", "base1_0_daml", view)
+    assert 0.0 <= value <= 1.0
+
+
+def test_instance_k_most_similar(benchmark, service, results_dir):
+    entries = benchmark(service.get_most_similar_instances, "Professor0",
+                        "univ-bench_owl", 5, "text")
+    rows = [[str(index + 1), entry.instance_name, entry.ontology_name,
+             entry.concept_name, f"{entry.similarity:.4f}"]
+            for index, entry in enumerate(entries)]
+    record(results_dir, "x8_instance_similarity.txt", render_table(
+        ["rank", "instance", "ontology", "concept", "similarity"], rows))
+    assert len(entries) == 5
+    values = [entry.similarity for entry in entries]
+    assert values == sorted(values, reverse=True)
+    # The other professor individuals top the list for a professor query.
+    assert entries[0].concept_name in ("AssistantProfessor",
+                                       "FullProfessor", "Professor")

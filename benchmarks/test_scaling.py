@@ -1,0 +1,61 @@
+"""Experiment X5 — measure latency vs ontology size.
+
+Synthetic complete 4-ary taxonomies of 50..2000 concepts; for each size,
+one distance-based and one information-theoretic computation.  Records
+the latency series so the toolkit's scalability envelope is visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontologies.generator import generate_synthetic_taxonomy
+from repro.simpack.graphdist import wu_palmer_similarity
+from repro.simpack.infocontent import InformationContent, lin_similarity
+from repro.soqa.graph import Taxonomy
+
+SIZES = (50, 200, 800, 2000)
+
+
+def build(size: int) -> Taxonomy:
+    return Taxonomy(generate_synthetic_taxonomy(size))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_taxonomy_build(benchmark, size):
+    taxonomy = benchmark(build, size)
+    assert len(taxonomy) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_wu_palmer(benchmark, size):
+    taxonomy = build(size)
+    deep_first = f"Node{size - 1}"
+    deep_second = f"Node{size - 2}"
+    value = benchmark(wu_palmer_similarity, taxonomy, deep_first,
+                      deep_second)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_lin(benchmark, size):
+    taxonomy = build(size)
+    ic = InformationContent(taxonomy)
+    deep_first = f"Node{size - 1}"
+    deep_second = f"Node{size - 2}"
+    value = benchmark(lin_similarity, ic, deep_first, deep_second)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_mrca_cold_cache(benchmark, size):
+    """MRCA without warm caches: rebuilds the taxonomy each round."""
+    deep_first = f"Node{size - 1}"
+    deep_second = f"Node{size - 2}"
+
+    def compute():
+        taxonomy = build(size)
+        return taxonomy.mrca(deep_first, deep_second)
+
+    meeting = benchmark(compute)
+    assert meeting is not None

@@ -1,0 +1,54 @@
+"""Experiment X10 — free-text semantic discovery over the corpus.
+
+"Semantic Web (service) discovery" is one of the paper's application
+areas: find the right concept for a natural-language need.  This bench
+runs free-text queries against the 943-concept corpus through the
+facade's search service (TFIDF and BM25 schemes) and asserts that the
+expected concepts surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.viz.ascii import render_table
+
+QUERIES = {
+    "someone who teaches courses at a university": {
+        "TeachingAssistant", "Faculty", "TEACHING-ASSISTANT",
+        "ACADEMIC-STAFF", "Course", "Professor", "Lecturer", "teacher"},
+    "warm blooded animal covered with fur": {
+        "Mammal", "WarmBloodedVertebrate", "Vertebrate"},
+    "a thesis submitted for a doctoral degree": {
+        "PhDThesis", "Thesis", "MasterThesis", "PHD-STUDENT"},
+    "an organization pursuing scientific research": {
+        "ResearchGroup", "Institute", "ResearchProject", "Research"},
+}
+
+
+@pytest.mark.parametrize("scheme", ["tfidf", "bm25"])
+def test_semantic_search(benchmark, corpus_sst, results_dir, scheme):
+    def run_all():
+        return {query: corpus_sst.search_concepts(query, k=5,
+                                                  scheme=scheme)
+                for query in QUERIES}
+
+    results = benchmark(run_all)
+
+    rows = []
+    for query, hits in results.items():
+        for rank, hit in enumerate(hits, start=1):
+            rows.append([query if rank == 1 else "", str(rank),
+                         hit.concept_name, hit.ontology_name,
+                         f"{hit.similarity:.4f}"])
+    record(results_dir, f"x10_semantic_search_{scheme}.txt",
+           render_table(["query", "rank", "concept", "ontology",
+                         "relevance"], rows))
+
+    for query, expected in QUERIES.items():
+        hit_names = {hit.concept_name for hit in results[query]}
+        assert hit_names & expected, (scheme, query, hit_names)
+        # Ranked best-first.
+        values = [hit.similarity for hit in results[query]]
+        assert values == sorted(values, reverse=True)

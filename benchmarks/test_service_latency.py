@@ -1,0 +1,84 @@
+"""Experiment X2 — latency of every SST facade service (section 3's
+service inventory) on the full 943-concept corpus, one timing per
+Table-1 measure and per service shape (S1 pairwise, S2 k-most, lists,
+subtrees, matrices, S3 plots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import Measure, TABLE1_MEASURES
+
+PAIR = ("Professor", "base1_0_daml", "AssistantProfessor",
+        "univ-bench_owl")
+
+
+@pytest.mark.parametrize("measure", TABLE1_MEASURES,
+                         ids=lambda measure: measure.name.lower())
+def test_s1_pairwise_similarity(benchmark, corpus_sst, measure):
+    corpus_sst.get_similarity(*PAIR, measure)  # warm caches
+    value = benchmark(corpus_sst.get_similarity, *PAIR, measure)
+    assert value >= 0.0
+
+
+def test_s1_measure_list(benchmark, corpus_sst):
+    values = benchmark(corpus_sst.get_similarities, *PAIR)
+    assert len(values) == len(TABLE1_MEASURES)
+
+
+def test_s2_most_similar_full_corpus(benchmark, corpus_sst):
+    corpus_sst.get_similarity(*PAIR, Measure.SHORTEST_PATH)
+    entries = benchmark(corpus_sst.get_most_similar_concepts,
+                        "Professor", "base1_0_daml", None, None, 10,
+                        Measure.SHORTEST_PATH)
+    assert len(entries) == 10
+
+
+def test_s2_most_similar_subtree(benchmark, corpus_sst):
+    entries = benchmark(
+        corpus_sst.get_most_similar_concepts, "Professor", "base1_0_daml",
+        "Person", "univ-bench_owl", 5, Measure.SHORTEST_PATH)
+    assert len(entries) == 5
+    assert all(entry.ontology_name == "univ-bench_owl"
+               for entry in entries)
+
+
+def test_s2_most_dissimilar(benchmark, corpus_sst):
+    entries = benchmark(corpus_sst.get_most_dissimilar_concepts,
+                        "Professor", "base1_0_daml", None, None, 10,
+                        Measure.SHORTEST_PATH)
+    assert len(entries) == 10
+
+
+def test_similarity_to_set(benchmark, corpus_sst):
+    concepts = [("univ-bench_owl", "Person"), ("COURSES", "EMPLOYEE"),
+                ("SUMO_owl_txt", "Human")]
+    entries = benchmark(corpus_sst.get_similarity_to_set, "Professor",
+                        "base1_0_daml", concepts, Measure.TFIDF)
+    assert len(entries) == 3
+
+
+def test_similarity_matrix(benchmark, corpus_sst):
+    concepts = [("base1_0_daml", "Professor"),
+                ("univ-bench_owl", "Professor"),
+                ("COURSES", "PROFESSOR"),
+                ("swrc_owl", "FullProfessor")]
+    matrix = benchmark(corpus_sst.get_similarity_matrix, concepts,
+                       Measure.TFIDF)
+    assert len(matrix) == 4
+
+
+def test_s3_similarity_plot(benchmark, corpus_sst):
+    chart = benchmark(corpus_sst.get_similarity_plot, *PAIR)
+    assert len(chart.values) == len(TABLE1_MEASURES)
+
+
+def test_soqaql_query_latency(benchmark, corpus_sst):
+    from repro.soqa.soqaql.evaluator import SOQAQLEngine
+
+    engine = SOQAQLEngine(corpus_sst.soqa)
+    result = benchmark(
+        engine.execute,
+        "SELECT name, ontology FROM concepts WHERE documentation "
+        "LIKE '%professor%' ORDER BY name")
+    assert len(result) > 0

@@ -1,0 +1,65 @@
+"""Experiment X7 — SOQA wrapper parse throughput.
+
+Times each language wrapper on its bundled corpus file (plus generated
+SUMO at full size), measuring the cost of SOQA's language independence:
+loading any of the five ontologies is a parse through the respective
+wrapper into the shared meta model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontologies.generator import generate_sumo_owl
+from repro.ontologies.library import data_text
+from repro.soqa.wrappers import (
+    DAMLWrapper,
+    OWLWrapper,
+    PowerLoomWrapper,
+    WordNetWrapper,
+)
+
+CASES = {
+    "univ-bench (OWL, 43)": (OWLWrapper, "univ-bench.owl"),
+    "course (PowerLoom, 22)": (PowerLoomWrapper, "course.ploom"),
+    "univ1.0 (DAML, 35)": (DAMLWrapper, "univ1.0.daml"),
+    "swrc (OWL, 54)": (OWLWrapper, "swrc.owl"),
+    "wordnet (WN, 40)": (WordNetWrapper, "wordnet-nouns.wn"),
+}
+
+
+@pytest.mark.parametrize("label", list(CASES))
+def test_wrapper_parse(benchmark, label):
+    wrapper_class, filename = CASES[label]
+    text = data_text(filename)
+    wrapper = wrapper_class()
+    ontology = benchmark(wrapper.parse, text, "bench")
+    assert len(ontology) > 0
+
+
+def test_wrapper_parse_sumo_789(benchmark):
+    text = generate_sumo_owl(789)
+    wrapper = OWLWrapper()
+    ontology = benchmark(wrapper.parse, text, "SUMO")
+    assert len(ontology) == 789
+
+
+def test_turtle_parse_equivalent_ontology(benchmark):
+    """Turtle serialization of a univ-bench-sized class list."""
+    from repro.ontologies.generator import sumo_class_list
+    from repro.soqa.wrappers.owl import OWLTurtleWrapper
+
+    lines = ["@prefix owl: <http://www.w3.org/2002/07/owl#> .",
+             "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .",
+             "@prefix : <http://example.org/sumo#> ."]
+    for name, parent, gloss in sumo_class_list(200):
+        lines.append(f":{name} a owl:Class ;")
+        if parent is not None:
+            parents = (parent,) if isinstance(parent, str) else parent
+            for parent_name in parents:
+                lines.append(f"    rdfs:subClassOf :{parent_name} ;")
+        escaped = gloss.replace('"', "'")
+        lines.append(f'    rdfs:comment "{escaped}" .')
+    text = "\n".join(lines)
+    ontology = benchmark(OWLTurtleWrapper().parse, text, "sumo-ttl")
+    assert len(ontology) == 200

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Cross-language similarity and declarative querying.
+
+Reproduces two capabilities the paper singles out:
+
+* comparing concepts across *languages* — "Student from the PowerLoom
+  Course Ontology can be compared with Researcher from WordNet"
+  (section 3), and
+* unified inspection of ontologies with SOQA-QL and the browser views,
+  independent of the ontology language (section 4).
+
+Run:  python examples/cross_language_browsing.py
+"""
+
+from repro import Measure, SOQASimPackToolkit
+from repro.browser.views import render_hierarchy, render_metadata
+from repro.ontologies import load_course_ontology, load_wordnet
+from repro.soqa.api import SOQA
+from repro.soqa.soqaql import SOQAQLEngine
+
+
+def main() -> None:
+    # A PowerLoom ontology and a WordNet lexical ontology side by side.
+    soqa = SOQA()
+    load_course_ontology(soqa)
+    load_wordnet(soqa)
+    sst = SOQASimPackToolkit(soqa)
+
+    print("The paper's cross-language example — COURSES:STUDENT vs "
+          "WordNet concepts:\n")
+    for wordnet_concept in ("researcher", "student", "professor",
+                            "scholar", "blackbird"):
+        values = sst.get_similarities(
+            "STUDENT", "COURSES", wordnet_concept, "wordnet",
+            [Measure.SHORTEST_PATH, Measure.TFIDF,
+             Measure.NAME_LEVENSHTEIN])
+        rendered = "  ".join(f"{name}={value:.3f}"
+                             for name, value in values.items())
+        print(f"  wordnet:{wordnet_concept:12s} {rendered}")
+
+    print("\nWordNet's own neighborhood of 'researcher' "
+          "(Conceptual Similarity):")
+    for entry in sst.get_most_similar_concepts(
+            "researcher", "wordnet",
+            subtree_root_concept_name="person",
+            subtree_ontology_name="wordnet",
+            k=5, measure=Measure.CONCEPTUAL_SIMILARITY):
+        print(f"  {entry}")
+
+    # --- Browser panes, language independent ------------------------------
+    print("\n" + render_metadata(sst, "COURSES"))
+    print("\n" + render_hierarchy(sst, "COURSES", root="PERSON"))
+
+    # --- SOQA-QL -----------------------------------------------------------
+    engine = SOQAQLEngine(soqa)
+    print("\nSOQA-QL: all WordNet concepts glossed as persons:\n")
+    result = engine.execute(
+        "SELECT name, documentation FROM concepts IN wordnet "
+        "WHERE documentation LIKE '%person%' ORDER BY name LIMIT 8")
+    print(result.to_text())
+
+    print("\nSOQA-QL: PowerLoom relations and their arity:\n")
+    result = engine.execute(
+        "SELECT name, concept, arity FROM relationships IN 'COURSES' "
+        "ORDER BY name")
+    print(result.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The paper's announced measure evaluation study (section 6).
+
+"Besides, we intend to do a thorough evaluation to find the best
+performing similarity measures in different task domains" — this example
+runs that study for two task domains and prints ranked results:
+
+1. **Alignment**: which measure best aligns univ-bench with the DAML
+   University ontology (same domain, similar naming)?
+2. **Retrieval**: which measure best retrieves the professor family when
+   querying with base1_0_daml:Professor (precision@10 against a
+   hand-made relevance set)?
+
+Run:  python examples/measure_study.py
+"""
+
+from repro import Measure, SOQASimPackToolkit, load_corpus
+from repro.align.study import MeasureStudy
+
+ALIGNMENT_REFERENCE = [
+    ("Person", "Person"), ("Employee", "Employee"),
+    ("Faculty", "Faculty"), ("Professor", "Professor"),
+    ("AssistantProfessor", "AssistantProfessor"),
+    ("AssociateProfessor", "AssociateProfessor"),
+    ("FullProfessor", "FullProfessor"), ("Lecturer", "Lecturer"),
+    ("Chair", "Chair"), ("Dean", "Dean"), ("Student", "Student"),
+    ("GraduateStudent", "GraduateStudent"),
+    ("UndergraduateStudent", "UndergraduateStudent"),
+    ("Organization", "Organization"), ("University", "University"),
+    ("Department", "Department"), ("Course", "Course"),
+    ("Publication", "Publication"), ("Article", "Article"),
+    ("Book", "Book"),
+]
+
+STUDIED_MEASURES = (
+    Measure.NAME_LEVENSHTEIN, Measure.JARO_WINKLER, Measure.QGRAM,
+    Measure.MONGE_ELKAN, Measure.TFIDF, Measure.LEVENSHTEIN,
+    Measure.CONCEPTUAL_SIMILARITY, Measure.SHORTEST_PATH, Measure.LIN,
+    Measure.EXTENSIONAL,
+)
+
+#: Concepts counted as relevant when retrieving for
+#: base1_0_daml:Professor across all five ontologies.
+RELEVANT_FOR_PROFESSOR = {
+    ("base1_0_daml", "Professor"),
+    ("base1_0_daml", "AssistantProfessor"),
+    ("base1_0_daml", "AssociateProfessor"),
+    ("base1_0_daml", "FullProfessor"),
+    ("base1_0_daml", "EmeritusProfessor"),
+    ("base1_0_daml", "Faculty"),
+    ("base1_0_daml", "Lecturer"),
+    ("univ-bench_owl", "Professor"),
+    ("univ-bench_owl", "AssistantProfessor"),
+    ("univ-bench_owl", "AssociateProfessor"),
+    ("univ-bench_owl", "FullProfessor"),
+    ("univ-bench_owl", "VisitingProfessor"),
+    ("univ-bench_owl", "Faculty"),
+    ("COURSES", "PROFESSOR"),
+    ("swrc_owl", "FullProfessor"),
+    ("swrc_owl", "AssociateProfessor"),
+    ("swrc_owl", "AssistantProfessor"),
+    ("swrc_owl", "FacultyMember"),
+}
+
+
+def alignment_study(sst: SOQASimPackToolkit) -> None:
+    print("Task domain 1 — alignment "
+          "(univ-bench_owl vs base1_0_daml):\n")
+    study = MeasureStudy(sst, "univ-bench_owl", "base1_0_daml",
+                         ALIGNMENT_REFERENCE)
+    results = study.run(STUDIED_MEASURES)
+    print(study.report(results))
+
+
+def retrieval_study(sst: SOQASimPackToolkit) -> None:
+    print("\nTask domain 2 — retrieval "
+          "(precision@10 for base1_0_daml:Professor):\n")
+    scored = []
+    for measure in STUDIED_MEASURES:
+        top = sst.get_most_similar_concepts("Professor", "base1_0_daml",
+                                            k=10, measure=measure)
+        hits = sum(1 for entry in top
+                   if (entry.ontology_name,
+                       entry.concept_name) in RELEVANT_FOR_PROFESSOR)
+        scored.append((hits / 10.0, sst.runner(measure).name))
+    scored.sort(reverse=True)
+    for rank, (precision, measure_name) in enumerate(scored, start=1):
+        print(f"  {rank:2d}. {measure_name:24s} precision@10 = "
+              f"{precision:.2f}")
+
+
+def main() -> None:
+    sst = SOQASimPackToolkit(load_corpus())
+    alignment_study(sst)
+    retrieval_study(sst)
+    print("\nTakeaway: lexical measures dominate when naming conventions "
+          "agree;\nstructural measures only separate concepts *within* a "
+          "taxonomy, which is\nexactly the division of labor the paper's "
+          "measure families suggest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Ontology alignment with SST: univ-bench (OWL) vs the DAML University
+ontology.
+
+The paper motivates SST with ontology alignment and integration.  This
+example runs the greedy matcher over three measures (TFIDF, name-based
+Jaro-Winkler, and an Ehrig-style combination of both), evaluates each
+alignment against a hand-made reference, and prints precision / recall /
+F-measure — showing how combined measures beat single ones.
+
+Run:  python examples/ontology_alignment.py
+"""
+
+from repro import Measure, SOQASimPackToolkit, load_corpus
+from repro.align import OntologyMatcher, evaluate_alignment
+
+#: Hand-made reference alignment between univ-bench and univ1.0.daml
+#: (concept-name pairs; both ontologies model the university domain).
+REFERENCE = [
+    ("Person", "Person"),
+    ("Employee", "Employee"),
+    ("Faculty", "Faculty"),
+    ("Professor", "Professor"),
+    ("AssistantProfessor", "AssistantProfessor"),
+    ("AssociateProfessor", "AssociateProfessor"),
+    ("FullProfessor", "FullProfessor"),
+    ("Lecturer", "Lecturer"),
+    ("Chair", "Chair"),
+    ("Dean", "Dean"),
+    ("Student", "Student"),
+    ("GraduateStudent", "GraduateStudent"),
+    ("UndergraduateStudent", "UndergraduateStudent"),
+    ("TeachingAssistant", "TeachingAssistant"),
+    ("ResearchAssistant", "ResearchAssistant"),
+    ("Organization", "Organization"),
+    ("University", "University"),
+    ("Department", "Department"),
+    ("ResearchGroup", "ResearchGroup"),
+    ("Course", "Course"),
+    ("GraduateCourse", "GraduateCourse"),
+    ("Research", "Research"),
+    ("Publication", "Publication"),
+    ("Article", "Article"),
+    ("Book", "Book"),
+    ("TechnicalReport", "TechnicalReport"),
+    ("AdministrativeStaff", "AdministrativeStaff"),
+]
+
+
+def run_matcher(sst, measure, threshold: float, label: str) -> None:
+    matcher = OntologyMatcher(sst, measure=measure, threshold=threshold)
+    alignment = matcher.match("univ-bench_owl", "base1_0_daml")
+    quality = evaluate_alignment(alignment, REFERENCE)
+    print(f"{label:34s} {len(alignment):3d} correspondences   {quality}")
+    return alignment
+
+
+def main() -> None:
+    sst = SOQASimPackToolkit(load_corpus())
+
+    print("Aligning univ-bench_owl (OWL, 43 concepts) with base1_0_daml "
+          "(DAML, 35 concepts)\n")
+    print(f"{'matcher':34s} {'size':>3s}")
+
+    run_matcher(sst, Measure.TFIDF, 0.30, "TFIDF (descriptions)")
+    run_matcher(sst, Measure.JARO_WINKLER, 0.90, "Jaro-Winkler (names)")
+
+    combined_id = sst.register_combined_measure(
+        "align-combined", [Measure.TFIDF, Measure.JARO_WINKLER],
+        weights=[1.0, 2.0])
+    alignment = run_matcher(sst, combined_id, 0.75,
+                            "Combined (TFIDF + 2x Jaro-Winkler)")
+
+    print("\nSample correspondences of the combined matcher:")
+    for correspondence in alignment[:8]:
+        print(f"  {correspondence}")
+
+    print("\nTop candidates for one tricky concept "
+          "(univ-bench_owl:College has no DAML counterpart):")
+    matcher = OntologyMatcher(sst, measure=combined_id)
+    for candidate in matcher.top_candidates("College", "univ-bench_owl",
+                                            "base1_0_daml", k=3):
+        print(f"  {candidate}")
+
+
+if __name__ == "__main__":
+    main()

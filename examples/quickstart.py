@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: similarity detection over the paper's five-ontology corpus.
+
+Loads the 943-concept corpus (Lehigh univ-bench, SIRUP Course ontology,
+DAML University, SWRC, SUMO — three different ontology languages), then
+walks through the core SST services:
+
+* the similarity of two concepts under one measure and under all six
+  Table-1 measures (signature S1),
+* the k most similar / most dissimilar concepts (signature S2),
+* a similarity chart, saved as SVG + Gnuplot inputs (signature S3).
+
+Run:  python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro import Measure, SOQASimPackToolkit, load_corpus
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    print("Loading the five-ontology corpus through SOQA...")
+    sst = SOQASimPackToolkit(load_corpus())
+    for name in sst.ontology_names():
+        ontology = sst.soqa.ontology(name)
+        print(f"  {name:16s} {ontology.language:10s} "
+              f"{len(ontology):4d} concepts")
+    print(f"  total: {sst.concept_count()} concepts\n")
+
+    # --- Signature S1: similarity of two concepts -------------------------
+    value = sst.get_similarity("Professor", "base1_0_daml",
+                               "AssistantProfessor", "univ-bench_owl",
+                               Measure.TFIDF)
+    print("TFIDF(base1_0_daml:Professor, univ-bench_owl:AssistantProfessor)"
+          f" = {value:.4f}\n")
+
+    print("All Table-1 measures for the same pair:")
+    values = sst.get_similarities("Professor", "base1_0_daml",
+                                  "AssistantProfessor", "univ-bench_owl")
+    for measure_name, measure_value in values.items():
+        print(f"  {measure_name:22s} {measure_value:.4f}")
+    print()
+
+    # --- Signature S2: the k most similar concepts ------------------------
+    print("The 5 most similar concepts for base1_0_daml:Professor "
+          "(Shortest Path):")
+    for entry in sst.get_most_similar_concepts(
+            "Professor", "base1_0_daml", k=5,
+            measure=Measure.SHORTEST_PATH):
+        print(f"  {entry}")
+    print()
+
+    print("...and the 3 most dissimilar (TFIDF):")
+    for entry in sst.get_most_dissimilar_concepts(
+            "Professor", "base1_0_daml", k=3, measure=Measure.TFIDF):
+        print(f"  {entry}")
+    print()
+
+    # --- Signature S3: visualization --------------------------------------
+    chart = sst.get_most_similar_plot("Professor", "base1_0_daml", k=10,
+                                      measure=Measure.SHORTEST_PATH)
+    print(chart.to_ascii())
+    paths = chart.save(OUTPUT_DIR, stem="quickstart_most_similar")
+    print("\nChart artifacts written:")
+    for path in paths:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

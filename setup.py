@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this stub enables legacy editable
+# installs (`pip install -e .`) on machines without the `wheel` package.
+setup()

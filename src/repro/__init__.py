@@ -1,0 +1,44 @@
+"""SOQA-SimPack Toolkit (SST) — a Python reproduction.
+
+Reproduces *Detecting Similarities in Ontologies with the SOQA-SimPack
+Toolkit* (Ziegler, Kiefer, Sturm, Dittrich, Bernstein; EDBT 2006):
+an ontology-language independent API for generic similarity detection
+and visualization in ontologies.
+
+Quickstart::
+
+    from repro import Measure, SOQASimPackToolkit, load_corpus
+
+    sst = SOQASimPackToolkit(load_corpus())   # the paper's 943 concepts
+    sst.get_similarity("Professor", "base1_0_daml",
+                       "AssistantProfessor", "univ-bench_owl",
+                       Measure.TFIDF)
+    sst.get_most_similar_concepts("Person", "univ-bench_owl",
+                                  k=10, measure=Measure.TFIDF)
+
+Layers (bottom-up): :mod:`repro.soqa` (unified ontology access, four
+language wrappers, SOQA-QL), :mod:`repro.simpack` (the similarity
+measure library), :mod:`repro.core` (the SST facade, runners and the
+unified Super-Thing tree), :mod:`repro.viz` (charts), plus the
+:mod:`repro.browser` client and the :mod:`repro.align` application.
+"""
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.core.results import ConceptAndSimilarity, QualifiedConcept
+from repro.errors import SSTError
+from repro.ontologies.library import load_corpus, load_wordnet
+from repro.soqa.api import SOQA
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConceptAndSimilarity",
+    "Measure",
+    "QualifiedConcept",
+    "SOQA",
+    "SOQASimPackToolkit",
+    "SSTError",
+    "load_corpus",
+    "load_wordnet",
+]

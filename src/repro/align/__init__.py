@@ -1,0 +1,28 @@
+"""Ontology alignment on top of the SST facade.
+
+The paper motivates SST with "ontology alignment and integration" and
+the task of "finding semantically equivalent schema elements".  This
+package is the flagship application: :mod:`repro.align.matcher` derives
+concept correspondences from SST similarity matrices, and
+:mod:`repro.align.evaluation` scores them against a reference alignment
+with the usual precision/recall/F-measure.
+"""
+
+from repro.align.evaluation import AlignmentQuality, evaluate_alignment
+from repro.align.io import (
+    alignment_from_json,
+    alignment_from_rdf,
+    alignment_to_json,
+    alignment_to_rdf,
+)
+from repro.align.matcher import (
+    Correspondence,
+    InstanceMatcher,
+    OntologyMatcher,
+)
+from repro.align.study import MeasureStudy
+
+__all__ = ["AlignmentQuality", "Correspondence", "InstanceMatcher",
+           "MeasureStudy", "OntologyMatcher", "alignment_from_json",
+           "alignment_from_rdf", "alignment_to_json", "alignment_to_rdf",
+           "evaluate_alignment"]

@@ -1,0 +1,72 @@
+"""Alignment quality evaluation: precision, recall, F-measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.align.matcher import Correspondence
+
+__all__ = ["AlignmentQuality", "evaluate_alignment"]
+
+
+@dataclass(frozen=True)
+class AlignmentQuality:
+    """Standard alignment metrics against a reference alignment."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of proposed correspondences that are correct."""
+        proposed = self.true_positives + self.false_positives
+        if proposed == 0:
+            return 0.0
+        return self.true_positives / proposed
+
+    @property
+    def recall(self) -> float:
+        """Fraction of reference correspondences that were found."""
+        expected = self.true_positives + self.false_negatives
+        if expected == 0:
+            return 0.0
+        return self.true_positives / expected
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def __str__(self) -> str:
+        return (f"precision={self.precision:.3f} recall={self.recall:.3f} "
+                f"f-measure={self.f_measure:.3f}")
+
+
+def evaluate_alignment(proposed: Iterable[Correspondence],
+                       reference: Iterable[tuple[str, str]],
+                       ) -> AlignmentQuality:
+    """Score a proposed alignment against reference name pairs.
+
+    ``reference`` holds ``(first_concept_name, second_concept_name)``
+    pairs; matching is case-insensitive on concept names, as alignments
+    across languages with different naming conventions (OWL camel case
+    vs PowerLoom upper case) would otherwise never match.
+    """
+    def normalize(pair: tuple[str, str]) -> tuple[str, str]:
+        first, second = pair
+        return first.lower(), second.lower()
+
+    proposed_pairs = {normalize(correspondence.as_pair())
+                      for correspondence in proposed}
+    reference_pairs = {normalize(pair) for pair in reference}
+    true_positives = len(proposed_pairs & reference_pairs)
+    return AlignmentQuality(
+        true_positives=true_positives,
+        false_positives=len(proposed_pairs) - true_positives,
+        false_negatives=len(reference_pairs) - true_positives,
+    )

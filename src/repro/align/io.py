@@ -1,0 +1,144 @@
+"""Alignment serialization: JSON and the Alignment-API RDF format.
+
+The paper's closest related work (OLA, Euzénat et al.) lives in the
+INRIA Alignment API ecosystem, whose RDF/XML alignment format became
+the lingua franca of ontology-matching evaluation.  Alignments produced
+by :class:`~repro.align.matcher.OntologyMatcher` can be exported to
+(and re-imported from) both that format and a plain JSON form.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ElementTree
+from xml.sax.saxutils import escape
+
+from repro.align.matcher import Correspondence
+from repro.core.results import QualifiedConcept
+from repro.errors import SSTError
+
+__all__ = ["alignment_from_json", "alignment_to_json",
+           "alignment_from_rdf", "alignment_to_rdf"]
+
+_ALIGN_NS = "http://knowledgeweb.semanticweb.org/heterogeneity/alignment"
+_RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+
+JSON_FORMAT = "sst-alignment/1"
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+
+def alignment_to_json(correspondences: list[Correspondence],
+                      indent: int | None = 2) -> str:
+    """Serialize an alignment to JSON text."""
+    document = {
+        "format": JSON_FORMAT,
+        "correspondences": [{
+            "first_ontology": correspondence.first.ontology_name,
+            "first_concept": correspondence.first.concept_name,
+            "second_ontology": correspondence.second.ontology_name,
+            "second_concept": correspondence.second.concept_name,
+            "confidence": correspondence.confidence,
+        } for correspondence in correspondences],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def alignment_from_json(text: str) -> list[Correspondence]:
+    """Rebuild an alignment from JSON text."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SSTError(f"malformed alignment JSON: {exc}") from exc
+    if not isinstance(document, dict) \
+            or document.get("format") != JSON_FORMAT:
+        raise SSTError(f"not a {JSON_FORMAT} document")
+    correspondences = []
+    for entry in document.get("correspondences", []):
+        correspondences.append(Correspondence(
+            first=QualifiedConcept(entry["first_ontology"],
+                                   entry["first_concept"]),
+            second=QualifiedConcept(entry["second_ontology"],
+                                    entry["second_concept"]),
+            confidence=float(entry["confidence"]),
+        ))
+    return correspondences
+
+
+# ---------------------------------------------------------------------------
+# Alignment-API RDF
+# ---------------------------------------------------------------------------
+
+
+def _entity_uri(concept: QualifiedConcept) -> str:
+    return f"urn:sst:{concept.ontology_name}#{concept.concept_name}"
+
+
+def _entity_from_uri(uri: str) -> QualifiedConcept:
+    if not uri.startswith("urn:sst:") or "#" not in uri:
+        raise SSTError(f"unrecognized entity URI {uri!r}")
+    ontology_name, _, concept_name = uri[len("urn:sst:"):].partition("#")
+    return QualifiedConcept(ontology_name, concept_name)
+
+
+def alignment_to_rdf(correspondences: list[Correspondence],
+                     first_ontology: str = "",
+                     second_ontology: str = "") -> str:
+    """The alignment in the INRIA Alignment API RDF/XML format.
+
+    ``relation`` is always ``=`` (equivalence) since the greedy matcher
+    proposes equivalences; ``measure`` carries the confidence.
+    """
+    cells = []
+    for correspondence in correspondences:
+        cells.append(f"""    <map>
+      <Cell>
+        <entity1 rdf:resource="{escape(_entity_uri(correspondence.first))}"/>
+        <entity2 rdf:resource="{escape(_entity_uri(correspondence.second))}"/>
+        <relation>=</relation>
+        <measure rdf:datatype="http://www.w3.org/2001/XMLSchema#float">{correspondence.confidence:.6f}</measure>
+      </Cell>
+    </map>""")
+    body = "\n".join(cells)
+    return f"""<?xml version="1.0" encoding="utf-8"?>
+<rdf:RDF xmlns="{_ALIGN_NS}"
+         xmlns:rdf="{_RDF_NS}#">
+  <Alignment>
+    <xml>yes</xml>
+    <level>0</level>
+    <type>11</type>
+    <onto1>{escape(first_ontology)}</onto1>
+    <onto2>{escape(second_ontology)}</onto2>
+{body}
+  </Alignment>
+</rdf:RDF>
+"""
+
+
+def alignment_from_rdf(text: str) -> list[Correspondence]:
+    """Read an Alignment-API RDF/XML document produced by
+    :func:`alignment_to_rdf` (or compatible tools using ``urn:sst``
+    entity URIs)."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise SSTError(f"malformed alignment RDF: {exc}") from exc
+    correspondences = []
+    for cell in root.iter(f"{{{_ALIGN_NS}}}Cell"):
+        entity1 = cell.find(f"{{{_ALIGN_NS}}}entity1")
+        entity2 = cell.find(f"{{{_ALIGN_NS}}}entity2")
+        measure = cell.find(f"{{{_ALIGN_NS}}}measure")
+        if entity1 is None or entity2 is None:
+            raise SSTError("alignment Cell without entity1/entity2")
+        resource_key = f"{{{_RDF_NS}#}}resource"
+        confidence = float(measure.text) if measure is not None \
+            and measure.text else 1.0
+        correspondences.append(Correspondence(
+            first=_entity_from_uri(entity1.get(resource_key, "")),
+            second=_entity_from_uri(entity2.get(resource_key, "")),
+            confidence=confidence,
+        ))
+    return correspondences

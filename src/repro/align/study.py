@@ -1,0 +1,102 @@
+"""Measure evaluation study: which measure performs best on a task?
+
+The paper's future work includes "a thorough evaluation to find the
+best performing similarity measures in different task domains"
+(section 6).  This module is that harness for the alignment task
+domain: run every (normalized) registered measure — and optionally
+combined measures — as the matcher's scoring function against a
+reference alignment, and rank the measures by F-measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.align.evaluation import AlignmentQuality, evaluate_alignment
+from repro.align.matcher import OntologyMatcher
+from repro.core.facade import SOQASimPackToolkit
+
+__all__ = ["MeasureStudy", "StudyResult"]
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """One measure's performance on the task."""
+
+    measure_name: str
+    threshold: float
+    alignment_size: int
+    quality: AlignmentQuality
+
+    def __str__(self) -> str:
+        return (f"{self.measure_name:28s} t={self.threshold:.2f} "
+                f"|A|={self.alignment_size:3d}  {self.quality}")
+
+
+class MeasureStudy:
+    """Ranks measures by alignment quality on one ontology pair."""
+
+    def __init__(self, sst: SOQASimPackToolkit, first_ontology: str,
+                 second_ontology: str,
+                 reference: Iterable[tuple[str, str]],
+                 thresholds: Sequence[float] = (0.3, 0.5, 0.7, 0.9)):
+        self.sst = sst
+        self.first_ontology = first_ontology
+        self.second_ontology = second_ontology
+        self.reference = list(reference)
+        self.thresholds = tuple(thresholds)
+
+    def evaluate_measure(self, measure) -> StudyResult:
+        """The measure's best result over the threshold grid.
+
+        Scoring all pairs once per measure and sweeping the threshold
+        over the sorted pair list keeps the study at one similarity
+        matrix per measure.
+        """
+        runner = self.sst.runner(measure)
+        best: StudyResult | None = None
+        for threshold in self.thresholds:
+            matcher = OntologyMatcher(self.sst, measure=measure,
+                                      threshold=threshold)
+            alignment = matcher.match(self.first_ontology,
+                                      self.second_ontology)
+            quality = evaluate_alignment(alignment, self.reference)
+            result = StudyResult(
+                measure_name=runner.name,
+                threshold=threshold,
+                alignment_size=len(alignment),
+                quality=quality,
+            )
+            if best is None or result.quality.f_measure > \
+                    best.quality.f_measure:
+                best = result
+        assert best is not None  # thresholds is non-empty by signature
+        return best
+
+    def run(self, measures: Iterable | None = None) -> list[StudyResult]:
+        """Evaluate the given measures (default: all normalized builtin
+        measures); returns results ranked best-first."""
+        if measures is None:
+            measures = [info["id"]
+                        for info in self.sst.available_measures()
+                        if info["normalized"]]
+        results = [self.evaluate_measure(measure) for measure in measures]
+        results.sort(key=lambda result: (-result.quality.f_measure,
+                                         result.measure_name))
+        return results
+
+    def report(self, results: Sequence[StudyResult]) -> str:
+        """The study as a ranked text table."""
+        from repro.viz.ascii import render_table
+
+        rows = [[str(rank + 1), result.measure_name,
+                 f"{result.threshold:.2f}",
+                 str(result.alignment_size),
+                 f"{result.quality.precision:.3f}",
+                 f"{result.quality.recall:.3f}",
+                 f"{result.quality.f_measure:.3f}"]
+                for rank, result in enumerate(results)]
+        return render_table(
+            ["rank", "measure", "thr", "size", "precision", "recall",
+             "f-measure"], rows)

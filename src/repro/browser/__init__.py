@@ -1,0 +1,27 @@
+"""The SOQA-SimPack Toolkit Browser (paper section 4).
+
+A client of the SST Facade for inspecting ontologies and running
+similarity services.  The paper's Swing GUI is reproduced as a terminal
+application with the same panes: ontology metadata, the concept
+hierarchy, per-concept detail (attributes, methods, relationships,
+instances), and the Similarity Tab services with tabular or chart
+output.  :mod:`repro.browser.views` renders the panes;
+:mod:`repro.browser.shell` is the interactive command loop.
+"""
+
+from repro.browser.shell import SSTBrowserShell, run_browser
+from repro.browser.views import (
+    render_concept_detail,
+    render_hierarchy,
+    render_metadata,
+    render_similarity_tab,
+)
+
+__all__ = [
+    "SSTBrowserShell",
+    "render_concept_detail",
+    "render_hierarchy",
+    "render_metadata",
+    "render_similarity_tab",
+    "run_browser",
+]

@@ -1,0 +1,358 @@
+"""Interactive command loop of the SST Browser.
+
+Commands mirror the GUI's interactions:
+
+===========================================  ==================================
+``ontologies``                               list loaded ontologies
+``metadata <ontology>``                      ontology metadata pane
+``tree <ontology> [root] [depth]``           concept hierarchy view
+``concept <ontology> <name>``                concept detail pane
+``measures``                                 the measure list
+``sim <onto1> <c1> <onto2> <c2> [measure]``  similarity of two concepts
+``ksim <ontology> <concept> [k] [measure]``  the Similarity Tab table
+``kdissim <ontology> <concept> [k] [m]``     k most dissimilar
+``chart <ontology> <concept> [k] [m]``       ASCII bar chart (Fig. 5 style)
+``query <soqa-ql>``                          run a SOQA-QL query
+``search <pattern>``                         find concepts by name glob
+``compare <onto1> <c1> <onto2> <c2>``        all Table-1 measures at once
+``instances <ontology> [concept]``           list instances
+``isim <ontology> <instance> [k] [view]``    most similar instances
+===========================================  ==================================
+"""
+
+from __future__ import annotations
+
+import cmd
+import shlex
+from typing import IO
+
+from repro.browser import views
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.errors import SSTError
+from repro.soqa.soqaql.evaluator import SOQAQLEngine
+
+__all__ = ["SSTBrowserShell", "run_browser"]
+
+
+class SSTBrowserShell(cmd.Cmd):
+    """``sst>`` — the terminal SST Browser."""
+
+    intro = ("SOQA-SimPack Toolkit Browser. Type 'help' for commands, "
+             "'quit' to leave.")
+    prompt = "sst> "
+
+    def __init__(self, sst: SOQASimPackToolkit,
+                 stdout: IO[str] | None = None):
+        super().__init__(stdout=stdout)
+        self.sst = sst
+        self.engine = SOQAQLEngine(sst.soqa)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stdout)
+
+    def _guarded(self, action) -> None:
+        try:
+            self._emit(action())
+        except SSTError as error:
+            self._emit(f"error: {error}")
+        except ValueError as error:
+            self._emit(f"error: {error}")
+
+    @staticmethod
+    def _measure(argument: str | None) -> int | str | Measure:
+        if argument is None:
+            return Measure.SHORTEST_PATH
+        if argument.isdigit():
+            return int(argument)
+        return argument
+
+    # -- commands ---------------------------------------------------------------
+
+    def do_ontologies(self, line: str) -> None:
+        """List the loaded ontologies."""
+        rows = [[name, soqa_ontology.language, str(len(soqa_ontology))]
+                for name in self.sst.ontology_names()
+                for soqa_ontology in [self.sst.soqa.ontology(name)]]
+        from repro.viz.ascii import render_table
+        self._emit(render_table(["ontology", "language", "concepts"], rows))
+
+    def do_metadata(self, line: str) -> None:
+        """metadata <ontology> — show the ontology-metadata pane."""
+        arguments = shlex.split(line)
+        if len(arguments) != 1:
+            self._emit("usage: metadata <ontology>")
+            return
+        self._guarded(lambda: views.render_metadata(self.sst, arguments[0]))
+
+    def do_tree(self, line: str) -> None:
+        """tree <ontology> [root] [depth] — the concept hierarchy view."""
+        arguments = shlex.split(line)
+        if not 1 <= len(arguments) <= 3:
+            self._emit("usage: tree <ontology> [root] [depth]")
+            return
+        root = arguments[1] if len(arguments) > 1 else None
+        depth = int(arguments[2]) if len(arguments) > 2 else None
+        self._guarded(lambda: views.render_hierarchy(
+            self.sst, arguments[0], root=root, max_depth=depth))
+
+    def do_concept(self, line: str) -> None:
+        """concept <ontology> <name> — the concept detail pane."""
+        arguments = shlex.split(line)
+        if len(arguments) != 2:
+            self._emit("usage: concept <ontology> <name>")
+            return
+        self._guarded(lambda: views.render_concept_detail(
+            self.sst, arguments[1], arguments[0]))
+
+    def do_measures(self, line: str) -> None:
+        """List all available similarity measures."""
+        self._guarded(lambda: views.render_measure_list(self.sst))
+
+    def do_sim(self, line: str) -> None:
+        """sim <onto1> <c1> <onto2> <c2> [measure] — pairwise similarity."""
+        arguments = shlex.split(line)
+        if not 4 <= len(arguments) <= 5:
+            self._emit("usage: sim <onto1> <concept1> <onto2> <concept2> "
+                       "[measure]")
+            return
+        measure = self._measure(arguments[4] if len(arguments) > 4 else None)
+
+        def compute() -> str:
+            value = self.sst.get_similarity(
+                arguments[1], arguments[0], arguments[3], arguments[2],
+                measure)
+            runner = self.sst.runner(measure)
+            return (f"{arguments[0]}:{arguments[1]} vs "
+                    f"{arguments[2]}:{arguments[3]} "
+                    f"[{runner.name}] = {value:.4f}")
+        self._guarded(compute)
+
+    def do_ksim(self, line: str) -> None:
+        """ksim <ontology> <concept> [k] [measure] — the Similarity Tab."""
+        arguments = shlex.split(line)
+        if not 2 <= len(arguments) <= 4:
+            self._emit("usage: ksim <ontology> <concept> [k] [measure]")
+            return
+        k = int(arguments[2]) if len(arguments) > 2 else 10
+        measure = self._measure(arguments[3] if len(arguments) > 3 else None)
+        self._guarded(lambda: views.render_similarity_tab(
+            self.sst, arguments[1], arguments[0], k=k, measure=measure))
+
+    def do_kdissim(self, line: str) -> None:
+        """kdissim <ontology> <concept> [k] [measure] — most dissimilar."""
+        arguments = shlex.split(line)
+        if not 2 <= len(arguments) <= 4:
+            self._emit("usage: kdissim <ontology> <concept> [k] [measure]")
+            return
+        k = int(arguments[2]) if len(arguments) > 2 else 10
+        measure = self._measure(arguments[3] if len(arguments) > 3 else None)
+
+        def compute() -> str:
+            entries = self.sst.get_most_dissimilar_concepts(
+                arguments[1], arguments[0], k=k, measure=measure)
+            from repro.viz.ascii import render_table
+            rows = [[str(index + 1), entry.concept_name,
+                     entry.ontology_name, f"{entry.similarity:.4f}"]
+                    for index, entry in enumerate(entries)]
+            return render_table(["rank", "concept", "ontology",
+                                 "similarity"], rows)
+        self._guarded(compute)
+
+    def do_chart(self, line: str) -> None:
+        """chart <ontology> <concept> [k] [measure] — ASCII bar chart."""
+        arguments = shlex.split(line)
+        if not 2 <= len(arguments) <= 4:
+            self._emit("usage: chart <ontology> <concept> [k] [measure]")
+            return
+        k = int(arguments[2]) if len(arguments) > 2 else 10
+        measure = self._measure(arguments[3] if len(arguments) > 3 else None)
+        self._guarded(lambda: self.sst.get_most_similar_plot(
+            arguments[1], arguments[0], k=k, measure=measure).to_ascii())
+
+    def do_query(self, line: str) -> None:
+        """query <soqa-ql> — run a SOQA-QL query."""
+        if not line.strip():
+            self._emit("usage: query <soqa-ql statement>")
+            return
+
+        def compute() -> str:
+            result = self.engine.execute(line)
+            return f"{result.to_text()}\n({len(result)} rows)"
+        self._guarded(compute)
+
+    def do_search(self, line: str) -> None:
+        """search <pattern> — find concepts by name glob (e.g. *rofess*)."""
+        import fnmatch
+
+        pattern = line.strip()
+        if not pattern:
+            self._emit("usage: search <pattern>")
+            return
+        from repro.viz.ascii import render_table
+
+        rows = [[concept.name, ontology_name]
+                for ontology_name, concept in self.sst.soqa.all_concepts()
+                if fnmatch.fnmatch(concept.name.lower(), pattern.lower())]
+        if rows:
+            self._emit(render_table(["concept", "ontology"], rows))
+        else:
+            self._emit(f"no concept matches {pattern!r}")
+
+    def do_compare(self, line: str) -> None:
+        """compare <onto1> <c1> <onto2> <c2> — all Table-1 measures."""
+        arguments = shlex.split(line)
+        if len(arguments) != 4:
+            self._emit("usage: compare <onto1> <concept1> <onto2> "
+                       "<concept2>")
+            return
+
+        def compute() -> str:
+            from repro.viz.ascii import render_table
+
+            values = self.sst.get_similarities(
+                arguments[1], arguments[0], arguments[3], arguments[2])
+            return render_table(
+                ["measure", "similarity"],
+                [[name, f"{value:.4f}"] for name, value in values.items()])
+        self._guarded(compute)
+
+    def do_instances(self, line: str) -> None:
+        """instances <ontology> [concept] — list instances."""
+        arguments = shlex.split(line)
+        if not 1 <= len(arguments) <= 2:
+            self._emit("usage: instances <ontology> [concept]")
+            return
+
+        def compute() -> str:
+            from repro.viz.ascii import render_table
+
+            ontology = self.sst.soqa.ontology(arguments[0])
+            if len(arguments) == 2:
+                instances = ontology.instances_of(arguments[1])
+            else:
+                instances = ontology.all_instances()
+            return render_table(
+                ["instance", "concept"],
+                [[instance.name, instance.concept_name]
+                 for instance in instances])
+        self._guarded(compute)
+
+    def do_isim(self, line: str) -> None:
+        """isim <ontology> <instance> [k] [view] — similar instances.
+
+        Views: features (default), text, concepts.
+        """
+        arguments = shlex.split(line)
+        if not 2 <= len(arguments) <= 4:
+            self._emit("usage: isim <ontology> <instance> [k] [view]")
+            return
+        k = int(arguments[2]) if len(arguments) > 2 else 10
+        view = arguments[3] if len(arguments) > 3 else "features"
+
+        def compute() -> str:
+            from repro.core.instances import InstanceSimilarityService
+            from repro.viz.ascii import render_table
+
+            service = InstanceSimilarityService(self.sst)
+            entries = service.get_most_similar_instances(
+                arguments[1], arguments[0], k=k, measure=view)
+            return render_table(
+                ["rank", "instance", "ontology", "concept", "similarity"],
+                [[str(index + 1), entry.instance_name,
+                  entry.ontology_name, entry.concept_name,
+                  f"{entry.similarity:.4f}"]
+                 for index, entry in enumerate(entries)])
+        self._guarded(compute)
+
+    def do_explain(self, line: str) -> None:
+        """explain <onto1> <c1> <onto2> <c2> — why are they similar?"""
+        arguments = shlex.split(line)
+        if len(arguments) != 4:
+            self._emit("usage: explain <onto1> <concept1> <onto2> "
+                       "<concept2>")
+            return
+
+        def compute() -> str:
+            from repro.core.explain import explain_similarity
+
+            return explain_similarity(
+                self.sst, arguments[1], arguments[0], arguments[3],
+                arguments[2]).to_text()
+        self._guarded(compute)
+
+    def do_find(self, line: str) -> None:
+        """find <free text> — semantic search over concept descriptions."""
+        query = line.strip()
+        if not query:
+            self._emit("usage: find <free text query>")
+            return
+
+        def compute() -> str:
+            from repro.viz.ascii import render_table
+
+            hits = self.sst.search_concepts(query, k=10)
+            if not hits:
+                return f"nothing matches {query!r}"
+            rows = [[str(index + 1), hit.concept_name, hit.ontology_name,
+                     f"{hit.similarity:.4f}"]
+                    for index, hit in enumerate(hits)]
+            return render_table(["rank", "concept", "ontology",
+                                 "relevance"], rows)
+        self._guarded(compute)
+
+    def do_stats(self, line: str) -> None:
+        """stats — structural statistics of every loaded ontology."""
+        def compute() -> str:
+            from repro.core.statistics import (
+                OntologyStatistics,
+                corpus_statistics,
+            )
+            from repro.viz.ascii import render_table
+
+            rows = [statistics.as_row()
+                    for statistics in corpus_statistics(self.sst.soqa)]
+            return render_table(OntologyStatistics.header(), rows)
+        self._guarded(compute)
+
+    def do_validate(self, line: str) -> None:
+        """validate <ontology> — quality diagnostics for an ontology."""
+        arguments = shlex.split(line)
+        if len(arguments) != 1:
+            self._emit("usage: validate <ontology>")
+            return
+
+        def compute() -> str:
+            from repro.soqa.validate import validate_ontology
+
+            diagnostics = validate_ontology(
+                self.sst.soqa.ontology(arguments[0]))
+            if not diagnostics:
+                return "no findings"
+            return "\n".join(str(diagnostic)
+                             for diagnostic in diagnostics)
+        self._guarded(compute)
+
+    def do_quit(self, line: str) -> bool:
+        """Leave the browser."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:
+        pass
+
+
+def run_browser(sst: SOQASimPackToolkit, lines: list[str] | None = None,
+                stdout: IO[str] | None = None) -> SSTBrowserShell:
+    """Run the browser; with ``lines`` given, execute them and return."""
+    shell = SSTBrowserShell(sst, stdout=stdout)
+    if lines is None:  # pragma: no cover - interactive path
+        shell.cmdloop()
+    else:
+        for line in lines:
+            shell.onecmd(line)
+    return shell

@@ -1,0 +1,115 @@
+"""Rendering of the SST Browser's panes as terminal text."""
+
+from __future__ import annotations
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.viz.ascii import render_table
+
+__all__ = [
+    "render_concept_detail",
+    "render_hierarchy",
+    "render_measure_list",
+    "render_metadata",
+    "render_similarity_tab",
+]
+
+
+def render_metadata(sst: SOQASimPackToolkit, ontology_name: str) -> str:
+    """The ontology-metadata pane: one row per metadata element."""
+    metadata = sst.soqa.metadata(ontology_name)
+    ontology = sst.soqa.ontology(ontology_name)
+    rows = [[key, value] for key, value in metadata.as_dict().items()]
+    rows.append(["concepts", str(len(ontology))])
+    rows.append(["attributes", str(len(ontology.all_attributes()))])
+    rows.append(["methods", str(len(ontology.all_methods()))])
+    rows.append(["relationships", str(len(ontology.all_relationships()))])
+    rows.append(["instances", str(len(ontology.all_instances()))])
+    return render_table(["metadata", "value"], rows)
+
+
+def render_hierarchy(sst: SOQASimPackToolkit, ontology_name: str,
+                     root: str | None = None, max_depth: int | None = None,
+                     ) -> str:
+    """The Concept Hierarchy view: an indented tree of concept names.
+
+    ``root`` restricts the view to one subtree; ``max_depth`` bounds the
+    rendered depth (useful for SUMO-sized ontologies).
+    """
+    ontology = sst.soqa.ontology(ontology_name)
+    lines: list[str] = [f"{ontology_name} ({ontology.language})"]
+
+    def walk(concept_name: str, depth: int, seen: frozenset[str]) -> None:
+        marker = "  " * depth + "- "
+        lines.append(marker + concept_name)
+        if max_depth is not None and depth + 1 > max_depth:
+            return
+        for child in sorted(
+                sub.name for sub in ontology.direct_subconcepts(concept_name)):
+            if child not in seen:  # guard against DAG diamonds
+                walk(child, depth + 1, seen | {child})
+
+    if root is not None:
+        walk(root, 0, frozenset({root}))
+    else:
+        for root_concept in sorted(concept.name for concept
+                                   in ontology.root_concepts()):
+            walk(root_concept, 0, frozenset({root_concept}))
+    return "\n".join(lines)
+
+
+def render_concept_detail(sst: SOQASimPackToolkit, concept_name: str,
+                          ontology_name: str) -> str:
+    """The concept-detail pane: everything the meta model knows."""
+    concept = sst.soqa.concept(concept_name, ontology_name)
+    rows = [
+        ["name", concept.name],
+        ["ontology", ontology_name],
+        ["documentation", concept.documentation],
+        ["definition", concept.definition],
+        ["superconcepts", ", ".join(concept.superconcept_names)],
+        ["subconcepts", ", ".join(concept.subconcept_names)],
+        ["equivalent", ", ".join(concept.equivalent_concept_names)],
+        ["antonyms", ", ".join(concept.antonym_concept_names)],
+    ]
+    for attribute in concept.attributes:
+        rows.append(["attribute",
+                     f"{attribute.name}: {attribute.data_type}"])
+    for method in concept.methods:
+        parameters = ", ".join(f"{parameter.name}: {parameter.data_type}"
+                               for parameter in method.parameters)
+        rows.append(["method",
+                     f"{method.name}({parameters}) -> {method.return_type}"])
+    for relationship in concept.relationships:
+        rows.append(["relationship",
+                     f"{relationship.name}"
+                     f"({', '.join(relationship.related_concept_names)})"])
+    for instance in concept.instances:
+        rows.append(["instance", instance.name])
+    return render_table(["property", "value"], rows)
+
+
+def render_measure_list(sst: SOQASimPackToolkit) -> str:
+    """The measure-selection list of the Similarity Tab."""
+    rows = [[str(info["id"]), str(info["name"]),
+             "yes" if info["normalized"] else "no",
+             str(info["description"])]
+            for info in sst.available_measures()]
+    return render_table(["id", "measure", "[0,1]", "description"], rows)
+
+
+def render_similarity_tab(sst: SOQASimPackToolkit, concept_name: str,
+                          ontology_name: str, k: int = 10,
+                          measure: int | str | Measure = Measure.TFIDF,
+                          ) -> str:
+    """The Similarity Tab's k-most-similar result table (paper Fig. 6)."""
+    entries = sst.get_most_similar_concepts(
+        concept_name, ontology_name, k=k, measure=measure)
+    runner = sst.runner(measure)
+    header = (f"{k} most similar concepts for "
+              f"{ontology_name}:{concept_name} ({runner.name})")
+    rows = [[str(index + 1), entry.concept_name, entry.ontology_name,
+             f"{entry.similarity:.4f}"]
+            for index, entry in enumerate(entries)]
+    table = render_table(["rank", "concept", "ontology", "similarity"], rows)
+    return f"{header}\n{table}"

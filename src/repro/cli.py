@@ -1,0 +1,322 @@
+"""The ``sst`` command-line interface.
+
+Subcommands map onto the facade services:
+
+.. code-block:: console
+
+    sst ontologies                      # list the bundled corpus
+    sst --ontology-file my.owl sim ...  # work on your own ontology files
+    sst sim base1_0_daml Professor univ-bench_owl Professor
+    sst ksim univ-bench_owl Person -k 10 -m TFIDF
+    sst kdissim base1_0_daml Professor -k 5
+    sst chart base1_0_daml Professor -k 10 -o /tmp/charts
+    sst table1                          # reprint the paper's Table 1
+    sst query "SELECT name FROM concepts WHERE is_root = true LIMIT 5"
+    sst browse                          # interactive SST Browser
+    sst shell                           # interactive SOQA-QL shell
+
+By default the five-ontology corpus of the paper is loaded; pass
+``--ontology FILE`` (repeatable) to work on your own ontologies instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.browser.shell import run_browser
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure, TABLE1_MEASURES
+from repro.errors import SSTError
+from repro.soqa.api import SOQA
+from repro.soqa.soqaql.evaluator import SOQAQLEngine
+from repro.soqa.soqaql.shell import run_shell
+from repro.viz.ascii import render_table
+
+__all__ = ["build_parser", "main"]
+
+
+def _measure_argument(value: str) -> "int | str":
+    return int(value) if value.isdigit() else value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``sst`` command."""
+    parser = argparse.ArgumentParser(
+        prog="sst",
+        description="SOQA-SimPack Toolkit: ontology language independent "
+                    "similarity detection in ontologies")
+    parser.add_argument(
+        "--ontology-file", dest="ontology_files", action="append",
+        default=[], metavar="FILE",
+        help="load this ontology file instead of the bundled corpus "
+             "(repeatable; language inferred from the suffix)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("ontologies", help="list loaded ontologies")
+
+    sim = subparsers.add_parser("sim", help="similarity of two concepts")
+    sim.add_argument("first_ontology")
+    sim.add_argument("first_concept")
+    sim.add_argument("second_ontology")
+    sim.add_argument("second_concept")
+    sim.add_argument("-m", "--measure", type=_measure_argument,
+                     default=None,
+                     help="measure id or name (default: all Table-1 "
+                          "measures)")
+
+    for name, help_text in (("ksim", "k most similar concepts"),
+                            ("kdissim", "k most dissimilar concepts")):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("ontology")
+        sub.add_argument("concept")
+        sub.add_argument("-k", type=int, default=10)
+        sub.add_argument("-m", "--measure", type=_measure_argument,
+                         default=int(Measure.SHORTEST_PATH))
+        sub.add_argument("--subtree", default=None,
+                         help="restrict candidates to this subtree root "
+                              "(format ontology:Concept)")
+
+    chart = subparsers.add_parser(
+        "chart", help="chart the k most similar concepts (Fig. 5)")
+    chart.add_argument("ontology")
+    chart.add_argument("concept")
+    chart.add_argument("-k", type=int, default=10)
+    chart.add_argument("-m", "--measure", type=_measure_argument,
+                       default=int(Measure.SHORTEST_PATH))
+    chart.add_argument("-o", "--output", default=None, metavar="DIR",
+                       help="also write SVG + Gnuplot artifacts here")
+
+    subparsers.add_parser(
+        "table1", help="recompute the paper's Table 1 on the corpus")
+    subparsers.add_parser("measures", help="list available measures")
+
+    query = subparsers.add_parser("query", help="run a SOQA-QL query")
+    query.add_argument("soqaql", help="the query text")
+
+    align = subparsers.add_parser(
+        "align", help="propose a one-to-one alignment of two ontologies")
+    align.add_argument("first_ontology")
+    align.add_argument("second_ontology")
+    align.add_argument("-m", "--measure", type=_measure_argument,
+                       default=int(Measure.TFIDF))
+    align.add_argument("-t", "--threshold", type=float, default=0.5)
+
+    search = subparsers.add_parser(
+        "search", help="free-text semantic search over concepts")
+    search.add_argument("text", help="the search query")
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--scheme", choices=("tfidf", "bm25"),
+                        default="tfidf")
+
+    subparsers.add_parser(
+        "stats", help="structural statistics of the loaded ontologies")
+
+    validate = subparsers.add_parser(
+        "validate", help="quality diagnostics for one ontology")
+    validate.add_argument("ontology")
+
+    export = subparsers.add_parser(
+        "export", help="export an ontology to SOQA meta-model JSON")
+    export.add_argument("ontology")
+    export.add_argument("output", help="path of the .soqajson file to "
+                                       "write")
+
+    explain = subparsers.add_parser(
+        "explain", help="evidence report for one concept pair")
+    explain.add_argument("first_ontology")
+    explain.add_argument("first_concept")
+    explain.add_argument("second_ontology")
+    explain.add_argument("second_concept")
+
+    diff = subparsers.add_parser(
+        "diff", help="structural diff between two ontology files")
+    diff.add_argument("old_file")
+    diff.add_argument("new_file")
+
+    subparsers.add_parser("browse", help="interactive SST Browser")
+    subparsers.add_parser("shell", help="interactive SOQA-QL shell")
+    return parser
+
+
+def _load_toolkit(ontology_files: list[str]) -> SOQASimPackToolkit:
+    if not ontology_files:
+        from repro.ontologies import load_corpus
+
+        return SOQASimPackToolkit(load_corpus())
+    soqa = SOQA()
+    for path in ontology_files:
+        soqa.load_file(path)
+    return SOQASimPackToolkit(soqa)
+
+
+def _split_subtree(value: str | None) -> tuple[str | None, str | None]:
+    if value is None:
+        return None, None
+    ontology_name, _, concept_name = value.partition(":")
+    return concept_name or None, ontology_name or None
+
+
+def _run(arguments: argparse.Namespace) -> int:
+    sst = _load_toolkit(arguments.ontology_files)
+    command = arguments.command
+    if command == "ontologies":
+        rows = [[name, sst.soqa.ontology(name).language,
+                 str(len(sst.soqa.ontology(name)))]
+                for name in sst.ontology_names()]
+        print(render_table(["ontology", "language", "concepts"], rows))
+    elif command == "sim":
+        measures = ([arguments.measure] if arguments.measure is not None
+                    else list(TABLE1_MEASURES))
+        values = sst.get_similarities(
+            arguments.first_concept, arguments.first_ontology,
+            arguments.second_concept, arguments.second_ontology, measures)
+        rows = [[name, f"{value:.4f}"] for name, value in values.items()]
+        print(render_table(["measure", "similarity"], rows))
+    elif command in ("ksim", "kdissim"):
+        subtree_concept, subtree_ontology = _split_subtree(arguments.subtree)
+        service = (sst.get_most_similar_concepts if command == "ksim"
+                   else sst.get_most_dissimilar_concepts)
+        entries = service(arguments.concept, arguments.ontology,
+                          subtree_root_concept_name=subtree_concept,
+                          subtree_ontology_name=subtree_ontology,
+                          k=arguments.k, measure=arguments.measure)
+        rows = [[str(index + 1), entry.concept_name, entry.ontology_name,
+                 f"{entry.similarity:.4f}"]
+                for index, entry in enumerate(entries)]
+        print(render_table(["rank", "concept", "ontology", "similarity"],
+                           rows))
+    elif command == "chart":
+        bar_chart = sst.get_most_similar_plot(
+            arguments.concept, arguments.ontology, k=arguments.k,
+            measure=arguments.measure)
+        print(bar_chart.to_ascii())
+        if arguments.output is not None:
+            paths = bar_chart.save(arguments.output)
+            print("\nwrote: " + ", ".join(str(path) for path in paths))
+    elif command == "table1":
+        print(_table1_text(sst))
+    elif command == "measures":
+        rows = [[str(info["id"]), str(info["name"]),
+                 "yes" if info["normalized"] else "no",
+                 str(info["description"])]
+                for info in sst.available_measures()]
+        print(render_table(["id", "measure", "[0,1]", "description"], rows))
+    elif command == "query":
+        result = SOQAQLEngine(sst.soqa).execute(arguments.soqaql)
+        print(result.to_text())
+        print(f"({len(result)} rows)")
+    elif command == "align":
+        from repro.align.matcher import OntologyMatcher
+
+        matcher = OntologyMatcher(sst, measure=arguments.measure,
+                                  threshold=arguments.threshold)
+        alignment = matcher.match(arguments.first_ontology,
+                                  arguments.second_ontology)
+        rows = [[str(correspondence.first), str(correspondence.second),
+                 f"{correspondence.confidence:.4f}"]
+                for correspondence in alignment]
+        print(render_table(["first", "second", "confidence"], rows))
+        print(f"({len(alignment)} correspondences)")
+    elif command == "search":
+        hits = sst.search_concepts(arguments.text, k=arguments.k,
+                                   scheme=arguments.scheme)
+        rows = [[str(index + 1), hit.concept_name, hit.ontology_name,
+                 f"{hit.similarity:.4f}"]
+                for index, hit in enumerate(hits)]
+        print(render_table(["rank", "concept", "ontology", "relevance"],
+                           rows))
+    elif command == "stats":
+        from repro.core.statistics import (
+            OntologyStatistics,
+            corpus_statistics,
+        )
+
+        rows = [statistics.as_row()
+                for statistics in corpus_statistics(sst.soqa)]
+        print(render_table(OntologyStatistics.header(), rows))
+    elif command == "validate":
+        from repro.soqa.validate import validate_ontology
+
+        diagnostics = validate_ontology(
+            sst.soqa.ontology(arguments.ontology))
+        if diagnostics:
+            for diagnostic in diagnostics:
+                print(diagnostic)
+            print(f"({len(diagnostics)} findings)")
+        else:
+            print("no findings")
+    elif command == "export":
+        from pathlib import Path
+
+        from repro.soqa.serialize import ontology_to_json
+
+        ontology = sst.soqa.ontology(arguments.ontology)
+        output_path = Path(arguments.output)
+        output_path.write_text(ontology_to_json(ontology),
+                               encoding="utf-8")
+        print(f"wrote {output_path} ({len(ontology)} concepts)")
+    elif command == "explain":
+        from repro.core.explain import explain_similarity
+
+        print(explain_similarity(
+            sst, arguments.first_concept, arguments.first_ontology,
+            arguments.second_concept, arguments.second_ontology).to_text())
+    elif command == "diff":
+        from repro.soqa.diff import diff_ontologies
+
+        old_ontology = sst.soqa.registry.for_path(
+            arguments.old_file).load(arguments.old_file)
+        new_ontology = sst.soqa.registry.for_path(
+            arguments.new_file).load(arguments.new_file)
+        result = diff_ontologies(old_ontology, new_ontology)
+        print(result.to_text())
+    elif command == "browse":  # pragma: no cover - interactive
+        run_browser(sst)
+    elif command == "shell":  # pragma: no cover - interactive
+        run_shell(sst.soqa)
+    return 0
+
+
+#: The comparison rows of the paper's Table 1.
+TABLE1_ROWS = (
+    ("Professor", "base1_0_daml"),
+    ("AssistantProfessor", "univ-bench_owl"),
+    ("EMPLOYEE", "COURSES"),
+    ("Human", "SUMO_owl_txt"),
+    ("Mammal", "SUMO_owl_txt"),
+)
+
+
+def _table1_text(sst: SOQASimPackToolkit) -> str:
+    """Table 1 of the paper, recomputed on the loaded corpus."""
+    headers = ["Concept"] + [sst.runner(measure).name
+                             for measure in TABLE1_MEASURES]
+    rows = []
+    for concept_name, ontology_name in TABLE1_ROWS:
+        values = sst.get_similarities(
+            "Professor", "base1_0_daml", concept_name, ontology_name,
+            TABLE1_MEASURES)
+        rows.append([f"{ontology_name}:{concept_name}"]
+                    + [f"{value:.4f}" for value in values.values()])
+    return render_table(headers, rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``sst`` command."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return _run(arguments)
+    except SSTError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that stopped reading
+        # (e.g. ``sst table1 | head``); exit quietly like other CLIs.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Concept clustering on top of SST similarities.
+
+"Data clustering and mining" is one of the application areas the paper
+names for SST (sections 1 and 3).  This package implements agglomerative
+hierarchical clustering over SST similarity matrices:
+:mod:`repro.cluster.agglomerative` builds the dendrogram and cuts flat
+clusters; the facade-level convenience lives in
+:class:`~repro.cluster.agglomerative.ConceptClusterer`.
+"""
+
+from repro.cluster.agglomerative import (
+    ClusterNode,
+    ConceptClusterer,
+    agglomerate,
+    cut_clusters,
+    render_dendrogram,
+)
+
+__all__ = ["ClusterNode", "ConceptClusterer", "agglomerate",
+           "cut_clusters", "render_dendrogram"]

@@ -1,0 +1,30 @@
+"""The SOQA-SimPack Toolkit core (the paper's primary contribution).
+
+* :mod:`repro.core.facade` — the SST Facade with the paper's service
+  signatures (S1)-(S3) and the k-most-similar/-dissimilar services.
+* :mod:`repro.core.runners` — MeasureRunner implementations coupling the
+  SimPack measures to ontology data.
+* :mod:`repro.core.wrapper` — the SOQAWrapper for SimPack, retrieving
+  ontological data in the form the measures expect.
+* :mod:`repro.core.unified` — the single ontology tree (Super Thing) all
+  loaded ontologies are incorporated into, plus the merged-Thing
+  alternative the paper rejects (Fig. 3).
+* :mod:`repro.core.registry` — measure ids, names and the runner
+  registry through which SST is extended.
+* :mod:`repro.core.combined` — Ehrig-style amalgamated measures.
+"""
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.core.results import ConceptAndSimilarity, QualifiedConcept
+from repro.core.unified import MERGED_THING, SUPER_THING, UnifiedTree
+
+__all__ = [
+    "ConceptAndSimilarity",
+    "MERGED_THING",
+    "Measure",
+    "QualifiedConcept",
+    "SOQASimPackToolkit",
+    "SUPER_THING",
+    "UnifiedTree",
+]

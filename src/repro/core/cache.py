@@ -1,0 +1,82 @@
+"""Pairwise similarity caching.
+
+SST services like the k-most-similar retrieval and the alignment
+matcher recompute many pairwise scores; :class:`CachedRunner` wraps any
+:class:`~repro.core.runners.MeasureRunner` with a bounded,
+symmetric-aware memo table and hit statistics, so repeated service
+calls over the same corpus amortize.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.results import QualifiedConcept
+from repro.core.runners import MeasureRunner
+from repro.errors import SSTCoreError
+
+__all__ = ["CachedRunner"]
+
+
+class CachedRunner(MeasureRunner):
+    """A memoizing decorator around another runner.
+
+    ``symmetric`` (default True, correct for every bundled measure)
+    stores one entry per unordered pair.  Eviction is LRU with a
+    configurable capacity.
+    """
+
+    def __init__(self, inner: MeasureRunner, capacity: int = 100_000,
+                 symmetric: bool = True):
+        if capacity < 1:
+            raise SSTCoreError("cache capacity must be positive")
+        super().__init__(inner.wrapper)
+        self.inner = inner
+        self.name = inner.name
+        self.description = inner.description
+        self.capacity = capacity
+        self.symmetric = symmetric
+        self.hits = 0
+        self.misses = 0
+        self._table: OrderedDict[tuple, float] = OrderedDict()
+
+    def _key(self, first: QualifiedConcept,
+             second: QualifiedConcept) -> tuple:
+        if self.symmetric and (second.ontology_name,
+                               second.concept_name) < (
+                                   first.ontology_name,
+                                   first.concept_name):
+            return (second, first)
+        return (first, second)
+
+    def run(self, first: QualifiedConcept,
+            second: QualifiedConcept) -> float:
+        key = self._key(first, second)
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._table.move_to_end(key)
+            return cached
+        self.misses += 1
+        value = self.inner.run(first, second)
+        self._table[key] = value
+        if len(self._table) > self.capacity:
+            self._table.popitem(last=False)
+        return value
+
+    def is_normalized(self) -> bool:
+        return self.inner.is_normalized()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def clear(self) -> None:
+        """Drop all cached entries and reset statistics."""
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0

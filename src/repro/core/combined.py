@@ -1,0 +1,91 @@
+"""Amalgamated (combined) similarity measures.
+
+Ehrig et al. (paper section 5) combine layer-specific similarities with
+an amalgamation function; the paper notes that "it is easily possible to
+introduce such combined similarity measures through additional
+MeasureRunner implementations" — this module is that implementation.
+
+A :class:`CombinedMeasureRunner` wraps any set of registered runners and
+amalgamates their scores with a weighted average (the default), the
+maximum, or the minimum.  Only normalized runners may take part, so the
+combination stays within [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.results import QualifiedConcept
+from repro.core.runners import MeasureRunner
+from repro.errors import SSTCoreError
+
+__all__ = ["AMALGAMATIONS", "CombinedMeasureRunner", "combined_factory"]
+
+AMALGAMATIONS = ("weighted_average", "maximum", "minimum")
+
+
+class CombinedMeasureRunner(MeasureRunner):
+    """Amalgamates the scores of several underlying runners."""
+
+    name = "Combined"
+    description = "Amalgamation of several measures (Ehrig et al. style)"
+
+    def __init__(self, wrapper, runners: Sequence[MeasureRunner],
+                 weights: Sequence[float] | None = None,
+                 amalgamation: str = "weighted_average"):
+        super().__init__(wrapper)
+        if not runners:
+            raise SSTCoreError("a combined measure needs at least one runner")
+        unnormalized = [runner.name for runner in runners
+                        if not runner.is_normalized()]
+        if unnormalized:
+            raise SSTCoreError(
+                "combined measures require normalized runners; "
+                f"not normalized: {', '.join(unnormalized)}")
+        if amalgamation not in AMALGAMATIONS:
+            raise SSTCoreError(
+                f"unknown amalgamation {amalgamation!r}; expected one of "
+                f"{', '.join(AMALGAMATIONS)}")
+        if weights is None:
+            weights = [1.0] * len(runners)
+        if len(weights) != len(runners):
+            raise SSTCoreError(
+                f"{len(runners)} runners but {len(weights)} weights")
+        if any(weight < 0 for weight in weights):
+            raise SSTCoreError("weights must be non-negative")
+        if sum(weights) == 0:
+            raise SSTCoreError("at least one weight must be positive")
+        self.runners = list(runners)
+        self.weights = list(weights)
+        self.amalgamation = amalgamation
+        self.name = "Combined(" + ", ".join(
+            runner.name for runner in runners) + ")"
+
+    def run(self, first: QualifiedConcept,
+            second: QualifiedConcept) -> float:
+        scores = [runner.run(first, second) for runner in self.runners]
+        if self.amalgamation == "maximum":
+            return max(scores)
+        if self.amalgamation == "minimum":
+            return min(scores)
+        total_weight = sum(self.weights)
+        return sum(score * weight
+                   for score, weight in zip(scores, self.weights)
+                   ) / total_weight
+
+
+def combined_factory(measures: Sequence[int | str],
+                     registry, weights: Sequence[float] | None = None,
+                     amalgamation: str = "weighted_average"):
+    """A runner factory for a combination of registered measures.
+
+    Suitable for :meth:`~repro.core.registry.RunnerRegistry.register_custom`;
+    the underlying runners are created against the same wrapper the
+    combined runner receives.
+    """
+    def factory(wrapper) -> CombinedMeasureRunner:
+        runners = [registry.create(measure, wrapper)
+                   for measure in measures]
+        return CombinedMeasureRunner(wrapper, runners, weights=weights,
+                                     amalgamation=amalgamation)
+    return factory

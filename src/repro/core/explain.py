@@ -1,0 +1,117 @@
+"""Similarity explanation: why are these two concepts (dis)similar?
+
+A toolkit offering a dozen measures should also say what each one saw.
+:func:`explain_similarity` gathers the evidence every measure family
+consumes for one concept pair — taxonomy paths and meeting point,
+shared features, shared description terms, name comparison — alongside
+the scores, and renders it as a structured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import TABLE1_MEASURES
+from repro.core.results import QualifiedConcept
+
+__all__ = ["SimilarityExplanation", "explain_similarity"]
+
+
+@dataclass
+class SimilarityExplanation:
+    """The gathered evidence for one concept pair."""
+
+    first: QualifiedConcept
+    second: QualifiedConcept
+    scores: dict[str, float] = field(default_factory=dict)
+    first_path: list[str] = field(default_factory=list)
+    second_path: list[str] = field(default_factory=list)
+    meeting_point: str | None = None
+    distance: int | None = None
+    shared_features: list[str] = field(default_factory=list)
+    first_only_features: list[str] = field(default_factory=list)
+    second_only_features: list[str] = field(default_factory=list)
+    shared_terms: list[str] = field(default_factory=list)
+    name_identical: bool = False
+
+    def to_text(self) -> str:
+        """The explanation as a readable report."""
+        lines = [f"Why {self.first} ~ {self.second}?",
+                 "=" * 40]
+        lines.append("scores:")
+        for measure_name, value in self.scores.items():
+            lines.append(f"  {measure_name:22s} {value:.4f}")
+        lines.append("")
+        lines.append("taxonomy evidence:")
+        lines.append(f"  path({self.first.concept_name}): "
+                     + " > ".join(self.first_path))
+        lines.append(f"  path({self.second.concept_name}): "
+                     + " > ".join(self.second_path))
+        if self.meeting_point is not None:
+            lines.append(f"  meet at: {self.meeting_point} "
+                         f"(distance {self.distance})")
+        else:
+            lines.append("  no connecting path")
+        lines.append("")
+        lines.append("feature evidence (mapping M1):")
+        lines.append("  shared: " + (", ".join(self.shared_features)
+                                     or "(none)"))
+        lines.append(f"  only {self.first.concept_name}: "
+                     + (", ".join(self.first_only_features) or "(none)"))
+        lines.append(f"  only {self.second.concept_name}: "
+                     + (", ".join(self.second_only_features) or "(none)"))
+        lines.append("")
+        lines.append("text evidence (shared stemmed terms): "
+                     + (", ".join(self.shared_terms) or "(none)"))
+        if self.name_identical:
+            lines.append("names are identical (case-insensitive)")
+        return "\n".join(lines)
+
+
+def explain_similarity(sst: SOQASimPackToolkit, first_concept: str,
+                       first_ontology: str, second_concept: str,
+                       second_ontology: str,
+                       measures=None) -> SimilarityExplanation:
+    """Gather per-family evidence for one concept pair.
+
+    ``measures`` defaults to the six Table-1 measures.
+    """
+    first = QualifiedConcept(first_ontology, first_concept)
+    second = QualifiedConcept(second_ontology, second_concept)
+    explanation = SimilarityExplanation(first=first, second=second)
+
+    if measures is None:
+        measures = TABLE1_MEASURES
+    explanation.scores = sst.get_similarities(
+        first_concept, first_ontology, second_concept, second_ontology,
+        measures)
+
+    wrapper = sst.wrapper
+    explanation.first_path = sst.tree.path_to_root(first)
+    explanation.second_path = sst.tree.path_to_root(second)
+    meeting = wrapper.taxonomy.mrca(wrapper.node(first),
+                                    wrapper.node(second))
+    if meeting is not None:
+        ancestor, distance_first, distance_second = meeting
+        explanation.meeting_point = ancestor
+        explanation.distance = distance_first + distance_second
+
+    first_features = wrapper.feature_set(first)
+    second_features = wrapper.feature_set(second)
+    explanation.shared_features = sorted(first_features & second_features)
+    explanation.first_only_features = sorted(
+        first_features - second_features)
+    explanation.second_only_features = sorted(
+        second_features - first_features)
+
+    vector_space = wrapper.vector_space()
+    first_terms = set(
+        vector_space.index.document_terms(wrapper.node(first)))
+    second_terms = set(
+        vector_space.index.document_terms(wrapper.node(second)))
+    explanation.shared_terms = sorted(first_terms & second_terms)
+
+    explanation.name_identical = (first_concept.lower()
+                                  == second_concept.lower())
+    return explanation

@@ -1,0 +1,474 @@
+"""The SOQA-SimPack Toolkit Facade (paper section 3).
+
+The single access point for ontology-language independent similarity
+services.  The facade owns a SOQA instance (all loaded ontologies), the
+unified Super-Thing tree, the SOQAWrapper for SimPack, and a registry of
+MeasureRunners; on top it offers the services the paper lists:
+
+* similarity between two concepts, for one measure or a list
+  (signature S1),
+* similarity between a concept and a set of concepts — freely composed
+  or an ontology taxonomy (sub)tree,
+* the *k* most similar / most dissimilar concepts of such a set
+  (signature S2),
+* chart visualization of calculations (signature S3),
+* helper services: measure information, ontology summaries, and
+  extension points for supplementary MeasureRunners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.registry import Measure, RunnerRegistry, TABLE1_MEASURES
+from repro.core.results import ConceptAndSimilarity, QualifiedConcept
+from repro.core.runners import MeasureRunner
+from repro.core.unified import SUPER_THING, UnifiedTree
+from repro.core.wrapper import SOQAWrapperForSimPack
+from repro.errors import SSTCoreError
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import Ontology
+from repro.viz.charts import BarChart, GroupedBarChart, HeatmapChart
+
+__all__ = ["SOQASimPackToolkit"]
+
+ConceptRef = "QualifiedConcept | tuple[str, str]"
+
+
+def _qualify(concept: QualifiedConcept | tuple[str, str]) -> QualifiedConcept:
+    if isinstance(concept, QualifiedConcept):
+        return concept
+    ontology_name, concept_name = concept
+    return QualifiedConcept(ontology_name, concept_name)
+
+
+class SOQASimPackToolkit:
+    """The SST Facade.
+
+    >>> from repro.ontologies import load_corpus
+    >>> sst = SOQASimPackToolkit(load_corpus())
+    >>> sst.get_similarity("Professor", "base1_0_daml",
+    ...                    "Professor", "base1_0_daml",
+    ...                    Measure.SHORTEST_PATH)
+    1.0
+    """
+
+    #: Paper-style measure constants, re-exported for discoverability
+    #: (e.g. ``SOQASimPackToolkit.LIN_MEASURE``).
+    CONCEPTUAL_SIMILARITY_MEASURE = Measure.CONCEPTUAL_SIMILARITY
+    LEVENSHTEIN_MEASURE = Measure.LEVENSHTEIN
+    LIN_MEASURE = Measure.LIN
+    RESNIK_MEASURE = Measure.RESNIK
+    SHORTEST_PATH_MEASURE = Measure.SHORTEST_PATH
+    TFIDF_MEASURE = Measure.TFIDF
+
+    def __init__(self, soqa: SOQA | None = None,
+                 strategy: str = SUPER_THING,
+                 registry: RunnerRegistry | None = None):
+        self.soqa = soqa if soqa is not None else SOQA()
+        self.strategy = strategy
+        self.registry = (registry if registry is not None
+                         else RunnerRegistry.with_builtin_runners())
+        self._tree: UnifiedTree | None = None
+        self._wrapper: SOQAWrapperForSimPack | None = None
+        self._runners: dict[int, MeasureRunner] = {}
+
+    # -- ontology management ------------------------------------------------------
+
+    def load_ontology_file(self, path, name: str | None = None,
+                           language: str | None = None) -> Ontology:
+        """Load an ontology file through SOQA and refresh the tree."""
+        ontology = self.soqa.load_file(path, name=name, language=language)
+        self.refresh()
+        return ontology
+
+    def load_ontology_text(self, text: str, name: str,
+                           language: str) -> Ontology:
+        """Parse ontology source text through SOQA and refresh the tree."""
+        ontology = self.soqa.load_text(text, name, language)
+        self.refresh()
+        return ontology
+
+    def add_ontology(self, ontology: Ontology) -> Ontology:
+        """Register a pre-built ontology and refresh the tree."""
+        self.soqa.add_ontology(ontology)
+        self.refresh()
+        return ontology
+
+    def refresh(self) -> None:
+        """Rebuild the unified tree after the ontology set changed."""
+        self._tree = None
+        self._wrapper = None
+        self._runners.clear()
+
+    def ontology_names(self) -> list[str]:
+        """Names of all loaded ontologies."""
+        return self.soqa.ontology_names()
+
+    def concept_count(self) -> int:
+        """Total number of loaded concepts."""
+        return self.soqa.concept_count()
+
+    # -- internals ------------------------------------------------------------------
+
+    @property
+    def tree(self) -> UnifiedTree:
+        """The unified ontology tree (built lazily)."""
+        if self._tree is None:
+            self._tree = UnifiedTree(self.soqa, strategy=self.strategy)
+        return self._tree
+
+    @property
+    def wrapper(self) -> SOQAWrapperForSimPack:
+        """The SOQAWrapper for SimPack (built lazily)."""
+        if self._wrapper is None:
+            self._wrapper = SOQAWrapperForSimPack(self.soqa, self.tree)
+        return self._wrapper
+
+    def runner(self, measure: int | str | Measure) -> MeasureRunner:
+        """The (cached) runner instance for a measure."""
+        measure_id = self.registry.resolve(measure)
+        runner = self._runners.get(measure_id)
+        if runner is None:
+            runner = self.registry.create(measure_id, self.wrapper)
+            self._runners[measure_id] = runner
+        return runner
+
+    # -- measure information and extension -----------------------------------------------
+
+    def available_measures(self) -> list[dict[str, object]]:
+        """Id, name, description and normalization flag of every measure."""
+        measures = []
+        for measure_id in self.registry.measure_ids():
+            runner = self.runner(measure_id)
+            measures.append({
+                "id": measure_id,
+                "name": runner.name,
+                "description": runner.description,
+                "normalized": runner.is_normalized(),
+            })
+        return measures
+
+    def measure_info(self, measure: int | str | Measure) -> dict[str, object]:
+        """Name, description and normalization flag of one measure."""
+        runner = self.runner(measure)
+        return {
+            "id": self.registry.resolve(measure),
+            "name": runner.name,
+            "description": runner.description,
+            "normalized": runner.is_normalized(),
+        }
+
+    def register_measure_runner(self, name: str, factory) -> int:
+        """Register a supplementary MeasureRunner; returns its measure id.
+
+        ``factory`` receives the SOQAWrapper for SimPack and returns a
+        :class:`~repro.core.runners.MeasureRunner`.  This is the
+        extension point the paper highlights for new or combined
+        measures.
+        """
+        return self.registry.register_custom(name, factory)
+
+    def register_combined_measure(self, name: str,
+                                  measures: Sequence[int | str | Measure],
+                                  weights: Sequence[float] | None = None,
+                                  amalgamation: str = "weighted_average",
+                                  ) -> int:
+        """Register an Ehrig-style amalgamation of existing measures."""
+        from repro.core.combined import combined_factory
+
+        return self.registry.register_custom(
+            name, combined_factory(measures, self.registry, weights=weights,
+                                   amalgamation=amalgamation))
+
+    # -- helper services (paper section 3: browser and query shell) ------------------------
+
+    def open_browser(self, lines: Sequence[str] | None = None,
+                     stdout=None):
+        """Open the SST Browser on this facade.
+
+        The paper's facade offers "displaying a SOQA Ontology Browser to
+        inspect a single ontology"; interactive without arguments,
+        scriptable with ``lines`` for tests and batch use.
+        """
+        from repro.browser.shell import run_browser
+
+        return run_browser(self, lines=list(lines) if lines is not None
+                           else None, stdout=stdout)
+
+    def open_query_shell(self, lines: Sequence[str] | None = None,
+                         stdout=None):
+        """Open a SOQA Query Shell "to declaratively query an ontology
+        using SOQA-QL" (paper section 3)."""
+        from repro.soqa.soqaql.shell import run_shell
+
+        return run_shell(self.soqa, lines=list(lines) if lines is not None
+                         else None, stdout=stdout)
+
+    # -- similarity services (signatures S1 and friends) -----------------------------------
+
+    def get_similarity(self, first_concept_name: str,
+                       first_ontology_name: str,
+                       second_concept_name: str,
+                       second_ontology_name: str,
+                       measure: int | str | Measure) -> float:
+        """Similarity of two concepts under one measure (signature S1)."""
+        first = QualifiedConcept(first_ontology_name, first_concept_name)
+        second = QualifiedConcept(second_ontology_name, second_concept_name)
+        return self.runner(measure).run(first, second)
+
+    def get_similarities(self, first_concept_name: str,
+                         first_ontology_name: str,
+                         second_concept_name: str,
+                         second_ontology_name: str,
+                         measures: Iterable[int | str | Measure] | None = None,
+                         ) -> dict[str, float]:
+        """Similarity of two concepts under a list of measures.
+
+        Returns ``{measure name: similarity}``; ``measures`` defaults to
+        the six Table-1 measures.
+        """
+        if measures is None:
+            measures = TABLE1_MEASURES
+        results: dict[str, float] = {}
+        for measure in measures:
+            runner = self.runner(measure)
+            results[runner.name] = self.get_similarity(
+                first_concept_name, first_ontology_name,
+                second_concept_name, second_ontology_name, measure)
+        return results
+
+    def get_similarity_to_set(self, concept_name: str, ontology_name: str,
+                              concepts: Iterable[ConceptRef],
+                              measure: int | str | Measure,
+                              ) -> list[ConceptAndSimilarity]:
+        """Similarity between a concept and a freely composed concept set."""
+        anchor = QualifiedConcept(ontology_name, concept_name)
+        runner = self.runner(measure)
+        results = []
+        for reference in concepts:
+            other = _qualify(reference)
+            results.append(ConceptAndSimilarity(
+                concept_name=other.concept_name,
+                ontology_name=other.ontology_name,
+                similarity=runner.run(anchor, other)))
+        return results
+
+    def search_concepts(self, query_text: str, k: int = 10,
+                        scheme: str = "tfidf",
+                        ) -> list[ConceptAndSimilarity]:
+        """Free-text semantic search over all loaded concepts.
+
+        Ranks concepts by the relevance of their full-text descriptions
+        to ``query_text`` — the retrieval counterpart of the TFIDF
+        measure, over the same Porter-stemmed index.  ``scheme`` selects
+        the weighting: ``"tfidf"`` (cosine, scores in [0, 1]) or
+        ``"bm25"`` (Okapi scores, unbounded).
+        """
+        if scheme == "tfidf":
+            ranked = self.wrapper.vector_space().search(query_text, k=k)
+        elif scheme == "bm25":
+            ranked = self.wrapper.bm25().search(query_text, k=k)
+        else:
+            raise SSTCoreError(
+                f"unknown search scheme {scheme!r}; expected 'tfidf' or "
+                "'bm25'")
+        results = []
+        for node, score in ranked:
+            concept = self.tree.concept_of(node)
+            if concept is None:
+                continue
+            results.append(ConceptAndSimilarity(
+                concept_name=concept.concept_name,
+                ontology_name=concept.ontology_name,
+                similarity=score))
+        return results
+
+    # -- candidate set handling ----------------------------------------------------------------
+
+    def _candidates(self, subtree_root_concept_name: str | None,
+                    subtree_ontology_name: str | None,
+                    exclude: QualifiedConcept) -> list[QualifiedConcept]:
+        """The concept set of a k-most service.
+
+        A subtree root restricts the set to that taxonomy subtree;
+        without one, all loaded concepts are candidates.  The anchor
+        concept itself is excluded, as comparing a concept to itself
+        carries no ranking information.
+        """
+        if subtree_root_concept_name is None:
+            candidates = self.tree.all_concepts()
+        else:
+            root = QualifiedConcept(subtree_ontology_name or "",
+                                    subtree_root_concept_name)
+            candidates = self.tree.subtree_concepts(root)
+        return [candidate for candidate in candidates
+                if candidate != exclude]
+
+    def get_most_similar_concepts(self, concept_name: str,
+                                  concept_ontology_name: str,
+                                  subtree_root_concept_name: str | None = None,
+                                  subtree_ontology_name: str | None = None,
+                                  k: int = 10,
+                                  measure: int | str | Measure =
+                                  Measure.SHORTEST_PATH,
+                                  ) -> list[ConceptAndSimilarity]:
+        """The ``k`` most similar concepts for the given one (signature S2).
+
+        The candidate set is the named ontology taxonomy (sub)tree, or
+        all loaded concepts when no subtree is named.  Results come
+        sorted best-first; ties break alphabetically for determinism.
+        """
+        anchor = QualifiedConcept(concept_ontology_name, concept_name)
+        candidates = self._candidates(subtree_root_concept_name,
+                                      subtree_ontology_name, anchor)
+        runner = self.runner(measure)
+        scored = [ConceptAndSimilarity(candidate.concept_name,
+                                       candidate.ontology_name,
+                                       runner.run(anchor, candidate))
+                  for candidate in candidates]
+        scored.sort(key=lambda entry: (-entry.similarity,
+                                       entry.ontology_name,
+                                       entry.concept_name))
+        return scored[:k]
+
+    def get_most_dissimilar_concepts(self, concept_name: str,
+                                     concept_ontology_name: str,
+                                     subtree_root_concept_name: str | None
+                                     = None,
+                                     subtree_ontology_name: str | None = None,
+                                     k: int = 10,
+                                     measure: int | str | Measure =
+                                     Measure.SHORTEST_PATH,
+                                     ) -> list[ConceptAndSimilarity]:
+        """The ``k`` most dissimilar concepts for the given one."""
+        anchor = QualifiedConcept(concept_ontology_name, concept_name)
+        candidates = self._candidates(subtree_root_concept_name,
+                                      subtree_ontology_name, anchor)
+        runner = self.runner(measure)
+        scored = [ConceptAndSimilarity(candidate.concept_name,
+                                       candidate.ontology_name,
+                                       runner.run(anchor, candidate))
+                  for candidate in candidates]
+        scored.sort(key=lambda entry: (entry.similarity,
+                                       entry.ontology_name,
+                                       entry.concept_name))
+        return scored[:k]
+
+    def get_similarity_matrix(self, concepts: Sequence[ConceptRef],
+                              measure: int | str | Measure,
+                              symmetric: bool = True,
+                              ) -> list[list[float]]:
+        """The full pairwise similarity matrix of a concept list.
+
+        All bundled measures are symmetric, so by default only the upper
+        triangle is computed and mirrored; pass ``symmetric=False`` for
+        a custom asymmetric runner.
+        """
+        qualified = [_qualify(concept) for concept in concepts]
+        runner = self.runner(measure)
+        size = len(qualified)
+        matrix = [[0.0] * size for _ in range(size)]
+        for row in range(size):
+            for column in range(row if symmetric else 0, size):
+                value = runner.run(qualified[row], qualified[column])
+                matrix[row][column] = value
+                if symmetric and column != row:
+                    matrix[column][row] = value
+        return matrix
+
+    # -- visualization services (signature S3) --------------------------------------------------
+
+    def get_similarity_plot(self, first_concept_name: str,
+                            first_ontology_name: str,
+                            second_concept_name: str,
+                            second_ontology_name: str,
+                            measures: Iterable[int | str | Measure] | None
+                            = None) -> BarChart:
+        """Chart of one concept pair's similarity under several measures.
+
+        Unnormalized measures (raw Resnik) are charted in their
+        normalized variant so all bars share the [0, 1] scale.
+        """
+        if measures is None:
+            measures = TABLE1_MEASURES
+        labels: list[str] = []
+        values: list[float] = []
+        for measure in measures:
+            runner = self.runner(measure)
+            if not runner.is_normalized():
+                runner = self.runner(Measure.RESNIK_NORMALIZED)
+            labels.append(runner.name)
+            values.append(self.get_similarity(
+                first_concept_name, first_ontology_name,
+                second_concept_name, second_ontology_name,
+                self.registry.resolve(runner.name)))
+        first = QualifiedConcept(first_ontology_name, first_concept_name)
+        second = QualifiedConcept(second_ontology_name, second_concept_name)
+        return BarChart(title=f"Similarity of {first} and {second}",
+                        labels=labels, values=values)
+
+    def get_most_similar_plot(self, concept_name: str,
+                              concept_ontology_name: str,
+                              k: int = 10,
+                              measure: int | str | Measure =
+                              Measure.SHORTEST_PATH,
+                              subtree_root_concept_name: str | None = None,
+                              subtree_ontology_name: str | None = None,
+                              ) -> BarChart:
+        """Bar chart of the k most similar concepts (paper Fig. 5)."""
+        entries = self.get_most_similar_concepts(
+            concept_name, concept_ontology_name,
+            subtree_root_concept_name=subtree_root_concept_name,
+            subtree_ontology_name=subtree_ontology_name,
+            k=k, measure=measure)
+        anchor = QualifiedConcept(concept_ontology_name, concept_name)
+        runner = self.runner(measure)
+        return BarChart(
+            title=(f"{len(entries)} most similar concepts for {anchor} "
+                   f"({runner.name})"),
+            labels=[str(entry.qualified) for entry in entries],
+            values=[entry.similarity for entry in entries])
+
+    def get_matrix_plot(self, concepts: Sequence[ConceptRef],
+                        measure: int | str | Measure) -> HeatmapChart:
+        """Heatmap of the pairwise similarity matrix of a concept list.
+
+        One of the "more advanced result visualizations" announced as
+        future work (paper section 6).
+        """
+        qualified = [_qualify(concept) for concept in concepts]
+        runner = self.runner(measure)
+        if not runner.is_normalized():
+            runner = self.runner(Measure.RESNIK_NORMALIZED)
+        matrix = self.get_similarity_matrix(
+            concepts, self.registry.resolve(runner.name))
+        return HeatmapChart(
+            title=f"Similarity matrix ({runner.name})",
+            labels=[str(concept) for concept in qualified],
+            matrix=matrix)
+
+    def get_comparison_plot(self, pairs: Sequence[tuple[ConceptRef,
+                                                        ConceptRef]],
+                            measures: Iterable[int | str | Measure] | None
+                            = None) -> GroupedBarChart:
+        """Grouped chart: one group per concept pair, one series per
+        measure (all series normalized)."""
+        if measures is None:
+            measures = TABLE1_MEASURES
+        group_labels = []
+        qualified_pairs = []
+        for first, second in pairs:
+            first_q, second_q = _qualify(first), _qualify(second)
+            qualified_pairs.append((first_q, second_q))
+            group_labels.append(f"{first_q} vs {second_q}")
+        chart = GroupedBarChart(title="Measure comparison",
+                                group_labels=group_labels)
+        for measure in measures:
+            runner = self.runner(measure)
+            if not runner.is_normalized():
+                runner = self.runner(Measure.RESNIK_NORMALIZED)
+            chart.series[runner.name] = [
+                runner.run(first_q, second_q)
+                for first_q, second_q in qualified_pairs]
+        return chart

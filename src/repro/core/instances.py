@@ -1,0 +1,198 @@
+"""Instance-level similarity services.
+
+The paper's formal framework covers both resource kinds: "Resources may
+be concepts (classes in OWL) of some type or individuals (instances) of
+these concepts" (section 2.2).  This module applies the SimPack measure
+families to instances:
+
+* **feature view** (mapping M1): an instance's features are its
+  attribute names, relationship names, relationship targets, and its
+  concept — compared with the vector measures.
+* **text view**: the instance's name, attribute values and
+  documentation form a document — compared with TFIDF over the instance
+  corpus.
+* **concept view**: two instances are as similar as the concepts they
+  instantiate, under any registered concept measure — lifting the whole
+  measure library to instances.
+
+:class:`InstanceSimilarityService` wraps an SST facade and mirrors its
+service shapes (pairwise similarity, k most similar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.errors import SSTCoreError, UnknownConceptError
+from repro.simpack.base import feature_sets_to_vectors
+from repro.simpack.text.index import InvertedIndex
+from repro.simpack.text.tfidf import TfidfVectorSpace
+from repro.simpack.vector import extended_jaccard_similarity
+from repro.soqa.metamodel import Instance
+
+__all__ = ["InstanceSimilarityService", "QualifiedInstance"]
+
+
+@dataclass(frozen=True, order=True)
+class QualifiedInstance:
+    """An instance qualified by its ontology name."""
+
+    ontology_name: str
+    instance_name: str
+
+    def __str__(self) -> str:
+        return f"{self.ontology_name}::{self.instance_name}"
+
+
+@dataclass(frozen=True)
+class InstanceAndSimilarity:
+    """One entry of a k-most-similar-instances result."""
+
+    instance_name: str
+    ontology_name: str
+    concept_name: str
+    similarity: float
+
+    def __str__(self) -> str:
+        return (f"{self.ontology_name}::{self.instance_name} "
+                f"({self.concept_name}) = {self.similarity:.4f}")
+
+
+class InstanceSimilarityService:
+    """Similarity between individuals, in all three resource views."""
+
+    #: The instance-measure names this service accepts.
+    MEASURES = ("features", "text", "concepts")
+
+    def __init__(self, sst: SOQASimPackToolkit,
+                 concept_measure: int | str | Measure =
+                 Measure.CONCEPTUAL_SIMILARITY):
+        self.sst = sst
+        self.concept_measure = concept_measure
+        self._instances: dict[QualifiedInstance, Instance] | None = None
+        self._vector_space: TfidfVectorSpace | None = None
+
+    # -- instance registry ------------------------------------------------------
+
+    def _registry(self) -> dict[QualifiedInstance, Instance]:
+        if self._instances is None:
+            self._instances = {}
+            for ontology in self.sst.soqa.ontologies():
+                for instance in ontology.all_instances():
+                    key = QualifiedInstance(ontology.name, instance.name)
+                    self._instances[key] = instance
+        return self._instances
+
+    def all_instances(self) -> list[QualifiedInstance]:
+        """Every loaded instance, qualified by ontology."""
+        return list(self._registry())
+
+    def instance(self, instance_name: str,
+                 ontology_name: str) -> Instance:
+        """The named instance; raises if unknown."""
+        key = QualifiedInstance(ontology_name, instance_name)
+        found = self._registry().get(key)
+        if found is None:
+            raise UnknownConceptError(instance_name, ontology_name)
+        return found
+
+    def refresh(self) -> None:
+        """Drop caches after the ontology set changed."""
+        self._instances = None
+        self._vector_space = None
+
+    # -- the three resource views --------------------------------------------------
+
+    def feature_set(self, instance_name: str,
+                    ontology_name: str) -> frozenset[str]:
+        """Mapping M1 for individuals."""
+        instance = self.instance(instance_name, ontology_name)
+        features: set[str] = set(instance.attribute_values)
+        features.add(instance.concept_name)
+        for relation, targets in instance.relationship_targets.items():
+            features.add(relation)
+            features.update(targets)
+        return frozenset(features)
+
+    def document_text(self, instance_name: str,
+                      ontology_name: str) -> str:
+        """The instance's textual representation for the TFIDF view."""
+        instance = self.instance(instance_name, ontology_name)
+        parts = [instance.name, instance.concept_name,
+                 instance.documentation]
+        for attribute, value in instance.attribute_values.items():
+            parts.extend([attribute, value])
+        for relation, targets in instance.relationship_targets.items():
+            parts.append(relation)
+            parts.extend(targets)
+        return " ".join(part for part in parts if part)
+
+    def vector_space(self) -> TfidfVectorSpace:
+        """A TFIDF vector space over all instances' documents."""
+        if self._vector_space is None:
+            index = InvertedIndex()
+            for key in self._registry():
+                index.add_document(
+                    str(key),
+                    self.document_text(key.instance_name,
+                                       key.ontology_name))
+            self._vector_space = TfidfVectorSpace(index)
+        return self._vector_space
+
+    # -- services ----------------------------------------------------------------------
+
+    def get_similarity(self, first_instance: str, first_ontology: str,
+                       second_instance: str, second_ontology: str,
+                       measure: str = "features") -> float:
+        """Similarity of two individuals under an instance measure."""
+        if measure == "features":
+            first_vector, second_vector = feature_sets_to_vectors(
+                self.feature_set(first_instance, first_ontology),
+                self.feature_set(second_instance, second_ontology))
+            if (first_instance, first_ontology) == (second_instance,
+                                                    second_ontology):
+                return 1.0
+            return extended_jaccard_similarity(first_vector, second_vector)
+        if measure == "text":
+            space = self.vector_space()
+            first_key = QualifiedInstance(first_ontology, first_instance)
+            second_key = QualifiedInstance(second_ontology,
+                                           second_instance)
+            self.instance(first_instance, first_ontology)
+            self.instance(second_instance, second_ontology)
+            return space.similarity(str(first_key), str(second_key))
+        if measure == "concepts":
+            first = self.instance(first_instance, first_ontology)
+            second = self.instance(second_instance, second_ontology)
+            return self.sst.get_similarity(
+                first.concept_name, first_ontology,
+                second.concept_name, second_ontology,
+                self.concept_measure)
+        raise SSTCoreError(
+            f"unknown instance measure {measure!r}; expected one of "
+            f"{', '.join(self.MEASURES)}")
+
+    def get_most_similar_instances(self, instance_name: str,
+                                   ontology_name: str, k: int = 10,
+                                   measure: str = "features",
+                                   ) -> list[InstanceAndSimilarity]:
+        """The k most similar individuals across all ontologies."""
+        anchor = QualifiedInstance(ontology_name, instance_name)
+        self.instance(instance_name, ontology_name)
+        scored = []
+        for key, instance in self._registry().items():
+            if key == anchor:
+                continue
+            scored.append(InstanceAndSimilarity(
+                instance_name=key.instance_name,
+                ontology_name=key.ontology_name,
+                concept_name=instance.concept_name,
+                similarity=self.get_similarity(
+                    instance_name, ontology_name,
+                    key.instance_name, key.ontology_name, measure)))
+        scored.sort(key=lambda entry: (-entry.similarity,
+                                       entry.ontology_name,
+                                       entry.instance_name))
+        return scored[:k]

@@ -1,0 +1,141 @@
+"""Measure identifiers and the runner registry.
+
+The paper's facade identifies measures by integer constants (e.g.
+``SOQASimPackToolkitFacade.LIN_MEASURE``); :class:`Measure` keeps these
+as an :class:`~enum.IntEnum`, so both the paper-style integers and
+readable names work everywhere a ``measure`` parameter is accepted.
+SST services also accept plain strings (case-insensitive measure names).
+
+The :class:`RunnerRegistry` maps measure ids to
+:class:`~repro.core.runners.MeasureRunner` factories; registering an
+additional runner is how SST is extended with supplementary measures
+(paper sections 3 and 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import UnknownMeasureError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.runners import MeasureRunner
+    from repro.core.wrapper import SOQAWrapperForSimPack
+
+__all__ = ["Measure", "RunnerRegistry"]
+
+
+class Measure(enum.IntEnum):
+    """All similarity measures bundled with the toolkit.
+
+    The first six are the Table-1 measures, in the table's column order.
+    """
+
+    # -- Table 1 columns -------------------------------------------------
+    CONCEPTUAL_SIMILARITY = 1   # Wu & Palmer (Eq. 6)
+    LEVENSHTEIN = 2             # sequence Levenshtein over mapping M2 (Eq. 4)
+    LIN = 3                     # Lin (Eq. 8)
+    RESNIK = 4                  # Resnik (Eq. 7), raw IC value
+    SHORTEST_PATH = 5           # inverse path length 1 / (1 + len)
+    TFIDF = 6                   # full-text TFIDF cosine
+    # -- further SimPack measures -------------------------------------------
+    EDGE = 7                    # normalized edge counting (Eq. 5)
+    LEACOCK_CHODOROW = 8
+    JIANG_CONRATH = 9
+    RESNIK_NORMALIZED = 10      # Resnik scaled into [0, 1]
+    COSINE = 11                 # vector measures over feature sets (Eq. 1-3)
+    EXTENDED_JACCARD = 12
+    OVERLAP = 13
+    DICE = 14
+    # -- string measures (SecondString / SimMetrics extension set) ----------
+    NAME_LEVENSHTEIN = 15       # character Levenshtein over concept names
+    JARO_WINKLER = 16
+    QGRAM = 17
+    MONGE_ELKAN = 18
+    # -- tree measure (future-work extension) --------------------------------
+    TREE_EDIT = 19
+    # -- further string measures (SecondString / SimMetrics set) -------------
+    JARO = 20
+    LCS = 21
+    SOUNDEX = 22
+    NEEDLEMAN_WUNSCH = 23
+    SMITH_WATERMAN = 24
+    # -- extensional measure (Lin's descendant-overlap intuition) ------------
+    EXTENSIONAL = 25
+    # -- second full-text weighting scheme ------------------------------------
+    BM25 = 26
+
+
+#: The measures Table 1 of the paper reports, in column order.
+TABLE1_MEASURES = (
+    Measure.CONCEPTUAL_SIMILARITY,
+    Measure.LEVENSHTEIN,
+    Measure.LIN,
+    Measure.RESNIK,
+    Measure.SHORTEST_PATH,
+    Measure.TFIDF,
+)
+
+
+class RunnerRegistry:
+    """Maps measure ids to runner factories; supports user extensions."""
+
+    def __init__(self):
+        self._factories: dict[int, Callable[["SOQAWrapperForSimPack"],
+                                            "MeasureRunner"]] = {}
+        self._names: dict[str, int] = {}
+        self._next_custom_id = 1000
+
+    def register(self, measure_id: int, name: str,
+                 factory: Callable[["SOQAWrapperForSimPack"],
+                                   "MeasureRunner"]) -> int:
+        """Register a runner factory under an id and name."""
+        self._factories[int(measure_id)] = factory
+        self._names[name.lower()] = int(measure_id)
+        return int(measure_id)
+
+    def register_custom(self, name: str,
+                        factory: Callable[["SOQAWrapperForSimPack"],
+                                          "MeasureRunner"]) -> int:
+        """Register a user-supplied runner; returns its allotted id."""
+        measure_id = self._next_custom_id
+        self._next_custom_id += 1
+        return self.register(measure_id, name, factory)
+
+    def resolve(self, measure: "int | str | Measure") -> int:
+        """Normalize a measure given as id, enum member, or name."""
+        if isinstance(measure, str):
+            measure_id = self._names.get(measure.lower())
+            if measure_id is None:
+                raise UnknownMeasureError(measure)
+            return measure_id
+        measure_id = int(measure)
+        if measure_id not in self._factories:
+            raise UnknownMeasureError(measure)
+        return measure_id
+
+    def create(self, measure: "int | str | Measure",
+               wrapper: "SOQAWrapperForSimPack") -> "MeasureRunner":
+        """Instantiate the runner for ``measure`` over ``wrapper``."""
+        return self._factories[self.resolve(measure)](wrapper)
+
+    def measure_ids(self) -> list[int]:
+        """All registered measure ids, ascending."""
+        return sorted(self._factories)
+
+    def name_of(self, measure_id: int) -> str:
+        """The registered name of a measure id."""
+        for name, registered_id in self._names.items():
+            if registered_id == measure_id:
+                return name
+        raise UnknownMeasureError(measure_id)
+
+    @staticmethod
+    def with_builtin_runners() -> "RunnerRegistry":
+        """A registry pre-populated with every bundled runner."""
+        from repro.core.runners import register_builtin_runners
+
+        registry = RunnerRegistry()
+        register_builtin_runners(registry)
+        return registry

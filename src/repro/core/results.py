@@ -1,0 +1,45 @@
+"""Result types of the SST facade services."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConceptAndSimilarity", "QualifiedConcept"]
+
+
+@dataclass(frozen=True, order=True)
+class QualifiedConcept:
+    """A concept qualified by its ontology name.
+
+    Concept names are generally not unique once several ontologies are
+    incorporated into one tree (paper section 3), so every SST service
+    identifies concepts this way.  The display form is the paper's
+    ``ontology:Concept`` prefix notation.
+    """
+
+    ontology_name: str
+    concept_name: str
+
+    def __str__(self) -> str:
+        return f"{self.ontology_name}:{self.concept_name}"
+
+
+@dataclass(frozen=True)
+class ConceptAndSimilarity:
+    """One entry of a k-most-similar/-dissimilar result set.
+
+    Mirrors the paper's ``ConceptAndSimilarity`` instances: the concept
+    name, the name of its ontology, and the similarity value.
+    """
+
+    concept_name: str
+    ontology_name: str
+    similarity: float
+
+    @property
+    def qualified(self) -> QualifiedConcept:
+        """The entry's concept as a :class:`QualifiedConcept`."""
+        return QualifiedConcept(self.ontology_name, self.concept_name)
+
+    def __str__(self) -> str:
+        return f"{self.qualified} = {self.similarity:.4f}"

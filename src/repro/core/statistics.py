@@ -1,0 +1,89 @@
+"""Descriptive statistics over loaded ontologies.
+
+Supports the browser's overview use case ("quickly survey concepts and
+their attributes, methods, relationships, and instances ... as well as
+metadata", paper section 4) with per-ontology structural summaries:
+concept/element counts, taxonomy depth, branching, and root/leaf
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import Ontology
+
+__all__ = ["OntologyStatistics", "corpus_statistics", "ontology_statistics"]
+
+
+@dataclass(frozen=True)
+class OntologyStatistics:
+    """A structural summary of one ontology."""
+
+    name: str
+    language: str
+    concept_count: int
+    attribute_count: int
+    method_count: int
+    relationship_count: int
+    instance_count: int
+    root_count: int
+    leaf_count: int
+    max_depth: int
+    average_depth: float
+    average_branching: float
+    multiple_inheritance_count: int
+
+    def as_row(self) -> list[str]:
+        """The summary as table cells, for browser/CLI rendering."""
+        return [self.name, self.language, str(self.concept_count),
+                str(self.attribute_count), str(self.method_count),
+                str(self.relationship_count), str(self.instance_count),
+                str(self.root_count), str(self.leaf_count),
+                str(self.max_depth), f"{self.average_depth:.2f}",
+                f"{self.average_branching:.2f}",
+                str(self.multiple_inheritance_count)]
+
+    @staticmethod
+    def header() -> list[str]:
+        """Column names matching :meth:`as_row`."""
+        return ["ontology", "language", "concepts", "attributes",
+                "methods", "relationships", "instances", "roots",
+                "leaves", "depth", "avg depth", "avg branch",
+                "multi-inherit"]
+
+
+def ontology_statistics(ontology: Ontology) -> OntologyStatistics:
+    """Compute the structural summary of ``ontology``."""
+    from repro.soqa.graph import Taxonomy
+
+    taxonomy = Taxonomy({concept.name: concept.superconcept_names
+                         for concept in ontology})
+    nodes = taxonomy.nodes()
+    depths = [taxonomy.depth(node) for node in nodes]
+    inner_nodes = [node for node in nodes if taxonomy.children(node)]
+    branching = (sum(len(taxonomy.children(node)) for node in inner_nodes)
+                 / len(inner_nodes)) if inner_nodes else 0.0
+    return OntologyStatistics(
+        name=ontology.name,
+        language=ontology.language,
+        concept_count=len(ontology),
+        attribute_count=len(ontology.all_attributes()),
+        method_count=len(ontology.all_methods()),
+        relationship_count=len(ontology.all_relationships()),
+        instance_count=len(ontology.all_instances()),
+        root_count=len(taxonomy.roots()),
+        leaf_count=len(taxonomy.leaves()),
+        max_depth=taxonomy.max_depth(),
+        average_depth=sum(depths) / len(depths) if depths else 0.0,
+        average_branching=branching,
+        multiple_inheritance_count=sum(
+            1 for node in nodes if len(taxonomy.parents(node)) > 1),
+    )
+
+
+def corpus_statistics(soqa: SOQA) -> list[OntologyStatistics]:
+    """Summaries for every loaded ontology, in load order."""
+    return [ontology_statistics(soqa.ontology(name))
+            for name in soqa.ontology_names()]

@@ -1,0 +1,123 @@
+"""Exception hierarchy for the SOQA-SimPack Toolkit reproduction.
+
+Every error raised by this package derives from :class:`SSTError`, so
+callers can catch one base class.  The sub-hierarchy mirrors the layering
+of the system: SOQA (ontology access), SimPack (similarity measures), and
+the SST core on top of both.
+"""
+
+from __future__ import annotations
+
+
+class SSTError(Exception):
+    """Base class for all errors raised by the toolkit."""
+
+
+# ---------------------------------------------------------------------------
+# SOQA layer
+# ---------------------------------------------------------------------------
+
+
+class SOQAError(SSTError):
+    """Base class for errors in the SOQA ontology-access layer."""
+
+
+class OntologyParseError(SOQAError):
+    """An ontology source file could not be parsed.
+
+    Carries the source name and, when available, the line number at which
+    parsing failed.
+    """
+
+    def __init__(self, message: str, source: str | None = None,
+                 line: int | None = None):
+        location = ""
+        if source is not None:
+            location = f" in {source}"
+        if line is not None:
+            location += f" (line {line})"
+        super().__init__(f"{message}{location}")
+        self.source = source
+        self.line = line
+
+
+class UnknownOntologyError(SOQAError):
+    """A request referenced an ontology name not registered with SOQA."""
+
+    def __init__(self, ontology_name: str):
+        super().__init__(f"unknown ontology: {ontology_name!r}")
+        self.ontology_name = ontology_name
+
+
+class UnknownConceptError(SOQAError):
+    """A request referenced a concept that its ontology does not define."""
+
+    def __init__(self, concept_name: str, ontology_name: str | None = None):
+        where = f" in ontology {ontology_name!r}" if ontology_name else ""
+        super().__init__(f"unknown concept: {concept_name!r}{where}")
+        self.concept_name = concept_name
+        self.ontology_name = ontology_name
+
+
+class UnsupportedLanguageError(SOQAError):
+    """No SOQA wrapper is registered for the requested ontology language."""
+
+    def __init__(self, language: str):
+        super().__init__(f"no SOQA wrapper registered for language {language!r}")
+        self.language = language
+
+
+class SOQAQLError(SOQAError):
+    """Base class for SOQA-QL query language errors."""
+
+
+class SOQAQLSyntaxError(SOQAQLError):
+    """A SOQA-QL query could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SOQAQLEvaluationError(SOQAQLError):
+    """A syntactically valid SOQA-QL query failed during evaluation."""
+
+
+# ---------------------------------------------------------------------------
+# SimPack layer
+# ---------------------------------------------------------------------------
+
+
+class SimPackError(SSTError):
+    """Base class for errors in the SimPack similarity-measure library."""
+
+
+class MeasureInputError(SimPackError):
+    """A similarity measure received inputs it cannot operate on."""
+
+
+class EmptyCorpusError(SimPackError):
+    """A text index operation was attempted on an empty corpus."""
+
+
+# ---------------------------------------------------------------------------
+# SST core layer
+# ---------------------------------------------------------------------------
+
+
+class SSTCoreError(SSTError):
+    """Base class for errors in the SST facade and runner layer."""
+
+
+class UnknownMeasureError(SSTCoreError):
+    """A similarity request referenced an unregistered measure id."""
+
+    def __init__(self, measure: object):
+        super().__init__(f"unknown similarity measure: {measure!r}")
+        self.measure = measure
+
+
+class VisualizationError(SSTError):
+    """A chart could not be generated."""

@@ -1,0 +1,36 @@
+"""Bundled ontologies: the paper's five-ontology scenario plus generators.
+
+See :mod:`repro.ontologies.library` for the loaders and
+:mod:`repro.ontologies.generator` for the deterministic SUMO-like and
+synthetic taxonomy generators.
+"""
+
+from repro.ontologies.generator import (
+    generate_sumo_owl,
+    generate_synthetic_taxonomy,
+)
+from repro.ontologies.library import (
+    CORPUS_NAMES,
+    PAPER_CONCEPT_COUNT,
+    load_corpus,
+    load_course_ontology,
+    load_daml_university,
+    load_sumo,
+    load_swrc,
+    load_univ_bench,
+    load_wordnet,
+)
+
+__all__ = [
+    "CORPUS_NAMES",
+    "PAPER_CONCEPT_COUNT",
+    "generate_sumo_owl",
+    "generate_synthetic_taxonomy",
+    "load_corpus",
+    "load_course_ontology",
+    "load_daml_university",
+    "load_sumo",
+    "load_swrc",
+    "load_univ_bench",
+    "load_wordnet",
+]

@@ -1,0 +1,631 @@
+"""Deterministic generator for a SUMO-like upper ontology in OWL.
+
+The paper's fifth ontology is the Suggested Upper Merged Ontology (SUMO)
+in its OWL rendering — by far the largest of the five, supplying the
+long tail that brings the corpus to 943 concepts.  The original file is
+not redistributable here, so this module synthesizes a faithful stand-in
+(see DESIGN.md section 3):
+
+* the upper structure (``Entity`` → ``Physical``/``Abstract``, the
+  ``Object``/``Process`` split, the organism chain down to ``Human`` and
+  ``Mammal`` that Table 1 references) is hand-authored with real SUMO
+  class names and subsumptions;
+* domain tails (animals, plants, artifacts, processes, attributes,
+  units, regions, ...) are expanded from curated name lists in a fixed
+  order until exactly the requested concept count is reached.
+
+Generation is fully deterministic: the same ``concept_count`` always
+yields byte-identical OWL text, so benches and tests are reproducible.
+Also usable standalone to build synthetic taxonomies of arbitrary size
+for the scaling benches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SSTError
+
+__all__ = ["generate_sumo_owl", "generate_synthetic_taxonomy",
+           "sumo_class_list"]
+
+# ---------------------------------------------------------------------------
+# Hand-authored upper structure: (class, parent, gloss).
+# Names and subsumptions follow SUMO; glosses are abridged.
+# ---------------------------------------------------------------------------
+
+_UPPER: list[tuple[str, str | None, str]] = [
+    ("Entity", None, "The universal class of individuals; the root node"),
+    ("Physical", "Entity", "An entity that has a location in space-time"),
+    ("Abstract", "Entity",
+     "Properties or qualities as distinguished from any particular "
+     "embodiment in a physical medium"),
+    # -- Physical -----------------------------------------------------------
+    ("Object", "Physical",
+     "An entity that is physically located in space-time"),
+    ("Process", "Physical",
+     "Intuitively, the class of things that happen and have temporal parts"),
+    ("SelfConnectedObject", "Object",
+     "An object that does not consist of two or more disconnected parts"),
+    ("Collection", "Object",
+     "Collections have members like classes, but unlike classes they have "
+     "a position in space-time"),
+    ("Agent", "Object",
+     "Something or someone that can act on its own and produce changes"),
+    ("Region", "Object",
+     "A topographic location; regions encompass surfaces and spaces"),
+    ("Substance", "SelfConnectedObject",
+     "An object in which every part is similar to every other in every "
+     "relevant respect"),
+    ("CorpuscularObject", "SelfConnectedObject",
+     "A self-connected object whose parts have properties not shared by "
+     "the whole"),
+    ("Food", "SelfConnectedObject",
+     "Any substance that can be ingested by an animal for nutrition"),
+    ("PureSubstance", "Substance",
+     "A substance with constant composition, an element or a compound"),
+    ("Mixture", "Substance", "Two or more substances combined"),
+    ("ElementalSubstance", "PureSubstance",
+     "A substance that cannot be separated chemically into other "
+     "substances"),
+    ("CompoundSubstance", "PureSubstance",
+     "A substance of two or more elements chemically combined"),
+    ("OrganicObject", "CorpuscularObject",
+     "An object containing or produced by a living organism"),
+    ("Artifact", "CorpuscularObject",
+     "A corpuscular object that is the product of a making"),
+    ("AnatomicalStructure", "OrganicObject",
+     "A normal or pathological part of the anatomy of an organism"),
+    ("Organism", "OrganicObject",
+     "A living individual, including all plants and animals"),
+    ("BodyPart", "AnatomicalStructure",
+     "A collection of cells and tissues which are localized to a specific "
+     "area of an organism"),
+    ("Animal", "Organism",
+     "An organism with the capacity for spontaneous movement"),
+    ("Plant", "Organism",
+     "An organism having cellulose cell walls, growing by synthesis of "
+     "substances"),
+    ("Microorganism", "Organism",
+     "An organism that can be seen only with the aid of a microscope"),
+    ("Vertebrate", "Animal", "An animal which has a spinal column"),
+    ("Invertebrate", "Animal", "An animal which has no spinal column"),
+    ("ColdBloodedVertebrate", "Vertebrate",
+     "A vertebrate whose body temperature is not internally regulated"),
+    ("WarmBloodedVertebrate", "Vertebrate",
+     "A vertebrate whose body temperature is internally regulated"),
+    ("Bird", "WarmBloodedVertebrate",
+     "A warm-blooded egg-laying vertebrate having feathers and forelimbs "
+     "modified as wings"),
+    ("Mammal", "WarmBloodedVertebrate",
+     "A warm-blooded vertebrate having the skin more or less covered with "
+     "hair"),
+    ("AquaticMammal", "Mammal", "A mammal that dwells in the water"),
+    ("HoofedMammal", "Mammal", "A mammal with hooves"),
+    ("Marsupial", "Mammal",
+     "A mammal whose young are carried in a pouch"),
+    ("Rodent", "Mammal",
+     "A relatively small gnawing mammal with continuously growing "
+     "incisors"),
+    ("Carnivore", "Mammal",
+     "A terrestrial or aquatic flesh-eating mammal"),
+    ("Primate", "Mammal",
+     "A mammal of the order that includes monkeys, apes and hominids"),
+    ("Canine", "Carnivore",
+     "A carnivore of the family that includes dogs and wolves"),
+    ("Feline", "Carnivore",
+     "A carnivore of the family that includes cats and lions"),
+    ("Ape", "Primate", "A primate without a tail"),
+    ("Monkey", "Primate", "A primate usually having a long tail"),
+    ("Hominid", "Primate", "A primate of the family of great apes and man"),
+    # Real SUMO: Human is subsumed by both Hominid and CognitiveAgent —
+    # the CognitiveAgent path is the shallower one, which is why the
+    # paper's Table 1 ranks SUMO:Human above SUMO:Mammal.
+    ("Human", ("Hominid", "CognitiveAgent"),
+     "Modern man, the only remaining species of the Homo genus"),
+    ("Man", "Human", "The class of male humans"),
+    ("Woman", "Human", "The class of female humans"),
+    ("CognitiveAgent", "Agent",
+     "An agent with responsibilities and the ability to reason, deliberate "
+     "and make plans"),
+    ("SentientAgent", "Agent",
+     "An agent that has rights but may or may not have responsibilities"),
+    ("Group", "Collection",
+     "A collection of agents, e.g. a flock of sheep or a labor union"),
+    ("Organization", "Group",
+     "A corporate or similar institution recognized as a single agent"),
+    ("GeographicArea", "Region",
+     "A geographic location of fairly large size"),
+    ("WaterArea", "Region", "A body of water"),
+    ("LandArea", "GeographicArea",
+     "An area which is predominantly solid ground"),
+    ("StationaryArtifact", "Artifact",
+     "An artifact with a fixed spatial location, e.g. buildings"),
+    ("Device", "Artifact",
+     "An artifact whose purpose is to serve as an instrument in a "
+     "specific type of process"),
+    ("Building", "StationaryArtifact",
+     "A structure with walls and a roof made by agents"),
+    ("Clothing", "Artifact",
+     "An artifact worn on the body of an animal"),
+    ("TransportationDevice", "Device",
+     "A device whose purpose is to transport people or objects"),
+    ("MeasuringDevice", "Device",
+     "A device whose purpose is to measure a physical quantity"),
+    ("Machine", "Device",
+     "A device with moving parts performing work autonomously"),
+    ("ElectricDevice", "Device",
+     "A device that uses electricity as its power source"),
+    ("MusicalInstrument", "Device",
+     "A device whose purpose is to produce music"),
+    ("Weapon", "Device",
+     "A device whose purpose is to damage or destroy"),
+    # -- Process ------------------------------------------------------------
+    ("DualObjectProcess", "Process",
+     "A process requiring two nonidentical patients"),
+    ("IntentionalProcess", "Process",
+     "A process that has a specific purpose for its agent"),
+    ("Motion", "Process", "Any process of movement"),
+    ("InternalChange", "Process",
+     "A process that changes properties internal to its patient"),
+    ("BiologicalProcess", "InternalChange",
+     "A process embodied in an organism"),
+    ("WeatherProcess", "InternalChange",
+     "A process taking place in the atmosphere"),
+    ("IntentionalPsychologicalProcess", "IntentionalProcess",
+     "An intentional process that can be realized entirely within the "
+     "mind of an agent"),
+    ("RecreationOrExercise", "IntentionalProcess",
+     "A process carried out for amusement or fitness"),
+    ("OrganizationalProcess", "IntentionalProcess",
+     "An intentional process that involves an organization"),
+    ("Making", "IntentionalProcess",
+     "The subclass of creation in which an artifact is produced"),
+    ("Searching", "IntentionalProcess",
+     "Any intentional process of looking for something"),
+    ("SocialInteraction", "IntentionalProcess",
+     "An intentional process involving more than one cognitive agent"),
+    ("Maintaining", "IntentionalProcess",
+     "A process that keeps an entity in good condition"),
+    ("Communication", "SocialInteraction",
+     "A social interaction that conveys information between agents"),
+    ("FinancialTransaction", "SocialInteraction",
+     "A transaction where an instrument of financial value is exchanged"),
+    ("BodyMotion", "Motion", "Any motion of an animal's body"),
+    ("Translocation", "Motion",
+     "Motion from one place to another"),
+    ("LiquidMotion", "Motion", "Any motion of a liquid"),
+    ("GasMotion", "Motion", "Any motion of a gas"),
+    # -- Abstract ------------------------------------------------------------
+    ("Quantity", "Abstract",
+     "Any specification of how many or how much of something there is"),
+    ("Attribute", "Abstract",
+     "Qualities which cannot or are chosen not to be reified into "
+     "subclasses"),
+    ("SetOrClass", "Abstract",
+     "The class of sets and classes, i.e. instances of Abstract with "
+     "elements or instances"),
+    ("Relation", "Abstract", "The class of relations"),
+    ("Proposition", "Abstract",
+     "Abstract entities that express complete thoughts"),
+    ("Number", "Quantity",
+     "A measure of how many things there are or how much there is of "
+     "some characteristic"),
+    ("PhysicalQuantity", "Quantity",
+     "A measure of some quantifiable aspect of the modeled world"),
+    ("RealNumber", "Number",
+     "Any number that can be expressed as a (possibly infinite) decimal"),
+    ("Integer", "RealNumber", "A whole number"),
+    ("RationalNumber", "RealNumber", "Any number expressible as a ratio"),
+    ("ConstantQuantity", "PhysicalQuantity",
+     "A physical quantity with a constant value, e.g. 3 meters"),
+    ("FunctionQuantity", "PhysicalQuantity",
+     "A physical quantity that is a function, e.g. the velocity of a "
+     "particle over time"),
+    ("UnitOfMeasure", "ConstantQuantity",
+     "A standard of measurement for some dimension"),
+    ("InternalAttribute", "Attribute",
+     "An attribute of an entity in and of itself"),
+    ("RelationalAttribute", "Attribute",
+     "An attribute an entity has by virtue of a relationship to "
+     "something else"),
+    ("PerceptualAttribute", "InternalAttribute",
+     "An attribute detectable by sense perception"),
+    ("ShapeAttribute", "InternalAttribute",
+     "An attribute characterizing the shape of an object"),
+    ("PhysicalState", "InternalAttribute",
+     "The state of matter of an object: solid, liquid or gas"),
+    ("EmotionalState", "InternalAttribute",
+     "The psychological attribute of the emotional disposition of an "
+     "agent"),
+    ("SocialRole", "RelationalAttribute",
+     "The attribute of a person by virtue of a social position"),
+    ("ColorAttribute", "PerceptualAttribute",
+     "The attribute of having a particular color"),
+    ("SoundAttribute", "PerceptualAttribute",
+     "The attribute of producing or having a particular sound"),
+    ("TimeMeasure", "PhysicalQuantity", "The class of temporal durations"),
+    ("TimeDuration", "TimeMeasure",
+     "Any measure of length of time, with or without a specific "
+     "starting point"),
+    ("TimePoint", "TimeMeasure", "An extensionless point in time"),
+]
+
+# ---------------------------------------------------------------------------
+# Domain tails: (parent class, gloss template, names).
+# Expanded round-robin, preserving list order, until the target is met.
+# ---------------------------------------------------------------------------
+
+_TAILS: list[tuple[str, str, list[str]]] = [
+    ("Bird", "A bird: {name}", [
+        "Eagle", "Hawk", "Owl", "Falcon", "Penguin", "Duck", "Goose",
+        "Swan", "Chicken", "Turkey", "Ostrich", "Parrot", "Pigeon", "Crow",
+        "Raven", "Woodpecker", "Hummingbird", "Flamingo", "Pelican",
+        "Stork", "Heron", "Gull", "Albatross", "Kingfisher", "Sparrow",
+        "Blackbird", "Thrush", "Finch", "Canary", "Swallow",
+    ]),
+    ("Invertebrate", "An invertebrate animal: {name}", [
+        "Insect", "Arachnid", "Crustacean", "Mollusk", "Worm", "Spider",
+        "Scorpion", "Ant", "Bee", "Wasp", "Beetle", "Butterfly", "Moth",
+        "Fly", "Mosquito", "Grasshopper", "Cricket", "Dragonfly", "Termite",
+        "Cockroach", "Snail", "Slug", "Octopus", "Squid", "Clam", "Oyster",
+        "Crab", "Lobster", "Shrimp", "Jellyfish", "Coral", "Starfish",
+    ]),
+    ("ColdBloodedVertebrate", "A cold-blooded vertebrate: {name}", [
+        "Fish", "Shark", "Salmon", "Trout", "Tuna", "Eel", "Carp",
+        "Goldfish", "Reptile", "Snake", "Lizard", "Turtle", "Tortoise",
+        "Crocodile", "Alligator", "Chameleon", "Gecko", "Iguana",
+        "Amphibian", "Frog", "Toad", "Salamander", "Newt",
+    ]),
+    ("Mammal", "A mammal: {name}", [
+        "Bat", "Hedgehog", "Shrew", "Armadillo", "Sloth", "Anteater",
+        "Pangolin", "Hyrax", "Aardvark",
+    ]),
+    ("AquaticMammal", "An aquatic mammal: {name}", [
+        "Whale", "Dolphin", "Porpoise", "Seal", "SeaLion", "Walrus",
+        "Manatee", "Otter",
+    ]),
+    ("HoofedMammal", "A hoofed mammal: {name}", [
+        "Horse", "Zebra", "Donkey", "Cow", "Ox", "Buffalo", "Bison",
+        "Sheep", "Goat", "Pig", "Deer", "Elk", "Moose", "Antelope",
+        "Gazelle", "Giraffe", "Camel", "Llama", "Alpaca", "Rhinoceros",
+        "Hippopotamus", "Tapir",
+    ]),
+    ("Rodent", "A rodent: {name}", [
+        "Mouse", "Rat", "Squirrel", "Chipmunk", "Beaver", "Porcupine",
+        "Hamster", "GuineaPig", "Gerbil", "Lemming", "Marmot", "Gopher",
+    ]),
+    ("Carnivore", "A carnivorous mammal: {name}", [
+        "Bear", "PolarBear", "Panda", "Raccoon", "Skunk", "Badger",
+        "Weasel", "Ferret", "Mongoose", "Hyena",
+    ]),
+    ("Canine", "A canine: {name}", [
+        "Dog", "Wolf", "Fox", "Coyote", "Jackal", "Dingo",
+    ]),
+    ("Feline", "A feline: {name}", [
+        "Cat", "Lion", "Tiger", "Leopard", "Jaguar", "Cheetah", "Cougar",
+        "Lynx", "Ocelot",
+    ]),
+    ("Primate", "A primate: {name}", [
+        "Lemur", "Tarsier", "Marmoset",
+    ]),
+    ("Ape", "An ape: {name}", [
+        "Gorilla", "Chimpanzee", "Orangutan", "Gibbon", "Bonobo",
+    ]),
+    ("Monkey", "A monkey: {name}", [
+        "Baboon", "Macaque", "Mandrill", "Capuchin", "HowlerMonkey",
+        "SpiderMonkey",
+    ]),
+    ("Marsupial", "A marsupial: {name}", [
+        "Kangaroo", "Wallaby", "Koala", "Opossum", "Wombat",
+        "TasmanianDevil",
+    ]),
+    ("Plant", "A plant: {name}", [
+        "FloweringPlant", "Tree", "Shrub", "Grass", "Herb", "Vine", "Fern",
+        "Moss", "Algae", "Cactus", "Bamboo", "Cereal", "Wheat", "Rice",
+        "Corn", "Barley", "Oat", "Rye", "OakTree", "PineTree", "PalmTree",
+        "MapleTree", "BirchTree", "WillowTree", "CedarTree", "FruitTree",
+        "AppleTree", "OrangeTree", "CherryTree", "OliveTree", "Flower",
+        "Rose", "Tulip", "Lily", "Orchid", "Daisy", "Sunflower", "Lavender",
+        "Clover", "Ivy", "Seaweed", "Mangrove",
+    ]),
+    ("Microorganism", "A microorganism: {name}", [
+        "Bacterium", "Virus", "Fungus", "Yeast", "Mold", "Amoeba",
+        "Protozoan", "Plankton", "Mushroom", "Lichen",
+    ]),
+    ("BodyPart", "A body part: {name}", [
+        "Head", "Face", "Eye", "Ear", "Nose", "Mouth", "Tooth", "Tongue",
+        "Neck", "Shoulder", "Arm", "Elbow", "Hand", "Finger", "Thumb",
+        "Chest", "Abdomen", "Back", "Leg", "Knee", "Foot", "Toe", "Skin",
+        "Hair", "Bone", "Skull", "Spine", "Rib", "Muscle", "Tendon",
+        "Heart", "Lung", "Liver", "Kidney", "Stomach", "Intestine",
+        "Brain", "Nerve", "Vein", "Artery", "Blood", "Cell", "Tissue",
+        "Gland", "Wing", "Tail", "Fin", "Feather", "Horn", "Claw",
+    ]),
+    ("Food", "A kind of food: {name}", [
+        "Meat", "Beef", "Pork", "Poultry", "Seafood", "Bread", "Cheese",
+        "Butter", "Milk", "Yogurt", "Egg", "Fruit", "Apple", "Orange",
+        "Banana", "Grape", "Berry", "Vegetable", "Potato", "Tomato",
+        "Carrot", "Onion", "Bean", "Nut", "Honey", "Sugar", "Salt",
+        "Spice", "Beverage", "Juice", "Tea", "Coffee", "Wine", "Beer",
+        "Soup", "Cake", "Chocolate", "Pasta", "Sauce",
+    ]),
+    ("ElementalSubstance", "A chemical element: {name}", [
+        "Hydrogen", "Helium", "Lithium", "Carbon", "Nitrogen", "Oxygen",
+        "Fluorine", "Neon", "Sodium", "Magnesium", "Aluminum", "Silicon",
+        "Phosphorus", "Sulfur", "Chlorine", "Potassium", "Calcium", "Iron",
+        "Nickel", "Copper", "Zinc", "Silver", "Tin", "Iodine", "Platinum",
+        "Gold", "Mercury", "Lead", "Uranium", "Titanium", "Chromium",
+        "Tungsten",
+    ]),
+    ("CompoundSubstance", "A chemical compound: {name}", [
+        "Water", "CarbonDioxide", "Methane", "Ammonia", "SulfuricAcid",
+        "SodiumChloride", "Glucose", "Ethanol", "Protein", "Lipid",
+        "Carbohydrate", "Cellulose", "Starch", "DNA", "RNA", "Enzyme",
+        "Hormone", "Vitamin", "Mineral", "Acid", "Base", "Oxide", "Salt2",
+    ]),
+    ("Mixture", "A mixture: {name}", [
+        "Air", "Soil", "Clay", "Sand", "Gravel", "Concrete", "Glass",
+        "Steel", "Bronze", "Brass", "Alloy", "Petroleum", "Gasoline",
+        "Ink", "Paint", "Smoke", "Fog", "Mud",
+    ]),
+    ("TransportationDevice", "A transportation device: {name}", [
+        "Vehicle", "Automobile", "Truck", "Bus", "Motorcycle", "Bicycle",
+        "Train", "Tram", "Subway", "Ship", "Boat", "Sailboat", "Ferry",
+        "Submarine", "Aircraft", "Airplane", "Helicopter", "Glider",
+        "Balloon", "Rocket", "Spacecraft", "Sled", "Cart", "Wagon",
+        "Ambulance", "Taxi",
+    ]),
+    ("MeasuringDevice", "A measuring device: {name}", [
+        "Clock", "Watch", "Thermometer", "Barometer", "Scale", "Ruler",
+        "Compass", "Speedometer", "Voltmeter", "Altimeter", "Hygrometer",
+        "Seismograph", "Stopwatch", "Caliper", "Protractor",
+    ]),
+    ("ElectricDevice", "An electric device: {name}", [
+        "Computer", "Telephone", "MobilePhone", "Radio", "Television",
+        "Camera", "Printer", "Scanner", "Refrigerator", "WashingMachine",
+        "Microwave", "Lamp", "Battery", "Generator", "Transformer",
+        "Amplifier", "Loudspeaker", "Microphone", "Router", "Server",
+        "Monitor", "Keyboard", "ElectricMotor", "Toaster", "VacuumCleaner",
+    ]),
+    ("Machine", "A machine: {name}", [
+        "Engine", "Pump", "Turbine", "Compressor", "Crane", "Bulldozer",
+        "Excavator", "Tractor", "Harvester", "Lathe", "Drill", "Press",
+        "Conveyor", "Robot", "Elevator", "Escalator", "Windmill",
+        "Waterwheel", "SewingMachine", "PrintingPress",
+    ]),
+    ("MusicalInstrument", "A musical instrument: {name}", [
+        "Piano", "Guitar", "Violin", "Cello", "Harp", "Flute", "Clarinet",
+        "Oboe", "Trumpet", "Trombone", "Horn", "Tuba", "Drum", "Cymbal",
+        "Xylophone", "Organ", "Accordion", "Saxophone", "Banjo",
+    ]),
+    ("Weapon", "A weapon: {name}", [
+        "Gun", "Rifle", "Pistol", "Cannon", "Bomb", "Missile", "Sword",
+        "Knife", "Spear", "Bow", "Arrow", "Shield", "Torpedo", "Grenade",
+    ]),
+    ("Device", "A device or tool: {name}", [
+        "Tool", "Hammer", "Saw", "Screwdriver", "Wrench", "Pliers", "Axe",
+        "Shovel", "Rake", "Hoe", "Chisel", "File", "Needle", "Scissors",
+        "Key", "Lock", "Hinge", "Spring", "Lever", "Pulley", "Wheel",
+        "Gear", "Valve", "Pipe", "Hose", "Container", "Bottle", "Box",
+        "Barrel", "Basket", "Bag", "Rope", "Chain", "Net", "Hook",
+        "Ladder", "Umbrella", "Pen", "Pencil", "Brush",
+    ]),
+    ("Building", "A kind of building: {name}", [
+        "House", "Apartment", "Skyscraper", "Tower", "Castle", "Palace",
+        "Temple", "Church", "Mosque", "Synagogue", "School2", "Hospital",
+        "Library", "Museum", "Theater", "Stadium", "Factory", "Warehouse",
+        "Barn", "Garage", "Hotel", "Restaurant", "Shop", "Bank", "Prison",
+        "Lighthouse", "Bridge", "Tunnel", "Dam",
+    ]),
+    ("Clothing", "An article of clothing: {name}", [
+        "Shirt", "Trousers", "Dress", "Skirt", "Coat", "Jacket", "Sweater",
+        "Hat", "Cap", "Scarf", "Glove", "Sock", "Shoe", "Boot", "Sandal",
+        "Belt", "Tie", "Uniform", "Suit", "Robe",
+    ]),
+    ("Organization", "A kind of organization: {name}", [
+        "Corporation", "Government", "School", "University2", "College2",
+        "Hospital2", "Army", "Navy", "PoliceForce", "PoliticalParty",
+        "Club", "Team", "Union", "Charity", "Church2", "Museum2",
+        "NewsAgency", "Courtroom", "Parliament", "Embassy",
+    ]),
+    ("LandArea", "A land area: {name}", [
+        "Continent", "Country", "State", "Province", "County", "City",
+        "Town", "Village", "Island", "Peninsula", "Mountain", "Hill",
+        "Valley", "Plain", "Plateau", "Desert", "Forest", "Jungle",
+        "Savanna", "Tundra", "Swamp", "Beach", "Cave", "Canyon", "Volcano",
+        "Glacier", "Field", "Park", "Farm", "Garden",
+    ]),
+    ("WaterArea", "A water area: {name}", [
+        "Ocean", "Sea", "Lake", "Pond", "River", "Stream", "Creek",
+        "Canal", "Bay", "Gulf", "Strait", "Lagoon", "Waterfall", "Spring2",
+        "Reservoir", "Marsh",
+    ]),
+    ("BodyMotion", "A body motion: {name}", [
+        "Walking", "Running", "Jumping", "Climbing", "Crawling", "Swimming",
+        "Flying", "Dancing", "Kicking", "Throwing", "Catching", "Waving",
+        "Nodding", "Kneeling", "Stretching", "Breathing",
+    ]),
+    ("BiologicalProcess", "A biological process: {name}", [
+        "Digestion", "Respiration", "Circulation", "Photosynthesis",
+        "Growth", "Reproduction", "Metabolism", "Sleeping", "Dreaming",
+        "Aging", "Healing", "Sweating", "Shivering", "Blinking",
+        "Germination", "Pollination", "Mutation", "Infection",
+    ]),
+    ("WeatherProcess", "A weather process: {name}", [
+        "Raining", "Snowing", "Hailing", "Thunderstorm", "Lightning",
+        "Tornado", "Hurricane", "Drought", "Flood", "Blizzard", "Wind",
+        "Frost", "Thaw",
+    ]),
+    ("IntentionalPsychologicalProcess", "A psychological process: {name}", [
+        "Reasoning", "Learning", "Remembering", "Imagining", "Planning",
+        "Deciding", "Calculating", "Comparing", "Classifying",
+        "Interpreting", "Predicting", "Judging", "Attending", "Selecting",
+    ]),
+    ("Communication", "A communication process: {name}", [
+        "Stating", "Requesting", "Questioning", "Answering", "Ordering",
+        "Promising", "Warning", "Threatening", "Greeting", "Thanking",
+        "Apologizing", "Arguing", "Negotiating", "Translating", "Reading",
+        "Writing", "Speaking", "Listening", "Singing", "Broadcasting",
+        "Publishing", "Advertising", "Teaching",
+    ]),
+    ("Making", "A making process: {name}", [
+        "Cooking", "Baking", "Brewing", "Weaving", "Sewing", "Knitting",
+        "Carving", "Molding", "Casting", "Welding", "Assembling",
+        "Constructing", "Manufacturing", "Printing", "Painting", "Drawing",
+        "Sculpting", "Composing", "Programming", "Farming",
+    ]),
+    ("FinancialTransaction", "A financial transaction: {name}", [
+        "Buying", "Selling", "Paying", "Lending", "Borrowing", "Investing",
+        "Donating", "Taxing", "Auctioning", "Renting", "Insuring",
+        "Betting", "Trading",
+    ]),
+    ("Maintaining", "A maintaining process: {name}", [
+        "Cleaning", "Repairing", "Polishing", "Lubricating", "Washing",
+        "Sharpening", "Calibrating", "Inspecting",
+    ]),
+    ("RecreationOrExercise", "A recreation or exercise: {name}", [
+        "Game", "Sport", "Football", "Basketball", "Baseball", "Tennis",
+        "Golf", "Hockey", "CricketGame", "Rugby", "Boxing", "Wrestling",
+        "Gymnastics", "Skiing", "Skating", "Surfing", "Fishing", "Hunting",
+        "Camping", "Hiking", "Chess", "Gambling",
+    ]),
+    ("ColorAttribute", "A color: {name}", [
+        "Red", "Orange2", "Yellow", "Green", "Blue", "Purple", "Pink",
+        "Brown", "Black", "White", "Gray", "Violet", "Indigo", "Turquoise",
+        "Magenta", "Cyan", "Beige", "Maroon", "Olive", "Navy",
+    ]),
+    ("ShapeAttribute", "A shape: {name}", [
+        "Round", "Square2", "Triangular", "Rectangular", "Circular",
+        "Spherical", "Cubic", "Cylindrical", "Conical", "Flat", "Curved",
+        "Straight", "Spiral", "Oval", "Hexagonal",
+    ]),
+    ("PhysicalState", "A physical state: {name}", [
+        "Solid", "Liquid", "Gas", "Plasma", "Frozen", "Molten",
+    ]),
+    ("EmotionalState", "An emotional state: {name}", [
+        "Happiness", "Sadness", "Anger", "Fear", "Surprise", "Disgust",
+        "Love", "Hate", "Joy", "Grief", "Anxiety", "Calm", "Pride",
+        "Shame", "Envy", "Hope", "Despair", "Boredom", "Excitement",
+    ]),
+    ("SocialRole", "A social role: {name}", [
+        "Doctor", "Nurse", "Lawyer", "Judge2", "Engineer", "Architect",
+        "Farmer", "Soldier", "Police", "Firefighter", "Pilot", "Sailor",
+        "Merchant", "Banker", "Artist", "Musician", "Actor", "Author",
+        "Journalist", "Librarian", "Priest", "King", "Queen", "President",
+        "Minister", "Mayor", "Citizen", "Parent", "Child", "Sibling",
+    ]),
+    ("UnitOfMeasure", "A unit of measure: {name}", [
+        "Meter", "Kilometer", "Centimeter", "Millimeter", "Mile", "Yard",
+        "FootUnit", "Inch", "Gram", "Kilogram", "Milligram", "Ton",
+        "Pound", "Ounce", "SecondDuration", "MinuteDuration",
+        "HourDuration", "DayDuration", "WeekDuration", "MonthDuration",
+        "YearDuration", "Liter", "Milliliter", "Gallon", "Pint", "Kelvin",
+        "CelsiusDegree", "FahrenheitDegree", "Ampere", "Volt", "Watt",
+        "Ohm", "Joule", "Calorie", "Newton", "Pascal", "Hertz", "Mole",
+        "Candela", "Radian", "Degree", "Acre", "Hectare", "Knot", "Byte",
+        "Bit",
+    ]),
+    ("TimeDuration", "A time concept: {name}", [
+        "Season", "SpringSeason", "SummerSeason", "AutumnSeason",
+        "WinterSeason", "Morning", "Afternoon", "Evening", "Night",
+        "Decade", "Century", "Millennium", "Era", "Epoch",
+    ]),
+]
+
+
+def sumo_class_list(concept_count: int) -> list[tuple[str, str | None, str]]:
+    """The first ``concept_count`` SUMO classes as (name, parent, gloss).
+
+    The upper structure comes first; tails are appended round-robin, one
+    name from each domain per round, keeping the expansion breadth-first
+    across domains so any prefix is a balanced ontology.
+    """
+    if concept_count < len(_UPPER):
+        raise SSTError(
+            f"SUMO generator needs at least {len(_UPPER)} concepts for the "
+            f"upper structure, got {concept_count}")
+    classes = list(_UPPER)
+    used_names = {name for name, _, _ in classes}
+    cursors = [0] * len(_TAILS)
+    overflow_round = 0
+    while len(classes) < concept_count:
+        progressed = False
+        for index, (parent, template, names) in enumerate(_TAILS):
+            if len(classes) >= concept_count:
+                break
+            cursor = cursors[index]
+            if cursor < len(names):
+                name = names[cursor]
+                cursors[index] = cursor + 1
+                progressed = True
+                if name in used_names:
+                    continue  # a class another domain already introduced
+                used_names.add(name)
+                classes.append(
+                    (name, parent, template.format(name=name)))
+        if not progressed:
+            # All curated lists exhausted: fall back to numbered variants
+            # so arbitrarily large ontologies stay constructible.
+            overflow_round += 1
+            for parent, template, names in _TAILS:
+                if len(classes) >= concept_count:
+                    break
+                name = f"{names[-1]}Variant{overflow_round}"
+                classes.append(
+                    (name, parent, template.format(name=name)))
+    return classes[:concept_count]
+
+
+def _owl_class(name: str, parent: "str | tuple[str, ...] | None",
+               gloss: str) -> str:
+    lines = [f'  <owl:Class rdf:ID="{name}">',
+             f"    <rdfs:comment>{gloss}</rdfs:comment>"]
+    if parent is not None:
+        parents = (parent,) if isinstance(parent, str) else parent
+        for parent_name in parents:
+            lines.append(
+                f'    <rdfs:subClassOf rdf:resource="#{parent_name}"/>')
+    lines.append("  </owl:Class>")
+    return "\n".join(lines)
+
+
+def generate_sumo_owl(concept_count: int) -> str:
+    """Deterministic OWL RDF/XML text for a SUMO-like ontology.
+
+    ``concept_count`` is the exact number of classes the document
+    defines.
+    """
+    classes = sumo_class_list(concept_count)
+    body = "\n".join(_owl_class(name, parent, gloss)
+                     for name, parent, gloss in classes)
+    return f"""<?xml version="1.0" encoding="UTF-8"?>
+<!-- Generated SUMO-like upper ontology ({concept_count} classes).
+     See repro.ontologies.generator and DESIGN.md section 3. -->
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://reliant.teknowledge.com/DAML/SUMO.owl">
+  <owl:Ontology rdf:about="">
+    <rdfs:comment>Suggested Upper Merged Ontology (SUMO) - generated
+    reproduction for the SOQA-SimPack Toolkit experiments</rdfs:comment>
+    <owl:versionInfo>reproduction, {concept_count} classes</owl:versionInfo>
+  </owl:Ontology>
+{body}
+</rdf:RDF>
+"""
+
+
+def generate_synthetic_taxonomy(concept_count: int, branching: int = 4,
+                                prefix: str = "Node") -> dict[str, list[str]]:
+    """A complete ``branching``-ary taxonomy with ``concept_count`` nodes.
+
+    Returns a ``{name: [parent names]}`` mapping suitable for
+    :class:`~repro.soqa.graph.Taxonomy`; used by the scaling benches
+    (experiment X5) to measure runtimes against ontology size.
+    """
+    if concept_count < 1:
+        raise SSTError("a taxonomy needs at least one concept")
+    parents: dict[str, list[str]] = {f"{prefix}0": []}
+    for index in range(1, concept_count):
+        parent_index = (index - 1) // branching
+        parents[f"{prefix}{index}"] = [f"{prefix}{parent_index}"]
+    return parents

@@ -1,0 +1,117 @@
+"""Loaders for the bundled ontology corpus of the paper's running example.
+
+The five ontologies of paper section 1, under the names Table 1 uses as
+concept prefixes:
+
+=================  ==========  =============================================
+SOQA name          Language    Source
+=================  ==========  =============================================
+``univ-bench_owl`` OWL         Lehigh University Benchmark ontology
+``COURSES``        PowerLoom   SIRUP Course ontology
+``base1_0_daml``   DAML        University of Maryland University ontology
+``swrc_owl``       OWL         Semantic Web for Research Communities
+``SUMO_owl_txt``   OWL         Suggested Upper Merged Ontology (generated)
+=================  ==========  =============================================
+
+:func:`load_corpus` loads all five into one SOQA facade and sizes the
+generated SUMO so the corpus holds exactly
+:data:`PAPER_CONCEPT_COUNT` = 943 concepts, the number the paper reports.
+A WordNet noun fragment is available separately via :func:`load_wordnet`
+for the cross-language examples.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from repro.ontologies.generator import generate_sumo_owl
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import Ontology
+
+__all__ = [
+    "PAPER_CONCEPT_COUNT",
+    "data_text",
+    "load_corpus",
+    "load_course_ontology",
+    "load_daml_university",
+    "load_sumo",
+    "load_swrc",
+    "load_univ_bench",
+    "load_wordnet",
+]
+
+#: Total concept count of the five-ontology scenario (paper section 1).
+PAPER_CONCEPT_COUNT = 943
+
+#: SOQA names of the five corpus ontologies, in the paper's order.
+CORPUS_NAMES = ("univ-bench_owl", "COURSES", "base1_0_daml", "swrc_owl",
+                "SUMO_owl_txt")
+
+
+def data_text(filename: str) -> str:
+    """The text of a bundled ontology data file."""
+    return (resources.files("repro.ontologies") / "data" / filename
+            ).read_text(encoding="utf-8")
+
+
+def _load(soqa: SOQA | None, filename: str, name: str,
+          language: str) -> Ontology:
+    soqa = soqa if soqa is not None else SOQA()
+    return soqa.load_text(data_text(filename), name, language)
+
+
+def load_univ_bench(soqa: SOQA | None = None) -> Ontology:
+    """The Lehigh University Benchmark ontology (OWL)."""
+    return _load(soqa, "univ-bench.owl", "univ-bench_owl", "OWL")
+
+
+def load_course_ontology(soqa: SOQA | None = None) -> Ontology:
+    """The SIRUP Course ontology (PowerLoom)."""
+    return _load(soqa, "course.ploom", "COURSES", "PowerLoom")
+
+
+def load_daml_university(soqa: SOQA | None = None) -> Ontology:
+    """The University of Maryland DAML University ontology."""
+    return _load(soqa, "univ1.0.daml", "base1_0_daml", "DAML")
+
+
+def load_swrc(soqa: SOQA | None = None) -> Ontology:
+    """The Semantic Web for Research Communities ontology (OWL)."""
+    return _load(soqa, "swrc.owl", "swrc_owl", "OWL")
+
+
+def load_sumo(soqa: SOQA | None = None,
+              concept_count: int | None = None) -> Ontology:
+    """The generated SUMO-like upper ontology (OWL).
+
+    ``concept_count`` defaults to whatever brings a corpus of the other
+    four bundled ontologies to :data:`PAPER_CONCEPT_COUNT` concepts.
+    """
+    if concept_count is None:
+        probe = SOQA()
+        load_univ_bench(probe)
+        load_course_ontology(probe)
+        load_daml_university(probe)
+        load_swrc(probe)
+        concept_count = PAPER_CONCEPT_COUNT - probe.concept_count()
+    soqa = soqa if soqa is not None else SOQA()
+    return soqa.load_text(generate_sumo_owl(concept_count),
+                          "SUMO_owl_txt", "OWL")
+
+
+def load_wordnet(soqa: SOQA | None = None) -> Ontology:
+    """A WordNet noun fragment (lexical ontology, WordNet data format)."""
+    soqa = soqa if soqa is not None else SOQA()
+    return soqa.load_text(data_text("wordnet-nouns.wn"), "wordnet", "WordNet")
+
+
+def load_corpus(soqa: SOQA | None = None) -> SOQA:
+    """Load the full five-ontology scenario (943 concepts) into a facade."""
+    soqa = soqa if soqa is not None else SOQA()
+    load_univ_bench(soqa)
+    load_course_ontology(soqa)
+    load_daml_university(soqa)
+    load_swrc(soqa)
+    remaining = PAPER_CONCEPT_COUNT - soqa.concept_count()
+    load_sumo(soqa, concept_count=remaining)
+    return soqa

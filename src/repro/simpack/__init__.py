@@ -1,0 +1,72 @@
+"""SimPack — a generic library of similarity measures (paper section 2.2).
+
+The measures are grouped exactly as in the paper:
+
+* :mod:`repro.simpack.vector` — vector-based measures over binary feature
+  vectors (cosine, extended Jaccard, overlap; Eq. 1-3) plus Dice.
+* :mod:`repro.simpack.sequence` — the sequence Levenshtein measure over
+  concept string sequences with a weighted cost function (Eq. 4).
+* :mod:`repro.simpack.strings` — character-level string metrics in the
+  SecondString/SimMetrics tradition the paper names as planned
+  extensions (Levenshtein, Jaro, Jaro-Winkler, n-gram, Monge-Elkan,
+  Needleman-Wunsch, Smith-Waterman, LCS, Soundex).
+* :mod:`repro.simpack.text` — the full-text TFIDF machinery (tokenizer,
+  Porter stemmer, inverted index, TFIDF vector space).
+* :mod:`repro.simpack.graphdist` — distance-based taxonomy measures
+  (normalized edge counting / shortest path, Wu & Palmer conceptual
+  similarity, Leacock-Chodorow; Eq. 5-6).
+* :mod:`repro.simpack.infocontent` — information-theoretic measures
+  (Resnik, Lin, Jiang-Conrath; Eq. 7-8).
+* :mod:`repro.simpack.tree` — Zhang-Shasha tree edit distance, the
+  "measures for trees" named as future work in the paper.
+
+All functions are pure and operate on plain data structures (sets,
+sequences, taxonomies); the adaptation of ontology resources into these
+inputs happens in :mod:`repro.core.wrapper`, mirroring the paper's
+SOQAWrapper-for-SimPack.
+"""
+
+from repro.simpack.base import clamp_similarity, feature_sets_to_vectors
+from repro.simpack.graphdist import (
+    leacock_chodorow_similarity,
+    shortest_path_similarity,
+    wu_palmer_similarity,
+)
+from repro.simpack.infocontent import (
+    InformationContent,
+    jiang_conrath_similarity,
+    lin_similarity,
+    resnik_similarity,
+)
+from repro.simpack.sequence import (
+    EditCosts,
+    sequence_edit_distance,
+    sequence_similarity,
+    worst_case_cost,
+)
+from repro.simpack.vector import (
+    cosine_similarity,
+    dice_similarity,
+    extended_jaccard_similarity,
+    overlap_similarity,
+)
+
+__all__ = [
+    "EditCosts",
+    "InformationContent",
+    "clamp_similarity",
+    "cosine_similarity",
+    "dice_similarity",
+    "extended_jaccard_similarity",
+    "feature_sets_to_vectors",
+    "jiang_conrath_similarity",
+    "leacock_chodorow_similarity",
+    "lin_similarity",
+    "overlap_similarity",
+    "resnik_similarity",
+    "sequence_edit_distance",
+    "sequence_similarity",
+    "shortest_path_similarity",
+    "worst_case_cost",
+    "wu_palmer_similarity",
+]

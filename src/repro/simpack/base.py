@@ -1,0 +1,43 @@
+"""Shared helpers for the SimPack measure library."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["clamp_similarity", "feature_sets_to_vectors"]
+
+
+def clamp_similarity(value: float) -> float:
+    """Clamp a similarity score into ``[0.0, 1.0]``.
+
+    Floating-point noise can push a mathematically-bounded score a hair
+    outside the unit interval; every normalized measure funnels its result
+    through this.
+    """
+    if value <= 0.0:  # also folds IEEE negative zero into plain 0.0
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def feature_sets_to_vectors(
+        first: Iterable[str],
+        second: Iterable[str]) -> tuple[list[int], list[int]]:
+    """Mapping *M1* of the paper: two feature sets to aligned binary vectors.
+
+    The union of both feature sets defines the vector dimensions (sorted
+    for determinism); each vector has a 1 where the resource carries that
+    feature.
+
+    >>> feature_sets_to_vectors({"type", "name"}, {"type", "age"})
+    ([0, 1, 1], [1, 0, 1])
+    """
+    first_set = set(first)
+    second_set = set(second)
+    dimensions = sorted(first_set | second_set)
+    first_vector = [1 if feature in first_set else 0
+                    for feature in dimensions]
+    second_vector = [1 if feature in second_set else 0
+                     for feature in dimensions]
+    return first_vector, second_vector

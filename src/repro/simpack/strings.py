@@ -1,0 +1,335 @@
+"""Character-level string similarity metrics.
+
+The paper announces (section 5) the incorporation of measures "from the
+SecondString project ... and from SimMetrics"; this module supplies that
+extension set.  Every ``*_similarity`` function returns a score in
+``[0, 1]`` with 1.0 for equal strings, so any of them can back an SST
+MeasureRunner directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MeasureInputError
+from repro.simpack.base import clamp_similarity
+from repro.simpack.sequence import EditCosts, sequence_edit_distance
+
+__all__ = [
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "lcs_length",
+    "lcs_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan_similarity",
+    "needleman_wunsch_similarity",
+    "qgram_similarity",
+    "qgrams",
+    "smith_waterman_similarity",
+    "soundex",
+    "soundex_similarity",
+]
+
+
+# ---------------------------------------------------------------------------
+# Levenshtein
+# ---------------------------------------------------------------------------
+
+
+def levenshtein_distance(first: str, second: str) -> int:
+    """Classic unit-cost edit distance between two strings."""
+    return int(sequence_edit_distance(first, second, EditCosts.uniform()))
+
+
+def levenshtein_similarity(first: str, second: str) -> float:
+    """``1 - distance / max(len)``; 1.0 for two empty strings."""
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    return clamp_similarity(
+        1.0 - levenshtein_distance(first, second) / longest)
+
+
+# ---------------------------------------------------------------------------
+# Jaro / Jaro-Winkler
+# ---------------------------------------------------------------------------
+
+
+def jaro_similarity(first: str, second: str) -> float:
+    """The Jaro metric: matches within a sliding window, minus transpositions.
+
+    ``(m/|s1| + m/|s2| + (m - t)/m) / 3`` with ``m`` matching characters
+    within ``max(|s1|, |s2|)/2 - 1`` positions and ``t`` half the number
+    of transposed matches.
+    """
+    if first == second:
+        return 1.0
+    length_first, length_second = len(first), len(second)
+    if length_first == 0 or length_second == 0:
+        return 0.0
+    window = max(length_first, length_second) // 2 - 1
+    window = max(window, 0)
+    first_matched = [False] * length_first
+    second_matched = [False] * length_second
+    matches = 0
+    for i, char in enumerate(first):
+        start = max(0, i - window)
+        end = min(i + window + 1, length_second)
+        for j in range(start, end):
+            if not second_matched[j] and second[j] == char:
+                first_matched[i] = True
+                second_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(length_first):
+        if first_matched[i]:
+            while not second_matched[j]:
+                j += 1
+            if first[i] != second[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return clamp_similarity(
+        (matches / length_first + matches / length_second
+         + (matches - transpositions) / matches) / 3.0)
+
+
+def jaro_winkler_similarity(first: str, second: str,
+                            prefix_scale: float = 0.1,
+                            max_prefix: int = 4) -> float:
+    """Jaro boosted by a shared prefix (Winkler's modification).
+
+    ``prefix_scale`` must not exceed 0.25 or scores can leave [0, 1].
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise MeasureInputError(
+            f"prefix_scale must be within [0, 0.25], got {prefix_scale}")
+    jaro = jaro_similarity(first, second)
+    prefix = 0
+    for char_first, char_second in zip(first, second):
+        if char_first != char_second or prefix >= max_prefix:
+            break
+        prefix += 1
+    return clamp_similarity(jaro + prefix * prefix_scale * (1.0 - jaro))
+
+
+# ---------------------------------------------------------------------------
+# q-grams
+# ---------------------------------------------------------------------------
+
+
+def qgrams(text: str, size: int = 2, pad: bool = True) -> list[str]:
+    """The q-grams of ``text``; padded with ``#`` so edges count too.
+
+    >>> qgrams("ab")
+    ['#a', 'ab', 'b#']
+    """
+    if size < 1:
+        raise MeasureInputError(f"q-gram size must be >= 1, got {size}")
+    if pad:
+        padding = "#" * (size - 1)
+        text = f"{padding}{text}{padding}"
+    if len(text) < size:
+        return []
+    return [text[i:i + size] for i in range(len(text) - size + 1)]
+
+
+def qgram_similarity(first: str, second: str, size: int = 2) -> float:
+    """Dice coefficient over q-gram multisets (SimMetrics' QGramsDistance)."""
+    if first == second:
+        return 1.0
+    grams_first = qgrams(first, size)
+    grams_second = qgrams(second, size)
+    total = len(grams_first) + len(grams_second)
+    if total == 0:
+        return 1.0
+    counts: dict[str, int] = {}
+    for gram in grams_first:
+        counts[gram] = counts.get(gram, 0) + 1
+    shared = 0
+    for gram in grams_second:
+        remaining = counts.get(gram, 0)
+        if remaining:
+            counts[gram] = remaining - 1
+            shared += 1
+    return clamp_similarity(2.0 * shared / total)
+
+
+# ---------------------------------------------------------------------------
+# Longest common subsequence
+# ---------------------------------------------------------------------------
+
+
+def lcs_length(first: str, second: str) -> int:
+    """Length of the longest common subsequence of two strings."""
+    if not first or not second:
+        return 0
+    previous = [0] * (len(second) + 1)
+    for char_first in first:
+        current = [0] * (len(second) + 1)
+        for j, char_second in enumerate(second, start=1):
+            if char_first == char_second:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[len(second)]
+
+
+def lcs_similarity(first: str, second: str) -> float:
+    """``LCS length / max(len)``; 1.0 for two empty strings."""
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    return clamp_similarity(lcs_length(first, second) / longest)
+
+
+# ---------------------------------------------------------------------------
+# Monge-Elkan
+# ---------------------------------------------------------------------------
+
+
+def monge_elkan_similarity(first: str, second: str,
+                           inner=jaro_winkler_similarity) -> float:
+    """Monge-Elkan: average best inner-metric match of each token.
+
+    Splits both strings on whitespace and, for every token of ``first``,
+    takes the best ``inner`` similarity against the tokens of ``second``.
+    Asymmetric by definition; SST's runner symmetrizes by averaging both
+    directions.
+    """
+    tokens_first = first.split()
+    tokens_second = second.split()
+    if not tokens_first and not tokens_second:
+        return 1.0
+    if not tokens_first or not tokens_second:
+        return 0.0
+    total = 0.0
+    for token in tokens_first:
+        total += max(inner(token, other) for other in tokens_second)
+    return clamp_similarity(total / len(tokens_first))
+
+
+# ---------------------------------------------------------------------------
+# Alignment scores (Needleman-Wunsch, Smith-Waterman)
+# ---------------------------------------------------------------------------
+
+
+def _match_score(char_first: str, char_second: str,
+                 match: float, mismatch: float) -> float:
+    return match if char_first == char_second else mismatch
+
+
+def needleman_wunsch_similarity(first: str, second: str,
+                                match: float = 1.0,
+                                mismatch: float = -1.0,
+                                gap: float = -1.0) -> float:
+    """Normalized global alignment score (Needleman-Wunsch).
+
+    The raw score is divided by ``match * max(len)`` and clamped, so equal
+    strings score 1.0.
+    """
+    if not first and not second:
+        return 1.0
+    length_second = len(second)
+    previous = [j * gap for j in range(length_second + 1)]
+    for char_first in first:
+        current = [previous[0] + gap] + [0.0] * length_second
+        for j, char_second in enumerate(second, start=1):
+            current[j] = max(
+                previous[j - 1] + _match_score(
+                    char_first, char_second, match, mismatch),
+                previous[j] + gap,
+                current[j - 1] + gap,
+            )
+        previous = current
+    best_possible = match * max(len(first), len(second))
+    if best_possible <= 0:
+        return 0.0
+    return clamp_similarity(previous[length_second] / best_possible)
+
+
+def smith_waterman_similarity(first: str, second: str,
+                              match: float = 1.0,
+                              mismatch: float = -1.0,
+                              gap: float = -0.5) -> float:
+    """Normalized local alignment score (Smith-Waterman).
+
+    The best local alignment score is divided by ``match * min(len)``, so
+    a string fully contained in another scores 1.0.
+    """
+    if not first and not second:
+        return 1.0
+    if not first or not second:
+        return 0.0
+    length_second = len(second)
+    previous = [0.0] * (length_second + 1)
+    best = 0.0
+    for char_first in first:
+        current = [0.0] * (length_second + 1)
+        for j, char_second in enumerate(second, start=1):
+            current[j] = max(
+                0.0,
+                previous[j - 1] + _match_score(
+                    char_first, char_second, match, mismatch),
+                previous[j] + gap,
+                current[j - 1] + gap,
+            )
+            best = max(best, current[j])
+        previous = current
+    best_possible = match * min(len(first), len(second))
+    if best_possible <= 0:
+        return 0.0
+    return clamp_similarity(best / best_possible)
+
+
+# ---------------------------------------------------------------------------
+# Soundex
+# ---------------------------------------------------------------------------
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(word: str) -> str:
+    """The American Soundex code of ``word`` (e.g. ``Robert -> R163``).
+
+    Non-alphabetic characters are ignored; an empty input maps to
+    ``0000``.
+    """
+    letters = [char for char in word.lower() if char.isalpha()]
+    if not letters:
+        return "0000"
+    head = letters[0].upper()
+    digits: list[str] = []
+    previous_code = _SOUNDEX_CODES.get(letters[0], "")
+    for char in letters[1:]:
+        code = _SOUNDEX_CODES.get(char, "")
+        if char in "hw":
+            continue  # h/w do not separate equal codes
+        if code and code != previous_code:
+            digits.append(code)
+        previous_code = code
+    return (head + "".join(digits) + "000")[:4]
+
+
+def soundex_similarity(first: str, second: str) -> float:
+    """1.0 when Soundex codes match, else the codes' q-gram similarity.
+
+    A smooth variant of the usual binary Soundex comparison, so rankings
+    stay informative.
+    """
+    code_first = soundex(first)
+    code_second = soundex(second)
+    if code_first == code_second:
+        return 1.0
+    return qgram_similarity(code_first, code_second, size=1)

@@ -1,0 +1,24 @@
+"""Full-text machinery for the TFIDF similarity measure.
+
+The paper exports a full-text description of every concept, indexes the
+descriptions with Apache Lucene using a Porter stemmer, and compares the
+resulting TFIDF term vectors.  This package is that substrate, built
+from scratch:
+
+* :mod:`repro.simpack.text.tokenizer` — lowercasing word tokenizer with
+  a standard stop-word list,
+* :mod:`repro.simpack.text.porter` — the complete Porter (1980)
+  suffix-stripping algorithm,
+* :mod:`repro.simpack.text.index` — an inverted index with document and
+  term statistics,
+* :mod:`repro.simpack.text.tfidf` — TFIDF weighting and cosine scoring
+  over indexed documents.
+"""
+
+from repro.simpack.text.index import InvertedIndex
+from repro.simpack.text.porter import porter_stem
+from repro.simpack.text.tfidf import TfidfVectorSpace
+from repro.simpack.text.tokenizer import STOP_WORDS, tokenize
+
+__all__ = ["InvertedIndex", "STOP_WORDS", "TfidfVectorSpace",
+           "porter_stem", "tokenize"]

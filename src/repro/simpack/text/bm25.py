@@ -1,0 +1,108 @@
+"""Okapi BM25 scoring over the inverted index.
+
+The practical successor of plain TFIDF in Lucene-style engines; added
+to the mini-Lucene so the full-text measure family carries both
+weighting schemes.  Standard formulation with parameters ``k1`` (term
+frequency saturation, default 1.2) and ``b`` (length normalization,
+default 0.75); the idf uses the non-negative "plus one" variant so
+common terms never score negatively.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EmptyCorpusError, MeasureInputError
+from repro.simpack.text.index import InvertedIndex
+
+__all__ = ["BM25Scorer"]
+
+
+class BM25Scorer:
+    """BM25 retrieval and document-pair scoring over one index."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2,
+                 b: float = 0.75):
+        if k1 < 0:
+            raise MeasureInputError(f"k1 must be non-negative, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise MeasureInputError(f"b must be within [0, 1], got {b}")
+        self.index = index
+        self.k1 = k1
+        self.b = b
+        self._average_length: float | None = None
+
+    def _avgdl(self) -> float:
+        if self._average_length is None:
+            document_ids = self.index.document_ids()
+            if not document_ids:
+                raise EmptyCorpusError("BM25 needs a non-empty corpus")
+            total = sum(sum(self.index.document_terms(doc_id).values())
+                        for doc_id in document_ids)
+            self._average_length = max(total / len(document_ids), 1e-9)
+        return self._average_length
+
+    def _idf(self, term: str) -> float:
+        total = self.index.document_count
+        document_frequency = self.index.document_frequency(term)
+        return math.log(
+            1.0 + (total - document_frequency + 0.5)
+            / (document_frequency + 0.5))
+
+    def score_terms(self, query_terms: list[str],
+                    document_id: str) -> float:
+        """The BM25 score of pre-analyzed query terms vs a document."""
+        document_terms = self.index.document_terms(document_id)
+        document_length = sum(document_terms.values())
+        normalizer = self.k1 * (1.0 - self.b
+                                + self.b * document_length / self._avgdl())
+        score = 0.0
+        for term in query_terms:
+            frequency = document_terms.get(term, 0)
+            if frequency == 0:
+                continue
+            score += self._idf(term) * (
+                frequency * (self.k1 + 1.0) / (frequency + normalizer))
+        return score
+
+    def score(self, query_text: str, document_id: str) -> float:
+        """The BM25 score of a free-text query against one document."""
+        return self.score_terms(self.index.analyze(query_text),
+                                document_id)
+
+    def search(self, query_text: str, k: int = 10,
+               ) -> list[tuple[str, float]]:
+        """The ``k`` best documents for a free-text query."""
+        query_terms = self.index.analyze(query_text)
+        candidates: set[str] = set()
+        for term in set(query_terms):
+            candidates.update(self.index.documents_containing(term))
+        ranked = sorted(
+            ((document_id, self.score_terms(query_terms, document_id))
+             for document_id in candidates),
+            key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:k]
+
+    def similarity(self, first_id: str, second_id: str) -> float:
+        """A symmetric [0, 1] document similarity from BM25 scores.
+
+        Each document's terms query the other; both directions are
+        normalized by the self-score (the maximum achievable for that
+        query) and averaged.
+        """
+        first_terms = list(self.index.document_terms(first_id))
+        second_terms = list(self.index.document_terms(second_id))
+        if not first_terms and not second_terms:
+            return 1.0 if first_id == second_id else 0.0
+        forward_self = self.score_terms(first_terms, first_id)
+        backward_self = self.score_terms(second_terms, second_id)
+        forward = (self.score_terms(first_terms, second_id) / forward_self
+                   if forward_self > 0 else 0.0)
+        backward = (self.score_terms(second_terms, first_id)
+                    / backward_self if backward_self > 0 else 0.0)
+        value = (forward + backward) / 2.0
+        return min(max(value, 0.0), 1.0)
+
+    def invalidate(self) -> None:
+        """Recompute corpus statistics after re-indexing."""
+        self._average_length = None

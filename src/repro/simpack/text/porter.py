@@ -1,0 +1,203 @@
+"""The Porter stemming algorithm (Porter, 1980).
+
+A faithful from-scratch implementation of the five-step suffix-stripping
+algorithm the paper uses ("we used a Porter Stemmer to reduce all words
+to their stems").  Follows the original paper's rule tables, including
+the *m* (measure) condition, ``*v*``, ``*d``, ``*o`` and the step-1b
+fix-ups.
+"""
+
+from __future__ import annotations
+
+__all__ = ["porter_stem"]
+
+_VOWELS = "aeiou"
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    char = word[index]
+    if char in _VOWELS:
+        return False
+    if char == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """The Porter measure *m*: number of VC sequences in C?(VC){m}V?."""
+    count = 0
+    index = 0
+    length = len(stem)
+    # Skip the initial consonant run.
+    while index < length and _is_consonant(stem, index):
+        index += 1
+    while index < length:
+        # Vowel run.
+        while index < length and not _is_consonant(stem, index):
+            index += 1
+        if index >= length:
+            break
+        # Consonant run -> one VC sequence.
+        count += 1
+        while index < length and _is_consonant(stem, index):
+            index += 1
+    return count
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, index) for index in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (len(word) >= 2 and word[-1] == word[-2]
+            and _is_consonant(word, len(word) - 1))
+
+
+def _ends_cvc(word: str) -> bool:
+    """``*o``: stem ends consonant-vowel-consonant, last not w/x/y."""
+    if len(word) < 3:
+        return False
+    return (_is_consonant(word, len(word) - 3)
+            and not _is_consonant(word, len(word) - 2)
+            and _is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy")
+
+
+def _replace(word: str, suffix: str, replacement: str,
+             minimum_measure: int) -> str | None:
+    """Apply one ``(m > k) SUFFIX -> REPLACEMENT`` rule, or None."""
+    if not word.endswith(suffix):
+        return None
+    stem = word[:len(word) - len(suffix)]
+    if _measure(stem) > minimum_measure:
+        return stem + replacement
+    return word  # suffix matched but condition failed: rule consumed
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        flag = True
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = (
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+    ("anci", "ance"), ("izer", "ize"), ("abli", "able"), ("alli", "al"),
+    ("entli", "ent"), ("eli", "e"), ("ousli", "ous"), ("ization", "ize"),
+    ("ation", "ate"), ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+    ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+    ("iviti", "ive"), ("biliti", "ble"),
+)
+
+_STEP3_RULES = (
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+)
+
+_STEP4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def _step_2(word: str) -> str:
+    for suffix, replacement in _STEP2_RULES:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_3(word: str) -> str:
+    for suffix, replacement in _STEP3_RULES:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_4(word: str) -> str:
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem and stem[-1] in "st" and _measure(stem) > 1:
+            return stem
+        return word
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[:len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    return word
+
+
+def _step_5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        measure = _measure(stem)
+        if measure > 1 or (measure == 1 and not _ends_cvc(stem)):
+            return stem
+    return word
+
+
+def _step_5b(word: str) -> str:
+    if (word.endswith("ll") and _measure(word) > 1):
+        return word[:-1]
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase word.
+
+    >>> porter_stem("relational")
+    'relat'
+    >>> porter_stem("universities")
+    'univers'
+    """
+    word = word.lower()
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _step_2(word)
+    word = _step_3(word)
+    word = _step_4(word)
+    word = _step_5a(word)
+    word = _step_5b(word)
+    return word

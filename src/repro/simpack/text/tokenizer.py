@@ -1,0 +1,44 @@
+"""Word tokenizer for the full-text TFIDF pipeline.
+
+Splits text into lowercase alphanumeric tokens, additionally breaking
+``camelCase`` and ``snake_case`` identifiers apart — ontology concept
+names such as ``AssistantProfessor`` or ``univ-bench_owl`` must match
+the words of plain documentation text.  Pure numbers and stop words are
+dropped.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["STOP_WORDS", "tokenize"]
+
+#: The classic short English stop-word list Lucene's StopAnalyzer ships.
+STOP_WORDS = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if",
+    "in", "into", "is", "it", "no", "not", "of", "on", "or", "such",
+    "that", "the", "their", "then", "there", "these", "they", "this",
+    "to", "was", "will", "with",
+})
+
+_WORD_PATTERN = re.compile(r"[A-Za-z0-9]+")
+_CAMEL_PATTERN = re.compile(
+    r"[A-Z]+(?=[A-Z][a-z])|[A-Z]?[a-z]+|[A-Z]+|[0-9]+")
+
+
+def tokenize(text: str, drop_stop_words: bool = True) -> list[str]:
+    """Tokenize ``text`` into lowercase word tokens.
+
+    >>> tokenize("The AssistantProfessor teaches GraduateCourse")
+    ['assistant', 'professor', 'teaches', 'graduate', 'course']
+    """
+    tokens: list[str] = []
+    for chunk in _WORD_PATTERN.findall(text):
+        for piece in _CAMEL_PATTERN.findall(chunk):
+            token = piece.lower()
+            if token.isdigit():
+                continue
+            if drop_stop_words and token in STOP_WORDS:
+                continue
+            tokens.append(token)
+    return tokens

@@ -1,0 +1,104 @@
+"""Vector-based similarity measures (paper Eq. 1-3, plus Dice).
+
+All measures accept two numeric vectors of equal length — in SST these
+are the binary vectors produced by mapping *M1* from feature sets (see
+:func:`repro.simpack.base.feature_sets_to_vectors`), but real-valued
+vectors (e.g. TFIDF weight vectors) work identically.
+
+Conventions at the edges, matching SimPack: two all-zero vectors are
+neither similar nor dissimilar in any informative sense, so every measure
+returns 0.0 for them rather than raising.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import MeasureInputError
+from repro.simpack.base import clamp_similarity
+
+__all__ = [
+    "cosine_similarity",
+    "dice_similarity",
+    "dot_product",
+    "extended_jaccard_similarity",
+    "l1_norm",
+    "l2_norm",
+    "overlap_similarity",
+]
+
+Vector = Sequence[float]
+
+
+def _check_lengths(first: Vector, second: Vector) -> None:
+    if len(first) != len(second):
+        raise MeasureInputError(
+            f"vector lengths differ: {len(first)} vs {len(second)}")
+
+
+def dot_product(first: Vector, second: Vector) -> float:
+    """The inner product ``x . y``."""
+    _check_lengths(first, second)
+    return sum(x * y for x, y in zip(first, second))
+
+
+def l1_norm(vector: Vector) -> float:
+    """The L1 norm ``||x|| = sum(|x_i|)``."""
+    return sum(abs(component) for component in vector)
+
+
+def l2_norm(vector: Vector) -> float:
+    """The L2 norm ``||x||_2 = sqrt(sum(|x_i|^2))``."""
+    return math.sqrt(sum(component * component for component in vector))
+
+
+def cosine_similarity(first: Vector, second: Vector) -> float:
+    """Eq. 1: ``x . y / (||x||_2 * ||y||_2)`` — the angle's cosine."""
+    _check_lengths(first, second)
+    denominator = l2_norm(first) * l2_norm(second)
+    if denominator == 0.0:
+        return 0.0
+    return clamp_similarity(dot_product(first, second) / denominator)
+
+
+def extended_jaccard_similarity(first: Vector, second: Vector) -> float:
+    """Eq. 2: ``x . y / (||x||_2^2 + ||y||_2^2 - x . y)``.
+
+    For binary vectors this is exactly the Jaccard set ratio
+    ``|A ∩ B| / |A ∪ B|``.
+    """
+    _check_lengths(first, second)
+    product = dot_product(first, second)
+    denominator = (sum(x * x for x in first) + sum(y * y for y in second)
+                   - product)
+    if denominator == 0.0:
+        return 0.0
+    return clamp_similarity(product / denominator)
+
+
+def overlap_similarity(first: Vector, second: Vector) -> float:
+    """Eq. 3: ``x . y / min(||x||_2^2, ||y||_2^2)``.
+
+    For binary vectors: the shared-feature count relative to the smaller
+    feature set, so a resource fully contained in another scores 1.0.
+    """
+    _check_lengths(first, second)
+    denominator = min(sum(x * x for x in first), sum(y * y for y in second))
+    if denominator == 0.0:
+        return 0.0
+    return clamp_similarity(dot_product(first, second) / denominator)
+
+
+def dice_similarity(first: Vector, second: Vector) -> float:
+    """Dice coefficient ``2 * x . y / (||x||_2^2 + ||y||_2^2)``.
+
+    Not in the paper's equation list but a standard member of the same
+    vector family (SimMetrics carries it), included as one of the
+    announced measure-set extensions.
+    """
+    _check_lengths(first, second)
+    denominator = sum(x * x for x in first) + sum(y * y for y in second)
+    if denominator == 0.0:
+        return 0.0
+    return clamp_similarity(2.0 * dot_product(first, second) / denominator)

@@ -1,0 +1,44 @@
+"""SOQA — the SIRUP Ontology Query API substrate.
+
+This subpackage reproduces the ontology-access layer the SOQA-SimPack
+Toolkit is built on (paper section 2.1):
+
+* :mod:`repro.soqa.metamodel` — the SOQA Ontology Meta Model (Fig. 1):
+  ontologies, concepts, attributes, methods, relationships, instances.
+* :mod:`repro.soqa.wrapper` — the wrapper protocol and registry through
+  which language-specific parsers plug in.
+* :mod:`repro.soqa.wrappers` — wrappers for OWL, DAML, PowerLoom and the
+  WordNet lexical-database format.
+* :mod:`repro.soqa.api` — the SOQA facade giving unified query access to
+  any number of loaded ontologies.
+* :mod:`repro.soqa.graph` — taxonomy graph algorithms (depth, shortest
+  paths, most recent common ancestors) used by distance-based measures.
+* :mod:`repro.soqa.soqaql` — the SOQA-QL declarative query language.
+"""
+
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Parameter,
+    Relationship,
+)
+from repro.soqa.wrapper import OntologyWrapper, WrapperRegistry
+
+__all__ = [
+    "SOQA",
+    "Attribute",
+    "Concept",
+    "Instance",
+    "Method",
+    "Ontology",
+    "OntologyMetadata",
+    "OntologyWrapper",
+    "Parameter",
+    "Relationship",
+    "WrapperRegistry",
+]

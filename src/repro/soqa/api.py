@@ -1,0 +1,186 @@
+"""The SOQA facade: unified query access to loaded ontologies.
+
+SOQA follows the Facade pattern (paper Fig. 2): clients — SOQA-QL, the
+browsers, and the SOQA-SimPack Toolkit itself — see one object through
+which any number of ontologies, in any supported language, can be loaded
+and queried uniformly in SOQA Ontology Meta Model terms.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import UnknownOntologyError
+from repro.soqa.graph import Taxonomy
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Relationship,
+)
+from repro.soqa.wrapper import WrapperRegistry, default_registry
+
+__all__ = ["SOQA"]
+
+
+class SOQA:
+    """Single point of unified ontology access (the SOQA Facade)."""
+
+    def __init__(self, registry: WrapperRegistry | None = None):
+        self.registry = registry if registry is not None else default_registry()
+        self._ontologies: dict[str, Ontology] = {}
+        self._taxonomies: dict[str, Taxonomy] = {}
+
+    # -- loading --------------------------------------------------------------
+
+    def add_ontology(self, ontology: Ontology) -> Ontology:
+        """Register an already-built ontology under its metadata name."""
+        self._ontologies[ontology.name] = ontology
+        self._taxonomies.pop(ontology.name, None)
+        return ontology
+
+    def load_file(self, path: str | Path, name: str | None = None,
+                  language: str | None = None) -> Ontology:
+        """Load an ontology file, dispatching on language or file suffix."""
+        if language is not None:
+            wrapper = self.registry.for_language(language)
+        else:
+            wrapper = self.registry.for_path(path)
+        return self.add_ontology(wrapper.load(path, name=name))
+
+    def load_text(self, text: str, name: str, language: str) -> Ontology:
+        """Parse ontology source ``text`` in the given language."""
+        wrapper = self.registry.for_language(language)
+        return self.add_ontology(wrapper.parse(text, name))
+
+    def remove_ontology(self, name: str) -> None:
+        """Forget the ontology called ``name``."""
+        if name not in self._ontologies:
+            raise UnknownOntologyError(name)
+        del self._ontologies[name]
+        self._taxonomies.pop(name, None)
+
+    # -- ontology access ---------------------------------------------------------
+
+    def ontology_names(self) -> list[str]:
+        """Names of all loaded ontologies, in load order."""
+        return list(self._ontologies)
+
+    def ontologies(self) -> list[Ontology]:
+        """All loaded ontologies, in load order."""
+        return list(self._ontologies.values())
+
+    def ontology(self, name: str) -> Ontology:
+        """The ontology called ``name``."""
+        try:
+            return self._ontologies[name]
+        except KeyError:
+            raise UnknownOntologyError(name) from None
+
+    def metadata(self, name: str) -> OntologyMetadata:
+        """Metadata of the ontology called ``name``."""
+        return self.ontology(name).metadata
+
+    def languages_in_use(self) -> list[str]:
+        """Distinct ontology languages among the loaded ontologies."""
+        seen: list[str] = []
+        for ontology in self._ontologies.values():
+            if ontology.language not in seen:
+                seen.append(ontology.language)
+        return seen
+
+    # -- concept access ------------------------------------------------------------
+
+    def concept(self, concept_name: str, ontology_name: str) -> Concept:
+        """The named concept from the named ontology."""
+        return self.ontology(ontology_name).concept(concept_name)
+
+    def concept_count(self) -> int:
+        """Total number of concepts across all loaded ontologies."""
+        return sum(len(ontology) for ontology in self._ontologies.values())
+
+    def all_concepts(self) -> list[tuple[str, Concept]]:
+        """Every loaded concept as ``(ontology_name, concept)`` pairs."""
+        return [(ontology.name, concept)
+                for ontology in self._ontologies.values()
+                for concept in ontology]
+
+    def find_concepts(self, concept_name: str) -> list[tuple[str, Concept]]:
+        """All loaded concepts named ``concept_name``, across ontologies.
+
+        Concept names are generally not unique once several ontologies are
+        loaded (the paper's reason for qualifying every concept with its
+        ontology name), so this may return several hits.
+        """
+        return [(ontology.name, ontology.concept(concept_name))
+                for ontology in self._ontologies.values()
+                if concept_name in ontology]
+
+    # -- per-ontology navigation (delegation) -----------------------------------------
+
+    def direct_superconcepts(self, concept_name: str,
+                             ontology_name: str) -> list[Concept]:
+        """Direct superconcepts of the given concept."""
+        return self.ontology(ontology_name).direct_superconcepts(concept_name)
+
+    def direct_subconcepts(self, concept_name: str,
+                           ontology_name: str) -> list[Concept]:
+        """Direct subconcepts of the given concept."""
+        return self.ontology(ontology_name).direct_subconcepts(concept_name)
+
+    def superconcepts(self, concept_name: str,
+                      ontology_name: str) -> list[Concept]:
+        """All (direct and indirect) superconcepts of the given concept."""
+        return self.ontology(ontology_name).superconcepts(concept_name)
+
+    def subconcepts(self, concept_name: str,
+                    ontology_name: str) -> list[Concept]:
+        """All (direct and indirect) subconcepts of the given concept."""
+        return self.ontology(ontology_name).subconcepts(concept_name)
+
+    def coordinate_concepts(self, concept_name: str,
+                            ontology_name: str) -> list[Concept]:
+        """Concepts on the same hierarchy level as the given concept."""
+        return self.ontology(ontology_name).coordinate_concepts(concept_name)
+
+    def attributes(self, concept_name: str,
+                   ontology_name: str) -> list[Attribute]:
+        """Attributes declared directly on the given concept."""
+        return list(self.concept(concept_name, ontology_name).attributes)
+
+    def methods(self, concept_name: str, ontology_name: str) -> list[Method]:
+        """Methods declared directly on the given concept."""
+        return list(self.concept(concept_name, ontology_name).methods)
+
+    def relationships(self, concept_name: str,
+                      ontology_name: str) -> list[Relationship]:
+        """Non-taxonomic relationships on the given concept."""
+        return list(self.concept(concept_name, ontology_name).relationships)
+
+    def instances(self, concept_name: str, ontology_name: str,
+                  include_subconcepts: bool = True) -> list[Instance]:
+        """Instances of the given concept (by default incl. subconcepts)."""
+        return self.ontology(ontology_name).instances_of(
+            concept_name, include_subconcepts=include_subconcepts)
+
+    def concept_description(self, concept_name: str,
+                            ontology_name: str) -> str:
+        """Full-text description of the concept, for TFIDF indexing."""
+        return self.ontology(ontology_name).concept_description(concept_name)
+
+    # -- taxonomies -----------------------------------------------------------------
+
+    def taxonomy(self, ontology_name: str) -> Taxonomy:
+        """The (cached) specialization DAG of one ontology."""
+        taxonomy = self._taxonomies.get(ontology_name)
+        if taxonomy is None:
+            ontology = self.ontology(ontology_name)
+            taxonomy = Taxonomy({
+                concept.name: concept.superconcept_names
+                for concept in ontology
+            })
+            self._taxonomies[ontology_name] = taxonomy
+        return taxonomy

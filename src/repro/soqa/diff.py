@@ -1,0 +1,130 @@
+"""Structural diff between two ontology versions.
+
+Ontologies evolve; integration scenarios built on SST need to know what
+changed between the version a schema was annotated against and the
+version loaded today.  :func:`diff_ontologies` compares two ontologies
+element-by-element in meta-model terms and reports:
+
+* added / removed concepts,
+* concepts whose superconcepts, documentation, attributes, methods,
+  relationships or instances changed (with per-field detail),
+* metadata changes.
+
+The diff is purely structural (name-keyed); renames appear as a
+remove + add, which keeps the semantics obvious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soqa.metamodel import Concept, Ontology
+
+__all__ = ["ConceptChange", "OntologyDiff", "diff_ontologies"]
+
+
+@dataclass(frozen=True)
+class ConceptChange:
+    """One changed concept with its per-field deltas."""
+
+    concept_name: str
+    changes: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.concept_name}: " + "; ".join(self.changes)
+
+
+@dataclass
+class OntologyDiff:
+    """The full comparison result."""
+
+    added_concepts: list[str] = field(default_factory=list)
+    removed_concepts: list[str] = field(default_factory=list)
+    changed_concepts: list[ConceptChange] = field(default_factory=list)
+    metadata_changes: list[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the versions are structurally identical."""
+        return not (self.added_concepts or self.removed_concepts
+                    or self.changed_concepts or self.metadata_changes)
+
+    def to_text(self) -> str:
+        """The diff as a readable report."""
+        if self.is_empty:
+            return "no differences"
+        lines: list[str] = []
+        for change in self.metadata_changes:
+            lines.append(f"metadata: {change}")
+        for name in self.added_concepts:
+            lines.append(f"+ {name}")
+        for name in self.removed_concepts:
+            lines.append(f"- {name}")
+        for change in self.changed_concepts:
+            lines.append(f"~ {change}")
+        return "\n".join(lines)
+
+
+def _field_changes(old: Concept, new: Concept) -> list[str]:
+    changes: list[str] = []
+    if sorted(old.superconcept_names) != sorted(new.superconcept_names):
+        changes.append(
+            f"superconcepts {sorted(old.superconcept_names)} -> "
+            f"{sorted(new.superconcept_names)}")
+    if old.documentation != new.documentation:
+        changes.append("documentation changed")
+    old_attributes = {attribute.name: attribute.data_type
+                      for attribute in old.attributes}
+    new_attributes = {attribute.name: attribute.data_type
+                      for attribute in new.attributes}
+    for name in sorted(new_attributes.keys() - old_attributes.keys()):
+        changes.append(f"attribute +{name}")
+    for name in sorted(old_attributes.keys() - new_attributes.keys()):
+        changes.append(f"attribute -{name}")
+    for name in sorted(old_attributes.keys() & new_attributes.keys()):
+        if old_attributes[name] != new_attributes[name]:
+            changes.append(
+                f"attribute {name}: type {old_attributes[name]} -> "
+                f"{new_attributes[name]}")
+    old_methods = set(old.method_names())
+    new_methods = set(new.method_names())
+    for name in sorted(new_methods - old_methods):
+        changes.append(f"method +{name}")
+    for name in sorted(old_methods - new_methods):
+        changes.append(f"method -{name}")
+    old_relationships = set(old.relationship_names())
+    new_relationships = set(new.relationship_names())
+    for name in sorted(new_relationships - old_relationships):
+        changes.append(f"relationship +{name}")
+    for name in sorted(old_relationships - new_relationships):
+        changes.append(f"relationship -{name}")
+    old_instances = set(old.instance_names())
+    new_instances = set(new.instance_names())
+    for name in sorted(new_instances - old_instances):
+        changes.append(f"instance +{name}")
+    for name in sorted(old_instances - new_instances):
+        changes.append(f"instance -{name}")
+    return changes
+
+
+def diff_ontologies(old: Ontology, new: Ontology) -> OntologyDiff:
+    """Compare two ontology versions; ``old`` is the baseline."""
+    result = OntologyDiff()
+    old_metadata = old.metadata.as_dict()
+    new_metadata = new.metadata.as_dict()
+    for key in old_metadata:
+        if key == "name":
+            continue  # loaders routinely rename; not a content change
+        if old_metadata[key] != new_metadata[key]:
+            result.metadata_changes.append(
+                f"{key}: {old_metadata[key]!r} -> {new_metadata[key]!r}")
+    old_names = set(old.concept_names())
+    new_names = set(new.concept_names())
+    result.added_concepts = sorted(new_names - old_names)
+    result.removed_concepts = sorted(old_names - new_names)
+    for name in sorted(old_names & new_names):
+        changes = _field_changes(old.concept(name), new.concept(name))
+        if changes:
+            result.changed_concepts.append(
+                ConceptChange(name, tuple(changes)))
+    return result

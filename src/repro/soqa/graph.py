@@ -1,0 +1,294 @@
+"""Taxonomy graph algorithms for distance-based similarity measures.
+
+The distance-based and information-theoretic SimPack measures need graph
+primitives over the specialization DAG: depths, shortest paths, most
+recent common ancestors (MRCA), and subtree sizes.  The paper (section
+2.2) notes that in a multiple-inheritance DAG the ontology distance is
+"usually defined as the shortest path going through a common ancestor or
+as the shortest path in general, potentially connecting two concepts
+through common descendants"; both policies are implemented here and the
+choice is benchmarked in the Figure-3 ablation.
+
+A :class:`Taxonomy` is deliberately decoupled from the SOQA meta model —
+it is built from ``(node, parents)`` pairs — so the same algorithms serve
+single ontologies, the unified Super-Thing tree, and synthetic taxonomies
+in the scaling benches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from repro.errors import UnknownConceptError
+
+__all__ = ["PathPolicy", "Taxonomy"]
+
+#: Shortest-path policies (paper section 2.2).
+PathPolicy = str
+VIA_ANCESTOR: PathPolicy = "via_ancestor"
+ANY_PATH: PathPolicy = "any"
+
+
+class Taxonomy:
+    """An immutable specialization DAG with cached graph queries."""
+
+    def __init__(self, parents: Mapping[str, Iterable[str]]):
+        self._parents: dict[str, tuple[str, ...]] = {
+            node: tuple(node_parents)
+            for node, node_parents in parents.items()
+        }
+        self._children: dict[str, list[str]] = {
+            node: [] for node in self._parents}
+        for node, node_parents in self._parents.items():
+            for parent in node_parents:
+                if parent not in self._parents:
+                    raise UnknownConceptError(parent)
+                self._children[parent].append(node)
+        self._depth_cache: dict[str, int] = {}
+        self._ancestor_cache: dict[str, dict[str, int]] = {}
+        self._descendant_count_cache: dict[str, int] = {}
+        self._max_depth: int | None = None
+
+    # -- basic structure ---------------------------------------------------------
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def nodes(self) -> list[str]:
+        """All node names, in insertion order."""
+        return list(self._parents)
+
+    def parents(self, node: str) -> tuple[str, ...]:
+        """Direct superconcepts of ``node``."""
+        self._require(node)
+        return self._parents[node]
+
+    def children(self, node: str) -> list[str]:
+        """Direct subconcepts of ``node``."""
+        self._require(node)
+        return list(self._children[node])
+
+    def roots(self) -> list[str]:
+        """Nodes with no parent."""
+        return [node for node, node_parents in self._parents.items()
+                if not node_parents]
+
+    def leaves(self) -> list[str]:
+        """Nodes with no child."""
+        return [node for node, node_children in self._children.items()
+                if not node_children]
+
+    def _require(self, node: str) -> None:
+        if node not in self._parents:
+            raise UnknownConceptError(node)
+
+    # -- depths -------------------------------------------------------------------
+
+    def depth(self, node: str) -> int:
+        """Shortest edge distance from ``node`` up to any root.
+
+        ``depth(n) = 1 + min(depth(parent))``, computed iteratively with
+        memoization (recursion could overflow on deep chains).
+        """
+        self._require(node)
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in self._depth_cache:
+                stack.pop()
+                continue
+            node_parents = self._parents[current]
+            if not node_parents:
+                self._depth_cache[current] = 0
+                stack.pop()
+                continue
+            missing = [parent for parent in node_parents
+                       if parent not in self._depth_cache]
+            if missing:
+                stack.extend(missing)
+            else:
+                self._depth_cache[current] = 1 + min(
+                    self._depth_cache[parent] for parent in node_parents)
+                stack.pop()
+        return self._depth_cache[node]
+
+    def max_depth(self) -> int:
+        """Length of the longest root-to-leaf path (``MAX`` in Eq. 5).
+
+        Computed as the longest *shortest* root distance over all leaves
+        would underestimate multi-parent chains, so this walks the DAG in
+        topological order accumulating the longest path from any root.
+        """
+        if self._max_depth is not None:
+            return self._max_depth
+        longest: dict[str, int] = {}
+        for node in self._topological_order():
+            node_parents = self._parents[node]
+            if not node_parents:
+                longest[node] = 0
+            else:
+                longest[node] = 1 + max(longest[parent]
+                                        for parent in node_parents)
+        self._max_depth = max(longest.values(), default=0)
+        return self._max_depth
+
+    def _topological_order(self) -> list[str]:
+        in_degree = {node: len(node_parents)
+                     for node, node_parents in self._parents.items()}
+        queue = deque(node for node, degree in in_degree.items()
+                      if degree == 0)
+        order: list[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in self._children[node]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        return order
+
+    # -- ancestors and MRCA ----------------------------------------------------------
+
+    def ancestors_with_distance(self, node: str) -> dict[str, int]:
+        """Map every ancestor-or-self of ``node`` to its minimum distance."""
+        self._require(node)
+        cached = self._ancestor_cache.get(node)
+        if cached is not None:
+            return cached
+        distances = {node: 0}
+        frontier = deque([node])
+        while frontier:
+            current = frontier.popleft()
+            for parent in self._parents[current]:
+                if parent not in distances:
+                    distances[parent] = distances[current] + 1
+                    frontier.append(parent)
+        self._ancestor_cache[node] = distances
+        return distances
+
+    def common_ancestors(self, first: str, second: str) -> set[str]:
+        """All concepts subsuming both nodes (``S(Rx, Ry)`` in Eq. 7)."""
+        return (set(self.ancestors_with_distance(first))
+                & set(self.ancestors_with_distance(second)))
+
+    def mrca(self, first: str, second: str) -> tuple[str, int, int] | None:
+        """The most recent common ancestor and the distances to it.
+
+        Returns ``(ancestor, n1, n2)`` minimizing ``n1 + n2`` (ties broken
+        by deeper ancestor, then name, for determinism), or ``None`` when
+        the nodes share no ancestor (distinct components).
+        """
+        first_distances = self.ancestors_with_distance(first)
+        second_distances = self.ancestors_with_distance(second)
+        best: tuple[int, int, str] | None = None
+        for ancestor, distance_first in first_distances.items():
+            distance_second = second_distances.get(ancestor)
+            if distance_second is None:
+                continue
+            key = (distance_first + distance_second,
+                   -self.depth(ancestor), ancestor)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        ancestor = best[2]
+        return ancestor, first_distances[ancestor], second_distances[ancestor]
+
+    # -- shortest paths -----------------------------------------------------------------
+
+    def shortest_path_length(self, first: str, second: str,
+                             policy: PathPolicy = VIA_ANCESTOR) -> int | None:
+        """Edge count of the shortest path between two concepts.
+
+        ``policy="via_ancestor"`` restricts paths to those passing through
+        a common ancestor (up from one concept, down to the other);
+        ``policy="any"`` allows arbitrary up/down alternation, potentially
+        connecting concepts through common descendants (paper section
+        2.2).  Returns ``None`` if no such path exists.
+        """
+        self._require(first)
+        self._require(second)
+        if first == second:
+            return 0
+        if policy == VIA_ANCESTOR:
+            meeting = self.mrca(first, second)
+            if meeting is None:
+                return None
+            return meeting[1] + meeting[2]
+        if policy == ANY_PATH:
+            return self._undirected_bfs(first, second)
+        raise ValueError(f"unknown path policy {policy!r}")
+
+    def _undirected_bfs(self, first: str, second: str) -> int | None:
+        frontier = deque([(first, 0)])
+        seen = {first}
+        while frontier:
+            current, distance = frontier.popleft()
+            neighbors = list(self._parents[current])
+            neighbors.extend(self._children[current])
+            for neighbor in neighbors:
+                if neighbor == second:
+                    return distance + 1
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append((neighbor, distance + 1))
+        return None
+
+    # -- subtree statistics ----------------------------------------------------------------
+
+    def descendant_count(self, node: str) -> int:
+        """Number of distinct descendants-or-self of ``node``.
+
+        This is the subclass count used to estimate concept probabilities
+        for the information-theoretic measures when the instance space is
+        sparse (the paper's proposal in section 2.2).
+        """
+        self._require(node)
+        cached = self._descendant_count_cache.get(node)
+        if cached is not None:
+            return cached
+        seen = {node}
+        frontier = deque([node])
+        while frontier:
+            current = frontier.popleft()
+            for child in self._children[current]:
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        count = len(seen)
+        self._descendant_count_cache[node] = count
+        return count
+
+    def descendants(self, node: str) -> set[str]:
+        """All distinct descendants of ``node`` (excluding itself)."""
+        self._require(node)
+        seen = {node}
+        frontier = deque([node])
+        while frontier:
+            current = frontier.popleft()
+            for child in self._children[current]:
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        seen.discard(node)
+        return seen
+
+    def path_to_root(self, node: str) -> list[str]:
+        """One shortest node sequence from ``node`` up to a root.
+
+        Used by mapping M2 to derive string sequences from concepts.
+        Deterministic: among equally short parents the lexicographically
+        smallest is taken.
+        """
+        self._require(node)
+        path = [node]
+        current = node
+        while self._parents[current]:
+            current = min(self._parents[current],
+                          key=lambda parent: (self.depth(parent), parent))
+            path.append(current)
+        return path

@@ -1,0 +1,446 @@
+"""The SOQA Ontology Meta Model (paper section 2.1, Fig. 1).
+
+The meta model is the language-independent representation every SOQA
+wrapper parses its source into.  An :class:`Ontology` owns:
+
+* :class:`OntologyMetadata` — name, author, version, URI, language, ...
+* :class:`Concept` objects forming a specialization DAG (multiple
+  inheritance is allowed), each with attributes, methods, relationships,
+  equivalent/antonym concept names, and instances.
+* :class:`Attribute`, :class:`Method`, :class:`Relationship`,
+  :class:`Instance` — the remaining meta-model elements, each carrying
+  name, documentation and definition as the paper prescribes.
+
+Derived navigation (direct and indirect super-/subconcepts, coordinate
+concepts, roots, leaves) is computed here so wrappers only have to state
+the direct ``is-a`` edges they parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import OntologyParseError, UnknownConceptError
+
+__all__ = [
+    "Attribute",
+    "Concept",
+    "Instance",
+    "Method",
+    "Ontology",
+    "OntologyMetadata",
+    "Parameter",
+    "Relationship",
+]
+
+
+@dataclass
+class OntologyMetadata:
+    """Metadata describing the ontology itself (paper section 2.1).
+
+    The paper lists: name, author, date of last modification, (header)
+    documentation, version, copyright, URI, and the name of the ontology
+    language the ontology is specified in.
+    """
+
+    name: str
+    language: str = ""
+    author: str = ""
+    last_modified: str = ""
+    documentation: str = ""
+    version: str = ""
+    copyright: str = ""
+    uri: str = ""
+
+    def as_dict(self) -> dict[str, str]:
+        """Return the metadata as a plain mapping, for display and SOQA-QL."""
+        return {
+            "name": self.name,
+            "language": self.language,
+            "author": self.author,
+            "last_modified": self.last_modified,
+            "documentation": self.documentation,
+            "version": self.version,
+            "copyright": self.copyright,
+            "uri": self.uri,
+        }
+
+
+@dataclass
+class Attribute:
+    """A property of a concept.
+
+    Each attribute has a name, documentation, data type, definition, and
+    the name of the concept it is specified in.
+    """
+
+    name: str
+    concept_name: str
+    data_type: str = "string"
+    documentation: str = ""
+    definition: str = ""
+
+
+@dataclass
+class Parameter:
+    """A single input parameter of a :class:`Method`."""
+
+    name: str
+    data_type: str = "string"
+
+
+@dataclass
+class Method:
+    """A function attached to a concept.
+
+    Methods transform zero or more input parameters into an output value;
+    they are first-class in the SOQA meta model because languages such as
+    PowerLoom support ``deffunction``.
+    """
+
+    name: str
+    concept_name: str
+    parameters: list[Parameter] = field(default_factory=list)
+    return_type: str = "string"
+    documentation: str = ""
+    definition: str = ""
+
+    @property
+    def arity(self) -> int:
+        """Number of input parameters."""
+        return len(self.parameters)
+
+
+@dataclass
+class Relationship:
+    """A named relationship between concepts.
+
+    ``related_concept_names`` lists the concepts the relationship relates;
+    its length is the relationship's arity.  Taxonomic ``is-a`` edges are
+    *not* stored as Relationship objects — they live on the concepts — but
+    wrappers may additionally expose them here for SOQA-QL queries.
+    """
+
+    name: str
+    related_concept_names: list[str] = field(default_factory=list)
+    documentation: str = ""
+    definition: str = ""
+
+    @property
+    def arity(self) -> int:
+        """Number of concepts this relationship relates."""
+        return len(self.related_concept_names)
+
+
+@dataclass
+class Instance:
+    """An instance (individual) of a concept.
+
+    Carries concrete attribute values and relationship targets, plus the
+    name of the concept it belongs to.
+    """
+
+    name: str
+    concept_name: str
+    attribute_values: dict[str, str] = field(default_factory=dict)
+    relationship_targets: dict[str, list[str]] = field(default_factory=dict)
+    documentation: str = ""
+
+
+@dataclass
+class Concept:
+    """An entity type in the ontology's universe of discourse.
+
+    Wrappers populate the *direct* structure (``superconcept_names``,
+    attributes, methods, relationships, equivalent and antonym names);
+    everything derived (subconcepts, indirect closures, coordinates) is
+    computed by the owning :class:`Ontology`.
+    """
+
+    name: str
+    documentation: str = ""
+    definition: str = ""
+    superconcept_names: list[str] = field(default_factory=list)
+    attributes: list[Attribute] = field(default_factory=list)
+    methods: list[Method] = field(default_factory=list)
+    relationships: list[Relationship] = field(default_factory=list)
+    equivalent_concept_names: list[str] = field(default_factory=list)
+    antonym_concept_names: list[str] = field(default_factory=list)
+    instances: list[Instance] = field(default_factory=list)
+    # Populated by Ontology._link(); not set by wrappers.
+    subconcept_names: list[str] = field(default_factory=list, repr=False)
+
+    def attribute_names(self) -> list[str]:
+        """Names of the attributes declared directly on this concept."""
+        return [attribute.name for attribute in self.attributes]
+
+    def method_names(self) -> list[str]:
+        """Names of the methods declared directly on this concept."""
+        return [method.name for method in self.methods]
+
+    def relationship_names(self) -> list[str]:
+        """Names of the non-taxonomic relationships on this concept."""
+        return [relationship.name for relationship in self.relationships]
+
+    def instance_names(self) -> list[str]:
+        """Names of the direct instances of this concept."""
+        return [instance.name for instance in self.instances]
+
+    def feature_set(self) -> frozenset[str]:
+        """The concept's feature set for vector-based measures (mapping M1).
+
+        Features are the names of attributes, methods and relationships
+        declared on the concept, plus the names of its direct
+        superconcepts — the "properties" view of a resource described in
+        paper section 2.2.
+        """
+        features: set[str] = set(self.attribute_names())
+        features.update(self.method_names())
+        features.update(self.relationship_names())
+        features.update(self.superconcept_names)
+        return frozenset(features)
+
+
+class Ontology:
+    """A fully linked ontology in SOQA Ontology Meta Model terms.
+
+    Construction validates the concept set (no duplicate names, no dangling
+    superconcept references, no ``is-a`` cycles) and derives subconcept
+    links.  All navigation the paper's meta model promises — direct and
+    indirect super-/subconcepts, coordinate, equivalent and antonym
+    concepts, plus extensions of every element kind — is available here.
+    """
+
+    def __init__(self, metadata: OntologyMetadata,
+                 concepts: Iterable[Concept]):
+        self.metadata = metadata
+        self._concepts: dict[str, Concept] = {}
+        for concept in concepts:
+            if concept.name in self._concepts:
+                raise OntologyParseError(
+                    f"duplicate concept {concept.name!r}",
+                    source=metadata.name)
+            self._concepts[concept.name] = concept
+        self._link()
+        self._check_acyclic()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _link(self) -> None:
+        """Validate superconcept references and derive subconcept lists."""
+        for concept in self._concepts.values():
+            concept.subconcept_names = []
+        for concept in self._concepts.values():
+            for super_name in concept.superconcept_names:
+                parent = self._concepts.get(super_name)
+                if parent is None:
+                    raise OntologyParseError(
+                        f"concept {concept.name!r} names unknown "
+                        f"superconcept {super_name!r}",
+                        source=self.metadata.name)
+                parent.subconcept_names.append(concept.name)
+
+    def _check_acyclic(self) -> None:
+        """Reject taxonomies whose is-a graph contains a cycle."""
+        state: dict[str, int] = {}  # 0 unseen implicit, 1 visiting, 2 done
+
+        def visit(name: str, trail: list[str]) -> None:
+            mark = state.get(name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                cycle = " -> ".join(trail + [name])
+                raise OntologyParseError(
+                    f"is-a cycle detected: {cycle}",
+                    source=self.metadata.name)
+            state[name] = 1
+            for super_name in self._concepts[name].superconcept_names:
+                visit(super_name, trail + [name])
+            state[name] = 2
+
+        for name in self._concepts:
+            visit(name, [])
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The ontology's name (shorthand for ``metadata.name``)."""
+        return self.metadata.name
+
+    @property
+    def language(self) -> str:
+        """The ontology language the ontology was specified in."""
+        return self.metadata.language
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, concept_name: str) -> bool:
+        return concept_name in self._concepts
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Ontology({self.name!r}, language={self.language!r}, "
+                f"concepts={len(self)})")
+
+    # -- concept access -------------------------------------------------------
+
+    def concept(self, name: str) -> Concept:
+        """Return the concept called ``name``.
+
+        Raises :class:`~repro.errors.UnknownConceptError` if absent.
+        """
+        try:
+            return self._concepts[name]
+        except KeyError:
+            raise UnknownConceptError(name, self.name) from None
+
+    def concept_names(self) -> list[str]:
+        """All concept names, in definition order."""
+        return list(self._concepts)
+
+    def concepts(self) -> list[Concept]:
+        """All concepts, in definition order."""
+        return list(self._concepts.values())
+
+    def root_concepts(self) -> list[Concept]:
+        """Concepts with no superconcept (taxonomy roots)."""
+        return [concept for concept in self._concepts.values()
+                if not concept.superconcept_names]
+
+    def leaf_concepts(self) -> list[Concept]:
+        """Concepts with no subconcept (taxonomy leaves)."""
+        return [concept for concept in self._concepts.values()
+                if not concept.subconcept_names]
+
+    # -- taxonomy navigation ---------------------------------------------------
+
+    def direct_superconcepts(self, name: str) -> list[Concept]:
+        """The direct superconcepts of ``name``."""
+        return [self.concept(super_name)
+                for super_name in self.concept(name).superconcept_names]
+
+    def direct_subconcepts(self, name: str) -> list[Concept]:
+        """The direct subconcepts of ``name``."""
+        return [self.concept(sub_name)
+                for sub_name in self.concept(name).subconcept_names]
+
+    def superconcepts(self, name: str) -> list[Concept]:
+        """All (direct and indirect) superconcepts of ``name``.
+
+        Breadth-first, nearest ancestors first, without duplicates; the
+        concept itself is excluded.
+        """
+        return self._closure(name, lambda c: c.superconcept_names)
+
+    def subconcepts(self, name: str) -> list[Concept]:
+        """All (direct and indirect) subconcepts of ``name``.
+
+        Breadth-first, nearest descendants first, without duplicates; the
+        concept itself is excluded.
+        """
+        return self._closure(name, lambda c: c.subconcept_names)
+
+    def _closure(self, name, successors) -> list[Concept]:
+        seen: set[str] = {name}
+        order: list[Concept] = []
+        frontier = [name]
+        while frontier:
+            next_frontier: list[str] = []
+            for current in frontier:
+                for succ_name in successors(self.concept(current)):
+                    if succ_name not in seen:
+                        seen.add(succ_name)
+                        order.append(self.concept(succ_name))
+                        next_frontier.append(succ_name)
+            frontier = next_frontier
+        return order
+
+    def coordinate_concepts(self, name: str) -> list[Concept]:
+        """Concepts on the same hierarchy level as ``name``.
+
+        Per the paper, coordinate concepts share a direct superconcept
+        with the given concept (siblings).  Root concepts are coordinate
+        with the other roots.
+        """
+        concept = self.concept(name)
+        if not concept.superconcept_names:
+            return [root for root in self.root_concepts()
+                    if root.name != name]
+        siblings: list[Concept] = []
+        seen: set[str] = {name}
+        for super_name in concept.superconcept_names:
+            for sibling_name in self.concept(super_name).subconcept_names:
+                if sibling_name not in seen:
+                    seen.add(sibling_name)
+                    siblings.append(self.concept(sibling_name))
+        return siblings
+
+    def equivalent_concepts(self, name: str) -> list[str]:
+        """Names declared equivalent to ``name`` (possibly cross-ontology)."""
+        return list(self.concept(name).equivalent_concept_names)
+
+    def antonym_concepts(self, name: str) -> list[str]:
+        """Names declared antonym to ``name`` (e.g. from WordNet)."""
+        return list(self.concept(name).antonym_concept_names)
+
+    # -- element extensions -----------------------------------------------------
+
+    def all_attributes(self) -> list[Attribute]:
+        """The extension of all attributes appearing in the ontology."""
+        return [attribute for concept in self._concepts.values()
+                for attribute in concept.attributes]
+
+    def all_methods(self) -> list[Method]:
+        """The extension of all methods appearing in the ontology."""
+        return [method for concept in self._concepts.values()
+                for method in concept.methods]
+
+    def all_relationships(self) -> list[Relationship]:
+        """The extension of all relationships appearing in the ontology."""
+        return [relationship for concept in self._concepts.values()
+                for relationship in concept.relationships]
+
+    def all_instances(self) -> list[Instance]:
+        """The extension of all instances appearing in the ontology."""
+        return [instance for concept in self._concepts.values()
+                for instance in concept.instances]
+
+    def instances_of(self, name: str, include_subconcepts: bool = True
+                     ) -> list[Instance]:
+        """Instances of ``name``; by default including subconcept instances."""
+        concepts = [self.concept(name)]
+        if include_subconcepts:
+            concepts.extend(self.subconcepts(name))
+        return [instance for concept in concepts
+                for instance in concept.instances]
+
+    # -- text export -------------------------------------------------------------
+
+    def concept_description(self, name: str) -> str:
+        """A full-text description of a concept for the TFIDF measure.
+
+        The paper exports "a full-text description of all concepts in an
+        ontology to their textual representation" for Lucene indexing.
+        The exported text concatenates the concept name, documentation,
+        definition, attribute/method/relationship names and documentation,
+        and the names of direct super- and subconcepts.
+        """
+        concept = self.concept(name)
+        parts: list[str] = [concept.name, concept.documentation,
+                            concept.definition]
+        for attribute in concept.attributes:
+            parts.extend([attribute.name, attribute.documentation])
+        for method in concept.methods:
+            parts.extend([method.name, method.documentation])
+        for relationship in concept.relationships:
+            parts.extend([relationship.name, relationship.documentation])
+            parts.extend(relationship.related_concept_names)
+        parts.extend(concept.superconcept_names)
+        parts.extend(concept.subconcept_names)
+        parts.extend(concept.equivalent_concept_names)
+        return " ".join(part for part in parts if part)

@@ -1,0 +1,245 @@
+"""A from-scratch RDF/XML reader.
+
+The paper's OWL and DAML wrappers sit on Jena-style RDF machinery; this
+module is the equivalent substrate: it turns RDF/XML text into a list of
+triples that the OWL/DAML wrappers interpret against their vocabularies.
+
+The reader covers the RDF/XML constructs ontology documents actually use:
+
+* typed node elements (``<owl:Class rdf:ID="Professor">``),
+* ``rdf:ID`` / ``rdf:about`` / ``rdf:resource`` subject and object forms,
+* property elements with resource objects, literal objects, or nested
+  node elements (which become blank nodes),
+* ``rdf:Description`` with explicit ``rdf:type`` children,
+* ``xml:base`` resolution for relative URIs.
+
+It is deliberately *not* a complete RDF/XML parser (no reification, no
+``rdf:parseType="Collection"`` lists beyond flattening the members); every
+construct in the bundled ontologies round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass
+
+from repro.errors import OntologyParseError
+
+__all__ = ["Literal", "Triple", "TripleGraph", "local_name", "parse_rdfxml",
+           "RDF_NS", "RDFS_NS", "OWL_NS", "DAML_NS"]
+
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+OWL_NS = "http://www.w3.org/2002/07/owl#"
+DAML_NS = "http://www.daml.org/2001/03/daml+oil#"
+
+_RDF_ABOUT = f"{{{RDF_NS}}}about"
+_RDF_ID = f"{{{RDF_NS}}}ID"
+_RDF_RESOURCE = f"{{{RDF_NS}}}resource"
+_RDF_NODEID = f"{{{RDF_NS}}}nodeID"
+_RDF_DATATYPE = f"{{{RDF_NS}}}datatype"
+_RDF_PARSETYPE = f"{{{RDF_NS}}}parseType"
+_RDF_DESCRIPTION = f"{{{RDF_NS}}}Description"
+_RDF_TYPE = f"{RDF_NS}type"
+_XML_BASE = "{http://www.w3.org/XML/1998/namespace}base"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An RDF literal value, with optional datatype URI."""
+
+    value: str
+    datatype: str = ""
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement; ``obj`` is a URI string or a :class:`Literal`."""
+
+    subject: str
+    predicate: str
+    obj: str | Literal
+
+
+def local_name(uri: str) -> str:
+    """The local part of a URI: after ``#`` if present, else the last ``/``.
+
+    >>> local_name("http://example.org/univ#Professor")
+    'Professor'
+    """
+    if "#" in uri:
+        return uri.rsplit("#", 1)[1]
+    return uri.rstrip("/").rsplit("/", 1)[-1]
+
+
+def _split_qname(tag: str, base: str = "") -> str:
+    """Turn an ElementTree ``{ns}local`` tag into a full URI.
+
+    Tags without a namespace (no default ``xmlns`` declared) are resolved
+    against the document base, matching how RDF/XML treats unqualified
+    names in ontology documents.
+    """
+    if tag.startswith("{"):
+        namespace, local = tag[1:].split("}", 1)
+        return namespace + local
+    if base:
+        return f"{base}#{tag}"
+    return tag
+
+
+class TripleGraph:
+    """A queryable bag of triples produced by :func:`parse_rdfxml`."""
+
+    def __init__(self, triples: list[Triple], base: str = ""):
+        self.triples = triples
+        self.base = base
+        self._by_subject: dict[str, list[Triple]] = {}
+        self._by_predicate: dict[str, list[Triple]] = {}
+        for triple in triples:
+            self._by_subject.setdefault(triple.subject, []).append(triple)
+            self._by_predicate.setdefault(triple.predicate, []).append(triple)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def subjects_of_type(self, type_uri: str) -> list[str]:
+        """Subjects with an ``rdf:type`` triple pointing at ``type_uri``."""
+        seen: set[str] = set()
+        subjects: list[str] = []
+        for triple in self._by_predicate.get(_RDF_TYPE, []):
+            if triple.obj == type_uri and triple.subject not in seen:
+                seen.add(triple.subject)
+                subjects.append(triple.subject)
+        return subjects
+
+    def objects(self, subject: str, predicate: str) -> list[str | Literal]:
+        """All objects of ``(subject, predicate, _)`` triples, in order."""
+        return [triple.obj for triple in self._by_subject.get(subject, [])
+                if triple.predicate == predicate]
+
+    def resource_objects(self, subject: str, predicate: str) -> list[str]:
+        """Non-literal objects of ``(subject, predicate, _)`` triples."""
+        return [obj for obj in self.objects(subject, predicate)
+                if isinstance(obj, str)]
+
+    def literal(self, subject: str, predicate: str, default: str = "") -> str:
+        """First literal object of ``(subject, predicate, _)``, or default."""
+        for obj in self.objects(subject, predicate):
+            if isinstance(obj, Literal):
+                return obj.value
+        return default
+
+    def types(self, subject: str) -> list[str]:
+        """The ``rdf:type`` objects of ``subject``."""
+        return self.resource_objects(subject, _RDF_TYPE)
+
+    def predicates(self, subject: str) -> list[Triple]:
+        """All triples whose subject is ``subject``."""
+        return list(self._by_subject.get(subject, []))
+
+
+class _Parser:
+    """Stateful walk of the RDF/XML element tree emitting triples."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.triples: list[Triple] = []
+        self._blank_counter = 0
+
+    def _blank_node(self) -> str:
+        self._blank_counter += 1
+        return f"_:b{self._blank_counter}"
+
+    def _resolve(self, reference: str, base: str) -> str:
+        """Resolve an rdf:about/rdf:resource reference against the base."""
+        if reference.startswith(("http://", "https://", "urn:", "file:")):
+            return reference
+        if reference.startswith("#"):
+            return base + reference
+        if reference == "":
+            return base
+        # A bare relative reference: treat like a fragment, matching how
+        # the bundled ontologies use it.
+        return f"{base}#{reference}"
+
+    def parse(self, root: ElementTree.Element, base: str) -> TripleGraph:
+        base = root.get(_XML_BASE, base)
+        if _split_qname(root.tag) != f"{RDF_NS}RDF":
+            # A single node element may serve as the document root.
+            self._node_element(root, base)
+        else:
+            for child in root:
+                self._node_element(child, base)
+        return TripleGraph(self.triples, base=base)
+
+    def _subject_of(self, element: ElementTree.Element, base: str) -> str:
+        base = element.get(_XML_BASE, base)
+        about = element.get(_RDF_ABOUT)
+        if about is not None:
+            return self._resolve(about, base)
+        rdf_id = element.get(_RDF_ID)
+        if rdf_id is not None:
+            return f"{base}#{rdf_id}"
+        node_id = element.get(_RDF_NODEID)
+        if node_id is not None:
+            return f"_:{node_id}"
+        return self._blank_node()
+
+    def _node_element(self, element: ElementTree.Element, base: str) -> str:
+        """Emit triples for a node element; return its subject."""
+        base = element.get(_XML_BASE, base)
+        subject = self._subject_of(element, base)
+        tag_uri = _split_qname(element.tag, base)
+        if tag_uri != _split_qname(_RDF_DESCRIPTION):
+            self.triples.append(Triple(subject, _RDF_TYPE, tag_uri))
+        for property_element in element:
+            self._property_element(subject, property_element, base)
+        return subject
+
+    def _property_element(self, subject: str,
+                          element: ElementTree.Element, base: str) -> None:
+        predicate = _split_qname(element.tag, base)
+        resource = element.get(_RDF_RESOURCE)
+        if resource is not None:
+            obj: str | Literal = self._resolve(resource, base)
+            self.triples.append(Triple(subject, predicate, obj))
+            return
+        node_id = element.get(_RDF_NODEID)
+        if node_id is not None:
+            self.triples.append(Triple(subject, predicate, f"_:{node_id}"))
+            return
+        children = list(element)
+        if children:
+            parse_type = element.get(_RDF_PARSETYPE)
+            if parse_type == "Collection":
+                # Flatten collections: one triple per member.
+                for child in children:
+                    member = self._node_element(child, base)
+                    self.triples.append(Triple(subject, predicate, member))
+                return
+            if len(children) != 1:
+                raise OntologyParseError(
+                    f"property element {predicate} has {len(children)} "
+                    "child node elements; expected one")
+            child_subject = self._node_element(children[0], base)
+            self.triples.append(Triple(subject, predicate, child_subject))
+            return
+        text = (element.text or "").strip()
+        datatype = element.get(_RDF_DATATYPE, "")
+        self.triples.append(
+            Triple(subject, predicate, Literal(text, datatype)))
+
+
+def parse_rdfxml(text: str, base: str = "http://example.org/onto",
+                 source: str = "<string>") -> TripleGraph:
+    """Parse RDF/XML ``text`` into a :class:`TripleGraph`.
+
+    ``base`` is used to resolve ``rdf:ID`` and relative references when the
+    document carries no ``xml:base``.
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise OntologyParseError(
+            f"malformed XML: {exc}", source=source) from exc
+    return _Parser(source).parse(root, base)

@@ -1,0 +1,172 @@
+"""JSON serialization of the SOQA Ontology Meta Model.
+
+The meta model is SOQA's neutral, language-independent representation;
+serializing it gives a canonical interchange format: parse any supported
+ontology language once, save the meta-model JSON, and reload it without
+the original parser.  ``language`` is preserved, so a reloaded ontology
+reports its source language even though it now loads via JSON.
+
+The format is versioned (``format`` key) and round-trip complete for
+every meta-model element: metadata, concepts (with super/equivalent/
+antonym links), attributes, methods with parameters, relationships, and
+instances with attribute values and relationship targets.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import OntologyParseError
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Parameter,
+    Relationship,
+)
+from repro.soqa.wrapper import OntologyWrapper
+
+__all__ = ["JSONWrapper", "ontology_from_json", "ontology_to_json"]
+
+FORMAT = "soqa-metamodel/1"
+
+
+def _concept_to_dict(concept: Concept) -> dict:
+    return {
+        "name": concept.name,
+        "documentation": concept.documentation,
+        "definition": concept.definition,
+        "superconcepts": list(concept.superconcept_names),
+        "equivalent": list(concept.equivalent_concept_names),
+        "antonyms": list(concept.antonym_concept_names),
+        "attributes": [{
+            "name": attribute.name,
+            "data_type": attribute.data_type,
+            "documentation": attribute.documentation,
+            "definition": attribute.definition,
+        } for attribute in concept.attributes],
+        "methods": [{
+            "name": method.name,
+            "parameters": [{"name": parameter.name,
+                            "data_type": parameter.data_type}
+                           for parameter in method.parameters],
+            "return_type": method.return_type,
+            "documentation": method.documentation,
+            "definition": method.definition,
+        } for method in concept.methods],
+        "relationships": [{
+            "name": relationship.name,
+            "related": list(relationship.related_concept_names),
+            "documentation": relationship.documentation,
+            "definition": relationship.definition,
+        } for relationship in concept.relationships],
+        "instances": [{
+            "name": instance.name,
+            "attribute_values": dict(instance.attribute_values),
+            "relationship_targets": {
+                relation: list(targets)
+                for relation, targets
+                in instance.relationship_targets.items()},
+            "documentation": instance.documentation,
+        } for instance in concept.instances],
+    }
+
+
+def _concept_from_dict(data: dict) -> Concept:
+    name = data["name"]
+    return Concept(
+        name=name,
+        documentation=data.get("documentation", ""),
+        definition=data.get("definition", ""),
+        superconcept_names=list(data.get("superconcepts", [])),
+        equivalent_concept_names=list(data.get("equivalent", [])),
+        antonym_concept_names=list(data.get("antonyms", [])),
+        attributes=[Attribute(
+            name=attribute["name"], concept_name=name,
+            data_type=attribute.get("data_type", "string"),
+            documentation=attribute.get("documentation", ""),
+            definition=attribute.get("definition", ""),
+        ) for attribute in data.get("attributes", [])],
+        methods=[Method(
+            name=method["name"], concept_name=name,
+            parameters=[Parameter(name=parameter["name"],
+                                  data_type=parameter.get("data_type",
+                                                          "string"))
+                        for parameter in method.get("parameters", [])],
+            return_type=method.get("return_type", "string"),
+            documentation=method.get("documentation", ""),
+            definition=method.get("definition", ""),
+        ) for method in data.get("methods", [])],
+        relationships=[Relationship(
+            name=relationship["name"],
+            related_concept_names=list(relationship.get("related", [])),
+            documentation=relationship.get("documentation", ""),
+            definition=relationship.get("definition", ""),
+        ) for relationship in data.get("relationships", [])],
+        instances=[Instance(
+            name=instance["name"], concept_name=name,
+            attribute_values=dict(instance.get("attribute_values", {})),
+            relationship_targets={
+                relation: list(targets)
+                for relation, targets
+                in instance.get("relationship_targets", {}).items()},
+            documentation=instance.get("documentation", ""),
+        ) for instance in data.get("instances", [])],
+    )
+
+
+def ontology_to_json(ontology: Ontology, indent: int | None = 2) -> str:
+    """Serialize an ontology to meta-model JSON text."""
+    document = {
+        "format": FORMAT,
+        "metadata": ontology.metadata.as_dict(),
+        "concepts": [_concept_to_dict(concept) for concept in ontology],
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def ontology_from_json(text: str,
+                       name: str | None = None) -> Ontology:
+    """Rebuild an ontology from meta-model JSON text.
+
+    ``name`` overrides the serialized ontology name when given.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise OntologyParseError(f"malformed JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != FORMAT:
+        raise OntologyParseError(
+            f"not a {FORMAT} document (format="
+            f"{document.get('format') if isinstance(document, dict) else None!r})")
+    metadata_data = document.get("metadata", {})
+    metadata = OntologyMetadata(
+        name=name or metadata_data.get("name", "unnamed"),
+        language=metadata_data.get("language", ""),
+        author=metadata_data.get("author", ""),
+        last_modified=metadata_data.get("last_modified", ""),
+        documentation=metadata_data.get("documentation", ""),
+        version=metadata_data.get("version", ""),
+        copyright=metadata_data.get("copyright", ""),
+        uri=metadata_data.get("uri", ""),
+    )
+    concepts = [_concept_from_dict(concept_data)
+                for concept_data in document.get("concepts", [])]
+    return Ontology(metadata, concepts)
+
+
+class JSONWrapper(OntologyWrapper):
+    """A SOQA wrapper for the meta-model JSON format itself.
+
+    Lets serialized ontologies participate in the usual
+    ``SOQA.load_file`` flow (suffix ``.soqa.json`` / ``.soqajson``).
+    """
+
+    language = "SOQA-JSON"
+    suffixes = (".soqajson",)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        return ontology_from_json(text, name=name)

@@ -1,0 +1,130 @@
+"""S-expression reader for the PowerLoom wrapper.
+
+PowerLoom ontologies are written as Lisp-style forms such as::
+
+    (defconcept EMPLOYEE (?e PERSON)
+      :documentation "A person employed by the university.")
+
+This module tokenizes and reads such text into nested Python lists of
+:class:`Symbol`, ``str`` (for quoted strings) and numbers.  Comments
+(``;`` to end of line) are skipped.  The PowerLoom wrapper interprets
+the resulting forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OntologyParseError
+
+__all__ = ["Symbol", "read_forms", "tokenize"]
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A bare (unquoted) Lisp symbol, e.g. ``defconcept`` or ``?e``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Form = "Symbol | str | int | float | list"
+
+
+def tokenize(text: str, source: str = "<string>") -> list[tuple[str, str, int]]:
+    """Split ``text`` into ``(kind, value, line)`` tokens.
+
+    Kinds are ``"("``, ``")"``, ``"string"``, and ``"atom"``.
+    """
+    tokens: list[tuple[str, str, int]] = []
+    index = 0
+    line = 1
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            index += 1
+        elif char.isspace():
+            index += 1
+        elif char == ";":
+            while index < length and text[index] != "\n":
+                index += 1
+        elif char in "()":
+            tokens.append((char, char, line))
+            index += 1
+        elif char == '"':
+            start_line = line
+            index += 1
+            chunk: list[str] = []
+            while index < length and text[index] != '"':
+                if text[index] == "\\" and index + 1 < length:
+                    index += 1
+                if text[index] == "\n":
+                    line += 1
+                chunk.append(text[index])
+                index += 1
+            if index >= length:
+                raise OntologyParseError(
+                    "unterminated string literal", source=source,
+                    line=start_line)
+            index += 1  # closing quote
+            tokens.append(("string", "".join(chunk), start_line))
+        else:
+            start = index
+            while (index < length and not text[index].isspace()
+                   and text[index] not in '();"'):
+                index += 1
+            tokens.append(("atom", text[start:index], line))
+    return tokens
+
+
+def _atom(value: str):
+    """Turn an atom token into an int, float, or :class:`Symbol`."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return Symbol(value)
+
+
+def read_forms(text: str, source: str = "<string>") -> list:
+    """Read all top-level forms from ``text``.
+
+    Returns a list of nested forms; raises
+    :class:`~repro.errors.OntologyParseError` on unbalanced parentheses.
+    """
+    tokens = tokenize(text, source=source)
+    forms: list = []
+    stack: list[list] = []
+    open_lines: list[int] = []
+    for kind, value, line in tokens:
+        if kind == "(":
+            stack.append([])
+            open_lines.append(line)
+        elif kind == ")":
+            if not stack:
+                raise OntologyParseError(
+                    "unbalanced ')'", source=source, line=line)
+            finished = stack.pop()
+            open_lines.pop()
+            if stack:
+                stack[-1].append(finished)
+            else:
+                forms.append(finished)
+        elif kind == "string":
+            target = stack[-1] if stack else forms
+            target.append(value)
+        else:
+            target = stack[-1] if stack else forms
+            target.append(_atom(value))
+    if stack:
+        raise OntologyParseError(
+            "unbalanced '('", source=source, line=open_lines[-1])
+    return forms

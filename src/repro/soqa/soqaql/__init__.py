@@ -1,0 +1,26 @@
+"""SOQA-QL: declarative queries over ontology data and metadata.
+
+The paper (section 2.1) describes SOQA-QL as a query language that
+"uses the API provided by the SOQA Facade to offer declarative queries
+over data and metadata of ontologies".  This package implements it as a
+small SQL-like language:
+
+.. code-block:: sql
+
+    SELECT name, ontology FROM concepts
+    WHERE documentation LIKE '%professor%' ORDER BY name LIMIT 10
+
+    SELECT * FROM ontologies
+    SELECT name, concept, datatype FROM attributes IN 'univ-bench_owl'
+    DESCRIBE CONCEPT Professor IN 'base1_0_daml'
+
+Sources: ``ontologies``, ``concepts``, ``attributes``, ``methods``,
+``relationships``, ``instances``.  Conditions support comparison
+operators, ``LIKE`` (with ``%`` wildcards), ``CONTAINS``, ``AND`` /
+``OR`` / ``NOT`` and parentheses.
+"""
+
+from repro.soqa.soqaql.evaluator import ResultSet, SOQAQLEngine
+from repro.soqa.soqaql.parser import parse_query
+
+__all__ = ["ResultSet", "SOQAQLEngine", "parse_query"]

@@ -1,0 +1,88 @@
+"""Abstract syntax tree node types for SOQA-QL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Comparison",
+    "DescribeQuery",
+    "Literal",
+    "LogicalOp",
+    "NotOp",
+    "OrderSpec",
+    "SelectQuery",
+    "ShowOntologiesQuery",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric literal in a condition."""
+
+    value: "str | float"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``field <op> literal`` — op is one of = != < <= > >= LIKE CONTAINS."""
+
+    field: str
+    op: str
+    value: Literal
+
+
+@dataclass(frozen=True)
+class LogicalOp:
+    """``left AND right`` / ``left OR right``."""
+
+    op: str  # "and" | "or"
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """``NOT operand``."""
+
+    operand: object
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """One ORDER BY entry."""
+
+    field: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``SELECT [DISTINCT] fields FROM source [IN ontology] [WHERE ...]
+    [ORDER BY ...] [LIMIT n]``.
+
+    ``count`` marks a ``SELECT COUNT(*)`` query, whose result is a
+    single-row ``count`` column.
+    """
+
+    fields: tuple[str, ...]      # ("*",) selects all columns
+    source: str                  # concepts | attributes | ...
+    ontology: str | None = None
+    where: object | None = None
+    order_by: tuple[OrderSpec, ...] = field(default_factory=tuple)
+    limit: int | None = None
+    distinct: bool = False
+    count: bool = False
+
+
+@dataclass(frozen=True)
+class DescribeQuery:
+    """``DESCRIBE CONCEPT name IN ontology``."""
+
+    concept_name: str
+    ontology: str | None = None
+
+
+@dataclass(frozen=True)
+class ShowOntologiesQuery:
+    """``SHOW ONTOLOGIES``."""

@@ -1,0 +1,303 @@
+"""SOQA-QL evaluation against a SOQA facade."""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+
+from repro.errors import SOQAQLEvaluationError
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import Ontology
+from repro.soqa.soqaql.ast import (
+    Comparison,
+    DescribeQuery,
+    LogicalOp,
+    NotOp,
+    SelectQuery,
+    ShowOntologiesQuery,
+)
+from repro.soqa.soqaql.parser import parse_query
+
+__all__ = ["ResultSet", "SOQAQLEngine"]
+
+Row = dict
+
+
+@dataclass
+class ResultSet:
+    """Columns and rows of one query's results."""
+
+    columns: list[str]
+    rows: list[list[object]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_text(self) -> str:
+        """The result set as an aligned text table."""
+        from repro.viz.ascii import render_table
+
+        printable = [[_format_cell(cell) for cell in row]
+                     for row in self.rows]
+        return render_table(list(self.columns), printable)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one named column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise SOQAQLEvaluationError(f"no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    if isinstance(cell, (list, tuple)):
+        return ", ".join(str(item) for item in cell)
+    return str(cell)
+
+
+class SOQAQLEngine:
+    """Evaluates SOQA-QL queries against the ontologies of a SOQA facade."""
+
+    def __init__(self, soqa: SOQA):
+        self.soqa = soqa
+
+    # -- row production ----------------------------------------------------------
+
+    def _ontologies(self, ontology_filter: str | None) -> list[Ontology]:
+        if ontology_filter is None:
+            return self.soqa.ontologies()
+        return [self.soqa.ontology(ontology_filter)]
+
+    def _rows_for(self, source: str,
+                  ontology_filter: str | None) -> list[Row]:
+        producer = getattr(self, f"_rows_{source}")
+        rows: list[Row] = []
+        for ontology in self._ontologies(ontology_filter):
+            rows.extend(producer(ontology))
+        return rows
+
+    def _rows_ontologies(self, ontology: Ontology) -> list[Row]:
+        metadata = ontology.metadata.as_dict()
+        metadata["concept_count"] = len(ontology)
+        metadata["instance_count"] = len(ontology.all_instances())
+        return [metadata]
+
+    def _rows_concepts(self, ontology: Ontology) -> list[Row]:
+        taxonomy = None
+        rows = []
+        for concept in ontology:
+            rows.append({
+                "name": concept.name,
+                "ontology": ontology.name,
+                "documentation": concept.documentation,
+                "definition": concept.definition,
+                "superconcepts": list(concept.superconcept_names),
+                "subconcepts": list(concept.subconcept_names),
+                "equivalent": list(concept.equivalent_concept_names),
+                "antonyms": list(concept.antonym_concept_names),
+                "attribute_count": len(concept.attributes),
+                "method_count": len(concept.methods),
+                "relationship_count": len(concept.relationships),
+                "instance_count": len(concept.instances),
+                "is_root": not concept.superconcept_names,
+                "is_leaf": not concept.subconcept_names,
+            })
+        return rows
+
+    def _rows_attributes(self, ontology: Ontology) -> list[Row]:
+        return [{
+            "name": attribute.name,
+            "ontology": ontology.name,
+            "concept": attribute.concept_name,
+            "datatype": attribute.data_type,
+            "documentation": attribute.documentation,
+            "definition": attribute.definition,
+        } for attribute in ontology.all_attributes()]
+
+    def _rows_methods(self, ontology: Ontology) -> list[Row]:
+        return [{
+            "name": method.name,
+            "ontology": ontology.name,
+            "concept": method.concept_name,
+            "arity": method.arity,
+            "return_type": method.return_type,
+            "documentation": method.documentation,
+        } for method in ontology.all_methods()]
+
+    def _rows_relationships(self, ontology: Ontology) -> list[Row]:
+        rows = []
+        for concept in ontology:
+            for relationship in concept.relationships:
+                rows.append({
+                    "name": relationship.name,
+                    "ontology": ontology.name,
+                    "concept": concept.name,
+                    "arity": relationship.arity,
+                    "related": list(relationship.related_concept_names),
+                    "documentation": relationship.documentation,
+                })
+        return rows
+
+    def _rows_instances(self, ontology: Ontology) -> list[Row]:
+        return [{
+            "name": instance.name,
+            "ontology": ontology.name,
+            "concept": instance.concept_name,
+            "attribute_values": dict(instance.attribute_values),
+            "documentation": instance.documentation,
+        } for instance in ontology.all_instances()]
+
+    # -- condition evaluation ---------------------------------------------------------
+
+    def _evaluate_condition(self, condition, row: Row) -> bool:
+        if condition is None:
+            return True
+        if isinstance(condition, LogicalOp):
+            left = self._evaluate_condition(condition.left, row)
+            if condition.op == "and":
+                return left and self._evaluate_condition(condition.right, row)
+            return left or self._evaluate_condition(condition.right, row)
+        if isinstance(condition, NotOp):
+            return not self._evaluate_condition(condition.operand, row)
+        if isinstance(condition, Comparison):
+            return self._compare(condition, row)
+        raise SOQAQLEvaluationError(
+            f"unsupported condition node {condition!r}")
+
+    def _compare(self, comparison: Comparison, row: Row) -> bool:
+        if comparison.field not in row:
+            raise SOQAQLEvaluationError(
+                f"unknown field {comparison.field!r}; available: "
+                f"{', '.join(sorted(row))}")
+        actual = row[comparison.field]
+        expected = comparison.value.value
+        if comparison.op == "like":
+            pattern = str(expected).replace("%", "*").replace("_", "?")
+            return fnmatch.fnmatch(str(actual).lower(), pattern.lower())
+        if comparison.op == "contains":
+            if isinstance(actual, (list, tuple)):
+                return any(str(expected).lower() == str(item).lower()
+                           for item in actual)
+            return str(expected).lower() in str(actual).lower()
+        if isinstance(actual, bool):
+            expected = str(expected).lower() in ("true", "1", "1.0", "yes")
+        elif isinstance(actual, (int, float)) \
+                and not isinstance(expected, float):
+            try:
+                expected = float(expected)
+            except ValueError:
+                raise SOQAQLEvaluationError(
+                    f"cannot compare numeric field {comparison.field!r} "
+                    f"with {expected!r}") from None
+        elif isinstance(actual, str):
+            expected = str(expected)
+        if comparison.op == "=":
+            if isinstance(actual, str):
+                return actual.lower() == str(expected).lower()
+            return actual == expected
+        if comparison.op == "!=":
+            if isinstance(actual, str):
+                return actual.lower() != str(expected).lower()
+            return actual != expected
+        try:
+            if comparison.op == "<":
+                return actual < expected
+            if comparison.op == "<=":
+                return actual <= expected
+            if comparison.op == ">":
+                return actual > expected
+            if comparison.op == ">=":
+                return actual >= expected
+        except TypeError as error:
+            raise SOQAQLEvaluationError(str(error)) from None
+        raise SOQAQLEvaluationError(f"unknown operator {comparison.op!r}")
+
+    # -- query execution -----------------------------------------------------------------
+
+    def execute(self, query_text: str) -> ResultSet:
+        """Parse and evaluate one query."""
+        query = parse_query(query_text)
+        if isinstance(query, SelectQuery):
+            return self._execute_select(query)
+        if isinstance(query, DescribeQuery):
+            return self._execute_describe(query)
+        if isinstance(query, ShowOntologiesQuery):
+            return self._execute_select(SelectQuery(
+                fields=("name", "language", "concept_count", "uri"),
+                source="ontologies"))
+        raise SOQAQLEvaluationError(f"unsupported query {query!r}")
+
+    def _execute_select(self, query: SelectQuery) -> ResultSet:
+        rows = self._rows_for(query.source, query.ontology)
+        rows = [row for row in rows
+                if self._evaluate_condition(query.where, row)]
+        if query.count:
+            return ResultSet(columns=["count"], rows=[[len(rows)]])
+        for spec in reversed(query.order_by):
+            missing = [row for row in rows if spec.field not in row]
+            if missing:
+                raise SOQAQLEvaluationError(
+                    f"cannot order by unknown field {spec.field!r}")
+            rows.sort(key=lambda row: _sort_key(row[spec.field]),
+                      reverse=spec.descending)
+        if query.fields == ("*",):
+            columns = list(rows[0]) if rows else ["name"]
+        else:
+            columns = list(query.fields)
+            for row in rows:
+                for column in columns:
+                    if column not in row:
+                        raise SOQAQLEvaluationError(
+                            f"unknown field {column!r}; available: "
+                            f"{', '.join(sorted(row))}")
+                break
+        projected = [[row.get(column, "") for column in columns]
+                     for row in rows]
+        if query.distinct:
+            seen: set[str] = set()
+            deduplicated = []
+            for row in projected:
+                fingerprint = repr(row)
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    deduplicated.append(row)
+            projected = deduplicated
+        if query.limit is not None:
+            projected = projected[:query.limit]
+        return ResultSet(columns=columns, rows=projected)
+
+    def _execute_describe(self, query: DescribeQuery) -> ResultSet:
+        if query.ontology is not None:
+            hits = [(query.ontology,
+                     self.soqa.concept(query.concept_name, query.ontology))]
+        else:
+            hits = self.soqa.find_concepts(query.concept_name)
+        rows: list[list[object]] = []
+        for ontology_name, concept in hits:
+            rows.extend([
+                ["ontology", ontology_name],
+                ["name", concept.name],
+                ["documentation", concept.documentation],
+                ["definition", concept.definition],
+                ["superconcepts", ", ".join(concept.superconcept_names)],
+                ["subconcepts", ", ".join(concept.subconcept_names)],
+                ["attributes", ", ".join(concept.attribute_names())],
+                ["methods", ", ".join(concept.method_names())],
+                ["relationships", ", ".join(concept.relationship_names())],
+                ["instances", ", ".join(concept.instance_names())],
+            ])
+        return ResultSet(columns=["property", "value"], rows=rows)
+
+
+def _sort_key(value: object):
+    """Total order over mixed cell types: numbers first, then strings."""
+    if isinstance(value, bool):
+        return (0, float(value))
+    if isinstance(value, (int, float)):
+        return (0, float(value))
+    if isinstance(value, (list, tuple)):
+        return (1, ", ".join(str(item) for item in value))
+    return (1, str(value))

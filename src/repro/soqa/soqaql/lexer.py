@@ -1,0 +1,80 @@
+"""Tokenizer for SOQA-QL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SOQAQLSyntaxError
+
+__all__ = ["KEYWORDS", "Token", "tokenize"]
+
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "COUNT", "FROM", "WHERE", "IN", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "AND", "OR", "NOT", "LIKE", "CONTAINS",
+    "DESCRIBE", "CONCEPT", "SHOW", "ONTOLOGIES",
+})
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", ",", "(", ")", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is ``keyword``, ``identifier``,
+    ``string``, ``number``, or ``operator``."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split a SOQA-QL query into tokens.
+
+    Raises :class:`~repro.errors.SOQAQLSyntaxError` on unterminated
+    strings or unexpected characters.
+    """
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            end = text.find("'", index + 1)
+            if end == -1:
+                raise SOQAQLSyntaxError("unterminated string literal",
+                                        position=index)
+            tokens.append(Token("string", text[index + 1:end], index))
+            index = end + 1
+            continue
+        matched_operator = next(
+            (operator for operator in _OPERATORS
+             if text.startswith(operator, index)), None)
+        if matched_operator is not None:
+            value = "!=" if matched_operator == "<>" else matched_operator
+            tokens.append(Token("operator", value, index))
+            index += len(matched_operator)
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (text[index].isdigit()
+                                      or text[index] == "."):
+                index += 1
+            tokens.append(Token("number", text[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum()
+                                      or text[index] in "_-."):
+                index += 1
+            word = text[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), start))
+            else:
+                tokens.append(Token("identifier", word, start))
+            continue
+        raise SOQAQLSyntaxError(f"unexpected character {char!r}",
+                                position=index)
+    return tokens

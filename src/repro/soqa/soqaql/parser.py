@@ -1,0 +1,245 @@
+"""Recursive-descent parser for SOQA-QL."""
+
+from __future__ import annotations
+
+from repro.errors import SOQAQLSyntaxError
+from repro.soqa.soqaql.ast import (
+    Comparison,
+    DescribeQuery,
+    Literal,
+    LogicalOp,
+    NotOp,
+    OrderSpec,
+    SelectQuery,
+    ShowOntologiesQuery,
+)
+from repro.soqa.soqaql.lexer import Token, tokenize
+
+__all__ = ["parse_query"]
+
+_SOURCES = frozenset({"ontologies", "concepts", "attributes", "methods",
+                      "relationships", "instances"})
+
+_COMPARATORS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SOQAQLSyntaxError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.advance()
+        if token.kind != "keyword" or token.value != keyword:
+            raise SOQAQLSyntaxError(
+                f"expected {keyword}, got {token.value!r}",
+                position=token.position)
+        return token
+
+    def match_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "keyword" \
+                and token.value == keyword:
+            self.index += 1
+            return True
+        return False
+
+    def match_operator(self, operator: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "operator" \
+                and token.value == operator:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self):
+        token = self.peek()
+        if token is None:
+            raise SOQAQLSyntaxError("empty query")
+        if token.kind == "keyword" and token.value == "SELECT":
+            query = self.parse_select()
+        elif token.kind == "keyword" and token.value == "DESCRIBE":
+            query = self.parse_describe()
+        elif token.kind == "keyword" and token.value == "SHOW":
+            query = self.parse_show()
+        else:
+            raise SOQAQLSyntaxError(
+                f"queries start with SELECT, DESCRIBE or SHOW; got "
+                f"{token.value!r}", position=token.position)
+        trailing = self.peek()
+        if trailing is not None:
+            raise SOQAQLSyntaxError(
+                f"unexpected trailing input {trailing.value!r}",
+                position=trailing.position)
+        return query
+
+    def parse_select(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = self.match_keyword("DISTINCT")
+        count = False
+        if self.match_keyword("COUNT"):
+            count = True
+            if not self.match_operator("("):
+                raise SOQAQLSyntaxError("COUNT expects '(*)'")
+            if not self.match_operator("*"):
+                raise SOQAQLSyntaxError("COUNT expects '(*)'")
+            if not self.match_operator(")"):
+                raise SOQAQLSyntaxError("COUNT expects '(*)'")
+            fields = ["count"]
+        else:
+            fields = self.parse_field_list()
+        self.expect_keyword("FROM")
+        source_token = self.advance()
+        source = source_token.value.lower()
+        if source not in _SOURCES:
+            raise SOQAQLSyntaxError(
+                f"unknown source {source_token.value!r}; expected one of "
+                f"{', '.join(sorted(_SOURCES))}",
+                position=source_token.position)
+        ontology = None
+        if self.match_keyword("IN"):
+            ontology = self.parse_name()
+        where = None
+        if self.match_keyword("WHERE"):
+            where = self.parse_or()
+        order_by: list[OrderSpec] = []
+        if self.match_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_spec())
+            while self.match_operator(","):
+                order_by.append(self.parse_order_spec())
+        limit = None
+        if self.match_keyword("LIMIT"):
+            limit_token = self.advance()
+            if limit_token.kind != "number":
+                raise SOQAQLSyntaxError("LIMIT expects a number",
+                                        position=limit_token.position)
+            limit = int(float(limit_token.value))
+        return SelectQuery(fields=tuple(fields), source=source,
+                           ontology=ontology, where=where,
+                           order_by=tuple(order_by), limit=limit,
+                           distinct=distinct, count=count)
+
+    def parse_field_list(self) -> list[str]:
+        if self.match_operator("*"):
+            return ["*"]
+        fields = [self.parse_identifier()]
+        while self.match_operator(","):
+            fields.append(self.parse_identifier())
+        return fields
+
+    #: Keywords that end a field list and therefore cannot double as
+    #: field names.
+    _STRUCTURAL = frozenset({"FROM", "WHERE", "ORDER", "BY", "LIMIT",
+                             "AND", "OR", "NOT", "ASC", "DESC"})
+
+    def parse_identifier(self) -> str:
+        token = self.advance()
+        if token.kind == "identifier":
+            return token.value.lower()
+        # Non-structural keywords (e.g. ``concept``, ``in``) are legal
+        # field names — several row layouts carry a ``concept`` column.
+        if token.kind == "keyword" and token.value not in self._STRUCTURAL:
+            return token.value.lower()
+        raise SOQAQLSyntaxError(
+            f"expected a field name, got {token.value!r}",
+            position=token.position)
+
+    def parse_name(self) -> str:
+        """An ontology or concept name: identifier or quoted string."""
+        token = self.advance()
+        if token.kind in ("identifier", "string"):
+            return token.value
+        raise SOQAQLSyntaxError(
+            f"expected a name, got {token.value!r}", position=token.position)
+
+    def parse_order_spec(self) -> OrderSpec:
+        fieldname = self.parse_identifier()
+        if self.match_keyword("DESC"):
+            return OrderSpec(fieldname, descending=True)
+        self.match_keyword("ASC")
+        return OrderSpec(fieldname, descending=False)
+
+    # Conditions: OR -> AND -> NOT -> atom.
+
+    def parse_or(self):
+        node = self.parse_and()
+        while self.match_keyword("OR"):
+            node = LogicalOp("or", node, self.parse_and())
+        return node
+
+    def parse_and(self):
+        node = self.parse_not()
+        while self.match_keyword("AND"):
+            node = LogicalOp("and", node, self.parse_not())
+        return node
+
+    def parse_not(self):
+        if self.match_keyword("NOT"):
+            return NotOp(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self):
+        if self.match_operator("("):
+            node = self.parse_or()
+            if not self.match_operator(")"):
+                raise SOQAQLSyntaxError("expected ')'")
+            return node
+        fieldname = self.parse_identifier()
+        op_token = self.advance()
+        if op_token.kind == "operator" and op_token.value in _COMPARATORS:
+            op = op_token.value
+        elif op_token.kind == "keyword" and op_token.value in ("LIKE",
+                                                               "CONTAINS"):
+            op = op_token.value.lower()
+        else:
+            raise SOQAQLSyntaxError(
+                f"expected a comparison operator, got {op_token.value!r}",
+                position=op_token.position)
+        value_token = self.advance()
+        if value_token.kind == "string":
+            literal = Literal(value_token.value)
+        elif value_token.kind == "number":
+            literal = Literal(float(value_token.value))
+        elif value_token.kind == "identifier":
+            literal = Literal(value_token.value)
+        else:
+            raise SOQAQLSyntaxError(
+                f"expected a literal, got {value_token.value!r}",
+                position=value_token.position)
+        return Comparison(fieldname, op, literal)
+
+    def parse_describe(self) -> DescribeQuery:
+        self.expect_keyword("DESCRIBE")
+        self.expect_keyword("CONCEPT")
+        concept_name = self.parse_name()
+        ontology = None
+        if self.match_keyword("IN"):
+            ontology = self.parse_name()
+        return DescribeQuery(concept_name=concept_name, ontology=ontology)
+
+    def parse_show(self) -> ShowOntologiesQuery:
+        self.expect_keyword("SHOW")
+        self.expect_keyword("ONTOLOGIES")
+        return ShowOntologiesQuery()
+
+
+def parse_query(text: str):
+    """Parse SOQA-QL ``text`` into its AST."""
+    return _Parser(tokenize(text)).parse()

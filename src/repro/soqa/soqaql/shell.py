@@ -1,0 +1,96 @@
+"""Interactive SOQA Query Shell.
+
+The paper's facade offers "opening a SOQA Query Shell to declaratively
+query an ontology using SOQA-QL"; this is that shell, built on
+:mod:`cmd` so it runs in any terminal.  Also scriptable: pass queries to
+:meth:`SOQAQLShell.run_query` or feed a list of lines to
+:func:`run_shell` for non-interactive use (tests, CI).
+"""
+
+from __future__ import annotations
+
+import cmd
+from typing import IO
+
+from repro.errors import SOQAError
+from repro.soqa.api import SOQA
+from repro.soqa.soqaql.evaluator import SOQAQLEngine
+
+__all__ = ["SOQAQLShell", "run_shell"]
+
+
+class SOQAQLShell(cmd.Cmd):
+    """``soqa-ql>`` — a line-oriented shell over the SOQA-QL engine."""
+
+    intro = ("SOQA Query Shell. Type a SOQA-QL query, 'help' for examples, "
+             "or 'quit' to leave.")
+    prompt = "soqa-ql> "
+
+    def __init__(self, soqa: SOQA, stdout: IO[str] | None = None):
+        super().__init__(stdout=stdout)
+        self.engine = SOQAQLEngine(soqa)
+
+    def run_query(self, query: str) -> None:
+        """Execute one query and print its result table (or the error)."""
+        try:
+            result = self.engine.execute(query)
+        except SOQAError as error:
+            print(f"error: {error}", file=self.stdout)
+            return
+        print(result.to_text(), file=self.stdout)
+        print(f"({len(result)} rows)", file=self.stdout)
+
+    # cmd dispatches on the first word; route the query keywords back
+    # into one handler so full statements work naturally.
+
+    def do_select(self, line: str) -> None:
+        """SELECT fields FROM source [IN onto] [WHERE ...] [LIMIT n]"""
+        self.run_query(f"select {line}")
+
+    def do_describe(self, line: str) -> None:
+        """DESCRIBE CONCEPT name [IN ontology]"""
+        self.run_query(f"describe {line}")
+
+    def do_show(self, line: str) -> None:
+        """SHOW ONTOLOGIES"""
+        self.run_query(f"show {line}")
+
+    def do_quit(self, line: str) -> bool:
+        """Leave the shell."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:  # do not repeat the last query on Enter
+        pass
+
+    def default(self, line: str) -> None:
+        print(f"unknown input: {line!r}; queries start with SELECT, "
+              "DESCRIBE or SHOW", file=self.stdout)
+
+    def do_help(self, line: str) -> None:
+        """Show example queries."""
+        print("\n".join([
+            "Examples:",
+            "  SHOW ONTOLOGIES",
+            "  SELECT name, ontology FROM concepts WHERE "
+            "documentation LIKE '%professor%'",
+            "  SELECT name, concept, datatype FROM attributes IN "
+            "'univ-bench_owl'",
+            "  SELECT name FROM concepts WHERE is_root = true "
+            "ORDER BY name LIMIT 5",
+            "  DESCRIBE CONCEPT Professor IN 'base1_0_daml'",
+        ]), file=self.stdout)
+
+
+def run_shell(soqa: SOQA, lines: list[str] | None = None,
+              stdout: IO[str] | None = None) -> SOQAQLShell:
+    """Run the shell; with ``lines`` given, execute them and return."""
+    shell = SOQAQLShell(soqa, stdout=stdout)
+    if lines is None:  # pragma: no cover - interactive path
+        shell.cmdloop()
+    else:
+        for line in lines:
+            shell.onecmd(line)
+    return shell

@@ -1,0 +1,315 @@
+"""From-scratch readers for Turtle and N-Triples RDF serializations.
+
+OWL and RDFS ontologies circulate not only as RDF/XML but as Turtle
+(``.ttl``) and N-Triples (``.nt``).  These readers produce the same
+:class:`~repro.soqa.rdfxml.TripleGraph` the RDF/XML reader emits, so the
+OWL/DAML/RDFS vocabularies and builders work unchanged on all three
+serializations.
+
+Supported Turtle subset (the constructs ontology documents use):
+
+* ``@prefix`` / ``@base`` directives (and SPARQL-style ``PREFIX``/``BASE``),
+* prefixed names (``owl:Class``), IRIs (``<http://...>``), and ``a`` as
+  ``rdf:type``,
+* predicate lists with ``;`` and object lists with ``,``,
+* plain, language-tagged and datatyped string literals (with ``\"\"\"``
+  long strings), numbers and booleans,
+* blank nodes ``_:name`` and anonymous ``[ ... ]`` property lists,
+* comments (``#`` to end of line).
+
+Collections ``( ... )`` are flattened to their members, matching the
+RDF/XML reader's treatment of ``parseType="Collection"``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OntologyParseError
+from repro.soqa.rdfxml import RDF_NS, Literal, Triple, TripleGraph
+
+__all__ = ["parse_ntriples", "parse_turtle"]
+
+_RDF_TYPE = f"{RDF_NS}type"
+
+
+class _TurtleLexer:
+    """Character-level tokenizer for the Turtle subset."""
+
+    def __init__(self, text: str, source: str):
+        self.text = text
+        self.source = source
+        self.position = 0
+        self.line = 1
+
+    def error(self, message: str) -> OntologyParseError:
+        return OntologyParseError(message, source=self.source,
+                                  line=self.line)
+
+    def _skip_whitespace(self) -> None:
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == "\n":
+                self.line += 1
+                self.position += 1
+            elif char.isspace():
+                self.position += 1
+            elif char == "#":
+                while (self.position < len(self.text)
+                       and self.text[self.position] != "\n"):
+                    self.position += 1
+            else:
+                break
+
+    def at_end(self) -> bool:
+        self._skip_whitespace()
+        return self.position >= len(self.text)
+
+    def peek(self) -> str:
+        self._skip_whitespace()
+        if self.position >= len(self.text):
+            return ""
+        return self.text[self.position]
+
+    def take(self, expected: str) -> None:
+        if not self.match(expected):
+            raise self.error(f"expected {expected!r} at "
+                             f"...{self.text[self.position:self.position + 20]!r}")
+
+    def match(self, expected: str) -> bool:
+        self._skip_whitespace()
+        if self.text.startswith(expected, self.position):
+            # Keywords must not swallow name prefixes (e.g. 'a' in 'abc').
+            if expected[-1].isalpha():
+                after = self.position + len(expected)
+                if after < len(self.text) and (
+                        self.text[after].isalnum()
+                        or self.text[after] in ":_"):
+                    return False
+            self.position += len(expected)
+            return True
+        return False
+
+    def read_iri(self) -> str:
+        self.take("<")
+        end = self.text.find(">", self.position)
+        if end == -1:
+            raise self.error("unterminated IRI")
+        iri = self.text[self.position:end]
+        self.position = end + 1
+        return iri
+
+    def read_string(self) -> str:
+        for quote in ('"""', "'''", '"', "'"):
+            if self.text.startswith(quote, self.position):
+                self.position += len(quote)
+                chunk: list[str] = []
+                while True:
+                    if self.position >= len(self.text):
+                        raise self.error("unterminated string literal")
+                    if self.text.startswith(quote, self.position):
+                        self.position += len(quote)
+                        return "".join(chunk)
+                    char = self.text[self.position]
+                    if char == "\\" and self.position + 1 < len(self.text):
+                        escape = self.text[self.position + 1]
+                        chunk.append({"n": "\n", "t": "\t", "r": "\r",
+                                      '"': '"', "'": "'", "\\": "\\"}
+                                     .get(escape, escape))
+                        self.position += 2
+                        continue
+                    if char == "\n":
+                        self.line += 1
+                    chunk.append(char)
+                    self.position += 1
+        raise self.error("expected a string literal")
+
+    def read_name(self) -> str:
+        """A prefixed name, bare local name, or directive keyword."""
+        self._skip_whitespace()
+        start = self.position
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isalnum() or char in ":_-.%?":
+                self.position += 1
+            else:
+                break
+        name = self.text[start:self.position].rstrip(".")
+        self.position = start + len(name)
+        if not name:
+            raise self.error(
+                f"expected a name at "
+                f"...{self.text[start:start + 20]!r}")
+        return name
+
+
+class _TurtleParser:
+    def __init__(self, text: str, base: str, source: str):
+        self.lexer = _TurtleLexer(text, source)
+        self.base = base
+        self.prefixes: dict[str, str] = {}
+        self.triples: list[Triple] = []
+        self._blank_counter = 0
+
+    def _blank_node(self) -> str:
+        self._blank_counter += 1
+        return f"_:anon{self._blank_counter}"
+
+    def _resolve_iri(self, iri: str) -> str:
+        if iri.startswith(("http://", "https://", "urn:", "file:")):
+            return iri
+        if iri.startswith("#"):
+            return self.base + iri
+        if iri == "":
+            return self.base
+        return f"{self.base}#{iri}" if "//" not in iri else iri
+
+    def _expand(self, name: str) -> str:
+        if ":" not in name:
+            raise self.lexer.error(f"bare name {name!r} is not a "
+                                   "prefixed name")
+        prefix, local = name.split(":", 1)
+        namespace = self.prefixes.get(prefix)
+        if namespace is None:
+            raise self.lexer.error(f"undeclared prefix {prefix!r}")
+        return namespace + local
+
+    def parse(self) -> TripleGraph:
+        while not self.lexer.at_end():
+            if self.lexer.match("@prefix") or self.lexer.match("PREFIX"):
+                self._directive_prefix()
+            elif self.lexer.match("@base") or self.lexer.match("BASE"):
+                self._directive_base()
+            else:
+                subject = self._read_subject()
+                self._predicate_object_list(subject)
+                self.lexer.take(".")
+        return TripleGraph(self.triples, base=self.base)
+
+    def _directive_prefix(self) -> None:
+        name = self.lexer.read_name()
+        if not name.endswith(":"):
+            raise self.lexer.error("prefix declaration needs 'name:'")
+        namespace = self.lexer.read_iri()
+        self.prefixes[name[:-1]] = self._resolve_iri(namespace) \
+            if not namespace.startswith(("http", "urn", "file")) \
+            else namespace
+        self.lexer.match(".")
+
+    def _directive_base(self) -> None:
+        self.base = self.lexer.read_iri()
+        self.lexer.match(".")
+
+    def _read_subject(self) -> str:
+        char = self.lexer.peek()
+        if char == "<":
+            return self._resolve_iri(self.lexer.read_iri())
+        if char == "[":
+            return self._anonymous_node()
+        name = self.lexer.read_name()
+        if name.startswith("_:"):
+            return name
+        return self._expand(name)
+
+    def _anonymous_node(self) -> str:
+        self.lexer.take("[")
+        node = self._blank_node()
+        if self.lexer.peek() != "]":
+            self._predicate_object_list(node)
+        self.lexer.take("]")
+        return node
+
+    def _predicate_object_list(self, subject: str) -> None:
+        while True:
+            predicate = self._read_predicate()
+            while True:
+                obj = self._read_object()
+                self.triples.append(Triple(subject, predicate, obj))
+                if not self.lexer.match(","):
+                    break
+            if not self.lexer.match(";"):
+                break
+            if self.lexer.peek() in (".", "]", ""):
+                break  # trailing semicolon
+
+    def _read_predicate(self) -> str:
+        if self.lexer.match("a"):
+            return _RDF_TYPE
+        if self.lexer.peek() == "<":
+            return self._resolve_iri(self.lexer.read_iri())
+        return self._expand(self.lexer.read_name())
+
+    def _read_object(self):
+        char = self.lexer.peek()
+        if char == "<":
+            return self._resolve_iri(self.lexer.read_iri())
+        if char in "\"'":
+            value = self.lexer.read_string()
+            datatype = ""
+            if self.lexer.match("^^"):
+                if self.lexer.peek() == "<":
+                    datatype = self._resolve_iri(self.lexer.read_iri())
+                else:
+                    datatype = self._expand(self.lexer.read_name())
+            elif self.lexer.text.startswith("@", self.lexer.position):
+                self.lexer.position += 1
+                self.lexer.read_name()  # language tag, dropped
+            return Literal(value, datatype)
+        if char == "[":
+            return self._anonymous_node()
+        if char == "(":
+            # Collections flatten to their members via a fresh blank
+            # node per member list — callers see the member triples.
+            self.lexer.take("(")
+            members = []
+            while self.lexer.peek() != ")":
+                members.append(self._read_object())
+            self.lexer.take(")")
+            node = self._blank_node()
+            for member in members:
+                self.triples.append(
+                    Triple(node, f"{RDF_NS}li", member))
+            return node
+        name = self.lexer.read_name()
+        if name.startswith("_:"):
+            return name
+        if name in ("true", "false"):
+            return Literal(name,
+                           "http://www.w3.org/2001/XMLSchema#boolean")
+        try:
+            float(name)
+        except ValueError:
+            return self._expand(name)
+        datatype = ("http://www.w3.org/2001/XMLSchema#integer"
+                    if name.lstrip("+-").isdigit()
+                    else "http://www.w3.org/2001/XMLSchema#decimal")
+        return Literal(name, datatype)
+
+
+def parse_turtle(text: str, base: str = "http://example.org/onto",
+                 source: str = "<string>") -> TripleGraph:
+    """Parse Turtle ``text`` into a :class:`TripleGraph`."""
+    return _TurtleParser(text, base, source).parse()
+
+
+def parse_ntriples(text: str, source: str = "<string>") -> TripleGraph:
+    """Parse N-Triples ``text`` into a :class:`TripleGraph`.
+
+    One triple per line, full IRIs only — a strict subset of Turtle, so
+    the Turtle machinery handles each line.
+    """
+    triples: list[Triple] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parser = _TurtleParser(stripped, base="", source=source)
+        parser.lexer.line = line_number
+        try:
+            subject = parser._read_subject()
+            predicate = parser._read_predicate()
+            obj = parser._read_object()
+            parser.lexer.take(".")
+        except OntologyParseError:
+            raise
+        triples.append(Triple(subject, predicate, obj))
+        triples.extend(parser.triples)  # blank-node expansions, if any
+    return TripleGraph(triples)

@@ -1,0 +1,119 @@
+"""SOQA ontology wrappers: protocol and registry.
+
+SOQA conceals language-specific "reasoners" behind wrappers (paper Fig. 2).
+A wrapper knows how to turn one ontology-language's source text into a
+fully linked :class:`~repro.soqa.metamodel.Ontology`.  The
+:class:`WrapperRegistry` maps language names and file suffixes to
+wrappers, which is what makes SOQA extensible to further languages —
+registering a new wrapper is all that is needed (paper section 6).
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+
+from repro.errors import UnsupportedLanguageError
+from repro.soqa.metamodel import Ontology
+
+__all__ = ["OntologyWrapper", "WrapperRegistry", "default_registry"]
+
+
+class OntologyWrapper(abc.ABC):
+    """Base class every SOQA ontology wrapper implements."""
+
+    #: Canonical name of the ontology language (e.g. ``"OWL"``).
+    language: str = ""
+
+    #: File suffixes (lowercase, with dot) this wrapper claims.
+    suffixes: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def parse(self, text: str, name: str) -> Ontology:
+        """Parse ``text`` into an :class:`Ontology` called ``name``.
+
+        Raises :class:`~repro.errors.OntologyParseError` on malformed
+        input.
+        """
+
+    def load(self, path: str | Path, name: str | None = None) -> Ontology:
+        """Parse the ontology stored at ``path``.
+
+        The ontology name defaults to the file stem.
+        """
+        path = Path(path)
+        with open(path, encoding="utf-8") as source:
+            text = source.read()
+        return self.parse(text, name or path.stem)
+
+
+class WrapperRegistry:
+    """Maps ontology-language names and file suffixes to wrappers."""
+
+    def __init__(self):
+        self._by_language: dict[str, OntologyWrapper] = {}
+        self._by_suffix: dict[str, OntologyWrapper] = {}
+
+    def register(self, wrapper: OntologyWrapper) -> None:
+        """Register ``wrapper`` under its language name and suffixes.
+
+        Registering a second wrapper for the same language replaces the
+        first, which lets applications override bundled wrappers.
+        """
+        self._by_language[wrapper.language.lower()] = wrapper
+        for suffix in wrapper.suffixes:
+            self._by_suffix[suffix.lower()] = wrapper
+
+    def languages(self) -> list[str]:
+        """Canonical names of all registered languages."""
+        return sorted(wrapper.language
+                      for wrapper in self._by_language.values())
+
+    def for_language(self, language: str) -> OntologyWrapper:
+        """The wrapper registered for ``language`` (case-insensitive)."""
+        try:
+            return self._by_language[language.lower()]
+        except KeyError:
+            raise UnsupportedLanguageError(language) from None
+
+    def for_path(self, path: str | Path) -> OntologyWrapper:
+        """The wrapper claiming the suffix of ``path``."""
+        suffix = Path(path).suffix.lower()
+        try:
+            return self._by_suffix[suffix]
+        except KeyError:
+            raise UnsupportedLanguageError(suffix or str(path)) from None
+
+
+def default_registry() -> WrapperRegistry:
+    """A registry with all bundled wrappers.
+
+    OWL, DAML, PowerLoom and WordNet (the four the paper's SOQA had
+    implemented) plus Ontolingua/KIF, SHOE and plain RDFS — the further
+    languages the paper names as SOQA's scope.  Imported lazily so that
+    :mod:`repro.soqa.wrapper` itself has no dependency on the individual
+    wrapper modules.
+    """
+    from repro.soqa.wrappers.daml import DAMLWrapper
+    from repro.soqa.wrappers.ontolingua import OntolinguaWrapper
+    from repro.soqa.wrappers.owl import (
+        NTriplesWrapper,
+        OWLTurtleWrapper,
+        OWLWrapper,
+    )
+    from repro.soqa.wrappers.powerloom import PowerLoomWrapper
+    from repro.soqa.wrappers.rdfs import RDFSWrapper
+    from repro.soqa.wrappers.shoe import SHOEWrapper
+    from repro.soqa.wrappers.wordnet import WordNetWrapper
+
+    registry = WrapperRegistry()
+    registry.register(OWLWrapper())
+    registry.register(OWLTurtleWrapper())
+    registry.register(NTriplesWrapper())
+    registry.register(DAMLWrapper())
+    registry.register(PowerLoomWrapper())
+    registry.register(WordNetWrapper())
+    registry.register(OntolinguaWrapper())
+    registry.register(SHOEWrapper())
+    registry.register(RDFSWrapper())
+    return registry

@@ -1,0 +1,21 @@
+"""Language-specific SOQA ontology wrappers.
+
+One module per ontology language the toolkit bundles support for:
+:mod:`~repro.soqa.wrappers.owl`, :mod:`~repro.soqa.wrappers.daml`,
+:mod:`~repro.soqa.wrappers.powerloom` and
+:mod:`~repro.soqa.wrappers.wordnet`.  Additional languages plug in by
+subclassing :class:`~repro.soqa.wrapper.OntologyWrapper` and registering
+with a :class:`~repro.soqa.wrapper.WrapperRegistry`.
+"""
+
+from repro.soqa.wrappers.daml import DAMLWrapper
+from repro.soqa.wrappers.ontolingua import OntolinguaWrapper
+from repro.soqa.wrappers.owl import OWLWrapper
+from repro.soqa.wrappers.powerloom import PowerLoomWrapper
+from repro.soqa.wrappers.rdfs import RDFSWrapper
+from repro.soqa.wrappers.shoe import SHOEWrapper
+from repro.soqa.wrappers.wordnet import WordNetWrapper
+
+__all__ = ["DAMLWrapper", "OntolinguaWrapper", "OWLWrapper",
+           "PowerLoomWrapper", "RDFSWrapper", "SHOEWrapper",
+           "WordNetWrapper"]

@@ -1,0 +1,53 @@
+"""SOQA wrapper for DAML+OIL ontologies in RDF/XML syntax.
+
+DAML+OIL predates OWL and uses its own vocabulary
+(``daml:Class``, ``daml:ObjectProperty``, ``daml:DatatypeProperty``,
+``daml:sameClassAs``, ``daml:disjointWith``...) alongside RDFS terms.
+The wrapper reuses the RDF ontology builder from the OWL wrapper with a
+DAML vocabulary, exactly as the paper's SOQA hides both languages behind
+one meta model.
+"""
+
+from __future__ import annotations
+
+from repro.soqa.metamodel import Ontology
+from repro.soqa.rdfxml import DAML_NS, RDFS_NS, parse_rdfxml
+from repro.soqa.wrapper import OntologyWrapper
+from repro.soqa.wrappers.owl import RDFOntologyBuilder, RDFVocabulary
+
+__all__ = ["DAMLWrapper"]
+
+DAML_VOCABULARY = RDFVocabulary(
+    language="DAML",
+    class_types=(f"{DAML_NS}Class", f"{RDFS_NS}Class"),
+    datatype_property_types=(f"{DAML_NS}DatatypeProperty",),
+    object_property_types=(
+        f"{DAML_NS}ObjectProperty",
+        f"{DAML_NS}Property",
+        f"{DAML_NS}TransitiveProperty",
+        f"{DAML_NS}UniqueProperty",
+    ),
+    ontology_types=(f"{DAML_NS}Ontology",),
+    subclass_of=(f"{RDFS_NS}subClassOf", f"{DAML_NS}subClassOf"),
+    equivalent_class=(f"{DAML_NS}sameClassAs", f"{DAML_NS}equivalentTo"),
+    antonym_class=(f"{DAML_NS}disjointWith", f"{DAML_NS}complementOf"),
+    restriction_types=(f"{DAML_NS}Restriction",),
+    on_property=(f"{DAML_NS}onProperty",),
+    domain=(f"{RDFS_NS}domain", f"{DAML_NS}domain"),
+    range=(f"{RDFS_NS}range", f"{DAML_NS}range"),
+    version_info=(f"{DAML_NS}versionInfo",),
+)
+
+
+class DAMLWrapper(OntologyWrapper):
+    """SOQA wrapper for DAML+OIL ontologies serialized as RDF/XML."""
+
+    language = "DAML"
+    suffixes = (".daml",)
+
+    def __init__(self):
+        self._builder = RDFOntologyBuilder(DAML_VOCABULARY)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        graph = parse_rdfxml(text, source=name)
+        return self._builder.build(graph, name)

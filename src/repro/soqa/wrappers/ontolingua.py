@@ -1,0 +1,255 @@
+"""SOQA wrapper for Ontolingua/KIF ontologies.
+
+The paper's first example of a "traditional ontology language" is
+Ontolingua (Farquhar et al.).  Ontolingua files are KIF-based Lisp
+forms; this wrapper interprets the frame-ontology idioms:
+
+* ``(define-class Professor (?x) :def (and (Employee ?x) ...)
+  :documentation "...")`` — a class whose ``:def`` conjunction names the
+  superclasses (unary predicates applied to the class variable),
+* ``(define-relation Teaches (?prof ?course) :def (and (Professor ?prof)
+  (Course ?course)))`` — a relationship typed via its ``:def``; binary
+  relations whose second argument is typed by a KIF datatype predicate
+  (``String``, ``Number``...) surface as attributes,
+* ``(define-function Salary (?emp) :-> ?amount :def (and (Employee
+  ?emp)) ...)`` — a method on the first argument's class,
+* ``(define-instance KR-Course (Course))`` — an instance,
+* ``(define-ontology My-Ontology ...)`` / ``(in-ontology ...)`` —
+  metadata.
+
+Reuses the s-expression reader the PowerLoom wrapper is built on —
+exactly how the paper's SOQA shares machinery across its Lisp-based
+wrappers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OntologyParseError
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Parameter,
+    Relationship,
+)
+from repro.soqa.sexpr import Symbol, read_forms
+from repro.soqa.wrapper import OntologyWrapper
+
+__all__ = ["OntolinguaWrapper"]
+
+#: KIF datatype predicates treated as literal types, not classes.
+KIF_DATATYPES = frozenset({"STRING", "NUMBER", "INTEGER", "REAL",
+                           "BOOLEAN", "SYMBOL"})
+
+
+def _options(form: list) -> dict[str, object]:
+    options: dict[str, object] = {}
+    index = 0
+    while index < len(form):
+        item = form[index]
+        if isinstance(item, Symbol) and item.name.startswith(":"):
+            key = item.name[1:].lower()
+            if index + 1 < len(form) and not (
+                    isinstance(form[index + 1], Symbol)
+                    and form[index + 1].name.startswith(":")):
+                options[key] = form[index + 1]
+                index += 2
+                continue
+            options[key] = True
+        index += 1
+    return options
+
+
+def _symbol(item: object, context: str) -> str:
+    if isinstance(item, Symbol):
+        return item.name
+    raise OntologyParseError(f"expected a symbol in {context}, got {item!r}")
+
+
+def _def_predicates(definition: object, variable: str) -> list[str]:
+    """Unary predicates applied to ``variable`` inside a ``:def`` form.
+
+    ``(and (Employee ?x) (Member ?x Dept))`` with variable ``?x`` yields
+    ``["Employee"]`` — only the unary (typing) atoms.
+    """
+    if not isinstance(definition, list):
+        return []
+    atoms = definition
+    if atoms and isinstance(atoms[0], Symbol) \
+            and atoms[0].name.lower() == "and":
+        atoms = atoms[1:]
+    else:
+        atoms = [definition]
+    predicates: list[str] = []
+    for atom in atoms:
+        if (isinstance(atom, list) and len(atom) == 2
+                and isinstance(atom[0], Symbol)
+                and isinstance(atom[1], Symbol)
+                and atom[1].name == variable):
+            predicates.append(atom[0].name)
+    return predicates
+
+
+class OntolinguaWrapper(OntologyWrapper):
+    """SOQA wrapper for Ontolingua/KIF ``.onto`` files."""
+
+    language = "Ontolingua"
+    suffixes = (".onto", ".kif")
+
+    def parse(self, text: str, name: str) -> Ontology:
+        forms = read_forms(text, source=name)
+        metadata = OntologyMetadata(name=name, language=self.language)
+        concepts: dict[str, Concept] = {}
+        deferred_relations: list[tuple[str, object]] = []
+        deferred_instances: list[tuple[str, Instance]] = []
+
+        def concept_for(concept_name: str) -> Concept:
+            if concept_name not in concepts:
+                concepts[concept_name] = Concept(name=concept_name)
+            return concepts[concept_name]
+
+        for form in forms:
+            if not isinstance(form, list) or not form \
+                    or not isinstance(form[0], Symbol):
+                continue
+            head = form[0].name.lower()
+            if head in ("define-ontology", "in-ontology"):
+                if len(form) > 1 and isinstance(form[1], (Symbol, str)):
+                    metadata.uri = f"ontolingua:{form[1]}"
+                options = _options(form[2:])
+                metadata.documentation = str(
+                    options.get("documentation", metadata.documentation))
+                metadata.author = str(options.get("author", metadata.author))
+                metadata.version = str(
+                    options.get("version", metadata.version))
+            elif head == "define-class":
+                self._define_class(form, concept_for)
+            elif head == "define-relation":
+                deferred_relations.append(
+                    self._define_relation(form, name))
+            elif head == "define-function":
+                deferred_relations.append(
+                    self._define_function(form, name))
+            elif head == "define-instance":
+                deferred_instances.append(self._define_instance(form))
+
+        for domain, element in deferred_relations:
+            concept = concept_for(domain)
+            if isinstance(element, Attribute):
+                concept.attributes.append(element)
+            elif isinstance(element, Method):
+                concept.methods.append(element)
+            else:
+                for related in element.related_concept_names:
+                    if related.upper() not in KIF_DATATYPES:
+                        concept_for(related)
+                concept.relationships.append(element)
+        for concept_name, instance in deferred_instances:
+            concept_for(concept_name).instances.append(instance)
+        return Ontology(metadata, concepts.values())
+
+    # -- definition forms -------------------------------------------------------
+
+    def _define_class(self, form: list, concept_for) -> None:
+        if len(form) < 2:
+            raise OntologyParseError("define-class needs a name")
+        concept = concept_for(_symbol(form[1], "define-class"))
+        rest = form[2:]
+        variable = "?x"
+        if rest and isinstance(rest[0], list) and rest[0] \
+                and isinstance(rest[0][0], Symbol):
+            variable = rest[0][0].name
+            rest = rest[1:]
+        options = _options(rest)
+        if "documentation" in options:
+            concept.documentation = str(options["documentation"])
+        definition = options.get("def")
+        if definition is not None:
+            concept.definition = repr(definition)
+            for super_name in _def_predicates(definition, variable):
+                concept_for(super_name)
+                if super_name not in concept.superconcept_names:
+                    concept.superconcept_names.append(super_name)
+        if not concept.definition:
+            concept.definition = f"define-class {concept.name}"
+
+    def _define_relation(self, form: list,
+                         source: str) -> tuple[str, object]:
+        if len(form) < 3 or not isinstance(form[2], list):
+            raise OntologyParseError(
+                "define-relation needs a name and an argument list",
+                source=source)
+        relation_name = _symbol(form[1], "define-relation")
+        variables = [_symbol(item, "relation arguments")
+                     for item in form[2]]
+        options = _options(form[3:])
+        documentation = str(options.get("documentation", ""))
+        definition = options.get("def")
+        types: list[str] = []
+        for variable in variables:
+            typed = _def_predicates(definition, variable)
+            types.append(typed[0] if typed else "Thing")
+        if not types:
+            raise OntologyParseError(
+                f"define-relation {relation_name} has no arguments",
+                source=source)
+        domain = types[0]
+        if len(types) == 2 and types[1].upper() in KIF_DATATYPES:
+            return domain, Attribute(
+                name=relation_name, concept_name=domain,
+                data_type=types[1].lower(), documentation=documentation,
+                definition=f"define-relation {relation_name}")
+        return domain, Relationship(
+            name=relation_name, related_concept_names=types,
+            documentation=documentation,
+            definition=f"define-relation {relation_name}")
+
+    def _define_function(self, form: list,
+                         source: str) -> tuple[str, object]:
+        if len(form) < 3 or not isinstance(form[2], list):
+            raise OntologyParseError(
+                "define-function needs a name and an argument list",
+                source=source)
+        function_name = _symbol(form[1], "define-function")
+        variables = [_symbol(item, "function arguments")
+                     for item in form[2]]
+        options = _options(form[3:])
+        definition = options.get("def")
+        types = []
+        for variable in variables:
+            typed = _def_predicates(definition, variable)
+            types.append(typed[0] if typed else "Thing")
+        if not types:
+            raise OntologyParseError(
+                f"define-function {function_name} has no arguments",
+                source=source)
+        return_type = "thing"
+        return_variable = options.get("->")
+        if isinstance(return_variable, Symbol):
+            typed = _def_predicates(definition, return_variable.name)
+            if typed:
+                return_type = typed[0].lower()
+        parameters = [Parameter(name=variable.lstrip("?"),
+                                data_type=type_name.lower())
+                      for variable, type_name in zip(variables[1:],
+                                                     types[1:])]
+        return types[0], Method(
+            name=function_name, concept_name=types[0],
+            parameters=parameters, return_type=return_type,
+            documentation=str(options.get("documentation", "")),
+            definition=f"define-function {function_name}")
+
+    def _define_instance(self, form: list) -> tuple[str, Instance]:
+        if len(form) < 3 or not isinstance(form[2], list) or not form[2]:
+            raise OntologyParseError(
+                "define-instance needs a name and a (Class) designator")
+        instance_name = _symbol(form[1], "define-instance")
+        concept_name = _symbol(form[2][0], "instance class")
+        options = _options(form[3:])
+        instance = Instance(name=instance_name, concept_name=concept_name,
+                            documentation=str(
+                                options.get("documentation", "")))
+        return concept_name, instance

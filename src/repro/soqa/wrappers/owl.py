@@ -1,0 +1,372 @@
+"""SOQA wrapper for OWL ontologies in RDF/XML syntax.
+
+Interprets the triples produced by :mod:`repro.soqa.rdfxml` against the
+OWL vocabulary and builds a :class:`~repro.soqa.metamodel.Ontology`:
+
+* ``owl:Class`` / ``rdfs:Class`` subjects become concepts; ``rdfs:subClassOf``
+  edges to named classes become superconcept links, and edges to
+  ``owl:Restriction`` blank nodes surface the restricted property as a
+  relationship of the concept.
+* ``owl:DatatypeProperty`` becomes an :class:`~repro.soqa.metamodel.Attribute`
+  of its ``rdfs:domain`` classes; ``owl:ObjectProperty`` becomes a
+  :class:`~repro.soqa.metamodel.Relationship` between domain and range.
+* ``owl:equivalentClass`` populates equivalent-concept names,
+  ``owl:disjointWith`` / ``owl:complementOf`` populate antonym names
+  (the closest OWL analogue of the meta model's antonyms).
+* Subjects typed with a defined class become
+  :class:`~repro.soqa.metamodel.Instance` objects.
+* The ``owl:Ontology`` header supplies the metadata.
+
+The same builder drives the DAML wrapper with a different vocabulary
+(see :class:`repro.soqa.wrappers.daml.DAMLWrapper`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Ontology,
+    OntologyMetadata,
+    Relationship,
+)
+from repro.soqa.rdfxml import (
+    Literal,
+    OWL_NS,
+    RDF_NS,
+    RDFS_NS,
+    TripleGraph,
+    local_name,
+    parse_rdfxml,
+)
+from repro.soqa.wrapper import OntologyWrapper
+
+__all__ = ["OWLWrapper", "RDFVocabulary"]
+
+_DC_CREATOR = "http://purl.org/dc/elements/1.1/creator"
+_DC_DATE = "http://purl.org/dc/elements/1.1/date"
+_DC_RIGHTS = "http://purl.org/dc/elements/1.1/rights"
+
+
+@dataclass
+class RDFVocabulary:
+    """The URIs an RDF-based ontology language uses for its constructs."""
+
+    language: str
+    class_types: tuple[str, ...]
+    datatype_property_types: tuple[str, ...]
+    object_property_types: tuple[str, ...]
+    ontology_types: tuple[str, ...]
+    subclass_of: tuple[str, ...]
+    equivalent_class: tuple[str, ...]
+    antonym_class: tuple[str, ...]
+    restriction_types: tuple[str, ...]
+    on_property: tuple[str, ...]
+    domain: tuple[str, ...] = (f"{RDFS_NS}domain",)
+    range: tuple[str, ...] = (f"{RDFS_NS}range",)
+    label: str = f"{RDFS_NS}label"
+    comment: str = f"{RDFS_NS}comment"
+    version_info: tuple[str, ...] = ()
+    # Predicates never turned into instance attribute values.
+    structural: frozenset[str] = field(default_factory=frozenset)
+
+
+OWL_VOCABULARY = RDFVocabulary(
+    language="OWL",
+    class_types=(f"{OWL_NS}Class", f"{RDFS_NS}Class"),
+    datatype_property_types=(f"{OWL_NS}DatatypeProperty",),
+    object_property_types=(
+        f"{OWL_NS}ObjectProperty",
+        f"{OWL_NS}TransitiveProperty",
+        f"{OWL_NS}SymmetricProperty",
+        f"{OWL_NS}InverseFunctionalProperty",
+    ),
+    ontology_types=(f"{OWL_NS}Ontology",),
+    subclass_of=(f"{RDFS_NS}subClassOf",),
+    equivalent_class=(f"{OWL_NS}equivalentClass", f"{OWL_NS}sameAs"),
+    antonym_class=(f"{OWL_NS}disjointWith", f"{OWL_NS}complementOf"),
+    restriction_types=(f"{OWL_NS}Restriction",),
+    on_property=(f"{OWL_NS}onProperty",),
+    version_info=(f"{OWL_NS}versionInfo",),
+)
+
+
+class RDFOntologyBuilder:
+    """Builds a meta-model :class:`Ontology` from a :class:`TripleGraph`."""
+
+    def __init__(self, vocabulary: RDFVocabulary):
+        self.vocabulary = vocabulary
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _first_literal(self, graph: TripleGraph, subject: str,
+                       predicates) -> str:
+        for predicate in predicates:
+            value = graph.literal(subject, predicate)
+            if value:
+                return value
+        return ""
+
+    def _class_uris(self, graph: TripleGraph) -> list[str]:
+        uris: list[str] = []
+        seen: set[str] = set()
+        for type_uri in self.vocabulary.class_types:
+            for uri in graph.subjects_of_type(type_uri):
+                if uri.startswith("_:") or uri in seen:
+                    continue
+                seen.add(uri)
+                uris.append(uri)
+        # Named classes that only appear as subClassOf objects still count.
+        for predicate in self.vocabulary.subclass_of:
+            for triple in graph.triples:
+                if triple.predicate != predicate:
+                    continue
+                for uri in (triple.subject, triple.obj):
+                    if (isinstance(uri, str) and not uri.startswith("_:")
+                            and uri not in seen
+                            and not self._is_restriction(graph, uri)):
+                        seen.add(uri)
+                        uris.append(uri)
+        return uris
+
+    def _is_restriction(self, graph: TripleGraph, uri: str) -> bool:
+        return any(type_uri in self.vocabulary.restriction_types
+                   for type_uri in graph.types(uri))
+
+    # -- main build -------------------------------------------------------------
+
+    def build(self, graph: TripleGraph, name: str) -> Ontology:
+        vocabulary = self.vocabulary
+        metadata = self._build_metadata(graph, name)
+        class_uris = self._class_uris(graph)
+        class_set = set(class_uris)
+
+        concepts: dict[str, Concept] = {}
+        for uri in class_uris:
+            concepts[uri] = self._build_concept(graph, uri, class_set)
+
+        self._attach_properties(graph, concepts, class_set)
+        self._attach_instances(graph, concepts, class_set)
+        return Ontology(metadata, concepts.values())
+
+    def _build_metadata(self, graph: TripleGraph,
+                        name: str) -> OntologyMetadata:
+        vocabulary = self.vocabulary
+        header = ""
+        for type_uri in vocabulary.ontology_types:
+            subjects = graph.subjects_of_type(type_uri)
+            if subjects:
+                header = subjects[0]
+                break
+        metadata = OntologyMetadata(name=name, language=vocabulary.language)
+        if header:
+            metadata.uri = "" if header.startswith("_:") else header
+            metadata.documentation = graph.literal(header, vocabulary.comment)
+            metadata.version = self._first_literal(
+                graph, header, vocabulary.version_info)
+            metadata.author = graph.literal(header, _DC_CREATOR)
+            metadata.last_modified = graph.literal(header, _DC_DATE)
+            metadata.copyright = graph.literal(header, _DC_RIGHTS)
+        if not metadata.uri:
+            metadata.uri = graph.base
+        return metadata
+
+    def _build_concept(self, graph: TripleGraph, uri: str,
+                       class_set: set[str]) -> Concept:
+        vocabulary = self.vocabulary
+        supers: list[str] = []
+        relationships: list[Relationship] = []
+        for predicate in vocabulary.subclass_of:
+            for parent in graph.resource_objects(uri, predicate):
+                if parent in class_set:
+                    supers.append(local_name(parent))
+                elif self._is_restriction(graph, parent):
+                    restricted = self._restriction_relationship(
+                        graph, uri, parent)
+                    if restricted is not None:
+                        relationships.append(restricted)
+        equivalents = [local_name(other)
+                       for predicate in vocabulary.equivalent_class
+                       for other in graph.resource_objects(uri, predicate)]
+        antonyms = [local_name(other)
+                    for predicate in vocabulary.antonym_class
+                    for other in graph.resource_objects(uri, predicate)]
+        label = graph.literal(uri, vocabulary.label)
+        comment = graph.literal(uri, vocabulary.comment)
+        documentation = " ".join(part for part in (label, comment) if part)
+        return Concept(
+            name=local_name(uri),
+            documentation=documentation,
+            definition=f"class {local_name(uri)} in {graph.base}",
+            superconcept_names=supers,
+            relationships=relationships,
+            equivalent_concept_names=equivalents,
+            antonym_concept_names=antonyms,
+        )
+
+    def _restriction_relationship(self, graph: TripleGraph, class_uri: str,
+                                  restriction_uri: str) -> Relationship | None:
+        vocabulary = self.vocabulary
+        for predicate in vocabulary.on_property:
+            properties = graph.resource_objects(restriction_uri, predicate)
+            if properties:
+                fillers = [
+                    local_name(obj)
+                    for triple in graph.predicates(restriction_uri)
+                    if isinstance(obj := triple.obj, str)
+                    and triple.predicate not in vocabulary.on_property
+                    and not obj.startswith("_:")
+                ]
+                return Relationship(
+                    name=local_name(properties[0]),
+                    related_concept_names=[local_name(class_uri), *fillers],
+                    definition=f"restriction on {local_name(properties[0])}",
+                )
+        return None
+
+    def _attach_properties(self, graph: TripleGraph,
+                           concepts: dict[str, Concept],
+                           class_set: set[str]) -> None:
+        vocabulary = self.vocabulary
+        for type_uri in vocabulary.datatype_property_types:
+            for property_uri in graph.subjects_of_type(type_uri):
+                self._attach_attribute(graph, property_uri, concepts)
+        for type_uri in vocabulary.object_property_types:
+            for property_uri in graph.subjects_of_type(type_uri):
+                self._attach_relationship(
+                    graph, property_uri, concepts, class_set)
+
+    def _domains(self, graph: TripleGraph, property_uri: str) -> list[str]:
+        return [domain
+                for predicate in self.vocabulary.domain
+                for domain in graph.resource_objects(property_uri, predicate)]
+
+    def _ranges(self, graph: TripleGraph, property_uri: str) -> list[str]:
+        return [range_uri
+                for predicate in self.vocabulary.range
+                for range_uri in graph.resource_objects(
+                    property_uri, predicate)]
+
+    def _attach_attribute(self, graph: TripleGraph, property_uri: str,
+                          concepts: dict[str, Concept]) -> None:
+        vocabulary = self.vocabulary
+        ranges = self._ranges(graph, property_uri)
+        data_type = local_name(ranges[0]) if ranges else "string"
+        documentation = graph.literal(property_uri, vocabulary.comment)
+        for domain in self._domains(graph, property_uri):
+            concept = concepts.get(domain)
+            if concept is not None:
+                concept.attributes.append(Attribute(
+                    name=local_name(property_uri),
+                    concept_name=concept.name,
+                    data_type=data_type,
+                    documentation=documentation,
+                    definition=f"datatype property {local_name(property_uri)}",
+                ))
+
+    def _attach_relationship(self, graph: TripleGraph, property_uri: str,
+                             concepts: dict[str, Concept],
+                             class_set: set[str]) -> None:
+        vocabulary = self.vocabulary
+        documentation = graph.literal(property_uri, vocabulary.comment)
+        ranges = [local_name(range_uri)
+                  for range_uri in self._ranges(graph, property_uri)
+                  if range_uri in class_set]
+        for domain in self._domains(graph, property_uri):
+            concept = concepts.get(domain)
+            if concept is not None:
+                concept.relationships.append(Relationship(
+                    name=local_name(property_uri),
+                    related_concept_names=[concept.name, *ranges],
+                    documentation=documentation,
+                    definition=f"object property {local_name(property_uri)}",
+                ))
+
+    def _attach_instances(self, graph: TripleGraph,
+                          concepts: dict[str, Concept],
+                          class_set: set[str]) -> None:
+        vocabulary = self.vocabulary
+        skip_predicates = {f"{RDF_NS}type", vocabulary.label,
+                           vocabulary.comment}
+        for triple in graph.triples:
+            if triple.predicate != f"{RDF_NS}type":
+                continue
+            if triple.obj not in class_set or triple.subject.startswith("_:"):
+                continue
+            if triple.subject in class_set:
+                continue  # metaclass usage, not an individual
+            concept = concepts[triple.obj]
+            instance = Instance(
+                name=local_name(triple.subject),
+                concept_name=concept.name,
+            )
+            for statement in graph.predicates(triple.subject):
+                if statement.predicate in skip_predicates:
+                    continue
+                key = local_name(statement.predicate)
+                if isinstance(statement.obj, Literal):
+                    instance.attribute_values[key] = statement.obj.value
+                else:
+                    instance.relationship_targets.setdefault(key, []).append(
+                        local_name(statement.obj))
+            instance.documentation = graph.literal(
+                triple.subject, vocabulary.comment)
+            concept.instances.append(instance)
+
+
+class OWLWrapper(OntologyWrapper):
+    """SOQA wrapper for OWL ontologies serialized as RDF/XML."""
+
+    language = "OWL"
+    suffixes = (".owl",)
+
+    def __init__(self):
+        self._builder = RDFOntologyBuilder(OWL_VOCABULARY)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        graph = parse_rdfxml(text, source=name)
+        return self._builder.build(graph, name)
+
+
+class OWLTurtleWrapper(OntologyWrapper):
+    """SOQA wrapper for OWL ontologies serialized as Turtle.
+
+    Same OWL vocabulary and builder as :class:`OWLWrapper`, different
+    serialization — the triple layer makes the wrappers
+    serialization-agnostic.
+    """
+
+    language = "OWL-Turtle"
+    suffixes = (".ttl",)
+
+    def __init__(self):
+        self._builder = RDFOntologyBuilder(OWL_VOCABULARY)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        from repro.soqa.turtle import parse_turtle
+
+        graph = parse_turtle(text, source=name)
+        ontology = self._builder.build(graph, name)
+        ontology.metadata.language = "OWL"  # same language, other syntax
+        return ontology
+
+
+class NTriplesWrapper(OntologyWrapper):
+    """SOQA wrapper for OWL/RDFS ontologies serialized as N-Triples."""
+
+    language = "N-Triples"
+    suffixes = (".nt",)
+
+    def __init__(self):
+        self._builder = RDFOntologyBuilder(OWL_VOCABULARY)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        from repro.soqa.turtle import parse_ntriples
+
+        graph = parse_ntriples(text, source=name)
+        ontology = self._builder.build(graph, name)
+        ontology.metadata.language = "OWL"
+        return ontology

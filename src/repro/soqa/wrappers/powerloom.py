@@ -1,0 +1,276 @@
+"""SOQA wrapper for PowerLoom knowledge bases.
+
+PowerLoom is the traditional (non-Semantic-Web) ontology language the
+paper repeatedly highlights SOQA's support for.  This wrapper interprets
+the forms a ``.ploom`` file contains:
+
+* ``(defmodule "COURSES" :documentation "...")`` / ``(in-module ...)``
+  — ontology metadata,
+* ``(defconcept EMPLOYEE (?e PERSON) :documentation "...")``
+  — a concept, optionally with one or more superconcepts,
+* ``(defrelation teaches ((?e EMPLOYEE) (?c COURSE)))``
+  — a relationship on its first argument's concept; relations whose
+  second argument is a literal type (``STRING``, ``NUMBER``...) are
+  surfaced as attributes, matching how PowerLoom models properties,
+* ``(deffunction salary ((?e EMPLOYEE)) :-> (?s NUMBER))``
+  — a method (PowerLoom functions are why the SOQA meta model has
+  methods at all),
+* ``(assert (EMPLOYEE john))`` — an instance assertion; attribute and
+  relationship fillers come from further assertions such as
+  ``(assert (teaches john algebra))``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OntologyParseError
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Parameter,
+    Relationship,
+)
+from repro.soqa.sexpr import Symbol, read_forms
+from repro.soqa.wrapper import OntologyWrapper
+
+__all__ = ["PowerLoomWrapper"]
+
+#: Argument types treated as literal datatypes rather than concepts.
+LITERAL_TYPES = frozenset({
+    "STRING", "NUMBER", "INTEGER", "FLOAT", "BOOLEAN", "DATE",
+})
+
+
+def _keyword_options(form: list) -> dict[str, object]:
+    """Collect ``:keyword value`` pairs from the tail of a form."""
+    options: dict[str, object] = {}
+    index = 0
+    while index < len(form):
+        item = form[index]
+        if isinstance(item, Symbol) and item.name.startswith(":"):
+            key = item.name[1:].lower()
+            if index + 1 < len(form):
+                options[key] = form[index + 1]
+                index += 2
+                continue
+            options[key] = True
+        index += 1
+    return options
+
+
+def _symbol_name(item: object) -> str:
+    if isinstance(item, Symbol):
+        return item.name
+    raise OntologyParseError(f"expected a symbol, got {item!r}")
+
+
+def _typed_variables(spec: object) -> list[tuple[str, str]]:
+    """Read an argument list like ``((?e EMPLOYEE) (?c COURSE))``.
+
+    Returns ``[(variable, type_name), ...]``.  A bare ``(?e EMPLOYEE)``
+    (as in ``defconcept`` supertype position) is handled by the caller.
+    """
+    if not isinstance(spec, list):
+        raise OntologyParseError(f"expected an argument list, got {spec!r}")
+    arguments: list[tuple[str, str]] = []
+    for entry in spec:
+        if not isinstance(entry, list) or len(entry) < 2:
+            raise OntologyParseError(
+                f"malformed typed argument {entry!r}")
+        variable = _symbol_name(entry[0])
+        type_name = _symbol_name(entry[1])
+        arguments.append((variable, type_name))
+    return arguments
+
+
+class _KnowledgeBase:
+    """Accumulates definitions while forms are interpreted."""
+
+    def __init__(self, default_name: str):
+        self.metadata = OntologyMetadata(
+            name=default_name, language="PowerLoom")
+        self.concepts: dict[str, Concept] = {}
+        self.pending_relations: list[tuple[str, Relationship | Attribute]] = []
+        self.pending_instances: list[tuple[str, Instance]] = []
+        self.relation_domains: dict[str, str] = {}
+        self.relation_kinds: dict[str, str] = {}  # "attribute"|"relationship"
+
+    def concept_for(self, name: str) -> Concept:
+        if name not in self.concepts:
+            # Forward references are legal in PowerLoom files.
+            self.concepts[name] = Concept(name=name)
+        return self.concepts[name]
+
+
+class PowerLoomWrapper(OntologyWrapper):
+    """SOQA wrapper for PowerLoom ``.ploom`` knowledge bases."""
+
+    language = "PowerLoom"
+    suffixes = (".ploom", ".plm")
+
+    def parse(self, text: str, name: str) -> Ontology:
+        forms = read_forms(text, source=name)
+        kb = _KnowledgeBase(default_name=name)
+        for form in forms:
+            self._interpret(form, kb, source=name)
+        self._finalize(kb)
+        return Ontology(kb.metadata, kb.concepts.values())
+
+    # -- form interpretation ---------------------------------------------------
+
+    def _interpret(self, form: object, kb: _KnowledgeBase,
+                   source: str) -> None:
+        if not isinstance(form, list) or not form:
+            return
+        head = form[0]
+        if not isinstance(head, Symbol):
+            return
+        handler = getattr(self, f"_do_{head.name.replace('-', '_').lower()}",
+                          None)
+        if handler is not None:
+            handler(form, kb)
+
+    def _do_defmodule(self, form: list, kb: _KnowledgeBase) -> None:
+        # The module name is recorded as the ontology URI; the ontology's
+        # SOQA name stays whatever the caller asked for, so lookups are
+        # predictable regardless of the module naming inside the file.
+        if len(form) > 1 and isinstance(form[1], str):
+            module = form[1].strip('"/')
+            kb.metadata.uri = f"ploom:module/{module}"
+        options = _keyword_options(form[2:])
+        kb.metadata.documentation = str(options.get("documentation", ""))
+        kb.metadata.author = str(options.get("author", ""))
+        kb.metadata.version = str(options.get("version", ""))
+
+    def _do_in_module(self, form: list, kb: _KnowledgeBase) -> None:
+        if len(form) > 1 and isinstance(form[1], str) and not kb.metadata.uri:
+            module = form[1].strip('"/')
+            kb.metadata.uri = f"ploom:module/{module}"
+
+    def _do_defconcept(self, form: list, kb: _KnowledgeBase) -> None:
+        if len(form) < 2:
+            raise OntologyParseError("defconcept needs a name")
+        concept = kb.concept_for(_symbol_name(form[1]))
+        rest = form[2:]
+        if rest and isinstance(rest[0], list):
+            # (?x SUPER1 SUPER2 ...) — first element is the variable.
+            spec = rest[0]
+            supers = [_symbol_name(item) for item in spec[1:]]
+            for super_name in supers:
+                kb.concept_for(super_name)
+                if super_name not in concept.superconcept_names:
+                    concept.superconcept_names.append(super_name)
+            rest = rest[1:]
+        options = _keyword_options(rest)
+        if "documentation" in options:
+            concept.documentation = str(options["documentation"])
+        if "<=>" in options:
+            concept.definition = repr(options["<=>"])
+        if not concept.definition:
+            concept.definition = f"defconcept {concept.name}"
+
+    def _do_defrelation(self, form: list, kb: _KnowledgeBase) -> None:
+        if len(form) < 3:
+            raise OntologyParseError("defrelation needs a name and arguments")
+        relation_name = _symbol_name(form[1])
+        arguments = _typed_variables(form[2])
+        if not arguments:
+            raise OntologyParseError(
+                f"defrelation {relation_name} has no arguments")
+        options = _keyword_options(form[3:])
+        documentation = str(options.get("documentation", ""))
+        domain = arguments[0][1]
+        kb.relation_domains[relation_name] = domain
+        range_types = [type_name for _, type_name in arguments[1:]]
+        if len(arguments) == 2 and range_types[0].upper() in LITERAL_TYPES:
+            kb.relation_kinds[relation_name] = "attribute"
+            kb.pending_relations.append((domain, Attribute(
+                name=relation_name,
+                concept_name=domain,
+                data_type=range_types[0].lower(),
+                documentation=documentation,
+                definition=f"defrelation {relation_name}",
+            )))
+        else:
+            kb.relation_kinds[relation_name] = "relationship"
+            kb.pending_relations.append((domain, Relationship(
+                name=relation_name,
+                related_concept_names=[domain, *range_types],
+                documentation=documentation,
+                definition=f"defrelation {relation_name}",
+            )))
+
+    def _do_deffunction(self, form: list, kb: _KnowledgeBase) -> None:
+        if len(form) < 3:
+            raise OntologyParseError("deffunction needs a name and arguments")
+        function_name = _symbol_name(form[1])
+        arguments = _typed_variables(form[2])
+        if not arguments:
+            raise OntologyParseError(
+                f"deffunction {function_name} has no arguments")
+        options = _keyword_options(form[3:])
+        return_type = "thing"
+        return_spec = options.get("->")
+        if isinstance(return_spec, list) and len(return_spec) >= 2:
+            return_type = _symbol_name(return_spec[1]).lower()
+        domain = arguments[0][1]
+        parameters = [Parameter(name=variable.lstrip("?"),
+                                data_type=type_name.lower())
+                      for variable, type_name in arguments[1:]]
+        kb.pending_relations.append((domain, Method(
+            name=function_name,
+            concept_name=domain,
+            parameters=parameters,
+            return_type=return_type,
+            documentation=str(options.get("documentation", "")),
+            definition=f"deffunction {function_name}",
+        )))
+
+    def _do_assert(self, form: list, kb: _KnowledgeBase) -> None:
+        if len(form) < 2 or not isinstance(form[1], list):
+            return
+        statement = form[1]
+        if len(statement) == 2 and all(
+                isinstance(item, Symbol) for item in statement):
+            # (CONCEPT individual) — a membership assertion.
+            concept_name = _symbol_name(statement[0])
+            if concept_name in kb.relation_kinds:
+                return
+            instance = Instance(name=_symbol_name(statement[1]),
+                                concept_name=concept_name)
+            kb.pending_instances.append((concept_name, instance))
+        elif len(statement) >= 3 and isinstance(statement[0], Symbol):
+            # (relation individual filler...) — a property assertion.
+            relation_name = _symbol_name(statement[0])
+            subject = statement[1]
+            if not isinstance(subject, Symbol):
+                return
+            for _, instance in kb.pending_instances:
+                if instance.name != subject.name:
+                    continue
+                filler = statement[2]
+                if isinstance(filler, (str, int, float)):
+                    instance.attribute_values[relation_name] = str(filler)
+                elif isinstance(filler, Symbol):
+                    instance.relationship_targets.setdefault(
+                        relation_name, []).append(filler.name)
+
+    # -- finalization -----------------------------------------------------------
+
+    def _finalize(self, kb: _KnowledgeBase) -> None:
+        for domain, element in kb.pending_relations:
+            concept = kb.concept_for(domain)
+            if isinstance(element, Attribute):
+                concept.attributes.append(element)
+            elif isinstance(element, Method):
+                concept.methods.append(element)
+            else:
+                for related in element.related_concept_names:
+                    if related.upper() not in LITERAL_TYPES:
+                        kb.concept_for(related)
+                concept.relationships.append(element)
+        for concept_name, instance in kb.pending_instances:
+            kb.concept_for(concept_name).instances.append(instance)

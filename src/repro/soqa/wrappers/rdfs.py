@@ -1,0 +1,73 @@
+"""SOQA wrapper for plain RDF Schema ontologies.
+
+Many lightweight Semantic Web vocabularies predate OWL and use bare
+RDFS: ``rdfs:Class``, ``rdfs:subClassOf``, ``rdf:Property`` with
+``rdfs:domain``/``rdfs:range``.  This wrapper reuses the RDF ontology
+builder with the RDFS vocabulary; properties whose range is an XSD
+datatype surface as attributes, all others as relationships.
+"""
+
+from __future__ import annotations
+
+from repro.soqa.metamodel import Attribute, Ontology
+from repro.soqa.rdfxml import RDF_NS, RDFS_NS, local_name, parse_rdfxml
+from repro.soqa.wrapper import OntologyWrapper
+from repro.soqa.wrappers.owl import RDFOntologyBuilder, RDFVocabulary
+
+__all__ = ["RDFSWrapper"]
+
+_XSD_NS = "http://www.w3.org/2001/XMLSchema#"
+
+RDFS_VOCABULARY = RDFVocabulary(
+    language="RDFS",
+    class_types=(f"{RDFS_NS}Class",),
+    datatype_property_types=(),   # split from rdf:Property by range below
+    object_property_types=(f"{RDF_NS}Property",),
+    ontology_types=(),
+    subclass_of=(f"{RDFS_NS}subClassOf",),
+    equivalent_class=(),
+    antonym_class=(),
+    restriction_types=(),
+    on_property=(),
+)
+
+
+class _RDFSBuilder(RDFOntologyBuilder):
+    """RDFS builder: datatype-ranged properties become attributes."""
+
+    def _attach_relationship(self, graph, property_uri, concepts,
+                             class_set) -> None:
+        ranges = self._ranges(graph, property_uri)
+        if ranges and all(range_uri.startswith(_XSD_NS)
+                          or range_uri == f"{RDFS_NS}Literal"
+                          for range_uri in ranges):
+            documentation = graph.literal(property_uri,
+                                          self.vocabulary.comment)
+            for domain in self._domains(graph, property_uri):
+                concept = concepts.get(domain)
+                if concept is not None:
+                    concept.attributes.append(Attribute(
+                        name=local_name(property_uri),
+                        concept_name=concept.name,
+                        data_type=local_name(ranges[0]),
+                        documentation=documentation,
+                        definition=(f"rdf:Property "
+                                    f"{local_name(property_uri)}"),
+                    ))
+            return
+        super()._attach_relationship(graph, property_uri, concepts,
+                                     class_set)
+
+
+class RDFSWrapper(OntologyWrapper):
+    """SOQA wrapper for RDF Schema vocabularies in RDF/XML."""
+
+    language = "RDFS"
+    suffixes = (".rdfs",)
+
+    def __init__(self):
+        self._builder = _RDFSBuilder(RDFS_VOCABULARY)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        graph = parse_rdfxml(text, source=name)
+        return self._builder.build(graph, name)

@@ -1,0 +1,180 @@
+"""SOQA wrapper for SHOE ontologies.
+
+SHOE (Simple HTML Ontology Extensions, University of Maryland) is the
+second Semantic-Web language the paper's introduction names.  SHOE
+ontologies are SGML/XML tags embedded in HTML::
+
+    <ONTOLOGY ID="university-ont" VERSION="1.0">
+      <DEF-CATEGORY NAME="Professor" ISA="Employee"
+                    SHORT="a university professor">
+      <DEF-RELATION NAME="teaches">
+        <DEF-ARG POS="1" TYPE="Professor">
+        <DEF-ARG POS="2" TYPE="Course">
+      </DEF-RELATION>
+    </ONTOLOGY>
+
+Interpretation into the SOQA meta model:
+
+* ``DEF-CATEGORY`` becomes a concept; its ``ISA`` list (whitespace
+  separated, possibly ``prefix.Name`` qualified — prefixes are local
+  renamings and get stripped) becomes the superconcept links; ``SHORT``
+  becomes the documentation.
+* ``DEF-RELATION`` with typed ``DEF-ARG`` children becomes a
+  relationship of its first argument's category; relations whose second
+  argument is a SHOE datatype (``.STRING``, ``.NUMBER``, ``.DATE``,
+  ``.TRUTH``) surface as attributes.
+* ``ONTOLOGY`` attributes (``ID``, ``VERSION``) and ``DEF-CONSTANT``
+  instances feed metadata and extensions.
+
+SHOE markup is forgiving SGML; this reader accepts both self-closed and
+unclosed ``DEF-*`` tags by normalizing the text before XML parsing.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ElementTree
+
+from repro.errors import OntologyParseError
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Ontology,
+    OntologyMetadata,
+    Relationship,
+)
+from repro.soqa.wrapper import OntologyWrapper
+
+__all__ = ["SHOEWrapper"]
+
+#: SHOE's built-in datatypes (usually written ``.STRING`` etc.).
+SHOE_DATATYPES = frozenset({"STRING", "NUMBER", "DATE", "TRUTH"})
+
+_VOID_TAGS = ("DEF-CATEGORY", "DEF-ARG", "DEF-CONSTANT", "USE-ONTOLOGY",
+              "DEF-RENAME")
+
+
+def _strip_prefix(name: str) -> str:
+    """Drop a SHOE ontology prefix: ``base.Employee`` -> ``Employee``."""
+    return name.rsplit(".", 1)[-1]
+
+
+def _normalize(text: str) -> str:
+    """Self-close SHOE's traditionally unclosed definition tags."""
+    for tag in _VOID_TAGS:
+        # <DEF-CATEGORY ...> (not already self-closed) -> <DEF-CATEGORY .../>
+        pattern = re.compile(rf"<({tag})((?:[^>\"]|\"[^\"]*\")*?)(?<!/)>",
+                             re.IGNORECASE)
+        text = pattern.sub(r"<\1\2/>", text)
+    return text
+
+
+class SHOEWrapper(OntologyWrapper):
+    """SOQA wrapper for SHOE ``.shoe`` ontology files."""
+
+    language = "SHOE"
+    suffixes = (".shoe",)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        normalized = _normalize(text)
+        try:
+            root = ElementTree.fromstring(normalized)
+        except ElementTree.ParseError as exc:
+            raise OntologyParseError(f"malformed SHOE markup: {exc}",
+                                     source=name) from exc
+        ontology_element = self._find_ontology(root)
+        if ontology_element is None:
+            raise OntologyParseError("no <ONTOLOGY> element found",
+                                     source=name)
+        metadata = OntologyMetadata(
+            name=name,
+            language=self.language,
+            version=ontology_element.get("VERSION", ""),
+            uri=f"shoe:{ontology_element.get('ID', name)}",
+            documentation=ontology_element.get("DESCRIPTION", ""),
+        )
+        concepts: dict[str, Concept] = {}
+
+        def concept_for(concept_name: str) -> Concept:
+            if concept_name not in concepts:
+                concepts[concept_name] = Concept(name=concept_name)
+            return concepts[concept_name]
+
+        for element in ontology_element.iter():
+            tag = element.tag.upper()
+            if tag == "DEF-CATEGORY":
+                self._def_category(element, concept_for, name)
+            elif tag == "DEF-RELATION":
+                self._def_relation(element, concept_for, name)
+            elif tag == "DEF-CONSTANT":
+                self._def_constant(element, concept_for)
+        return Ontology(metadata, concepts.values())
+
+    @staticmethod
+    def _find_ontology(root: ElementTree.Element):
+        if root.tag.upper() == "ONTOLOGY":
+            return root
+        for element in root.iter():
+            if element.tag.upper() == "ONTOLOGY":
+                return element
+        return None
+
+    def _def_category(self, element, concept_for, source: str) -> None:
+        category_name = element.get("NAME")
+        if not category_name:
+            raise OntologyParseError("DEF-CATEGORY without NAME",
+                                     source=source)
+        concept = concept_for(category_name)
+        concept.documentation = element.get("SHORT", concept.documentation)
+        concept.definition = f"DEF-CATEGORY {category_name}"
+        for parent in (element.get("ISA") or "").split():
+            parent_name = _strip_prefix(parent)
+            concept_for(parent_name)
+            if parent_name not in concept.superconcept_names:
+                concept.superconcept_names.append(parent_name)
+
+    def _def_relation(self, element, concept_for, source: str) -> None:
+        relation_name = element.get("NAME")
+        if not relation_name:
+            raise OntologyParseError("DEF-RELATION without NAME",
+                                     source=source)
+        arguments: list[tuple[int, str]] = []
+        for argument in element:
+            if argument.tag.upper() != "DEF-ARG":
+                continue
+            position_text = argument.get("POS", "")
+            argument_type = _strip_prefix(argument.get("TYPE", "Thing"))
+            position = (int(position_text) if position_text.isdigit()
+                        else len(arguments) + 1)
+            arguments.append((position, argument_type))
+        arguments.sort()
+        types = [argument_type.lstrip(".")
+                 for _, argument_type in arguments]
+        if not types:
+            return  # relation without typed arguments carries no structure
+        domain = types[0]
+        concept = concept_for(domain)
+        documentation = element.get("SHORT", "")
+        if len(types) == 2 and types[1].upper() in SHOE_DATATYPES:
+            concept.attributes.append(Attribute(
+                name=relation_name, concept_name=domain,
+                data_type=types[1].lower(), documentation=documentation,
+                definition=f"DEF-RELATION {relation_name}"))
+        else:
+            for related in types[1:]:
+                if related.upper() not in SHOE_DATATYPES:
+                    concept_for(related)
+            concept.relationships.append(Relationship(
+                name=relation_name, related_concept_names=types,
+                documentation=documentation,
+                definition=f"DEF-RELATION {relation_name}"))
+
+    def _def_constant(self, element, concept_for) -> None:
+        constant_name = element.get("NAME")
+        category = element.get("CATEGORY")
+        if not constant_name or not category:
+            return
+        concept = concept_for(_strip_prefix(category))
+        concept.instances.append(Instance(
+            name=constant_name, concept_name=concept.name))

@@ -1,0 +1,155 @@
+"""SOQA wrapper for the WordNet lexical-database file format.
+
+The paper's SOQA ships a wrapper for WordNet so that lexical ontologies
+can take part in similarity calculations (e.g. comparing ``Student`` from
+the PowerLoom Course ontology with ``Researcher`` from WordNet).  This
+wrapper reads the Princeton WordNet ``data.{noun,verb,...}`` file format
+directly — the same files a JWNL-style Java wrapper ultimately parses:
+
+Each data line is::
+
+    synset_offset lex_filenum ss_type w_cnt word lex_id [word lex_id]...
+    p_cnt [ptr_symbol synset_offset pos source/target]... | gloss
+
+Interpretation into the SOQA meta model:
+
+* each synset becomes a concept named after its first word (additional
+  words become equivalent-concept names — WordNet synonymy is exactly the
+  meta model's concept equivalence),
+* ``@`` / ``@i`` (hypernym) pointers become superconcept links,
+* ``!`` (antonym) pointers become antonym-concept names,
+* the gloss becomes the concept documentation.
+
+When a word heads more than one synset, later concepts are suffixed with
+``.2``, ``.3``... mirroring WordNet sense numbering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OntologyParseError
+from repro.soqa.metamodel import Concept, Ontology, OntologyMetadata
+from repro.soqa.wrapper import OntologyWrapper
+
+__all__ = ["WordNetWrapper"]
+
+_HYPERNYM_POINTERS = {"@", "@i"}
+_ANTONYM_POINTERS = {"!"}
+
+
+class _Synset:
+    """One parsed data line."""
+
+    def __init__(self, offset: str, words: list[str],
+                 hypernyms: list[str], antonyms: list[str], gloss: str):
+        self.offset = offset
+        self.words = words
+        self.hypernyms = hypernyms
+        self.antonyms = antonyms
+        self.gloss = gloss
+
+
+def _parse_data_line(line: str, line_number: int,
+                     source: str) -> _Synset:
+    if "|" in line:
+        fields_part, gloss = line.split("|", 1)
+        gloss = gloss.strip()
+    else:
+        fields_part, gloss = line, ""
+    fields = fields_part.split()
+    if len(fields) < 4:
+        raise OntologyParseError(
+            "truncated synset line", source=source, line=line_number)
+    offset = fields[0]
+    try:
+        word_count = int(fields[3], 16)
+    except ValueError:
+        raise OntologyParseError(
+            f"bad word count {fields[3]!r}", source=source,
+            line=line_number) from None
+    cursor = 4
+    words: list[str] = []
+    for _ in range(word_count):
+        if cursor + 1 >= len(fields) + 1:
+            raise OntologyParseError(
+                "truncated word list", source=source, line=line_number)
+        words.append(fields[cursor].replace("_", " "))
+        cursor += 2  # word + lex_id
+    if cursor >= len(fields):
+        raise OntologyParseError(
+            "missing pointer count", source=source, line=line_number)
+    try:
+        pointer_count = int(fields[cursor])
+    except ValueError:
+        raise OntologyParseError(
+            f"bad pointer count {fields[cursor]!r}", source=source,
+            line=line_number) from None
+    cursor += 1
+    hypernyms: list[str] = []
+    antonyms: list[str] = []
+    for _ in range(pointer_count):
+        if cursor + 3 > len(fields):
+            raise OntologyParseError(
+                "truncated pointer list", source=source, line=line_number)
+        symbol, target_offset = fields[cursor], fields[cursor + 1]
+        if symbol in _HYPERNYM_POINTERS:
+            hypernyms.append(target_offset)
+        elif symbol in _ANTONYM_POINTERS:
+            antonyms.append(target_offset)
+        cursor += 4  # symbol, offset, pos, source/target
+    return _Synset(offset, words, hypernyms, antonyms, gloss)
+
+
+class WordNetWrapper(OntologyWrapper):
+    """SOQA wrapper for WordNet ``data.*`` lexical database files."""
+
+    language = "WordNet"
+    suffixes = (".wn",)
+
+    def parse(self, text: str, name: str) -> Ontology:
+        synsets: dict[str, _Synset] = {}
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("  ", "#")):
+                continue
+            synset = _parse_data_line(stripped, line_number, source=name)
+            if synset.offset in synsets:
+                raise OntologyParseError(
+                    f"duplicate synset offset {synset.offset}",
+                    source=name, line=line_number)
+            synsets[synset.offset] = synset
+
+        concept_names = self._assign_names(synsets)
+        concepts: list[Concept] = []
+        for offset, synset in synsets.items():
+            supers = [concept_names[target] for target in synset.hypernyms
+                      if target in concept_names]
+            antonyms = [concept_names[target] for target in synset.antonyms
+                        if target in concept_names]
+            concepts.append(Concept(
+                name=concept_names[offset],
+                documentation=synset.gloss,
+                definition=f"synset {offset}",
+                superconcept_names=supers,
+                equivalent_concept_names=list(synset.words[1:]),
+                antonym_concept_names=antonyms,
+            ))
+        metadata = OntologyMetadata(
+            name=name,
+            language="WordNet",
+            documentation="Lexical ontology in WordNet database format",
+        )
+        return Ontology(metadata, concepts)
+
+    @staticmethod
+    def _assign_names(synsets: dict[str, _Synset]) -> dict[str, str]:
+        """Give every synset a unique concept name (word + sense number)."""
+        names: dict[str, str] = {}
+        sense_counts: dict[str, int] = {}
+        for offset, synset in synsets.items():
+            if not synset.words:
+                raise OntologyParseError(f"synset {offset} has no words")
+            head = synset.words[0]
+            sense = sense_counts.get(head, 0) + 1
+            sense_counts[head] = sense
+            names[offset] = head if sense == 1 else f"{head}.{sense}"
+        return names

@@ -1,0 +1,15 @@
+"""Visualization backend of the toolkit.
+
+The paper's SST "creates data files and scripts that are automatically
+given as an input to Gnuplot".  This package generates exactly those
+artifacts (:mod:`repro.viz.gnuplot`) and additionally renders charts
+without any external binary, as SVG (:mod:`repro.viz.svg`) or as ASCII
+for terminals (:mod:`repro.viz.ascii`).  :mod:`repro.viz.charts` is the
+high-level API the SST facade and browser use.
+"""
+
+from repro.viz.charts import BarChart, GroupedBarChart
+from repro.viz.gnuplot import GnuplotArtifacts, gnuplot_bar_chart
+
+__all__ = ["BarChart", "GnuplotArtifacts", "GroupedBarChart",
+           "gnuplot_bar_chart"]

@@ -1,0 +1,45 @@
+"""ASCII chart rendering for terminals (SST Browser and CLI output)."""
+
+from __future__ import annotations
+
+from repro.errors import VisualizationError
+
+__all__ = ["render_bar_chart_ascii", "render_table"]
+
+
+def render_bar_chart_ascii(title: str, labels: list[str],
+                           values: list[float], width: int = 50) -> str:
+    """A horizontal bar chart drawn with block characters.
+
+    >>> print(render_bar_chart_ascii("demo", ["a", "b"], [1.0, 0.5],
+    ...                              width=4))  # doctest: +SKIP
+    """
+    if len(labels) != len(values):
+        raise VisualizationError(
+            f"label/value count mismatch: {len(labels)} vs {len(values)}")
+    if not labels:
+        raise VisualizationError("cannot plot an empty series")
+    label_width = max(len(label) for label in labels)
+    max_value = max(max(values), 1e-9)
+    lines = [title, "=" * len(title)]
+    for label, value in zip(labels, values):
+        bar_length = round(width * value / max_value)
+        bar = "█" * bar_length if bar_length else "▏"
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.4f}")
+    return "\n".join(lines)
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """A plain text table with aligned columns and a header rule."""
+    if any(len(row) != len(headers) for row in rows):
+        raise VisualizationError("all rows must match the header width")
+    columns = [headers] + rows
+    widths = [max(len(str(row[index])) for row in columns)
+              for index in range(len(headers))]
+    def format_row(row: list[str]) -> str:
+        return " | ".join(str(cell).ljust(width)
+                          for cell, width in zip(row, widths)).rstrip()
+    lines = [format_row(headers),
+             "-+-".join("-" * width for width in widths)]
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)

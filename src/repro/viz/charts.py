@@ -1,0 +1,133 @@
+"""High-level chart objects returned by the SST facade.
+
+A chart bundles its data with every rendering the toolkit supports:
+SVG (``to_svg``), terminal ASCII (``to_ascii``), and the Gnuplot
+script/data pair the paper's implementation hands to the ``gnuplot``
+binary (``to_gnuplot``).  ``save`` writes all artifacts next to each
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.viz.ascii import render_bar_chart_ascii
+from repro.viz.gnuplot import GnuplotArtifacts, gnuplot_bar_chart
+from repro.viz.heatmap import render_heatmap_ascii, render_heatmap_svg
+from repro.viz.svg import render_bar_chart_svg, render_grouped_bar_chart_svg
+
+__all__ = ["BarChart", "GroupedBarChart", "HeatmapChart"]
+
+
+@dataclass
+class BarChart:
+    """One labeled series of similarity values."""
+
+    title: str
+    labels: list[str]
+    values: list[float]
+
+    def to_svg(self, width: int = 900, height: int = 480) -> str:
+        """The chart as a standalone SVG document string."""
+        return render_bar_chart_svg(self.title, self.labels, self.values,
+                                    width=width, height=height)
+
+    def to_ascii(self, width: int = 50) -> str:
+        """The chart drawn with terminal block characters."""
+        return render_bar_chart_ascii(self.title, self.labels, self.values,
+                                      width=width)
+
+    def to_gnuplot(self, output_name: str = "chart.png") -> GnuplotArtifacts:
+        """The Gnuplot script/data pair the paper's SST generates."""
+        return gnuplot_bar_chart(self.title, self.labels, self.values,
+                                 output_name=output_name)
+
+    def save(self, directory: str | Path, stem: str = "chart") -> list[Path]:
+        """Write SVG, Gnuplot script and data file into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        svg_path = directory / f"{stem}.svg"
+        svg_path.write_text(self.to_svg(), encoding="utf-8")
+        artifacts = self.to_gnuplot(output_name=f"{stem}.png")
+        artifacts.script_name = f"{stem}.gp"
+        artifacts.data_name = f"{stem}.dat"
+        script_path, data_path = artifacts.write(directory)
+        return [svg_path, script_path, data_path]
+
+
+@dataclass
+class HeatmapChart:
+    """A square similarity matrix with its labels.
+
+    The "more advanced result visualizations" of the paper's future
+    work — returned by the facade's matrix-plot service.
+    """
+
+    title: str
+    labels: list[str]
+    matrix: list[list[float]]
+
+    def to_svg(self, cell_size: int = 46) -> str:
+        """The heatmap as a standalone SVG document string."""
+        return render_heatmap_svg(self.title, self.labels, self.matrix,
+                                  cell_size=cell_size)
+
+    def to_ascii(self) -> str:
+        """The heatmap as a shaded character grid."""
+        return render_heatmap_ascii(self.title, self.labels, self.matrix)
+
+    def save(self, directory: str | Path,
+             stem: str = "heatmap") -> list[Path]:
+        """Write the SVG and a plain-text matrix dump."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        svg_path = directory / f"{stem}.svg"
+        svg_path.write_text(self.to_svg(), encoding="utf-8")
+        text_path = directory / f"{stem}.txt"
+        text_path.write_text(self.to_ascii(), encoding="utf-8")
+        return [svg_path, text_path]
+
+
+@dataclass
+class GroupedBarChart:
+    """Several named series over shared group labels.
+
+    Used by the facade's multi-measure plot service (signature S3): one
+    group per concept pair, one series per measure.
+    """
+
+    title: str
+    group_labels: list[str]
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def to_svg(self, width: int = 900, height: int = 480) -> str:
+        """The chart as a standalone SVG document string."""
+        return render_grouped_bar_chart_svg(
+            self.title, self.group_labels, self.series,
+            width=width, height=height)
+
+    def to_ascii(self, width: int = 40) -> str:
+        """All series rendered as stacked ASCII bar charts."""
+        sections = []
+        for name, values in self.series.items():
+            sections.append(render_bar_chart_ascii(
+                f"{self.title} — {name}", self.group_labels, values,
+                width=width))
+        return "\n\n".join(sections)
+
+    def save(self, directory: str | Path, stem: str = "chart") -> list[Path]:
+        """Write the SVG and per-series Gnuplot artifacts."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = [directory / f"{stem}.svg"]
+        paths[0].write_text(self.to_svg(), encoding="utf-8")
+        for index, (name, values) in enumerate(self.series.items()):
+            artifacts = gnuplot_bar_chart(
+                f"{self.title} — {name}", self.group_labels, values,
+                output_name=f"{stem}-{index}.png")
+            artifacts.script_name = f"{stem}-{index}.gp"
+            artifacts.data_name = f"{stem}-{index}.dat"
+            script_path, data_path = artifacts.write(directory)
+            paths.extend([script_path, data_path])
+        return paths

@@ -1,0 +1,69 @@
+"""Gnuplot script and data-file generation.
+
+Reproduces the paper's visualization pipeline: SST writes a ``.dat``
+data file and a ``.gp`` script which, fed to Gnuplot, produce the bar
+charts shown in the paper (e.g. Fig. 5).  The artifacts are plain text,
+so they are generated and returned (and optionally written to disk) even
+on machines without Gnuplot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import VisualizationError
+
+__all__ = ["GnuplotArtifacts", "gnuplot_bar_chart"]
+
+
+@dataclass
+class GnuplotArtifacts:
+    """A Gnuplot script plus the data file it plots."""
+
+    script: str
+    data: str
+    script_name: str = "chart.gp"
+    data_name: str = "chart.dat"
+
+    def write(self, directory: str | Path) -> tuple[Path, Path]:
+        """Write both artifacts into ``directory``; returns their paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        script_path = directory / self.script_name
+        data_path = directory / self.data_name
+        script_path.write_text(self.script, encoding="utf-8")
+        data_path.write_text(self.data, encoding="utf-8")
+        return script_path, data_path
+
+
+def _escape(label: str) -> str:
+    return label.replace('"', "'")
+
+
+def gnuplot_bar_chart(title: str, labels: list[str], values: list[float],
+                      output_name: str = "chart.png",
+                      ylabel: str = "similarity") -> GnuplotArtifacts:
+    """Artifacts for a labeled bar chart like the paper's Figure 5."""
+    if len(labels) != len(values):
+        raise VisualizationError(
+            f"label/value count mismatch: {len(labels)} vs {len(values)}")
+    if not labels:
+        raise VisualizationError("cannot plot an empty series")
+    data_lines = [f'"{_escape(label)}" {value:.6f}'
+                  for label, value in zip(labels, values)]
+    data = "\n".join(data_lines) + "\n"
+    script = "\n".join([
+        f'set title "{_escape(title)}"',
+        "set terminal png size 900,480",
+        f'set output "{output_name}"',
+        "set style data histogram",
+        "set style fill solid 0.8 border -1",
+        "set boxwidth 0.8",
+        f'set ylabel "{_escape(ylabel)}"',
+        "set yrange [0:*]",
+        "set xtics rotate by -35",
+        "set grid ytics",
+        'plot "chart.dat" using 2:xtic(1) notitle',
+    ]) + "\n"
+    return GnuplotArtifacts(script=script, data=data)

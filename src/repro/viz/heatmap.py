@@ -1,0 +1,109 @@
+"""Similarity-matrix heatmaps — the "more advanced result
+visualizations" the paper's future work announces (section 6).
+
+Renders a square similarity matrix as an SVG heatmap (color-graded
+cells with value annotations) or as an ASCII shade grid for terminals.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.errors import VisualizationError
+
+__all__ = ["render_heatmap_ascii", "render_heatmap_svg"]
+
+#: ASCII shades from empty to full.
+_SHADES = " ░▒▓█"
+
+
+def _check(labels: list[str], matrix: list[list[float]]) -> None:
+    if not labels:
+        raise VisualizationError("cannot render an empty heatmap")
+    if len(matrix) != len(labels) or any(len(row) != len(labels)
+                                         for row in matrix):
+        raise VisualizationError(
+            f"matrix must be {len(labels)}x{len(labels)} to match the "
+            "labels")
+
+
+def _cell_color(value: float) -> str:
+    """White (0.0) to deep blue (1.0)."""
+    clamped = min(max(value, 0.0), 1.0)
+    red = round(255 - 183 * clamped)
+    green = round(255 - 135 * clamped)
+    blue = round(255 - 87 * clamped)
+    return f"rgb({red},{green},{blue})"
+
+
+def render_heatmap_svg(title: str, labels: list[str],
+                       matrix: list[list[float]], cell_size: int = 46,
+                       ) -> str:
+    """The matrix as a standalone SVG heatmap document."""
+    _check(labels, matrix)
+    count = len(labels)
+    left, top = 150, 140
+    width = left + count * cell_size + 20
+    height = top + count * cell_size + 20
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="Helvetica, Arial, sans-serif">',
+        f"<title>{escape(title)}</title>",
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+        f'<text x="{width / 2:.0f}" y="24" font-size="15" '
+        f'text-anchor="middle" fill="#222222">{escape(title)}</text>',
+    ]
+    for index, label in enumerate(labels):
+        column_x = left + index * cell_size + cell_size / 2
+        parts.append(
+            f'<text x="{column_x:.1f}" y="{top - 8}" font-size="10" '
+            f'text-anchor="start" fill="#222222" transform="rotate(-45 '
+            f'{column_x:.1f} {top - 8})">{escape(label)}</text>')
+        row_y = top + index * cell_size + cell_size / 2 + 4
+        parts.append(
+            f'<text x="{left - 8}" y="{row_y:.1f}" font-size="10" '
+            f'text-anchor="end" fill="#222222">{escape(label)}</text>')
+    for row_index, row in enumerate(matrix):
+        for column_index, value in enumerate(row):
+            x = left + column_index * cell_size
+            y = top + row_index * cell_size
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_size}" '
+                f'height="{cell_size}" fill="{_cell_color(value)}" '
+                f'stroke="#dddddd"/>')
+            text_color = "#ffffff" if value > 0.6 else "#333333"
+            parts.append(
+                f'<text x="{x + cell_size / 2:.1f}" '
+                f'y="{y + cell_size / 2 + 4:.1f}" font-size="10" '
+                f'text-anchor="middle" fill="{text_color}">'
+                f"{value:.2f}</text>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_heatmap_ascii(title: str, labels: list[str],
+                         matrix: list[list[float]]) -> str:
+    """The matrix as a shaded character grid with a legend."""
+    _check(labels, matrix)
+    label_width = max(len(label) for label in labels)
+    lines = [title, "=" * len(title)]
+    header = " " * label_width + " " + " ".join(
+        f"{index:>4d}" for index in range(len(labels)))
+    lines.append(header)
+    for index, (label, row) in enumerate(zip(labels, matrix)):
+        cells = []
+        for value in row:
+            clamped = min(max(value, 0.0), 1.0)
+            shade = _SHADES[min(int(clamped * len(_SHADES)),
+                                len(_SHADES) - 1)]
+            cells.append(f" {shade}{shade}{shade}")
+        lines.append(f"{label.rjust(label_width)} " + " ".join(cells))
+    lines.append("")
+    lines.append("legend: " + "  ".join(
+        f"{_SHADES[index]} {index / len(_SHADES):.1f}-"
+        f"{(index + 1) / len(_SHADES):.1f}"
+        for index in range(len(_SHADES))))
+    lines.append("columns: " + ", ".join(
+        f"{index}={label}" for index, label in enumerate(labels)))
+    return "\n".join(lines)

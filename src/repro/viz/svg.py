@@ -1,0 +1,147 @@
+"""Self-contained SVG rendering for similarity charts.
+
+No plotting library is available offline, so the charts the paper's SST
+returns as images are rendered here as standalone SVG documents — the
+modern equivalent of the toolkit returning a chart object.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.errors import VisualizationError
+
+__all__ = ["render_bar_chart_svg", "render_grouped_bar_chart_svg"]
+
+_PALETTE = ("#4878a8", "#e89c3f", "#6aa56e", "#c05d5d", "#8d6cab",
+            "#70a8b8", "#b8a04a", "#a87898")
+
+
+def _svg_header(width: int, height: int, title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="Helvetica, Arial, sans-serif">',
+        f'<title>{escape(title)}</title>',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+        f'<text x="{width / 2:.0f}" y="24" font-size="16" '
+        f'text-anchor="middle" fill="#222222">{escape(title)}</text>',
+    ]
+
+
+def _axis(left: int, top: int, plot_width: int, plot_height: int,
+          max_value: float, tick_count: int = 5) -> list[str]:
+    parts = [
+        f'<line x1="{left}" y1="{top}" x2="{left}" '
+        f'y2="{top + plot_height}" stroke="#444444"/>',
+        f'<line x1="{left}" y1="{top + plot_height}" '
+        f'x2="{left + plot_width}" y2="{top + plot_height}" '
+        f'stroke="#444444"/>',
+    ]
+    for tick in range(tick_count + 1):
+        value = max_value * tick / tick_count
+        y = top + plot_height - plot_height * tick / tick_count
+        parts.append(
+            f'<line x1="{left - 4}" y1="{y:.1f}" x2="{left}" y2="{y:.1f}" '
+            f'stroke="#444444"/>')
+        parts.append(
+            f'<text x="{left - 8}" y="{y + 4:.1f}" font-size="10" '
+            f'text-anchor="end" fill="#444444">{value:.2f}</text>')
+        if tick:
+            parts.append(
+                f'<line x1="{left}" y1="{y:.1f}" '
+                f'x2="{left + plot_width}" y2="{y:.1f}" '
+                f'stroke="#dddddd" stroke-dasharray="3,3"/>')
+    return parts
+
+
+def render_bar_chart_svg(title: str, labels: list[str],
+                         values: list[float], width: int = 900,
+                         height: int = 480) -> str:
+    """Render one series of labeled bars as an SVG document string."""
+    if len(labels) != len(values):
+        raise VisualizationError(
+            f"label/value count mismatch: {len(labels)} vs {len(values)}")
+    if not labels:
+        raise VisualizationError("cannot plot an empty series")
+    left, top, bottom_margin, right_margin = 70, 40, 130, 20
+    plot_width = width - left - right_margin
+    plot_height = height - top - bottom_margin
+    max_value = max(max(values), 1e-9)
+    parts = _svg_header(width, height, title)
+    parts.extend(_axis(left, top, plot_width, plot_height, max_value))
+    slot = plot_width / len(values)
+    bar_width = slot * 0.7
+    for index, (label, value) in enumerate(zip(labels, values)):
+        bar_height = plot_height * value / max_value
+        x = left + slot * index + (slot - bar_width) / 2
+        y = top + plot_height - bar_height
+        color = _PALETTE[index % len(_PALETTE)]
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{color}"/>')
+        parts.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{y - 4:.1f}" '
+            f'font-size="10" text-anchor="middle" '
+            f'fill="#222222">{value:.3f}</text>')
+        label_x = left + slot * index + slot / 2
+        label_y = top + plot_height + 12
+        parts.append(
+            f'<text x="{label_x:.1f}" y="{label_y:.1f}" font-size="10" '
+            f'text-anchor="end" fill="#222222" transform="rotate(-35 '
+            f'{label_x:.1f} {label_y:.1f})">{escape(label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_grouped_bar_chart_svg(title: str, group_labels: list[str],
+                                 series: dict[str, list[float]],
+                                 width: int = 900,
+                                 height: int = 480) -> str:
+    """Render several named series side by side per group label."""
+    if not series:
+        raise VisualizationError("cannot plot without series")
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise VisualizationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(group_labels)} groups")
+    if not group_labels:
+        raise VisualizationError("cannot plot an empty series")
+    left, top, bottom_margin, right_margin = 70, 40, 130, 160
+    plot_width = width - left - right_margin
+    plot_height = height - top - bottom_margin
+    max_value = max((max(values) for values in series.values()),
+                    default=0.0)
+    max_value = max(max_value, 1e-9)
+    parts = _svg_header(width, height, title)
+    parts.extend(_axis(left, top, plot_width, plot_height, max_value))
+    group_slot = plot_width / len(group_labels)
+    bar_slot = group_slot * 0.8 / len(series)
+    for series_index, (series_name, values) in enumerate(series.items()):
+        color = _PALETTE[series_index % len(_PALETTE)]
+        for group_index, value in enumerate(values):
+            bar_height = plot_height * value / max_value
+            x = (left + group_slot * group_index + group_slot * 0.1
+                 + bar_slot * series_index)
+            y = top + plot_height - bar_height
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_slot * 0.9:.1f}"'
+                f' height="{bar_height:.1f}" fill="{color}"/>')
+        legend_y = top + 16 * series_index
+        legend_x = width - right_margin + 12
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y}" width="10" height="10" '
+            f'fill="{color}"/>')
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y + 9}" font-size="11" '
+            f'fill="#222222">{escape(series_name)}</text>')
+    for group_index, label in enumerate(group_labels):
+        label_x = left + group_slot * group_index + group_slot / 2
+        label_y = top + plot_height + 12
+        parts.append(
+            f'<text x="{label_x:.1f}" y="{label_y:.1f}" font-size="10" '
+            f'text-anchor="end" fill="#222222" transform="rotate(-35 '
+            f'{label_x:.1f} {label_y:.1f})">{escape(label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,114 @@
+"""Unit tests for the alignment matcher and its evaluation."""
+
+import pytest
+
+from repro.align.evaluation import AlignmentQuality, evaluate_alignment
+from repro.align.matcher import Correspondence, OntologyMatcher
+from repro.core.registry import Measure
+from repro.core.results import QualifiedConcept
+from repro.errors import SSTCoreError
+
+
+class TestMatcher:
+    def test_obvious_matches_found(self, mini_sst):
+        matcher = OntologyMatcher(mini_sst, measure=Measure.NAME_LEVENSHTEIN,
+                                  threshold=0.9)
+        alignment = matcher.match("univ", "MINI")
+        pairs = {correspondence.as_pair()
+                 for correspondence in alignment}
+        assert ("Person", "PERSON") in pairs
+        assert ("Student", "STUDENT") in pairs
+        assert ("Course", "COURSE") in pairs
+
+    def test_one_to_one_constraint(self, mini_sst):
+        matcher = OntologyMatcher(mini_sst, measure=Measure.NAME_LEVENSHTEIN,
+                                  threshold=0.0)
+        alignment = matcher.match("univ", "MINI")
+        firsts = [c.first.concept_name for c in alignment]
+        seconds = [c.second.concept_name for c in alignment]
+        assert len(firsts) == len(set(firsts))
+        assert len(seconds) == len(set(seconds))
+
+    def test_threshold_filters(self, mini_sst):
+        strict = OntologyMatcher(mini_sst, measure=Measure.NAME_LEVENSHTEIN,
+                                 threshold=0.99)
+        loose = OntologyMatcher(mini_sst, measure=Measure.NAME_LEVENSHTEIN,
+                                threshold=0.1)
+        assert len(strict.match("univ", "MINI")) <= len(
+            loose.match("univ", "MINI"))
+
+    def test_invalid_threshold_rejected(self, mini_sst):
+        with pytest.raises(SSTCoreError):
+            OntologyMatcher(mini_sst, threshold=1.5)
+
+    def test_raw_measure_rejected(self, mini_sst):
+        matcher = OntologyMatcher(mini_sst, measure=Measure.RESNIK)
+        with pytest.raises(SSTCoreError, match="normalized"):
+            matcher.score_pairs("univ", "MINI")
+
+    def test_score_pairs_sorted_descending(self, mini_sst):
+        matcher = OntologyMatcher(mini_sst, measure=Measure.NAME_LEVENSHTEIN)
+        pairs = matcher.score_pairs("univ", "MINI")
+        confidences = [pair.confidence for pair in pairs]
+        assert confidences == sorted(confidences, reverse=True)
+        assert len(pairs) == 5 * 4  # univ has 5 concepts, MINI has 4
+
+    def test_top_candidates(self, mini_sst):
+        matcher = OntologyMatcher(mini_sst, measure=Measure.NAME_LEVENSHTEIN)
+        candidates = matcher.top_candidates("Student", "univ", "MINI", k=2)
+        assert candidates[0].second.concept_name == "STUDENT"
+        assert len(candidates) == 2
+
+    def test_correspondence_str(self):
+        correspondence = Correspondence(
+            QualifiedConcept("a", "X"), QualifiedConcept("b", "Y"), 0.75)
+        assert str(correspondence) == "a:X = b:Y (0.750)"
+
+
+class TestEvaluation:
+    def test_perfect_alignment(self, mini_sst):
+        matcher = OntologyMatcher(mini_sst, measure=Measure.NAME_LEVENSHTEIN,
+                                  threshold=0.9)
+        alignment = matcher.match("univ", "MINI")
+        reference = [("Person", "PERSON"), ("Student", "STUDENT"),
+                     ("Course", "COURSE"), ("Employee", "EMPLOYEE")]
+        quality = evaluate_alignment(alignment, reference)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f_measure == 1.0
+
+    def test_partial_alignment(self):
+        proposed = [Correspondence(QualifiedConcept("a", "X"),
+                                   QualifiedConcept("b", "X"), 1.0),
+                    Correspondence(QualifiedConcept("a", "Y"),
+                                   QualifiedConcept("b", "Z"), 0.8)]
+        reference = [("X", "X"), ("Y", "Y"), ("W", "W")]
+        quality = evaluate_alignment(proposed, reference)
+        assert quality.true_positives == 1
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 2
+        assert quality.precision == pytest.approx(0.5)
+        assert quality.recall == pytest.approx(1 / 3)
+
+    def test_empty_proposal(self):
+        quality = evaluate_alignment([], [("X", "X")])
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f_measure == 0.0
+
+    def test_empty_reference(self):
+        proposed = [Correspondence(QualifiedConcept("a", "X"),
+                                   QualifiedConcept("b", "X"), 1.0)]
+        quality = evaluate_alignment(proposed, [])
+        assert quality.recall == 0.0
+
+    def test_case_insensitive_matching(self):
+        proposed = [Correspondence(QualifiedConcept("a", "Person"),
+                                   QualifiedConcept("b", "PERSON"), 1.0)]
+        quality = evaluate_alignment(proposed, [("person", "person")])
+        assert quality.true_positives == 1
+
+    def test_str_format(self):
+        quality = AlignmentQuality(true_positives=1, false_positives=1,
+                                   false_negatives=0)
+        assert "precision=0.500" in str(quality)

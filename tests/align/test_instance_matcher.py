@@ -1,0 +1,103 @@
+"""Unit tests for instance matching (record linkage)."""
+
+import pytest
+
+from repro.align.matcher import InstanceMatcher
+from repro.core.facade import SOQASimPackToolkit
+from repro.errors import SSTCoreError
+from repro.soqa.api import SOQA
+
+FIRST_OWL = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://a">
+  <owl:Class rdf:ID="Person"/>
+  <owl:DatatypeProperty rdf:ID="name">
+    <rdfs:domain rdf:resource="#Person"
+        xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"/>
+  </owl:DatatypeProperty>
+  <Person rdf:ID="p1"><name>Klaus Dittrich Zurich</name></Person>
+  <Person rdf:ID="p2"><name>Abraham Bernstein Zurich</name></Person>
+  <Person rdf:ID="p3"><name>Rudi Studer Karlsruhe</name></Person>
+</rdf:RDF>
+"""
+
+SECOND_OWL = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://b">
+  <owl:Class rdf:ID="Researcher"/>
+  <owl:DatatypeProperty rdf:ID="fullName">
+    <rdfs:domain rdf:resource="#Researcher"
+        xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"/>
+  </owl:DatatypeProperty>
+  <Researcher rdf:ID="r1"><fullName>Prof Klaus Dittrich Zurich</fullName></Researcher>
+  <Researcher rdf:ID="r2"><fullName>Prof Abraham Bernstein Zurich</fullName></Researcher>
+  <Researcher rdf:ID="r3"><fullName>Unrelated Someone Else</fullName></Researcher>
+</rdf:RDF>
+"""
+
+
+@pytest.fixture
+def sst() -> SOQASimPackToolkit:
+    soqa = SOQA()
+    soqa.load_text(FIRST_OWL, "a", "OWL")
+    soqa.load_text(SECOND_OWL, "b", "OWL")
+    return SOQASimPackToolkit(soqa)
+
+
+class TestInstanceMatcher:
+    def test_links_matching_records(self, sst):
+        matcher = InstanceMatcher(sst, view="text", threshold=0.2)
+        linkage = matcher.match("a", "b")
+        linked = {(c.first.concept_name, c.second.concept_name)
+                  for c in linkage}
+        assert ("p1", "r1") in linked
+        assert ("p2", "r2") in linked
+
+    def test_unrelated_record_stays_unlinked(self, sst):
+        matcher = InstanceMatcher(sst, view="text", threshold=0.3)
+        linkage = matcher.match("a", "b")
+        assert all(c.second.concept_name != "r3" or
+                   c.first.concept_name == "p3" for c in linkage)
+        # p3 ("Rudi Studer Karlsruhe") shares nothing with r3.
+        linked_seconds = {c.second.concept_name for c in linkage}
+        assert "r3" not in linked_seconds
+
+    def test_one_to_one(self, sst):
+        matcher = InstanceMatcher(sst, view="text", threshold=0.0)
+        linkage = matcher.match("a", "b")
+        firsts = [c.first.concept_name for c in linkage]
+        seconds = [c.second.concept_name for c in linkage]
+        assert len(firsts) == len(set(firsts))
+        assert len(seconds) == len(set(seconds))
+
+    def test_confidences_sorted(self, sst):
+        matcher = InstanceMatcher(sst, view="text", threshold=0.0)
+        linkage = matcher.match("a", "b")
+        values = [c.confidence for c in linkage]
+        assert values == sorted(values, reverse=True)
+
+    def test_feature_view_works(self, sst):
+        matcher = InstanceMatcher(sst, view="features", threshold=0.0)
+        assert matcher.match("a", "b")  # runs without error
+
+    def test_invalid_threshold(self, sst):
+        with pytest.raises(SSTCoreError):
+            InstanceMatcher(sst, threshold=-0.1)
+
+
+class TestExportCommand:
+    def test_cli_export_roundtrip(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.soqa.serialize import ontology_from_json
+        from tests.conftest import MINI_OWL
+
+        source = tmp_path / "univ.owl"
+        source.write_text(MINI_OWL, encoding="utf-8")
+        target = tmp_path / "univ.soqajson"
+        assert main(["--ontology-file", str(source), "export", "univ",
+                     str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        restored = ontology_from_json(target.read_text(encoding="utf-8"))
+        assert "Professor" in restored

@@ -1,0 +1,80 @@
+"""Unit tests for alignment serialization (JSON + Alignment-API RDF)."""
+
+import pytest
+
+from repro.align.io import (
+    alignment_from_json,
+    alignment_from_rdf,
+    alignment_to_json,
+    alignment_to_rdf,
+)
+from repro.align.matcher import Correspondence
+from repro.core.results import QualifiedConcept
+from repro.errors import SSTError
+
+ALIGNMENT = [
+    Correspondence(QualifiedConcept("univ-bench_owl", "Professor"),
+                   QualifiedConcept("base1_0_daml", "Professor"), 0.95),
+    Correspondence(QualifiedConcept("univ-bench_owl", "Student"),
+                   QualifiedConcept("base1_0_daml", "Student"), 0.88),
+]
+
+
+class TestJSON:
+    def test_roundtrip(self):
+        restored = alignment_from_json(alignment_to_json(ALIGNMENT))
+        assert restored == ALIGNMENT
+
+    def test_empty_alignment(self):
+        assert alignment_from_json(alignment_to_json([])) == []
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SSTError, match="malformed"):
+            alignment_from_json("{nope")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SSTError, match="sst-alignment"):
+            alignment_from_json('{"format": "other"}')
+
+
+class TestRDF:
+    def test_roundtrip(self):
+        text = alignment_to_rdf(ALIGNMENT, "univ-bench_owl",
+                                "base1_0_daml")
+        restored = alignment_from_rdf(text)
+        assert restored == ALIGNMENT
+
+    def test_document_structure(self):
+        text = alignment_to_rdf(ALIGNMENT, "o1", "o2")
+        assert "<Alignment>" in text
+        assert "<onto1>o1</onto1>" in text
+        assert text.count("<Cell>") == 2
+        assert "<relation>=</relation>" in text
+
+    def test_confidence_preserved(self):
+        restored = alignment_from_rdf(alignment_to_rdf(ALIGNMENT))
+        assert restored[0].confidence == pytest.approx(0.95)
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(SSTError, match="malformed"):
+            alignment_from_rdf("<rdf:RDF><unclosed>")
+
+    def test_foreign_entity_uri_rejected(self):
+        text = alignment_to_rdf(ALIGNMENT).replace(
+            "urn:sst:univ-bench_owl#Professor", "http://foreign/e")
+        with pytest.raises(SSTError, match="unrecognized"):
+            alignment_from_rdf(text)
+
+    def test_end_to_end_with_matcher(self, mini_sst, tmp_path):
+        from repro.align.matcher import OntologyMatcher
+        from repro.core.registry import Measure
+
+        matcher = OntologyMatcher(mini_sst,
+                                  measure=Measure.NAME_LEVENSHTEIN,
+                                  threshold=0.9)
+        alignment = matcher.match("univ", "MINI")
+        path = tmp_path / "alignment.rdf"
+        path.write_text(alignment_to_rdf(alignment, "univ", "MINI"),
+                        encoding="utf-8")
+        restored = alignment_from_rdf(path.read_text(encoding="utf-8"))
+        assert restored == alignment

@@ -1,0 +1,59 @@
+"""Unit tests for the measure evaluation study."""
+
+import pytest
+
+from repro.align.study import MeasureStudy, StudyResult
+from repro.core.registry import Measure
+
+REFERENCE = [
+    ("Person", "PERSON"),
+    ("Employee", "EMPLOYEE"),
+    ("Student", "STUDENT"),
+    ("Course", "COURSE"),
+]
+
+
+@pytest.fixture
+def study(mini_sst) -> MeasureStudy:
+    return MeasureStudy(mini_sst, "univ", "MINI", REFERENCE,
+                        thresholds=(0.5, 0.9))
+
+
+class TestEvaluateMeasure:
+    def test_name_measure_is_perfect_on_case_variants(self, study):
+        result = study.evaluate_measure(Measure.NAME_LEVENSHTEIN)
+        assert result.quality.f_measure == 1.0
+        assert result.measure_name == "Name Levenshtein"
+
+    def test_picks_best_threshold(self, study):
+        result = study.evaluate_measure(Measure.NAME_LEVENSHTEIN)
+        assert result.threshold in (0.5, 0.9)
+
+    def test_result_str(self, study):
+        result = study.evaluate_measure(Measure.NAME_LEVENSHTEIN)
+        assert "f-measure=1.000" in str(result)
+
+
+class TestRun:
+    def test_explicit_measure_list_ranked(self, study):
+        results = study.run([Measure.NAME_LEVENSHTEIN, Measure.TFIDF,
+                             Measure.SHORTEST_PATH])
+        assert len(results) == 3
+        f_values = [result.quality.f_measure for result in results]
+        assert f_values == sorted(f_values, reverse=True)
+        assert results[0].measure_name == "Name Levenshtein"
+
+    def test_default_runs_all_normalized_measures(self, study, mini_sst):
+        results = study.run()
+        normalized_count = sum(
+            1 for info in mini_sst.available_measures()
+            if info["normalized"])
+        assert len(results) == normalized_count
+        assert all(isinstance(result, StudyResult) for result in results)
+
+    def test_report_renders_ranking(self, study):
+        results = study.run([Measure.NAME_LEVENSHTEIN, Measure.TFIDF])
+        report = study.report(results)
+        assert "f-measure" in report
+        assert "Name Levenshtein" in report
+        assert report.splitlines()[2].startswith("1")

@@ -1,0 +1,133 @@
+"""Tests for the SST Browser views and command shell."""
+
+import io
+
+from repro.browser.shell import run_browser
+from repro.browser.views import (
+    render_concept_detail,
+    render_hierarchy,
+    render_measure_list,
+    render_metadata,
+    render_similarity_tab,
+)
+from repro.core.registry import Measure
+
+
+class TestViews:
+    def test_metadata_pane(self, mini_sst):
+        text = render_metadata(mini_sst, "univ")
+        assert "Tiny university ontology" in text
+        assert "concepts" in text
+        assert "OWL" in text
+
+    def test_hierarchy_indented_tree(self, mini_sst):
+        text = render_hierarchy(mini_sst, "univ")
+        lines = text.splitlines()
+        assert lines[0] == "univ (OWL)"
+        assert "- Person" in text
+        assert "  - Employee" in text
+        assert "    - Professor" in text
+
+    def test_hierarchy_with_root_restriction(self, mini_sst):
+        text = render_hierarchy(mini_sst, "univ", root="Employee")
+        assert "Professor" in text
+        assert "Student" not in text
+
+    def test_hierarchy_depth_bound(self, mini_sst):
+        text = render_hierarchy(mini_sst, "univ", max_depth=1)
+        assert "Employee" in text
+        assert "Professor" not in text
+
+    def test_concept_detail_lists_structure(self, mini_sst):
+        text = render_concept_detail(mini_sst, "Professor", "univ")
+        assert "advises" in text
+        assert "Employee" in text
+        assert "smith" in text
+
+    def test_concept_detail_methods(self, mini_sst):
+        text = render_concept_detail(mini_sst, "PERSON", "MINI")
+        assert "full-name" in text
+
+    def test_measure_list(self, mini_sst):
+        text = render_measure_list(mini_sst)
+        assert "TFIDF" in text
+        assert "Conceptual Similarity" in text
+
+    def test_similarity_tab_table(self, mini_sst):
+        text = render_similarity_tab(mini_sst, "Professor", "univ", k=3,
+                                     measure=Measure.SHORTEST_PATH)
+        assert "3 most similar concepts" in text
+        assert "Employee" in text
+        assert "rank" in text
+
+
+class TestShell:
+    def run(self, mini_sst, lines: list[str]) -> str:
+        output = io.StringIO()
+        run_browser(mini_sst, lines=lines, stdout=output)
+        return output.getvalue()
+
+    def test_ontologies_command(self, mini_sst):
+        text = self.run(mini_sst, ["ontologies"])
+        assert "univ" in text
+        assert "PowerLoom" in text
+
+    def test_metadata_command(self, mini_sst):
+        text = self.run(mini_sst, ["metadata univ"])
+        assert "Tiny university ontology" in text
+
+    def test_tree_command(self, mini_sst):
+        text = self.run(mini_sst, ["tree univ Person 1"])
+        assert "- Person" in text
+
+    def test_concept_command(self, mini_sst):
+        text = self.run(mini_sst, ["concept univ Professor"])
+        assert "advises" in text
+
+    def test_sim_command_with_measure_name(self, mini_sst):
+        text = self.run(mini_sst,
+                        ['sim univ Professor univ Student "Shortest Path"'])
+        assert "0.2500" in text
+
+    def test_sim_command_with_measure_id(self, mini_sst):
+        text = self.run(mini_sst, ["sim univ Professor univ Student 5"])
+        assert "0.2500" in text
+
+    def test_ksim_command(self, mini_sst):
+        text = self.run(mini_sst, ["ksim univ Professor 2"])
+        assert "Employee" in text
+
+    def test_kdissim_command(self, mini_sst):
+        text = self.run(mini_sst, ["kdissim univ Professor 2"])
+        assert "rank" in text
+
+    def test_chart_command(self, mini_sst):
+        text = self.run(mini_sst, ["chart univ Professor 3"])
+        assert "█" in text
+
+    def test_query_command(self, mini_sst):
+        text = self.run(mini_sst,
+                        ["query SELECT name FROM concepts IN univ LIMIT 2"])
+        assert "(2 rows)" in text
+
+    def test_measures_command(self, mini_sst):
+        text = self.run(mini_sst, ["measures"])
+        assert "TFIDF" in text
+
+    def test_error_handling_unknown_concept(self, mini_sst):
+        text = self.run(mini_sst, ["concept univ Ghost"])
+        assert "error:" in text
+
+    def test_error_handling_unknown_ontology(self, mini_sst):
+        text = self.run(mini_sst, ["metadata ghosts"])
+        assert "error:" in text
+
+    def test_usage_messages(self, mini_sst):
+        text = self.run(mini_sst, ["sim univ", "ksim", "concept univ",
+                                   "metadata", "query"])
+        assert text.count("usage:") == 5
+
+    def test_quit(self, mini_sst):
+        output = io.StringIO()
+        shell = run_browser(mini_sst, lines=[], stdout=output)
+        assert shell.onecmd("quit") is True

@@ -1,0 +1,81 @@
+"""Tests for the browser's search/compare/instances/isim commands."""
+
+import io
+
+from repro.browser.shell import run_browser
+
+
+def run(mini_sst, lines: list[str]) -> str:
+    output = io.StringIO()
+    run_browser(mini_sst, lines=lines, stdout=output)
+    return output.getvalue()
+
+
+class TestSearch:
+    def test_glob_match_across_ontologies(self, mini_sst):
+        text = run(mini_sst, ["search *s*n*"])
+        assert "Person" in text
+        assert "PERSON" in text  # PowerLoom hit, case-insensitive glob
+
+    def test_exact_name(self, mini_sst):
+        text = run(mini_sst, ["search Professor"])
+        assert "Professor" in text
+        assert "univ" in text
+
+    def test_no_match_message(self, mini_sst):
+        text = run(mini_sst, ["search zzz*"])
+        assert "no concept matches" in text
+
+    def test_usage(self, mini_sst):
+        assert "usage:" in run(mini_sst, ["search"])
+
+
+class TestCompare:
+    def test_all_measures_listed(self, mini_sst):
+        text = run(mini_sst, ["compare univ Professor univ Student"])
+        for measure in ("Conceptual Similarity", "Levenshtein", "Lin",
+                        "Resnik", "Shortest Path", "TFIDF"):
+            assert measure in text
+
+    def test_cross_ontology(self, mini_sst):
+        text = run(mini_sst, ["compare univ Professor MINI EMPLOYEE"])
+        assert "TFIDF" in text
+
+    def test_usage(self, mini_sst):
+        assert "usage:" in run(mini_sst, ["compare univ Professor"])
+
+    def test_error_reported(self, mini_sst):
+        assert "error:" in run(mini_sst,
+                               ["compare univ Ghost univ Student"])
+
+
+class TestInstances:
+    def test_all_instances_of_ontology(self, mini_sst):
+        text = run(mini_sst, ["instances univ"])
+        assert "smith" in text
+        assert "jane" in text
+
+    def test_instances_of_concept_include_subconcepts(self, mini_sst):
+        text = run(mini_sst, ["instances univ Person"])
+        assert "smith" in text
+        assert "db1" not in text
+
+    def test_usage(self, mini_sst):
+        assert "usage:" in run(mini_sst, ["instances"])
+
+
+class TestInstanceSimilarity:
+    def test_isim_features(self, mini_sst):
+        text = run(mini_sst, ["isim univ smith 3"])
+        assert "rank" in text
+        assert "jane" in text
+
+    def test_isim_text_view(self, mini_sst):
+        text = run(mini_sst, ["isim univ smith 3 text"])
+        assert "rank" in text
+
+    def test_isim_unknown_instance(self, mini_sst):
+        assert "error:" in run(mini_sst, ["isim univ ghost"])
+
+    def test_usage(self, mini_sst):
+        assert "usage:" in run(mini_sst, ["isim"])

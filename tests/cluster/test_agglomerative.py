@@ -1,0 +1,171 @@
+"""Unit and property tests for agglomerative concept clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.agglomerative import (
+    ClusterNode,
+    ConceptClusterer,
+    agglomerate,
+    cut_clusters,
+    render_dendrogram,
+)
+from repro.core.registry import Measure
+from repro.errors import SSTCoreError
+
+#: Two tight pairs (0,1) and (2,3), far apart from each other.
+BLOCK_MATRIX = [
+    [1.0, 0.9, 0.1, 0.1],
+    [0.9, 1.0, 0.1, 0.1],
+    [0.1, 0.1, 1.0, 0.8],
+    [0.1, 0.1, 0.8, 1.0],
+]
+
+
+class TestAgglomerate:
+    def test_single_item_is_leaf(self):
+        root = agglomerate([[1.0]])
+        assert root.is_leaf
+        assert root.leaves() == [0]
+
+    def test_block_structure_recovered(self):
+        root = agglomerate(BLOCK_MATRIX)
+        assert sorted(root.leaves()) == [0, 1, 2, 3]
+        first, second = root.children
+        assert {tuple(sorted(first.leaves())),
+                tuple(sorted(second.leaves()))} == {(0, 1), (2, 3)}
+
+    def test_merge_similarities_monotone_decreasing(self):
+        root = agglomerate(BLOCK_MATRIX)
+
+        def check(node: ClusterNode) -> None:
+            for child in node.children:
+                if not child.is_leaf:
+                    assert child.similarity >= node.similarity
+                    check(child)
+        check(root)
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_all_linkages_cover_all_items(self, linkage):
+        root = agglomerate(BLOCK_MATRIX, linkage=linkage)
+        assert sorted(root.leaves()) == [0, 1, 2, 3]
+
+    def test_single_vs_complete_on_chain(self):
+        # A chain 0-1-2 where 0 and 2 are dissimilar: single linkage
+        # merges the chain at 0.8; complete linkage rates the final
+        # merge by the far pair (0.1).
+        chain = [
+            [1.0, 0.8, 0.1],
+            [0.8, 1.0, 0.8],
+            [0.1, 0.8, 1.0],
+        ]
+        single_root = agglomerate(chain, linkage="single")
+        complete_root = agglomerate(chain, linkage="complete")
+        assert single_root.similarity == pytest.approx(0.8)
+        assert complete_root.similarity == pytest.approx(0.1)
+
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(SSTCoreError):
+            agglomerate(BLOCK_MATRIX, linkage="median")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SSTCoreError):
+            agglomerate([])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SSTCoreError):
+            agglomerate([[1.0, 0.5]])
+
+
+class TestCutClusters:
+    def test_high_threshold_gives_singletons(self):
+        root = agglomerate(BLOCK_MATRIX)
+        groups = cut_clusters(root, threshold=0.95)
+        assert sorted(map(tuple, map(sorted, groups))) == [
+            (0,), (1,), (2,), (3,)]
+
+    def test_mid_threshold_gives_blocks(self):
+        root = agglomerate(BLOCK_MATRIX)
+        groups = cut_clusters(root, threshold=0.5)
+        assert sorted(map(tuple, map(sorted, groups))) == [(0, 1), (2, 3)]
+
+    def test_zero_threshold_gives_one_cluster(self):
+        root = agglomerate(BLOCK_MATRIX)
+        groups = cut_clusters(root, threshold=0.0)
+        assert len(groups) == 1
+        assert sorted(groups[0]) == [0, 1, 2, 3]
+
+
+class TestDendrogramRendering:
+    def test_labels_and_merges_shown(self):
+        root = agglomerate(BLOCK_MATRIX)
+        text = render_dendrogram(root, ["w", "x", "y", "z"])
+        assert "merge @" in text
+        for label in ("w", "x", "y", "z"):
+            assert f"- {label}" in text
+
+
+class TestConceptClusterer:
+    def test_clusters_separate_domains(self, mini_sst):
+        concepts = [("univ", "Professor"), ("univ", "Employee"),
+                    ("univ", "Person"), ("MINI", "COURSE"),
+                    ("univ", "Course")]
+        clusterer = ConceptClusterer(mini_sst, Measure.SHORTEST_PATH)
+        groups = clusterer.cluster(concepts, threshold=0.4)
+        person_group = next(group for group in groups
+                            if ("univ", "Professor") in group)
+        assert ("univ", "Employee") in person_group
+        assert ("MINI", "COURSE") not in person_group
+
+    def test_empty_input(self, mini_sst):
+        clusterer = ConceptClusterer(mini_sst, Measure.SHORTEST_PATH)
+        assert clusterer.cluster([]) == []
+
+    def test_dendrogram_text(self, mini_sst):
+        clusterer = ConceptClusterer(mini_sst, Measure.SHORTEST_PATH)
+        text = clusterer.dendrogram([("univ", "Professor"),
+                                     ("univ", "Student")])
+        assert "univ:Professor" in text
+        assert "merge @" in text
+
+
+@st.composite
+def random_similarity_matrices(draw):
+    size = draw(st.integers(1, 8))
+    values = {}
+    for first in range(size):
+        for second in range(first + 1, size):
+            values[(first, second)] = draw(
+                st.floats(min_value=0.0, max_value=1.0))
+    return [[1.0 if first == second
+             else values[tuple(sorted((first, second)))]
+             for second in range(size)] for first in range(size)]
+
+
+@given(random_similarity_matrices(),
+       st.sampled_from(["single", "complete", "average"]))
+@settings(max_examples=60, deadline=None)
+def test_dendrogram_is_a_permutation_partition(matrix, linkage):
+    root = agglomerate(matrix, linkage=linkage)
+    assert sorted(root.leaves()) == list(range(len(matrix)))
+
+
+@given(random_similarity_matrices(),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_cut_is_a_partition_at_any_threshold(matrix, threshold):
+    root = agglomerate(matrix)
+    groups = cut_clusters(root, threshold)
+    flattened = sorted(index for group in groups for index in group)
+    assert flattened == list(range(len(matrix)))
+
+
+@given(random_similarity_matrices())
+@settings(max_examples=40, deadline=None)
+def test_threshold_monotonicity(matrix):
+    """Raising the threshold never produces fewer clusters."""
+    root = agglomerate(matrix)
+    low = len(cut_clusters(root, 0.2))
+    high = len(cut_clusters(root, 0.8))
+    assert high >= low

@@ -1,0 +1,128 @@
+"""Shared fixtures: mini ontologies and the session-wide paper corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.ontologies.library import load_corpus
+from repro.soqa.api import SOQA
+
+MINI_OWL = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/univ">
+  <owl:Ontology rdf:about="">
+    <rdfs:comment>Tiny university ontology</rdfs:comment>
+    <owl:versionInfo>0.1</owl:versionInfo>
+  </owl:Ontology>
+  <owl:Class rdf:ID="Person">
+    <rdfs:comment>A human being at the university</rdfs:comment>
+  </owl:Class>
+  <owl:Class rdf:ID="Employee">
+    <rdfs:comment>A person employed by the university</rdfs:comment>
+    <rdfs:subClassOf rdf:resource="#Person"/>
+  </owl:Class>
+  <owl:Class rdf:ID="Professor">
+    <rdfs:comment>A senior teacher and researcher</rdfs:comment>
+    <rdfs:subClassOf rdf:resource="#Employee"/>
+  </owl:Class>
+  <owl:Class rdf:ID="Student">
+    <rdfs:comment>A person studying courses</rdfs:comment>
+    <rdfs:subClassOf rdf:resource="#Person"/>
+  </owl:Class>
+  <owl:Class rdf:ID="Course">
+    <rdfs:comment>A course of lectures</rdfs:comment>
+  </owl:Class>
+  <owl:DatatypeProperty rdf:ID="name">
+    <rdfs:comment>the person's name</rdfs:comment>
+    <rdfs:domain rdf:resource="#Person"/>
+  </owl:DatatypeProperty>
+  <owl:ObjectProperty rdf:ID="advises">
+    <rdfs:domain rdf:resource="#Professor"/>
+    <rdfs:range rdf:resource="#Student"/>
+  </owl:ObjectProperty>
+  <owl:ObjectProperty rdf:ID="takes">
+    <rdfs:domain rdf:resource="#Student"/>
+    <rdfs:range rdf:resource="#Course"/>
+  </owl:ObjectProperty>
+  <Professor rdf:ID="smith">
+    <name>Prof. Smith</name>
+    <advises rdf:resource="#jane"/>
+  </Professor>
+  <Student rdf:ID="jane">
+    <name>Jane</name>
+    <takes rdf:resource="#db1"/>
+  </Student>
+  <Course rdf:ID="db1"/>
+</rdf:RDF>
+"""
+
+MINI_ORNITHOLOGY_OWL = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/birds">
+  <owl:Class rdf:ID="Blackbird">
+    <rdfs:comment>A common black thrush</rdfs:comment>
+  </owl:Class>
+  <owl:Class rdf:ID="Sparrow">
+    <rdfs:comment>A small dull-colored singing bird</rdfs:comment>
+  </owl:Class>
+</rdf:RDF>
+"""
+
+MINI_PLOOM = """
+(defmodule "MINI" :documentation "Mini course module" :version "1.0")
+(in-module "MINI")
+(defconcept PERSON :documentation "A person")
+(defconcept EMPLOYEE (?e PERSON) :documentation "An employed person")
+(defconcept STUDENT (?s PERSON))
+(defconcept COURSE)
+(defrelation teaches ((?e EMPLOYEE) (?c COURSE)) :documentation "teaches")
+(defrelation salary ((?e EMPLOYEE) (?n NUMBER)))
+(deffunction full-name ((?p PERSON)) :-> (?n STRING))
+(assert (EMPLOYEE bob))
+(assert (salary bob 50000))
+(assert (teaches bob algebra))
+"""
+
+MINI_WORDNET = """00001740 03 n 01 entity 0 000 | that which exists
+00002137 03 n 02 being 0 organism 0 001 @ 00001740 n 0000 | a living thing
+00004475 03 n 01 person 0 002 @ 00002137 n 0000 ! 00004480 n 0101 | a human being
+00004480 03 n 01 nonperson 0 001 @ 00002137 n 0000 | not a person
+00007846 03 n 01 researcher 0 001 @ 00004475 n 0000 | one who researches
+"""
+
+
+@pytest.fixture
+def mini_soqa() -> SOQA:
+    """A SOQA facade with one small ontology per supported language."""
+    soqa = SOQA()
+    soqa.load_text(MINI_OWL, "univ", "OWL")
+    soqa.load_text(MINI_PLOOM, "MINI", "PowerLoom")
+    soqa.load_text(MINI_WORDNET, "wn", "WordNet")
+    return soqa
+
+
+@pytest.fixture
+def mini_sst(mini_soqa) -> SOQASimPackToolkit:
+    """An SST facade over the mini multi-language corpus."""
+    return SOQASimPackToolkit(mini_soqa)
+
+
+@pytest.fixture(scope="session")
+def corpus_soqa() -> SOQA:
+    """The paper's five-ontology corpus (943 concepts); loaded once."""
+    return load_corpus()
+
+
+@pytest.fixture(scope="session")
+def corpus_sst(corpus_soqa) -> SOQASimPackToolkit:
+    """An SST facade over the paper corpus; shared across the session.
+
+    Tests must not mutate it (no ontology loading, no runner
+    registration) — use ``mini_sst`` for that.
+    """
+    return SOQASimPackToolkit(corpus_soqa)

@@ -1,0 +1,90 @@
+"""Unit tests for the pairwise similarity cache."""
+
+import pytest
+
+from repro.core.cache import CachedRunner
+from repro.core.registry import Measure
+from repro.core.results import QualifiedConcept
+from repro.errors import SSTCoreError
+
+PROFESSOR = QualifiedConcept("univ", "Professor")
+STUDENT = QualifiedConcept("univ", "Student")
+EMPLOYEE = QualifiedConcept("univ", "Employee")
+
+
+@pytest.fixture
+def cached(mini_sst) -> CachedRunner:
+    return CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH))
+
+
+class TestCaching:
+    def test_same_value_as_inner(self, cached, mini_sst):
+        direct = mini_sst.runner(Measure.SHORTEST_PATH).run(PROFESSOR,
+                                                            STUDENT)
+        assert cached.run(PROFESSOR, STUDENT) == direct
+
+    def test_second_lookup_hits(self, cached):
+        cached.run(PROFESSOR, STUDENT)
+        assert cached.misses == 1
+        cached.run(PROFESSOR, STUDENT)
+        assert cached.hits == 1
+
+    def test_symmetric_pairs_share_entry(self, cached):
+        cached.run(PROFESSOR, STUDENT)
+        cached.run(STUDENT, PROFESSOR)
+        assert cached.hits == 1
+        assert cached.misses == 1
+
+    def test_asymmetric_mode_keeps_both_orders(self, mini_sst):
+        cached = CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH),
+                              symmetric=False)
+        cached.run(PROFESSOR, STUDENT)
+        cached.run(STUDENT, PROFESSOR)
+        assert cached.misses == 2
+
+    def test_hit_rate(self, cached):
+        assert cached.hit_rate == 0.0
+        cached.run(PROFESSOR, STUDENT)
+        cached.run(PROFESSOR, STUDENT)
+        cached.run(PROFESSOR, STUDENT)
+        assert cached.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction(self, mini_sst):
+        cached = CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH),
+                              capacity=2)
+        cached.run(PROFESSOR, STUDENT)
+        cached.run(PROFESSOR, EMPLOYEE)
+        cached.run(STUDENT, EMPLOYEE)   # evicts (PROFESSOR, STUDENT)
+        cached.run(PROFESSOR, STUDENT)
+        assert cached.misses == 4
+        assert cached.hits == 0
+
+    def test_clear_resets(self, cached):
+        cached.run(PROFESSOR, STUDENT)
+        cached.clear()
+        assert cached.hits == 0
+        assert cached.misses == 0
+        cached.run(PROFESSOR, STUDENT)
+        assert cached.misses == 1
+
+    def test_metadata_forwarded(self, cached, mini_sst):
+        inner = mini_sst.runner(Measure.SHORTEST_PATH)
+        assert cached.name == inner.name
+        assert cached.is_normalized() == inner.is_normalized()
+
+    def test_invalid_capacity_rejected(self, mini_sst):
+        with pytest.raises(SSTCoreError):
+            CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH),
+                         capacity=0)
+
+    def test_registered_as_custom_measure(self, mini_sst):
+        measure_id = mini_sst.register_measure_runner(
+            "cached-path",
+            lambda wrapper: CachedRunner(
+                mini_sst.registry.create(Measure.SHORTEST_PATH, wrapper)))
+        first = mini_sst.get_similarity("Professor", "univ", "Student",
+                                        "univ", measure_id)
+        second = mini_sst.get_similarity("Professor", "univ", "Student",
+                                         "univ", "cached-path")
+        assert first == second
+        assert mini_sst.runner(measure_id).hits >= 1

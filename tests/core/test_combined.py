@@ -1,0 +1,109 @@
+"""Unit tests for combined (amalgamated) measures."""
+
+import pytest
+
+from repro.core.combined import CombinedMeasureRunner, combined_factory
+from repro.core.registry import Measure
+from repro.errors import SSTCoreError
+
+
+class TestCombinedRunner:
+    def test_weighted_average_default(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "lin+tfidf", [Measure.LIN, Measure.TFIDF])
+        lin = mini_sst.get_similarity("Professor", "univ", "Student",
+                                      "univ", Measure.LIN)
+        tfidf = mini_sst.get_similarity("Professor", "univ", "Student",
+                                        "univ", Measure.TFIDF)
+        combined = mini_sst.get_similarity("Professor", "univ", "Student",
+                                           "univ", measure_id)
+        assert combined == pytest.approx((lin + tfidf) / 2)
+
+    def test_custom_weights(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "weighted", [Measure.LIN, Measure.TFIDF], weights=[3.0, 1.0])
+        lin = mini_sst.get_similarity("Professor", "univ", "Student",
+                                      "univ", Measure.LIN)
+        tfidf = mini_sst.get_similarity("Professor", "univ", "Student",
+                                        "univ", Measure.TFIDF)
+        combined = mini_sst.get_similarity("Professor", "univ", "Student",
+                                           "univ", measure_id)
+        assert combined == pytest.approx((3 * lin + tfidf) / 4)
+
+    def test_maximum_amalgamation(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "max-combo", [Measure.LIN, Measure.TFIDF],
+            amalgamation="maximum")
+        values = [mini_sst.get_similarity("Professor", "univ", "Student",
+                                          "univ", measure)
+                  for measure in (Measure.LIN, Measure.TFIDF)]
+        combined = mini_sst.get_similarity("Professor", "univ", "Student",
+                                           "univ", measure_id)
+        assert combined == pytest.approx(max(values))
+
+    def test_minimum_amalgamation(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "min-combo", [Measure.LIN, Measure.TFIDF],
+            amalgamation="minimum")
+        values = [mini_sst.get_similarity("Professor", "univ", "Student",
+                                          "univ", measure)
+                  for measure in (Measure.LIN, Measure.TFIDF)]
+        combined = mini_sst.get_similarity("Professor", "univ", "Student",
+                                           "univ", measure_id)
+        assert combined == pytest.approx(min(values))
+
+    def test_combined_identity_is_one(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "id-combo", [Measure.LIN, Measure.TFIDF,
+                         Measure.SHORTEST_PATH])
+        assert mini_sst.get_similarity("Student", "univ", "Student",
+                                       "univ", measure_id) == 1.0
+
+    def test_combined_name_lists_parts(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "named-combo", [Measure.LIN, Measure.TFIDF])
+        runner = mini_sst.runner(measure_id)
+        assert runner.name == "Combined(Lin, TFIDF)"
+
+
+class TestValidation:
+    def test_raw_resnik_rejected(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "bad-combo", [Measure.RESNIK, Measure.TFIDF])
+        with pytest.raises(SSTCoreError, match="normalized"):
+            mini_sst.runner(measure_id)
+
+    def test_normalized_resnik_accepted(self, mini_sst):
+        measure_id = mini_sst.register_combined_measure(
+            "ok-combo", [Measure.RESNIK_NORMALIZED, Measure.TFIDF])
+        value = mini_sst.get_similarity("Professor", "univ", "Student",
+                                        "univ", measure_id)
+        assert 0.0 <= value <= 1.0
+
+    def test_empty_runner_list_rejected(self, mini_sst):
+        with pytest.raises(SSTCoreError, match="at least one"):
+            CombinedMeasureRunner(mini_sst.wrapper, [])
+
+    def test_weight_count_mismatch_rejected(self, mini_sst):
+        factory = combined_factory([Measure.LIN], mini_sst.registry,
+                                   weights=[1.0, 2.0])
+        with pytest.raises(SSTCoreError, match="weights"):
+            factory(mini_sst.wrapper)
+
+    def test_negative_weight_rejected(self, mini_sst):
+        factory = combined_factory([Measure.LIN], mini_sst.registry,
+                                   weights=[-1.0])
+        with pytest.raises(SSTCoreError, match="non-negative"):
+            factory(mini_sst.wrapper)
+
+    def test_all_zero_weights_rejected(self, mini_sst):
+        factory = combined_factory([Measure.LIN], mini_sst.registry,
+                                   weights=[0.0])
+        with pytest.raises(SSTCoreError, match="positive"):
+            factory(mini_sst.wrapper)
+
+    def test_unknown_amalgamation_rejected(self, mini_sst):
+        factory = combined_factory([Measure.LIN], mini_sst.registry,
+                                   amalgamation="median")
+        with pytest.raises(SSTCoreError, match="amalgamation"):
+            factory(mini_sst.wrapper)

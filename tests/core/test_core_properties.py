@@ -1,0 +1,138 @@
+"""Property-based tests for the core layer's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.core.results import QualifiedConcept
+from repro.core.unified import MERGED_THING, UnifiedTree
+from repro.simpack.infocontent import InformationContent
+from repro.soqa.api import SOQA
+from repro.soqa.graph import Taxonomy
+from repro.soqa.metamodel import Concept, Ontology, OntologyMetadata
+
+
+@st.composite
+def random_soqa(draw) -> SOQA:
+    """A SOQA facade holding 1-3 random single-rooted-or-forest
+    ontologies."""
+    soqa = SOQA()
+    ontology_count = draw(st.integers(1, 3))
+    for ontology_index in range(ontology_count):
+        size = draw(st.integers(1, 10))
+        names = [f"O{ontology_index}C{i}" for i in range(size)]
+        concepts = []
+        for index, name in enumerate(names):
+            parent_count = draw(st.integers(0, min(2, index)))
+            parents = list(draw(st.permutations(names[:index]))
+                           [:parent_count])
+            concepts.append(Concept(name=name, documentation=f"doc {name}",
+                                    superconcept_names=parents))
+        soqa.add_ontology(Ontology(
+            OntologyMetadata(name=f"onto{ontology_index}",
+                             language="OWL"), concepts))
+    return soqa
+
+
+@given(random_soqa())
+@settings(max_examples=40, deadline=None)
+def test_unified_tree_single_root_and_full_coverage(soqa):
+    tree = UnifiedTree(soqa)
+    assert tree.taxonomy.roots() == ["Super Thing"]
+    assert len(tree.all_concepts()) == soqa.concept_count()
+    # Every concept reaches the root.
+    for concept in tree.all_concepts():
+        path = tree.path_to_root(concept)
+        assert path[-1] == "Super Thing"
+
+
+@given(random_soqa())
+@settings(max_examples=40, deadline=None)
+def test_unified_tree_preserves_intra_ontology_distances(soqa):
+    """Joining ontologies under Super Thing never changes distances
+    within one ontology (paths through the virtual roots are never
+    shorter than the original ones)."""
+    tree = UnifiedTree(soqa)
+    for ontology in soqa.ontologies():
+        taxonomy = Taxonomy({concept.name: concept.superconcept_names
+                             for concept in ontology})
+        names = taxonomy.nodes()
+        for first in names[:4]:
+            for second in names[:4]:
+                original = taxonomy.shortest_path_length(first, second)
+                unified = tree.taxonomy.shortest_path_length(
+                    tree.key(ontology.name, first),
+                    tree.key(ontology.name, second))
+                if original is not None:
+                    assert unified == original
+                else:
+                    assert unified is not None  # now connected via roots
+
+
+@given(random_soqa())
+@settings(max_examples=40, deadline=None)
+def test_merged_thing_never_increases_distances(soqa):
+    """Fig. 3: merging roots can only bring concepts closer together."""
+    super_tree = UnifiedTree(soqa)
+    merged_tree = UnifiedTree(soqa, strategy=MERGED_THING)
+    concepts = super_tree.all_concepts()[:5]
+    for first in concepts:
+        for second in concepts:
+            super_distance = super_tree.taxonomy.shortest_path_length(
+                super_tree.node_of(first), super_tree.node_of(second))
+            merged_distance = merged_tree.taxonomy.shortest_path_length(
+                merged_tree.node_of(first), merged_tree.node_of(second))
+            assert merged_distance <= super_distance
+
+
+@given(random_soqa())
+@settings(max_examples=40, deadline=None)
+def test_ic_monotone_along_subsumption(soqa):
+    """IC never decreases when moving from an ancestor to a descendant."""
+    tree = UnifiedTree(soqa)
+    ic = InformationContent(tree.taxonomy)
+    for node in tree.taxonomy.nodes():
+        for ancestor in tree.taxonomy.ancestors_with_distance(node):
+            assert ic.ic(ancestor) <= ic.ic(node) + 1e-12
+
+
+@given(random_soqa(), st.sampled_from([
+    Measure.CONCEPTUAL_SIMILARITY, Measure.SHORTEST_PATH, Measure.LIN,
+    Measure.LEVENSHTEIN, Measure.EXTENSIONAL]))
+@settings(max_examples=30, deadline=None)
+def test_measures_symmetric_and_bounded_on_random_corpora(soqa, measure):
+    sst = SOQASimPackToolkit(soqa)
+    concepts = sst.tree.all_concepts()[:4]
+    for first in concepts:
+        for second in concepts:
+            forward = sst.get_similarity(
+                first.concept_name, first.ontology_name,
+                second.concept_name, second.ontology_name, measure)
+            backward = sst.get_similarity(
+                second.concept_name, second.ontology_name,
+                first.concept_name, first.ontology_name, measure)
+            assert forward == pytest.approx(backward)
+            assert 0.0 <= forward <= 1.0
+
+
+@given(random_soqa())
+@settings(max_examples=25, deadline=None)
+def test_k_most_similar_consistent_with_pairwise(soqa):
+    """The top-1 most similar concept realizes the maximum pairwise
+    similarity over all candidates."""
+    sst = SOQASimPackToolkit(soqa)
+    concepts = sst.tree.all_concepts()
+    if len(concepts) < 2:
+        return
+    anchor = concepts[0]
+    top = sst.get_most_similar_concepts(
+        anchor.concept_name, anchor.ontology_name, k=1,
+        measure=Measure.SHORTEST_PATH)
+    best = max(
+        sst.get_similarity(anchor.concept_name, anchor.ontology_name,
+                           other.concept_name, other.ontology_name,
+                           Measure.SHORTEST_PATH)
+        for other in concepts if other != anchor)
+    assert top[0].similarity == pytest.approx(best)

@@ -1,0 +1,75 @@
+"""Unit tests for similarity explanation."""
+
+import pytest
+
+from repro.core.explain import explain_similarity
+from repro.core.registry import Measure
+
+
+class TestExplainSimilarity:
+    def test_scores_match_facade(self, mini_sst):
+        explanation = explain_similarity(mini_sst, "Professor", "univ",
+                                         "Student", "univ")
+        direct = mini_sst.get_similarities("Professor", "univ",
+                                           "Student", "univ")
+        assert explanation.scores == direct
+
+    def test_taxonomy_evidence(self, mini_sst):
+        explanation = explain_similarity(mini_sst, "Professor", "univ",
+                                         "Student", "univ")
+        assert explanation.first_path[0] == "univ:Professor"
+        assert explanation.meeting_point == "univ:Person"
+        assert explanation.distance == 3
+
+    def test_feature_partition(self, mini_sst):
+        explanation = explain_similarity(mini_sst, "Professor", "univ",
+                                         "Employee", "univ")
+        all_first = set(explanation.shared_features) | set(
+            explanation.first_only_features)
+        assert all_first == set(
+            mini_sst.wrapper.feature_set(explanation.first))
+
+    def test_shared_terms_for_related_concepts(self, mini_sst):
+        explanation = explain_similarity(mini_sst, "Professor", "univ",
+                                         "Employee", "univ")
+        assert explanation.shared_terms  # both mention the university
+
+    def test_name_identity_flag(self, mini_sst):
+        explanation = explain_similarity(mini_sst, "Student", "univ",
+                                         "STUDENT", "MINI")
+        assert explanation.name_identical
+
+    def test_custom_measure_list(self, mini_sst):
+        explanation = explain_similarity(
+            mini_sst, "Professor", "univ", "Student", "univ",
+            measures=[Measure.TFIDF])
+        assert list(explanation.scores) == ["TFIDF"]
+
+    def test_text_report_sections(self, mini_sst):
+        text = explain_similarity(mini_sst, "Professor", "univ",
+                                  "Student", "univ").to_text()
+        for expected in ("scores:", "taxonomy evidence:",
+                         "feature evidence", "text evidence",
+                         "meet at: univ:Person"):
+            assert expected in text
+
+    def test_browser_explain_command(self, mini_sst):
+        import io
+
+        from repro.browser.shell import run_browser
+
+        output = io.StringIO()
+        run_browser(mini_sst,
+                    lines=["explain univ Professor univ Student"],
+                    stdout=output)
+        assert "taxonomy evidence:" in output.getvalue()
+
+    def test_cli_explain(self, capsys, tmp_path):
+        from repro.cli import main
+        from tests.conftest import MINI_OWL
+
+        path = tmp_path / "univ.owl"
+        path.write_text(MINI_OWL, encoding="utf-8")
+        assert main(["--ontology-file", str(path), "explain", "univ",
+                     "Professor", "univ", "Student"]) == 0
+        assert "Why univ:Professor" in capsys.readouterr().out

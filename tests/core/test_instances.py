@@ -1,0 +1,139 @@
+"""Unit tests for instance-level similarity services."""
+
+import pytest
+
+from repro.core.instances import InstanceSimilarityService, QualifiedInstance
+from repro.core.registry import Measure
+from repro.errors import SSTCoreError, UnknownConceptError
+
+
+@pytest.fixture
+def service(mini_sst) -> InstanceSimilarityService:
+    return InstanceSimilarityService(mini_sst)
+
+
+class TestRegistry:
+    def test_all_instances_found(self, service):
+        keys = service.all_instances()
+        names = {(key.ontology_name, key.instance_name) for key in keys}
+        assert ("univ", "smith") in names
+        assert ("univ", "jane") in names
+        assert ("MINI", "bob") in names
+
+    def test_instance_lookup(self, service):
+        instance = service.instance("smith", "univ")
+        assert instance.concept_name == "Professor"
+
+    def test_unknown_instance_raises(self, service):
+        with pytest.raises(UnknownConceptError):
+            service.instance("ghost", "univ")
+
+    def test_refresh_clears_caches(self, service, mini_sst):
+        service.all_instances()
+        service.vector_space()
+        service.refresh()
+        assert service.all_instances()  # rebuilt without error
+
+    def test_qualified_instance_display(self):
+        assert str(QualifiedInstance("univ", "smith")) == "univ::smith"
+
+
+class TestFeatureView:
+    def test_feature_set_contents(self, service):
+        features = service.feature_set("smith", "univ")
+        assert "Professor" in features   # its concept
+        assert "name" in features        # attribute key
+        assert "advises" in features     # relationship key
+        assert "jane" in features        # relationship target
+
+    def test_identity_is_one(self, service):
+        assert service.get_similarity("smith", "univ", "smith", "univ",
+                                      "features") == 1.0
+
+    def test_shared_structure_scores_positive(self, service):
+        # smith and jane both carry a 'name' attribute value.
+        value = service.get_similarity("smith", "univ", "jane", "univ",
+                                       "features")
+        assert 0.0 < value < 1.0
+
+    def test_disjoint_instances_score_zero(self, service):
+        # univ:db1 (bare course) and MINI:bob share nothing.
+        assert service.get_similarity("db1", "univ", "bob", "MINI",
+                                      "features") == 0.0
+
+
+class TestTextView:
+    def test_document_text_contains_values(self, service):
+        text = service.document_text("smith", "univ")
+        assert "Prof. Smith" in text
+        assert "Professor" in text
+
+    def test_identity_is_one(self, service):
+        assert service.get_similarity("smith", "univ", "smith", "univ",
+                                      "text") == pytest.approx(1.0)
+
+    def test_vector_space_covers_all_instances(self, service):
+        space = service.vector_space()
+        assert space.index.document_count == len(service.all_instances())
+
+    def test_cross_ontology_text_similarity(self, service):
+        value = service.get_similarity("smith", "univ", "bob", "MINI",
+                                       "text")
+        assert 0.0 <= value <= 1.0
+
+
+class TestConceptView:
+    def test_delegates_to_concept_measure(self, service, mini_sst):
+        via_instances = service.get_similarity("smith", "univ", "jane",
+                                               "univ", "concepts")
+        via_concepts = mini_sst.get_similarity(
+            "Professor", "univ", "Student", "univ",
+            Measure.CONCEPTUAL_SIMILARITY)
+        assert via_instances == pytest.approx(via_concepts)
+
+    def test_same_concept_instances_score_one(self, mini_sst):
+        service = InstanceSimilarityService(
+            mini_sst, concept_measure=Measure.SHORTEST_PATH)
+        # Two instances of the same concept are concept-identical.
+        mini_sst.soqa.ontology("univ").concept("Student").instances.append(
+            type(mini_sst.soqa.ontology("univ").concept(
+                "Student").instances[0])("jill", "Student"))
+        service.refresh()
+        assert service.get_similarity("jane", "univ", "jill", "univ",
+                                      "concepts") == 1.0
+
+
+class TestKMostSimilar:
+    def test_ranked_descending(self, service):
+        entries = service.get_most_similar_instances("smith", "univ", k=5)
+        values = [entry.similarity for entry in entries]
+        assert values == sorted(values, reverse=True)
+
+    def test_anchor_excluded(self, service):
+        entries = service.get_most_similar_instances("smith", "univ",
+                                                     k=100)
+        assert all(not (entry.instance_name == "smith"
+                        and entry.ontology_name == "univ")
+                   for entry in entries)
+
+    def test_entry_carries_concept(self, service):
+        entries = service.get_most_similar_instances("smith", "univ", k=1,
+                                                     measure="text")
+        assert entries[0].concept_name
+
+    def test_str_rendering(self, service):
+        entry = service.get_most_similar_instances("smith", "univ",
+                                                   k=1)[0]
+        assert "::" in str(entry)
+
+
+class TestValidation:
+    def test_unknown_measure_rejected(self, service):
+        with pytest.raises(SSTCoreError, match="instance measure"):
+            service.get_similarity("smith", "univ", "jane", "univ",
+                                   "magic")
+
+    def test_unknown_instance_in_text_view(self, service):
+        with pytest.raises(UnknownConceptError):
+            service.get_similarity("ghost", "univ", "jane", "univ",
+                                   "text")

@@ -1,0 +1,193 @@
+"""Unit tests for the MeasureRunner implementations."""
+
+import pytest
+
+from repro.core.registry import Measure
+from repro.errors import UnknownMeasureError
+
+PROFESSOR = ("Professor", "univ")
+STUDENT = ("Student", "univ")
+COURSE = ("Course", "univ")
+EMPLOYEE_PLOOM = ("EMPLOYEE", "MINI")
+
+ALL_MEASURES = list(Measure)
+
+
+def sim(sst, first, second, measure):
+    return sst.get_similarity(first[0], first[1], second[0], second[1],
+                              measure)
+
+
+class TestCommonRunnerProperties:
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    def test_identity_is_maximal(self, mini_sst, measure):
+        self_value = sim(mini_sst, PROFESSOR, PROFESSOR, measure)
+        other_value = sim(mini_sst, PROFESSOR, COURSE, measure)
+        assert self_value >= other_value
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    def test_symmetry(self, mini_sst, measure):
+        forward = sim(mini_sst, PROFESSOR, STUDENT, measure)
+        backward = sim(mini_sst, STUDENT, PROFESSOR, measure)
+        assert forward == pytest.approx(backward)
+
+    @pytest.mark.parametrize("measure",
+                             [m for m in ALL_MEASURES
+                              if m != Measure.RESNIK])
+    def test_normalized_range(self, mini_sst, measure):
+        for pair in [(PROFESSOR, STUDENT), (PROFESSOR, EMPLOYEE_PLOOM),
+                     (COURSE, EMPLOYEE_PLOOM)]:
+            value = sim(mini_sst, *pair, measure)
+            assert 0.0 <= value <= 1.0
+        assert mini_sst.runner(measure).is_normalized()
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    def test_identity_is_one_for_normalized(self, mini_sst, measure):
+        if mini_sst.runner(measure).is_normalized():
+            assert sim(mini_sst, STUDENT, STUDENT,
+                       measure) == pytest.approx(1.0)
+
+
+class TestDistanceRunners:
+    def test_shortest_path_inverse_form(self, mini_sst):
+        # Professor and Student are 3 edges apart: 1 / (1 + 3).
+        assert sim(mini_sst, PROFESSOR, STUDENT,
+                   Measure.SHORTEST_PATH) == pytest.approx(0.25)
+
+    def test_conceptual_similarity_cross_ontology_positive(self, mini_sst):
+        value = sim(mini_sst, PROFESSOR, EMPLOYEE_PLOOM,
+                    Measure.CONCEPTUAL_SIMILARITY)
+        assert 0.0 < value < 0.5
+
+    def test_conceptual_similarity_decreases_with_depth(self, mini_sst):
+        shallow = sim(mini_sst, ("Person", "univ"), EMPLOYEE_PLOOM,
+                      Measure.CONCEPTUAL_SIMILARITY)
+        deep = sim(mini_sst, PROFESSOR, EMPLOYEE_PLOOM,
+                   Measure.CONCEPTUAL_SIMILARITY)
+        assert shallow > deep
+
+    def test_edge_measure_uses_eq5(self, mini_sst):
+        max_depth = mini_sst.wrapper.taxonomy.max_depth()
+        expected = (2 * max_depth - 3) / (2 * max_depth)
+        assert sim(mini_sst, PROFESSOR, STUDENT,
+                   Measure.EDGE) == pytest.approx(expected)
+
+    def test_leacock_chodorow_monotone(self, mini_sst):
+        near = sim(mini_sst, PROFESSOR, ("Employee", "univ"),
+                   Measure.LEACOCK_CHODOROW)
+        far = sim(mini_sst, PROFESSOR, EMPLOYEE_PLOOM,
+                  Measure.LEACOCK_CHODOROW)
+        assert near > far
+
+
+class TestInformationRunners:
+    def test_lin_same_ontology_positive(self, mini_sst):
+        assert sim(mini_sst, PROFESSOR, STUDENT, Measure.LIN) > 0.0
+
+    def test_lin_cross_ontology_zero(self, mini_sst):
+        """The MICS of cross-ontology pairs is Super Thing with IC 0."""
+        assert sim(mini_sst, PROFESSOR, EMPLOYEE_PLOOM, Measure.LIN) == 0.0
+
+    def test_resnik_raw_self_value_unbounded(self, mini_sst):
+        value = sim(mini_sst, PROFESSOR, PROFESSOR, Measure.RESNIK)
+        assert value > 1.0  # raw IC in bits, as in Table 1
+        assert not mini_sst.runner(Measure.RESNIK).is_normalized()
+
+    def test_resnik_cross_ontology_zero(self, mini_sst):
+        assert sim(mini_sst, PROFESSOR, EMPLOYEE_PLOOM,
+                   Measure.RESNIK) == 0.0
+
+    def test_resnik_normalized_scales_raw(self, mini_sst):
+        raw = sim(mini_sst, PROFESSOR, STUDENT, Measure.RESNIK)
+        normalized = sim(mini_sst, PROFESSOR, STUDENT,
+                         Measure.RESNIK_NORMALIZED)
+        assert normalized == pytest.approx(
+            raw / mini_sst.wrapper.information_content().max_ic())
+
+    def test_jiang_conrath_monotone(self, mini_sst):
+        sibling = sim(mini_sst, PROFESSOR, STUDENT, Measure.JIANG_CONRATH)
+        cross = sim(mini_sst, PROFESSOR, EMPLOYEE_PLOOM,
+                    Measure.JIANG_CONRATH)
+        assert sibling > cross
+
+
+class TestLexicalRunners:
+    def test_tfidf_related_above_unrelated(self, mini_sst):
+        related = sim(mini_sst, PROFESSOR, ("Employee", "univ"),
+                      Measure.TFIDF)
+        unrelated = sim(mini_sst, PROFESSOR, ("COURSE", "MINI"),
+                        Measure.TFIDF)
+        assert related > unrelated
+
+    def test_name_levenshtein_case_insensitive(self, mini_sst):
+        # univ:Student vs MINI:STUDENT differ only by case.
+        assert sim(mini_sst, STUDENT, ("STUDENT", "MINI"),
+                   Measure.NAME_LEVENSHTEIN) == pytest.approx(1.0)
+
+    def test_jaro_winkler_favors_shared_prefix(self, mini_sst):
+        close = sim(mini_sst, PROFESSOR, ("PERSON", "MINI"),
+                    Measure.JARO_WINKLER)
+        far = sim(mini_sst, PROFESSOR, ("COURSE", "MINI"),
+                  Measure.JARO_WINKLER)
+        assert close > far
+
+    def test_monge_elkan_symmetrized(self, mini_sst):
+        forward = sim(mini_sst, PROFESSOR, STUDENT, Measure.MONGE_ELKAN)
+        backward = sim(mini_sst, STUDENT, PROFESSOR, Measure.MONGE_ELKAN)
+        assert forward == pytest.approx(backward)
+
+
+class TestStructuralRunners:
+    def test_levenshtein_sequence_shares_path(self, mini_sst):
+        same_branch = sim(mini_sst, PROFESSOR, ("Employee", "univ"),
+                          Measure.LEVENSHTEIN)
+        cross = sim(mini_sst, PROFESSOR, ("COURSE", "MINI"),
+                    Measure.LEVENSHTEIN)
+        assert same_branch > cross
+
+    def test_vector_runners_use_feature_overlap(self, mini_sst):
+        # Professor {advises, Employee} vs Student {takes, Person}:
+        # no overlap -> 0; Professor vs Professor -> 1.
+        for measure in (Measure.COSINE, Measure.EXTENDED_JACCARD,
+                        Measure.OVERLAP, Measure.DICE):
+            assert sim(mini_sst, PROFESSOR, STUDENT, measure) == 0.0
+            assert sim(mini_sst, PROFESSOR, PROFESSOR, measure) == 1.0
+
+    def test_tree_edit_structure_similarity(self, mini_sst):
+        # Leaves have identical (trivial) subtree shapes.
+        assert sim(mini_sst, PROFESSOR, ("COURSE", "MINI"),
+                   Measure.TREE_EDIT) == pytest.approx(1.0)
+        inner_vs_leaf = sim(mini_sst, ("Person", "univ"), COURSE,
+                            Measure.TREE_EDIT)
+        assert inner_vs_leaf < 1.0
+
+
+class TestRegistryIntegration:
+    def test_measure_by_name_string(self, mini_sst):
+        by_name = sim(mini_sst, PROFESSOR, STUDENT, "Lin")
+        by_enum = sim(mini_sst, PROFESSOR, STUDENT, Measure.LIN)
+        assert by_name == by_enum
+
+    def test_measure_by_integer(self, mini_sst):
+        assert sim(mini_sst, PROFESSOR, STUDENT, 3) == sim(
+            mini_sst, PROFESSOR, STUDENT, Measure.LIN)
+
+    def test_unknown_measure_raises(self, mini_sst):
+        with pytest.raises(UnknownMeasureError):
+            sim(mini_sst, PROFESSOR, STUDENT, 999)
+        with pytest.raises(UnknownMeasureError):
+            sim(mini_sst, PROFESSOR, STUDENT, "Galaxy")
+
+    def test_runner_instances_cached(self, mini_sst):
+        assert mini_sst.runner(Measure.LIN) is mini_sst.runner("Lin")
+
+    def test_measure_info(self, mini_sst):
+        info = mini_sst.measure_info(Measure.TFIDF)
+        assert info["name"] == "TFIDF"
+        assert info["normalized"] is True
+
+    def test_available_measures_lists_all_builtins(self, mini_sst):
+        names = {info["name"] for info in mini_sst.available_measures()}
+        assert {"Conceptual Similarity", "Levenshtein", "Lin", "Resnik",
+                "Shortest Path", "TFIDF"} <= names
+        assert len(names) == len(list(Measure))

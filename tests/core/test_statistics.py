@@ -1,0 +1,83 @@
+"""Unit tests for ontology statistics."""
+
+import pytest
+
+from repro.core.statistics import (
+    OntologyStatistics,
+    corpus_statistics,
+    ontology_statistics,
+)
+
+
+class TestOntologyStatistics:
+    def test_mini_owl_counts(self, mini_soqa):
+        statistics = ontology_statistics(mini_soqa.ontology("univ"))
+        assert statistics.concept_count == 5
+        assert statistics.attribute_count == 1
+        assert statistics.relationship_count == 2
+        assert statistics.instance_count == 3
+        assert statistics.root_count == 2  # Person, Course
+        assert statistics.max_depth == 2   # Person > Employee > Professor
+
+    def test_average_depth_positive(self, mini_soqa):
+        statistics = ontology_statistics(mini_soqa.ontology("univ"))
+        assert 0.0 < statistics.average_depth < statistics.max_depth + 1
+
+    def test_branching_of_chain_is_one(self, mini_soqa):
+        # MINI: PERSON -> {EMPLOYEE, STUDENT}; COURSE isolated.
+        statistics = ontology_statistics(mini_soqa.ontology("MINI"))
+        assert statistics.average_branching == pytest.approx(2.0)
+
+    def test_multiple_inheritance_detected(self, corpus_soqa):
+        statistics = ontology_statistics(
+            corpus_soqa.ontology("SUMO_owl_txt"))
+        assert statistics.multiple_inheritance_count >= 1  # Human
+
+    def test_row_and_header_align(self, mini_soqa):
+        statistics = ontology_statistics(mini_soqa.ontology("univ"))
+        assert len(statistics.as_row()) == len(OntologyStatistics.header())
+
+
+class TestCorpusStatistics:
+    def test_one_row_per_ontology(self, mini_soqa):
+        rows = corpus_statistics(mini_soqa)
+        assert [statistics.name for statistics in rows] == [
+            "univ", "MINI", "wn"]
+
+    def test_corpus_totals(self, corpus_soqa):
+        rows = corpus_statistics(corpus_soqa)
+        assert sum(statistics.concept_count for statistics in rows) == 943
+
+    def test_browser_stats_command(self, mini_sst):
+        import io
+
+        from repro.browser.shell import run_browser
+
+        output = io.StringIO()
+        run_browser(mini_sst, lines=["stats"], stdout=output)
+        text = output.getvalue()
+        assert "avg depth" in text
+        assert "univ" in text
+
+
+class TestExtensionalRunner:
+    def test_identity_is_one(self, mini_sst):
+        from repro.core.registry import Measure
+
+        assert mini_sst.get_similarity("Person", "univ", "Person", "univ",
+                                       Measure.EXTENSIONAL) == 1.0
+
+    def test_ancestor_overlap_ratio(self, mini_sst):
+        from repro.core.registry import Measure
+
+        # Person covers {Person, Employee, Professor, Student};
+        # Employee covers {Employee, Professor}: intersection 2, union 4.
+        value = mini_sst.get_similarity("Person", "univ", "Employee",
+                                        "univ", Measure.EXTENSIONAL)
+        assert value == pytest.approx(0.5)
+
+    def test_disjoint_branches_zero(self, mini_sst):
+        from repro.core.registry import Measure
+
+        assert mini_sst.get_similarity("Person", "univ", "Course", "univ",
+                                       Measure.EXTENSIONAL) == 0.0

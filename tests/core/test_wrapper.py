@@ -1,0 +1,96 @@
+"""Unit tests for the SOQAWrapper for SimPack."""
+
+import pytest
+
+from repro.core.results import QualifiedConcept
+from repro.core.unified import UnifiedTree
+from repro.core.wrapper import SOQAWrapperForSimPack
+
+
+@pytest.fixture
+def wrapper(mini_soqa) -> SOQAWrapperForSimPack:
+    return SOQAWrapperForSimPack(mini_soqa, UnifiedTree(mini_soqa))
+
+
+PROFESSOR = QualifiedConcept("univ", "Professor")
+STUDENT = QualifiedConcept("univ", "Student")
+EMPLOYEE_PLOOM = QualifiedConcept("MINI", "EMPLOYEE")
+
+
+class TestTaxonomyAccess:
+    def test_depth_counts_from_super_thing(self, wrapper):
+        # Super Thing -> univ:Thing -> Person -> Employee -> Professor.
+        assert wrapper.depth(PROFESSOR) == 4
+
+    def test_distance_within_ontology(self, wrapper):
+        assert wrapper.distance(PROFESSOR, STUDENT) == 3
+
+    def test_distance_across_ontologies(self, wrapper):
+        distance = wrapper.distance(PROFESSOR, EMPLOYEE_PLOOM)
+        # Up to Super Thing (4 edges) and down to MINI:EMPLOYEE (3 edges).
+        assert distance == 7
+
+    def test_distance_policy_forwarded(self, wrapper):
+        assert wrapper.distance(PROFESSOR, STUDENT, policy="any") <= \
+            wrapper.distance(PROFESSOR, STUDENT)
+
+
+class TestFeatureSets:
+    def test_features_include_properties_and_supers(self, wrapper):
+        features = wrapper.feature_set(PROFESSOR)
+        assert "advises" in features
+        assert "Employee" in features
+
+    def test_features_cached(self, wrapper):
+        assert wrapper.feature_set(PROFESSOR) is wrapper.feature_set(
+            PROFESSOR)
+
+
+class TestStringSequences:
+    def test_sequence_walks_to_root_then_properties(self, wrapper):
+        sequence = wrapper.string_sequence(PROFESSOR)
+        assert sequence[0] == "univ:Professor"
+        assert "Super Thing" in sequence
+        assert "advises" in sequence
+
+    def test_related_concepts_share_suffix(self, wrapper):
+        professor = wrapper.string_sequence(PROFESSOR)
+        student = wrapper.string_sequence(STUDENT)
+        shared = set(professor) & set(student)
+        assert "univ:Person" in shared
+
+    def test_sequence_cached(self, wrapper):
+        assert wrapper.string_sequence(STUDENT) is wrapper.string_sequence(
+            STUDENT)
+
+
+class TestVectorSpace:
+    def test_all_concepts_indexed(self, wrapper, mini_soqa):
+        space = wrapper.vector_space()
+        assert space.index.document_count == mini_soqa.concept_count()
+
+    def test_vector_space_cached(self, wrapper):
+        assert wrapper.vector_space() is wrapper.vector_space()
+
+    def test_similarity_over_descriptions(self, wrapper):
+        space = wrapper.vector_space()
+        value = space.similarity("univ:Professor", "univ:Employee")
+        assert 0.0 < value <= 1.0
+
+
+class TestInformationContent:
+    def test_subclass_source_default(self, wrapper):
+        ic = wrapper.information_content()
+        assert ic.source == "subclasses"
+        assert ic.probability("Super Thing") == 1.0
+
+    def test_instance_source_counts_instances(self, wrapper):
+        ic = wrapper.information_content("instances")
+        # univ:Person covers the 'smith' and 'jane' instances; 'Course'
+        # only covers 'db1', so Person's use is more probable.
+        assert ic.probability("univ:Person") > ic.probability("univ:Course")
+
+    def test_ic_cached_per_source(self, wrapper):
+        assert wrapper.information_content() is wrapper.information_content()
+        assert wrapper.information_content("instances") is not \
+            wrapper.information_content()

@@ -1,0 +1,176 @@
+"""Integration tests reproducing the paper's scenarios end-to-end.
+
+These tests assert the *shape* claims of the evaluation — who ranks
+where, which scores collapse to zero, how the tree-building strategies
+differ — on the full 943-concept corpus.  The benchmarks regenerate the
+actual tables and figures; here the same claims gate the test suite.
+"""
+
+import pytest
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure, TABLE1_MEASURES
+from repro.core.unified import MERGED_THING
+
+
+PROFESSOR = ("Professor", "base1_0_daml")
+
+TABLE1_OTHERS = [
+    ("AssistantProfessor", "univ-bench_owl"),
+    ("EMPLOYEE", "COURSES"),
+    ("Human", "SUMO_owl_txt"),
+    ("Mammal", "SUMO_owl_txt"),
+]
+
+
+class TestTable1Shape:
+    """Experiment T1 — the qualitative claims of Table 1."""
+
+    def test_self_similarity_maximal_per_measure(self, corpus_sst):
+        for measure in TABLE1_MEASURES:
+            self_value = corpus_sst.get_similarity(
+                *PROFESSOR, *PROFESSOR, measure)
+            for other in TABLE1_OTHERS:
+                other_value = corpus_sst.get_similarity(
+                    *PROFESSOR, *other, measure)
+                assert self_value > other_value, (measure, other)
+
+    def test_normalized_diagonal_is_one(self, corpus_sst):
+        for measure in TABLE1_MEASURES:
+            if corpus_sst.runner(measure).is_normalized():
+                assert corpus_sst.get_similarity(
+                    *PROFESSOR, *PROFESSOR, measure) == pytest.approx(1.0)
+
+    def test_resnik_diagonal_is_raw_ic(self, corpus_sst):
+        value = corpus_sst.get_similarity(*PROFESSOR, *PROFESSOR,
+                                          Measure.RESNIK)
+        assert value > 1.0  # bits, like the paper's 12.7
+
+    def test_cross_ontology_lin_and_resnik_zero(self, corpus_sst):
+        """The MICS of cross-ontology pairs is Super Thing (IC 0), so
+        Lin and Resnik collapse to 0.0 — exactly as in Table 1."""
+        for other in TABLE1_OTHERS:
+            for measure in (Measure.LIN, Measure.RESNIK):
+                assert corpus_sst.get_similarity(
+                    *PROFESSOR, *other, measure) == 0.0
+
+    def test_university_concepts_beat_sumo_biology(self, corpus_sst):
+        """University-domain concepts rank above SUMO's Mammal for every
+        measure that discriminates across ontologies."""
+        for measure in (Measure.CONCEPTUAL_SIMILARITY, Measure.LEVENSHTEIN,
+                        Measure.SHORTEST_PATH, Measure.TFIDF):
+            assistant = corpus_sst.get_similarity(
+                *PROFESSOR, "AssistantProfessor", "univ-bench_owl", measure)
+            mammal = corpus_sst.get_similarity(
+                *PROFESSOR, "Mammal", "SUMO_owl_txt", measure)
+            assert assistant > mammal, measure
+
+    def test_human_above_mammal(self, corpus_sst):
+        """Table 1 ranks SUMO:Human above SUMO:Mammal (Human's shallow
+        CognitiveAgent path)."""
+        for measure in (Measure.CONCEPTUAL_SIMILARITY,
+                        Measure.SHORTEST_PATH, Measure.LEVENSHTEIN):
+            human = corpus_sst.get_similarity(*PROFESSOR, "Human",
+                                              "SUMO_owl_txt", measure)
+            mammal = corpus_sst.get_similarity(*PROFESSOR, "Mammal",
+                                               "SUMO_owl_txt", measure)
+            assert human > mammal, measure
+
+    def test_tfidf_assistant_professor_strongest_off_diagonal(
+            self, corpus_sst):
+        values = {other: corpus_sst.get_similarity(*PROFESSOR, *other,
+                                                   Measure.TFIDF)
+                  for other in TABLE1_OTHERS}
+        best = max(values, key=values.get)
+        assert best == ("AssistantProfessor", "univ-bench_owl")
+
+
+class TestFigure5Shape:
+    """Experiment F5 — the 10 most similar concepts for Professor."""
+
+    def test_top10_dominated_by_daml_professor_family(self, corpus_sst):
+        top = corpus_sst.get_most_similar_concepts(
+            *PROFESSOR, k=10, measure=Measure.SHORTEST_PATH)
+        assert len(top) == 10
+        assert all(entry.ontology_name == "base1_0_daml" for entry in top)
+        names = {entry.concept_name for entry in top}
+        assert "AssistantProfessor" in names
+        assert "Faculty" in names
+
+    def test_chart_generation(self, corpus_sst, tmp_path):
+        chart = corpus_sst.get_most_similar_plot(
+            *PROFESSOR, k=10, measure=Measure.SHORTEST_PATH)
+        paths = chart.save(tmp_path, stem="fig5")
+        assert all(path.exists() for path in paths)
+        assert "<svg" in chart.to_svg()
+
+
+class TestFigure6Shape:
+    """Experiment F6 — k most similar for univ-bench:Person by TFIDF."""
+
+    def test_person_concepts_rank_top(self, corpus_sst):
+        top = corpus_sst.get_most_similar_concepts(
+            "Person", "univ-bench_owl", k=10, measure=Measure.TFIDF)
+        top_names = [entry.concept_name.lower() for entry in top]
+        assert "person" in top_names[:3]
+        # Results span multiple ontologies, as in the browser screenshot.
+        assert len({entry.ontology_name for entry in top}) >= 2
+
+
+class TestFigure3Ablation:
+    """Experiment F3 — Super Thing vs merged Thing."""
+
+    @pytest.fixture
+    def two_domain_sst(self, mini_soqa):
+        from tests.conftest import MINI_ORNITHOLOGY_OWL
+
+        mini_soqa.load_text(MINI_ORNITHOLOGY_OWL, "birds", "OWL")
+        return mini_soqa
+
+    def test_super_thing_separates_domains(self, two_domain_sst):
+        sst = SOQASimPackToolkit(two_domain_sst)
+        to_professor = sst.get_similarity("Course", "univ", "Person",
+                                          "univ", Measure.SHORTEST_PATH)
+        to_blackbird = sst.get_similarity("Course", "univ", "Blackbird",
+                                          "birds", Measure.SHORTEST_PATH)
+        assert to_professor > to_blackbird
+
+    def test_merged_thing_jumbles_domains(self, two_domain_sst):
+        sst = SOQASimPackToolkit(two_domain_sst, strategy=MERGED_THING)
+        to_person = sst.get_similarity("Course", "univ", "Person",
+                                       "univ", Measure.SHORTEST_PATH)
+        to_blackbird = sst.get_similarity("Course", "univ", "Blackbird",
+                                          "birds", Measure.SHORTEST_PATH)
+        assert to_person == pytest.approx(to_blackbird)
+
+
+class TestCrossLanguageScenario:
+    """Section 3's example: PowerLoom STUDENT vs WordNet researcher."""
+
+    def test_powerloom_vs_wordnet_similarity(self, corpus_sst):
+        from repro.ontologies.library import load_wordnet
+        from repro.soqa.api import SOQA
+
+        soqa = SOQA()
+        from repro.ontologies.library import load_course_ontology
+
+        load_course_ontology(soqa)
+        load_wordnet(soqa)
+        sst = SOQASimPackToolkit(soqa)
+        value = sst.get_similarity("STUDENT", "COURSES",
+                                   "researcher", "wordnet", Measure.TFIDF)
+        assert value >= 0.0  # computable across languages
+        name_sim = sst.get_similarity("STUDENT", "COURSES",
+                                      "student", "wordnet",
+                                      Measure.NAME_LEVENSHTEIN)
+        assert name_sim == pytest.approx(1.0)
+
+
+class TestCLITable1:
+    def test_cli_table1_runs_on_corpus(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "base1_0_daml:Professor" in out
+        assert "SUMO_owl_txt:Mammal" in out

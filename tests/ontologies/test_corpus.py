@@ -1,0 +1,173 @@
+"""Tests for the bundled five-ontology corpus and the generators."""
+
+import pytest
+
+from repro.errors import SSTError
+from repro.ontologies.generator import (
+    generate_sumo_owl,
+    generate_synthetic_taxonomy,
+    sumo_class_list,
+)
+from repro.ontologies.library import (
+    CORPUS_NAMES,
+    PAPER_CONCEPT_COUNT,
+    load_course_ontology,
+    load_daml_university,
+    load_sumo,
+    load_swrc,
+    load_univ_bench,
+    load_wordnet,
+)
+from repro.soqa.graph import Taxonomy
+
+
+class TestCorpusScale:
+    """Experiment X1: the paper's '943 concepts' claim."""
+
+    def test_total_is_943(self, corpus_soqa):
+        assert corpus_soqa.concept_count() == PAPER_CONCEPT_COUNT == 943
+
+    def test_all_five_ontologies_loaded(self, corpus_soqa):
+        assert tuple(corpus_soqa.ontology_names()) == CORPUS_NAMES
+
+    def test_languages(self, corpus_soqa):
+        languages = {corpus_soqa.ontology(name).language
+                     for name in corpus_soqa.ontology_names()}
+        assert languages == {"OWL", "PowerLoom", "DAML"}
+
+    def test_univ_bench_has_43_classes(self, corpus_soqa):
+        assert len(corpus_soqa.ontology("univ-bench_owl")) == 43
+
+    def test_swrc_has_54_classes(self, corpus_soqa):
+        assert len(corpus_soqa.ontology("swrc_owl")) == 54
+
+
+class TestTable1Concepts:
+    """Every concept Table 1 and Figures 5/6 mention must exist."""
+
+    @pytest.mark.parametrize("ontology,concept", [
+        ("base1_0_daml", "Professor"),
+        ("univ-bench_owl", "AssistantProfessor"),
+        ("COURSES", "EMPLOYEE"),
+        ("SUMO_owl_txt", "Human"),
+        ("SUMO_owl_txt", "Mammal"),
+        ("univ-bench_owl", "Person"),
+    ])
+    def test_concept_present(self, corpus_soqa, ontology, concept):
+        assert concept in corpus_soqa.ontology(ontology)
+
+    def test_human_under_mammal_chain(self, corpus_soqa):
+        taxonomy = corpus_soqa.taxonomy("SUMO_owl_txt")
+        ancestors = taxonomy.ancestors_with_distance("Human")
+        assert "Mammal" in ancestors
+        assert "Entity" in ancestors
+
+    def test_human_also_cognitive_agent(self, corpus_soqa):
+        """Real SUMO subsumes Human under CognitiveAgent too; this is
+        what ranks SUMO:Human above SUMO:Mammal in Table 1."""
+        concept = corpus_soqa.concept("Human", "SUMO_owl_txt")
+        assert set(concept.superconcept_names) == {"Hominid",
+                                                   "CognitiveAgent"}
+
+    def test_professor_chain_in_daml(self, corpus_soqa):
+        taxonomy = corpus_soqa.taxonomy("base1_0_daml")
+        assert taxonomy.depth("Professor") == 3  # Person>Employee>Faculty
+
+
+class TestIndividualLoaders:
+    def test_univ_bench(self):
+        ontology = load_univ_bench()
+        assert ontology.language == "OWL"
+        assert "GraduateStudent" in ontology
+        assert len(ontology.all_instances()) > 0
+
+    def test_course_ontology(self):
+        ontology = load_course_ontology()
+        assert ontology.language == "PowerLoom"
+        assert "PHD-STUDENT" in ontology
+        methods = ontology.concept("PERSON").methods
+        assert [m.name for m in methods] == ["full-name"]
+
+    def test_daml_university(self):
+        ontology = load_daml_university()
+        assert ontology.language == "DAML"
+        assert ontology.concept("Professor").superconcept_names == [
+            "Faculty"]
+
+    def test_swrc(self):
+        ontology = load_swrc()
+        assert "PhDThesis" in ontology
+        assert ontology.concept("TechnicalReport").superconcept_names == [
+            "Report"]
+
+    def test_sumo_default_size(self):
+        ontology = load_sumo()
+        assert len(ontology) == 943 - 43 - 22 - 35 - 54
+
+    def test_sumo_custom_size(self):
+        ontology = load_sumo(concept_count=150)
+        assert len(ontology) == 150
+
+    def test_wordnet(self):
+        ontology = load_wordnet()
+        assert ontology.language == "WordNet"
+        assert "researcher" in ontology
+        assert "student" in ontology
+
+
+class TestSumoGenerator:
+    def test_exact_count(self):
+        for count in (120, 300, 789):
+            assert len(sumo_class_list(count)) == count
+
+    def test_no_duplicate_names(self):
+        names = [name for name, _, _ in sumo_class_list(789)]
+        assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        assert generate_sumo_owl(300) == generate_sumo_owl(300)
+
+    def test_prefix_stability(self):
+        small = [name for name, _, _ in sumo_class_list(200)]
+        large = [name for name, _, _ in sumo_class_list(400)]
+        assert large[:200] == small
+
+    def test_all_parents_defined_before_use(self):
+        classes = sumo_class_list(789)
+        defined = set()
+        for name, parent, _ in classes:
+            parents = ((parent,) if isinstance(parent, str)
+                       else parent or ())
+            for parent_name in parents:
+                assert parent_name in defined or any(
+                    parent_name == other for other, _, _ in classes)
+            defined.add(name)
+
+    def test_too_small_count_rejected(self):
+        with pytest.raises(SSTError):
+            sumo_class_list(10)
+
+    def test_overflow_generates_variants(self):
+        classes = sumo_class_list(2000)
+        assert len(classes) == 2000
+        assert any("Variant" in name for name, _, _ in classes)
+
+    def test_glosses_present(self):
+        assert all(gloss for _, _, gloss in sumo_class_list(200))
+
+
+class TestSyntheticTaxonomy:
+    def test_size_and_single_root(self):
+        parents = generate_synthetic_taxonomy(50)
+        taxonomy = Taxonomy(parents)
+        assert len(taxonomy) == 50
+        assert taxonomy.roots() == ["Node0"]
+
+    def test_branching_respected(self):
+        taxonomy = Taxonomy(generate_synthetic_taxonomy(20, branching=2))
+        assert all(len(taxonomy.children(node)) <= 2
+                   for node in taxonomy.nodes())
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SSTError):
+            generate_synthetic_taxonomy(0)

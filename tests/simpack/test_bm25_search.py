@@ -1,0 +1,145 @@
+"""Unit tests for BM25 scoring and free-text search."""
+
+import pytest
+
+from repro.errors import EmptyCorpusError, MeasureInputError
+from repro.simpack.text.bm25 import BM25Scorer
+from repro.simpack.text.index import InvertedIndex
+from repro.simpack.text.tfidf import TfidfVectorSpace
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_documents([
+        ("prof", "A professor teaches courses at the university and "
+                 "conducts research"),
+        ("ta", "A teaching assistant helps teach courses"),
+        ("student", "A student takes courses at the university"),
+        ("bird", "A blackbird sings in the garden"),
+    ])
+    return index
+
+
+class TestBM25Scoring:
+    def test_relevant_document_scores_higher(self, index):
+        scorer = BM25Scorer(index)
+        assert scorer.score("teaches courses", "prof") > scorer.score(
+            "teaches courses", "bird")
+
+    def test_score_zero_without_shared_terms(self, index):
+        scorer = BM25Scorer(index)
+        assert scorer.score("zebra", "prof") == 0.0
+
+    def test_search_ranks_by_score(self, index):
+        scorer = BM25Scorer(index)
+        ranked = scorer.search("teaching courses")
+        assert ranked[0][0] == "ta"
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_search_omits_unrelated(self, index):
+        scorer = BM25Scorer(index)
+        ranked = scorer.search("blackbird")
+        assert [doc for doc, _ in ranked] == ["bird"]
+
+    def test_similarity_symmetric_and_bounded(self, index):
+        scorer = BM25Scorer(index)
+        forward = scorer.similarity("prof", "student")
+        backward = scorer.similarity("student", "prof")
+        assert forward == pytest.approx(backward)
+        assert 0.0 < forward < 1.0
+
+    def test_self_similarity_is_one(self, index):
+        scorer = BM25Scorer(index)
+        assert scorer.similarity("prof", "prof") == pytest.approx(1.0)
+
+    def test_parameter_validation(self, index):
+        with pytest.raises(MeasureInputError):
+            BM25Scorer(index, k1=-1.0)
+        with pytest.raises(MeasureInputError):
+            BM25Scorer(index, b=2.0)
+
+    def test_empty_corpus(self):
+        scorer = BM25Scorer(InvertedIndex())
+        assert scorer.search("anything") == []  # no candidates at all
+        with pytest.raises(EmptyCorpusError):
+            scorer.score("anything", "ghost")
+
+    def test_invalidate_recomputes_avgdl(self, index):
+        scorer = BM25Scorer(index)
+        scorer.search("courses")
+        index.add_document("extra", "many many many words " * 20)
+        scorer.invalidate()
+        assert scorer.search("courses")  # no stale statistics crash
+
+
+class TestTfidfSearch:
+    def test_query_finds_relevant_documents(self, index):
+        space = TfidfVectorSpace(index)
+        ranked = space.search("professor teaching research")
+        assert ranked[0][0] == "prof"
+
+    def test_query_scores_bounded(self, index):
+        space = TfidfVectorSpace(index)
+        for _, score in space.search("university courses"):
+            assert 0.0 <= score <= 1.0
+
+    def test_empty_query_returns_nothing(self, index):
+        space = TfidfVectorSpace(index)
+        assert space.search("") == []
+        assert space.search("zzz qqq") == []
+
+    def test_k_limits_results(self, index):
+        space = TfidfVectorSpace(index)
+        assert len(space.search("courses university", k=1)) == 1
+
+
+class TestFacadeSearch:
+    def test_search_concepts_tfidf(self, mini_sst):
+        hits = mini_sst.search_concepts("person employed university", k=3)
+        assert hits
+        names = [hit.concept_name for hit in hits]
+        assert "Employee" in names
+
+    def test_search_concepts_bm25(self, mini_sst):
+        hits = mini_sst.search_concepts("studying courses", k=3,
+                                        scheme="bm25")
+        assert hits
+        assert any(hit.concept_name.lower().startswith("student")
+                   for hit in hits)
+
+    def test_unknown_scheme_rejected(self, mini_sst):
+        from repro.errors import SSTCoreError
+
+        with pytest.raises(SSTCoreError):
+            mini_sst.search_concepts("x", scheme="magic")
+
+    def test_browser_find_command(self, mini_sst):
+        import io
+
+        from repro.browser.shell import run_browser
+
+        output = io.StringIO()
+        run_browser(mini_sst, lines=["find senior teacher researcher"],
+                    stdout=output)
+        assert "Professor" in output.getvalue()
+
+    def test_browser_find_no_hits(self, mini_sst):
+        import io
+
+        from repro.browser.shell import run_browser
+
+        output = io.StringIO()
+        run_browser(mini_sst, lines=["find zzzunknownzzz"], stdout=output)
+        assert "nothing matches" in output.getvalue()
+
+    def test_cli_search(self, capsys, tmp_path):
+        from repro.cli import main
+        from tests.conftest import MINI_OWL
+
+        path = tmp_path / "univ.owl"
+        path.write_text(MINI_OWL, encoding="utf-8")
+        assert main(["--ontology-file", str(path), "search",
+                     "teacher researcher", "-k", "3"]) == 0
+        assert "Professor" in capsys.readouterr().out

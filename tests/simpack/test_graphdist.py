@@ -1,0 +1,101 @@
+"""Unit tests for the distance-based taxonomy measures (Eq. 5-6)."""
+
+import pytest
+
+from repro.simpack.graphdist import (
+    leacock_chodorow_similarity,
+    shortest_path_similarity,
+    wu_palmer_similarity,
+)
+from repro.soqa.graph import Taxonomy
+
+
+@pytest.fixture
+def taxonomy() -> Taxonomy:
+    """The biology-style example: sparrow closer to blackbird than whale."""
+    return Taxonomy({
+        "Animal": [],
+        "Bird": ["Animal"],
+        "Sparrow": ["Bird"],
+        "Blackbird": ["Bird"],
+        "Mammal": ["Animal"],
+        "Whale": ["Mammal"],
+        "Dolphin": ["Whale"],
+    })
+
+
+class TestShortestPathSimilarity:
+    def test_identity_is_one(self, taxonomy):
+        assert shortest_path_similarity(taxonomy, "Whale", "Whale") == 1.0
+
+    def test_eq5_formula(self, taxonomy):
+        # MAX = 3 (Animal->Mammal->Whale->Dolphin), len(Sparrow,Blackbird)=2.
+        expected = (2 * 3 - 2) / (2 * 3)
+        assert shortest_path_similarity(
+            taxonomy, "Sparrow", "Blackbird") == pytest.approx(expected)
+
+    def test_sparrow_closer_to_blackbird_than_whale(self, taxonomy):
+        assert shortest_path_similarity(taxonomy, "Sparrow", "Blackbird") > \
+            shortest_path_similarity(taxonomy, "Sparrow", "Whale")
+
+    def test_disconnected_scores_zero(self):
+        forest = Taxonomy({"A": [], "B": []})
+        assert shortest_path_similarity(forest, "A", "B") == 0.0
+
+    def test_flat_taxonomy_max_zero(self):
+        flat = Taxonomy({"A": [], "B": []})
+        assert shortest_path_similarity(flat, "A", "A") == 1.0
+        assert shortest_path_similarity(flat, "A", "B") == 0.0
+
+    def test_any_path_policy_accepted(self, taxonomy):
+        value = shortest_path_similarity(taxonomy, "Sparrow", "Blackbird",
+                                         policy="any")
+        assert value == pytest.approx((6 - 2) / 6)
+
+
+class TestWuPalmer:
+    def test_eq6_formula(self, taxonomy):
+        # MRCA(Sparrow, Blackbird) = Bird: N1=N2=1, N3=depth(Bird)=1.
+        expected = 2 * 1 / (1 + 1 + 2 * 1)
+        assert wu_palmer_similarity(
+            taxonomy, "Sparrow", "Blackbird") == pytest.approx(expected)
+
+    def test_root_mrca_scores_zero(self, taxonomy):
+        # MRCA(Sparrow, Whale) = Animal at depth 0.
+        assert wu_palmer_similarity(taxonomy, "Sparrow", "Whale") == 0.0
+
+    def test_identity_of_root(self, taxonomy):
+        assert wu_palmer_similarity(taxonomy, "Animal", "Animal") == 1.0
+
+    def test_identity_of_deep_node(self, taxonomy):
+        assert wu_palmer_similarity(taxonomy, "Dolphin",
+                                    "Dolphin") == pytest.approx(1.0)
+
+    def test_ancestor_relationship(self, taxonomy):
+        # MRCA(Whale, Mammal) = Mammal: N1=1, N2=0, N3=1.
+        assert wu_palmer_similarity(taxonomy, "Whale",
+                                    "Mammal") == pytest.approx(2 / 3)
+
+    def test_disconnected_scores_zero(self):
+        forest = Taxonomy({"A": [], "B": []})
+        assert wu_palmer_similarity(forest, "A", "B") == 0.0
+
+
+class TestLeacockChodorow:
+    def test_identity_is_one(self, taxonomy):
+        assert leacock_chodorow_similarity(taxonomy, "Bird", "Bird") == 1.0
+
+    def test_monotone_in_distance(self, taxonomy):
+        near = leacock_chodorow_similarity(taxonomy, "Sparrow", "Blackbird")
+        far = leacock_chodorow_similarity(taxonomy, "Sparrow", "Dolphin")
+        assert near > far
+
+    def test_bounded(self, taxonomy):
+        for pair in [("Sparrow", "Blackbird"), ("Sparrow", "Dolphin"),
+                     ("Animal", "Dolphin")]:
+            value = leacock_chodorow_similarity(taxonomy, *pair)
+            assert 0.0 <= value <= 1.0
+
+    def test_disconnected_scores_zero(self):
+        forest = Taxonomy({"A": [], "B": []})
+        assert leacock_chodorow_similarity(forest, "A", "B") == 0.0

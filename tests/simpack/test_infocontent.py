@@ -1,0 +1,178 @@
+"""Unit tests for the information-theoretic measures (Eq. 7-8)."""
+
+import math
+
+import pytest
+
+from repro.errors import MeasureInputError
+from repro.simpack.infocontent import (
+    InformationContent,
+    jiang_conrath_similarity,
+    lin_similarity,
+    resnik_similarity,
+)
+from repro.soqa.graph import Taxonomy
+
+
+@pytest.fixture
+def taxonomy() -> Taxonomy:
+    return Taxonomy({
+        "Thing": [],
+        "Person": ["Thing"],
+        "Employee": ["Person"],
+        "Professor": ["Employee"],
+        "Student": ["Person"],
+        "Animal": ["Thing"],
+        "Bird": ["Animal"],
+    })
+
+
+@pytest.fixture
+def subclass_ic(taxonomy) -> InformationContent:
+    return InformationContent(taxonomy)
+
+
+class TestProbabilities:
+    def test_root_probability_is_one(self, subclass_ic):
+        assert subclass_ic.probability("Thing") == 1.0
+        assert subclass_ic.ic("Thing") == 0.0
+
+    def test_leaf_probability(self, subclass_ic):
+        assert subclass_ic.probability("Professor") == pytest.approx(1 / 7)
+
+    def test_inner_node_probability(self, subclass_ic):
+        # Person subtree: Person, Employee, Professor, Student.
+        assert subclass_ic.probability("Person") == pytest.approx(4 / 7)
+
+    def test_ic_decreases_with_generality(self, subclass_ic):
+        assert subclass_ic.ic("Professor") > subclass_ic.ic("Person")
+        assert subclass_ic.ic("Person") > subclass_ic.ic("Thing")
+
+    def test_max_ic(self, subclass_ic):
+        assert subclass_ic.max_ic() == pytest.approx(math.log2(7))
+
+    def test_invalid_source_rejected(self, taxonomy):
+        with pytest.raises(MeasureInputError):
+            InformationContent(taxonomy, source="magic")
+
+    def test_instance_source_requires_counts(self, taxonomy):
+        with pytest.raises(MeasureInputError):
+            InformationContent(taxonomy, source="instances")
+
+
+class TestInstanceEstimator:
+    def test_counts_include_descendants(self, taxonomy):
+        ic = InformationContent(taxonomy, source="instances",
+                                instance_counts={"Professor": 3,
+                                                 "Student": 5})
+        # Person mass = 0 + 3 + 5 (+1 smoothing), total = 8 + 7 concepts.
+        assert ic.probability("Person") == pytest.approx(9 / 15)
+
+    def test_smoothing_avoids_zero_probability(self, taxonomy):
+        ic = InformationContent(taxonomy, source="instances",
+                                instance_counts={})
+        assert ic.probability("Bird") > 0.0
+        assert math.isfinite(ic.ic("Bird"))
+
+    def test_more_instances_means_lower_ic(self, taxonomy):
+        ic = InformationContent(taxonomy, source="instances",
+                                instance_counts={"Professor": 50,
+                                                 "Bird": 1})
+        assert ic.ic("Professor") < ic.ic("Bird")
+
+
+class TestResnik:
+    def test_self_similarity_is_own_ic(self, subclass_ic):
+        assert resnik_similarity(subclass_ic, "Professor",
+                                 "Professor") == pytest.approx(
+            subclass_ic.ic("Professor"))
+
+    def test_siblings_share_parent_ic(self, subclass_ic):
+        assert resnik_similarity(subclass_ic, "Professor",
+                                 "Student") == pytest.approx(
+            subclass_ic.ic("Person"))
+
+    def test_cross_branch_root_subsumer_is_zero(self, subclass_ic):
+        assert resnik_similarity(subclass_ic, "Professor", "Bird") == 0.0
+
+    def test_no_common_subsumer_is_zero(self):
+        ic = InformationContent(Taxonomy({"A": [], "B": []}))
+        assert resnik_similarity(ic, "A", "B") == 0.0
+
+    def test_normalized_bounded(self, subclass_ic):
+        value = resnik_similarity(subclass_ic, "Professor", "Student",
+                                  normalized=True)
+        assert 0.0 <= value <= 1.0
+
+    def test_no_negative_zero(self, subclass_ic):
+        value = resnik_similarity(subclass_ic, "Professor", "Bird")
+        assert str(value) == "0.0"
+
+
+class TestLin:
+    def test_identity_is_one(self, subclass_ic):
+        assert lin_similarity(subclass_ic, "Professor", "Professor") == 1.0
+
+    def test_eq8_formula(self, subclass_ic):
+        expected = (2 * subclass_ic.ic("Person")
+                    / (subclass_ic.ic("Professor")
+                       + subclass_ic.ic("Student")))
+        assert lin_similarity(subclass_ic, "Professor",
+                              "Student") == pytest.approx(expected)
+
+    def test_cross_branch_is_zero(self, subclass_ic):
+        assert lin_similarity(subclass_ic, "Professor", "Bird") == 0.0
+
+    def test_root_with_root_zero_denominator(self, subclass_ic):
+        # Thing vs Thing: identity short-circuit wins.
+        assert lin_similarity(subclass_ic, "Thing", "Thing") == 1.0
+
+    def test_bounded(self, subclass_ic, taxonomy):
+        nodes = taxonomy.nodes()
+        for first in nodes:
+            for second in nodes:
+                assert 0.0 <= lin_similarity(subclass_ic, first,
+                                             second) <= 1.0
+
+
+class TestJiangConrath:
+    def test_identity_is_one(self, subclass_ic):
+        assert jiang_conrath_similarity(subclass_ic, "Student",
+                                        "Student") == 1.0
+
+    def test_monotone_with_relatedness(self, subclass_ic):
+        sibling = jiang_conrath_similarity(subclass_ic, "Professor",
+                                           "Student")
+        cross = jiang_conrath_similarity(subclass_ic, "Professor", "Bird")
+        assert sibling > cross
+
+    def test_bounded(self, subclass_ic, taxonomy):
+        for first in taxonomy.nodes():
+            for second in taxonomy.nodes():
+                value = jiang_conrath_similarity(subclass_ic, first, second)
+                assert 0.0 <= value <= 1.0
+
+    def test_disconnected_zero(self):
+        ic = InformationContent(Taxonomy({"A": [], "B": []}))
+        assert jiang_conrath_similarity(ic, "A", "B") == 0.0
+
+
+class TestMostInformativeSubsumer:
+    def test_differs_from_mrca_when_ic_says_so(self):
+        # Diamond where one common ancestor is more informative: D has
+        # parents B (covers B, D) and C (covers C, D, E) — B has higher IC.
+        taxonomy = Taxonomy({
+            "Root": [],
+            "B": ["Root"],
+            "C": ["Root"],
+            "D": ["B", "C"],
+            "E": ["C"],
+        })
+        ic = InformationContent(taxonomy)
+        assert ic.most_informative_subsumer("D", "D") == "D"
+        # Common subsumers of D and E: Root, C (and not B).
+        assert ic.most_informative_subsumer("D", "E") == "C"
+
+    def test_none_for_disconnected(self):
+        ic = InformationContent(Taxonomy({"A": [], "B": []}))
+        assert ic.most_informative_subsumer("A", "B") is None

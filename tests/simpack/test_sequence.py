@@ -1,0 +1,107 @@
+"""Unit tests for the sequence Levenshtein measure (Eq. 4)."""
+
+import pytest
+
+from repro.errors import MeasureInputError
+from repro.simpack.sequence import (
+    EditCosts,
+    sequence_edit_distance,
+    sequence_similarity,
+    worst_case_cost,
+)
+
+
+class TestEditCosts:
+    def test_default_satisfies_paper_constraint(self):
+        costs = EditCosts()
+        assert costs.delete + costs.insert >= costs.replace
+
+    def test_uniform(self):
+        costs = EditCosts.uniform()
+        assert (costs.delete, costs.insert, costs.replace) == (1, 1, 1)
+
+    def test_violating_constraint_rejected(self):
+        with pytest.raises(MeasureInputError, match="c\\(delete\\)"):
+            EditCosts(delete=1, insert=1, replace=3)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(MeasureInputError):
+            EditCosts(delete=-1)
+
+
+class TestEditDistance:
+    def test_identical_sequences_zero(self):
+        assert sequence_edit_distance(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_classic_levenshtein_on_strings(self):
+        assert sequence_edit_distance("kitten", "sitting",
+                                      EditCosts.uniform()) == 3
+
+    def test_insertion_only(self):
+        assert sequence_edit_distance([], ["a", "b"]) == 2 * EditCosts().insert
+
+    def test_deletion_only(self):
+        assert sequence_edit_distance(["a", "b"], []) == 2 * EditCosts().delete
+
+    def test_replace_cheaper_than_delete_insert(self):
+        costs = EditCosts(delete=1, insert=1, replace=1.5)
+        assert sequence_edit_distance(["a"], ["b"], costs) == 1.5
+
+    def test_replace_avoided_when_expensive(self):
+        costs = EditCosts(delete=0.4, insert=0.4, replace=0.8)
+        # delete+insert (0.8) ties replace; distance is 0.8 either way.
+        assert sequence_edit_distance(["a"], ["b"],
+                                      costs) == pytest.approx(0.8)
+
+    def test_custom_equality(self):
+        equal = lambda a, b: a.lower() == b.lower()  # noqa: E731
+        assert sequence_edit_distance(["A"], ["a"], equal=equal) == 0.0
+
+
+class TestWorstCase:
+    def test_equal_lengths_all_replacements(self):
+        costs = EditCosts()
+        assert worst_case_cost(["a", "b"], ["x", "y"],
+                               costs) == 2 * costs.replace
+
+    def test_longer_first_adds_deletions(self):
+        costs = EditCosts()
+        expected = 1 * costs.replace + 2 * costs.delete
+        assert worst_case_cost(["a", "b", "c"], ["x"], costs) == expected
+
+    def test_longer_second_adds_insertions(self):
+        costs = EditCosts()
+        expected = 1 * costs.replace + 2 * costs.insert
+        assert worst_case_cost(["a"], ["x", "y", "z"], costs) == expected
+
+    def test_worst_case_bounds_actual_distance(self):
+        for first, second in [("abc", "xyz"), ("abc", ""), ("", "xy"),
+                              ("abcd", "bc")]:
+            assert sequence_edit_distance(first, second) <= worst_case_cost(
+                first, second)
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        assert sequence_similarity(["x", "y"], ["x", "y"]) == 1.0
+
+    def test_completely_different_is_low(self):
+        value = sequence_similarity(["a", "b"], ["x", "y"])
+        assert 0.0 <= value < 0.5
+
+    def test_empty_sequences_identical(self):
+        assert sequence_similarity([], []) == 1.0
+
+    def test_empty_vs_nonempty_is_zero(self):
+        assert sequence_similarity([], ["a"]) == 0.0
+
+    def test_symmetry(self):
+        first, second = ["a", "b", "c"], ["a", "x"]
+        assert sequence_similarity(first, second) == pytest.approx(
+            sequence_similarity(second, first))
+
+    def test_shared_prefix_raises_similarity(self):
+        base = ["root", "person", "employee"]
+        close = sequence_similarity(base, ["root", "person", "student"])
+        far = sequence_similarity(base, ["root", "animal", "bird"])
+        assert close > far

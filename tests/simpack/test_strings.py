@@ -1,0 +1,164 @@
+"""Unit tests for the character-level string metrics."""
+
+import pytest
+
+from repro.errors import MeasureInputError
+from repro.simpack.strings import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    lcs_length,
+    lcs_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    needleman_wunsch_similarity,
+    qgram_similarity,
+    qgrams,
+    smith_waterman_similarity,
+    soundex,
+    soundex_similarity,
+)
+
+ALL_SIMILARITIES = [
+    jaro_similarity, jaro_winkler_similarity, lcs_similarity,
+    levenshtein_similarity, qgram_similarity,
+    needleman_wunsch_similarity, smith_waterman_similarity,
+    soundex_similarity,
+]
+
+
+class TestLevenshtein:
+    def test_classic_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_similarity_normalized(self):
+        assert levenshtein_similarity("kitten", "sitting") == pytest.approx(
+            1 - 3 / 7)
+
+    def test_empty_strings(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("", "abc") == 0.0
+
+
+class TestJaro:
+    def test_known_value_martha(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(
+            0.944444, abs=1e-5)
+
+    def test_known_value_dixon(self):
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(
+            0.766667, abs=1e-5)
+
+    def test_winkler_boosts_shared_prefix(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.961111, abs=1e-5)
+
+    def test_no_matches_is_zero(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_winkler_prefix_scale_bounds(self):
+        with pytest.raises(MeasureInputError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+
+
+class TestQGrams:
+    def test_padding(self):
+        assert qgrams("ab") == ["#a", "ab", "b#"]
+
+    def test_no_padding(self):
+        assert qgrams("abc", pad=False) == ["ab", "bc"]
+
+    def test_short_string_without_padding_empty(self):
+        assert qgrams("a", size=2, pad=False) == []
+
+    def test_size_validation(self):
+        with pytest.raises(MeasureInputError):
+            qgrams("abc", size=0)
+
+    def test_similarity_multiset_semantics(self):
+        # 'aa' vs 'aaa' share grams respecting multiplicity.
+        value = qgram_similarity("aa", "aaa")
+        assert 0.0 < value < 1.0
+
+
+class TestLCS:
+    def test_length(self):
+        assert lcs_length("ABCBDAB", "BDCABA") == 4
+
+    def test_similarity(self):
+        assert lcs_similarity("ABCBDAB", "BDCABA") == pytest.approx(4 / 7)
+
+    def test_empty(self):
+        assert lcs_length("", "abc") == 0
+        assert lcs_similarity("", "") == 1.0
+
+
+class TestMongeElkan:
+    def test_token_best_match(self):
+        value = monge_elkan_similarity("assistant professor",
+                                       "professor")
+        assert value > 0.4  # 'professor' token matches perfectly
+
+    def test_empty_both_sides(self):
+        assert monge_elkan_similarity("", "") == 1.0
+
+    def test_empty_one_side(self):
+        assert monge_elkan_similarity("abc", "") == 0.0
+
+    def test_asymmetry(self):
+        forward = monge_elkan_similarity("graduate student", "student")
+        backward = monge_elkan_similarity("student", "graduate student")
+        assert backward >= forward
+
+
+class TestAlignment:
+    def test_needleman_wunsch_identical(self):
+        assert needleman_wunsch_similarity("GATTACA", "GATTACA") == 1.0
+
+    def test_needleman_wunsch_partial(self):
+        value = needleman_wunsch_similarity("GATTACA", "GCATGCU")
+        assert 0.0 <= value < 1.0
+
+    def test_smith_waterman_substring_scores_one(self):
+        assert smith_waterman_similarity("Professor",
+                                         "AssistantProfessor") == 1.0
+
+    def test_smith_waterman_disjoint_low(self):
+        assert smith_waterman_similarity("aaa", "bbb") == 0.0
+
+    def test_empty_inputs(self):
+        assert needleman_wunsch_similarity("", "") == 1.0
+        assert smith_waterman_similarity("", "") == 1.0
+        assert smith_waterman_similarity("a", "") == 0.0
+
+
+class TestSoundex:
+    def test_classic_codes(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == "A261"
+        assert soundex("Tymczak") == "T522"
+        assert soundex("Pfister") == "P236"
+
+    def test_empty_word(self):
+        assert soundex("") == "0000"
+        assert soundex("123") == "0000"
+
+    def test_similarity_equal_codes(self):
+        assert soundex_similarity("Robert", "Rupert") == 1.0
+
+    def test_similarity_different_codes_graded(self):
+        value = soundex_similarity("Robert", "Smith")
+        assert 0.0 <= value < 1.0
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("measure", ALL_SIMILARITIES)
+    def test_identity_is_one(self, measure):
+        assert measure("professor", "professor") == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("measure", ALL_SIMILARITIES)
+    def test_range_bounds(self, measure):
+        for pair in [("abc", "abd"), ("a", "zzzz"), ("hello", "world")]:
+            value = measure(*pair)
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,108 @@
+"""Property-based tests for string metrics and the sequence measure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simpack.sequence import (
+    EditCosts,
+    sequence_edit_distance,
+    sequence_similarity,
+    worst_case_cost,
+)
+from repro.simpack.strings import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    lcs_length,
+    levenshtein_distance,
+    qgram_similarity,
+)
+
+words = st.text(alphabet="abcdef", max_size=12)
+sequences = st.lists(st.sampled_from(["w", "x", "y", "z"]), max_size=8)
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_levenshtein_symmetry(first, second):
+    assert levenshtein_distance(first, second) == levenshtein_distance(
+        second, first)
+
+
+@given(words, words, words)
+@settings(max_examples=100, deadline=None)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= (levenshtein_distance(a, b)
+                                          + levenshtein_distance(b, c))
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_levenshtein_identity_of_indiscernibles(first, second):
+    distance = levenshtein_distance(first, second)
+    assert (distance == 0) == (first == second)
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_levenshtein_bounded_by_longer_length(first, second):
+    assert levenshtein_distance(first, second) <= max(len(first),
+                                                      len(second))
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_lcs_bounded_by_shorter_length(first, second):
+    assert lcs_length(first, second) <= min(len(first), len(second))
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_jaro_symmetric_and_bounded(first, second):
+    value = jaro_similarity(first, second)
+    assert 0.0 <= value <= 1.0
+    assert value == jaro_similarity(second, first)
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_winkler_never_below_jaro(first, second):
+    assert jaro_winkler_similarity(first, second) >= jaro_similarity(
+        first, second) - 1e-12
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_qgram_symmetric_and_bounded(first, second):
+    value = qgram_similarity(first, second)
+    assert 0.0 <= value <= 1.0
+    assert value == qgram_similarity(second, first)
+
+
+@given(sequences, sequences)
+@settings(max_examples=150, deadline=None)
+def test_sequence_distance_bounded_by_worst_case(first, second):
+    assert sequence_edit_distance(first, second) <= worst_case_cost(
+        first, second) + 1e-12
+
+
+@given(sequences, sequences)
+@settings(max_examples=150, deadline=None)
+def test_sequence_similarity_bounded_and_symmetric(first, second):
+    value = sequence_similarity(first, second)
+    assert 0.0 <= value <= 1.0
+    assert value == sequence_similarity(second, first)
+
+
+@given(sequences)
+@settings(max_examples=100, deadline=None)
+def test_sequence_similarity_identity(sequence):
+    assert sequence_similarity(sequence, sequence) == 1.0
+
+
+@given(sequences, sequences)
+@settings(max_examples=100, deadline=None)
+def test_weighted_distance_never_above_uniform_scaled(first, second):
+    """With replace <= delete+insert, weighted <= uniform * max-weight."""
+    weighted = sequence_edit_distance(first, second, EditCosts())
+    uniform = sequence_edit_distance(first, second, EditCosts.uniform())
+    assert weighted <= uniform * 1.5 + 1e-12

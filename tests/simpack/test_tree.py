@@ -1,0 +1,112 @@
+"""Unit tests for the Zhang-Shasha tree edit distance."""
+
+import pytest
+
+from repro.simpack.tree import (
+    TreeNode,
+    subtree_of,
+    tree_edit_distance,
+    tree_similarity,
+)
+from repro.soqa.graph import Taxonomy
+
+
+def leaf(label: str) -> TreeNode:
+    return TreeNode(label)
+
+
+class TestTreeEditDistance:
+    def test_identical_trees_zero(self):
+        tree = TreeNode("a", [leaf("b"), leaf("c")])
+        other = TreeNode("a", [leaf("b"), leaf("c")])
+        assert tree_edit_distance(tree, other) == 0.0
+
+    def test_single_relabel(self):
+        assert tree_edit_distance(leaf("a"), leaf("b")) == 1.0
+
+    def test_single_insert(self):
+        tree = TreeNode("a", [leaf("b")])
+        other = TreeNode("a", [leaf("b"), leaf("c")])
+        assert tree_edit_distance(tree, other) == 1.0
+
+    def test_single_delete(self):
+        tree = TreeNode("a", [leaf("b"), leaf("c")])
+        other = TreeNode("a", [leaf("b")])
+        assert tree_edit_distance(tree, other) == 1.0
+
+    def test_classic_zhang_shasha_example(self):
+        """The f(d(a c(b)) e) vs f(c(d(a b)) e) example: distance 2."""
+        first = TreeNode("f", [
+            TreeNode("d", [leaf("a"), TreeNode("c", [leaf("b")])]),
+            leaf("e"),
+        ])
+        second = TreeNode("f", [
+            TreeNode("c", [TreeNode("d", [leaf("a"), leaf("b")])]),
+            leaf("e"),
+        ])
+        assert tree_edit_distance(first, second) == 2.0
+
+    def test_empty_vs_full_is_size(self):
+        tree = TreeNode("a", [leaf("b"), TreeNode("c", [leaf("d")])])
+        assert tree_edit_distance(tree, leaf("a")) == 3.0
+
+    def test_symmetry(self):
+        first = TreeNode("a", [leaf("x"), TreeNode("y", [leaf("z")])])
+        second = TreeNode("a", [TreeNode("y", [leaf("q")])])
+        assert tree_edit_distance(first, second) == tree_edit_distance(
+            second, first)
+
+    def test_custom_costs(self):
+        # A cheap relabel is preferred...
+        assert tree_edit_distance(leaf("a"), leaf("b"),
+                                  relabel_cost=0.5) == 0.5
+        # ...but an expensive one is replaced by delete + insert.
+        assert tree_edit_distance(leaf("a"), leaf("b"),
+                                  relabel_cost=5.0) == 2.0
+
+
+class TestTreeSimilarity:
+    def test_identical_is_one(self):
+        tree = TreeNode("a", [leaf("b")])
+        assert tree_similarity(tree, TreeNode("a", [leaf("b")])) == 1.0
+
+    def test_bounded(self):
+        first = TreeNode("a", [leaf("b"), leaf("c")])
+        second = TreeNode("x", [leaf("y")])
+        assert 0.0 <= tree_similarity(first, second) <= 1.0
+
+    def test_size(self):
+        tree = TreeNode("a", [leaf("b"), TreeNode("c", [leaf("d")])])
+        assert tree.size() == 4
+
+
+class TestSubtreeOf:
+    @pytest.fixture
+    def taxonomy(self) -> Taxonomy:
+        return Taxonomy({
+            "Root": [],
+            "A": ["Root"],
+            "B": ["Root"],
+            "C": ["A", "B"],
+            "D": ["C"],
+        })
+
+    def test_children_sorted(self, taxonomy):
+        tree = subtree_of(taxonomy, "Root")
+        assert [child.label for child in tree.children] == ["A", "B"]
+
+    def test_dag_unfolded_under_both_parents(self, taxonomy):
+        tree = subtree_of(taxonomy, "Root")
+        a_children = tree.children[0].children
+        b_children = tree.children[1].children
+        assert [c.label for c in a_children] == ["C"]
+        assert [c.label for c in b_children] == ["C"]
+
+    def test_max_depth_bounds_unfolding(self, taxonomy):
+        tree = subtree_of(taxonomy, "Root", max_depth=1)
+        assert all(not child.children for child in tree.children)
+
+    def test_leaf_subtree(self, taxonomy):
+        tree = subtree_of(taxonomy, "D")
+        assert tree.label == "D"
+        assert tree.size() == 1

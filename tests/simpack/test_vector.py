@@ -1,0 +1,94 @@
+"""Unit tests for the vector-based measures (Eq. 1-3 + Dice)."""
+
+import pytest
+
+from repro.errors import MeasureInputError
+from repro.simpack.base import feature_sets_to_vectors
+from repro.simpack.vector import (
+    cosine_similarity,
+    dice_similarity,
+    dot_product,
+    extended_jaccard_similarity,
+    l1_norm,
+    l2_norm,
+    overlap_similarity,
+)
+
+
+class TestNormsAndProducts:
+    def test_dot_product(self):
+        assert dot_product([1, 2, 3], [4, 5, 6]) == 32
+
+    def test_l1_norm(self):
+        assert l1_norm([1, -2, 3]) == 6
+
+    def test_l2_norm(self):
+        assert l2_norm([3, 4]) == 5.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(MeasureInputError):
+            dot_product([1], [1, 2])
+
+
+class TestPaperExample:
+    """The worked example of section 2.2: Rx={type,name}, Ry={type,age}."""
+
+    def setup_method(self):
+        self.x, self.y = feature_sets_to_vectors({"type", "name"},
+                                                 {"type", "age"})
+
+    def test_mapping_m1(self):
+        # Dimensions sorted: age, name, type.
+        assert self.x == [0, 1, 1]
+        assert self.y == [1, 0, 1]
+
+    def test_cosine(self):
+        assert cosine_similarity(self.x, self.y) == pytest.approx(0.5)
+
+    def test_extended_jaccard(self):
+        assert extended_jaccard_similarity(self.x, self.y) == pytest.approx(
+            1 / 3)
+
+    def test_overlap(self):
+        assert overlap_similarity(self.x, self.y) == pytest.approx(0.5)
+
+    def test_dice(self):
+        assert dice_similarity(self.x, self.y) == pytest.approx(0.5)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("measure", [
+        cosine_similarity, extended_jaccard_similarity,
+        overlap_similarity, dice_similarity])
+    def test_zero_vectors_score_zero(self, measure):
+        assert measure([0, 0], [0, 0]) == 0.0
+
+    @pytest.mark.parametrize("measure", [
+        cosine_similarity, extended_jaccard_similarity,
+        overlap_similarity, dice_similarity])
+    def test_identical_binary_vectors_score_one(self, measure):
+        assert measure([1, 0, 1], [1, 0, 1]) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("measure", [
+        cosine_similarity, extended_jaccard_similarity,
+        overlap_similarity, dice_similarity])
+    def test_disjoint_vectors_score_zero(self, measure):
+        assert measure([1, 0], [0, 1]) == 0.0
+
+    def test_overlap_of_subset_is_one(self):
+        # {a} fully contained in {a, b}.
+        x, y = feature_sets_to_vectors({"a"}, {"a", "b"})
+        assert overlap_similarity(x, y) == pytest.approx(1.0)
+
+    def test_jaccard_equals_set_ratio_for_binary(self):
+        x, y = feature_sets_to_vectors({"a", "b", "c"}, {"b", "c", "d"})
+        assert extended_jaccard_similarity(x, y) == pytest.approx(2 / 4)
+
+    def test_cosine_real_valued(self):
+        assert cosine_similarity([1.0, 1.0], [2.0, 2.0]) == pytest.approx(
+            1.0)
+
+    def test_empty_feature_sets_map_to_empty_vectors(self):
+        x, y = feature_sets_to_vectors(set(), set())
+        assert x == [] and y == []
+        assert cosine_similarity(x, y) == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for the SOQA facade."""
+
+import pytest
+
+from repro.errors import UnknownOntologyError, UnsupportedLanguageError
+from repro.soqa.api import SOQA
+from tests.conftest import MINI_OWL, MINI_PLOOM
+
+
+class TestLoading:
+    def test_load_text_registers_under_requested_name(self, mini_soqa):
+        assert mini_soqa.ontology_names() == ["univ", "MINI", "wn"]
+
+    def test_load_file_dispatches_on_suffix(self, tmp_path):
+        path = tmp_path / "mini.owl"
+        path.write_text(MINI_OWL, encoding="utf-8")
+        soqa = SOQA()
+        ontology = soqa.load_file(path)
+        assert ontology.name == "mini"
+        assert ontology.language == "OWL"
+
+    def test_load_file_with_explicit_language(self, tmp_path):
+        path = tmp_path / "weird-extension.txt"
+        path.write_text(MINI_PLOOM, encoding="utf-8")
+        soqa = SOQA()
+        ontology = soqa.load_file(path, name="courses",
+                                  language="PowerLoom")
+        assert ontology.name == "courses"
+        assert ontology.language == "PowerLoom"
+
+    def test_load_file_unknown_suffix_raises(self, tmp_path):
+        path = tmp_path / "mini.xyz"
+        path.write_text(MINI_OWL, encoding="utf-8")
+        with pytest.raises(UnsupportedLanguageError):
+            SOQA().load_file(path)
+
+    def test_remove_ontology(self, mini_soqa):
+        mini_soqa.remove_ontology("wn")
+        assert "wn" not in mini_soqa.ontology_names()
+        with pytest.raises(UnknownOntologyError):
+            mini_soqa.ontology("wn")
+
+    def test_remove_unknown_raises(self, mini_soqa):
+        with pytest.raises(UnknownOntologyError):
+            mini_soqa.remove_ontology("ghost")
+
+    def test_reload_replaces(self, mini_soqa):
+        before = len(mini_soqa.ontology("univ"))
+        mini_soqa.load_text(MINI_OWL, "univ", "OWL")
+        assert len(mini_soqa.ontology("univ")) == before
+        assert mini_soqa.ontology_names().count("univ") == 1
+
+
+class TestAccess:
+    def test_concept_count_sums_ontologies(self, mini_soqa):
+        expected = sum(len(mini_soqa.ontology(name))
+                       for name in mini_soqa.ontology_names())
+        assert mini_soqa.concept_count() == expected
+
+    def test_languages_in_use(self, mini_soqa):
+        assert mini_soqa.languages_in_use() == ["OWL", "PowerLoom",
+                                                "WordNet"]
+
+    def test_find_concepts_across_ontologies(self, mini_soqa):
+        hits = mini_soqa.find_concepts("person")
+        assert [(name, concept.name) for name, concept in hits] == [
+            ("wn", "person")]
+
+    def test_all_concepts_pairs(self, mini_soqa):
+        pairs = mini_soqa.all_concepts()
+        assert ("univ", mini_soqa.concept("Professor", "univ")) in [
+            (name, concept) for name, concept in pairs]
+
+    def test_metadata_delegation(self, mini_soqa):
+        assert mini_soqa.metadata("univ").version == "0.1"
+
+    def test_navigation_delegation(self, mini_soqa):
+        supers = mini_soqa.superconcepts("Professor", "univ")
+        assert [c.name for c in supers] == ["Employee", "Person"]
+        subs = mini_soqa.direct_subconcepts("Person", "univ")
+        assert sorted(c.name for c in subs) == ["Employee", "Student"]
+        coordinates = mini_soqa.coordinate_concepts("Employee", "univ")
+        assert [c.name for c in coordinates] == ["Student"]
+
+    def test_element_delegation(self, mini_soqa):
+        assert [a.name for a in mini_soqa.attributes("PERSON", "MINI")] == []
+        assert [m.name for m in mini_soqa.methods("PERSON", "MINI")] == [
+            "full-name"]
+        assert [r.name
+                for r in mini_soqa.relationships("EMPLOYEE", "MINI")] == [
+            "teaches"]
+        assert [i.name for i in mini_soqa.instances("PERSON", "MINI")] == [
+            "bob"]
+
+    def test_concept_description_delegation(self, mini_soqa):
+        text = mini_soqa.concept_description("Professor", "univ")
+        assert "Professor" in text
+        assert "advises" in text
+
+
+class TestTaxonomy:
+    def test_taxonomy_is_cached(self, mini_soqa):
+        assert mini_soqa.taxonomy("univ") is mini_soqa.taxonomy("univ")
+
+    def test_taxonomy_invalidated_on_reload(self, mini_soqa):
+        taxonomy = mini_soqa.taxonomy("univ")
+        mini_soqa.load_text(MINI_OWL, "univ", "OWL")
+        assert mini_soqa.taxonomy("univ") is not taxonomy
+
+    def test_taxonomy_reflects_hierarchy(self, mini_soqa):
+        taxonomy = mini_soqa.taxonomy("univ")
+        assert taxonomy.depth("Professor") == 2
+        assert taxonomy.parents("Professor") == ("Employee",)

@@ -1,0 +1,108 @@
+"""Unit tests for the ontology diff."""
+
+from repro.soqa.diff import diff_ontologies
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Relationship,
+)
+
+
+def build(version: str, *concepts: Concept) -> Ontology:
+    return Ontology(OntologyMetadata(name="o", language="OWL",
+                                     version=version), concepts)
+
+
+class TestDiff:
+    def test_identical_versions_empty(self):
+        old = build("1", Concept("A", documentation="d"))
+        new = build("1", Concept("A", documentation="d"))
+        result = diff_ontologies(old, new)
+        assert result.is_empty
+        assert result.to_text() == "no differences"
+
+    def test_added_and_removed_concepts(self):
+        old = build("1", Concept("A"), Concept("Gone"))
+        new = build("1", Concept("A"), Concept("New"))
+        result = diff_ontologies(old, new)
+        assert result.added_concepts == ["New"]
+        assert result.removed_concepts == ["Gone"]
+        assert "+ New" in result.to_text()
+        assert "- Gone" in result.to_text()
+
+    def test_superconcept_change(self):
+        old = build("1", Concept("A"), Concept("B"),
+                    Concept("C", superconcept_names=["A"]))
+        new = build("1", Concept("A"), Concept("B"),
+                    Concept("C", superconcept_names=["B"]))
+        result = diff_ontologies(old, new)
+        assert len(result.changed_concepts) == 1
+        assert "superconcepts" in result.changed_concepts[0].changes[0]
+
+    def test_documentation_change(self):
+        old = build("1", Concept("A", documentation="x"))
+        new = build("1", Concept("A", documentation="y"))
+        result = diff_ontologies(old, new)
+        assert ("documentation changed",) == \
+            result.changed_concepts[0].changes
+
+    def test_attribute_added_removed_retyped(self):
+        old = build("1", Concept("A", attributes=[
+            Attribute("kept", "A", data_type="string"),
+            Attribute("gone", "A")]))
+        new = build("1", Concept("A", attributes=[
+            Attribute("kept", "A", data_type="int"),
+            Attribute("fresh", "A")]))
+        changes = diff_ontologies(old, new).changed_concepts[0].changes
+        assert "attribute +fresh" in changes
+        assert "attribute -gone" in changes
+        assert any("kept: type string -> int" in change
+                   for change in changes)
+
+    def test_method_and_relationship_changes(self):
+        old = build("1", Concept("A", methods=[Method("m", "A")]))
+        new = build("1", Concept("A", relationships=[Relationship("r")]))
+        changes = diff_ontologies(old, new).changed_concepts[0].changes
+        assert "method -m" in changes
+        assert "relationship +r" in changes
+
+    def test_instance_changes(self):
+        old = build("1", Concept("A", instances=[Instance("i1", "A")]))
+        new = build("1", Concept("A", instances=[Instance("i2", "A")]))
+        changes = diff_ontologies(old, new).changed_concepts[0].changes
+        assert "instance +i2" in changes
+        assert "instance -i1" in changes
+
+    def test_metadata_version_change(self):
+        old = build("1", Concept("A"))
+        new = build("2", Concept("A"))
+        result = diff_ontologies(old, new)
+        assert any("version" in change
+                   for change in result.metadata_changes)
+
+    def test_name_change_ignored_in_metadata(self):
+        old = build("1", Concept("A"))
+        new = Ontology(OntologyMetadata(name="renamed", language="OWL",
+                                        version="1"), [Concept("A")])
+        assert diff_ontologies(old, new).is_empty
+
+    def test_cli_diff(self, capsys, tmp_path):
+        from repro.cli import main
+        from tests.conftest import MINI_OWL
+
+        old_path = tmp_path / "old.owl"
+        old_path.write_text(MINI_OWL, encoding="utf-8")
+        new_path = tmp_path / "new.owl"
+        new_path.write_text(MINI_OWL.replace(
+            '<owl:Class rdf:ID="Course">',
+            '<owl:Class rdf:ID="Seminar">'
+            '<rdfs:comment>new class</rdfs:comment></owl:Class>'
+            '<owl:Class rdf:ID="Course">'), encoding="utf-8")
+        assert main(["--ontology-file", str(old_path), "diff",
+                     str(old_path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        assert "+ Seminar" in out

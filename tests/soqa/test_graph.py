@@ -1,0 +1,175 @@
+"""Unit tests for the taxonomy graph algorithms."""
+
+import pytest
+
+from repro.errors import UnknownConceptError
+from repro.soqa.graph import Taxonomy
+
+
+@pytest.fixture
+def tree() -> Taxonomy:
+    """Thing -> (Person -> (Employee -> Professor, Student),
+    Animal -> Bird -> Blackbird)."""
+    return Taxonomy({
+        "Thing": [],
+        "Person": ["Thing"],
+        "Employee": ["Person"],
+        "Professor": ["Employee"],
+        "Student": ["Person"],
+        "Animal": ["Thing"],
+        "Bird": ["Animal"],
+        "Blackbird": ["Bird"],
+    })
+
+
+@pytest.fixture
+def dag() -> Taxonomy:
+    """A diamond with an extra deep chain for max-depth checks."""
+    return Taxonomy({
+        "Root": [],
+        "A": ["Root"],
+        "B": ["Root"],
+        "C": ["A", "B"],
+        "D": ["C"],
+        "Deep1": ["Root"],
+        "Deep2": ["Deep1"],
+        "Deep3": ["Deep2"],
+        "Deep4": ["Deep3"],
+    })
+
+
+class TestStructure:
+    def test_roots_and_leaves(self, tree):
+        assert tree.roots() == ["Thing"]
+        assert set(tree.leaves()) == {"Professor", "Student", "Blackbird"}
+
+    def test_parents_children(self, tree):
+        assert tree.parents("Professor") == ("Employee",)
+        assert tree.children("Person") == ["Employee", "Student"]
+
+    def test_unknown_node_raises(self, tree):
+        with pytest.raises(UnknownConceptError):
+            tree.depth("Ghost")
+        with pytest.raises(UnknownConceptError):
+            tree.parents("Ghost")
+
+    def test_unknown_parent_rejected_at_construction(self):
+        with pytest.raises(UnknownConceptError):
+            Taxonomy({"A": ["Missing"]})
+
+    def test_len_and_contains(self, tree):
+        assert len(tree) == 8
+        assert "Bird" in tree
+        assert "Fish" not in tree
+
+
+class TestDepth:
+    def test_depth_of_root_is_zero(self, tree):
+        assert tree.depth("Thing") == 0
+
+    def test_depth_counts_edges(self, tree):
+        assert tree.depth("Professor") == 3
+        assert tree.depth("Blackbird") == 3
+
+    def test_depth_uses_shortest_parent_path(self, dag):
+        assert dag.depth("C") == 2
+        assert dag.depth("D") == 3
+
+    def test_max_depth_is_longest_path(self, dag):
+        assert dag.max_depth() == 4  # Root -> Deep1..Deep4
+
+    def test_max_depth_single_node(self):
+        assert Taxonomy({"Only": []}).max_depth() == 0
+
+
+class TestAncestors:
+    def test_ancestors_with_distance(self, tree):
+        distances = tree.ancestors_with_distance("Professor")
+        assert distances == {"Professor": 0, "Employee": 1, "Person": 2,
+                             "Thing": 3}
+
+    def test_common_ancestors(self, tree):
+        assert tree.common_ancestors("Professor", "Student") == {
+            "Person", "Thing"}
+
+    def test_mrca_minimizes_total_distance(self, tree):
+        assert tree.mrca("Professor", "Student") == ("Person", 2, 1)
+
+    def test_mrca_of_node_with_itself(self, tree):
+        assert tree.mrca("Bird", "Bird") == ("Bird", 0, 0)
+
+    def test_mrca_with_ancestor(self, tree):
+        assert tree.mrca("Professor", "Person") == ("Person", 2, 0)
+
+    def test_mrca_none_for_separate_components(self):
+        forest = Taxonomy({"A": [], "B": []})
+        assert forest.mrca("A", "B") is None
+
+    def test_mrca_tie_breaks_deterministically(self, dag):
+        # C's parents A and B both give total distance 2 and equal depth.
+        ancestor, n1, n2 = dag.mrca("A", "B")
+        assert ancestor == "Root"
+        # From C, both A and B are ancestors at distance 1; ties on the
+        # key pick the lexicographically smaller name.
+        ancestor_c, _, _ = dag.mrca("C", "C")
+        assert ancestor_c == "C"
+
+
+class TestShortestPath:
+    def test_identity_distance_zero(self, tree):
+        assert tree.shortest_path_length("Bird", "Bird") == 0
+
+    def test_via_ancestor_distance(self, tree):
+        assert tree.shortest_path_length("Professor", "Student") == 3
+        assert tree.shortest_path_length("Professor", "Blackbird") == 6
+
+    def test_any_path_equals_via_ancestor_in_tree(self, tree):
+        for pair in [("Professor", "Student"), ("Student", "Blackbird")]:
+            assert tree.shortest_path_length(*pair, policy="any") == \
+                tree.shortest_path_length(*pair, policy="via_ancestor")
+
+    def test_any_path_can_beat_via_ancestor_in_dag(self):
+        # X and Y share only the root upward, but share the child C:
+        # via_ancestor = 2 + 2 = wait, both distance 1 from Root -> 2;
+        # build a case where the descendant path is shorter.
+        taxonomy = Taxonomy({
+            "R": [],
+            "M1": ["R"], "M2": ["M1"],
+            "X": ["M2"],
+            "Y": ["R"],
+            "C": ["X", "Y"],
+        })
+        via = taxonomy.shortest_path_length("X", "Y")
+        any_path = taxonomy.shortest_path_length("X", "Y", policy="any")
+        assert via == 4  # X -> M2 -> M1 -> R -> Y
+        assert any_path == 2  # X -> C -> Y through the common descendant
+
+    def test_unreachable_returns_none(self):
+        forest = Taxonomy({"A": [], "B": []})
+        assert forest.shortest_path_length("A", "B") is None
+        assert forest.shortest_path_length("A", "B", policy="any") is None
+
+    def test_unknown_policy_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.shortest_path_length("Bird", "Thing", policy="warp")
+
+
+class TestSubtreeStatistics:
+    def test_descendant_count_includes_self(self, tree):
+        assert tree.descendant_count("Professor") == 1
+        assert tree.descendant_count("Person") == 4
+        assert tree.descendant_count("Thing") == 8
+
+    def test_descendant_count_no_double_count_in_dag(self, dag):
+        assert dag.descendant_count("Root") == 9
+
+    def test_descendants_excludes_self(self, tree):
+        assert tree.descendants("Animal") == {"Bird", "Blackbird"}
+
+    def test_path_to_root_deterministic(self, dag):
+        # C has parents A and B at equal depth; the lexicographically
+        # smaller (A) is chosen.
+        assert dag.path_to_root("D") == ["D", "C", "A", "Root"]
+
+    def test_path_to_root_of_root(self, tree):
+        assert tree.path_to_root("Thing") == ["Thing"]

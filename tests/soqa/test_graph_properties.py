@@ -1,0 +1,132 @@
+"""Property-based tests for Taxonomy, checked against a networkx oracle."""
+
+import networkx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soqa.graph import Taxonomy
+
+
+@st.composite
+def random_dags(draw) -> dict[str, list[str]]:
+    """A random DAG as ``{node: parents}``.
+
+    Nodes are created in order; each non-first node picks parents only
+    among earlier nodes, which guarantees acyclicity, and may also be a
+    root (no parents).
+    """
+    size = draw(st.integers(min_value=1, max_value=25))
+    nodes = [f"n{i}" for i in range(size)]
+    parents: dict[str, list[str]] = {nodes[0]: []}
+    for index in range(1, size):
+        earlier = nodes[:index]
+        count = draw(st.integers(min_value=0,
+                                 max_value=min(3, len(earlier))))
+        chosen = draw(st.permutations(earlier))[:count]
+        parents[nodes[index]] = list(chosen)
+    return parents
+
+
+def as_networkx(parents: dict[str, list[str]]) -> networkx.DiGraph:
+    graph = networkx.DiGraph()
+    graph.add_nodes_from(parents)
+    for node, node_parents in parents.items():
+        for parent in node_parents:
+            graph.add_edge(node, parent)  # edge points child -> parent
+    return graph
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_depth_matches_networkx_shortest_root_distance(parents):
+    taxonomy = Taxonomy(parents)
+    graph = as_networkx(parents)
+    roots = [node for node, node_parents in parents.items()
+             if not node_parents]
+    for node in parents:
+        expected = min(
+            networkx.shortest_path_length(graph, node, root)
+            for root in roots
+            if networkx.has_path(graph, node, root))
+        assert taxonomy.depth(node) == expected
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_any_path_distance_matches_undirected_networkx(parents, data):
+    taxonomy = Taxonomy(parents)
+    graph = as_networkx(parents).to_undirected()
+    nodes = sorted(parents)
+    first = data.draw(st.sampled_from(nodes))
+    second = data.draw(st.sampled_from(nodes))
+    ours = taxonomy.shortest_path_length(first, second, policy="any")
+    if networkx.has_path(graph, first, second):
+        assert ours == networkx.shortest_path_length(graph, first, second)
+    else:
+        assert ours is None
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_via_ancestor_distance_is_min_over_common_ancestors(parents, data):
+    taxonomy = Taxonomy(parents)
+    graph = as_networkx(parents)
+    nodes = sorted(parents)
+    first = data.draw(st.sampled_from(nodes))
+    second = data.draw(st.sampled_from(nodes))
+    ancestors_first = networkx.descendants(graph, first) | {first}
+    ancestors_second = networkx.descendants(graph, second) | {second}
+    common = ancestors_first & ancestors_second
+    ours = taxonomy.shortest_path_length(first, second)
+    if not common:
+        assert ours is None
+    else:
+        expected = min(
+            networkx.shortest_path_length(graph, first, ancestor)
+            + networkx.shortest_path_length(graph, second, ancestor)
+            for ancestor in common)
+        assert ours == expected
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_via_ancestor_never_shorter_than_any_path(parents, data):
+    taxonomy = Taxonomy(parents)
+    nodes = sorted(parents)
+    first = data.draw(st.sampled_from(nodes))
+    second = data.draw(st.sampled_from(nodes))
+    via = taxonomy.shortest_path_length(first, second)
+    any_path = taxonomy.shortest_path_length(first, second, policy="any")
+    if via is not None:
+        assert any_path is not None
+        assert any_path <= via
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_descendant_count_matches_networkx(parents):
+    taxonomy = Taxonomy(parents)
+    graph = as_networkx(parents)
+    for node in parents:
+        expected = len(networkx.ancestors(graph, node)) + 1
+        assert taxonomy.descendant_count(node) == expected
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_max_depth_matches_longest_path(parents):
+    taxonomy = Taxonomy(parents)
+    graph = as_networkx(parents)
+    assert taxonomy.max_depth() == networkx.dag_longest_path_length(graph)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_path_to_root_ends_at_a_root_and_descends_in_depth(parents):
+    taxonomy = Taxonomy(parents)
+    for node in parents:
+        path = taxonomy.path_to_root(node)
+        assert path[0] == node
+        assert not parents[path[-1]]
+        for step, next_step in zip(path, path[1:]):
+            assert next_step in parents[step]

@@ -1,0 +1,181 @@
+"""Unit tests for the SOQA Ontology Meta Model."""
+
+import pytest
+
+from repro.errors import OntologyParseError, UnknownConceptError
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Parameter,
+    Relationship,
+)
+
+
+def build_ontology(*concepts: Concept) -> Ontology:
+    return Ontology(OntologyMetadata(name="test", language="OWL"), concepts)
+
+
+def diamond() -> Ontology:
+    """A multiple-inheritance diamond: D -> B, C -> A."""
+    return build_ontology(
+        Concept("A"),
+        Concept("B", superconcept_names=["A"]),
+        Concept("C", superconcept_names=["A"]),
+        Concept("D", superconcept_names=["B", "C"]),
+    )
+
+
+class TestConstruction:
+    def test_len_counts_concepts(self):
+        assert len(diamond()) == 4
+
+    def test_contains_by_name(self):
+        ontology = diamond()
+        assert "A" in ontology
+        assert "Z" not in ontology
+
+    def test_iteration_preserves_definition_order(self):
+        names = [concept.name for concept in diamond()]
+        assert names == ["A", "B", "C", "D"]
+
+    def test_duplicate_concept_rejected(self):
+        with pytest.raises(OntologyParseError, match="duplicate"):
+            build_ontology(Concept("A"), Concept("A"))
+
+    def test_dangling_superconcept_rejected(self):
+        with pytest.raises(OntologyParseError, match="unknown"):
+            build_ontology(Concept("A", superconcept_names=["Missing"]))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(OntologyParseError, match="cycle"):
+            build_ontology(
+                Concept("A", superconcept_names=["B"]),
+                Concept("B", superconcept_names=["A"]),
+            )
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(OntologyParseError, match="cycle"):
+            build_ontology(Concept("A", superconcept_names=["A"]))
+
+    def test_unknown_concept_lookup_raises(self):
+        with pytest.raises(UnknownConceptError):
+            diamond().concept("Nope")
+
+
+class TestNavigation:
+    def test_subconcepts_derived_from_supers(self):
+        ontology = diamond()
+        assert sorted(ontology.concept("A").subconcept_names) == ["B", "C"]
+
+    def test_direct_superconcepts(self):
+        ontology = diamond()
+        names = [c.name for c in ontology.direct_superconcepts("D")]
+        assert names == ["B", "C"]
+
+    def test_indirect_superconcepts_breadth_first_no_duplicates(self):
+        ontology = diamond()
+        names = [c.name for c in ontology.superconcepts("D")]
+        assert names == ["B", "C", "A"]  # A appears once despite two paths
+
+    def test_indirect_subconcepts(self):
+        ontology = diamond()
+        names = [c.name for c in ontology.subconcepts("A")]
+        assert names == ["B", "C", "D"]
+
+    def test_roots_and_leaves(self):
+        ontology = diamond()
+        assert [c.name for c in ontology.root_concepts()] == ["A"]
+        assert [c.name for c in ontology.leaf_concepts()] == ["D"]
+
+    def test_coordinate_concepts_are_siblings(self):
+        ontology = diamond()
+        assert [c.name for c in ontology.coordinate_concepts("B")] == ["C"]
+
+    def test_coordinate_concepts_of_root_are_other_roots(self):
+        ontology = build_ontology(Concept("A"), Concept("B"))
+        assert [c.name for c in ontology.coordinate_concepts("A")] == ["B"]
+
+    def test_coordinate_concepts_no_duplicates_across_parents(self):
+        ontology = build_ontology(
+            Concept("A"),
+            Concept("B", superconcept_names=["A"]),
+            Concept("C", superconcept_names=["A"]),
+            Concept("D", superconcept_names=["B", "C"]),
+            Concept("E", superconcept_names=["B", "C"]),
+        )
+        assert [c.name for c in ontology.coordinate_concepts("D")] == ["E"]
+
+
+class TestElements:
+    def test_method_arity(self):
+        method = Method("grade", "Student",
+                        parameters=[Parameter("exam"), Parameter("term")])
+        assert method.arity == 2
+
+    def test_relationship_arity(self):
+        relationship = Relationship("teaches",
+                                    related_concept_names=["Prof", "Course"])
+        assert relationship.arity == 2
+
+    def test_feature_set_collects_all_structure(self):
+        concept = Concept(
+            "Student",
+            superconcept_names=["Person"],
+            attributes=[Attribute("name", "Student")],
+            methods=[Method("gpa", "Student")],
+            relationships=[Relationship("takes",
+                                        related_concept_names=["Student",
+                                                               "Course"])],
+        )
+        assert concept.feature_set() == frozenset(
+            {"Person", "name", "gpa", "takes"})
+
+    def test_instances_of_includes_subconcepts(self):
+        ontology = build_ontology(
+            Concept("Person"),
+            Concept("Student", superconcept_names=["Person"],
+                    instances=[Instance("jane", "Student")]),
+        )
+        assert [i.name for i in ontology.instances_of("Person")] == ["jane"]
+        assert ontology.instances_of("Person",
+                                     include_subconcepts=False) == []
+
+    def test_all_extensions(self):
+        ontology = build_ontology(
+            Concept("A", attributes=[Attribute("x", "A")],
+                    methods=[Method("m", "A")],
+                    relationships=[Relationship("r")],
+                    instances=[Instance("i", "A")]),
+        )
+        assert len(ontology.all_attributes()) == 1
+        assert len(ontology.all_methods()) == 1
+        assert len(ontology.all_relationships()) == 1
+        assert len(ontology.all_instances()) == 1
+
+
+class TestDescription:
+    def test_concept_description_contains_structure(self):
+        ontology = build_ontology(
+            Concept("Person", documentation="A human being"),
+            Concept("Student", documentation="Someone studying",
+                    superconcept_names=["Person"],
+                    attributes=[Attribute("name", "Student",
+                                          documentation="full name")]),
+        )
+        text = ontology.concept_description("Student")
+        for expected in ("Student", "Someone studying", "name",
+                         "full name", "Person"):
+            assert expected in text
+
+    def test_metadata_as_dict_roundtrip(self):
+        metadata = OntologyMetadata(name="o", language="OWL", author="a",
+                                    version="1", uri="http://x")
+        mapping = metadata.as_dict()
+        assert mapping["name"] == "o"
+        assert mapping["language"] == "OWL"
+        assert mapping["author"] == "a"
+        assert mapping["uri"] == "http://x"

@@ -1,0 +1,243 @@
+"""Unit tests for the Ontolingua, SHOE and RDFS wrappers."""
+
+import pytest
+
+from repro.errors import OntologyParseError
+from repro.soqa.wrappers.ontolingua import OntolinguaWrapper
+from repro.soqa.wrappers.rdfs import RDFSWrapper
+from repro.soqa.wrappers.shoe import SHOEWrapper
+
+ONTOLINGUA_TEXT = """
+;;; A small university frame ontology in Ontolingua/KIF style.
+(define-ontology University-Ontology
+  :documentation "Frames for universities" :version "2.1")
+
+(define-class Person (?x)
+  :documentation "A human being")
+
+(define-class Employee (?x)
+  :def (and (Person ?x))
+  :documentation "A person employed by the university")
+
+(define-class Professor (?x)
+  :def (and (Employee ?x) (Has-Tenure ?x Department))
+  :documentation "A senior academic")
+
+(define-relation Teaches (?prof ?course)
+  :def (and (Professor ?prof) (Course ?course))
+  :documentation "The professor teaches the course")
+
+(define-relation Name-Of (?person ?name)
+  :def (and (Person ?person) (String ?name)))
+
+(define-function Salary-Of (?emp) :-> ?amount
+  :def (and (Employee ?emp) (Number ?amount))
+  :documentation "The employee's salary")
+
+(define-class Course (?c))
+
+(define-instance KR-101 (Course)
+  :documentation "Introduction to knowledge representation")
+"""
+
+SHOE_TEXT = """
+<ONTOLOGY ID="university-ont" VERSION="1.0">
+  <USE-ONTOLOGY ID="base-ontology" VERSION="1.0" PREFIX="base">
+  <DEF-CATEGORY NAME="Person" SHORT="a human being">
+  <DEF-CATEGORY NAME="Employee" ISA="Person"
+                SHORT="a person employed by the university">
+  <DEF-CATEGORY NAME="Professor" ISA="Employee" SHORT="a senior academic">
+  <DEF-CATEGORY NAME="Chair" ISA="Professor Employee">
+  <DEF-CATEGORY NAME="Course" SHORT="a university course">
+  <DEF-RELATION NAME="teaches" SHORT="who teaches what">
+    <DEF-ARG POS="1" TYPE="Professor">
+    <DEF-ARG POS="2" TYPE="Course">
+  </DEF-RELATION>
+  <DEF-RELATION NAME="name">
+    <DEF-ARG POS="1" TYPE="Person">
+    <DEF-ARG POS="2" TYPE=".STRING">
+  </DEF-RELATION>
+  <DEF-CONSTANT NAME="cs101" CATEGORY="Course">
+</ONTOLOGY>
+"""
+
+RDFS_TEXT = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xml:base="http://example.org/vocab">
+  <rdfs:Class rdf:ID="Person">
+    <rdfs:comment>A human being</rdfs:comment>
+  </rdfs:Class>
+  <rdfs:Class rdf:ID="Employee">
+    <rdfs:subClassOf rdf:resource="#Person"/>
+  </rdfs:Class>
+  <rdf:Property rdf:ID="worksFor">
+    <rdfs:domain rdf:resource="#Employee"/>
+    <rdfs:range rdf:resource="#Person"/>
+  </rdf:Property>
+  <rdf:Property rdf:ID="name">
+    <rdfs:domain rdf:resource="#Person"/>
+    <rdfs:range rdf:resource="http://www.w3.org/2001/XMLSchema#string"/>
+  </rdf:Property>
+</rdf:RDF>
+"""
+
+
+class TestOntolinguaWrapper:
+    @pytest.fixture
+    def ontology(self):
+        return OntolinguaWrapper().parse(ONTOLINGUA_TEXT, "univ-onto")
+
+    def test_classes_and_hierarchy(self, ontology):
+        assert ontology.concept("Professor").superconcept_names == [
+            "Employee"]
+        assert ontology.concept("Employee").superconcept_names == ["Person"]
+
+    def test_metadata(self, ontology):
+        assert ontology.metadata.documentation == "Frames for universities"
+        assert ontology.metadata.version == "2.1"
+        assert ontology.metadata.uri == "ontolingua:University-Ontology"
+        assert ontology.language == "Ontolingua"
+
+    def test_typed_relation_becomes_relationship(self, ontology):
+        relationships = ontology.concept("Professor").relationships
+        assert [r.name for r in relationships] == ["Teaches"]
+        assert relationships[0].related_concept_names == ["Professor",
+                                                          "Course"]
+
+    def test_datatype_relation_becomes_attribute(self, ontology):
+        attributes = ontology.concept("Person").attributes
+        assert [a.name for a in attributes] == ["Name-Of"]
+        assert attributes[0].data_type == "string"
+
+    def test_function_becomes_method(self, ontology):
+        methods = ontology.concept("Employee").methods
+        assert [m.name for m in methods] == ["Salary-Of"]
+        assert methods[0].return_type == "number"
+
+    def test_instance(self, ontology):
+        instances = ontology.concept("Course").instances
+        assert [i.name for i in instances] == ["KR-101"]
+
+    def test_def_without_and_wrapper(self):
+        text = "(define-class B (?x) :def (A ?x))\n(define-class A (?x))"
+        ontology = OntolinguaWrapper().parse(text, "o")
+        assert ontology.concept("B").superconcept_names == ["A"]
+
+    def test_malformed_define_class_raises(self):
+        with pytest.raises(OntologyParseError):
+            OntolinguaWrapper().parse("(define-class)", "bad")
+
+    def test_malformed_relation_raises(self):
+        with pytest.raises(OntologyParseError):
+            OntolinguaWrapper().parse("(define-relation R)", "bad")
+
+
+class TestSHOEWrapper:
+    @pytest.fixture
+    def ontology(self):
+        return SHOEWrapper().parse(SHOE_TEXT, "univ-shoe")
+
+    def test_categories_and_hierarchy(self, ontology):
+        assert ontology.concept("Professor").superconcept_names == [
+            "Employee"]
+        assert ontology.concept("Person").documentation == "a human being"
+
+    def test_multiple_isa_parents(self, ontology):
+        assert ontology.concept("Chair").superconcept_names == [
+            "Professor", "Employee"]
+
+    def test_metadata(self, ontology):
+        assert ontology.metadata.version == "1.0"
+        assert ontology.metadata.uri == "shoe:university-ont"
+        assert ontology.language == "SHOE"
+
+    def test_typed_relation(self, ontology):
+        relationships = ontology.concept("Professor").relationships
+        assert [r.name for r in relationships] == ["teaches"]
+        assert relationships[0].related_concept_names == ["Professor",
+                                                          "Course"]
+
+    def test_datatype_relation_becomes_attribute(self, ontology):
+        attributes = ontology.concept("Person").attributes
+        assert [a.name for a in attributes] == ["name"]
+        assert attributes[0].data_type == "string"
+
+    def test_constant_becomes_instance(self, ontology):
+        assert [i.name
+                for i in ontology.concept("Course").instances] == ["cs101"]
+
+    def test_prefixed_isa_stripped(self):
+        text = ('<ONTOLOGY ID="o" VERSION="1">'
+                '<DEF-CATEGORY NAME="Base">'
+                '<DEF-CATEGORY NAME="Derived" ISA="base.Base">'
+                "</ONTOLOGY>")
+        ontology = SHOEWrapper().parse(text, "o")
+        assert ontology.concept("Derived").superconcept_names == ["Base"]
+
+    def test_ontology_inside_html(self):
+        text = f"<html><body>{SHOE_TEXT}</body></html>"
+        ontology = SHOEWrapper().parse(text, "o")
+        assert "Professor" in ontology
+
+    def test_missing_ontology_element_raises(self):
+        with pytest.raises(OntologyParseError, match="ONTOLOGY"):
+            SHOEWrapper().parse("<html><body>nope</body></html>", "bad")
+
+    def test_category_without_name_raises(self):
+        text = '<ONTOLOGY ID="o"><DEF-CATEGORY SHORT="x"></ONTOLOGY>'
+        with pytest.raises(OntologyParseError, match="NAME"):
+            SHOEWrapper().parse(text, "bad")
+
+
+class TestRDFSWrapper:
+    @pytest.fixture
+    def ontology(self):
+        return RDFSWrapper().parse(RDFS_TEXT, "vocab")
+
+    def test_classes(self, ontology):
+        assert ontology.concept("Employee").superconcept_names == ["Person"]
+        assert ontology.language == "RDFS"
+
+    def test_object_valued_property_is_relationship(self, ontology):
+        relationships = ontology.concept("Employee").relationships
+        assert [r.name for r in relationships] == ["worksFor"]
+
+    def test_datatype_property_is_attribute(self, ontology):
+        attributes = ontology.concept("Person").attributes
+        assert [a.name for a in attributes] == ["name"]
+        assert attributes[0].data_type == "string"
+
+
+class TestSevenLanguageRegistry:
+    def test_all_languages_registered(self):
+        from repro.soqa.wrapper import default_registry
+
+        assert default_registry().languages() == [
+            "DAML", "N-Triples", "OWL", "OWL-Turtle", "Ontolingua",
+            "PowerLoom", "RDFS", "SHOE", "WordNet"]
+
+    def test_suffix_dispatch(self):
+        from repro.soqa.wrapper import default_registry
+
+        registry = default_registry()
+        assert isinstance(registry.for_path("a.onto"), OntolinguaWrapper)
+        assert isinstance(registry.for_path("a.shoe"), SHOEWrapper)
+        assert isinstance(registry.for_path("a.rdfs"), RDFSWrapper)
+
+    def test_cross_language_similarity_with_new_wrappers(self):
+        """Concepts from Ontolingua and SHOE in one calculation."""
+        from repro.core.facade import SOQASimPackToolkit
+        from repro.core.registry import Measure
+        from repro.soqa.api import SOQA
+
+        soqa = SOQA()
+        soqa.load_text(ONTOLINGUA_TEXT, "kif", "Ontolingua")
+        soqa.load_text(SHOE_TEXT, "shoe", "SHOE")
+        sst = SOQASimPackToolkit(soqa)
+        value = sst.get_similarity("Professor", "kif", "Professor", "shoe",
+                                   Measure.TFIDF)
+        assert value > 0.0
+        top = sst.get_most_similar_concepts("Professor", "kif", k=3,
+                                            measure=Measure.TFIDF)
+        assert any(entry.ontology_name == "shoe" for entry in top)

@@ -1,0 +1,141 @@
+"""Unit tests for the RDF/XML triple reader."""
+
+import pytest
+
+from repro.errors import OntologyParseError
+from repro.soqa.rdfxml import (
+    Literal,
+    OWL_NS,
+    RDF_NS,
+    RDFS_NS,
+    local_name,
+    parse_rdfxml,
+)
+
+BASE = "http://example.org/onto"
+
+
+def rdf(body: str, extra_ns: str = "") -> str:
+    return (f'<rdf:RDF xmlns:rdf="{RDF_NS.rstrip("#")}#" '
+            f'xmlns:rdfs="{RDFS_NS.rstrip("#")}#" '
+            f'xmlns:owl="{OWL_NS.rstrip("#")}#" {extra_ns} '
+            f'xml:base="{BASE}">{body}</rdf:RDF>')
+
+
+class TestLocalName:
+    def test_fragment(self):
+        assert local_name("http://x/y#Professor") == "Professor"
+
+    def test_path_segment(self):
+        assert local_name("http://x/y/Professor") == "Professor"
+
+    def test_trailing_slash(self):
+        assert local_name("http://x/y/Professor/") == "Professor"
+
+
+class TestSubjects:
+    def test_rdf_id_resolves_against_base(self):
+        graph = parse_rdfxml(rdf('<owl:Class rdf:ID="A"/>'))
+        assert graph.subjects_of_type(f"{OWL_NS}Class") == [f"{BASE}#A"]
+
+    def test_rdf_about_absolute(self):
+        graph = parse_rdfxml(rdf('<owl:Class rdf:about="http://other/B"/>'))
+        assert graph.subjects_of_type(f"{OWL_NS}Class") == ["http://other/B"]
+
+    def test_rdf_about_fragment(self):
+        graph = parse_rdfxml(rdf('<owl:Class rdf:about="#C"/>'))
+        assert graph.subjects_of_type(f"{OWL_NS}Class") == [f"{BASE}#C"]
+
+    def test_anonymous_node_gets_blank_id(self):
+        graph = parse_rdfxml(rdf("<owl:Class/>"))
+        subject = graph.subjects_of_type(f"{OWL_NS}Class")[0]
+        assert subject.startswith("_:")
+
+    def test_description_emits_no_type(self):
+        graph = parse_rdfxml(rdf('<rdf:Description rdf:ID="D"/>'))
+        assert graph.types(f"{BASE}#D") == []
+
+
+class TestPropertyElements:
+    def test_resource_object(self):
+        graph = parse_rdfxml(rdf(
+            '<owl:Class rdf:ID="A"><rdfs:subClassOf rdf:resource="#B"/>'
+            "</owl:Class>"))
+        assert graph.resource_objects(
+            f"{BASE}#A", f"{RDFS_NS}subClassOf") == [f"{BASE}#B"]
+
+    def test_literal_object(self):
+        graph = parse_rdfxml(rdf(
+            '<owl:Class rdf:ID="A"><rdfs:label>hello</rdfs:label>'
+            "</owl:Class>"))
+        assert graph.literal(f"{BASE}#A", f"{RDFS_NS}label") == "hello"
+
+    def test_literal_default(self):
+        graph = parse_rdfxml(rdf('<owl:Class rdf:ID="A"/>'))
+        assert graph.literal(f"{BASE}#A", f"{RDFS_NS}label",
+                             default="d") == "d"
+
+    def test_nested_node_becomes_blank_object(self):
+        graph = parse_rdfxml(rdf(
+            '<owl:Class rdf:ID="A"><rdfs:subClassOf>'
+            '<owl:Restriction><owl:onProperty rdf:resource="#p"/>'
+            "</owl:Restriction></rdfs:subClassOf></owl:Class>"))
+        blanks = graph.resource_objects(f"{BASE}#A", f"{RDFS_NS}subClassOf")
+        assert len(blanks) == 1
+        assert blanks[0].startswith("_:")
+        assert f"{OWL_NS}Restriction" in graph.types(blanks[0])
+
+    def test_unprefixed_tags_resolve_against_base(self):
+        graph = parse_rdfxml(rdf(
+            '<owl:Class rdf:ID="Professor"/>'
+            '<Professor rdf:ID="smith"><name>Smith</name></Professor>'))
+        assert f"{BASE}#Professor" in graph.types(f"{BASE}#smith")
+        assert graph.literal(f"{BASE}#smith", f"{BASE}#name") == "Smith"
+
+    def test_collection_parse_type_flattens_members(self):
+        graph = parse_rdfxml(rdf(
+            '<owl:Class rdf:ID="A"><owl:unionOf rdf:parseType="Collection">'
+            '<owl:Class rdf:about="#B"/><owl:Class rdf:about="#C"/>'
+            "</owl:unionOf></owl:Class>"))
+        members = graph.resource_objects(f"{BASE}#A", f"{OWL_NS}unionOf")
+        assert members == [f"{BASE}#B", f"{BASE}#C"]
+
+    def test_datatyped_literal_keeps_datatype(self):
+        graph = parse_rdfxml(rdf(
+            '<owl:Class rdf:ID="A">'
+            '<rdfs:label rdf:datatype="http://www.w3.org/2001/XMLSchema#int"'
+            ">42</rdfs:label></owl:Class>"))
+        objects = graph.objects(f"{BASE}#A", f"{RDFS_NS}label")
+        assert objects == [Literal("42",
+                                   "http://www.w3.org/2001/XMLSchema#int")]
+
+
+class TestErrors:
+    def test_malformed_xml_raises_parse_error(self):
+        with pytest.raises(OntologyParseError, match="malformed XML"):
+            parse_rdfxml("<rdf:RDF><unclosed>")
+
+    def test_multi_child_property_rejected(self):
+        with pytest.raises(OntologyParseError, match="child node"):
+            parse_rdfxml(rdf(
+                '<owl:Class rdf:ID="A"><rdfs:subClassOf>'
+                "<owl:Class/><owl:Class/></rdfs:subClassOf></owl:Class>"))
+
+
+class TestGraphQueries:
+    def test_len_counts_triples(self):
+        graph = parse_rdfxml(rdf('<owl:Class rdf:ID="A"/>'))
+        assert len(graph) == 1  # one rdf:type triple
+
+    def test_predicates_lists_all_statements_of_subject(self):
+        graph = parse_rdfxml(rdf(
+            '<owl:Class rdf:ID="A"><rdfs:label>x</rdfs:label>'
+            '<rdfs:comment>y</rdfs:comment></owl:Class>'))
+        assert len(graph.predicates(f"{BASE}#A")) == 3
+
+    def test_base_attribute_overrides_default(self):
+        text = rdf('<owl:Class rdf:ID="A"/>').replace(
+            f'xml:base="{BASE}"', 'xml:base="http://custom/base"')
+        graph = parse_rdfxml(text)
+        assert graph.subjects_of_type(f"{OWL_NS}Class") == [
+            "http://custom/base#A"]

@@ -1,0 +1,177 @@
+"""Unit and property tests for meta-model JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OntologyParseError
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Method,
+    Ontology,
+    OntologyMetadata,
+    Parameter,
+    Relationship,
+)
+from repro.soqa.serialize import (
+    JSONWrapper,
+    ontology_from_json,
+    ontology_to_json,
+)
+from repro.soqa.wrappers.owl import OWLWrapper
+from tests.conftest import MINI_OWL, MINI_PLOOM
+
+
+def roundtrip(ontology: Ontology) -> Ontology:
+    return ontology_from_json(ontology_to_json(ontology))
+
+
+class TestRoundTrip:
+    def test_owl_ontology_roundtrips(self):
+        original = OWLWrapper().parse(MINI_OWL, "univ")
+        restored = roundtrip(original)
+        assert restored.concept_names() == original.concept_names()
+        assert restored.metadata.as_dict() == original.metadata.as_dict()
+        for concept in original:
+            restored_concept = restored.concept(concept.name)
+            assert restored_concept.superconcept_names == \
+                concept.superconcept_names
+            assert restored_concept.documentation == concept.documentation
+            assert restored_concept.attribute_names() == \
+                concept.attribute_names()
+            assert restored_concept.relationship_names() == \
+                concept.relationship_names()
+            assert restored_concept.instance_names() == \
+                concept.instance_names()
+
+    def test_language_preserved(self):
+        original = OWLWrapper().parse(MINI_OWL, "univ")
+        assert roundtrip(original).language == "OWL"
+
+    def test_powerloom_methods_roundtrip(self):
+        from repro.soqa.wrappers.powerloom import PowerLoomWrapper
+
+        original = PowerLoomWrapper().parse(MINI_PLOOM, "MINI")
+        restored = roundtrip(original)
+        method = restored.concept("PERSON").methods[0]
+        assert method.name == "full-name"
+        assert method.return_type == "string"
+
+    def test_instance_values_roundtrip(self):
+        original = OWLWrapper().parse(MINI_OWL, "univ")
+        restored = roundtrip(original)
+        instance = restored.concept("Professor").instances[0]
+        assert instance.attribute_values["name"] == "Prof. Smith"
+        assert instance.relationship_targets["advises"] == ["jane"]
+
+    def test_name_override(self):
+        original = OWLWrapper().parse(MINI_OWL, "univ")
+        restored = ontology_from_json(ontology_to_json(original),
+                                      name="renamed")
+        assert restored.name == "renamed"
+
+    def test_serialization_is_stable(self):
+        original = OWLWrapper().parse(MINI_OWL, "univ")
+        assert ontology_to_json(original) == ontology_to_json(
+            roundtrip(original))
+
+
+class TestValidation:
+    def test_malformed_json_rejected(self):
+        with pytest.raises(OntologyParseError, match="malformed JSON"):
+            ontology_from_json("{not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(OntologyParseError, match="format"):
+            ontology_from_json(json.dumps({"format": "other/9"}))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(OntologyParseError):
+            ontology_from_json("[1, 2, 3]")
+
+
+class TestJSONWrapper:
+    def test_load_file_via_soqa(self, tmp_path):
+        from repro.soqa.api import SOQA
+        from repro.soqa.wrapper import default_registry
+
+        original = OWLWrapper().parse(MINI_OWL, "univ")
+        path = tmp_path / "univ.soqajson"
+        path.write_text(ontology_to_json(original), encoding="utf-8")
+
+        registry = default_registry()
+        registry.register(JSONWrapper())
+        soqa = SOQA(registry)
+        restored = soqa.load_file(path)
+        assert restored.name == "univ"
+        assert "Professor" in restored
+
+
+# --- property tests over randomly generated ontologies ---------------------
+
+
+@st.composite
+def random_ontologies(draw) -> Ontology:
+    size = draw(st.integers(min_value=1, max_value=12))
+    names = [f"C{i}" for i in range(size)]
+    concepts = []
+    text = st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20)
+    for index, name in enumerate(names):
+        parent_count = draw(st.integers(0, min(2, index)))
+        parents = draw(st.permutations(names[:index]))[:parent_count]
+        attributes = [Attribute(f"a{i}", name,
+                                data_type=draw(st.sampled_from(
+                                    ["string", "number"])))
+                      for i in range(draw(st.integers(0, 2)))]
+        methods = [Method(f"m{i}", name,
+                          parameters=[Parameter("p", "string")])
+                   for i in range(draw(st.integers(0, 2)))]
+        relationships = [Relationship(f"r{i}",
+                                      related_concept_names=[name])
+                         for i in range(draw(st.integers(0, 2)))]
+        instances = [Instance(f"i{index}_{i}", name,
+                              attribute_values={"k": draw(text)})
+                     for i in range(draw(st.integers(0, 2)))]
+        concepts.append(Concept(
+            name=name,
+            documentation=draw(text),
+            definition=draw(text),
+            superconcept_names=list(parents),
+            attributes=attributes,
+            methods=methods,
+            relationships=relationships,
+            instances=instances,
+        ))
+    metadata = OntologyMetadata(name="random", language="OWL",
+                                author=draw(text), version=draw(text))
+    return Ontology(metadata, concepts)
+
+
+@given(random_ontologies())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_structure(ontology):
+    restored = roundtrip(ontology)
+    assert restored.concept_names() == ontology.concept_names()
+    for concept in ontology:
+        restored_concept = restored.concept(concept.name)
+        assert restored_concept.superconcept_names == \
+            concept.superconcept_names
+        assert restored_concept.subconcept_names == \
+            concept.subconcept_names
+        assert len(restored_concept.attributes) == len(concept.attributes)
+        assert len(restored_concept.methods) == len(concept.methods)
+        assert len(restored_concept.instances) == len(concept.instances)
+        assert restored_concept.documentation == concept.documentation
+
+
+@given(random_ontologies())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_is_idempotent(ontology):
+    once = ontology_to_json(roundtrip(ontology))
+    twice = ontology_to_json(roundtrip(ontology_from_json(once)))
+    assert once == twice

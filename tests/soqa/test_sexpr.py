@@ -1,0 +1,69 @@
+"""Unit tests for the s-expression reader."""
+
+import pytest
+
+from repro.errors import OntologyParseError
+from repro.soqa.sexpr import Symbol, read_forms, tokenize
+
+
+class TestTokenize:
+    def test_parens_and_atoms(self):
+        kinds = [kind for kind, _, _ in tokenize("(a b)")]
+        assert kinds == ["(", "atom", "atom", ")"]
+
+    def test_strings_capture_content(self):
+        tokens = tokenize('(doc "hello world")')
+        assert ("string", "hello world") in [(k, v) for k, v, _ in tokens]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("; a comment\n(a)")
+        assert [v for _, v, _ in tokens] == ["(", "a", ")"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("(a\nb)")
+        lines = {value: line for _, value, line in tokens}
+        assert lines["a"] == 1
+        assert lines["b"] == 2
+
+    def test_escaped_quote_inside_string(self):
+        tokens = tokenize(r'("say \"hi\"")')
+        assert tokens[1] == ("string", 'say "hi"', 1)
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(OntologyParseError, match="unterminated"):
+            tokenize('("oops')
+
+
+class TestReadForms:
+    def test_nested_structure(self):
+        forms = read_forms("(defconcept A (?x B) :documentation \"doc\")")
+        assert len(forms) == 1
+        form = forms[0]
+        assert form[0] == Symbol("defconcept")
+        assert form[1] == Symbol("A")
+        assert form[2] == [Symbol("?x"), Symbol("B")]
+        assert form[3] == Symbol(":documentation")
+        assert form[4] == "doc"
+
+    def test_numbers_parsed(self):
+        forms = read_forms("(assert (salary bob 50000) (rate 1.5))")
+        statement = forms[0]
+        assert statement[1][2] == 50000
+        assert statement[2][1] == 1.5
+
+    def test_multiple_top_level_forms(self):
+        assert len(read_forms("(a) (b) (c)")) == 3
+
+    def test_unbalanced_open_raises(self):
+        with pytest.raises(OntologyParseError, match="unbalanced"):
+            read_forms("(a (b)")
+
+    def test_unbalanced_close_raises(self):
+        with pytest.raises(OntologyParseError, match="unbalanced"):
+            read_forms("(a))")
+
+    def test_empty_input_yields_no_forms(self):
+        assert read_forms("  ; only a comment\n") == []
+
+    def test_symbol_str(self):
+        assert str(Symbol("defconcept")) == "defconcept"

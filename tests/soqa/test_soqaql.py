@@ -1,0 +1,265 @@
+"""Unit tests for SOQA-QL: lexer, parser, evaluator, shell."""
+
+import io
+
+import pytest
+
+from repro.errors import SOQAQLEvaluationError, SOQAQLSyntaxError
+from repro.soqa.soqaql.ast import (
+    Comparison,
+    DescribeQuery,
+    LogicalOp,
+    NotOp,
+    SelectQuery,
+    ShowOntologiesQuery,
+)
+from repro.soqa.soqaql.evaluator import SOQAQLEngine
+from repro.soqa.soqaql.lexer import tokenize
+from repro.soqa.soqaql.parser import parse_query
+from repro.soqa.soqaql.shell import run_shell
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [(t.kind, t.value) for t in tokens] == [
+            ("keyword", "SELECT"), ("keyword", "FROM"),
+            ("keyword", "WHERE")]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SOQAQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("= != <> < <= > >= , ( ) *")]
+        assert values == ["=", "!=", "!=", "<", "<=", ">", ">=",
+                          ",", "(", ")", "*"]
+
+    def test_numbers(self):
+        tokens = tokenize("LIMIT 10")
+        assert tokens[1].kind == "number"
+        assert tokens[1].value == "10"
+
+    def test_identifier_with_dash_and_dot(self):
+        tokens = tokenize("univ-bench_owl SUMO.owl")
+        assert [t.value for t in tokens] == ["univ-bench_owl", "SUMO.owl"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SOQAQLSyntaxError):
+            tokenize("name @ 3")
+
+
+class TestParser:
+    def test_star_select(self):
+        query = parse_query("SELECT * FROM concepts")
+        assert isinstance(query, SelectQuery)
+        assert query.fields == ("*",)
+        assert query.source == "concepts"
+
+    def test_field_list_and_in_clause(self):
+        query = parse_query(
+            "SELECT name, concept FROM attributes IN 'univ-bench_owl'")
+        assert query.fields == ("name", "concept")
+        assert query.ontology == "univ-bench_owl"
+
+    def test_where_precedence_and_binds_tighter_than_or(self):
+        query = parse_query(
+            "SELECT name FROM concepts WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(query.where, LogicalOp)
+        assert query.where.op == "or"
+        assert isinstance(query.where.right, LogicalOp)
+        assert query.where.right.op == "and"
+
+    def test_not_and_parentheses(self):
+        query = parse_query(
+            "SELECT name FROM concepts WHERE NOT (a = 1 OR b = 2)")
+        assert isinstance(query.where, NotOp)
+        assert isinstance(query.where.operand, LogicalOp)
+
+    def test_like_and_contains(self):
+        query = parse_query(
+            "SELECT name FROM concepts WHERE name LIKE '%prof%' "
+            "AND superconcepts CONTAINS 'Person'")
+        comparison = query.where.left
+        assert isinstance(comparison, Comparison)
+        assert comparison.op == "like"
+        assert query.where.right.op == "contains"
+
+    def test_order_by_and_limit(self):
+        query = parse_query(
+            "SELECT name FROM concepts ORDER BY name DESC, ontology LIMIT 5")
+        assert query.order_by[0].field == "name"
+        assert query.order_by[0].descending
+        assert query.order_by[1].field == "ontology"
+        assert not query.order_by[1].descending
+        assert query.limit == 5
+
+    def test_describe(self):
+        query = parse_query("DESCRIBE CONCEPT Professor IN 'base1_0_daml'")
+        assert isinstance(query, DescribeQuery)
+        assert query.concept_name == "Professor"
+        assert query.ontology == "base1_0_daml"
+
+    def test_show_ontologies(self):
+        assert isinstance(parse_query("SHOW ONTOLOGIES"),
+                          ShowOntologiesQuery)
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(SOQAQLSyntaxError, match="unknown source"):
+            parse_query("SELECT * FROM tables")
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(SOQAQLSyntaxError, match="trailing"):
+            parse_query("SHOW ONTOLOGIES extra")
+
+    def test_empty_query_raises(self):
+        with pytest.raises(SOQAQLSyntaxError, match="empty"):
+            parse_query("   ")
+
+    def test_structural_keyword_not_a_field(self):
+        with pytest.raises(SOQAQLSyntaxError):
+            parse_query("SELECT from FROM concepts")
+
+
+class TestEvaluator:
+    @pytest.fixture
+    def engine(self, mini_soqa):
+        return SOQAQLEngine(mini_soqa)
+
+    def test_show_ontologies(self, engine):
+        result = engine.execute("SHOW ONTOLOGIES")
+        assert result.column("name") == ["univ", "MINI", "wn"]
+
+    def test_select_star_uses_row_columns(self, engine):
+        result = engine.execute("SELECT * FROM concepts IN univ LIMIT 1")
+        assert "name" in result.columns
+        assert "documentation" in result.columns
+
+    def test_where_equals_case_insensitive(self, engine):
+        result = engine.execute(
+            "SELECT name FROM concepts WHERE name = 'professor'")
+        assert result.column("name") == ["Professor"]
+
+    def test_where_like(self, engine):
+        result = engine.execute(
+            "SELECT name FROM concepts IN univ "
+            "WHERE documentation LIKE '%university%' ORDER BY name")
+        assert result.column("name") == ["Employee", "Person"]
+
+    def test_where_contains_on_list(self, engine):
+        result = engine.execute(
+            "SELECT name FROM concepts IN univ "
+            "WHERE superconcepts CONTAINS 'Person' ORDER BY name")
+        assert result.column("name") == ["Employee", "Student"]
+
+    def test_numeric_comparison(self, engine):
+        result = engine.execute(
+            "SELECT name FROM concepts IN univ WHERE attribute_count > 0")
+        assert result.column("name") == ["Person"]
+
+    def test_boolean_field(self, engine):
+        result = engine.execute(
+            "SELECT name FROM concepts IN univ WHERE is_root = true "
+            "ORDER BY name")
+        assert result.column("name") == ["Course", "Person"]
+
+    def test_not_operator(self, engine):
+        result = engine.execute(
+            "SELECT name FROM concepts IN univ WHERE NOT is_root = true "
+            "ORDER BY name")
+        assert result.column("name") == ["Employee", "Professor", "Student"]
+
+    def test_order_by_desc_and_limit(self, engine):
+        result = engine.execute(
+            "SELECT name FROM concepts IN univ ORDER BY name DESC LIMIT 2")
+        assert result.column("name") == ["Student", "Professor"]
+
+    def test_attributes_source(self, engine):
+        result = engine.execute("SELECT name, concept FROM attributes "
+                                "IN MINI")
+        assert result.rows == [["salary", "EMPLOYEE"]]
+
+    def test_methods_source(self, engine):
+        result = engine.execute("SELECT name, concept FROM methods IN MINI")
+        assert result.rows == [["full-name", "PERSON"]]
+
+    def test_relationships_source(self, engine):
+        result = engine.execute(
+            "SELECT name, arity FROM relationships IN MINI")
+        assert ["teaches", 2] in result.rows
+
+    def test_instances_source(self, engine):
+        result = engine.execute(
+            "SELECT name, concept FROM instances IN MINI")
+        assert ["bob", "EMPLOYEE"] in result.rows
+
+    def test_describe_concept(self, engine):
+        result = engine.execute("DESCRIBE CONCEPT Professor IN univ")
+        properties = dict(result.rows)
+        assert properties["superconcepts"] == "Employee"
+        assert "advises" in properties["relationships"]
+
+    def test_describe_without_ontology_searches_all(self, engine):
+        result = engine.execute("DESCRIBE CONCEPT PERSON")
+        assert ["ontology", "MINI"] in result.rows
+
+    def test_unknown_field_in_where_raises(self, engine):
+        with pytest.raises(SOQAQLEvaluationError, match="unknown field"):
+            engine.execute("SELECT name FROM concepts WHERE bogus = 1")
+
+    def test_unknown_field_in_select_raises(self, engine):
+        with pytest.raises(SOQAQLEvaluationError, match="unknown field"):
+            engine.execute("SELECT bogus FROM concepts")
+
+    def test_unknown_order_field_raises(self, engine):
+        with pytest.raises(SOQAQLEvaluationError, match="order"):
+            engine.execute("SELECT name FROM concepts ORDER BY bogus")
+
+    def test_non_numeric_against_numeric_field_raises(self, engine):
+        with pytest.raises(SOQAQLEvaluationError):
+            engine.execute(
+                "SELECT name FROM concepts WHERE attribute_count > 'many'")
+
+    def test_result_to_text_renders_table(self, engine):
+        text = engine.execute("SELECT name FROM concepts IN univ "
+                              "LIMIT 2").to_text()
+        assert "name" in text
+        assert "-" in text
+
+    def test_result_unknown_column_raises(self, engine):
+        result = engine.execute("SELECT name FROM concepts LIMIT 1")
+        with pytest.raises(SOQAQLEvaluationError):
+            result.column("ghost")
+
+
+class TestShell:
+    def test_scripted_session(self, mini_soqa):
+        output = io.StringIO()
+        run_shell(mini_soqa, lines=[
+            "show ontologies",
+            "select name from concepts in univ where is_root = true",
+            "describe concept Professor in univ",
+            "help",
+            "nonsense input",
+        ], stdout=output)
+        text = output.getvalue()
+        assert "univ" in text
+        assert "Person" in text
+        assert "Examples:" in text
+        assert "unknown input" in text
+
+    def test_error_reported_not_raised(self, mini_soqa):
+        output = io.StringIO()
+        run_shell(mini_soqa, lines=["select bogus from concepts"],
+                  stdout=output)
+        assert "error:" in output.getvalue()
+
+    def test_quit_returns_true(self, mini_soqa):
+        output = io.StringIO()
+        shell = run_shell(mini_soqa, lines=[], stdout=output)
+        assert shell.onecmd("quit") is True

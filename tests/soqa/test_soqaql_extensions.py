@@ -1,0 +1,68 @@
+"""Tests for SOQA-QL DISTINCT and COUNT(*)."""
+
+import pytest
+
+from repro.errors import SOQAQLSyntaxError
+from repro.soqa.soqaql.evaluator import SOQAQLEngine
+from repro.soqa.soqaql.parser import parse_query
+
+
+@pytest.fixture
+def engine(mini_soqa):
+    return SOQAQLEngine(mini_soqa)
+
+
+class TestParsing:
+    def test_distinct_flag(self):
+        query = parse_query("SELECT DISTINCT ontology FROM concepts")
+        assert query.distinct
+        assert query.fields == ("ontology",)
+
+    def test_count_flag(self):
+        query = parse_query("SELECT COUNT(*) FROM concepts")
+        assert query.count
+        assert query.fields == ("count",)
+
+    def test_count_requires_star(self):
+        with pytest.raises(SOQAQLSyntaxError):
+            parse_query("SELECT COUNT(name) FROM concepts")
+
+    def test_count_requires_parentheses(self):
+        with pytest.raises(SOQAQLSyntaxError):
+            parse_query("SELECT COUNT * FROM concepts")
+
+
+class TestEvaluation:
+    def test_count_all_concepts(self, engine, mini_soqa):
+        result = engine.execute("SELECT COUNT(*) FROM concepts")
+        assert result.rows == [[mini_soqa.concept_count()]]
+        assert result.columns == ["count"]
+
+    def test_count_with_where(self, engine):
+        result = engine.execute(
+            "SELECT COUNT(*) FROM concepts IN univ WHERE is_root = true")
+        assert result.rows == [[2]]  # Person and Course
+
+    def test_count_of_instances(self, engine):
+        result = engine.execute("SELECT COUNT(*) FROM instances IN univ")
+        assert result.rows == [[3]]  # smith, jane, db1
+
+    def test_distinct_collapses_duplicates(self, engine):
+        plain = engine.execute("SELECT ontology FROM concepts")
+        distinct = engine.execute("SELECT DISTINCT ontology FROM concepts")
+        assert len(plain) > len(distinct)
+        assert len(distinct) == 3  # univ, MINI, wn
+
+    def test_distinct_with_limit(self, engine):
+        result = engine.execute(
+            "SELECT DISTINCT ontology FROM concepts LIMIT 2")
+        assert len(result) == 2
+
+    def test_distinct_preserves_first_occurrence_order(self, engine):
+        result = engine.execute("SELECT DISTINCT ontology FROM concepts")
+        assert result.column("ontology") == ["univ", "MINI", "wn"]
+
+    def test_count_on_corpus(self, corpus_soqa):
+        engine = SOQAQLEngine(corpus_soqa)
+        result = engine.execute("SELECT COUNT(*) FROM concepts")
+        assert result.rows == [[943]]

@@ -1,0 +1,212 @@
+"""Unit tests for the Turtle and N-Triples readers and wrappers."""
+
+import pytest
+
+from repro.errors import OntologyParseError
+from repro.soqa.rdfxml import Literal, OWL_NS, RDFS_NS
+from repro.soqa.turtle import parse_ntriples, parse_turtle
+from repro.soqa.wrappers.owl import NTriplesWrapper, OWLTurtleWrapper
+
+TURTLE_TEXT = """
+@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix :     <http://example.org/univ#> .
+@base <http://example.org/univ> .
+
+# A tiny university ontology in Turtle.
+:Person a owl:Class ;
+    rdfs:comment "A human being at the university" .
+
+:Employee a owl:Class ;
+    rdfs:subClassOf :Person ;
+    rdfs:comment "A person employed by the university" .
+
+:Professor a owl:Class ;
+    rdfs:subClassOf :Employee ;
+    rdfs:comment "A senior teacher and researcher" .
+
+:Student a owl:Class ;
+    rdfs:subClassOf :Person .
+
+:name a owl:DatatypeProperty ;
+    rdfs:domain :Person ;
+    rdfs:range <http://www.w3.org/2001/XMLSchema#string> .
+
+:advises a owl:ObjectProperty ;
+    rdfs:domain :Professor ;
+    rdfs:range :Student .
+
+:smith a :Professor ;
+    :name "Prof. Smith" ;
+    :advises :jane .
+
+:jane a :Student ;
+    :name "Jane"@en .
+"""
+
+NTRIPLES_TEXT = """
+<http://x/o#A> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2002/07/owl#Class> .
+<http://x/o#B> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2002/07/owl#Class> .
+# a comment line
+<http://x/o#B> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://x/o#A> .
+<http://x/o#B> <http://www.w3.org/2000/01/rdf-schema#comment> "subclass of A" .
+"""
+
+
+class TestTurtleParsing:
+    def test_typed_subjects(self):
+        graph = parse_turtle(TURTLE_TEXT)
+        classes = graph.subjects_of_type(f"{OWL_NS}Class")
+        assert "http://example.org/univ#Professor" in classes
+        assert len(classes) == 4
+
+    def test_a_keyword_is_rdf_type(self):
+        graph = parse_turtle(TURTLE_TEXT)
+        assert f"{OWL_NS}Class" in graph.types(
+            "http://example.org/univ#Person")
+
+    def test_predicate_lists_with_semicolons(self):
+        graph = parse_turtle(TURTLE_TEXT)
+        assert graph.resource_objects(
+            "http://example.org/univ#Professor",
+            f"{RDFS_NS}subClassOf") == ["http://example.org/univ#Employee"]
+        assert graph.literal("http://example.org/univ#Professor",
+                             f"{RDFS_NS}comment") == \
+            "A senior teacher and researcher"
+
+    def test_language_tagged_literal(self):
+        graph = parse_turtle(TURTLE_TEXT)
+        assert graph.literal("http://example.org/univ#jane",
+                             "http://example.org/univ#name") == "Jane"
+
+    def test_object_lists_with_commas(self):
+        text = ("@prefix : <http://x#> .\n"
+                ":a :knows :b, :c .")
+        graph = parse_turtle(text)
+        assert graph.resource_objects("http://x#a",
+                                      "http://x#knows") == [
+            "http://x#b", "http://x#c"]
+
+    def test_datatyped_literal(self):
+        text = ('@prefix : <http://x#> .\n'
+                '@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n'
+                ':a :age "42"^^xsd:int .')
+        graph = parse_turtle(text)
+        assert graph.objects("http://x#a", "http://x#age") == [
+            Literal("42", "http://www.w3.org/2001/XMLSchema#int")]
+
+    def test_numeric_and_boolean_shorthand(self):
+        text = ("@prefix : <http://x#> .\n"
+                ":a :count 3 ; :rate 1.5 ; :flag true .")
+        graph = parse_turtle(text)
+        count = graph.objects("http://x#a", "http://x#count")[0]
+        assert count.value == "3"
+        assert count.datatype.endswith("integer")
+        rate = graph.objects("http://x#a", "http://x#rate")[0]
+        assert rate.datatype.endswith("decimal")
+        flag = graph.objects("http://x#a", "http://x#flag")[0]
+        assert flag.datatype.endswith("boolean")
+
+    def test_anonymous_blank_node(self):
+        text = ("@prefix : <http://x#> .\n"
+                ":a :has [ :inner :b ] .")
+        graph = parse_turtle(text)
+        blanks = graph.resource_objects("http://x#a", "http://x#has")
+        assert len(blanks) == 1
+        assert blanks[0].startswith("_:")
+        assert graph.resource_objects(blanks[0],
+                                      "http://x#inner") == ["http://x#b"]
+
+    def test_long_string_literal(self):
+        text = ('@prefix : <http://x#> .\n'
+                ':a :doc """line one\nline two""" .')
+        graph = parse_turtle(text)
+        assert graph.literal("http://x#a",
+                             "http://x#doc") == "line one\nline two"
+
+    def test_escaped_quote(self):
+        text = ('@prefix : <http://x#> .\n'
+                ':a :doc "say \\"hi\\"" .')
+        graph = parse_turtle(text)
+        assert graph.literal("http://x#a", "http://x#doc") == 'say "hi"'
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(OntologyParseError, match="undeclared prefix"):
+            parse_turtle(":a :b :c .")
+
+    def test_unterminated_iri_raises(self):
+        with pytest.raises(OntologyParseError, match="unterminated IRI"):
+            parse_turtle("<http://x")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(OntologyParseError, match="unterminated"):
+            parse_turtle('@prefix : <http://x#> .\n:a :b "oops .')
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(OntologyParseError, match="expected"):
+            parse_turtle("@prefix : <http://x#> .\n:a :b :c")
+
+
+class TestNTriples:
+    def test_triples_parsed(self):
+        graph = parse_ntriples(NTRIPLES_TEXT)
+        assert len(graph) == 4
+        assert graph.resource_objects(
+            "http://x/o#B", f"{RDFS_NS}subClassOf") == ["http://x/o#A"]
+
+    def test_comments_and_blank_lines_skipped(self):
+        graph = parse_ntriples("\n# only a comment\n")
+        assert len(graph) == 0
+
+    def test_literal_object(self):
+        graph = parse_ntriples(NTRIPLES_TEXT)
+        assert graph.literal("http://x/o#B",
+                             f"{RDFS_NS}comment") == "subclass of A"
+
+
+class TestTurtleWrappers:
+    def test_owl_turtle_wrapper_builds_same_model(self):
+        ontology = OWLTurtleWrapper().parse(TURTLE_TEXT, "univ")
+        assert sorted(concept.name for concept in ontology) == [
+            "Employee", "Person", "Professor", "Student"]
+        assert ontology.concept("Professor").superconcept_names == [
+            "Employee"]
+        assert ontology.metadata.language == "OWL"
+
+    def test_turtle_individuals(self):
+        ontology = OWLTurtleWrapper().parse(TURTLE_TEXT, "univ")
+        instances = ontology.concept("Professor").instances
+        assert [instance.name for instance in instances] == ["smith"]
+        assert instances[0].attribute_values["name"] == "Prof. Smith"
+
+    def test_turtle_properties(self):
+        ontology = OWLTurtleWrapper().parse(TURTLE_TEXT, "univ")
+        assert [attribute.name for attribute
+                in ontology.concept("Person").attributes] == ["name"]
+        assert [relationship.name for relationship
+                in ontology.concept("Professor").relationships] == [
+            "advises"]
+
+    def test_ntriples_wrapper(self):
+        ontology = NTriplesWrapper().parse(NTRIPLES_TEXT, "nt")
+        assert ontology.concept("B").superconcept_names == ["A"]
+
+    def test_registry_dispatch(self):
+        from repro.soqa.wrapper import default_registry
+
+        registry = default_registry()
+        assert isinstance(registry.for_path("a.ttl"), OWLTurtleWrapper)
+        assert isinstance(registry.for_path("a.nt"), NTriplesWrapper)
+
+    def test_rdfxml_and_turtle_equivalent_models(self):
+        """The same ontology in both serializations parses identically."""
+        from repro.soqa.wrappers.owl import OWLWrapper
+        from tests.conftest import MINI_OWL
+
+        xml_ontology = OWLWrapper().parse(MINI_OWL, "univ")
+        turtle_ontology = OWLTurtleWrapper().parse(TURTLE_TEXT, "univ")
+        shared = {"Person", "Employee", "Professor", "Student"}
+        for name in shared:
+            assert xml_ontology.concept(name).superconcept_names == \
+                turtle_ontology.concept(name).superconcept_names

@@ -1,0 +1,122 @@
+"""Unit tests for the ontology validator."""
+
+from repro.soqa.metamodel import (
+    Concept,
+    Instance,
+    Ontology,
+    OntologyMetadata,
+    Relationship,
+)
+from repro.soqa.validate import validate_ontology
+
+
+def build(*concepts: Concept) -> Ontology:
+    return Ontology(OntologyMetadata(name="test", language="OWL"),
+                    concepts)
+
+
+def codes(ontology: Ontology) -> list[str]:
+    return [diagnostic.code for diagnostic in validate_ontology(ontology)]
+
+
+class TestWarnings:
+    def test_missing_documentation(self):
+        ontology = build(Concept("A"))
+        assert "no-documentation" in codes(ontology)
+
+    def test_documented_concept_clean(self):
+        ontology = build(Concept("A", documentation="something"))
+        assert codes(ontology) == []
+
+    def test_isolated_concept_only_with_multiple_roots(self):
+        connected = build(
+            Concept("A", documentation="d"),
+            Concept("B", documentation="d", superconcept_names=["A"]))
+        assert "isolated-concept" not in codes(connected)
+        forest = build(
+            Concept("A", documentation="d"),
+            Concept("B", documentation="d", superconcept_names=["A"]),
+            Concept("Island", documentation="d"))
+        assert "isolated-concept" in codes(forest)
+
+    def test_dangling_equivalent(self):
+        ontology = build(Concept("A", documentation="d",
+                                 equivalent_concept_names=["Ghost"]))
+        assert "dangling-equivalent" in codes(ontology)
+
+    def test_dangling_antonym(self):
+        ontology = build(Concept("A", documentation="d",
+                                 antonym_concept_names=["Ghost"]))
+        assert "dangling-antonym" in codes(ontology)
+
+    def test_dangling_instance_target(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            instances=[Instance("x", "A",
+                                relationship_targets={"r": ["ghost"]})]))
+        assert "dangling-instance-target" in codes(ontology)
+
+    def test_resolved_instance_target_clean(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            instances=[
+                Instance("x", "A", relationship_targets={"r": ["y"]}),
+                Instance("y", "A"),
+            ]))
+        assert "dangling-instance-target" not in codes(ontology)
+
+
+class TestErrors:
+    def test_unknown_related_concept(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            relationships=[Relationship(
+                "r", related_concept_names=["A", "Ghost"])]))
+        assert "unknown-related-concept" in codes(ontology)
+
+    def test_literal_typed_relationship_clean(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            relationships=[Relationship(
+                "r", related_concept_names=["A", "STRING"])]))
+        assert "unknown-related-concept" not in codes(ontology)
+
+    def test_duplicate_instance(self):
+        ontology = build(
+            Concept("A", documentation="d",
+                    instances=[Instance("x", "A")]),
+            Concept("B", documentation="d",
+                    instances=[Instance("x", "B")]))
+        assert "duplicate-instance" in codes(ontology)
+
+    def test_errors_sorted_first(self):
+        ontology = build(
+            Concept("A",  # missing documentation (warning)
+                    relationships=[Relationship(
+                        "r", related_concept_names=["Ghost"])]))
+        diagnostics = validate_ontology(ontology)
+        assert diagnostics[0].severity == "error"
+
+    def test_str_format(self):
+        ontology = build(Concept("A"))
+        text = str(validate_ontology(ontology)[0])
+        assert text.startswith("warning[no-documentation] A:")
+
+
+class TestOnRealOntologies:
+    def test_bundled_corpus_has_no_errors(self, corpus_soqa):
+        for name in corpus_soqa.ontology_names():
+            diagnostics = validate_ontology(corpus_soqa.ontology(name))
+            errors = [diagnostic for diagnostic in diagnostics
+                      if diagnostic.severity == "error"]
+            assert errors == [], (name, errors)
+
+    def test_browser_validate_command(self, mini_sst):
+        import io
+
+        from repro.browser.shell import run_browser
+
+        output = io.StringIO()
+        run_browser(mini_sst, lines=["validate univ"], stdout=output)
+        # MINI_OWL's Course concept stands alone next to the Person tree.
+        assert "isolated-concept] Course" in output.getvalue()

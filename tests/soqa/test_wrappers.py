@@ -1,0 +1,270 @@
+"""Unit tests for the core SOQA language wrappers."""
+
+import pytest
+
+from repro.errors import OntologyParseError, UnsupportedLanguageError
+from repro.soqa.wrapper import WrapperRegistry, default_registry
+from repro.soqa.wrappers import (
+    DAMLWrapper,
+    OWLWrapper,
+    PowerLoomWrapper,
+    WordNetWrapper,
+)
+from tests.conftest import MINI_OWL, MINI_PLOOM, MINI_WORDNET
+
+DAML_TEXT = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:daml="http://www.daml.org/2001/03/daml+oil#"
+         xml:base="http://example.org/daml-univ">
+  <daml:Ontology rdf:about="">
+    <daml:versionInfo>1.0</daml:versionInfo>
+  </daml:Ontology>
+  <daml:Class rdf:ID="Person"/>
+  <daml:Class rdf:ID="Professor">
+    <rdfs:subClassOf rdf:resource="#Person"/>
+    <daml:sameClassAs rdf:resource="#Prof"/>
+    <daml:disjointWith rdf:resource="#Course"/>
+  </daml:Class>
+  <daml:Class rdf:ID="Prof"/>
+  <daml:Class rdf:ID="Course"/>
+  <daml:ObjectProperty rdf:ID="teaches">
+    <rdfs:domain rdf:resource="#Professor"/>
+    <rdfs:range rdf:resource="#Course"/>
+  </daml:ObjectProperty>
+  <daml:DatatypeProperty rdf:ID="name">
+    <rdfs:domain rdf:resource="#Person"/>
+  </daml:DatatypeProperty>
+</rdf:RDF>
+"""
+
+
+class TestOWLWrapper:
+    def test_classes_and_hierarchy(self):
+        ontology = OWLWrapper().parse(MINI_OWL, "univ")
+        assert sorted(c.name for c in ontology) == [
+            "Course", "Employee", "Person", "Professor", "Student"]
+        assert ontology.concept("Professor").superconcept_names == [
+            "Employee"]
+
+    def test_metadata_from_ontology_header(self):
+        ontology = OWLWrapper().parse(MINI_OWL, "univ")
+        assert ontology.metadata.documentation == "Tiny university ontology"
+        assert ontology.metadata.version == "0.1"
+        assert ontology.language == "OWL"
+
+    def test_datatype_property_becomes_attribute(self):
+        ontology = OWLWrapper().parse(MINI_OWL, "univ")
+        assert [a.name for a in ontology.concept("Person").attributes] == [
+            "name"]
+
+    def test_object_property_becomes_relationship(self):
+        ontology = OWLWrapper().parse(MINI_OWL, "univ")
+        relationship = ontology.concept("Professor").relationships[0]
+        assert relationship.name == "advises"
+        assert relationship.related_concept_names == ["Professor", "Student"]
+
+    def test_individuals_become_instances(self):
+        ontology = OWLWrapper().parse(MINI_OWL, "univ")
+        instances = ontology.concept("Professor").instances
+        assert [i.name for i in instances] == ["smith"]
+        assert instances[0].attribute_values["name"] == "Prof. Smith"
+        assert instances[0].relationship_targets["advises"] == ["jane"]
+
+    def test_restriction_surfaces_property(self):
+        text = MINI_OWL.replace(
+            '<owl:Class rdf:ID="Course">',
+            '<owl:Class rdf:ID="Course">'
+            "<rdfs:subClassOf><owl:Restriction>"
+            '<owl:onProperty rdf:resource="#taughtBy"/>'
+            '<owl:someValuesFrom rdf:resource="#Professor"/>'
+            "</owl:Restriction></rdfs:subClassOf>")
+        ontology = OWLWrapper().parse(text, "univ")
+        relationships = ontology.concept("Course").relationships
+        assert any(r.name == "taughtBy" for r in relationships)
+
+    def test_equivalent_and_disjoint_classes(self):
+        text = MINI_OWL.replace(
+            '<owl:Class rdf:ID="Student">',
+            '<owl:Class rdf:ID="Student">'
+            '<owl:equivalentClass rdf:resource="#Pupil"/>'
+            '<owl:disjointWith rdf:resource="#Employee"/>')
+        ontology = OWLWrapper().parse(text, "univ")
+        student = ontology.concept("Student")
+        assert student.equivalent_concept_names == ["Pupil"]
+        assert student.antonym_concept_names == ["Employee"]
+
+
+class TestDAMLWrapper:
+    def test_classes_and_hierarchy(self):
+        ontology = DAMLWrapper().parse(DAML_TEXT, "daml-univ")
+        assert "Professor" in ontology
+        assert ontology.concept("Professor").superconcept_names == ["Person"]
+        assert ontology.language == "DAML"
+
+    def test_same_class_as_becomes_equivalent(self):
+        ontology = DAMLWrapper().parse(DAML_TEXT, "daml-univ")
+        assert ontology.concept("Professor").equivalent_concept_names == [
+            "Prof"]
+
+    def test_disjoint_with_becomes_antonym(self):
+        ontology = DAMLWrapper().parse(DAML_TEXT, "daml-univ")
+        assert ontology.concept("Professor").antonym_concept_names == [
+            "Course"]
+
+    def test_properties(self):
+        ontology = DAMLWrapper().parse(DAML_TEXT, "daml-univ")
+        assert [r.name
+                for r in ontology.concept("Professor").relationships] == [
+            "teaches"]
+        assert [a.name for a in ontology.concept("Person").attributes] == [
+            "name"]
+
+    def test_version_from_daml_header(self):
+        ontology = DAMLWrapper().parse(DAML_TEXT, "daml-univ")
+        assert ontology.metadata.version == "1.0"
+
+
+class TestPowerLoomWrapper:
+    def test_concepts_and_hierarchy(self):
+        ontology = PowerLoomWrapper().parse(MINI_PLOOM, "MINI")
+        assert sorted(c.name for c in ontology) == [
+            "COURSE", "EMPLOYEE", "PERSON", "STUDENT"]
+        assert ontology.concept("EMPLOYEE").superconcept_names == ["PERSON"]
+
+    def test_module_documentation(self):
+        ontology = PowerLoomWrapper().parse(MINI_PLOOM, "MINI")
+        assert ontology.metadata.documentation == "Mini course module"
+        assert ontology.metadata.version == "1.0"
+        assert ontology.metadata.uri == "ploom:module/MINI"
+
+    def test_literal_relation_becomes_attribute(self):
+        ontology = PowerLoomWrapper().parse(MINI_PLOOM, "MINI")
+        attributes = ontology.concept("EMPLOYEE").attributes
+        assert [a.name for a in attributes] == ["salary"]
+        assert attributes[0].data_type == "number"
+
+    def test_concept_relation_stays_relationship(self):
+        ontology = PowerLoomWrapper().parse(MINI_PLOOM, "MINI")
+        relationships = ontology.concept("EMPLOYEE").relationships
+        assert [r.name for r in relationships] == ["teaches"]
+        assert relationships[0].related_concept_names == ["EMPLOYEE",
+                                                          "COURSE"]
+
+    def test_deffunction_becomes_method(self):
+        ontology = PowerLoomWrapper().parse(MINI_PLOOM, "MINI")
+        methods = ontology.concept("PERSON").methods
+        assert [m.name for m in methods] == ["full-name"]
+        assert methods[0].return_type == "string"
+
+    def test_assertions_become_instances_with_values(self):
+        ontology = PowerLoomWrapper().parse(MINI_PLOOM, "MINI")
+        instances = ontology.concept("EMPLOYEE").instances
+        assert [i.name for i in instances] == ["bob"]
+        assert instances[0].attribute_values["salary"] == "50000"
+        assert instances[0].relationship_targets["teaches"] == ["algebra"]
+
+    def test_forward_reference_allowed(self):
+        text = "(defconcept B (?b A))\n(defconcept A)"
+        ontology = PowerLoomWrapper().parse(text, "fw")
+        assert ontology.concept("B").superconcept_names == ["A"]
+
+    def test_malformed_defconcept_raises(self):
+        with pytest.raises(OntologyParseError):
+            PowerLoomWrapper().parse("(defconcept)", "bad")
+
+    def test_defrelation_without_arguments_raises(self):
+        with pytest.raises(OntologyParseError):
+            PowerLoomWrapper().parse("(defrelation r ())", "bad")
+
+
+class TestWordNetWrapper:
+    def test_synsets_become_concepts(self):
+        ontology = WordNetWrapper().parse(MINI_WORDNET, "wn")
+        assert sorted(c.name for c in ontology) == [
+            "being", "entity", "nonperson", "person", "researcher"]
+
+    def test_hypernym_becomes_superconcept(self):
+        ontology = WordNetWrapper().parse(MINI_WORDNET, "wn")
+        assert ontology.concept("researcher").superconcept_names == [
+            "person"]
+
+    def test_antonym_pointer(self):
+        ontology = WordNetWrapper().parse(MINI_WORDNET, "wn")
+        assert ontology.concept("person").antonym_concept_names == [
+            "nonperson"]
+
+    def test_synonyms_become_equivalents(self):
+        ontology = WordNetWrapper().parse(MINI_WORDNET, "wn")
+        assert ontology.concept("being").equivalent_concept_names == [
+            "organism"]
+
+    def test_gloss_becomes_documentation(self):
+        ontology = WordNetWrapper().parse(MINI_WORDNET, "wn")
+        assert ontology.concept("entity").documentation == "that which exists"
+
+    def test_duplicate_head_word_gets_sense_number(self):
+        text = (MINI_WORDNET
+                + "00009999 03 n 01 person 0 001 @ 00002137 n 0000 | other\n")
+        ontology = WordNetWrapper().parse(text, "wn")
+        assert "person.2" in ontology
+
+    def test_duplicate_offset_rejected(self):
+        text = MINI_WORDNET + MINI_WORDNET.splitlines()[0] + "\n"
+        with pytest.raises(OntologyParseError, match="duplicate"):
+            WordNetWrapper().parse(text, "wn")
+
+    def test_truncated_line_rejected(self):
+        with pytest.raises(OntologyParseError):
+            WordNetWrapper().parse("00001740 03 n\n", "wn")
+
+    def test_comment_lines_skipped(self):
+        ontology = WordNetWrapper().parse("# comment\n" + MINI_WORDNET, "wn")
+        assert len(ontology) == 5
+
+
+class TestRegistry:
+    def test_default_registry_languages(self):
+        registry = default_registry()
+        # The paper's four implemented wrappers plus the further
+        # languages it names (Ontolingua, SHOE) and plain RDFS.
+        assert registry.languages() == ["DAML", "N-Triples", "OWL",
+                                        "OWL-Turtle", "Ontolingua",
+                                        "PowerLoom", "RDFS", "SHOE",
+                                        "WordNet"]
+
+    def test_lookup_by_language_case_insensitive(self):
+        registry = default_registry()
+        assert isinstance(registry.for_language("owl"), OWLWrapper)
+
+    def test_lookup_by_suffix(self):
+        registry = default_registry()
+        assert isinstance(registry.for_path("x/y/course.ploom"),
+                          PowerLoomWrapper)
+        assert isinstance(registry.for_path("a.daml"), DAMLWrapper)
+        assert isinstance(registry.for_path("a.wn"), WordNetWrapper)
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(UnsupportedLanguageError):
+            default_registry().for_language("KIF")
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(UnsupportedLanguageError):
+            default_registry().for_path("x.unknown")
+
+    def test_custom_wrapper_registration(self):
+        class ToyWrapper(OWLWrapper):
+            language = "Toy"
+            suffixes = (".toy",)
+
+        registry = WrapperRegistry()
+        registry.register(ToyWrapper())
+        assert isinstance(registry.for_language("toy"), ToyWrapper)
+        assert registry.languages() == ["Toy"]
+
+    def test_re_registration_replaces(self):
+        registry = WrapperRegistry()
+        first, second = OWLWrapper(), OWLWrapper()
+        registry.register(first)
+        registry.register(second)
+        assert registry.for_language("OWL") is second

@@ -1,0 +1,104 @@
+"""Tests for the ``sst`` command-line interface.
+
+Most subcommands run against the small multi-language fixture corpus via
+``--ontology-file`` so CLI tests stay fast; ``table1`` (which needs the
+paper corpus) is exercised in the integration tests.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import MINI_OWL, MINI_PLOOM
+
+
+@pytest.fixture
+def ontology_files(tmp_path) -> list[str]:
+    owl_path = tmp_path / "univ.owl"
+    owl_path.write_text(MINI_OWL, encoding="utf-8")
+    ploom_path = tmp_path / "MINI.ploom"
+    ploom_path.write_text(MINI_PLOOM, encoding="utf-8")
+    return [str(owl_path), str(ploom_path)]
+
+
+def run_cli(capsys, ontology_files, *arguments: str) -> str:
+    argv = []
+    for path in ontology_files:
+        argv.extend(["--ontology-file", path])
+    argv.extend(arguments)
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestSubcommands:
+    def test_ontologies(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "ontologies")
+        assert "univ" in out
+        assert "PowerLoom" in out
+
+    def test_sim_all_table1_measures(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "sim", "univ", "Professor",
+                      "univ", "Student")
+        assert "Conceptual Similarity" in out
+        assert "TFIDF" in out
+
+    def test_sim_single_measure(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "sim", "univ", "Professor",
+                      "univ", "Student", "-m", "5")
+        assert "0.2500" in out
+
+    def test_sim_measure_by_name(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "sim", "univ", "Professor",
+                      "univ", "Student", "-m", "Lin")
+        assert "Lin" in out
+
+    def test_ksim(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "ksim", "univ", "Professor",
+                      "-k", "2")
+        assert "Employee" in out
+        assert "rank" in out
+
+    def test_ksim_with_subtree(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "ksim", "univ", "Professor",
+                      "-k", "10", "--subtree", "univ:Person")
+        assert "MINI" not in out.split("rank")[1]
+
+    def test_kdissim(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "kdissim", "univ",
+                      "Professor", "-k", "2")
+        assert "rank" in out
+
+    def test_chart_ascii(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "chart", "univ", "Professor",
+                      "-k", "3")
+        assert "█" in out
+
+    def test_chart_writes_artifacts(self, capsys, ontology_files,
+                                    tmp_path):
+        out_dir = tmp_path / "charts"
+        out = run_cli(capsys, ontology_files, "chart", "univ", "Professor",
+                      "-k", "3", "-o", str(out_dir))
+        assert "wrote:" in out
+        assert (out_dir / "chart.svg").exists()
+        assert (out_dir / "chart.gp").exists()
+        assert (out_dir / "chart.dat").exists()
+
+    def test_measures(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "measures")
+        assert "Jaro-Winkler" in out
+
+    def test_query(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "query",
+                      "SELECT name FROM concepts IN univ LIMIT 2")
+        assert "(2 rows)" in out
+
+
+class TestErrors:
+    def test_unknown_concept_reports_error(self, capsys, ontology_files):
+        argv = ["--ontology-file", ontology_files[0], "sim", "univ",
+                "Ghost", "univ", "Student"]
+        assert main(argv) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

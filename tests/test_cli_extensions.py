@@ -1,0 +1,80 @@
+"""Tests for the align/stats/validate CLI subcommands and facade helpers."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import MINI_OWL, MINI_PLOOM
+
+
+@pytest.fixture
+def ontology_files(tmp_path) -> list[str]:
+    owl_path = tmp_path / "univ.owl"
+    owl_path.write_text(MINI_OWL, encoding="utf-8")
+    ploom_path = tmp_path / "MINI.ploom"
+    ploom_path.write_text(MINI_PLOOM, encoding="utf-8")
+    return [str(owl_path), str(ploom_path)]
+
+
+def run_cli(capsys, ontology_files, *arguments: str) -> str:
+    argv = []
+    for path in ontology_files:
+        argv.extend(["--ontology-file", path])
+    argv.extend(arguments)
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestAlignCommand:
+    def test_align_by_name_measure(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "align", "univ", "MINI",
+                      "-m", "Jaro-Winkler", "-t", "0.95")
+        assert "univ:Person" in out
+        assert "MINI:PERSON" in out
+        assert "correspondences" in out
+
+    def test_align_high_threshold_empty(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "align", "univ", "MINI",
+                      "-m", "TFIDF", "-t", "1.0")
+        assert "(0 correspondences)" in out
+
+    def test_align_unknown_ontology_errors(self, capsys, ontology_files):
+        argv = ["--ontology-file", ontology_files[0], "align", "univ",
+                "ghosts"]
+        assert main(argv) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_table(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "stats")
+        assert "avg depth" in out
+        assert "univ" in out
+        assert "MINI" in out
+
+
+class TestValidateCommand:
+    def test_validate_reports_findings(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "validate", "univ")
+        assert "findings" in out or "no findings" in out
+
+    def test_validate_unknown_ontology_errors(self, capsys,
+                                              ontology_files):
+        argv = ["--ontology-file", ontology_files[0], "validate",
+                "ghosts"]
+        assert main(argv) == 1
+
+
+class TestFacadeHelpers:
+    def test_open_browser_scripted(self, mini_sst):
+        output = io.StringIO()
+        mini_sst.open_browser(lines=["ontologies"], stdout=output)
+        assert "univ" in output.getvalue()
+
+    def test_open_query_shell_scripted(self, mini_sst):
+        output = io.StringIO()
+        mini_sst.open_query_shell(
+            lines=["select name from concepts in univ limit 1"],
+            stdout=output)
+        assert "(1 rows)" in output.getvalue()

@@ -1,0 +1,75 @@
+"""Doctest execution and public-API surface checks.
+
+Several modules carry ``>>>`` examples in their docstrings; running them
+as tests keeps the documentation honest.  The API-surface tests pin the
+package's public exports so accidental removals fail loudly.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.simpack.base
+import repro.simpack.strings
+import repro.simpack.text.porter
+import repro.simpack.text.tokenizer
+import repro.soqa.rdfxml
+
+DOCTEST_MODULES = [
+    repro.simpack.base,
+    repro.simpack.strings,
+    repro.simpack.text.porter,
+    repro.simpack.text.tokenizer,
+    repro.soqa.rdfxml,
+]
+
+
+@pytest.mark.parametrize("module", DOCTEST_MODULES,
+                         ids=lambda module: module.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module lost its doctests"
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_from_docstring_works(self):
+        """The quickstart in the package docstring must actually run."""
+        from repro import Measure, SOQASimPackToolkit, load_corpus
+
+        sst = SOQASimPackToolkit(load_corpus())
+        value = sst.get_similarity("Professor", "base1_0_daml",
+                                   "AssistantProfessor", "univ-bench_owl",
+                                   Measure.TFIDF)
+        assert 0.0 < value < 1.0
+        hits = sst.get_most_similar_concepts("Person", "univ-bench_owl",
+                                             k=10, measure=Measure.TFIDF)
+        assert len(hits) == 10
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.align as align
+        import repro.cluster as cluster
+        import repro.core as core
+        import repro.ontologies as ontologies
+        import repro.simpack as simpack
+        import repro.soqa as soqa
+        import repro.viz as viz
+
+        for module in (align, cluster, core, ontologies, simpack, soqa,
+                       viz):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_facade_doctest(self):
+        results = doctest.testmod(
+            __import__("repro.core.facade", fromlist=["facade"]),
+            verbose=False)
+        assert results.failed == 0

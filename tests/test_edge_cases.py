@@ -1,0 +1,200 @@
+"""Edge-case tests sweeping the thinner corners of the code base."""
+
+import pytest
+
+from repro.errors import (
+    OntologyParseError,
+    SOQAQLSyntaxError,
+    SSTError,
+    UnknownConceptError,
+    UnknownMeasureError,
+    UnknownOntologyError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_sst_error(self):
+        for error_class in (OntologyParseError, SOQAQLSyntaxError,
+                            UnknownConceptError, UnknownOntologyError,
+                            UnknownMeasureError):
+            assert issubclass(error_class, SSTError)
+
+    def test_parse_error_carries_location(self):
+        error = OntologyParseError("bad", source="file.owl", line=12)
+        assert "file.owl" in str(error)
+        assert "line 12" in str(error)
+        assert error.line == 12
+
+    def test_unknown_concept_mentions_ontology(self):
+        error = UnknownConceptError("Ghost", "univ")
+        assert "Ghost" in str(error)
+        assert "univ" in str(error)
+
+    def test_soqaql_error_position(self):
+        error = SOQAQLSyntaxError("oops", position=7)
+        assert "position 7" in str(error)
+
+
+class TestClampSimilarity:
+    def test_bounds(self):
+        from repro.simpack.base import clamp_similarity
+
+        assert clamp_similarity(-0.5) == 0.0
+        assert clamp_similarity(1.5) == 1.0
+        assert clamp_similarity(0.5) == 0.5
+        assert str(clamp_similarity(-0.0)) == "0.0"
+
+
+class TestPowerLoomCorners:
+    def test_definition_from_iff(self):
+        from repro.soqa.wrappers.powerloom import PowerLoomWrapper
+
+        text = ("(defconcept RICH (?p PERSON) "
+                ":<=> (and (PERSON ?p) (> (salary ?p) 100000)))\n"
+                "(defconcept PERSON)")
+        ontology = PowerLoomWrapper().parse(text, "o")
+        assert ontology.concept("RICH").definition  # captured the axiom
+
+    def test_assert_on_relation_name_not_instance(self):
+        """(assert (teaches a b)) must not create a 'teaches' instance."""
+        from repro.soqa.wrappers.powerloom import PowerLoomWrapper
+
+        text = ("(defconcept A)\n"
+                "(defrelation knows ((?x A) (?y A)))\n"
+                "(assert (knows alice))")
+        ontology = PowerLoomWrapper().parse(text, "o")
+        assert ontology.concept("A").instances == []
+
+    def test_non_list_forms_ignored(self):
+        from repro.soqa.wrappers.powerloom import PowerLoomWrapper
+
+        ontology = PowerLoomWrapper().parse("42 \"str\" (defconcept A)",
+                                            "o")
+        assert "A" in ontology
+
+
+class TestRDFXMLCorners:
+    def test_node_id_references(self):
+        from repro.soqa.rdfxml import parse_rdfxml
+
+        text = """<rdf:RDF
+            xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+            xmlns:ex="http://ex#" xml:base="http://b">
+          <rdf:Description rdf:ID="a">
+            <ex:sees rdf:nodeID="blank1"/>
+          </rdf:Description>
+          <rdf:Description rdf:nodeID="blank1">
+            <ex:label>hidden</ex:label>
+          </rdf:Description>
+        </rdf:RDF>"""
+        graph = parse_rdfxml(text)
+        assert graph.resource_objects("http://b#a",
+                                      "http://ex#sees") == ["_:blank1"]
+        assert graph.literal("_:blank1", "http://ex#label") == "hidden"
+
+
+class TestVizCorners:
+    def test_grouped_chart_requires_series(self):
+        from repro.errors import VisualizationError
+        from repro.viz.svg import render_grouped_bar_chart_svg
+
+        with pytest.raises(VisualizationError):
+            render_grouped_bar_chart_svg("t", ["g"], {})
+
+    def test_grouped_chart_empty_groups_rejected(self):
+        from repro.errors import VisualizationError
+        from repro.viz.svg import render_grouped_bar_chart_svg
+
+        with pytest.raises(VisualizationError):
+            render_grouped_bar_chart_svg("t", [], {"s": []})
+
+    def test_bar_chart_handles_all_zero_values(self):
+        from repro.viz.charts import BarChart
+
+        chart = BarChart("zeros", ["a", "b"], [0.0, 0.0])
+        assert "<svg" in chart.to_svg()
+        assert "zeros" in chart.to_ascii()
+
+
+class TestResultTypes:
+    def test_qualified_concept_ordering(self):
+        from repro.core.results import QualifiedConcept
+
+        concepts = sorted([QualifiedConcept("b", "X"),
+                           QualifiedConcept("a", "Z"),
+                           QualifiedConcept("a", "A")])
+        assert [str(concept) for concept in concepts] == [
+            "a:A", "a:Z", "b:X"]
+
+    def test_concept_and_similarity_str(self):
+        from repro.core.results import ConceptAndSimilarity
+
+        entry = ConceptAndSimilarity("X", "onto", 0.12345)
+        assert str(entry) == "onto:X = 0.1235"
+
+
+class TestFacadeCorners:
+    def test_comparison_plot_normalizes_raw_measures(self, mini_sst):
+        from repro.core.registry import Measure
+
+        chart = mini_sst.get_comparison_plot(
+            [(("univ", "Professor"), ("univ", "Student"))],
+            measures=[Measure.RESNIK])
+        assert list(chart.series) == ["Resnik (normalized)"]
+        assert 0.0 <= chart.series["Resnik (normalized)"][0] <= 1.0
+
+    def test_matrix_symmetric_false_still_correct(self, mini_sst):
+        from repro.core.registry import Measure
+
+        concepts = [("univ", "Professor"), ("univ", "Student")]
+        fast = mini_sst.get_similarity_matrix(concepts,
+                                              Measure.SHORTEST_PATH)
+        slow = mini_sst.get_similarity_matrix(concepts,
+                                              Measure.SHORTEST_PATH,
+                                              symmetric=False)
+        assert fast == slow
+
+    def test_similarity_to_set_empty(self, mini_sst):
+        from repro.core.registry import Measure
+
+        assert mini_sst.get_similarity_to_set(
+            "Professor", "univ", [], Measure.TFIDF) == []
+
+    def test_most_similar_k_zero(self, mini_sst):
+        from repro.core.registry import Measure
+
+        assert mini_sst.get_most_similar_concepts(
+            "Professor", "univ", k=0, measure=Measure.TFIDF) == []
+
+
+class TestWordNetCorners:
+    def test_verb_style_pointer_symbols_ignored(self):
+        from repro.soqa.wrappers.wordnet import WordNetWrapper
+
+        # '~' (hyponym) and '%p' (part meronym) pointers are skipped.
+        text = ("00000001 03 n 01 thing 0 000 | root\n"
+                "00000002 03 n 01 part 0 002 @ 00000001 n 0000 "
+                "%p 00000001 n 0000 | a part\n")
+        ontology = WordNetWrapper().parse(text, "wn")
+        assert ontology.concept("part").superconcept_names == ["thing"]
+
+    def test_missing_pointer_count_rejected(self):
+        from repro.errors import OntologyParseError
+        from repro.soqa.wrappers.wordnet import WordNetWrapper
+
+        with pytest.raises(OntologyParseError):
+            WordNetWrapper().parse("00000001 03 n 01 thing 0\n", "wn")
+
+
+class TestGeneratorDeterminism:
+    def test_owl_text_contains_exact_class_count(self):
+        from repro.ontologies.generator import generate_sumo_owl
+
+        text = generate_sumo_owl(150)
+        assert text.count("<owl:Class") == 150
+
+    def test_synthetic_taxonomy_prefix(self):
+        from repro.ontologies.generator import generate_synthetic_taxonomy
+
+        parents = generate_synthetic_taxonomy(5, prefix="X")
+        assert set(parents) == {"X0", "X1", "X2", "X3", "X4"}

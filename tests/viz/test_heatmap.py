@@ -1,0 +1,88 @@
+"""Unit tests for the heatmap visualization."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz.charts import HeatmapChart
+from repro.viz.heatmap import render_heatmap_ascii, render_heatmap_svg
+
+LABELS = ["a:X", "a:Y", "b:Z"]
+MATRIX = [[1.0, 0.5, 0.1],
+          [0.5, 1.0, 0.2],
+          [0.1, 0.2, 1.0]]
+
+
+class TestSVGHeatmap:
+    def test_valid_xml(self):
+        svg = render_heatmap_svg("demo", LABELS, MATRIX)
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_cell_per_matrix_entry(self):
+        svg = render_heatmap_svg("demo", LABELS, MATRIX)
+        root = ElementTree.fromstring(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) == 1 + 9  # background + 3x3 cells
+
+    def test_values_annotated(self):
+        svg = render_heatmap_svg("demo", LABELS, MATRIX)
+        assert "0.50" in svg
+        assert "1.00" in svg
+
+    def test_labels_escaped(self):
+        svg = render_heatmap_svg("a < b", ["x & y"], [[1.0]])
+        assert "&lt;" in svg
+        assert "&amp;" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_heatmap_svg("demo", [], [])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_heatmap_svg("demo", LABELS, [[1.0, 0.5]])
+
+
+class TestASCIIHeatmap:
+    def test_shades_reflect_values(self):
+        text = render_heatmap_ascii("demo", LABELS, MATRIX)
+        assert "███" in text  # the 1.0 diagonal
+        assert "legend:" in text
+
+    def test_column_key_printed(self):
+        text = render_heatmap_ascii("demo", LABELS, MATRIX)
+        assert "0=a:X" in text
+
+    def test_out_of_range_values_clamped(self):
+        text = render_heatmap_ascii("demo", ["a"], [[7.5]])
+        assert "███" in text
+
+
+class TestHeatmapChart:
+    def test_save_writes_svg_and_text(self, tmp_path):
+        chart = HeatmapChart("demo", LABELS, MATRIX)
+        paths = chart.save(tmp_path, stem="matrix")
+        assert sorted(path.name for path in paths) == ["matrix.svg",
+                                                       "matrix.txt"]
+        assert all(path.exists() for path in paths)
+
+    def test_facade_matrix_plot(self, mini_sst):
+        from repro.core.registry import Measure
+
+        chart = mini_sst.get_matrix_plot(
+            [("univ", "Professor"), ("univ", "Student"),
+             ("MINI", "EMPLOYEE")], Measure.SHORTEST_PATH)
+        assert isinstance(chart, HeatmapChart)
+        assert chart.matrix[0][0] == 1.0
+        assert chart.labels[0] == "univ:Professor"
+
+    def test_facade_matrix_plot_normalizes_resnik(self, mini_sst):
+        from repro.core.registry import Measure
+
+        chart = mini_sst.get_matrix_plot(
+            [("univ", "Professor"), ("univ", "Student")], Measure.RESNIK)
+        assert "normalized" in chart.title
+        assert all(0.0 <= value <= 1.0
+                   for row in chart.matrix for value in row)

@@ -1,0 +1,141 @@
+"""Unit tests for the visualization backend."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz.ascii import render_bar_chart_ascii, render_table
+from repro.viz.charts import BarChart, GroupedBarChart
+from repro.viz.gnuplot import gnuplot_bar_chart
+from repro.viz.svg import render_bar_chart_svg, render_grouped_bar_chart_svg
+
+LABELS = ["univ:Professor", "univ:Student", "MINI:EMPLOYEE"]
+VALUES = [1.0, 0.5, 0.25]
+
+
+class TestGnuplot:
+    def test_script_references_data_and_output(self):
+        artifacts = gnuplot_bar_chart("demo", LABELS, VALUES,
+                                      output_name="out.png")
+        assert 'set output "out.png"' in artifacts.script
+        assert '"chart.dat"' in artifacts.script
+        assert "histogram" in artifacts.script
+
+    def test_data_file_one_row_per_value(self):
+        artifacts = gnuplot_bar_chart("demo", LABELS, VALUES)
+        lines = artifacts.data.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0] == '"univ:Professor" 1.000000'
+
+    def test_quote_escaping(self):
+        artifacts = gnuplot_bar_chart('say "hi"', ['l"l'], [1.0])
+        assert '"' not in artifacts.script.split("set title ")[1].split(
+            "\n")[0].strip('"')[4:]  # no raw double quotes inside title
+
+    def test_write_creates_files(self, tmp_path):
+        artifacts = gnuplot_bar_chart("demo", LABELS, VALUES)
+        script_path, data_path = artifacts.write(tmp_path)
+        assert script_path.read_text(encoding="utf-8") == artifacts.script
+        assert data_path.read_text(encoding="utf-8") == artifacts.data
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(VisualizationError):
+            gnuplot_bar_chart("demo", ["a"], [1.0, 2.0])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(VisualizationError):
+            gnuplot_bar_chart("demo", [], [])
+
+
+class TestSVG:
+    def test_valid_xml(self):
+        svg = render_bar_chart_svg("demo", LABELS, VALUES)
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_bar(self):
+        svg = render_bar_chart_svg("demo", LABELS, VALUES)
+        root = ElementTree.fromstring(svg)
+        rects = root.findall(
+            ".//{http://www.w3.org/2000/svg}rect")
+        # background + 3 bars
+        assert len(rects) == 4
+
+    def test_labels_escaped(self):
+        svg = render_bar_chart_svg("a < b", ["x & y"], [1.0])
+        assert "&lt;" in svg
+        assert "&amp;" in svg
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_bar_chart_svg("demo", [], [])
+
+    def test_grouped_chart_series_validation(self):
+        with pytest.raises(VisualizationError):
+            render_grouped_bar_chart_svg("demo", ["g1", "g2"],
+                                         {"s": [1.0]})
+
+    def test_grouped_chart_legend(self):
+        svg = render_grouped_bar_chart_svg(
+            "demo", ["g1", "g2"], {"Lin": [0.1, 0.2], "TFIDF": [0.3, 0.4]})
+        assert "Lin" in svg
+        assert "TFIDF" in svg
+
+
+class TestASCII:
+    def test_bars_scaled_to_max(self):
+        text = render_bar_chart_ascii("demo", ["a", "b"], [1.0, 0.5],
+                                      width=10)
+        lines = text.splitlines()
+        assert lines[2].count("█") == 10
+        assert lines[3].count("█") == 5
+
+    def test_zero_value_gets_sliver(self):
+        text = render_bar_chart_ascii("demo", ["a", "b"], [1.0, 0.0])
+        assert "▏" in text
+
+    def test_values_printed(self):
+        text = render_bar_chart_ascii("demo", ["a"], [0.1234])
+        assert "0.1234" in text
+
+    def test_table_alignment(self):
+        text = render_table(["col", "value"], [["x", "1"], ["long", "22"]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines
+                    if "|" in line}) == 1  # pipes aligned
+
+    def test_table_row_width_validation(self):
+        with pytest.raises(VisualizationError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestChartObjects:
+    def test_bar_chart_all_renderings(self):
+        chart = BarChart("demo", LABELS, VALUES)
+        assert "<svg" in chart.to_svg()
+        assert "demo" in chart.to_ascii()
+        assert "histogram" in chart.to_gnuplot().script
+
+    def test_bar_chart_save_writes_three_files(self, tmp_path):
+        chart = BarChart("demo", LABELS, VALUES)
+        paths = chart.save(tmp_path, stem="fig5")
+        assert sorted(path.name for path in paths) == [
+            "fig5.dat", "fig5.gp", "fig5.svg"]
+        assert all(path.exists() for path in paths)
+
+    def test_grouped_chart_save(self, tmp_path):
+        chart = GroupedBarChart("demo", ["g"],
+                                {"Lin": [0.5], "TFIDF": [0.7]})
+        paths = chart.save(tmp_path, stem="cmp")
+        assert (tmp_path / "cmp.svg").exists()
+        assert (tmp_path / "cmp-0.gp").exists()
+        assert (tmp_path / "cmp-1.dat").exists()
+        assert len(paths) == 5
+
+    def test_grouped_chart_ascii_sections(self):
+        chart = GroupedBarChart("demo", ["g"],
+                                {"Lin": [0.5], "TFIDF": [0.7]})
+        text = chart.to_ascii()
+        assert "demo — Lin" in text
+        assert "demo — TFIDF" in text
