@@ -1,0 +1,63 @@
+"""Static analysis for ontologies and SOQA-QL queries (``sst lint``).
+
+Two analyzer families share one rule engine:
+
+* :func:`lint_ontology` / :func:`lint_concepts` — the ontology linter,
+  superset of the legacy :func:`repro.soqa.validate.validate_ontology`;
+* :func:`check_query` — the SOQA-QL static checker, which walks a parsed
+  query against the meta-model schema without executing it.
+
+Both return :class:`Finding` lists that render as text or schema-stable
+JSON via :func:`render_text` / :func:`render_json`.
+"""
+
+from repro.analysis.engine import (
+    AnalysisConfig,
+    Finding,
+    Rule,
+    RuleRegistry,
+    SEVERITIES,
+    gate,
+    render_json,
+    render_text,
+    severity_rank,
+    sort_findings,
+    summarize,
+)
+from repro.analysis.ontology_rules import (
+    ONTOLOGY_RULES,
+    lint_concepts,
+    lint_ontology,
+)
+from repro.analysis.query_check import (
+    QUERY_RULES,
+    SOURCE_SCHEMAS,
+    check_query,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "ONTOLOGY_RULES",
+    "QUERY_RULES",
+    "Rule",
+    "RuleRegistry",
+    "SEVERITIES",
+    "SOURCE_SCHEMAS",
+    "all_rules",
+    "check_query",
+    "gate",
+    "lint_concepts",
+    "lint_ontology",
+    "render_json",
+    "render_text",
+    "severity_rank",
+    "sort_findings",
+    "summarize",
+]
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule of both families, ordered by code."""
+    rules = ONTOLOGY_RULES.rules() + QUERY_RULES.rules()
+    return sorted(rules, key=lambda rule: (rule.family, rule.code))

@@ -1,0 +1,319 @@
+"""The rule engine underneath ``sst lint``.
+
+Static analysis in the toolkit is organized as a registry of
+:class:`Rule` objects.  Each rule owns a stable code (e.g.
+``taxonomy-cycle``), a default severity, and a ``check`` method that
+yields structured :class:`Finding` records.  Two rule families exist:
+
+* ``ontology`` rules inspect an ontology (or a not-yet-linked concept
+  set) in SOQA Ontology Meta Model terms — see
+  :mod:`repro.analysis.ontology_rules`;
+* ``query`` rules walk a parsed SOQA-QL AST against the meta-model
+  schema without executing it — see :mod:`repro.analysis.query_check`.
+
+The engine itself is family-agnostic: it filters rules through an
+:class:`AnalysisConfig` (per-rule enable/disable, minimum severity),
+runs them, sorts the findings deterministically, and renders them as
+text or schema-stable JSON for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import UnknownRuleError
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "Rule",
+    "RuleRegistry",
+    "SEVERITIES",
+    "render_json",
+    "render_text",
+    "severity_rank",
+    "sort_findings",
+]
+
+#: Recognized severities, mildest first.
+SEVERITIES = ("info", "warning", "error")
+
+#: Version of the JSON report schema emitted by :func:`render_json`.
+REPORT_SCHEMA_VERSION = 1
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (higher is worse; unknown ranks lowest)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        return -1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis result.
+
+    ``subject`` names the element the finding is about (a concept, an
+    instance, a query field); ``ontology`` the ontology it lives in (empty
+    for query findings).  ``line``/``column`` are 1-based when known and
+    ``0`` when the rule has no positional information.  ``hint`` is a
+    short fix suggestion.
+    """
+
+    severity: str
+    code: str
+    message: str
+    subject: str = ""
+    ontology: str = ""
+    line: int = 0
+    column: int = 0
+    hint: str = ""
+
+    def location(self) -> str:
+        """``"line L, column C"`` when positions are known, else ``""``."""
+        if self.line:
+            return f"line {self.line}, column {self.column}"
+        return ""
+
+    def as_dict(self) -> dict[str, object]:
+        """The finding as a plain mapping with a stable key order."""
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "ontology": self.ontology,
+            "subject": self.subject,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        where = self.subject
+        if self.ontology:
+            where = f"{self.ontology}:{self.subject}" if where \
+                else self.ontology
+        location = self.location()
+        if location:
+            where = f"{where} ({location})" if where else location
+        prefix = f"{self.severity}[{self.code}]"
+        if where:
+            return f"{prefix} {where}: {self.message}"
+        return f"{prefix} {self.message}"
+
+
+class Rule:
+    """One static-analysis rule.
+
+    Subclasses (or :meth:`RuleRegistry.rule`-decorated functions) provide
+    ``check(context)`` yielding :class:`Finding` records.  ``severity`` is
+    the default severity; individual findings may deviate (a rule may
+    e.g. downgrade a borderline case to a warning).
+    """
+
+    code: str = ""
+    severity: str = "warning"
+    family: str = ""
+    description: str = ""
+
+    def check(self, context) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, message: str, subject: str = "", ontology: str = "",
+                line: int = 0, column: int = 0, hint: str = "",
+                severity: str | None = None) -> Finding:
+        """A :class:`Finding` attributed to this rule."""
+        return Finding(severity=severity or self.severity, code=self.code,
+                       message=message, subject=subject, ontology=ontology,
+                       line=line, column=column, hint=hint)
+
+
+class _FunctionRule(Rule):
+    """Adapter turning a plain generator function into a :class:`Rule`."""
+
+    def __init__(self, code: str, severity: str, family: str,
+                 description: str,
+                 check: Callable[[Rule, object], Iterable[Finding]]):
+        self.code = code
+        self.severity = severity
+        self.family = family
+        self.description = description
+        self._check = check
+
+    def check(self, context) -> Iterable[Finding]:
+        return self._check(self, context)
+
+
+class RuleRegistry:
+    """All known rules, addressable by their stable codes."""
+
+    def __init__(self):
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        """Register ``rule`` under its code (later wins, like wrappers)."""
+        self._rules[rule.code] = rule
+        return rule
+
+    def rule(self, code: str, severity: str, family: str,
+             description: str = ""):
+        """Decorator: register a generator function as a rule.
+
+        The decorated function receives ``(rule, context)`` and yields
+        findings, typically via ``rule.finding(...)`` so code and default
+        severity stay attached to the rule declaration.
+        """
+
+        def decorate(function):
+            self.register(_FunctionRule(
+                code, severity, family,
+                description or (function.__doc__ or "").strip().split("\n")[0],
+                function))
+            return function
+
+        return decorate
+
+    def get(self, code: str) -> Rule:
+        """The rule registered under ``code``."""
+        try:
+            return self._rules[code]
+        except KeyError:
+            raise UnknownRuleError(code, sorted(self._rules)) from None
+
+    def codes(self, family: str | None = None) -> list[str]:
+        """All registered rule codes (optionally one family), sorted."""
+        return sorted(code for code, rule in self._rules.items()
+                      if family is None or rule.family == family)
+
+    def rules(self, family: str | None = None) -> list[Rule]:
+        """All registered rules (optionally one family), by code."""
+        return [self._rules[code] for code in self.codes(family)]
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._rules
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Which rules run and which findings are reported.
+
+    ``only`` restricts the run to the named codes (``None`` means all);
+    ``disabled`` switches individual codes off; ``min_severity`` drops
+    findings milder than the given severity.  Unknown codes raise
+    :class:`~repro.errors.UnknownRuleError` via :meth:`validate` so typos
+    in ``--rule``/``--disable`` fail loudly instead of silently linting
+    nothing.
+    """
+
+    only: frozenset[str] | None = None
+    disabled: frozenset[str] = field(default_factory=frozenset)
+    min_severity: str = "info"
+
+    @classmethod
+    def create(cls, only: Iterable[str] | None = None,
+               disabled: Iterable[str] = (),
+               min_severity: str = "info") -> "AnalysisConfig":
+        """Build a config from plain iterables (CLI-friendly)."""
+        return cls(only=frozenset(only) if only is not None else None,
+                   disabled=frozenset(disabled),
+                   min_severity=min_severity)
+
+    def validate(self, *registries: RuleRegistry) -> None:
+        """Raise for any configured code no given registry knows.
+
+        Callers that mix rule families (e.g. the ``sst lint`` CLI) pass
+        every registry in play, so an ontology-rule filter is legal on a
+        run that also checks queries.  :func:`run_rules` itself does not
+        validate — a config naming codes of another family must simply
+        select nothing there.
+        """
+        known: set[str] = set()
+        for registry in registries:
+            known.update(registry.codes())
+        for code in sorted(self.disabled | (self.only or frozenset())):
+            if code not in known:
+                raise UnknownRuleError(code, sorted(known))
+
+    def selects(self, rule: Rule) -> bool:
+        """True when ``rule`` should run under this config."""
+        if rule.code in self.disabled:
+            return False
+        if self.only is not None and rule.code not in self.only:
+            return False
+        return True
+
+    def reports(self, finding: Finding) -> bool:
+        """True when ``finding`` is severe enough to report."""
+        return severity_rank(finding.severity) >= \
+            severity_rank(self.min_severity)
+
+
+def run_rules(registry: RuleRegistry, family: str, context,
+              config: AnalysisConfig | None = None) -> list[Finding]:
+    """Run every selected rule of ``family`` over ``context``.
+
+    Returns the findings sorted by :func:`sort_findings`.
+    """
+    config = config if config is not None else AnalysisConfig()
+    findings: list[Finding] = []
+    for rule in registry.rules(family):
+        if not config.selects(rule):
+            continue
+        findings.extend(finding for finding in rule.check(context)
+                        if config.reports(finding))
+    return sort_findings(findings)
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic report order: errors first, then code, place, subject."""
+    return sorted(findings, key=lambda finding: (
+        -severity_rank(finding.severity), finding.code, finding.ontology,
+        finding.line, finding.column, finding.subject, finding.message))
+
+
+def gate(findings: Iterable[Finding], fail_on: str = "error") -> bool:
+    """True when any finding reaches the ``fail_on`` severity."""
+    threshold = severity_rank(fail_on)
+    return any(severity_rank(finding.severity) >= threshold
+               for finding in findings)
+
+
+def summarize(findings: Iterable[Finding]) -> dict[str, int]:
+    """Finding counts per severity plus a total."""
+    counts = {severity: 0 for severity in reversed(SEVERITIES)}
+    total = 0
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        total += 1
+    counts["total"] = total
+    return counts
+
+
+def render_text(findings: list[Finding]) -> str:
+    """The findings as one line each, plus a summary line."""
+    if not findings:
+        return "no findings"
+    lines = [str(finding) for finding in findings]
+    counts = summarize(findings)
+    parts = [f"{counts[severity]} {severity}(s)"
+             for severity in reversed(SEVERITIES) if counts.get(severity)]
+    lines.append(f"({counts['total']} findings: {', '.join(parts)})")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """The findings as a schema-stable JSON report.
+
+    The report shape is ``{"version", "findings": [...], "summary"}``
+    with the per-finding keys of :meth:`Finding.as_dict`; consumers can
+    rely on key order and on :func:`sort_findings` ordering.
+    """
+    report = {
+        "version": REPORT_SCHEMA_VERSION,
+        "findings": [finding.as_dict() for finding in findings],
+        "summary": summarize(findings),
+    }
+    return json.dumps(report, indent=2, sort_keys=False)

@@ -1,0 +1,424 @@
+"""The ontology linter: rules over SOQA Ontology Meta Model content.
+
+This module absorbs the original :mod:`repro.soqa.validate` diagnostics
+and extends them with structural rules — taxonomy cycles, dangling
+superconcept references, duplicate concept/instance names, attribute
+shadowing, relationship range violations, and untyped instances.
+
+All rules operate on an :class:`OntologyContext`, which can be built
+from a fully linked :class:`~repro.soqa.metamodel.Ontology` *or* from a
+raw concept list (:func:`lint_concepts`).  The latter matters because
+:class:`Ontology` construction rejects cycles, dangling superconcepts
+and duplicate names outright — the linter reports them as findings
+instead of exceptions, which is what editor tooling and ``sst lint``
+need when inspecting ontologies that do not load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.engine import (
+    AnalysisConfig,
+    Finding,
+    RuleRegistry,
+    run_rules,
+)
+from repro.soqa.metamodel import Concept, Ontology, Relationship
+
+__all__ = [
+    "ONTOLOGY_RULES",
+    "OntologyContext",
+    "lint_concepts",
+    "lint_ontology",
+]
+
+#: Registry of all ontology-family rules.
+ONTOLOGY_RULES = RuleRegistry()
+
+#: Literal datatypes a relationship may legitimately name instead of a
+#: concept (mirrors the wrappers' vocabulary across all seven languages).
+LITERAL_TYPES = frozenset({
+    "string", "number", "integer", "float", "real", "boolean", "date",
+    "truth", "symbol", "thing", "literal",
+})
+
+
+@dataclass
+class OntologyContext:
+    """What ontology rules see: a named, possibly unlinked concept set."""
+
+    name: str
+    concepts: list[Concept]
+    ontology: Ontology | None = None
+
+    def __post_init__(self):
+        self.by_name: dict[str, Concept] = {}
+        for concept in self.concepts:
+            self.by_name.setdefault(concept.name, concept)
+
+    def __contains__(self, concept_name: str) -> bool:
+        return concept_name in self.by_name
+
+    def ancestors(self, concept_name: str) -> list[Concept]:
+        """All reachable superconcepts, cycle-safe, nearest first."""
+        seen: set[str] = {concept_name}
+        order: list[Concept] = []
+        frontier = [concept_name]
+        while frontier:
+            next_frontier: list[str] = []
+            for current in frontier:
+                concept = self.by_name.get(current)
+                if concept is None:
+                    continue
+                for super_name in concept.superconcept_names:
+                    if super_name not in seen:
+                        seen.add(super_name)
+                        parent = self.by_name.get(super_name)
+                        if parent is not None:
+                            order.append(parent)
+                            next_frontier.append(super_name)
+            frontier = next_frontier
+        return order
+
+    def find_relationship(self, concept_name: str,
+                          relationship_name: str) -> Relationship | None:
+        """The relationship declaration visible from ``concept_name``.
+
+        Looks on the concept itself, then on its ancestors, then anywhere
+        in the ontology (several wrappers attach relationships to the
+        domain concept only).
+        """
+        concept = self.by_name.get(concept_name)
+        candidates = ([concept] if concept is not None else []) \
+            + self.ancestors(concept_name)
+        for candidate in candidates:
+            for relationship in candidate.relationships:
+                if relationship.name == relationship_name:
+                    return relationship
+        for candidate in self.concepts:
+            for relationship in candidate.relationships:
+                if relationship.name == relationship_name:
+                    return relationship
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Structural rules (fire on unlinked concept sets; a linked Ontology has
+# already rejected these at construction time)
+# ---------------------------------------------------------------------------
+
+
+@ONTOLOGY_RULES.rule("taxonomy-cycle", "error", "ontology")
+def _taxonomy_cycle(rule, context: OntologyContext):
+    """The is-a graph contains a cycle, so taxonomic measures diverge."""
+    state: dict[str, int] = {}  # 0 unseen, 1 visiting, 2 done
+    reported: set[frozenset] = set()
+
+    def visit(name: str, trail: list[str]):
+        mark = state.get(name, 0)
+        if mark == 2:
+            return
+        if mark == 1:
+            start = trail.index(name)
+            members = frozenset(trail[start:])
+            if members not in reported:
+                reported.add(members)
+                cycle = " -> ".join(trail[start:] + [name])
+                yield rule.finding(
+                    f"is-a cycle detected: {cycle}", subject=name,
+                    ontology=context.name,
+                    hint="break the cycle by removing one superconcept "
+                         "edge")
+            return
+        state[name] = 1
+        concept = context.by_name.get(name)
+        if concept is not None:
+            for super_name in concept.superconcept_names:
+                if super_name in context.by_name:
+                    yield from visit(super_name, trail + [name])
+        state[name] = 2
+
+    for concept in context.concepts:
+        yield from visit(concept.name, [])
+
+
+@ONTOLOGY_RULES.rule("dangling-superconcept", "error", "ontology")
+def _dangling_superconcept(rule, context: OntologyContext):
+    """A concept names a superconcept the ontology does not define."""
+    for concept in context.concepts:
+        for super_name in concept.superconcept_names:
+            if super_name not in context.by_name:
+                yield rule.finding(
+                    f"superconcept {super_name!r} is not defined",
+                    subject=concept.name, ontology=context.name,
+                    hint="define the superconcept or drop the is-a edge")
+
+
+@ONTOLOGY_RULES.rule("duplicate-concept", "error", "ontology")
+def _duplicate_concept(rule, context: OntologyContext):
+    """Two concepts share a name (or differ only in case: warning)."""
+    seen: dict[str, str] = {}
+    for concept in context.concepts:
+        folded = concept.name.lower()
+        previous = seen.get(folded)
+        if previous is None:
+            seen[folded] = concept.name
+        elif previous == concept.name:
+            yield rule.finding(
+                f"concept {concept.name!r} is defined more than once",
+                subject=concept.name, ontology=context.name,
+                hint="merge or rename one of the definitions")
+        else:
+            yield rule.finding(
+                f"concept {concept.name!r} collides with {previous!r} "
+                "up to case; cross-language matching is case-sensitive",
+                subject=concept.name, ontology=context.name,
+                severity="warning",
+                hint="align the spelling of both concept names")
+
+
+# ---------------------------------------------------------------------------
+# Content rules (absorbed from repro.soqa.validate)
+# ---------------------------------------------------------------------------
+
+
+@ONTOLOGY_RULES.rule("no-documentation", "warning", "ontology")
+def _no_documentation(rule, context: OntologyContext):
+    """A concept has no documentation, starving text-based measures."""
+    for concept in context.concepts:
+        if not concept.documentation:
+            yield rule.finding(
+                "concept has no documentation; text-based measures see "
+                "only structural tokens",
+                subject=concept.name, ontology=context.name,
+                hint="add a documentation string to the concept")
+
+
+@ONTOLOGY_RULES.rule("isolated-concept", "warning", "ontology")
+def _isolated_concept(rule, context: OntologyContext):
+    """A concept has no taxonomy links in a multi-root ontology."""
+    roots = [concept for concept in context.concepts
+             if not concept.superconcept_names]
+    if len(roots) <= 1:
+        return
+    linked: set[str] = set()
+    for concept in context.concepts:
+        for super_name in concept.superconcept_names:
+            linked.add(concept.name)
+            linked.add(super_name)
+    for concept in context.concepts:
+        if concept.name not in linked:
+            yield rule.finding(
+                "concept has neither super- nor subconcepts; distance "
+                "measures only reach it through the unified root",
+                subject=concept.name, ontology=context.name,
+                hint="attach the concept to the taxonomy")
+
+
+@ONTOLOGY_RULES.rule("dangling-equivalent", "warning", "ontology")
+def _dangling_equivalent(rule, context: OntologyContext):
+    """An equivalent-concept reference is not defined locally."""
+    for concept in context.concepts:
+        for equivalent in concept.equivalent_concept_names:
+            if equivalent not in context.by_name:
+                yield rule.finding(
+                    f"equivalent concept {equivalent!r} is not defined "
+                    "in this ontology (may be cross-ontology)",
+                    subject=concept.name, ontology=context.name,
+                    hint="define the concept or qualify the reference "
+                         "with its ontology")
+
+
+@ONTOLOGY_RULES.rule("dangling-antonym", "warning", "ontology")
+def _dangling_antonym(rule, context: OntologyContext):
+    """An antonym-concept reference is not defined locally."""
+    for concept in context.concepts:
+        for antonym in concept.antonym_concept_names:
+            if antonym not in context.by_name:
+                yield rule.finding(
+                    f"antonym concept {antonym!r} is not defined in "
+                    "this ontology",
+                    subject=concept.name, ontology=context.name,
+                    hint="define the antonym concept or drop the link")
+
+
+@ONTOLOGY_RULES.rule("unknown-related-concept", "error", "ontology")
+def _unknown_related_concept(rule, context: OntologyContext):
+    """A relationship relates a concept the ontology does not define."""
+    for concept in context.concepts:
+        for relationship in concept.relationships:
+            for related in relationship.related_concept_names:
+                if related in context.by_name:
+                    continue
+                if related.lower() in LITERAL_TYPES:
+                    continue
+                yield rule.finding(
+                    f"relationship {relationship.name!r} relates unknown "
+                    f"concept {related!r}",
+                    subject=concept.name, ontology=context.name,
+                    hint="define the related concept or use a literal "
+                         "datatype")
+
+
+@ONTOLOGY_RULES.rule("duplicate-instance", "error", "ontology")
+def _duplicate_instance(rule, context: OntologyContext):
+    """Two concepts define an instance of the same name."""
+    owners: dict[str, str] = {}
+    for concept in context.concepts:
+        for instance in concept.instances:
+            previous = owners.get(instance.name)
+            if previous is not None:
+                yield rule.finding(
+                    f"instance {instance.name!r} already defined for "
+                    f"concept {previous!r}",
+                    subject=concept.name, ontology=context.name,
+                    hint="rename one instance; instance names must be "
+                         "unique per ontology")
+            else:
+                owners[instance.name] = concept.name
+
+
+@ONTOLOGY_RULES.rule("dangling-instance-target", "warning", "ontology")
+def _dangling_instance_target(rule, context: OntologyContext):
+    """An instance relationship points at an unknown individual."""
+    individuals = {instance.name for concept in context.concepts
+                   for instance in concept.instances}
+    for concept in context.concepts:
+        for instance in concept.instances:
+            for targets in instance.relationship_targets.values():
+                for target in targets:
+                    if target not in individuals:
+                        yield rule.finding(
+                            f"instance {instance.name!r} references "
+                            f"unknown individual {target!r}",
+                            subject=concept.name, ontology=context.name,
+                            hint="define the target individual")
+
+
+# ---------------------------------------------------------------------------
+# New content rules
+# ---------------------------------------------------------------------------
+
+
+@ONTOLOGY_RULES.rule("attribute-shadowing", "warning", "ontology")
+def _attribute_shadowing(rule, context: OntologyContext):
+    """A concept re-declares an attribute of one of its superconcepts."""
+    for concept in context.concepts:
+        own = set(concept.attribute_names())
+        if not own:
+            continue
+        for ancestor in context.ancestors(concept.name):
+            shadowed = own.intersection(ancestor.attribute_names())
+            for attribute_name in sorted(shadowed):
+                yield rule.finding(
+                    f"attribute {attribute_name!r} shadows the "
+                    f"declaration inherited from {ancestor.name!r}",
+                    subject=concept.name, ontology=context.name,
+                    hint="declare the attribute once on the "
+                         "superconcept, or rename the specialization")
+            own -= shadowed
+
+
+@ONTOLOGY_RULES.rule("relationship-range-violation", "error", "ontology")
+def _relationship_range_violation(rule, context: OntologyContext):
+    """An instance relationship target falls outside the declared range."""
+    concept_of = {instance.name: instance.concept_name
+                  for concept in context.concepts
+                  for instance in concept.instances}
+    for concept in context.concepts:
+        for instance in concept.instances:
+            for name, targets in instance.relationship_targets.items():
+                declaration = context.find_relationship(
+                    instance.concept_name, name)
+                if declaration is None or declaration.arity < 2:
+                    continue
+                range_name = declaration.related_concept_names[-1]
+                if range_name not in context.by_name:
+                    continue  # literal or foreign range: nothing to check
+                allowed = {range_name}
+                allowed.update(
+                    sub.name for sub in _descendants(context, range_name))
+                for target in targets:
+                    target_concept = concept_of.get(target)
+                    if target_concept is None:
+                        continue  # dangling-instance-target covers this
+                    if target_concept in allowed:
+                        continue
+                    if range_name in {ancestor.name for ancestor in
+                                      context.ancestors(target_concept)}:
+                        continue
+                    yield rule.finding(
+                        f"instance {instance.name!r} relates {target!r} "
+                        f"via {name!r}, but {target!r} is a "
+                        f"{target_concept!r}, not a {range_name!r}",
+                        subject=concept.name, ontology=context.name,
+                        hint=f"retype {target!r} or widen the range of "
+                             f"{name!r}")
+
+
+@ONTOLOGY_RULES.rule("untyped-instance", "error", "ontology")
+def _untyped_instance(rule, context: OntologyContext):
+    """An instance's concept is empty or not defined in the ontology."""
+    for concept in context.concepts:
+        for instance in concept.instances:
+            if not instance.concept_name:
+                yield rule.finding(
+                    f"instance {instance.name!r} has no concept",
+                    subject=concept.name, ontology=context.name,
+                    hint="assign the instance to a defined concept")
+            elif instance.concept_name not in context.by_name:
+                yield rule.finding(
+                    f"instance {instance.name!r} is typed as undefined "
+                    f"concept {instance.concept_name!r}",
+                    subject=concept.name, ontology=context.name,
+                    hint="define the concept or fix the instance type")
+
+
+def _descendants(context: OntologyContext, name: str) -> list[Concept]:
+    """All concepts below ``name``, cycle-safe (contexts may be unlinked)."""
+    children: dict[str, list[Concept]] = {}
+    for concept in context.concepts:
+        for super_name in concept.superconcept_names:
+            children.setdefault(super_name, []).append(concept)
+    seen: set[str] = {name}
+    order: list[Concept] = []
+    frontier = [name]
+    while frontier:
+        next_frontier: list[str] = []
+        for current in frontier:
+            for child in children.get(current, ()):
+                if child.name not in seen:
+                    seen.add(child.name)
+                    order.append(child)
+                    next_frontier.append(child.name)
+        frontier = next_frontier
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_ontology(ontology: Ontology,
+                  config: AnalysisConfig | None = None,
+                  registry: RuleRegistry | None = None) -> list[Finding]:
+    """All findings for a loaded ontology, errors first."""
+    context = OntologyContext(name=ontology.name,
+                              concepts=ontology.concepts(),
+                              ontology=ontology)
+    return run_rules(registry or ONTOLOGY_RULES, "ontology", context, config)
+
+
+def lint_concepts(concepts: list[Concept], name: str = "",
+                  config: AnalysisConfig | None = None,
+                  registry: RuleRegistry | None = None) -> list[Finding]:
+    """All findings for a raw (possibly unlinkable) concept set.
+
+    Unlike :class:`~repro.soqa.metamodel.Ontology` construction, this
+    never raises on structural problems — cycles, dangling superconcepts
+    and duplicate names come back as findings.
+    """
+    context = OntologyContext(name=name, concepts=list(concepts))
+    return run_rules(registry or ONTOLOGY_RULES, "ontology", context, config)

@@ -1,0 +1,489 @@
+"""Static analysis of SOQA-QL queries (no execution).
+
+The checker walks a parsed query AST against the schema the evaluator's
+row producers expose and flags problems before any row is materialized:
+unknown SELECT/WHERE/ORDER BY fields, comparisons whose literal type
+cannot match the column, predicates that are provably always false or
+always true, and references to ontologies or concepts that are not
+loaded.  Findings reuse the lexer's token positions, so every finding
+carries the query line and column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.engine import (
+    AnalysisConfig,
+    Finding,
+    RuleRegistry,
+    run_rules,
+)
+from repro.errors import SOQAQLSyntaxError
+from repro.soqa.soqaql.ast import (
+    Comparison,
+    DescribeQuery,
+    LogicalOp,
+    NotOp,
+    OrderSpec,
+    SelectQuery,
+)
+from repro.soqa.soqaql.parser import parse_query
+
+__all__ = ["QUERY_RULES", "QueryContext", "SOURCE_SCHEMAS", "check_query"]
+
+#: Registry of all query-family rules.
+QUERY_RULES = RuleRegistry()
+
+#: Column name -> column type, per FROM source; mirrors the row layouts
+#: of :class:`repro.soqa.soqaql.evaluator.SOQAQLEngine` exactly.
+SOURCE_SCHEMAS: dict[str, dict[str, str]] = {
+    "ontologies": {
+        "name": "string", "language": "string", "author": "string",
+        "last_modified": "string", "documentation": "string",
+        "version": "string", "copyright": "string", "uri": "string",
+        "concept_count": "number", "instance_count": "number",
+    },
+    "concepts": {
+        "name": "string", "ontology": "string",
+        "documentation": "string", "definition": "string",
+        "superconcepts": "list", "subconcepts": "list",
+        "equivalent": "list", "antonyms": "list",
+        "attribute_count": "number", "method_count": "number",
+        "relationship_count": "number", "instance_count": "number",
+        "is_root": "boolean", "is_leaf": "boolean",
+    },
+    "attributes": {
+        "name": "string", "ontology": "string", "concept": "string",
+        "datatype": "string", "documentation": "string",
+        "definition": "string",
+    },
+    "methods": {
+        "name": "string", "ontology": "string", "concept": "string",
+        "arity": "number", "return_type": "string",
+        "documentation": "string",
+    },
+    "relationships": {
+        "name": "string", "ontology": "string", "concept": "string",
+        "arity": "number", "related": "list", "documentation": "string",
+    },
+    "instances": {
+        "name": "string", "ontology": "string", "concept": "string",
+        "attribute_values": "map", "documentation": "string",
+    },
+}
+
+#: Literals the evaluator accepts for boolean columns (truthy spellings
+#: first; everything else compares as False).
+_BOOLEAN_TOKENS = frozenset({"true", "false", "1", "0", "1.0", "0.0",
+                             "yes", "no"})
+
+_ORDERING_OPS = frozenset({"<", "<=", ">", ">="})
+
+
+@dataclass
+class QueryContext:
+    """What query rules see: the AST plus the loaded-ontology catalog."""
+
+    query: object
+    text: str = ""
+    catalog: tuple[str, ...] | None = None  # loaded ontology names
+    soqa: object | None = None              # SOQA facade, when available
+
+    def schema(self) -> dict[str, str] | None:
+        """The column schema of the query's FROM source, if any."""
+        if isinstance(self.query, SelectQuery):
+            return SOURCE_SCHEMAS.get(self.query.source)
+        return None
+
+    def comparisons(self):
+        """Every :class:`Comparison` in the WHERE clause, in query order."""
+        if isinstance(self.query, SelectQuery):
+            yield from _walk_comparisons(self.query.where)
+
+    def conjunctions(self):
+        """Comparison groups that must hold simultaneously.
+
+        Each group is a list of comparisons joined purely by AND (no OR
+        or NOT in between) — the scope in which contradictory predicates
+        make the whole branch unsatisfiable.
+        """
+        if isinstance(self.query, SelectQuery):
+            yield from _walk_conjunctions(self.query.where)
+
+    def disjunctions(self):
+        """Comparison groups joined purely by OR."""
+        if isinstance(self.query, SelectQuery):
+            yield from _walk_disjunctions(self.query.where)
+
+
+def _walk_comparisons(node):
+    if node is None:
+        return
+    if isinstance(node, Comparison):
+        yield node
+    elif isinstance(node, LogicalOp):
+        yield from _walk_comparisons(node.left)
+        yield from _walk_comparisons(node.right)
+    elif isinstance(node, NotOp):
+        yield from _walk_comparisons(node.operand)
+
+
+def _walk_conjunctions(node):
+    """Maximal AND-only comparison groups anywhere in the condition."""
+    if node is None:
+        return
+    if isinstance(node, LogicalOp) and node.op == "and":
+        group: list[Comparison] = []
+        others: list[object] = []
+        _flatten_and(node, group, others)
+        if len(group) > 1:
+            yield group
+        for other in others:
+            yield from _walk_conjunctions(other)
+    elif isinstance(node, LogicalOp):
+        yield from _walk_conjunctions(node.left)
+        yield from _walk_conjunctions(node.right)
+    elif isinstance(node, NotOp):
+        yield from _walk_conjunctions(node.operand)
+
+
+def _flatten_and(node, group: list, others: list) -> None:
+    if isinstance(node, LogicalOp) and node.op == "and":
+        _flatten_and(node.left, group, others)
+        _flatten_and(node.right, group, others)
+    elif isinstance(node, Comparison):
+        group.append(node)
+    else:
+        others.append(node)
+
+
+def _walk_disjunctions(node):
+    """Maximal OR-only comparison groups anywhere in the condition."""
+    if node is None:
+        return
+    if isinstance(node, LogicalOp) and node.op == "or":
+        group: list[Comparison] = []
+        others: list[object] = []
+        _flatten_or(node, group, others)
+        if len(group) > 1:
+            yield group
+        for other in others:
+            yield from _walk_disjunctions(other)
+    elif isinstance(node, LogicalOp):
+        yield from _walk_disjunctions(node.left)
+        yield from _walk_disjunctions(node.right)
+    elif isinstance(node, NotOp):
+        yield from _walk_disjunctions(node.operand)
+
+
+def _flatten_or(node, group: list, others: list) -> None:
+    if isinstance(node, LogicalOp) and node.op == "or":
+        _flatten_or(node.left, group, others)
+        _flatten_or(node.right, group, others)
+    elif isinstance(node, Comparison):
+        group.append(node)
+    else:
+        others.append(node)
+
+
+def _as_number(value) -> float | None:
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value))
+    except ValueError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Field existence
+# ---------------------------------------------------------------------------
+
+
+def _available(schema: dict[str, str]) -> str:
+    return ", ".join(sorted(schema))
+
+
+@QUERY_RULES.rule("unknown-select-field", "error", "query")
+def _unknown_select_field(rule, context: QueryContext):
+    """A SELECT field does not exist for the FROM source."""
+    query = context.query
+    schema = context.schema()
+    if schema is None or not isinstance(query, SelectQuery) or query.count:
+        return
+    if query.fields == ("*",):
+        return
+    spans = query.field_spans or ((0, 0),) * len(query.fields)
+    for name, span in zip(query.fields, spans):
+        if name not in schema:
+            yield rule.finding(
+                f"source {query.source!r} has no field {name!r}; "
+                f"available: {_available(schema)}",
+                subject=name, line=span[0], column=span[1],
+                hint="pick one of the listed fields or SELECT *")
+
+
+@QUERY_RULES.rule("unknown-where-field", "error", "query")
+def _unknown_where_field(rule, context: QueryContext):
+    """A WHERE predicate tests a field the FROM source does not have."""
+    schema = context.schema()
+    if schema is None:
+        return
+    source = context.query.source
+    for comparison in context.comparisons():
+        if comparison.field not in schema:
+            yield rule.finding(
+                f"source {source!r} has no field {comparison.field!r}; "
+                f"available: {_available(schema)}",
+                subject=comparison.field,
+                line=comparison.span[0], column=comparison.span[1],
+                hint="predicates can only use the source's fields")
+
+
+@QUERY_RULES.rule("unknown-order-field", "error", "query")
+def _unknown_order_field(rule, context: QueryContext):
+    """An ORDER BY field does not exist for the FROM source."""
+    schema = context.schema()
+    if schema is None or not isinstance(context.query, SelectQuery):
+        return
+    for spec in context.query.order_by:
+        if spec.field not in schema:
+            yield rule.finding(
+                f"source {context.query.source!r} has no field "
+                f"{spec.field!r}; available: {_available(schema)}",
+                subject=spec.field, line=spec.span[0], column=spec.span[1],
+                hint="order by one of the source's fields")
+
+
+# ---------------------------------------------------------------------------
+# Type discipline
+# ---------------------------------------------------------------------------
+
+
+@QUERY_RULES.rule("type-mismatch", "error", "query")
+def _type_mismatch(rule, context: QueryContext):
+    """A comparison's literal type cannot match the column type."""
+    schema = context.schema()
+    if schema is None:
+        return
+    for comparison in context.comparisons():
+        column_type = schema.get(comparison.field)
+        if column_type is None:
+            continue  # unknown-where-field already fired
+        literal = comparison.value.value
+        line, column = comparison.span
+        if column_type == "number":
+            if comparison.op in ("like", "contains"):
+                continue  # evaluator stringifies; legal if unusual
+            if _as_number(literal) is None:
+                yield rule.finding(
+                    f"numeric field {comparison.field!r} compared with "
+                    f"non-numeric literal {literal!r}",
+                    subject=comparison.field, line=line, column=column,
+                    hint="compare numeric fields with numbers")
+        elif column_type in ("string", "list", "map"):
+            if comparison.op in _ORDERING_OPS \
+                    and isinstance(literal, float):
+                yield rule.finding(
+                    f"{column_type} field {comparison.field!r} has no "
+                    f"numeric order; comparing it with "
+                    f"{comparison.op} {literal!r} mixes types",
+                    subject=comparison.field, line=line, column=column,
+                    hint="quote the literal to compare lexicographically")
+
+
+# ---------------------------------------------------------------------------
+# Degenerate predicates
+# ---------------------------------------------------------------------------
+
+
+def _equality_value(comparison: Comparison):
+    """Canonical literal of an ``=`` comparison (case-folded strings)."""
+    value = comparison.value.value
+    if isinstance(value, str):
+        return value.lower()
+    return value
+
+
+@QUERY_RULES.rule("always-false", "warning", "query")
+def _always_false(rule, context: QueryContext):
+    """A predicate can never hold, so the query returns no rows."""
+    schema = context.schema() or {}
+    # Boolean column compared with a literal no spelling of true/false
+    # matches: the evaluator folds the literal to False, so ``= literal``
+    # only matches rows where the flag is False — but e.g. ``= 'maybe'``
+    # intends a value that cannot exist.
+    for comparison in context.comparisons():
+        if schema.get(comparison.field) == "boolean" \
+                and comparison.op in ("=", "!="):
+            token = str(comparison.value.value).lower()
+            if token not in _BOOLEAN_TOKENS:
+                yield rule.finding(
+                    f"boolean field {comparison.field!r} compared with "
+                    f"{comparison.value.value!r}, which no row can carry",
+                    subject=comparison.field,
+                    line=comparison.span[0], column=comparison.span[1],
+                    hint="use true or false")
+    for group in context.conjunctions():
+        # Two different equality constants on the same field.
+        equalities: dict[str, Comparison] = {}
+        for comparison in group:
+            if comparison.op != "=":
+                continue
+            previous = equalities.get(comparison.field)
+            if previous is None:
+                equalities[comparison.field] = comparison
+            elif _equality_value(previous) != _equality_value(comparison):
+                yield rule.finding(
+                    f"field {comparison.field!r} cannot equal both "
+                    f"{previous.value.value!r} and "
+                    f"{comparison.value.value!r}",
+                    subject=comparison.field,
+                    line=comparison.span[0], column=comparison.span[1],
+                    hint="one of the two equality predicates is dead")
+        # Empty numeric interval: field < a AND field > b with a <= b.
+        uppers: dict[str, tuple[float, Comparison]] = {}
+        lowers: dict[str, tuple[float, Comparison]] = {}
+        for comparison in group:
+            bound = _as_number(comparison.value.value)
+            if bound is None:
+                continue
+            if comparison.op in ("<", "<="):
+                current = uppers.get(comparison.field)
+                if current is None or bound < current[0]:
+                    uppers[comparison.field] = (bound, comparison)
+            elif comparison.op in (">", ">="):
+                current = lowers.get(comparison.field)
+                if current is None or bound > current[0]:
+                    lowers[comparison.field] = (bound, comparison)
+        for field_name, (upper, comparison) in uppers.items():
+            lower_entry = lowers.get(field_name)
+            if lower_entry is None:
+                continue
+            lower, lower_cmp = lower_entry
+            strict = "<" in comparison.op and comparison.op != "<=" \
+                or ">" in lower_cmp.op and lower_cmp.op != ">="
+            if upper < lower or (upper == lower and strict):
+                yield rule.finding(
+                    f"field {field_name!r} is required to be below "
+                    f"{upper!r} and above {lower!r} at once",
+                    subject=field_name,
+                    line=comparison.span[0], column=comparison.span[1],
+                    hint="the numeric interval is empty")
+
+
+@QUERY_RULES.rule("always-true", "warning", "query")
+def _always_true(rule, context: QueryContext):
+    """A predicate holds for every row, so the WHERE clause is dead."""
+    for group in context.disjunctions():
+        inequalities: dict[str, Comparison] = {}
+        for comparison in group:
+            if comparison.op != "!=":
+                continue
+            previous = inequalities.get(comparison.field)
+            if previous is None:
+                inequalities[comparison.field] = comparison
+            elif _equality_value(previous) != _equality_value(comparison):
+                yield rule.finding(
+                    f"field {comparison.field!r} always differs from "
+                    f"{previous.value.value!r} or "
+                    f"{comparison.value.value!r}; the OR is always true",
+                    subject=comparison.field,
+                    line=comparison.span[0], column=comparison.span[1],
+                    hint="drop the predicate or use AND")
+
+
+# ---------------------------------------------------------------------------
+# Catalog references
+# ---------------------------------------------------------------------------
+
+
+@QUERY_RULES.rule("unknown-ontology", "error", "query")
+def _unknown_ontology(rule, context: QueryContext):
+    """The query names an ontology that is not loaded."""
+    if context.catalog is None:
+        return
+    query = context.query
+    name = getattr(query, "ontology", None)
+    if name is not None and name not in context.catalog:
+        span = getattr(query, "ontology_span", (0, 0))
+        loaded = ", ".join(context.catalog) or "none"
+        yield rule.finding(
+            f"ontology {name!r} is not loaded; loaded: {loaded}",
+            subject=name, line=span[0], column=span[1],
+            hint="load the ontology first or fix the name")
+
+
+@QUERY_RULES.rule("unknown-concept", "error", "query")
+def _unknown_concept(rule, context: QueryContext):
+    """DESCRIBE CONCEPT names a concept no loaded ontology defines."""
+    query = context.query
+    if not isinstance(query, DescribeQuery) or context.soqa is None:
+        return
+    name = query.concept_name
+    line, column = query.concept_span
+    if query.ontology is not None:
+        if context.catalog is not None \
+                and query.ontology not in context.catalog:
+            return  # unknown-ontology already fired
+        ontology = context.soqa.ontology(query.ontology)
+        if name not in ontology:
+            yield rule.finding(
+                f"concept {name!r} is not defined in ontology "
+                f"{query.ontology!r}",
+                subject=name, line=line, column=column,
+                hint="check the concept name spelling")
+    elif not context.soqa.find_concepts(name):
+        yield rule.finding(
+            f"concept {name!r} is not defined in any loaded ontology",
+            subject=name, line=line, column=column,
+            hint="check the concept name spelling")
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+@QUERY_RULES.rule("syntax-error", "error", "query")
+def _syntax_error(rule, context: QueryContext):
+    """The query does not tokenize or parse.
+
+    Registered for discoverability (``sst lint --list-rules``) and so the
+    code participates in ``--rule``/``--disable`` filtering; the actual
+    finding is emitted by :func:`check_query` before any AST exists.
+    """
+    return ()
+
+
+def check_query(query, soqa=None,
+                config: AnalysisConfig | None = None,
+                registry: RuleRegistry | None = None) -> list[Finding]:
+    """Statically check a SOQA-QL query without executing it.
+
+    ``query`` is the query text or an already parsed AST.  With a SOQA
+    facade given, references to unloaded ontologies and unknown concepts
+    are flagged too.  Unparseable text yields a single ``syntax-error``
+    finding instead of raising, so ``sst lint`` can report it uniformly.
+    """
+    registry = registry or QUERY_RULES
+    text = ""
+    if isinstance(query, str):
+        text = query
+        try:
+            query = parse_query(query)
+        except SOQAQLSyntaxError as error:
+            syntax_rule = registry.get("syntax-error") \
+                if "syntax-error" in registry else None
+            if syntax_rule is not None and config is not None \
+                    and not config.selects(syntax_rule):
+                return []
+            return [Finding(
+                severity="error", code="syntax-error", message=str(error),
+                subject="", line=error.line or 0, column=error.column or 0,
+                hint="fix the query syntax before analysis can continue")]
+    catalog = tuple(soqa.ontology_names()) if soqa is not None else None
+    context = QueryContext(query=query, text=text, catalog=catalog,
+                           soqa=soqa)
+    return run_rules(registry, "query", context, config)

@@ -12,6 +12,8 @@ Subcommands map onto the facade services:
     sst chart base1_0_daml Professor -k 10 -o /tmp/charts
     sst table1                          # reprint the paper's Table 1
     sst query "SELECT name FROM concepts WHERE is_root = true LIMIT 5"
+    sst lint                            # static analysis of all ontologies
+    sst lint --soqaql "SELECT nam FROM concepts" --format json
     sst browse                          # interactive SST Browser
     sst shell                           # interactive SOQA-QL shell
 
@@ -115,6 +117,33 @@ def build_parser() -> argparse.ArgumentParser:
     validate = subparsers.add_parser(
         "validate", help="quality diagnostics for one ontology")
     validate.add_argument("ontology")
+    validate.add_argument("--format", choices=("text", "json"),
+                          default="text", dest="output_format")
+
+    lint = subparsers.add_parser(
+        "lint", help="static analysis of ontologies and SOQA-QL queries")
+    lint.add_argument(
+        "ontologies", nargs="*", metavar="ONTOLOGY",
+        help="ontologies to lint (default: all loaded)")
+    lint.add_argument(
+        "--soqaql", action="append", default=[], metavar="QUERY",
+        help="also statically check this SOQA-QL query (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", dest="output_format")
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning"), default="error",
+        dest="fail_on",
+        help="exit non-zero when findings of this severity (or worse) "
+             "exist (default: error)")
+    lint.add_argument(
+        "--rule", action="append", default=None, metavar="CODE",
+        dest="rules", help="run only this rule (repeatable)")
+    lint.add_argument(
+        "--disable", action="append", default=[], metavar="CODE",
+        help="disable this rule (repeatable)")
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list all rule codes and exit")
 
     export = subparsers.add_parser(
         "export", help="export an ontology to SOQA meta-model JSON")
@@ -158,8 +187,10 @@ def _split_subtree(value: str | None) -> tuple[str | None, str | None]:
 
 
 def _run(arguments: argparse.Namespace) -> int:
-    sst = _load_toolkit(arguments.ontology_files)
     command = arguments.command
+    if command == "lint" and arguments.list_rules:
+        return _print_rule_list()
+    sst = _load_toolkit(arguments.ontology_files)
     if command == "ontologies":
         rows = [[name, sst.soqa.ontology(name).language,
                  str(len(sst.soqa.ontology(name)))]
@@ -203,6 +234,13 @@ def _run(arguments: argparse.Namespace) -> int:
                 for info in sst.available_measures()]
         print(render_table(["id", "measure", "[0,1]", "description"], rows))
     elif command == "query":
+        findings = sst.soqa.check_query(arguments.soqaql)
+        errors = [finding for finding in findings
+                  if finding.severity == "error"]
+        for finding in findings:
+            print(str(finding), file=sys.stderr)
+        if errors:
+            return 1
         result = SOQAQLEngine(sst.soqa).execute(arguments.soqaql)
         print(result.to_text())
         print(f"({len(result)} rows)")
@@ -236,16 +274,19 @@ def _run(arguments: argparse.Namespace) -> int:
                 for statistics in corpus_statistics(sst.soqa)]
         print(render_table(OntologyStatistics.header(), rows))
     elif command == "validate":
-        from repro.soqa.validate import validate_ontology
+        from repro.analysis import render_json
 
-        diagnostics = validate_ontology(
-            sst.soqa.ontology(arguments.ontology))
-        if diagnostics:
-            for diagnostic in diagnostics:
-                print(diagnostic)
-            print(f"({len(diagnostics)} findings)")
+        findings = sst.lint_ontology(arguments.ontology)
+        if arguments.output_format == "json":
+            print(render_json(findings))
+        elif findings:
+            for finding in findings:
+                print(finding)
+            print(f"({len(findings)} findings)")
         else:
             print("no findings")
+        if any(finding.severity == "error" for finding in findings):
+            return 1
     elif command == "export":
         from pathlib import Path
 
@@ -271,11 +312,54 @@ def _run(arguments: argparse.Namespace) -> int:
             arguments.new_file).load(arguments.new_file)
         result = diff_ontologies(old_ontology, new_ontology)
         print(result.to_text())
+    elif command == "lint":
+        return _run_lint(sst, arguments)
     elif command == "browse":  # pragma: no cover - interactive
         run_browser(sst)
     elif command == "shell":  # pragma: no cover - interactive
         run_shell(sst.soqa)
     return 0
+
+
+def _print_rule_list() -> int:
+    """The ``sst lint --list-rules`` table."""
+    from repro.analysis import all_rules
+
+    rows = [[rule.code, rule.family, rule.severity, rule.description]
+            for rule in all_rules()]
+    print(render_table(["code", "family", "severity", "description"], rows))
+    return 0
+
+
+def _run_lint(sst: SOQASimPackToolkit, arguments: argparse.Namespace) -> int:
+    """The ``sst lint`` subcommand: ontologies and/or SOQA-QL queries."""
+    from repro.analysis import (
+        ONTOLOGY_RULES,
+        QUERY_RULES,
+        AnalysisConfig,
+        gate,
+        render_json,
+        render_text,
+        sort_findings,
+    )
+
+    config = AnalysisConfig.create(only=arguments.rules,
+                                   disabled=arguments.disable)
+    config.validate(ONTOLOGY_RULES, QUERY_RULES)
+    findings = []
+    ontology_names = list(arguments.ontologies)
+    if not ontology_names and not arguments.soqaql:
+        ontology_names = sst.ontology_names()  # lint everything loaded
+    for name in ontology_names:
+        findings.extend(sst.lint_ontology(name, config=config))
+    for query_text in arguments.soqaql:
+        findings.extend(sst.check_query(query_text, config=config))
+    findings = sort_findings(findings)
+    if arguments.output_format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if gate(findings, arguments.fail_on) else 0
 
 
 #: The comparison rows of the paper's Table 1.

@@ -205,6 +205,25 @@ class SOQASimPackToolkit:
         return run_shell(self.soqa, lines=list(lines) if lines is not None
                          else None, stdout=stdout)
 
+    # -- static analysis services ----------------------------------------------------------
+
+    def lint_ontology(self, ontology_name: str, config=None) -> list:
+        """Findings of the static ontology linter for one ontology.
+
+        Returns :class:`repro.analysis.Finding` records; see
+        ``sst lint`` for the command-line view.
+        """
+        return self.soqa.lint_ontology(ontology_name, config=config)
+
+    def lint_all(self, config=None) -> dict[str, list]:
+        """Linter findings for every loaded ontology, keyed by name."""
+        return {name: self.soqa.lint_ontology(name, config=config)
+                for name in self.soqa.ontology_names()}
+
+    def check_query(self, query_text: str, config=None) -> list:
+        """Statically check a SOQA-QL query without executing it."""
+        return self.soqa.check_query(query_text, config=config)
+
     # -- similarity services (signatures S1 and friends) -----------------------------------
 
     def get_similarity(self, first_concept_name: str,

@@ -72,13 +72,23 @@ class SOQAQLError(SOQAError):
 
 
 class SOQAQLSyntaxError(SOQAQLError):
-    """A SOQA-QL query could not be tokenized or parsed."""
+    """A SOQA-QL query could not be tokenized or parsed.
 
-    def __init__(self, message: str, position: int | None = None):
-        if position is not None:
+    Carries the character offset plus the 1-based line and column of the
+    offending token whenever the lexer or parser knows them, so shells
+    and the static checker can point at the exact spot.
+    """
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None):
+        if line is not None and column is not None:
+            message = f"{message} (at line {line}, column {column})"
+        elif position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+        self.line = line
+        self.column = column
 
 
 class SOQAQLEvaluationError(SOQAQLError):
@@ -117,6 +127,25 @@ class UnknownMeasureError(SSTCoreError):
     def __init__(self, measure: object):
         super().__init__(f"unknown similarity measure: {measure!r}")
         self.measure = measure
+
+
+# ---------------------------------------------------------------------------
+# Static analysis layer
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(SSTError):
+    """Base class for errors raised by the static-analysis engine."""
+
+
+class UnknownRuleError(AnalysisError):
+    """A lint request referenced a rule code no registry knows."""
+
+    def __init__(self, code: str, known: list[str] | None = None):
+        suffix = f"; known rules: {', '.join(known)}" if known else ""
+        super().__init__(f"unknown lint rule: {code!r}{suffix}")
+        self.code = code
+        self.known = list(known or [])
 
 
 class VisualizationError(SSTError):

@@ -171,6 +171,27 @@ class SOQA:
         """Full-text description of the concept, for TFIDF indexing."""
         return self.ontology(ontology_name).concept_description(concept_name)
 
+    # -- static analysis -------------------------------------------------------------
+
+    def check_query(self, query_text: str, config=None) -> list:
+        """Statically check a SOQA-QL query against the loaded ontologies.
+
+        Returns :class:`repro.analysis.Finding` records — unknown
+        fields, type mismatches, references to unloaded ontologies —
+        without executing the query.  The SOQA-QL shell and ``sst
+        query`` call this before evaluation; an empty list means the
+        query is statically clean.
+        """
+        from repro.analysis.query_check import check_query
+
+        return check_query(query_text, soqa=self, config=config)
+
+    def lint_ontology(self, ontology_name: str, config=None) -> list:
+        """Run the ontology linter over one loaded ontology."""
+        from repro.analysis.ontology_rules import lint_ontology
+
+        return lint_ontology(self.ontology(ontology_name), config=config)
+
     # -- taxonomies -----------------------------------------------------------------
 
     def taxonomy(self, ontology_name: str) -> Taxonomy:

@@ -1,4 +1,11 @@
-"""Abstract syntax tree node types for SOQA-QL."""
+"""Abstract syntax tree node types for SOQA-QL.
+
+Nodes that name schema elements carry ``span`` fields — ``(line,
+column)`` pairs copied from the lexer tokens — so the static checker
+(:mod:`repro.analysis.query_check`) and error messages can point at the
+exact spot in the query text.  Spans are excluded from equality, so AST
+comparisons stay purely structural.
+"""
 
 from __future__ import annotations
 
@@ -15,12 +22,17 @@ __all__ = [
     "ShowOntologiesQuery",
 ]
 
+#: Placeholder span for hand-built AST nodes (line and column unknown).
+NO_SPAN = (0, 0)
+
 
 @dataclass(frozen=True)
 class Literal:
     """A string or numeric literal in a condition."""
 
     value: "str | float"
+    span: tuple[int, int] = field(default=NO_SPAN, compare=False,
+                                  repr=False)
 
 
 @dataclass(frozen=True)
@@ -30,6 +42,8 @@ class Comparison:
     field: str
     op: str
     value: Literal
+    span: tuple[int, int] = field(default=NO_SPAN, compare=False,
+                                  repr=False)
 
 
 @dataclass(frozen=True)
@@ -54,6 +68,8 @@ class OrderSpec:
 
     field: str
     descending: bool = False
+    span: tuple[int, int] = field(default=NO_SPAN, compare=False,
+                                  repr=False)
 
 
 @dataclass(frozen=True)
@@ -62,7 +78,9 @@ class SelectQuery:
     [ORDER BY ...] [LIMIT n]``.
 
     ``count`` marks a ``SELECT COUNT(*)`` query, whose result is a
-    single-row ``count`` column.
+    single-row ``count`` column.  ``field_spans`` parallels ``fields``;
+    ``source_span``/``ontology_span`` locate the FROM source and the IN
+    ontology name.
     """
 
     fields: tuple[str, ...]      # ("*",) selects all columns
@@ -73,6 +91,12 @@ class SelectQuery:
     limit: int | None = None
     distinct: bool = False
     count: bool = False
+    field_spans: tuple[tuple[int, int], ...] = field(
+        default_factory=tuple, compare=False, repr=False)
+    source_span: tuple[int, int] = field(default=NO_SPAN, compare=False,
+                                         repr=False)
+    ontology_span: tuple[int, int] = field(default=NO_SPAN, compare=False,
+                                           repr=False)
 
 
 @dataclass(frozen=True)
@@ -81,6 +105,10 @@ class DescribeQuery:
 
     concept_name: str
     ontology: str | None = None
+    concept_span: tuple[int, int] = field(default=NO_SPAN, compare=False,
+                                          repr=False)
+    ontology_span: tuple[int, int] = field(default=NO_SPAN, compare=False,
+                                           repr=False)
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SOQAQLSyntaxError
 
@@ -20,61 +20,105 @@ _OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", ",", "(", ")", "*")
 @dataclass(frozen=True)
 class Token:
     """One lexical token: kind is ``keyword``, ``identifier``,
-    ``string``, ``number``, or ``operator``."""
+    ``string``, ``number``, or ``operator``.
+
+    ``position`` is the character offset into the query text;
+    ``line``/``column`` are the 1-based position every syntax error and
+    static-analysis finding reports.  They do not participate in
+    equality so AST comparisons stay positional-agnostic.
+    """
 
     kind: str
     value: str
     position: int
+    line: int = field(default=1, compare=False, repr=False)
+    column: int = field(default=1, compare=False, repr=False)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The token's ``(line, column)``."""
+        return (self.line, self.column)
+
+
+class _Cursor:
+    """Tracks line/column while scanning the query text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.index = 0
+        self.line = 1
+        self.line_start = 0
+
+    @property
+    def column(self) -> int:
+        return self.index - self.line_start + 1
+
+    def advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.index < len(self.text) and self.text[self.index] == "\n":
+                self.line += 1
+                self.line_start = self.index + 1
+            self.index += 1
 
 
 def tokenize(text: str) -> list[Token]:
     """Split a SOQA-QL query into tokens.
 
     Raises :class:`~repro.errors.SOQAQLSyntaxError` on unterminated
-    strings or unexpected characters.
+    strings or unexpected characters; the error carries the offending
+    line and column.
     """
     tokens: list[Token] = []
-    index = 0
+    cursor = _Cursor(text)
     length = len(text)
-    while index < length:
+    while cursor.index < length:
+        index = cursor.index
         char = text[index]
         if char.isspace():
-            index += 1
+            cursor.advance()
             continue
+        line, column = cursor.line, cursor.column
         if char == "'":
             end = text.find("'", index + 1)
             if end == -1:
                 raise SOQAQLSyntaxError("unterminated string literal",
-                                        position=index)
-            tokens.append(Token("string", text[index + 1:end], index))
-            index = end + 1
+                                        position=index, line=line,
+                                        column=column)
+            tokens.append(Token("string", text[index + 1:end], index,
+                                line=line, column=column))
+            cursor.advance(end + 1 - index)
             continue
         matched_operator = next(
             (operator for operator in _OPERATORS
              if text.startswith(operator, index)), None)
         if matched_operator is not None:
             value = "!=" if matched_operator == "<>" else matched_operator
-            tokens.append(Token("operator", value, index))
-            index += len(matched_operator)
+            tokens.append(Token("operator", value, index,
+                                line=line, column=column))
+            cursor.advance(len(matched_operator))
             continue
         if char.isdigit():
-            start = index
-            while index < length and (text[index].isdigit()
-                                      or text[index] == "."):
-                index += 1
-            tokens.append(Token("number", text[start:index], start))
+            end = index
+            while end < length and (text[end].isdigit() or text[end] == "."):
+                end += 1
+            tokens.append(Token("number", text[index:end], index,
+                                line=line, column=column))
+            cursor.advance(end - index)
             continue
         if char.isalpha() or char == "_":
-            start = index
-            while index < length and (text[index].isalnum()
-                                      or text[index] in "_-."):
-                index += 1
-            word = text[start:index]
+            end = index
+            while end < length and (text[end].isalnum()
+                                    or text[end] in "_-."):
+                end += 1
+            word = text[index:end]
             if word.upper() in KEYWORDS:
-                tokens.append(Token("keyword", word.upper(), start))
+                tokens.append(Token("keyword", word.upper(), index,
+                                    line=line, column=column))
             else:
-                tokens.append(Token("identifier", word, start))
+                tokens.append(Token("identifier", word, index,
+                                    line=line, column=column))
+            cursor.advance(end - index)
             continue
         raise SOQAQLSyntaxError(f"unexpected character {char!r}",
-                                position=index)
+                                position=index, line=line, column=column)
     return tokens

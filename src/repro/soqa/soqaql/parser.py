@@ -1,4 +1,9 @@
-"""Recursive-descent parser for SOQA-QL."""
+"""Recursive-descent parser for SOQA-QL.
+
+Every syntax error carries the offending token's line and column, and
+the produced AST nodes carry ``(line, column)`` spans so the static
+checker can locate findings without re-lexing.
+"""
 
 from __future__ import annotations
 
@@ -23,6 +28,13 @@ _SOURCES = frozenset({"ontologies", "concepts", "attributes", "methods",
 _COMPARATORS = frozenset({"=", "!=", "<", "<=", ">", ">="})
 
 
+def _error(message: str, token: Token | None = None) -> SOQAQLSyntaxError:
+    if token is None:
+        return SOQAQLSyntaxError(message)
+    return SOQAQLSyntaxError(message, position=token.position,
+                             line=token.line, column=token.column)
+
+
 class _Parser:
     def __init__(self, tokens: list[Token]):
         self.tokens = tokens
@@ -38,16 +50,15 @@ class _Parser:
     def advance(self) -> Token:
         token = self.peek()
         if token is None:
-            raise SOQAQLSyntaxError("unexpected end of query")
+            raise _error("unexpected end of query",
+                         self.tokens[-1] if self.tokens else None)
         self.index += 1
         return token
 
     def expect_keyword(self, keyword: str) -> Token:
         token = self.advance()
         if token.kind != "keyword" or token.value != keyword:
-            raise SOQAQLSyntaxError(
-                f"expected {keyword}, got {token.value!r}",
-                position=token.position)
+            raise _error(f"expected {keyword}, got {token.value!r}", token)
         return token
 
     def match_keyword(self, keyword: str) -> bool:
@@ -79,14 +90,13 @@ class _Parser:
         elif token.kind == "keyword" and token.value == "SHOW":
             query = self.parse_show()
         else:
-            raise SOQAQLSyntaxError(
+            raise _error(
                 f"queries start with SELECT, DESCRIBE or SHOW; got "
-                f"{token.value!r}", position=token.position)
+                f"{token.value!r}", token)
         trailing = self.peek()
         if trailing is not None:
-            raise SOQAQLSyntaxError(
-                f"unexpected trailing input {trailing.value!r}",
-                position=trailing.position)
+            raise _error(
+                f"unexpected trailing input {trailing.value!r}", trailing)
         return query
 
     def parse_select(self) -> SelectQuery:
@@ -95,26 +105,28 @@ class _Parser:
         count = False
         if self.match_keyword("COUNT"):
             count = True
-            if not self.match_operator("("):
-                raise SOQAQLSyntaxError("COUNT expects '(*)'")
-            if not self.match_operator("*"):
-                raise SOQAQLSyntaxError("COUNT expects '(*)'")
-            if not self.match_operator(")"):
-                raise SOQAQLSyntaxError("COUNT expects '(*)'")
+            if not (self.match_operator("(") and self.match_operator("*")
+                    and self.match_operator(")")):
+                raise _error("COUNT expects '(*)'", self.peek())
             fields = ["count"]
+            field_spans = [(0, 0)]
         else:
-            fields = self.parse_field_list()
+            field_tokens = self.parse_field_list()
+            fields = [token.value.lower() for token in field_tokens]
+            field_spans = [token.span for token in field_tokens]
         self.expect_keyword("FROM")
         source_token = self.advance()
         source = source_token.value.lower()
         if source not in _SOURCES:
-            raise SOQAQLSyntaxError(
+            raise _error(
                 f"unknown source {source_token.value!r}; expected one of "
-                f"{', '.join(sorted(_SOURCES))}",
-                position=source_token.position)
+                f"{', '.join(sorted(_SOURCES))}", source_token)
         ontology = None
+        ontology_span = (0, 0)
         if self.match_keyword("IN"):
-            ontology = self.parse_name()
+            ontology_token = self.parse_name_token()
+            ontology = ontology_token.value
+            ontology_span = ontology_token.span
         where = None
         if self.match_keyword("WHERE"):
             where = self.parse_or()
@@ -128,20 +140,23 @@ class _Parser:
         if self.match_keyword("LIMIT"):
             limit_token = self.advance()
             if limit_token.kind != "number":
-                raise SOQAQLSyntaxError("LIMIT expects a number",
-                                        position=limit_token.position)
+                raise _error("LIMIT expects a number", limit_token)
             limit = int(float(limit_token.value))
         return SelectQuery(fields=tuple(fields), source=source,
                            ontology=ontology, where=where,
                            order_by=tuple(order_by), limit=limit,
-                           distinct=distinct, count=count)
+                           distinct=distinct, count=count,
+                           field_spans=tuple(field_spans),
+                           source_span=source_token.span,
+                           ontology_span=ontology_span)
 
-    def parse_field_list(self) -> list[str]:
+    def parse_field_list(self) -> list[Token]:
+        token = self.peek()
         if self.match_operator("*"):
-            return ["*"]
-        fields = [self.parse_identifier()]
+            return [token]
+        fields = [self.parse_identifier_token()]
         while self.match_operator(","):
-            fields.append(self.parse_identifier())
+            fields.append(self.parse_identifier_token())
         return fields
 
     #: Keywords that end a field list and therefore cannot double as
@@ -149,32 +164,37 @@ class _Parser:
     _STRUCTURAL = frozenset({"FROM", "WHERE", "ORDER", "BY", "LIMIT",
                              "AND", "OR", "NOT", "ASC", "DESC"})
 
-    def parse_identifier(self) -> str:
+    def parse_identifier_token(self) -> Token:
         token = self.advance()
         if token.kind == "identifier":
-            return token.value.lower()
+            return token
         # Non-structural keywords (e.g. ``concept``, ``in``) are legal
         # field names — several row layouts carry a ``concept`` column.
         if token.kind == "keyword" and token.value not in self._STRUCTURAL:
-            return token.value.lower()
-        raise SOQAQLSyntaxError(
-            f"expected a field name, got {token.value!r}",
-            position=token.position)
+            return token
+        raise _error(f"expected a field name, got {token.value!r}", token)
 
-    def parse_name(self) -> str:
+    def parse_identifier(self) -> str:
+        return self.parse_identifier_token().value.lower()
+
+    def parse_name_token(self) -> Token:
         """An ontology or concept name: identifier or quoted string."""
         token = self.advance()
         if token.kind in ("identifier", "string"):
-            return token.value
-        raise SOQAQLSyntaxError(
-            f"expected a name, got {token.value!r}", position=token.position)
+            return token
+        raise _error(f"expected a name, got {token.value!r}", token)
+
+    def parse_name(self) -> str:
+        return self.parse_name_token().value
 
     def parse_order_spec(self) -> OrderSpec:
-        fieldname = self.parse_identifier()
+        field_token = self.parse_identifier_token()
+        fieldname = field_token.value.lower()
         if self.match_keyword("DESC"):
-            return OrderSpec(fieldname, descending=True)
+            return OrderSpec(fieldname, descending=True,
+                             span=field_token.span)
         self.match_keyword("ASC")
-        return OrderSpec(fieldname, descending=False)
+        return OrderSpec(fieldname, descending=False, span=field_token.span)
 
     # Conditions: OR -> AND -> NOT -> atom.
 
@@ -199,9 +219,10 @@ class _Parser:
         if self.match_operator("("):
             node = self.parse_or()
             if not self.match_operator(")"):
-                raise SOQAQLSyntaxError("expected ')'")
+                raise _error("expected ')'", self.peek())
             return node
-        fieldname = self.parse_identifier()
+        field_token = self.parse_identifier_token()
+        fieldname = field_token.value.lower()
         op_token = self.advance()
         if op_token.kind == "operator" and op_token.value in _COMPARATORS:
             op = op_token.value
@@ -209,30 +230,37 @@ class _Parser:
                                                                "CONTAINS"):
             op = op_token.value.lower()
         else:
-            raise SOQAQLSyntaxError(
+            raise _error(
                 f"expected a comparison operator, got {op_token.value!r}",
-                position=op_token.position)
+                op_token)
         value_token = self.advance()
         if value_token.kind == "string":
-            literal = Literal(value_token.value)
+            literal = Literal(value_token.value, span=value_token.span)
         elif value_token.kind == "number":
-            literal = Literal(float(value_token.value))
+            literal = Literal(float(value_token.value),
+                              span=value_token.span)
         elif value_token.kind == "identifier":
-            literal = Literal(value_token.value)
+            literal = Literal(value_token.value, span=value_token.span)
         else:
-            raise SOQAQLSyntaxError(
+            raise _error(
                 f"expected a literal, got {value_token.value!r}",
-                position=value_token.position)
-        return Comparison(fieldname, op, literal)
+                value_token)
+        return Comparison(fieldname, op, literal, span=field_token.span)
 
     def parse_describe(self) -> DescribeQuery:
         self.expect_keyword("DESCRIBE")
         self.expect_keyword("CONCEPT")
-        concept_name = self.parse_name()
+        concept_token = self.parse_name_token()
         ontology = None
+        ontology_span = (0, 0)
         if self.match_keyword("IN"):
-            ontology = self.parse_name()
-        return DescribeQuery(concept_name=concept_name, ontology=ontology)
+            ontology_token = self.parse_name_token()
+            ontology = ontology_token.value
+            ontology_span = ontology_token.span
+        return DescribeQuery(concept_name=concept_token.value,
+                             ontology=ontology,
+                             concept_span=concept_token.span,
+                             ontology_span=ontology_span)
 
     def parse_show(self) -> ShowOntologiesQuery:
         self.expect_keyword("SHOW")

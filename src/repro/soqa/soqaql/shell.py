@@ -28,10 +28,30 @@ class SOQAQLShell(cmd.Cmd):
 
     def __init__(self, soqa: SOQA, stdout: IO[str] | None = None):
         super().__init__(stdout=stdout)
+        self.soqa = soqa
         self.engine = SOQAQLEngine(soqa)
 
     def run_query(self, query: str) -> None:
-        """Execute one query and print its result table (or the error)."""
+        """Execute one query and print its result table (or the error).
+
+        Queries are statically checked first: error findings (unknown
+        fields, unloaded ontologies, ...) are printed with their line
+        and column and the query is not executed; warnings (dead
+        predicates) are printed and execution continues.
+        """
+        findings = self.soqa.check_query(query)
+        blocked = False
+        for finding in findings:
+            # str(finding) already leads with the severity; re-prefix the
+            # remainder so the shell's usual "error:"/"warning:" reads once.
+            detail = str(finding)[len(finding.severity):]
+            if finding.severity == "error":
+                print(f"error: {detail}", file=self.stdout)
+                blocked = True
+            else:
+                print(f"warning: {detail}", file=self.stdout)
+        if blocked:
+            return
         try:
             result = self.engine.execute(query)
         except SOQAError as error:

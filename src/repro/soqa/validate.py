@@ -1,29 +1,32 @@
-"""Ontology quality diagnostics.
+"""Ontology quality diagnostics (legacy shim).
 
-A toolkit that loads foreign ontologies needs to tell its users what it
-found: concepts with no documentation (which starve the TFIDF measure),
-dangling equivalent/antonym references, isolated concepts (no taxonomy
-links at all, which distance measures cannot place), relationships
-naming unknown concepts, and duplicate instance names.
+.. deprecated::
+    This module is kept as a thin backward-compatible shim over
+    :mod:`repro.analysis`, which owns the rule registry, severity
+    gating, per-rule configuration and text/JSON reporting.  New code
+    should call :func:`repro.analysis.lint_ontology` directly; the
+    :class:`Diagnostic` records returned here are a lossy view of the
+    richer :class:`repro.analysis.Finding` (no hints, no positions).
 
-:func:`validate_ontology` returns structured :class:`Diagnostic`
-records; severity ``"error"`` marks references that break similarity
-services, ``"warning"`` marks quality smells.
+:func:`validate_ontology` runs the full ontology rule family — the
+original diagnostics plus the structural rules added with the analysis
+engine — and converts the findings to :class:`Diagnostic` records,
+errors first, exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.engine import AnalysisConfig
+from repro.analysis.ontology_rules import LITERAL_TYPES, lint_ontology
 from repro.soqa.metamodel import Ontology
 
 __all__ = ["Diagnostic", "validate_ontology"]
 
 #: Literal datatypes a relationship may legitimately name.
-_LITERAL_TYPES = frozenset({
-    "string", "number", "integer", "float", "real", "boolean", "date",
-    "truth", "symbol", "thing", "literal",
-})
+#: (Re-exported for backward compatibility; the analysis engine owns it.)
+_LITERAL_TYPES = LITERAL_TYPES
 
 
 @dataclass(frozen=True)
@@ -40,65 +43,20 @@ class Diagnostic:
                 f"{self.message}")
 
 
-def validate_ontology(ontology: Ontology) -> list[Diagnostic]:
-    """All diagnostics for ``ontology``, errors first."""
-    diagnostics: list[Diagnostic] = []
-    multiple_roots = len(ontology.root_concepts()) > 1
-    all_individuals = {instance.name
-                       for instance in ontology.all_instances()}
-    instance_names: dict[str, str] = {}
+def validate_ontology(ontology: Ontology,
+                      config: AnalysisConfig | None = None,
+                      ) -> list[Diagnostic]:
+    """All diagnostics for ``ontology``, errors first.
 
-    for concept in ontology:
-        if not concept.documentation:
-            diagnostics.append(Diagnostic(
-                "warning", "no-documentation", concept.name,
-                "concept has no documentation; text-based measures see "
-                "only structural tokens"))
-        if (multiple_roots and not concept.superconcept_names
-                and not concept.subconcept_names):
-            diagnostics.append(Diagnostic(
-                "warning", "isolated-concept", concept.name,
-                "concept has neither super- nor subconcepts; distance "
-                "measures only reach it through the unified root"))
-        for equivalent in concept.equivalent_concept_names:
-            if equivalent not in ontology:
-                diagnostics.append(Diagnostic(
-                    "warning", "dangling-equivalent", concept.name,
-                    f"equivalent concept {equivalent!r} is not defined "
-                    "in this ontology (may be cross-ontology)"))
-        for antonym in concept.antonym_concept_names:
-            if antonym not in ontology:
-                diagnostics.append(Diagnostic(
-                    "warning", "dangling-antonym", concept.name,
-                    f"antonym concept {antonym!r} is not defined in "
-                    "this ontology"))
-        for relationship in concept.relationships:
-            for related in relationship.related_concept_names:
-                if related in ontology:
-                    continue
-                if related.lower() in _LITERAL_TYPES:
-                    continue
-                diagnostics.append(Diagnostic(
-                    "error", "unknown-related-concept", concept.name,
-                    f"relationship {relationship.name!r} relates unknown "
-                    f"concept {related!r}"))
-        for instance in concept.instances:
-            previous_owner = instance_names.get(instance.name)
-            if previous_owner is not None:
-                diagnostics.append(Diagnostic(
-                    "error", "duplicate-instance", concept.name,
-                    f"instance {instance.name!r} already defined for "
-                    f"concept {previous_owner!r}"))
-            else:
-                instance_names[instance.name] = concept.name
-            for targets in instance.relationship_targets.values():
-                for target in targets:
-                    if target not in all_individuals:
-                        diagnostics.append(Diagnostic(
-                            "warning", "dangling-instance-target",
-                            concept.name,
-                            f"instance {instance.name!r} references "
-                            f"unknown individual {target!r}"))
+    Thin wrapper over :func:`repro.analysis.lint_ontology`; prefer that
+    API for new code — its findings carry fix hints and positions and
+    can be rendered as JSON.
+    """
+    diagnostics = [
+        Diagnostic(severity=finding.severity, code=finding.code,
+                   concept_name=finding.subject, message=finding.message)
+        for finding in lint_ontology(ontology, config=config)
+    ]
     diagnostics.sort(key=lambda diagnostic: (
         diagnostic.severity != "error", diagnostic.code,
         diagnostic.concept_name))

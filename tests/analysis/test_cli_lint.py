@@ -1,0 +1,146 @@
+"""Tests for the ``sst lint`` subcommand and the lint-backed
+``sst validate``/``sst query`` behaviour, including a golden-file
+check that the JSON report schema stays stable."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import MINI_OWL
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DIRTY_OWL = str(FIXTURES / "dirty.owl")
+GOLDEN_JSON = FIXTURES / "golden_lint.json"
+
+
+@pytest.fixture
+def clean_file(tmp_path) -> str:
+    path = tmp_path / "univ.owl"
+    path.write_text(MINI_OWL, encoding="utf-8")
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_ontology_exits_zero(self, capsys, clean_file):
+        assert main(["--ontology-file", clean_file, "lint",
+                     "--disable", "isolated-concept"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_warnings_exit_zero_by_default(self, capsys):
+        code = main(["--ontology-file", DIRTY_OWL, "lint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warning[no-documentation]" in out
+
+    def test_fail_on_warning(self):
+        assert main(["--ontology-file", DIRTY_OWL, "lint",
+                     "--fail-on", "warning"]) == 1
+
+    def test_soqaql_error_exits_nonzero(self, capsys, clean_file):
+        code = main(["--ontology-file", clean_file, "lint",
+                     "--soqaql", "SELECT nam FROM concepts"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "error[unknown-select-field]" in out
+        assert "line 1, column 8" in out
+
+    def test_rule_filter_restricts_findings(self, capsys):
+        code = main(["--ontology-file", DIRTY_OWL, "lint", "dirty",
+                     "--rule", "isolated-concept"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "isolated-concept" in out
+        assert "no-documentation" not in out
+
+    def test_disable_drops_rule(self, capsys):
+        main(["--ontology-file", DIRTY_OWL, "lint", "dirty",
+              "--disable", "no-documentation"])
+        assert "no-documentation" not in capsys.readouterr().out
+
+    def test_mixed_family_rule_filter_accepted(self, capsys, clean_file):
+        code = main(["--ontology-file", clean_file, "lint",
+                     "--rule", "taxonomy-cycle",
+                     "--soqaql", "SELECT name FROM concepts"])
+        assert code == 0
+
+    def test_unknown_rule_rejected(self, capsys, clean_file):
+        code = main(["--ontology-file", clean_file, "lint",
+                     "--rule", "ghost-rule"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "unknown lint rule" in err
+        assert "taxonomy-cycle" in err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "taxonomy-cycle" in out
+        assert "unknown-select-field" in out
+        assert "ontology" in out and "query" in out
+
+    def test_unknown_ontology_errors(self, clean_file, capsys):
+        assert main(["--ontology-file", clean_file, "lint",
+                     "ghosts"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGoldenJson:
+    def test_json_report_matches_golden(self, capsys):
+        code = main(["--ontology-file", DIRTY_OWL, "lint", "dirty",
+                     "--soqaql", "SELECT nam FROM concepts",
+                     "--format", "json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        golden = json.loads(GOLDEN_JSON.read_text(encoding="utf-8"))
+        assert report == golden
+
+    def test_golden_key_order_is_stable(self, capsys):
+        main(["--ontology-file", DIRTY_OWL, "lint", "dirty",
+              "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert list(report) == ["version", "findings", "summary"]
+        for finding in report["findings"]:
+            assert list(finding) == [
+                "severity", "code", "ontology", "subject", "message",
+                "line", "column", "hint"]
+
+    def test_errors_sort_before_warnings_in_report(self, capsys):
+        main(["--ontology-file", DIRTY_OWL, "lint", "dirty",
+              "--soqaql", "SELECT nam FROM concepts",
+              "--format", "json"])
+        severities = [finding["severity"] for finding in
+                      json.loads(capsys.readouterr().out)["findings"]]
+        assert severities == sorted(
+            severities, key=["error", "warning", "info"].index)
+
+
+class TestValidateThroughEngine:
+    def test_validate_json_format(self, capsys):
+        code = main(["--ontology-file", DIRTY_OWL, "validate", "dirty",
+                     "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0  # warnings only
+        assert report["version"] == 1
+        assert report["summary"]["warning"] >= 2
+
+    def test_validate_text_shows_rule_codes(self, capsys):
+        main(["--ontology-file", DIRTY_OWL, "validate", "dirty"])
+        assert "warning[no-documentation]" in capsys.readouterr().out
+
+
+class TestQueryPrevalidation:
+    def test_bad_query_blocked_before_execution(self, capsys, clean_file):
+        code = main(["--ontology-file", clean_file, "query",
+                     "SELECT nam FROM concepts IN univ"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unknown-select-field" in captured.err
+        assert "(0 rows)" not in captured.out
+
+    def test_good_query_still_runs(self, capsys, clean_file):
+        code = main(["--ontology-file", clean_file, "query",
+                     "SELECT name FROM concepts IN univ"])
+        assert code == 0
+        assert "Person" in capsys.readouterr().out

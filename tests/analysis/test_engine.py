@@ -1,0 +1,158 @@
+"""Unit tests for the static-analysis rule engine."""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    AnalysisConfig,
+    Finding,
+    RuleRegistry,
+    gate,
+    render_json,
+    render_text,
+    run_rules,
+    severity_rank,
+    sort_findings,
+    summarize,
+)
+from repro.errors import UnknownRuleError
+
+
+def build_registry() -> RuleRegistry:
+    registry = RuleRegistry()
+
+    @registry.rule("one", "error", "test", "first rule")
+    def _one(rule, context):
+        yield rule.finding("broken", subject="a")
+
+    @registry.rule("two", "warning", "test", "second rule")
+    def _two(rule, context):
+        yield rule.finding("smelly", subject="b")
+
+    return registry
+
+
+class TestFinding:
+    def test_str_with_location(self):
+        finding = Finding("error", "code", "msg", subject="X",
+                          ontology="onto", line=3, column=7)
+        assert str(finding) == \
+            "error[code] onto:X (line 3, column 7): msg"
+
+    def test_str_without_location(self):
+        finding = Finding("warning", "code", "msg", subject="X")
+        assert str(finding) == "warning[code] X: msg"
+
+    def test_as_dict_key_order_is_stable(self):
+        keys = list(Finding("error", "c", "m").as_dict())
+        assert keys == ["severity", "code", "ontology", "subject",
+                        "message", "line", "column", "hint"]
+
+
+class TestSeverity:
+    def test_rank_ordering(self):
+        assert severity_rank("error") > severity_rank("warning")
+        assert severity_rank("warning") > severity_rank("info")
+
+    def test_unknown_severity_ranks_lowest(self):
+        assert severity_rank("bogus") < severity_rank("info")
+
+
+class TestRegistry:
+    def test_codes_are_sorted(self):
+        assert build_registry().codes() == ["one", "two"]
+
+    def test_family_filter(self):
+        registry = build_registry()
+        assert registry.codes("test") == ["one", "two"]
+        assert registry.codes("other") == []
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(UnknownRuleError, match="ghost"):
+            build_registry().get("ghost")
+
+    def test_rule_description_from_docstring(self):
+        registry = RuleRegistry()
+
+        @registry.rule("doc", "warning", "test")
+        def _doc(rule, context):
+            """Short description line."""
+            return ()
+
+        assert registry.get("doc").description == "Short description line."
+
+
+class TestConfig:
+    def test_only_restricts_rules(self):
+        config = AnalysisConfig.create(only=["one"])
+        findings = run_rules(build_registry(), "test", None, config)
+        assert [finding.code for finding in findings] == ["one"]
+
+    def test_disable_drops_rules(self):
+        config = AnalysisConfig.create(disabled=["one"])
+        findings = run_rules(build_registry(), "test", None, config)
+        assert [finding.code for finding in findings] == ["two"]
+
+    def test_min_severity_gates_findings(self):
+        config = AnalysisConfig.create(min_severity="error")
+        findings = run_rules(build_registry(), "test", None, config)
+        assert [finding.code for finding in findings] == ["one"]
+
+    def test_validate_accepts_codes_of_any_registry(self):
+        other = RuleRegistry()
+
+        @other.rule("three", "warning", "other")
+        def _three(rule, context):
+            return ()
+
+        config = AnalysisConfig.create(only=["one", "three"])
+        config.validate(build_registry(), other)
+
+    def test_validate_rejects_unknown_codes(self):
+        config = AnalysisConfig.create(disabled=["ghost"])
+        with pytest.raises(UnknownRuleError):
+            config.validate(build_registry())
+
+
+class TestReporting:
+    def test_sorted_errors_first(self):
+        findings = run_rules(build_registry(), "test", None)
+        assert [finding.severity for finding in findings] == \
+            ["error", "warning"]
+
+    def test_sort_is_deterministic(self):
+        first = Finding("error", "a", "m", subject="x", line=2)
+        second = Finding("error", "a", "m", subject="x", line=1)
+        assert sort_findings([first, second]) == \
+            sort_findings([second, first])
+
+    def test_gate_thresholds(self):
+        findings = [Finding("warning", "c", "m")]
+        assert gate(findings, "warning") is True
+        assert gate(findings, "error") is False
+        assert gate([], "warning") is False
+
+    def test_summarize_counts(self):
+        counts = summarize(run_rules(build_registry(), "test", None))
+        assert counts["error"] == 1
+        assert counts["warning"] == 1
+        assert counts["total"] == 2
+
+    def test_render_text_empty(self):
+        assert render_text([]) == "no findings"
+
+    def test_render_text_summary_line(self):
+        text = render_text(run_rules(build_registry(), "test", None))
+        assert "error[one] a: broken" in text
+        assert "(2 findings: 1 error(s), 1 warning(s))" in text
+
+    def test_render_json_schema(self):
+        report = json.loads(
+            render_json(run_rules(build_registry(), "test", None)))
+        assert report["version"] == 1
+        assert report["summary"]["total"] == 2
+        assert report["findings"][0]["code"] == "one"
+        assert set(report["findings"][0]) == {
+            "severity", "code", "ontology", "subject", "message", "line",
+            "column", "hint"}

@@ -1,0 +1,256 @@
+"""Unit tests for every ontology-linter rule: one positive and one
+negative case per rule code."""
+
+from repro.analysis import lint_concepts, lint_ontology
+from repro.soqa.metamodel import (
+    Attribute,
+    Concept,
+    Instance,
+    Ontology,
+    OntologyMetadata,
+    Relationship,
+)
+
+
+def build(*concepts: Concept) -> Ontology:
+    return Ontology(OntologyMetadata(name="test", language="OWL"),
+                    concepts)
+
+
+def codes(ontology: Ontology) -> list[str]:
+    return [finding.code for finding in lint_ontology(ontology)]
+
+
+def raw_codes(*concepts: Concept) -> list[str]:
+    return [finding.code
+            for finding in lint_concepts(list(concepts), name="test")]
+
+
+class TestStructuralRules:
+    def test_taxonomy_cycle_detected(self):
+        found = raw_codes(
+            Concept("A", documentation="d", superconcept_names=["B"]),
+            Concept("B", documentation="d", superconcept_names=["A"]))
+        assert "taxonomy-cycle" in found
+
+    def test_taxonomy_cycle_reported_once(self):
+        findings = lint_concepts([
+            Concept("A", documentation="d", superconcept_names=["B"]),
+            Concept("B", documentation="d", superconcept_names=["A"]),
+        ], name="test")
+        cycles = [finding for finding in findings
+                  if finding.code == "taxonomy-cycle"]
+        assert len(cycles) == 1
+        assert "A" in cycles[0].message and "B" in cycles[0].message
+
+    def test_acyclic_taxonomy_clean(self):
+        found = raw_codes(
+            Concept("A", documentation="d"),
+            Concept("B", documentation="d", superconcept_names=["A"]))
+        assert "taxonomy-cycle" not in found
+
+    def test_dangling_superconcept_detected(self):
+        found = raw_codes(
+            Concept("A", documentation="d", superconcept_names=["Ghost"]))
+        assert "dangling-superconcept" in found
+
+    def test_resolved_superconcept_clean(self):
+        found = raw_codes(
+            Concept("A", documentation="d"),
+            Concept("B", documentation="d", superconcept_names=["A"]))
+        assert "dangling-superconcept" not in found
+
+    def test_duplicate_concept_detected(self):
+        found = raw_codes(Concept("A", documentation="d"),
+                          Concept("A", documentation="d"))
+        assert "duplicate-concept" in found
+
+    def test_case_collision_is_warning(self):
+        findings = lint_concepts([
+            Concept("Person", documentation="d"),
+            Concept("person", documentation="d"),
+        ], name="test")
+        hits = [finding for finding in findings
+                if finding.code == "duplicate-concept"]
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+
+    def test_distinct_concepts_clean(self):
+        found = raw_codes(Concept("A", documentation="d"),
+                          Concept("B", documentation="d"))
+        assert "duplicate-concept" not in found
+
+
+class TestContentRules:
+    def test_no_documentation(self):
+        assert "no-documentation" in codes(build(Concept("A")))
+
+    def test_documented_clean(self):
+        assert codes(build(Concept("A", documentation="d"))) == []
+
+    def test_isolated_concept_needs_multiple_roots(self):
+        connected = build(
+            Concept("A", documentation="d"),
+            Concept("B", documentation="d", superconcept_names=["A"]))
+        assert "isolated-concept" not in codes(connected)
+        forest = build(
+            Concept("A", documentation="d"),
+            Concept("B", documentation="d", superconcept_names=["A"]),
+            Concept("Island", documentation="d"))
+        assert "isolated-concept" in codes(forest)
+
+    def test_dangling_equivalent(self):
+        ontology = build(Concept("A", documentation="d",
+                                 equivalent_concept_names=["Ghost"]))
+        assert "dangling-equivalent" in codes(ontology)
+
+    def test_resolved_equivalent_clean(self):
+        ontology = build(
+            Concept("A", documentation="d",
+                    equivalent_concept_names=["B"]),
+            Concept("B", documentation="d", superconcept_names=["A"]))
+        assert "dangling-equivalent" not in codes(ontology)
+
+    def test_dangling_antonym(self):
+        ontology = build(Concept("A", documentation="d",
+                                 antonym_concept_names=["Ghost"]))
+        assert "dangling-antonym" in codes(ontology)
+
+    def test_resolved_antonym_clean(self):
+        ontology = build(
+            Concept("A", documentation="d", antonym_concept_names=["B"]),
+            Concept("B", documentation="d", superconcept_names=["A"]))
+        assert "dangling-antonym" not in codes(ontology)
+
+    def test_unknown_related_concept(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            relationships=[Relationship(
+                "r", related_concept_names=["A", "Ghost"])]))
+        assert "unknown-related-concept" in codes(ontology)
+
+    def test_literal_typed_relationship_clean(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            relationships=[Relationship(
+                "r", related_concept_names=["A", "STRING"])]))
+        assert "unknown-related-concept" not in codes(ontology)
+
+    def test_duplicate_instance(self):
+        ontology = build(
+            Concept("A", documentation="d",
+                    instances=[Instance("x", "A")]),
+            Concept("B", documentation="d",
+                    instances=[Instance("x", "B")]))
+        assert "duplicate-instance" in codes(ontology)
+
+    def test_unique_instances_clean(self):
+        ontology = build(
+            Concept("A", documentation="d",
+                    instances=[Instance("x", "A"), Instance("y", "A")]))
+        assert "duplicate-instance" not in codes(ontology)
+
+    def test_dangling_instance_target(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            instances=[Instance("x", "A",
+                                relationship_targets={"r": ["ghost"]})]))
+        assert "dangling-instance-target" in codes(ontology)
+
+    def test_resolved_instance_target_clean(self):
+        ontology = build(Concept(
+            "A", documentation="d",
+            instances=[
+                Instance("x", "A", relationship_targets={"r": ["y"]}),
+                Instance("y", "A"),
+            ]))
+        assert "dangling-instance-target" not in codes(ontology)
+
+
+class TestNewContentRules:
+    def test_attribute_shadowing_detected(self):
+        ontology = build(
+            Concept("Person", documentation="d",
+                    attributes=[Attribute("name", "Person")]),
+            Concept("Student", documentation="d",
+                    superconcept_names=["Person"],
+                    attributes=[Attribute("name", "Student")]))
+        assert "attribute-shadowing" in codes(ontology)
+
+    def test_attribute_shadowing_reaches_indirect_ancestors(self):
+        ontology = build(
+            Concept("Person", documentation="d",
+                    attributes=[Attribute("name", "Person")]),
+            Concept("Employee", documentation="d",
+                    superconcept_names=["Person"]),
+            Concept("Professor", documentation="d",
+                    superconcept_names=["Employee"],
+                    attributes=[Attribute("name", "Professor")]))
+        assert "attribute-shadowing" in codes(ontology)
+
+    def test_distinct_attributes_clean(self):
+        ontology = build(
+            Concept("Person", documentation="d",
+                    attributes=[Attribute("name", "Person")]),
+            Concept("Student", documentation="d",
+                    superconcept_names=["Person"],
+                    attributes=[Attribute("matriculation", "Student")]))
+        assert "attribute-shadowing" not in codes(ontology)
+
+    def test_relationship_range_violation_detected(self):
+        ontology = build(
+            Concept("Professor", documentation="d",
+                    relationships=[Relationship(
+                        "advises",
+                        related_concept_names=["Professor", "Student"])],
+                    instances=[Instance(
+                        "smith", "Professor",
+                        relationship_targets={"advises": ["db1"]})]),
+            Concept("Student", documentation="d"),
+            Concept("Course", documentation="d",
+                    instances=[Instance("db1", "Course")]))
+        assert "relationship-range-violation" in codes(ontology)
+
+    def test_range_satisfied_by_subconcept(self):
+        ontology = build(
+            Concept("Professor", documentation="d",
+                    relationships=[Relationship(
+                        "advises",
+                        related_concept_names=["Professor", "Student"])],
+                    instances=[Instance(
+                        "smith", "Professor",
+                        relationship_targets={"advises": ["jane"]})]),
+            Concept("Student", documentation="d"),
+            Concept("PhDStudent", documentation="d",
+                    superconcept_names=["Student"],
+                    instances=[Instance("jane", "PhDStudent")]))
+        assert "relationship-range-violation" not in codes(ontology)
+
+    def test_untyped_instance_detected(self):
+        found = raw_codes(Concept(
+            "A", documentation="d",
+            instances=[Instance("x", "Ghost")]))
+        assert "untyped-instance" in found
+        empty = raw_codes(Concept(
+            "A", documentation="d", instances=[Instance("x", "")]))
+        assert "untyped-instance" in empty
+
+    def test_typed_instance_clean(self):
+        ontology = build(Concept(
+            "A", documentation="d", instances=[Instance("x", "A")]))
+        assert "untyped-instance" not in codes(ontology)
+
+
+class TestFindingQuality:
+    def test_findings_carry_ontology_and_hint(self):
+        findings = lint_ontology(build(Concept("A")))
+        assert findings[0].ontology == "test"
+        assert findings[0].hint
+
+    def test_errors_sort_before_warnings(self):
+        ontology = build(
+            Concept("A",  # no documentation (warning)
+                    relationships=[Relationship(
+                        "r", related_concept_names=["Ghost"])]))
+        findings = lint_ontology(ontology)
+        assert findings[0].severity == "error"

@@ -1,0 +1,216 @@
+"""Unit tests for the SOQA-QL static checker: one positive and one
+negative case per rule code, plus checks across every bundled wrapper."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, check_query
+from repro.soqa.api import SOQA
+from tests.conftest import MINI_OWL, MINI_PLOOM, MINI_WORDNET
+from tests.soqa.test_more_wrappers import (
+    ONTOLINGUA_TEXT,
+    RDFS_TEXT,
+    SHOE_TEXT,
+)
+from tests.soqa.test_wrappers import DAML_TEXT
+
+
+def codes(query: str, soqa=None, config=None) -> list[str]:
+    return [finding.code
+            for finding in check_query(query, soqa=soqa, config=config)]
+
+
+@pytest.fixture
+def soqa() -> SOQA:
+    facade = SOQA()
+    facade.load_text(MINI_OWL, "univ", "OWL")
+    return facade
+
+
+class TestFieldRules:
+    def test_unknown_select_field(self):
+        findings = check_query("SELECT nam FROM concepts")
+        assert findings[0].code == "unknown-select-field"
+        assert (findings[0].line, findings[0].column) == (1, 8)
+        assert "available" in findings[0].message
+
+    def test_known_select_fields_clean(self):
+        assert codes("SELECT name, ontology FROM concepts") == []
+
+    def test_star_and_count_skip_field_checks(self):
+        assert codes("SELECT * FROM concepts") == []
+        assert codes("SELECT COUNT(*) FROM concepts") == []
+
+    def test_unknown_where_field_with_line_and_column(self):
+        findings = check_query(
+            "SELECT name\nFROM concepts\nWHERE ghost = 1")
+        assert findings[0].code == "unknown-where-field"
+        assert (findings[0].line, findings[0].column) == (3, 7)
+
+    def test_known_where_field_clean(self):
+        assert codes("SELECT name FROM concepts WHERE is_root = true") == []
+
+    def test_unknown_order_field(self):
+        found = codes("SELECT name FROM concepts ORDER BY ghost")
+        assert "unknown-order-field" in found
+
+    def test_known_order_field_clean(self):
+        assert codes("SELECT name FROM concepts ORDER BY name DESC") == []
+
+    def test_schema_matches_every_source(self):
+        for source in ("ontologies", "concepts", "attributes", "methods",
+                       "relationships", "instances"):
+            assert codes(f"SELECT name FROM {source}") == []
+
+
+class TestTypeRules:
+    def test_numeric_field_with_text_literal(self):
+        found = codes(
+            "SELECT name FROM concepts WHERE attribute_count = 'many'")
+        assert "type-mismatch" in found
+
+    def test_numeric_field_with_number_clean(self):
+        assert codes(
+            "SELECT name FROM concepts WHERE attribute_count > 2") == []
+
+    def test_string_field_ordered_against_number(self):
+        found = codes("SELECT name FROM concepts WHERE name < 5")
+        assert "type-mismatch" in found
+
+    def test_string_field_like_clean(self):
+        assert codes(
+            "SELECT name FROM concepts WHERE name LIKE '%prof%'") == []
+
+
+class TestDegeneratePredicates:
+    def test_contradictory_equalities_always_false(self):
+        found = codes("SELECT name FROM concepts "
+                      "WHERE name = 'A' AND name = 'B'")
+        assert "always-false" in found
+
+    def test_same_equalities_clean(self):
+        assert codes("SELECT name FROM concepts "
+                     "WHERE name = 'A' AND name = 'A'") == []
+
+    def test_empty_numeric_interval_always_false(self):
+        found = codes("SELECT name FROM concepts "
+                      "WHERE attribute_count < 1 AND attribute_count > 5")
+        assert "always-false" in found
+
+    def test_satisfiable_interval_clean(self):
+        assert codes("SELECT name FROM concepts "
+                     "WHERE attribute_count > 1 AND attribute_count < 5"
+                     ) == []
+
+    def test_boolean_field_with_impossible_literal(self):
+        found = codes("SELECT name FROM concepts WHERE is_root = 'maybe'")
+        assert "always-false" in found
+
+    def test_boolean_field_with_true_clean(self):
+        assert codes(
+            "SELECT name FROM concepts WHERE is_root = false") == []
+
+    def test_disjoint_inequalities_always_true(self):
+        found = codes("SELECT name FROM concepts "
+                      "WHERE name != 'A' OR name != 'B'")
+        assert "always-true" in found
+
+    def test_single_inequality_clean(self):
+        assert codes("SELECT name FROM concepts WHERE name != 'A'") == []
+
+
+class TestCatalogRules:
+    def test_unknown_ontology(self, soqa):
+        findings = check_query(
+            "SELECT name FROM concepts IN ghosts", soqa=soqa)
+        assert findings[0].code == "unknown-ontology"
+        assert "univ" in findings[0].message
+
+    def test_loaded_ontology_clean(self, soqa):
+        assert codes("SELECT name FROM concepts IN univ", soqa=soqa) == []
+
+    def test_no_catalog_without_soqa(self):
+        assert codes("SELECT name FROM concepts IN ghosts") == []
+
+    def test_unknown_concept_in_describe(self, soqa):
+        found = codes("DESCRIBE CONCEPT Ghost IN univ", soqa=soqa)
+        assert "unknown-concept" in found
+        anywhere = codes("DESCRIBE CONCEPT Ghost", soqa=soqa)
+        assert "unknown-concept" in anywhere
+
+    def test_known_concept_clean(self, soqa):
+        assert codes("DESCRIBE CONCEPT Professor IN univ",
+                     soqa=soqa) == []
+        assert codes("DESCRIBE CONCEPT Professor", soqa=soqa) == []
+
+    def test_describe_in_unknown_ontology_reports_ontology_only(self, soqa):
+        found = codes("DESCRIBE CONCEPT Professor IN ghosts", soqa=soqa)
+        assert found == ["unknown-ontology"]
+
+
+class TestSyntaxErrors:
+    def test_unparseable_query_becomes_finding(self):
+        findings = check_query("SELEC name FROM concepts")
+        assert [finding.code for finding in findings] == ["syntax-error"]
+        assert findings[0].severity == "error"
+        assert findings[0].line == 1
+
+    def test_syntax_error_can_be_disabled(self):
+        config = AnalysisConfig.create(disabled=["syntax-error"])
+        assert codes("SELEC name", config=config) == []
+
+    def test_error_position_on_later_line(self):
+        findings = check_query("SELECT name\nFROM concepts\nWIDTH x = 1")
+        assert findings[0].code == "syntax-error"
+        assert "line 3" in findings[0].message
+
+
+class TestNoExecution:
+    def test_checker_never_evaluates(self, soqa, monkeypatch):
+        """The static checker must not touch the evaluator at all."""
+        from repro.soqa.soqaql import evaluator
+
+        def explode(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("static checker executed the query")
+
+        monkeypatch.setattr(evaluator.SOQAQLEngine, "execute", explode)
+        monkeypatch.setattr(evaluator.SOQAQLEngine, "_rows_for", explode)
+        findings = soqa.check_query(
+            "SELECT nam FROM concepts WHERE ghost = 3")
+        assert [finding.code for finding in findings] == [
+            "unknown-select-field", "unknown-where-field"]
+
+
+#: One small ontology per bundled wrapper language.
+WRAPPER_SOURCES = (
+    ("OWL", MINI_OWL),
+    ("DAML", DAML_TEXT),
+    ("RDFS", RDFS_TEXT),
+    ("PowerLoom", MINI_PLOOM),
+    ("Ontolingua", ONTOLINGUA_TEXT),
+    ("SHOE", SHOE_TEXT),
+    ("WordNet", MINI_WORDNET),
+)
+
+
+class TestAcrossWrappers:
+    @pytest.mark.parametrize("language,text", WRAPPER_SOURCES,
+                             ids=[lang for lang, _ in WRAPPER_SOURCES])
+    def test_valid_query_is_clean_for_every_wrapper(self, language, text):
+        soqa = SOQA()
+        soqa.load_text(text, f"mini-{language}", language)
+        for source in ("concepts", "attributes", "relationships",
+                       "instances"):
+            query = f"SELECT name FROM {source} IN 'mini-{language}'"
+            assert codes(query, soqa=soqa) == [], (language, source)
+
+    @pytest.mark.parametrize("language,text", WRAPPER_SOURCES,
+                             ids=[lang for lang, _ in WRAPPER_SOURCES])
+    def test_unknown_field_flagged_for_every_wrapper(self, language, text):
+        soqa = SOQA()
+        soqa.load_text(text, f"mini-{language}", language)
+        findings = soqa.check_query(
+            f"SELECT bogus FROM concepts IN 'mini-{language}'")
+        assert [finding.code for finding in findings] == \
+            ["unknown-select-field"]
+        assert findings[0].line == 1
+        assert findings[0].column == 8

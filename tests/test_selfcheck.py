@@ -1,0 +1,49 @@
+"""Self-check: the bundled ontology corpus must lint clean.
+
+Every ontology shipped with the toolkit — the paper's five-ontology
+corpus plus the WordNet noun fragment — is run through the full
+ontology linter. Warnings are tolerated (real-world ontologies are
+imperfect), but error-severity findings in our own corpus would mean
+either broken bundled data or a lint rule producing false positives.
+"""
+
+import pytest
+
+from repro.analysis import lint_ontology
+from repro.ontologies import load_wordnet
+
+
+def error_findings(ontology):
+    return [finding for finding in lint_ontology(ontology)
+            if finding.severity == "error"]
+
+
+def test_corpus_ontologies_have_no_error_findings(corpus_soqa):
+    for name in corpus_soqa.ontology_names():
+        errors = error_findings(corpus_soqa.ontology(name))
+        assert errors == [], (
+            f"bundled ontology {name!r} has error findings: "
+            + "; ".join(str(finding) for finding in errors))
+
+
+def test_corpus_covers_the_papers_five_ontologies(corpus_soqa):
+    assert len(corpus_soqa.ontology_names()) == 5
+
+
+def test_wordnet_fragment_has_no_error_findings():
+    errors = error_findings(load_wordnet())
+    assert errors == []
+
+
+def test_query_examples_in_cli_docstring_are_clean(corpus_soqa):
+    """The SOQA-QL examples we advertise must pass the static checker."""
+    from repro.analysis import check_query
+
+    examples = (
+        "SELECT name, documentation FROM concepts IN 'univ-bench_owl'",
+        "SELECT COUNT(*) FROM concepts IN COURSES",
+        "DESCRIBE CONCEPT Professor IN 'univ-bench_owl'",
+    )
+    for example in examples:
+        findings = check_query(example, soqa=corpus_soqa)
+        assert findings == [], example
