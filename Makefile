@@ -1,0 +1,24 @@
+# Local invocations that match the CI jobs (.github/workflows/ci.yml)
+# exactly — CI calls these same targets.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench-smoke bench
+
+# Tier-1 test suite (the CI "tests" job).
+test:
+	$(PY) -m pytest -x -q
+
+# Static analysis over the bundled ontology corpus (the CI "lint" job).
+# `python -m repro.cli` is the module form of the installed `sst` command.
+lint:
+	$(PY) -m repro.cli lint --fail-on error
+
+# Fast benchmark subset with JSON artifacts (the CI "bench-smoke" job).
+bench-smoke:
+	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_table1.py benchmarks/test_parallel_scaling.py -q
+
+# The full benchmark suite (not run in CI; slow).
+bench:
+	$(PY) -m pytest benchmarks -q

@@ -1,0 +1,100 @@
+"""Experiment P1 — serial vs parallel batch similarity scaling.
+
+Times `get_similarity_matrix` over the largest bundled ontology
+(``SUMO_owl_txt``, 789 concepts) under all three execution strategies of
+:mod:`repro.core.parallel` and records the wall-clock trajectory into a
+stable JSON artifact (``BENCH_parallel.json``), so future PRs can chart
+the perf trend.  The run **fails if any parallel cell diverges from the
+serial matrix** — parallelism must never change a result.
+
+Two modes:
+
+* full (default): a 32-concept Tree-Edit matrix (528 symmetric pairs,
+  ~6 ms/pair serial) — enough work for the pools to amortize; asserts
+  the >= 2x speedup with 4 process workers when the host has >= 4 CPUs.
+* quick (``SST_BENCH_QUICK=1``, the CI smoke mode): a 12-concept
+  matrix; equality across strategies is still asserted cell by cell,
+  timings are recorded but no speedup is demanded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import record
+from repro.core.parallel import PROCESS, SERIAL, STRATEGIES, THREAD
+from repro.core.registry import Measure
+
+#: Bump when the BENCH_parallel.json layout changes.
+SCHEMA = "sst/bench-parallel/v1"
+
+ONTOLOGY = "SUMO_owl_txt"  # the largest bundled ontology (789 concepts)
+MEASURE = Measure.TREE_EDIT
+WORKERS = 4
+
+QUICK = os.environ.get("SST_BENCH_QUICK", "").strip() not in ("", "0")
+MATRIX_SIZE = 12 if QUICK else 32
+
+#: Hosts with fewer cores than this record the speedup without
+#: asserting it (a 1-core runner cannot physically go faster).
+MIN_CPUS_FOR_ASSERT = 4
+SPEEDUP_TARGET = 2.0
+
+
+def _timed_matrix(sst, concepts, workers, strategy):
+    start = time.perf_counter()
+    matrix = sst.get_similarity_matrix(concepts, MEASURE, workers=workers,
+                                       strategy=strategy)
+    return matrix, time.perf_counter() - start
+
+
+def test_parallel_scaling(corpus_sst, results_dir):
+    concepts = [(ONTOLOGY, concept.name)
+                for concept in corpus_sst.soqa.ontology(ONTOLOGY)]
+    concepts = concepts[:MATRIX_SIZE]
+    assert len(concepts) == MATRIX_SIZE
+
+    # Warm the lazily built wrapper state (taxonomy, subtrees) outside
+    # the timed region, so every strategy times pure pair scoring.
+    corpus_sst.get_similarity_matrix(concepts[:2], MEASURE)
+
+    matrices, timings = {}, {}
+    matrices[SERIAL], timings[SERIAL] = _timed_matrix(
+        corpus_sst, concepts, 1, SERIAL)
+    matrices[THREAD], timings[THREAD] = _timed_matrix(
+        corpus_sst, concepts, WORKERS, THREAD)
+    matrices[PROCESS], timings[PROCESS] = _timed_matrix(
+        corpus_sst, concepts, WORKERS, PROCESS)
+
+    # Hard gate: parallel output must be bit-identical to serial —
+    # every cell, every strategy.
+    for strategy in (THREAD, PROCESS):
+        assert matrices[strategy] == matrices[SERIAL], (
+            f"{strategy} matrix diverged from serial")
+
+    pair_count = MATRIX_SIZE * (MATRIX_SIZE + 1) // 2
+    payload = {
+        "schema": SCHEMA,
+        "quick": QUICK,
+        "ontology": ONTOLOGY,
+        "measure": corpus_sst.runner(MEASURE).name,
+        "matrix_size": MATRIX_SIZE,
+        "pairs": pair_count,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count() or 1,
+        "strategies": list(STRATEGIES),
+        "seconds": {strategy: round(timings[strategy], 6)
+                    for strategy in STRATEGIES},
+        "speedup": {strategy: round(timings[SERIAL] / timings[strategy], 3)
+                    for strategy in (THREAD, PROCESS)},
+        "identical": True,
+    }
+    record(results_dir, "BENCH_parallel.json",
+           json.dumps(payload, indent=2) + "\n")
+
+    if not QUICK and payload["cpu_count"] >= MIN_CPUS_FOR_ASSERT:
+        assert payload["speedup"][PROCESS] >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x process speedup with "
+            f"{WORKERS} workers, measured {payload['speedup'][PROCESS]}x")

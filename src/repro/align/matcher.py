@@ -40,13 +40,17 @@ class OntologyMatcher:
 
     def __init__(self, sst: SOQASimPackToolkit,
                  measure: int | str | Measure = Measure.TFIDF,
-                 threshold: float = 0.5):
+                 threshold: float = 0.5,
+                 workers: int | None = None,
+                 strategy: str | None = None):
         if not 0.0 <= threshold <= 1.0:
             raise SSTCoreError(
                 f"threshold must be within [0, 1], got {threshold}")
         self.sst = sst
         self.measure = measure
         self.threshold = threshold
+        self.workers = workers
+        self.strategy = strategy
 
     def _concepts_of(self, ontology_name: str) -> list[QualifiedConcept]:
         ontology = self.sst.soqa.ontology(ontology_name)
@@ -55,7 +59,12 @@ class OntologyMatcher:
 
     def score_pairs(self, first_ontology: str, second_ontology: str,
                     ) -> list[Correspondence]:
-        """All cross-ontology pairs with their scores, best first."""
+        """All cross-ontology pairs with their scores, best first.
+
+        Candidate scoring is the matcher's hot loop (|O1| x |O2| pairs);
+        it runs through the batch engine, so ``workers`` set on the
+        matcher (or ``SST_WORKERS``) parallelizes it.
+        """
         runner = self.sst.runner(self.measure)
         if not runner.is_normalized():
             raise SSTCoreError(
@@ -63,9 +72,14 @@ class OntologyMatcher:
                 "returns raw values")
         first_concepts = self._concepts_of(first_ontology)
         second_concepts = self._concepts_of(second_ontology)
-        pairs = [Correspondence(first, second, runner.run(first, second))
-                 for first in first_concepts
-                 for second in second_concepts]
+        candidate_pairs = [(first, second)
+                           for first in first_concepts
+                           for second in second_concepts]
+        engine = self.sst.engine(self.measure, workers=self.workers,
+                                 strategy=self.strategy)
+        scores = engine.score_pairs(candidate_pairs)
+        pairs = [Correspondence(first, second, score)
+                 for (first, second), score in zip(candidate_pairs, scores)]
         pairs.sort(key=lambda correspondence: (
             -correspondence.confidence,
             correspondence.first.concept_name,
@@ -100,11 +114,13 @@ class OntologyMatcher:
                        target_ontology: str, k: int = 5,
                        ) -> list[Correspondence]:
         """The k best correspondence candidates for one concept."""
-        runner = self.sst.runner(self.measure)
         anchor = QualifiedConcept(ontology_name, concept_name)
-        candidates = [
-            Correspondence(anchor, target, runner.run(anchor, target))
-            for target in self._concepts_of(target_ontology)]
+        targets = self._concepts_of(target_ontology)
+        engine = self.sst.engine(self.measure, workers=self.workers,
+                                 strategy=self.strategy)
+        scores = engine.score_against(anchor, targets)
+        candidates = [Correspondence(anchor, target, score)
+                      for target, score in zip(targets, scores)]
         candidates.sort(key=lambda correspondence: (
             -correspondence.confidence,
             correspondence.second.concept_name))

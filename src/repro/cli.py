@@ -9,6 +9,7 @@ Subcommands map onto the facade services:
     sst sim base1_0_daml Professor univ-bench_owl Professor
     sst ksim univ-bench_owl Person -k 10 -m TFIDF
     sst kdissim base1_0_daml Professor -k 5
+    sst matrix --from-ontology SUMO_owl_txt --limit 32 --workers 4
     sst chart base1_0_daml Professor -k 10 -o /tmp/charts
     sst table1                          # reprint the paper's Table 1
     sst query "SELECT name FROM concepts WHERE is_root = true LIMIT 5"
@@ -40,6 +41,19 @@ __all__ = ["build_parser", "main"]
 
 def _measure_argument(value: str) -> "int | str":
     return int(value) if value.isdigit() else value
+
+
+def _add_parallel_arguments(sub: argparse.ArgumentParser) -> None:
+    """Attach the batch-engine worker controls to a subcommand."""
+    from repro.core.parallel import STRATEGIES
+
+    sub.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for batch scoring (default: SST_WORKERS or 1)")
+    sub.add_argument(
+        "--strategy", choices=STRATEGIES, default=None,
+        help="batch execution strategy (default: SST_STRATEGY, else "
+             "serial for 1 worker / process for more)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +92,25 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--subtree", default=None,
                          help="restrict candidates to this subtree root "
                               "(format ontology:Concept)")
+        _add_parallel_arguments(sub)
+
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="pairwise similarity matrix of a concept set (batch engine)")
+    matrix.add_argument(
+        "concepts", nargs="*", metavar="ONTOLOGY:CONCEPT",
+        help="the concept set (repeatable prefix notation)")
+    matrix.add_argument(
+        "--from-ontology", default=None, metavar="NAME",
+        help="use every concept of this ontology as the set")
+    matrix.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="cap the concept set at its first N members")
+    matrix.add_argument("-m", "--measure", type=_measure_argument,
+                        default=int(Measure.SHORTEST_PATH))
+    matrix.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format")
+    _add_parallel_arguments(matrix)
 
     chart = subparsers.add_parser(
         "chart", help="chart the k most similar concepts (Fig. 5)")
@@ -103,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("-m", "--measure", type=_measure_argument,
                        default=int(Measure.TFIDF))
     align.add_argument("-t", "--threshold", type=float, default=0.5)
+    _add_parallel_arguments(align)
 
     search = subparsers.add_parser(
         "search", help="free-text semantic search over concepts")
@@ -211,7 +245,9 @@ def _run(arguments: argparse.Namespace) -> int:
         entries = service(arguments.concept, arguments.ontology,
                           subtree_root_concept_name=subtree_concept,
                           subtree_ontology_name=subtree_ontology,
-                          k=arguments.k, measure=arguments.measure)
+                          k=arguments.k, measure=arguments.measure,
+                          workers=arguments.workers,
+                          strategy=arguments.strategy)
         rows = [[str(index + 1), entry.concept_name, entry.ontology_name,
                  f"{entry.similarity:.4f}"]
                 for index, entry in enumerate(entries)]
@@ -225,6 +261,8 @@ def _run(arguments: argparse.Namespace) -> int:
         if arguments.output is not None:
             paths = bar_chart.save(arguments.output)
             print("\nwrote: " + ", ".join(str(path) for path in paths))
+    elif command == "matrix":
+        return _run_matrix(sst, arguments)
     elif command == "table1":
         print(_table1_text(sst))
     elif command == "measures":
@@ -248,7 +286,9 @@ def _run(arguments: argparse.Namespace) -> int:
         from repro.align.matcher import OntologyMatcher
 
         matcher = OntologyMatcher(sst, measure=arguments.measure,
-                                  threshold=arguments.threshold)
+                                  threshold=arguments.threshold,
+                                  workers=arguments.workers,
+                                  strategy=arguments.strategy)
         alignment = matcher.match(arguments.first_ontology,
                                   arguments.second_ontology)
         rows = [[str(correspondence.first), str(correspondence.second),
@@ -318,6 +358,47 @@ def _run(arguments: argparse.Namespace) -> int:
         run_browser(sst)
     elif command == "shell":  # pragma: no cover - interactive
         run_shell(sst.soqa)
+    return 0
+
+
+def _run_matrix(sst: SOQASimPackToolkit,
+                arguments: argparse.Namespace) -> int:
+    """The ``sst matrix`` subcommand: batch similarity matrices."""
+    import json
+
+    references: list[tuple[str, str]] = []
+    for spec in arguments.concepts:
+        ontology_name, separator, concept_name = spec.partition(":")
+        if not separator or not ontology_name or not concept_name:
+            print(f"error: malformed concept {spec!r}; expected "
+                  "ONTOLOGY:CONCEPT", file=sys.stderr)
+            return 1
+        references.append((ontology_name, concept_name))
+    if arguments.from_ontology is not None:
+        ontology = sst.soqa.ontology(arguments.from_ontology)
+        references.extend((arguments.from_ontology, concept.name)
+                          for concept in ontology)
+    if arguments.limit is not None:
+        references = references[:arguments.limit]
+    if not references:
+        print("error: no concepts given (positional ONTOLOGY:CONCEPT or "
+              "--from-ontology)", file=sys.stderr)
+        return 1
+    matrix = sst.get_similarity_matrix(references, arguments.measure,
+                                       workers=arguments.workers,
+                                       strategy=arguments.strategy)
+    labels = [f"{ontology_name}:{concept_name}"
+              for ontology_name, concept_name in references]
+    if arguments.output_format == "json":
+        print(json.dumps({
+            "measure": sst.runner(arguments.measure).name,
+            "labels": labels,
+            "matrix": matrix,
+        }, indent=2))
+    else:
+        rows = [[label] + [f"{value:.4f}" for value in row]
+                for label, row in zip(labels, matrix)]
+        print(render_table(["concept"] + labels, rows))
     return 0
 
 

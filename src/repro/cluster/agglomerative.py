@@ -151,12 +151,25 @@ def render_dendrogram(root: ClusterNode, labels: Sequence[str]) -> str:
 
 
 class ConceptClusterer:
-    """Clustering of qualified concepts via an SST facade."""
+    """Clustering of qualified concepts via an SST facade.
 
-    def __init__(self, sst, measure, linkage: str = "average"):
+    ``workers``/``strategy`` are forwarded to the facade's similarity
+    matrix service, so the quadratic distance-matrix step — the
+    clusterer's hot path — runs through the parallel batch engine.
+    """
+
+    def __init__(self, sst, measure, linkage: str = "average",
+                 workers: int | None = None, strategy: str | None = None):
         self.sst = sst
         self.measure = measure
         self.linkage = linkage
+        self.workers = workers
+        self.strategy = strategy
+
+    def _matrix(self, concepts: Sequence) -> list[list[float]]:
+        return self.sst.get_similarity_matrix(
+            list(concepts), self.measure, workers=self.workers,
+            strategy=self.strategy)
 
     def cluster(self, concepts: Sequence, threshold: float = 0.5,
                 ) -> list[list]:
@@ -168,16 +181,14 @@ class ConceptClusterer:
         """
         if not concepts:
             return []
-        matrix = self.sst.get_similarity_matrix(list(concepts),
-                                                self.measure)
+        matrix = self._matrix(concepts)
         root = agglomerate(matrix, linkage=self.linkage)
         return [[concepts[index] for index in group]
                 for group in cut_clusters(root, threshold)]
 
     def dendrogram(self, concepts: Sequence) -> str:
         """The full dendrogram of the concept references, as text."""
-        matrix = self.sst.get_similarity_matrix(list(concepts),
-                                                self.measure)
+        matrix = self._matrix(concepts)
         root = agglomerate(matrix, linkage=self.linkage)
         labels = [f"{ontology}:{concept}"
                   for ontology, concept in concepts]

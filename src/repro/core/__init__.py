@@ -12,14 +12,18 @@
 * :mod:`repro.core.registry` — measure ids, names and the runner
   registry through which SST is extended.
 * :mod:`repro.core.combined` — Ehrig-style amalgamated measures.
+* :mod:`repro.core.parallel` — the batch execution engine that
+  partitions pairwise similarity work across worker pools.
 """
 
 from repro.core.facade import SOQASimPackToolkit
+from repro.core.parallel import BatchSimilarityEngine
 from repro.core.registry import Measure
 from repro.core.results import ConceptAndSimilarity, QualifiedConcept
 from repro.core.unified import MERGED_THING, SUPER_THING, UnifiedTree
 
 __all__ = [
+    "BatchSimilarityEngine",
     "ConceptAndSimilarity",
     "MERGED_THING",
     "Measure",

@@ -9,6 +9,7 @@ calls over the same corpus amortize.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.core.results import QualifiedConcept
@@ -24,6 +25,13 @@ class CachedRunner(MeasureRunner):
     ``symmetric`` (default True, correct for every bundled measure)
     stores one entry per unordered pair.  Eviction is LRU with a
     configurable capacity.
+
+    The memo table and the hit/miss counters are lock-guarded, so one
+    cache can be shared by the thread-backed strategy of
+    :mod:`repro.core.parallel`; the underlying measure computation runs
+    outside the lock.  Process-backed workers return their per-chunk
+    entries and statistics instead, which the parent folds back in via
+    :meth:`merge`.
     """
 
     def __init__(self, inner: MeasureRunner, capacity: int = 100_000,
@@ -39,6 +47,7 @@ class CachedRunner(MeasureRunner):
         self.hits = 0
         self.misses = 0
         self._table: OrderedDict[tuple, float] = OrderedDict()
+        self._lock = threading.RLock()
 
     def _key(self, first: QualifiedConcept,
              second: QualifiedConcept) -> tuple:
@@ -49,20 +58,60 @@ class CachedRunner(MeasureRunner):
             return (second, first)
         return (first, second)
 
+    def cache_key(self, first: QualifiedConcept,
+                  second: QualifiedConcept) -> tuple:
+        """The (symmetry-normalized) memo key of a concept pair."""
+        return self._key(first, second)
+
     def run(self, first: QualifiedConcept,
             second: QualifiedConcept) -> float:
         key = self._key(first, second)
-        cached = self._table.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._table.move_to_end(key)
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._table.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._table.move_to_end(key)
+                return cached
+            self.misses += 1
+        # Compute outside the lock; two threads racing on the same cold
+        # key both compute the (identical) value, which is harmless.
         value = self.inner.run(first, second)
-        self._table[key] = value
-        if len(self._table) > self.capacity:
-            self._table.popitem(last=False)
+        with self._lock:
+            self._table[key] = value
+            while len(self._table) > self.capacity:
+                self._table.popitem(last=False)
         return value
+
+    def merge(self, entries, hits: int = 0, misses: int = 0) -> None:
+        """Fold a worker's cache delta back into this cache.
+
+        ``entries`` are ``(key, value)`` pairs as produced by
+        :meth:`cache_key`; ``hits``/``misses`` are the worker's counter
+        deltas.  Used by the process-backed parallel strategy, whose
+        workers each mutate a forked copy of the table.
+        """
+        with self._lock:
+            for key, value in entries:
+                self._table[key] = value
+                self._table.move_to_end(key)
+            while len(self._table) > self.capacity:
+                self._table.popitem(last=False)
+            self.hits += hits
+            self.misses += misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._table)
+
+    def __getstate__(self) -> dict:
+        # Locks cannot cross process boundaries; each copy gets its own.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def is_normalized(self) -> bool:
         return self.inner.is_normalized()
@@ -77,6 +126,7 @@ class CachedRunner(MeasureRunner):
 
     def clear(self) -> None:
         """Drop all cached entries and reset statistics."""
-        self._table.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0

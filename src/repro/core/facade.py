@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.parallel import BatchSimilarityEngine
 from repro.core.registry import Measure, RunnerRegistry, TABLE1_MEASURES
 from repro.core.results import ConceptAndSimilarity, QualifiedConcept
 from repro.core.runners import MeasureRunner
@@ -257,21 +258,33 @@ class SOQASimPackToolkit:
                 second_concept_name, second_ontology_name, measure)
         return results
 
+    def engine(self, measure: int | str | Measure,
+               workers: int | None = None,
+               strategy: str | None = None) -> BatchSimilarityEngine:
+        """A batch execution engine over the measure's runner.
+
+        ``workers`` defaults to the ``SST_WORKERS`` environment variable
+        (or 1), ``strategy`` to ``SST_STRATEGY`` (or serial/process
+        depending on the worker count); see :mod:`repro.core.parallel`.
+        """
+        return BatchSimilarityEngine(self.runner(measure), workers=workers,
+                                     strategy=strategy)
+
     def get_similarity_to_set(self, concept_name: str, ontology_name: str,
                               concepts: Iterable[ConceptRef],
                               measure: int | str | Measure,
+                              workers: int | None = None,
+                              strategy: str | None = None,
                               ) -> list[ConceptAndSimilarity]:
         """Similarity between a concept and a freely composed concept set."""
         anchor = QualifiedConcept(ontology_name, concept_name)
-        runner = self.runner(measure)
-        results = []
-        for reference in concepts:
-            other = _qualify(reference)
-            results.append(ConceptAndSimilarity(
-                concept_name=other.concept_name,
-                ontology_name=other.ontology_name,
-                similarity=runner.run(anchor, other)))
-        return results
+        others = [_qualify(reference) for reference in concepts]
+        values = self.engine(measure, workers, strategy).score_against(
+            anchor, others)
+        return [ConceptAndSimilarity(concept_name=other.concept_name,
+                                     ontology_name=other.ontology_name,
+                                     similarity=value)
+                for other, value in zip(others, values)]
 
     def search_concepts(self, query_text: str, k: int = 10,
                         scheme: str = "tfidf",
@@ -331,21 +344,25 @@ class SOQASimPackToolkit:
                                   k: int = 10,
                                   measure: int | str | Measure =
                                   Measure.SHORTEST_PATH,
+                                  workers: int | None = None,
+                                  strategy: str | None = None,
                                   ) -> list[ConceptAndSimilarity]:
         """The ``k`` most similar concepts for the given one (signature S2).
 
         The candidate set is the named ontology taxonomy (sub)tree, or
         all loaded concepts when no subtree is named.  Results come
         sorted best-first; ties break alphabetically for determinism.
+        Candidate scoring is batched through the parallel engine when
+        ``workers`` (or ``SST_WORKERS``) exceeds 1.
         """
         anchor = QualifiedConcept(concept_ontology_name, concept_name)
         candidates = self._candidates(subtree_root_concept_name,
                                       subtree_ontology_name, anchor)
-        runner = self.runner(measure)
+        values = self.engine(measure, workers, strategy).score_against(
+            anchor, candidates)
         scored = [ConceptAndSimilarity(candidate.concept_name,
-                                       candidate.ontology_name,
-                                       runner.run(anchor, candidate))
-                  for candidate in candidates]
+                                       candidate.ontology_name, value)
+                  for candidate, value in zip(candidates, values)]
         scored.sort(key=lambda entry: (-entry.similarity,
                                        entry.ontology_name,
                                        entry.concept_name))
@@ -359,16 +376,18 @@ class SOQASimPackToolkit:
                                      k: int = 10,
                                      measure: int | str | Measure =
                                      Measure.SHORTEST_PATH,
+                                     workers: int | None = None,
+                                     strategy: str | None = None,
                                      ) -> list[ConceptAndSimilarity]:
         """The ``k`` most dissimilar concepts for the given one."""
         anchor = QualifiedConcept(concept_ontology_name, concept_name)
         candidates = self._candidates(subtree_root_concept_name,
                                       subtree_ontology_name, anchor)
-        runner = self.runner(measure)
+        values = self.engine(measure, workers, strategy).score_against(
+            anchor, candidates)
         scored = [ConceptAndSimilarity(candidate.concept_name,
-                                       candidate.ontology_name,
-                                       runner.run(anchor, candidate))
-                  for candidate in candidates]
+                                       candidate.ontology_name, value)
+                  for candidate, value in zip(candidates, values)]
         scored.sort(key=lambda entry: (entry.similarity,
                                        entry.ontology_name,
                                        entry.concept_name))
@@ -377,24 +396,20 @@ class SOQASimPackToolkit:
     def get_similarity_matrix(self, concepts: Sequence[ConceptRef],
                               measure: int | str | Measure,
                               symmetric: bool = True,
+                              workers: int | None = None,
+                              strategy: str | None = None,
                               ) -> list[list[float]]:
         """The full pairwise similarity matrix of a concept list.
 
         All bundled measures are symmetric, so by default only the upper
         triangle is computed and mirrored; pass ``symmetric=False`` for
-        a custom asymmetric runner.
+        a custom asymmetric runner.  With ``workers`` > 1 (or
+        ``SST_WORKERS`` set) the pair batch is partitioned across a
+        worker pool; every strategy produces the identical matrix.
         """
         qualified = [_qualify(concept) for concept in concepts]
-        runner = self.runner(measure)
-        size = len(qualified)
-        matrix = [[0.0] * size for _ in range(size)]
-        for row in range(size):
-            for column in range(row if symmetric else 0, size):
-                value = runner.run(qualified[row], qualified[column])
-                matrix[row][column] = value
-                if symmetric and column != row:
-                    matrix[column][row] = value
-        return matrix
+        return self.engine(measure, workers, strategy).similarity_matrix(
+            qualified, symmetric=symmetric)
 
     # -- visualization services (signature S3) --------------------------------------------------
 

@@ -1,0 +1,313 @@
+"""Parallel batch execution of pairwise similarity work.
+
+The paper's headline services — the similarity matrix, the k-most-
+similar retrieval, alignment candidate scoring and clustering distance
+matrices — are embarrassingly parallel over concept pairs: every score
+is an independent ``runner.run(first, second)`` call.  This module
+partitions such batches into chunks and executes them across a worker
+pool, with three interchangeable strategies:
+
+* ``"serial"`` — the deterministic fallback: one loop, no pool.  Always
+  available, always used for single-worker or single-pair batches.
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  sharing one runner (and hence one :class:`~repro.core.cache.
+  CachedRunner` memo table) between workers.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  over a *fork* context: workers inherit the fully built facade state
+  (unified tree, TFIDF index, IC tables) by copy-on-write instead of
+  pickling it, compute their chunks, and ship values plus their cache
+  deltas back to the parent, where they are merged into the parent's
+  :class:`CachedRunner`.  On platforms without ``fork`` the strategy
+  degrades to the serial fallback.
+
+All three strategies score the same pairs in the same order, so their
+results are bit-identical — parallelism never changes a single cell.
+
+Worker counts come from the ``workers=`` parameter, the ``SST_WORKERS``
+environment variable, or default to 1 (serial); the strategy from
+``strategy=``, ``SST_STRATEGY``, or ``"process"`` whenever more than
+one worker is requested.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.core.cache import CachedRunner
+from repro.core.results import QualifiedConcept
+from repro.core.runners import MeasureRunner
+from repro.errors import SSTCoreError
+
+__all__ = [
+    "PROCESS",
+    "SERIAL",
+    "STRATEGIES",
+    "STRATEGY_ENV",
+    "THREAD",
+    "WORKERS_ENV",
+    "BatchSimilarityEngine",
+    "effective_workers",
+    "resolve_strategy",
+    "score_against",
+    "score_pairs",
+    "similarity_matrix",
+]
+
+SERIAL = "serial"
+THREAD = "thread"
+PROCESS = "process"
+
+#: All execution strategies, in fallback order.
+STRATEGIES = (SERIAL, THREAD, PROCESS)
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "SST_WORKERS"
+
+#: Environment variable supplying the default execution strategy.
+STRATEGY_ENV = "SST_STRATEGY"
+
+#: Chunks handed out per worker; >1 smooths imbalance between chunks
+#: (pairs differ in cost) at a small scheduling overhead.
+CHUNKS_PER_WORKER = 4
+
+Pair = "tuple[QualifiedConcept, QualifiedConcept]"
+
+
+def effective_workers(workers: int | None = None) -> int:
+    """The worker count to use: explicit, ``SST_WORKERS``, or 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise SSTCoreError(
+                f"invalid {WORKERS_ENV} value {raw!r}; expected an integer")
+    if workers < 1:
+        raise SSTCoreError(f"worker count must be positive, got {workers}")
+    return workers
+
+
+def resolve_strategy(strategy: str | None = None, workers: int = 1) -> str:
+    """The execution strategy: explicit, ``SST_STRATEGY``, or derived.
+
+    Without an explicit choice, one worker means ``"serial"`` and more
+    than one means ``"process"`` — the only strategy that buys
+    wall-clock time for pure-Python measure computations.
+    """
+    if strategy is None:
+        strategy = os.environ.get(STRATEGY_ENV, "").strip() or None
+    if strategy is None:
+        return SERIAL if workers <= 1 else PROCESS
+    strategy = strategy.lower()
+    if strategy not in STRATEGIES:
+        raise SSTCoreError(
+            f"unknown execution strategy {strategy!r}; expected one of "
+            f"{', '.join(STRATEGIES)}")
+    return strategy
+
+
+def chunk_pairs(pairs: Sequence, chunk_count: int) -> list[list]:
+    """Split ``pairs`` into at most ``chunk_count`` contiguous chunks.
+
+    Contiguous slicing keeps reassembly a simple concatenation, so the
+    batch result order — and therefore every matrix cell — is identical
+    to the serial loop's.
+    """
+    total = len(pairs)
+    chunk_count = max(1, min(chunk_count, total))
+    size, remainder = divmod(total, chunk_count)
+    chunks: list[list] = []
+    start = 0
+    for index in range(chunk_count):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(list(pairs[start:end]))
+        start = end
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side
+# ---------------------------------------------------------------------------
+
+#: The runner of the current worker process, installed by the pool
+#: initializer.  With a fork context the runner (and the whole facade
+#: behind it) is inherited copy-on-write — nothing is pickled.
+_WORKER_RUNNER: MeasureRunner | None = None
+
+
+def _initialize_worker(runner: MeasureRunner) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner
+
+
+def _score_chunk(pairs: list) -> tuple[list[float], tuple | None]:
+    """Score one chunk in a worker process.
+
+    Returns the values plus, for cached runners, the chunk's cache
+    delta ``(entries, hits, misses)`` so the parent can merge worker
+    caches back together.
+    """
+    runner = _WORKER_RUNNER
+    if runner is None:  # pragma: no cover - defensive; initializer always ran
+        raise SSTCoreError("worker pool used before initialization")
+    if isinstance(runner, CachedRunner):
+        hits, misses = runner.hits, runner.misses
+        values = [runner.run(first, second) for first, second in pairs]
+        entries = [(runner.cache_key(first, second), value)
+                   for (first, second), value in zip(pairs, values)]
+        return values, (entries, runner.hits - hits, runner.misses - misses)
+    return [runner.run(first, second) for first, second in pairs], None
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None where unsupported."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class BatchSimilarityEngine:
+    """Executes batches of pairwise similarity work for one runner.
+
+    >>> engine = BatchSimilarityEngine(runner, workers=4)  # doctest: +SKIP
+    >>> engine.score_pairs([(a, b), (a, c)])               # doctest: +SKIP
+    [1.0, 0.5]
+    """
+
+    def __init__(self, runner: MeasureRunner, workers: int | None = None,
+                 strategy: str | None = None):
+        self.runner = runner
+        self.workers = effective_workers(workers)
+        self.strategy = resolve_strategy(strategy, self.workers)
+
+    # -- batch primitives ---------------------------------------------------
+
+    def score_pairs(self, pairs: Sequence) -> list[float]:
+        """The similarity of every ``(first, second)`` pair, in order."""
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if (self.strategy == SERIAL or self.workers <= 1
+                or len(pairs) <= 1):
+            return self._score_serial(pairs)
+        # Prime lazily built wrapper state (taxonomy, TFIDF index, IC
+        # tables) on the first pair in the calling thread, so thread
+        # workers never race on construction and process workers
+        # inherit the warm structures through fork.
+        first_value = self.runner.run(*pairs[0])
+        rest = pairs[1:]
+        chunks = chunk_pairs(rest, self.workers * CHUNKS_PER_WORKER)
+        if self.strategy == THREAD:
+            values = self._score_threaded(chunks)
+        else:
+            values = self._score_processes(chunks)
+        return [first_value] + values
+
+    def score_against(self, anchor: QualifiedConcept,
+                      candidates: Sequence[QualifiedConcept]) -> list[float]:
+        """Anchor-vs-candidate scores (k-most retrieval, alignment)."""
+        return self.score_pairs([(anchor, candidate)
+                                 for candidate in candidates])
+
+    def similarity_matrix(self, concepts: Sequence[QualifiedConcept],
+                          symmetric: bool = True) -> list[list[float]]:
+        """The full pairwise matrix of a concept list.
+
+        With ``symmetric=True`` (correct for every bundled measure)
+        only the upper triangle — including the diagonal — is computed
+        and mirrored, halving the batch.
+        """
+        size = len(concepts)
+        if symmetric:
+            pairs = [(concepts[row], concepts[column])
+                     for row in range(size)
+                     for column in range(row, size)]
+        else:
+            pairs = [(concepts[row], concepts[column])
+                     for row in range(size)
+                     for column in range(size)]
+        values = self.score_pairs(pairs)
+        matrix = [[0.0] * size for _ in range(size)]
+        position = 0
+        for row in range(size):
+            for column in range(row if symmetric else 0, size):
+                value = values[position]
+                position += 1
+                matrix[row][column] = value
+                if symmetric and column != row:
+                    matrix[column][row] = value
+        return matrix
+
+    # -- strategies -----------------------------------------------------------
+
+    def _score_serial(self, pairs: list) -> list[float]:
+        return [self.runner.run(first, second) for first, second in pairs]
+
+    def _score_threaded(self, chunks: list[list]) -> list[float]:
+        runner = self.runner
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            chunk_values = list(pool.map(
+                lambda chunk: [runner.run(first, second)
+                               for first, second in chunk],
+                chunks))
+        return [value for values in chunk_values for value in values]
+
+    def _score_processes(self, chunks: list[list]) -> list[float]:
+        context = _fork_context()
+        if context is None:
+            # No fork on this platform: deterministic serial fallback.
+            return self._score_serial(
+                [pair for chunk in chunks for pair in chunk])
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context,
+                                 initializer=_initialize_worker,
+                                 initargs=(self.runner,)) as pool:
+            results = list(pool.map(_score_chunk, chunks))
+        values: list[float] = []
+        for chunk_values, delta in results:
+            values.extend(chunk_values)
+            if delta is not None and isinstance(self.runner, CachedRunner):
+                entries, hits, misses = delta
+                self.runner.merge(entries, hits=hits, misses=misses)
+        return values
+
+
+# ---------------------------------------------------------------------------
+# Module-level conveniences
+# ---------------------------------------------------------------------------
+
+
+def score_pairs(runner: MeasureRunner, pairs: Sequence,
+                workers: int | None = None,
+                strategy: str | None = None) -> list[float]:
+    """One-shot batch scoring of concept pairs."""
+    return BatchSimilarityEngine(runner, workers, strategy).score_pairs(pairs)
+
+
+def score_against(runner: MeasureRunner, anchor: QualifiedConcept,
+                  candidates: Sequence[QualifiedConcept],
+                  workers: int | None = None,
+                  strategy: str | None = None) -> list[float]:
+    """One-shot anchor-vs-candidates scoring."""
+    return BatchSimilarityEngine(runner, workers,
+                                 strategy).score_against(anchor, candidates)
+
+
+def similarity_matrix(runner: MeasureRunner,
+                      concepts: Sequence[QualifiedConcept],
+                      symmetric: bool = True,
+                      workers: int | None = None,
+                      strategy: str | None = None) -> list[list[float]]:
+    """One-shot pairwise similarity matrix."""
+    return BatchSimilarityEngine(runner, workers, strategy).similarity_matrix(
+        concepts, symmetric=symmetric)

@@ -1,5 +1,8 @@
 """Unit tests for the pairwise similarity cache."""
 
+import pickle
+import threading
+
 import pytest
 
 from repro.core.cache import CachedRunner
@@ -77,6 +80,30 @@ class TestCaching:
             CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH),
                          capacity=0)
 
+    def test_merge_inserts_entries_and_statistics(self, cached):
+        key = cached.cache_key(PROFESSOR, STUDENT)
+        cached.merge([(key, 0.25)], hits=3, misses=2)
+        assert cached.run(PROFESSOR, STUDENT) == 0.25
+        assert cached.hits == 3 + 1
+        assert cached.misses == 2
+
+    def test_merge_respects_capacity(self, mini_sst):
+        cached = CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH),
+                              capacity=2)
+        entries = [(cached.cache_key(PROFESSOR, STUDENT), 0.1),
+                   (cached.cache_key(PROFESSOR, EMPLOYEE), 0.2),
+                   (cached.cache_key(STUDENT, EMPLOYEE), 0.3)]
+        cached.merge(entries)
+        assert len(cached) == 2
+
+    def test_pickle_roundtrip_recreates_lock(self, cached):
+        cached.run(PROFESSOR, STUDENT)
+        clone = pickle.loads(pickle.dumps(cached))
+        assert clone.hits == cached.hits
+        assert clone.misses == cached.misses
+        assert clone.run(PROFESSOR, STUDENT) == cached.run(PROFESSOR,
+                                                           STUDENT)
+
     def test_registered_as_custom_measure(self, mini_sst):
         measure_id = mini_sst.register_measure_runner(
             "cached-path",
@@ -88,3 +115,73 @@ class TestCaching:
                                          "univ", "cached-path")
         assert first == second
         assert mini_sst.runner(measure_id).hits >= 1
+
+
+class TestThreadSafety:
+    """Hammering: one cache shared by many threads stays consistent."""
+
+    THREADS = 8
+    ROUNDS = 40
+
+    def test_hammering_keeps_statistics_consistent(self, mini_sst):
+        inner = mini_sst.runner(Measure.SHORTEST_PATH)
+        cached = CachedRunner(inner)
+        concepts = (PROFESSOR, STUDENT, EMPLOYEE,
+                    QualifiedConcept("univ", "Person"),
+                    QualifiedConcept("univ", "Course"))
+        pairs = [(first, second) for first in concepts
+                 for second in concepts]
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer() -> None:
+            try:
+                barrier.wait()
+                for _ in range(self.ROUNDS):
+                    for first, second in pairs:
+                        value = cached.run(first, second)
+                        assert value == inner.run(first, second)
+            except BaseException as error:  # noqa: BLE001 - rethrown below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every lookup incremented exactly one counter, none was lost.
+        total = self.THREADS * self.ROUNDS * len(pairs)
+        assert cached.hits + cached.misses == total
+        assert len(cached) == 15  # unordered pairs of 5 concepts
+
+    def test_hammering_under_eviction_pressure(self, mini_sst):
+        # Capacity below the working set forces constant LRU mutation.
+        cached = CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH),
+                              capacity=4)
+        concepts = (PROFESSOR, STUDENT, EMPLOYEE,
+                    QualifiedConcept("univ", "Person"),
+                    QualifiedConcept("univ", "Course"))
+        pairs = [(first, second) for first in concepts
+                 for second in concepts]
+        errors: list[BaseException] = []
+
+        def hammer() -> None:
+            try:
+                for _ in range(self.ROUNDS):
+                    for first, second in pairs:
+                        cached.run(first, second)
+            except BaseException as error:  # noqa: BLE001 - rethrown below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cached) <= 4
+        total = self.THREADS * self.ROUNDS * len(pairs)
+        assert cached.hits + cached.misses == total

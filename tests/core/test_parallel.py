@@ -1,0 +1,208 @@
+"""Unit tests for the parallel batch similarity engine."""
+
+import pytest
+
+from repro.core.cache import CachedRunner
+from repro.core.parallel import (
+    PROCESS,
+    SERIAL,
+    STRATEGIES,
+    STRATEGY_ENV,
+    THREAD,
+    WORKERS_ENV,
+    BatchSimilarityEngine,
+    chunk_pairs,
+    effective_workers,
+    resolve_strategy,
+    score_against,
+    score_pairs,
+    similarity_matrix,
+)
+from repro.core.registry import Measure
+from repro.core.results import QualifiedConcept
+from repro.errors import SSTCoreError
+
+PERSON = QualifiedConcept("univ", "Person")
+EMPLOYEE = QualifiedConcept("univ", "Employee")
+PROFESSOR = QualifiedConcept("univ", "Professor")
+STUDENT = QualifiedConcept("univ", "Student")
+COURSE = QualifiedConcept("univ", "Course")
+
+CONCEPTS = (PERSON, EMPLOYEE, PROFESSOR, STUDENT, COURSE)
+PAIRS = [(first, second) for first in CONCEPTS for second in CONCEPTS]
+
+
+class TestChunking:
+    def test_partitions_everything_in_order(self):
+        chunks = chunk_pairs(PAIRS, 4)
+        assert [pair for chunk in chunks for pair in chunk] == PAIRS
+
+    def test_respects_chunk_count(self):
+        assert len(chunk_pairs(PAIRS, 4)) == 4
+        assert len(chunk_pairs(PAIRS, 100)) == len(PAIRS)
+        assert len(chunk_pairs(PAIRS, 1)) == 1
+
+    def test_balanced_sizes(self):
+        sizes = [len(chunk) for chunk in chunk_pairs(PAIRS, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestWorkerResolution:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert effective_workers() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert effective_workers(2) == 2
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert effective_workers() == 3
+
+    def test_invalid_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(SSTCoreError):
+            effective_workers()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SSTCoreError):
+            effective_workers(0)
+
+
+class TestStrategyResolution:
+    def test_defaults_follow_worker_count(self, monkeypatch):
+        monkeypatch.delenv(STRATEGY_ENV, raising=False)
+        assert resolve_strategy(workers=1) == SERIAL
+        assert resolve_strategy(workers=4) == PROCESS
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV, "thread")
+        assert resolve_strategy(workers=4) == THREAD
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV, "thread")
+        assert resolve_strategy("serial", workers=4) == SERIAL
+
+    def test_case_insensitive(self):
+        assert resolve_strategy("THREAD") == THREAD
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SSTCoreError):
+            resolve_strategy("gpu")
+
+
+class TestBatchScoring:
+    @pytest.fixture
+    def runner(self, mini_sst):
+        return mini_sst.runner(Measure.SHORTEST_PATH)
+
+    def test_empty_batch(self, runner):
+        assert score_pairs(runner, []) == []
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_strategies_agree_with_serial_loop(self, runner, strategy):
+        expected = [runner.run(first, second) for first, second in PAIRS]
+        assert score_pairs(runner, PAIRS, workers=2,
+                           strategy=strategy) == expected
+
+    def test_score_against(self, runner):
+        expected = [runner.run(PERSON, other) for other in CONCEPTS]
+        assert score_against(runner, PERSON, CONCEPTS, workers=2,
+                             strategy=THREAD) == expected
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_matrix_matches_facade(self, mini_sst, runner, strategy):
+        expected = mini_sst.get_similarity_matrix(
+            [(c.ontology_name, c.concept_name) for c in CONCEPTS],
+            Measure.SHORTEST_PATH)
+        assert similarity_matrix(runner, list(CONCEPTS), workers=2,
+                                 strategy=strategy) == expected
+
+    def test_asymmetric_matrix(self, runner):
+        symmetric = similarity_matrix(runner, list(CONCEPTS))
+        full = similarity_matrix(runner, list(CONCEPTS), symmetric=False,
+                                 workers=2, strategy=THREAD)
+        assert full == symmetric  # the measure really is symmetric
+
+    def test_single_pair_short_circuits_to_serial(self, runner):
+        engine = BatchSimilarityEngine(runner, workers=4, strategy=PROCESS)
+        assert engine.score_pairs([(PERSON, STUDENT)]) == [
+            runner.run(PERSON, STUDENT)]
+
+    def test_engine_reads_environment(self, monkeypatch, runner):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        monkeypatch.setenv(STRATEGY_ENV, "thread")
+        engine = BatchSimilarityEngine(runner)
+        assert engine.workers == 2
+        assert engine.strategy == THREAD
+
+
+class TestCacheComposition:
+    def test_process_workers_merge_cache_back(self, mini_sst):
+        cached = CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH))
+        engine = BatchSimilarityEngine(cached, workers=2, strategy=PROCESS)
+        values = engine.score_pairs(PAIRS)
+        # All 15 unordered pairs of 5 concepts are now in the parent
+        # cache, merged back from the workers.
+        assert len(cached) == 15
+        assert cached.hits + cached.misses == len(PAIRS)
+        # A second batch is served entirely from the parent cache.
+        hits_before = cached.hits
+        assert engine.score_pairs(PAIRS) == values
+        assert cached.hits >= hits_before + len(PAIRS) - 1
+
+    def test_thread_workers_share_one_cache(self, mini_sst):
+        cached = CachedRunner(mini_sst.runner(Measure.SHORTEST_PATH))
+        engine = BatchSimilarityEngine(cached, workers=4, strategy=THREAD)
+        engine.score_pairs(PAIRS)
+        assert len(cached) == 15
+        assert cached.hits + cached.misses == len(PAIRS)
+
+
+class TestFacadeIntegration:
+    def test_facade_engine_factory(self, mini_sst):
+        engine = mini_sst.engine(Measure.SHORTEST_PATH, workers=3,
+                                 strategy="thread")
+        assert engine.workers == 3
+        assert engine.strategy == THREAD
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_k_most_similar_parallel(self, mini_sst, strategy):
+        serial = mini_sst.get_most_similar_concepts("Person", "univ", k=5)
+        parallel = mini_sst.get_most_similar_concepts(
+            "Person", "univ", k=5, workers=2, strategy=strategy)
+        assert parallel == serial
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_similarity_to_set_parallel(self, mini_sst, strategy):
+        references = [("univ", "Student"), ("univ", "Course"),
+                      ("MINI", "EMPLOYEE")]
+        serial = mini_sst.get_similarity_to_set(
+            "Person", "univ", references, Measure.SHORTEST_PATH)
+        parallel = mini_sst.get_similarity_to_set(
+            "Person", "univ", references, Measure.SHORTEST_PATH,
+            workers=2, strategy=strategy)
+        assert parallel == serial
+
+    def test_matcher_parallel_matches_serial(self, mini_sst):
+        from repro.align.matcher import OntologyMatcher
+
+        serial = OntologyMatcher(mini_sst, measure="Jaro-Winkler",
+                                 threshold=0.8).match("univ", "MINI")
+        parallel = OntologyMatcher(mini_sst, measure="Jaro-Winkler",
+                                   threshold=0.8, workers=2,
+                                   strategy=THREAD).match("univ", "MINI")
+        assert parallel == serial
+
+    def test_clusterer_parallel_matches_serial(self, mini_sst):
+        from repro.cluster.agglomerative import ConceptClusterer
+
+        references = [("univ", "Person"), ("univ", "Employee"),
+                      ("univ", "Professor"), ("univ", "Course")]
+        serial = ConceptClusterer(mini_sst, Measure.SHORTEST_PATH).cluster(
+            references, threshold=0.3)
+        parallel = ConceptClusterer(
+            mini_sst, Measure.SHORTEST_PATH, workers=2,
+            strategy=PROCESS).cluster(references, threshold=0.3)
+        assert parallel == serial

@@ -46,6 +46,59 @@ class TestAlignCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestMatrixCommand:
+    def test_matrix_text_output(self, capsys, ontology_files):
+        out = run_cli(capsys, ontology_files, "matrix",
+                      "univ:Person", "univ:Professor", "MINI:PERSON",
+                      "-m", "Shortest Path")
+        assert "univ:Person" in out
+        assert "MINI:PERSON" in out
+        assert "1.0000" in out
+
+    def test_matrix_json_with_workers(self, capsys, ontology_files):
+        import json
+
+        out = run_cli(capsys, ontology_files, "matrix",
+                      "univ:Person", "univ:Professor", "univ:Student",
+                      "--workers", "2", "--strategy", "thread",
+                      "--format", "json")
+        payload = json.loads(out)
+        assert payload["measure"] == "Shortest Path"
+        assert payload["labels"][0] == "univ:Person"
+        assert len(payload["matrix"]) == 3
+        assert payload["matrix"][0][0] == 1.0
+
+    def test_matrix_parallel_equals_serial(self, capsys, ontology_files):
+        import json
+
+        arguments = ["matrix", "--from-ontology", "univ", "--format",
+                     "json", "-m", "Levenshtein"]
+        serial = json.loads(run_cli(capsys, ontology_files, *arguments))
+        parallel = json.loads(run_cli(
+            capsys, ontology_files, *arguments,
+            "--workers", "2", "--strategy", "process"))
+        assert parallel == serial
+
+    def test_matrix_from_ontology_with_limit(self, capsys, ontology_files):
+        import json
+
+        out = run_cli(capsys, ontology_files, "matrix",
+                      "--from-ontology", "univ", "--limit", "2",
+                      "--format", "json")
+        payload = json.loads(out)
+        assert len(payload["labels"]) == 2
+
+    def test_matrix_without_concepts_errors(self, capsys, ontology_files):
+        argv = ["--ontology-file", ontology_files[0], "matrix"]
+        assert main(argv) == 1
+        assert "no concepts" in capsys.readouterr().err
+
+    def test_matrix_malformed_concept_errors(self, capsys, ontology_files):
+        argv = ["--ontology-file", ontology_files[0], "matrix", "Person"]
+        assert main(argv) == 1
+        assert "malformed" in capsys.readouterr().err
+
+
 class TestStatsCommand:
     def test_stats_table(self, capsys, ontology_files):
         out = run_cli(capsys, ontology_files, "stats")
