@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench
+.PHONY: test lint bench-smoke bench-graphindex bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
@@ -18,6 +18,13 @@ lint:
 # Fast benchmark subset with JSON artifacts (the CI "bench-smoke" job).
 bench-smoke:
 	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_table1.py benchmarks/test_parallel_scaling.py -q
+
+# Graph-index + disk-cache benchmark, quick mode (the CI
+# "bench-graphindex" job).  Fails on any naive/compiled divergence or a
+# cold warm-start; run without SST_BENCH_QUICK=1 to also enforce the
+# 5x speedup gate and regenerate BENCH_graphindex.json at the root.
+bench-graphindex:
+	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_graphindex_scaling.py -q
 
 # The full benchmark suite (not run in CI; slow).
 bench:

@@ -17,12 +17,23 @@ from repro.core.facade import SOQASimPackToolkit
 from repro.ontologies.library import load_corpus
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_disk_cache(monkeypatch):
+    """Timing benches must not warm-start from a user's ``~/.cache/sst``.
+
+    Benches that exercise the persistent tier explicitly (the
+    graph-index bench) point ``SST_CACHE_DIR`` at their own temp dirs.
+    """
+    monkeypatch.delenv("SST_CACHE_DIR", raising=False)
 
 
 @pytest.fixture(scope="session")
 def corpus_sst() -> SOQASimPackToolkit:
     """The paper's 943-concept corpus behind an SST facade."""
-    return SOQASimPackToolkit(load_corpus())
+    return SOQASimPackToolkit(load_corpus(), cache_dir=None)
 
 
 @pytest.fixture(scope="session")
@@ -35,3 +46,12 @@ def record(results_dir: Path, name: str, text: str) -> None:
     """Write one regenerated artifact and echo it to stdout."""
     (results_dir / name).write_text(text, encoding="utf-8")
     print(f"\n===== {name} =====\n{text}")
+
+
+def record_root(name: str, text: str) -> None:
+    """Also surface an artifact at the repo root.
+
+    ``BENCH_*.json`` files at the root feed the benchmark trajectory
+    tracker; ``benchmarks/results/`` only survives as a CI artifact.
+    """
+    (REPO_ROOT / name).write_text(text, encoding="utf-8")

@@ -1,0 +1,266 @@
+"""Experiment G1 — compiled graph index vs naive BFS + L2 warm start.
+
+Times the hot taxonomy queries behind the distance-based and
+information-theoretic measures (``mrca``, ``shortest_path_length`` under
+both policies, ``descendant_count``, ``max_depth``) on three 10k-node
+synthetic shapes, naive (``index_threshold=-1``) versus the
+:class:`~repro.soqa.graphindex.CompiledTaxonomy` path
+(``index_threshold=0``), and records the trajectory into
+``BENCH_graphindex.json`` (also mirrored at the repo root for the
+benchmark tracker).  Every query's results are compared element by
+element — **the compiled index must be bit-identical to naive BFS** —
+and a similarity matrix computed under both thresholds must match
+exactly.
+
+The second test exercises the persistent tier end to end: two ``sst
+matrix`` subprocesses share one ``SST_CACHE_DIR`` and the warm run must
+report a >90% disk hit rate with byte-identical stdout.
+
+Two modes:
+
+* full (default): 10k-node taxonomies, 400 query pairs; asserts the
+  >= 5x speedup for MRCA/via-ancestor path queries on the
+  multiple-inheritance DAG shape and that the warm CLI run beats cold.
+* quick (``SST_BENCH_QUICK=1``, the CI smoke mode): 1.5k nodes, 100
+  pairs; equality and the warm hit rate are still gated, timings are
+  recorded but no speedup is demanded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+from benchmarks.conftest import REPO_ROOT, record, record_root
+from repro.core.registry import Measure
+from repro.ontologies.generator import (generate_random_dag,
+                                        generate_sumo_owl,
+                                        generate_synthetic_taxonomy,
+                                        generate_wordnet_taxonomy)
+from repro.soqa.graph import Taxonomy
+from repro.soqa.graphindex import INDEX_THRESHOLD_ENV
+
+#: Bump when the BENCH_graphindex.json layout changes.
+SCHEMA = "sst/bench-graphindex/v1"
+
+QUICK = os.environ.get("SST_BENCH_QUICK", "").strip() not in ("", "0")
+SIZE = 1_500 if QUICK else 10_000
+PAIRS = 100 if QUICK else 400
+ANY_PAIRS = 20 if QUICK else 60
+REPEATS = 3
+
+#: The acceptance gate: MRCA/path queries on the >= 10k-node synthetic
+#: DAG must run at least this much faster through the compiled index.
+SPEEDUP_TARGET = 5.0
+GATED_SHAPE = "synthetic-dag"
+GATED_QUERIES = ("mrca", "path_via_ancestor")
+
+#: Taxonomy shapes; the multi-parent DAG is the gated one — its large
+#: ancestor sets are exactly what the ancestor bitsets precompute away.
+SHAPES = (
+    (GATED_SHAPE, lambda: generate_random_dag(SIZE, seed=1, max_parents=3)),
+    ("balanced-tree", lambda: generate_synthetic_taxonomy(SIZE)),
+    ("wordnet", lambda: generate_wordnet_taxonomy(SIZE, seed=1)),
+)
+
+MATRIX_ONTOLOGY_SIZE = 110  # minimum for the SUMO upper structure
+MATRIX_LIMIT = 8 if QUICK else 12
+MATRIX_MEASURE = str(int(Measure.TREE_EDIT))
+
+_HIT_LINE = re.compile(r"disk cache: (\d+)/(\d+) hits \(([\d.]+)%\)")
+
+
+def _sample_pairs(parents: dict) -> list[tuple[str, str]]:
+    import random
+
+    rng = random.Random(7)
+    nodes = list(parents)
+    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(PAIRS)]
+
+
+def _queries(parents: dict) -> dict:
+    pairs = _sample_pairs(parents)
+    nodes = list(parents)
+    return {
+        "mrca": lambda tax: [tax.mrca(a, b) for a, b in pairs],
+        "path_via_ancestor": lambda tax: [
+            tax.shortest_path_length(a, b) for a, b in pairs],
+        "path_any": lambda tax: [
+            tax.shortest_path_length(a, b, "any")
+            for a, b in pairs[:ANY_PAIRS]],
+        "descendant_count": lambda tax: [
+            tax.descendant_count(node) for node in nodes],
+        "max_depth": lambda tax: [tax.max_depth() for _ in range(200)],
+    }
+
+
+def _bench_shape(name: str, parents: dict) -> dict:
+    compiled = Taxonomy(parents, index_threshold=0)
+    start = time.perf_counter()
+    compiled.compile()
+    compile_seconds = time.perf_counter() - start
+
+    queries = _queries(parents)
+    shape_report: dict = {"nodes": len(parents),
+                          "compile_seconds": round(compile_seconds, 6),
+                          "queries": {}}
+    for query_name, query in queries.items():
+        naive_best = compiled_best = None
+        naive_result = compiled_result = None
+        for _ in range(REPEATS):
+            # A fresh naive instance per repeat: every repeat pays the
+            # BFS the compiled index precomputed once.
+            naive = Taxonomy(parents, index_threshold=-1)
+            start = time.perf_counter()
+            naive_result = query(naive)
+            elapsed = time.perf_counter() - start
+            naive_best = elapsed if naive_best is None else min(
+                naive_best, elapsed)
+            start = time.perf_counter()
+            compiled_result = query(compiled)
+            elapsed = time.perf_counter() - start
+            compiled_best = elapsed if compiled_best is None else min(
+                compiled_best, elapsed)
+        # Hard gate, both modes: the compiled index must return exactly
+        # what naive BFS returns, element by element.
+        assert compiled_result == naive_result, (
+            f"{name}/{query_name}: compiled index diverged from naive BFS")
+        shape_report["queries"][query_name] = {
+            "naive_seconds": round(naive_best, 6),
+            "compiled_seconds": round(compiled_best, 6),
+            "speedup": round(naive_best / compiled_best, 2)
+            if compiled_best else None,
+        }
+    shape_report["identical"] = True
+    return shape_report
+
+
+def _matrix_is_bit_identical() -> bool:
+    """A similarity matrix must not change when the index kicks in."""
+    from repro.core.facade import SOQASimPackToolkit
+    from repro.soqa.api import SOQA
+
+    matrices = []
+    for threshold in ("-1", "0"):
+        os.environ[INDEX_THRESHOLD_ENV] = threshold
+        try:
+            soqa = SOQA()
+            soqa.load_text(generate_sumo_owl(MATRIX_ONTOLOGY_SIZE),
+                           "sumo", "OWL")
+            sst = SOQASimPackToolkit(soqa, cache=False)
+            concepts = [("sumo", concept.name)
+                        for concept in soqa.ontology("sumo")][:MATRIX_LIMIT]
+            matrices.append(sst.get_similarity_matrix(
+                concepts, Measure.CONCEPTUAL_SIMILARITY))
+        finally:
+            os.environ.pop(INDEX_THRESHOLD_ENV, None)
+    return matrices[0] == matrices[1]
+
+
+def test_graphindex_speedups(results_dir, monkeypatch):
+    # The shapes must exceed the compile threshold legitimately; pin the
+    # default so an ambient override cannot skew the naive baseline.
+    monkeypatch.delenv(INDEX_THRESHOLD_ENV, raising=False)
+
+    shapes: dict = {}
+    for name, build in SHAPES:
+        shapes[name] = _bench_shape(name, build())
+
+    matrix_identical = _matrix_is_bit_identical()
+    assert matrix_identical, (
+        "similarity matrix diverged between naive and compiled index")
+
+    payload = {
+        "schema": SCHEMA,
+        "quick": QUICK,
+        "size": SIZE,
+        "pairs": PAIRS,
+        "repeats": REPEATS,
+        "gate": {"shape": GATED_SHAPE, "queries": list(GATED_QUERIES),
+                 "target": SPEEDUP_TARGET, "enforced": not QUICK},
+        "shapes": shapes,
+        "matrix_identical": matrix_identical,
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    record(results_dir, "BENCH_graphindex.json", text)
+    record_root("BENCH_graphindex.json", text)
+
+    if not QUICK:
+        for query_name in GATED_QUERIES:
+            speedup = shapes[GATED_SHAPE]["queries"][query_name]["speedup"]
+            assert speedup >= SPEEDUP_TARGET, (
+                f"expected >= {SPEEDUP_TARGET}x compiled speedup for "
+                f"{GATED_SHAPE}/{query_name}, measured {speedup}x")
+
+
+def _run_cli_matrix(owl_path, env) -> tuple[subprocess.CompletedProcess,
+                                            float]:
+    argv = [sys.executable, "-c",
+            "import sys; from repro.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "--ontology-file", str(owl_path),
+            "matrix", "--from-ontology", "sumo",
+            "--limit", str(MATRIX_LIMIT), "-m", MATRIX_MEASURE]
+    start = time.perf_counter()
+    process = subprocess.run(argv, capture_output=True, text=True, env=env)
+    return process, time.perf_counter() - start
+
+
+def test_disk_cache_warm_start(tmp_path, results_dir):
+    owl_path = tmp_path / "sumo.owl"
+    owl_path.write_text(generate_sumo_owl(MATRIX_ONTOLOGY_SIZE),
+                        encoding="utf-8")
+    env = dict(os.environ)
+    env.pop("SST_NO_CACHE", None)
+    env["SST_CACHE_DIR"] = str(tmp_path / "cache")
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+
+    cold, cold_seconds = _run_cli_matrix(owl_path, env)
+    assert cold.returncode == 0, cold.stderr
+    warm, warm_seconds = _run_cli_matrix(owl_path, env)
+    assert warm.returncode == 0, warm.stderr
+
+    cold_hits = _HIT_LINE.search(cold.stderr)
+    warm_hits = _HIT_LINE.search(warm.stderr)
+    assert cold_hits and warm_hits, (
+        f"missing disk-cache report; cold={cold.stderr!r} "
+        f"warm={warm.stderr!r}")
+    warm_rate = float(warm_hits.group(3))
+    # Hard gates, both modes: the second run must be served from disk
+    # and print byte-identical results.
+    assert warm_rate > 90.0, f"warm hit rate only {warm_rate}%"
+    assert warm.stdout == cold.stdout
+
+    report = {
+        "ontology_size": MATRIX_ONTOLOGY_SIZE,
+        "matrix_limit": MATRIX_LIMIT,
+        "measure": int(MATRIX_MEASURE),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "cold_hit_rate": float(cold_hits.group(3)),
+        "warm_hit_rate": warm_rate,
+        "warm_faster": warm_seconds < cold_seconds,
+    }
+
+    # Fold the warm-start numbers into the shared artifact (both
+    # copies); create a minimal payload when the speedup test was
+    # deselected.
+    root_artifact = REPO_ROOT / "BENCH_graphindex.json"
+    if root_artifact.exists():
+        payload = json.loads(root_artifact.read_text(encoding="utf-8"))
+    else:
+        payload = {"schema": SCHEMA, "quick": QUICK}
+    payload["disk_cache"] = report
+    text = json.dumps(payload, indent=2) + "\n"
+    record(results_dir, "BENCH_graphindex.json", text)
+    record_root("BENCH_graphindex.json", text)
+
+    if not QUICK:
+        assert warm_seconds < cold_seconds, (
+            f"warm run ({warm_seconds:.3f}s) not faster than cold "
+            f"({cold_seconds:.3f}s)")

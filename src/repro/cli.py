@@ -54,6 +54,10 @@ def _add_parallel_arguments(sub: argparse.ArgumentParser) -> None:
         "--strategy", choices=STRATEGIES, default=None,
         help="batch execution strategy (default: SST_STRATEGY, else "
              "serial for 1 worker / process for more)")
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="disable both cache tiers for this run (cold-path "
+             "benchmarking; also via SST_NO_CACHE)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=[], metavar="FILE",
         help="load this ontology file instead of the bundled corpus "
              "(repeatable; language inferred from the suffix)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory of the persistent similarity cache (default: "
+             "SST_CACHE_DIR, else ~/.cache/sst)")
+    parser.add_argument(
+        "--index-threshold", type=int, default=None, metavar="N",
+        help="taxonomy size from which the compiled graph index is "
+             "built (default: SST_INDEX_THRESHOLD, else 512; 0 always, "
+             "negative never)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("ontologies", help="list loaded ontologies")
@@ -197,20 +210,37 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("old_file")
     diff.add_argument("new_file")
 
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent similarity cache")
+    cache.add_argument("action", choices=("stats", "clear", "path"),
+                       help="stats: entry counts and size; clear: drop "
+                            "all stored scores; path: print the cache "
+                            "file location")
+    cache.add_argument("--format", choices=("text", "json"),
+                       default="text", dest="output_format")
+
     subparsers.add_parser("browse", help="interactive SST Browser")
     subparsers.add_parser("shell", help="interactive SOQA-QL shell")
     return parser
 
 
-def _load_toolkit(ontology_files: list[str]) -> SOQASimPackToolkit:
-    if not ontology_files:
+def _load_toolkit(arguments: argparse.Namespace) -> SOQASimPackToolkit:
+    from repro.core.diskcache import default_cache_directory
+
+    # The CLI attaches the persistent tier by default; --no-cache (or
+    # SST_NO_CACHE, handled in the facade) disables both tiers.
+    cache = False if getattr(arguments, "no_cache", False) else None
+    cache_dir = (arguments.cache_dir if arguments.cache_dir is not None
+                 else default_cache_directory())
+    if not arguments.ontology_files:
         from repro.ontologies import load_corpus
 
-        return SOQASimPackToolkit(load_corpus())
+        return SOQASimPackToolkit(load_corpus(), cache=cache,
+                                  cache_dir=cache_dir)
     soqa = SOQA()
-    for path in ontology_files:
+    for path in arguments.ontology_files:
         soqa.load_file(path)
-    return SOQASimPackToolkit(soqa)
+    return SOQASimPackToolkit(soqa, cache=cache, cache_dir=cache_dir)
 
 
 def _split_subtree(value: str | None) -> tuple[str | None, str | None]:
@@ -224,7 +254,38 @@ def _run(arguments: argparse.Namespace) -> int:
     command = arguments.command
     if command == "lint" and arguments.list_rules:
         return _print_rule_list()
-    sst = _load_toolkit(arguments.ontology_files)
+    if command == "cache":
+        return _run_cache(arguments)
+    if arguments.index_threshold is not None:
+        import os
+
+        from repro.soqa.graphindex import INDEX_THRESHOLD_ENV
+
+        os.environ[INDEX_THRESHOLD_ENV] = str(arguments.index_threshold)
+    sst = _load_toolkit(arguments)
+    try:
+        return _dispatch(sst, arguments)
+    finally:
+        # Persist any scores still buffered for the L2 tier, so the
+        # next invocation over the same corpus warm-starts.
+        sst.flush_caches()
+
+
+def _report_cache(sst: SOQASimPackToolkit) -> None:
+    """One stderr line on how the persistent tier fared this run."""
+    statistics = sst.cache_statistics()
+    l2 = statistics.get("l2")
+    if not l2:
+        return
+    total = l2["hits"] + l2["misses"]
+    if total:
+        print(f"disk cache: {l2['hits']}/{total} hits "
+              f"({l2['hit_rate']:.1%}) at {l2['path']}", file=sys.stderr)
+
+
+def _dispatch(sst: SOQASimPackToolkit,
+              arguments: argparse.Namespace) -> int:
+    command = arguments.command
     if command == "ontologies":
         rows = [[name, sst.soqa.ontology(name).language,
                  str(len(sst.soqa.ontology(name)))]
@@ -253,6 +314,7 @@ def _run(arguments: argparse.Namespace) -> int:
                 for index, entry in enumerate(entries)]
         print(render_table(["rank", "concept", "ontology", "similarity"],
                            rows))
+        _report_cache(sst)
     elif command == "chart":
         bar_chart = sst.get_most_similar_plot(
             arguments.concept, arguments.ontology, k=arguments.k,
@@ -296,6 +358,7 @@ def _run(arguments: argparse.Namespace) -> int:
                 for correspondence in alignment]
         print(render_table(["first", "second", "confidence"], rows))
         print(f"({len(alignment)} correspondences)")
+        _report_cache(sst)
     elif command == "search":
         hits = sst.search_concepts(arguments.text, k=arguments.k,
                                    scheme=arguments.scheme)
@@ -313,6 +376,10 @@ def _run(arguments: argparse.Namespace) -> int:
         rows = [statistics.as_row()
                 for statistics in corpus_statistics(sst.soqa)]
         print(render_table(OntologyStatistics.header(), rows))
+        info = sst.tree.index_info()
+        state = "compiled" if info["compiled"] else "naive"
+        print(f"\nunified tree: {info['nodes']} nodes, graph index "
+              f"{state} (threshold {info['index_threshold']})")
     elif command == "validate":
         from repro.analysis import render_json
 
@@ -399,6 +466,30 @@ def _run_matrix(sst: SOQASimPackToolkit,
         rows = [[label] + [f"{value:.4f}" for value in row]
                 for label, row in zip(labels, matrix)]
         print(render_table(["concept"] + labels, rows))
+    _report_cache(sst)
+    return 0
+
+
+def _run_cache(arguments: argparse.Namespace) -> int:
+    """The ``sst cache`` subcommand: stats / clear / path."""
+    import json
+
+    from repro.core.diskcache import DiskCache
+
+    cache = DiskCache(arguments.cache_dir)
+    if arguments.action == "path":
+        print(cache.path)
+    elif arguments.action == "stats":
+        statistics = cache.stats()
+        if arguments.output_format == "json":
+            print(json.dumps(statistics, indent=2))
+        else:
+            rows = [[key, str(value)]
+                    for key, value in statistics.items()]
+            print(render_table(["key", "value"], rows))
+    elif arguments.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached scores from {cache.path}")
     return 0
 
 

@@ -5,16 +5,28 @@ matcher recompute many pairwise scores; :class:`CachedRunner` wraps any
 :class:`~repro.core.runners.MeasureRunner` with a bounded,
 symmetric-aware memo table and hit statistics, so repeated service
 calls over the same corpus amortize.
+
+The in-memory memo table is the L1 tier.  An optional
+:class:`~repro.core.diskcache.DiskCache` can be attached as a
+persistent L2: L1 misses fall through to disk (keyed by the corpus
+fingerprint), and fresh scores are written back, so a later process
+over the same corpus warm-starts.  The unordered-pair canonicalization
+of :meth:`CachedRunner.cache_key` is applied *before* either lookup —
+L1 and L2 always agree on the key of a symmetric pair.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 from repro.core.results import QualifiedConcept
 from repro.core.runners import MeasureRunner
 from repro.errors import SSTCoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.diskcache import DiskCache
 
 __all__ = ["CachedRunner"]
 
@@ -31,11 +43,17 @@ class CachedRunner(MeasureRunner):
     :mod:`repro.core.parallel`; the underlying measure computation runs
     outside the lock.  Process-backed workers return their per-chunk
     entries and statistics instead, which the parent folds back in via
-    :meth:`merge`.
+    :meth:`merge` (which also persists them to the L2, exactly once —
+    the workers' own L2 writes are no-ops after a fork).
+
+    ``l2``/``fingerprint`` attach the optional persistent tier; the
+    fingerprint (see :func:`repro.core.diskcache.corpus_fingerprint`)
+    scopes the on-disk entries to one corpus state.
     """
 
     def __init__(self, inner: MeasureRunner, capacity: int = 100_000,
-                 symmetric: bool = True):
+                 symmetric: bool = True, l2: "DiskCache | None" = None,
+                 fingerprint: str = ""):
         if capacity < 1:
             raise SSTCoreError("cache capacity must be positive")
         super().__init__(inner.wrapper)
@@ -44,8 +62,12 @@ class CachedRunner(MeasureRunner):
         self.description = inner.description
         self.capacity = capacity
         self.symmetric = symmetric
+        self.l2 = l2
+        self.fingerprint = fingerprint
         self.hits = 0
         self.misses = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
         self._table: OrderedDict[tuple, float] = OrderedDict()
         self._lock = threading.RLock()
 
@@ -63,8 +85,16 @@ class CachedRunner(MeasureRunner):
         """The (symmetry-normalized) memo key of a concept pair."""
         return self._key(first, second)
 
+    @staticmethod
+    def _l2_columns(key: tuple) -> tuple[str, str, str, str]:
+        first, second = key
+        return (first.ontology_name, first.concept_name,
+                second.ontology_name, second.concept_name)
+
     def run(self, first: QualifiedConcept,
             second: QualifiedConcept) -> float:
+        # Canonicalize once, before *any* tier is consulted: L1 and L2
+        # share the same unordered-pair key for symmetric measures.
         key = self._key(first, second)
         with self._lock:
             cached = self._table.get(key)
@@ -73,6 +103,19 @@ class CachedRunner(MeasureRunner):
                 self._table.move_to_end(key)
                 return cached
             self.misses += 1
+        if self.l2 is not None:
+            stored = self.l2.get(self.fingerprint, self.name,
+                                 *self._l2_columns(key))
+            with self._lock:
+                if stored is not None:
+                    self.l2_hits += 1
+                    self._table[key] = stored
+                    while len(self._table) > self.capacity:
+                        self._table.popitem(last=False)
+                else:
+                    self.l2_misses += 1
+            if stored is not None:
+                return stored
         # Compute outside the lock; two threads racing on the same cold
         # key both compute the (identical) value, which is harmless.
         value = self.inner.run(first, second)
@@ -80,6 +123,9 @@ class CachedRunner(MeasureRunner):
             self._table[key] = value
             while len(self._table) > self.capacity:
                 self._table.popitem(last=False)
+        if self.l2 is not None:
+            self.l2.put(self.fingerprint, self.name,
+                        *self._l2_columns(key), value)
         return value
 
     def merge(self, entries, hits: int = 0, misses: int = 0) -> None:
@@ -88,8 +134,11 @@ class CachedRunner(MeasureRunner):
         ``entries`` are ``(key, value)`` pairs as produced by
         :meth:`cache_key`; ``hits``/``misses`` are the worker's counter
         deltas.  Used by the process-backed parallel strategy, whose
-        workers each mutate a forked copy of the table.
+        workers each mutate a forked copy of the table.  Merged entries
+        are also persisted to the L2 here — the workers' own ``put``
+        calls are dropped after a fork, so this is the single writer.
         """
+        entries = list(entries)
         with self._lock:
             for key, value in entries:
                 self._table[key] = value
@@ -98,6 +147,15 @@ class CachedRunner(MeasureRunner):
                 self._table.popitem(last=False)
             self.hits += hits
             self.misses += misses
+        if self.l2 is not None:
+            self.l2.put_many(
+                (self.fingerprint, self.name, *self._l2_columns(key), value)
+                for key, value in entries)
+
+    def flush(self) -> None:
+        """Persist any scores still buffered in the L2 tier."""
+        if self.l2 is not None:
+            self.l2.flush()
 
     def __len__(self) -> int:
         with self._lock:
@@ -118,15 +176,25 @@ class CachedRunner(MeasureRunner):
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache."""
+        """Fraction of lookups served from the L1 cache."""
         total = self.hits + self.misses
         if total == 0:
             return 0.0
         return self.hits / total
 
+    @property
+    def l2_hit_rate(self) -> float:
+        """Fraction of L1 misses served from the persistent tier."""
+        total = self.l2_hits + self.l2_misses
+        if total == 0:
+            return 0.0
+        return self.l2_hits / total
+
     def clear(self) -> None:
-        """Drop all cached entries and reset statistics."""
+        """Drop all cached L1 entries and reset statistics."""
         with self._lock:
             self._table.clear()
             self.hits = 0
             self.misses = 0
+            self.l2_hits = 0
+            self.l2_misses = 0

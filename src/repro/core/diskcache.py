@@ -1,0 +1,289 @@
+"""Persistent on-disk similarity cache (the L2 behind ``CachedRunner``).
+
+PR 2 parallelized a single invocation; this module amortizes work
+*across* invocations.  Scores are persisted to a small sqlite database
+keyed by ``(corpus fingerprint, measure name, unordered concept pair)``
+so a second ``sst matrix``/``ksim``/``align`` run over the same corpus
+warm-starts from disk.  The fingerprint is a SHA-256 over the canonical
+meta-model serialization of every loaded ontology plus the tree
+strategy, so editing any ontology (or switching strategies) invalidates
+its entries without touching the others — stale rows are simply never
+read again and can be dropped with ``sst cache clear``.
+
+Concurrency: one connection per process (re-opened lazily after a
+``fork``), WAL journaling so parallel CLI runs can share the file, and
+buffered writes flushed in batches.  Forked process-strategy workers
+treat the cache as read-only — their fresh scores travel back to the
+parent through the existing ``CachedRunner.merge`` delta path, and the
+parent persists them exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import SSTCoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.soqa.api import SOQA
+
+__all__ = ["CACHE_DIR_ENV", "DiskCache", "corpus_fingerprint",
+           "default_cache_directory"]
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "SST_CACHE_DIR"
+
+#: Environment variable disabling both cache tiers in the CLI.
+NO_CACHE_ENV = "SST_NO_CACHE"
+
+#: Bump to invalidate every existing cache file on format changes.
+_SCHEMA_VERSION = 1
+
+#: Buffered writes are flushed automatically past this many rows.
+_FLUSH_THRESHOLD = 256
+
+_FINGERPRINT_FORMAT = "sst-corpus-fingerprint/1"
+
+
+def default_cache_directory() -> Path:
+    """``$SST_CACHE_DIR``, else ``$XDG_CACHE_HOME/sst``, else ``~/.cache/sst``."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "sst"
+
+
+def caching_disabled() -> bool:
+    """Whether ``SST_NO_CACHE`` asks for cold, uncached runs."""
+    return os.environ.get(NO_CACHE_ENV, "").strip() not in ("", "0")
+
+
+def corpus_fingerprint(soqa: "SOQA", strategy: str) -> str:
+    """Content hash of every loaded ontology plus the tree strategy.
+
+    Built from the canonical meta-model JSON of each ontology (names,
+    subsumptions, attributes, methods, relationships, instances,
+    documentation), so any visible content change yields a new
+    fingerprint while reloading identical files keeps the old one.
+    """
+    from repro.soqa.serialize import ontology_to_json
+
+    digest = hashlib.sha256()
+    digest.update(f"{_FINGERPRINT_FORMAT}:{strategy}".encode())
+    for name in sorted(soqa.ontology_names()):
+        digest.update(b"\x00")
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(
+            ontology_to_json(soqa.ontology(name), indent=None).encode())
+    return digest.hexdigest()
+
+
+class DiskCache:
+    """Sqlite-backed persistent score store.
+
+    Values are keyed by ``(fingerprint, measure, first ontology, first
+    concept, second ontology, second concept)`` where the pair is
+    already canonicalized by :meth:`CachedRunner._key` — symmetric
+    measures therefore share one row per unordered pair on disk too.
+
+    ``put`` buffers rows and :meth:`flush` writes them in one
+    transaction; a threshold flush keeps long-running sessions bounded.
+    The instance is fork- and pickle-safe: connections are opened lazily
+    per process and forked children never write (the parent persists
+    their merged deltas).
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = (Path(directory).expanduser() if directory is not None
+                          else default_cache_directory())
+        self.path = self.directory / "similarity-cache.sqlite"
+        self._lock = threading.Lock()
+        self._connection: sqlite3.Connection | None = None
+        self._owner_pid = os.getpid()
+        self._pending: list[tuple[str, str, str, str, str, str, float]] = []
+
+    # -- connection management ----------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        """The calling process's connection, opened on first use."""
+        pid = os.getpid()
+        if self._connection is None or pid != self._owner_pid:
+            if pid != self._owner_pid:
+                # Forked child: the inherited handle and write buffer
+                # belong to the parent.  Reads reconnect; writes no-op.
+                self._connection = None
+                self._pending = []
+                self._owner_pid = pid
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                connection = sqlite3.connect(str(self.path),
+                                             check_same_thread=False,
+                                             timeout=30.0)
+                try:
+                    connection.execute("PRAGMA journal_mode=WAL")
+                    connection.execute("PRAGMA synchronous=NORMAL")
+                except sqlite3.Error:
+                    pass  # journaling hints only; defaults still work
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS similarity ("
+                    " schema_version INTEGER NOT NULL,"
+                    " fingerprint TEXT NOT NULL,"
+                    " measure TEXT NOT NULL,"
+                    " first_ontology TEXT NOT NULL,"
+                    " first_concept TEXT NOT NULL,"
+                    " second_ontology TEXT NOT NULL,"
+                    " second_concept TEXT NOT NULL,"
+                    " value REAL NOT NULL,"
+                    " PRIMARY KEY (schema_version, fingerprint, measure,"
+                    "  first_ontology, first_concept,"
+                    "  second_ontology, second_concept))")
+                connection.commit()
+            except (OSError, sqlite3.Error) as error:
+                raise SSTCoreError(
+                    f"cannot open disk cache at {self.path}: {error}"
+                ) from error
+            self._connection = connection
+        return self._connection
+
+    def close(self) -> None:
+        """Flush pending writes and close this process's connection."""
+        self.flush()
+        with self._lock:
+            if (self._connection is not None
+                    and os.getpid() == self._owner_pid):
+                self._connection.close()
+            self._connection = None
+
+    # -- pickling / forking -------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {"directory": self.directory, "path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.directory = state["directory"]
+        self.path = state["path"]
+        self._lock = threading.Lock()
+        self._connection = None
+        self._owner_pid = os.getpid()
+        self._pending = []
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, fingerprint: str, measure: str,
+            first_ontology: str, first_concept: str,
+            second_ontology: str, second_concept: str) -> float | None:
+        """The stored score for a canonicalized pair, or ``None``."""
+        with self._lock:
+            try:
+                cursor = self._connect().execute(
+                    "SELECT value FROM similarity WHERE schema_version=?"
+                    " AND fingerprint=? AND measure=?"
+                    " AND first_ontology=? AND first_concept=?"
+                    " AND second_ontology=? AND second_concept=?",
+                    (_SCHEMA_VERSION, fingerprint, measure,
+                     first_ontology, first_concept,
+                     second_ontology, second_concept))
+                row = cursor.fetchone()
+            except (SSTCoreError, sqlite3.Error):
+                return None  # a broken cache must never break scoring
+        return row[0] if row is not None else None
+
+    # -- writes -------------------------------------------------------------------
+
+    def put(self, fingerprint: str, measure: str,
+            first_ontology: str, first_concept: str,
+            second_ontology: str, second_concept: str,
+            value: float) -> None:
+        """Buffer one score for the next :meth:`flush`.
+
+        No-op in forked children — the parent persists their scores via
+        the ``CachedRunner.merge`` delta instead, exactly once.
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            self._pending.append((fingerprint, measure,
+                                  first_ontology, first_concept,
+                                  second_ontology, second_concept,
+                                  float(value)))
+            should_flush = len(self._pending) >= _FLUSH_THRESHOLD
+        if should_flush:
+            self.flush()
+
+    def put_many(self, rows: Iterable[tuple[str, str, str, str, str, str,
+                                            float]]) -> None:
+        """Buffer many ``(fingerprint, measure, pair..., value)`` rows."""
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            self._pending.extend(rows)
+            should_flush = len(self._pending) >= _FLUSH_THRESHOLD
+        if should_flush:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write buffered rows in one transaction; returns the row count."""
+        if os.getpid() != self._owner_pid:
+            return 0
+        with self._lock:
+            if not self._pending:
+                return 0
+            rows = [(_SCHEMA_VERSION, *row) for row in self._pending]
+            self._pending = []
+            try:
+                connection = self._connect()
+                connection.executemany(
+                    "INSERT OR REPLACE INTO similarity VALUES"
+                    " (?, ?, ?, ?, ?, ?, ?, ?)", rows)
+                connection.commit()
+            except (SSTCoreError, sqlite3.Error):
+                return 0  # losing a warm-start is fine; failing a run is not
+        return len(rows)
+
+    # -- maintenance --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Entry/fingerprint/measure counts and the on-disk size."""
+        with self._lock:
+            pending = len(self._pending)
+        if not self.path.exists():
+            return {"path": str(self.path), "exists": False, "entries": 0,
+                    "fingerprints": 0, "measures": 0, "size_bytes": 0,
+                    "pending": pending}
+        with self._lock:
+            connection = self._connect()
+            entries = connection.execute(
+                "SELECT COUNT(*) FROM similarity").fetchone()[0]
+            fingerprints = connection.execute(
+                "SELECT COUNT(DISTINCT fingerprint) FROM similarity"
+            ).fetchone()[0]
+            measures = connection.execute(
+                "SELECT COUNT(DISTINCT measure) FROM similarity"
+            ).fetchone()[0]
+        return {"path": str(self.path), "exists": True, "entries": entries,
+                "fingerprints": fingerprints, "measures": measures,
+                "size_bytes": self.path.stat().st_size, "pending": pending}
+
+    def clear(self, fingerprint: str | None = None) -> int:
+        """Drop all entries (or one fingerprint's); returns rows removed."""
+        if not self.path.exists():
+            return 0
+        with self._lock:
+            self._pending = []
+            connection = self._connect()
+            if fingerprint is None:
+                cursor = connection.execute("DELETE FROM similarity")
+            else:
+                cursor = connection.execute(
+                    "DELETE FROM similarity WHERE fingerprint=?",
+                    (fingerprint,))
+            connection.commit()
+            return cursor.rowcount

@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.cache import CachedRunner
+from repro.core.diskcache import (DiskCache, caching_disabled,
+                                  corpus_fingerprint)
 from repro.core.parallel import BatchSimilarityEngine
 from repro.core.registry import Measure, RunnerRegistry, TABLE1_MEASURES
 from repro.core.results import ConceptAndSimilarity, QualifiedConcept
@@ -65,11 +68,25 @@ class SOQASimPackToolkit:
 
     def __init__(self, soqa: SOQA | None = None,
                  strategy: str = SUPER_THING,
-                 registry: RunnerRegistry | None = None):
+                 registry: RunnerRegistry | None = None,
+                 cache: bool | None = None,
+                 cache_dir=None,
+                 cache_capacity: int = 100_000):
+        """``cache=None`` enables the in-memory tier unless the
+        ``SST_NO_CACHE`` environment variable is set; ``cache=False``
+        returns raw, uncached runners.  The persistent tier is attached
+        when ``cache_dir`` is given or ``SST_CACHE_DIR`` is set (the
+        CLI passes its default directory explicitly)."""
         self.soqa = soqa if soqa is not None else SOQA()
         self.strategy = strategy
         self.registry = (registry if registry is not None
                          else RunnerRegistry.with_builtin_runners())
+        self.cache_capacity = cache_capacity
+        self._cache_enabled = (not caching_disabled() if cache is None
+                               else bool(cache))
+        self._cache_dir = cache_dir
+        self._disk_cache: DiskCache | None = None
+        self._fingerprint: str | None = None
         self._tree: UnifiedTree | None = None
         self._wrapper: SOQAWrapperForSimPack | None = None
         self._runners: dict[int, MeasureRunner] = {}
@@ -101,6 +118,7 @@ class SOQASimPackToolkit:
         self._tree = None
         self._wrapper = None
         self._runners.clear()
+        self._fingerprint = None
 
     def ontology_names(self) -> list[str]:
         """Names of all loaded ontologies."""
@@ -126,14 +144,85 @@ class SOQASimPackToolkit:
             self._wrapper = SOQAWrapperForSimPack(self.soqa, self.tree)
         return self._wrapper
 
+    @property
+    def disk_cache(self) -> DiskCache | None:
+        """The persistent L2 score store, or ``None`` when not configured.
+
+        Attached when the facade was given a ``cache_dir`` or the
+        ``SST_CACHE_DIR`` environment variable names one (and caching
+        is not disabled); see :mod:`repro.core.diskcache`.
+        """
+        if not self._cache_enabled:
+            return None
+        if self._disk_cache is None:
+            import os
+
+            from repro.core.diskcache import CACHE_DIR_ENV
+            if self._cache_dir is None and not os.environ.get(
+                    CACHE_DIR_ENV, "").strip():
+                return None
+            self._disk_cache = DiskCache(self._cache_dir)
+        return self._disk_cache
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the loaded corpus (cached per refresh)."""
+        if self._fingerprint is None:
+            self._fingerprint = corpus_fingerprint(self.soqa, self.strategy)
+        return self._fingerprint
+
     def runner(self, measure: int | str | Measure) -> MeasureRunner:
-        """The (cached) runner instance for a measure."""
+        """The (cached) runner instance for a measure.
+
+        Unless caching is disabled, the raw runner is wrapped in a
+        :class:`~repro.core.cache.CachedRunner` (with the persistent L2
+        tier attached when configured), so every facade service —
+        matrices, k-most retrievals, alignment — shares one memo per
+        measure.
+        """
         measure_id = self.registry.resolve(measure)
         runner = self._runners.get(measure_id)
         if runner is None:
             runner = self.registry.create(measure_id, self.wrapper)
+            if self._cache_enabled:
+                l2 = self.disk_cache
+                runner = CachedRunner(
+                    runner, capacity=self.cache_capacity, l2=l2,
+                    fingerprint=self.fingerprint() if l2 is not None else "")
             self._runners[measure_id] = runner
         return runner
+
+    def cache_statistics(self) -> dict:
+        """Aggregated L1/L2 cache statistics over all active runners."""
+        l1_hits = l1_misses = l1_entries = 0
+        l2_hits = l2_misses = 0
+        for runner in self._runners.values():
+            if isinstance(runner, CachedRunner):
+                l1_hits += runner.hits
+                l1_misses += runner.misses
+                l1_entries += len(runner)
+                l2_hits += runner.l2_hits
+                l2_misses += runner.l2_misses
+        l1_total = l1_hits + l1_misses
+        l2_total = l2_hits + l2_misses
+        statistics = {
+            "enabled": self._cache_enabled,
+            "l1": {"hits": l1_hits, "misses": l1_misses,
+                   "entries": l1_entries,
+                   "hit_rate": l1_hits / l1_total if l1_total else 0.0},
+            "l2": None,
+        }
+        if self._disk_cache is not None:
+            statistics["l2"] = {
+                "path": str(self._disk_cache.path),
+                "hits": l2_hits, "misses": l2_misses,
+                "hit_rate": l2_hits / l2_total if l2_total else 0.0,
+            }
+        return statistics
+
+    def flush_caches(self) -> None:
+        """Persist any scores still buffered in the L2 tier."""
+        if self._disk_cache is not None:
+            self._disk_cache.flush()
 
     # -- measure information and extension -----------------------------------------------
 

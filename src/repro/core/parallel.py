@@ -274,11 +274,18 @@ class BatchSimilarityEngine:
                                  initargs=(self.runner,)) as pool:
             results = list(pool.map(_score_chunk, chunks))
         values: list[float] = []
+        merged = False
         for chunk_values, delta in results:
             values.extend(chunk_values)
             if delta is not None and isinstance(self.runner, CachedRunner):
                 entries, hits, misses = delta
                 self.runner.merge(entries, hits=hits, misses=misses)
+                merged = True
+        if merged:
+            # merge() buffered the worker scores for the persistent L2
+            # tier (the forked workers' own writes are no-ops); make the
+            # batch durable before returning.
+            self.runner.flush()
         return values
 
 

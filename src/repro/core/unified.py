@@ -153,3 +153,19 @@ class UnifiedTree:
     def path_to_root(self, concept: QualifiedConcept) -> list[str]:
         """Node names from the concept up to the unified root."""
         return self.taxonomy.path_to_root(self.node_of(concept))
+
+    def index_info(self) -> dict:
+        """State of the compiled graph index behind the unified taxonomy.
+
+        The underlying :class:`~repro.soqa.graph.Taxonomy` builds its
+        :class:`~repro.soqa.graphindex.CompiledTaxonomy` lazily on the
+        first heavy query once the node count reaches the threshold;
+        asking for the info triggers that build when eligible, so the
+        report reflects how queries will actually be served.
+        """
+        self.taxonomy.index()
+        return {
+            "nodes": len(self.taxonomy),
+            "index_threshold": self.taxonomy.index_threshold,
+            "compiled": self.taxonomy.is_compiled,
+        }

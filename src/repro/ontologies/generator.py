@@ -22,9 +22,12 @@ for the scaling benches.
 
 from __future__ import annotations
 
+import random
+
 from repro.errors import SSTError
 
-__all__ = ["generate_sumo_owl", "generate_synthetic_taxonomy",
+__all__ = ["generate_random_dag", "generate_sumo_owl",
+           "generate_synthetic_taxonomy", "generate_wordnet_taxonomy",
            "sumo_class_list"]
 
 # ---------------------------------------------------------------------------
@@ -628,4 +631,67 @@ def generate_synthetic_taxonomy(concept_count: int, branching: int = 4,
     for index in range(1, concept_count):
         parent_index = (index - 1) // branching
         parents[f"{prefix}{index}"] = [f"{prefix}{parent_index}"]
+    return parents
+
+
+def generate_random_dag(concept_count: int, seed: int = 0,
+                        max_parents: int = 3,
+                        prefix: str = "Node") -> dict[str, list[str]]:
+    """A seeded random multiple-inheritance DAG.
+
+    Node ``i`` draws between zero (roots only while the DAG is small)
+    and ``max_parents`` parents uniformly from the earlier nodes, so the
+    result is acyclic by construction but exercises diamonds, multiple
+    roots, and disconnected components.  Deterministic for a given
+    ``(concept_count, seed, max_parents)`` — the property tests compare
+    :class:`~repro.soqa.graphindex.CompiledTaxonomy` against the naive
+    :class:`~repro.soqa.graph.Taxonomy` on these DAGs.
+    """
+    if concept_count < 1:
+        raise SSTError("a taxonomy needs at least one concept")
+    if max_parents < 1:
+        raise SSTError("max_parents must be at least one")
+    rng = random.Random(seed)
+    width = len(str(concept_count - 1))
+    names = [f"{prefix}{index:0{width}d}" for index in range(concept_count)]
+    rng.shuffle(names)
+    parents: dict[str, list[str]] = {}
+    for index, name in enumerate(names):
+        count = rng.randint(0, min(max_parents, index))
+        parents[name] = rng.sample(names[:index], count)
+    return parents
+
+
+def generate_wordnet_taxonomy(concept_count: int,
+                              seed: int = 0) -> dict[str, list[str]]:
+    """A WordNet-noun-shaped taxonomy for the GSM-scale benches.
+
+    Mimics the hypernym hierarchy the paper's Figure-3 experiment runs
+    over: a single root, long chains (WordNet nouns average ~8 levels,
+    reaching past 15), skewed fan-out (few huge categories, many narrow
+    ones), and a small share (~2%) of multiple-hypernym synsets.
+    Deterministic for a given ``(concept_count, seed)``.
+    """
+    if concept_count < 1:
+        raise SSTError("a taxonomy needs at least one concept")
+    rng = random.Random(seed)
+    width = len(str(concept_count - 1))
+    names = [f"Synset{index:0{width}d}" for index in range(concept_count)]
+    parents: dict[str, list[str]] = {names[0]: []}
+    depths = {names[0]: 0}
+    for index in range(1, concept_count):
+        name = names[index]
+        # Preferential attachment over a bounded window keeps fan-out
+        # skewed while still growing deep chains.
+        window = names[max(0, index - 400):index]
+        primary = rng.choice(window)
+        if depths[primary] > 16:  # cap runaway chains like WordNet does
+            primary = names[rng.randint(0, index - 1)]
+        chosen = [primary]
+        if index > 10 and rng.random() < 0.02:  # multiple hypernyms
+            extra = names[rng.randint(0, index - 1)]
+            if extra != primary:
+                chosen.append(extra)
+        parents[name] = chosen
+        depths[name] = 1 + min(depths[parent] for parent in chosen)
     return parents

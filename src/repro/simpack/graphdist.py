@@ -16,6 +16,11 @@ All functions take a :class:`~repro.soqa.graph.Taxonomy`; concepts in
 different components (no common ancestor, no connecting path) score 0.0,
 which is what makes cross-ontology scores collapse to zero unless the
 ontologies are joined under a Super-Thing root (paper section 3).
+
+On large taxonomies the ``mrca``/``shortest_path_length``/``max_depth``
+primitives used here are transparently served by the compiled index
+(:mod:`repro.soqa.graphindex`) with bit-identical results — these
+measures need no awareness of it.
 """
 
 from __future__ import annotations

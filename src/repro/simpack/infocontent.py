@@ -51,6 +51,7 @@ class InformationContent:
         self._instance_counts = instance_counts or {}
         self._probability_cache: dict[str, float] = {}
         self._total_instances: int | None = None
+        self._max_ic: float | None = None
 
     def _total_instance_mass(self) -> int:
         if self._total_instances is None:
@@ -69,6 +70,9 @@ class InformationContent:
         if cached is not None:
             return cached
         if self.source == "subclasses":
+            # On a compiled taxonomy (repro.soqa.graphindex) this
+            # descendant count is a popcount over a precomputed bitset,
+            # making cold IC lookups O(1) instead of a BFS.
             probability = (self.taxonomy.descendant_count(concept)
                            / len(self.taxonomy))
         else:
@@ -87,9 +91,13 @@ class InformationContent:
 
     def max_ic(self) -> float:
         """The largest possible IC (a concept with minimal probability)."""
-        if self.source == "subclasses":
-            return math.log2(len(self.taxonomy))
-        return math.log2(self._total_instance_mass() + len(self.taxonomy))
+        if self._max_ic is None:
+            if self.source == "subclasses":
+                self._max_ic = math.log2(len(self.taxonomy))
+            else:
+                self._max_ic = math.log2(self._total_instance_mass()
+                                         + len(self.taxonomy))
+        return self._max_ic
 
     def most_informative_subsumer(self, first: str,
                                   second: str) -> str | None:

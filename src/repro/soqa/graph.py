@@ -21,6 +21,7 @@ from collections import deque
 from typing import Iterable, Mapping
 
 from repro.errors import UnknownConceptError
+from repro.soqa.graphindex import CompiledTaxonomy, resolve_index_threshold
 
 __all__ = ["PathPolicy", "Taxonomy"]
 
@@ -31,9 +32,19 @@ ANY_PATH: PathPolicy = "any"
 
 
 class Taxonomy:
-    """An immutable specialization DAG with cached graph queries."""
+    """An immutable specialization DAG with cached graph queries.
 
-    def __init__(self, parents: Mapping[str, Iterable[str]]):
+    Past ``index_threshold`` nodes (default: the ``SST_INDEX_THRESHOLD``
+    environment variable, else
+    :data:`repro.soqa.graphindex.DEFAULT_INDEX_THRESHOLD`) the heavy
+    queries are transparently delegated to a
+    :class:`~repro.soqa.graphindex.CompiledTaxonomy`, which is built
+    lazily on the first such query and returns bit-identical results.
+    A negative threshold disables compilation, ``0`` forces it.
+    """
+
+    def __init__(self, parents: Mapping[str, Iterable[str]], *,
+                 index_threshold: int | None = None):
         self._parents: dict[str, tuple[str, ...]] = {
             node: tuple(node_parents)
             for node, node_parents in parents.items()
@@ -49,6 +60,40 @@ class Taxonomy:
         self._ancestor_cache: dict[str, dict[str, int]] = {}
         self._descendant_count_cache: dict[str, int] = {}
         self._max_depth: int | None = None
+        self._index_threshold = resolve_index_threshold(index_threshold)
+        self._compiled: CompiledTaxonomy | None = None
+
+    # -- compiled index -----------------------------------------------------------
+
+    @property
+    def index_threshold(self) -> int:
+        """Node count past which queries use the compiled index."""
+        return self._index_threshold
+
+    @property
+    def is_compiled(self) -> bool:
+        """Whether the compiled index has been built."""
+        return self._compiled is not None
+
+    def compile(self) -> CompiledTaxonomy:
+        """Build (once) and return the compiled index regardless of size."""
+        if self._compiled is None:
+            self._compiled = CompiledTaxonomy(self._parents)
+        return self._compiled
+
+    def index(self) -> CompiledTaxonomy | None:
+        """The compiled index if this taxonomy is eligible, else ``None``.
+
+        Builds the index on first call once the node count has reached
+        the threshold; every heavy query funnels through this.
+        """
+        if self._compiled is None:
+            threshold = self._index_threshold
+            if threshold < 0 or len(self._parents) < threshold:
+                return None
+            self._compiled = CompiledTaxonomy(self._parents)
+        return self._compiled
+
 
     # -- basic structure ---------------------------------------------------------
 
@@ -95,6 +140,9 @@ class Taxonomy:
         memoization (recursion could overflow on deep chains).
         """
         self._require(node)
+        index = self.index()
+        if index is not None:
+            return index.depth(node)
         stack = [node]
         while stack:
             current = stack[-1]
@@ -124,6 +172,10 @@ class Taxonomy:
         topological order accumulating the longest path from any root.
         """
         if self._max_depth is not None:
+            return self._max_depth
+        index = self.index()
+        if index is not None:
+            self._max_depth = index.max_depth()
             return self._max_depth
         longest: dict[str, int] = {}
         for node in self._topological_order():
@@ -159,6 +211,11 @@ class Taxonomy:
         cached = self._ancestor_cache.get(node)
         if cached is not None:
             return cached
+        index = self.index()
+        if index is not None:
+            distances = index.ancestors_with_distance(node)
+            self._ancestor_cache[node] = distances
+            return distances
         distances = {node: 0}
         frontier = deque([node])
         while frontier:
@@ -172,6 +229,11 @@ class Taxonomy:
 
     def common_ancestors(self, first: str, second: str) -> set[str]:
         """All concepts subsuming both nodes (``S(Rx, Ry)`` in Eq. 7)."""
+        self._require(first)
+        self._require(second)
+        index = self.index()
+        if index is not None:
+            return index.common_ancestors(first, second)
         return (set(self.ancestors_with_distance(first))
                 & set(self.ancestors_with_distance(second)))
 
@@ -182,6 +244,11 @@ class Taxonomy:
         by deeper ancestor, then name, for determinism), or ``None`` when
         the nodes share no ancestor (distinct components).
         """
+        self._require(first)
+        self._require(second)
+        index = self.index()
+        if index is not None:
+            return index.mrca(first, second)
         first_distances = self.ancestors_with_distance(first)
         second_distances = self.ancestors_with_distance(second)
         best: tuple[int, int, str] | None = None
@@ -212,6 +279,9 @@ class Taxonomy:
         """
         self._require(first)
         self._require(second)
+        index = self.index()
+        if index is not None:
+            return index.shortest_path_length(first, second, policy)
         if first == second:
             return 0
         if policy == VIA_ANCESTOR:
@@ -251,6 +321,11 @@ class Taxonomy:
         cached = self._descendant_count_cache.get(node)
         if cached is not None:
             return cached
+        index = self.index()
+        if index is not None:
+            count = index.descendant_count(node)
+            self._descendant_count_cache[node] = count
+            return count
         seen = {node}
         frontier = deque([node])
         while frontier:
@@ -266,6 +341,9 @@ class Taxonomy:
     def descendants(self, node: str) -> set[str]:
         """All distinct descendants of ``node`` (excluding itself)."""
         self._require(node)
+        index = self.index()
+        if index is not None:
+            return index.descendants(node)
         seen = {node}
         frontier = deque([node])
         while frontier:
@@ -285,6 +363,9 @@ class Taxonomy:
         smallest is taken.
         """
         self._require(node)
+        index = self.index()
+        if index is not None:
+            return index.path_to_root(node)
         path = [node]
         current = node
         while self._parents[current]:

@@ -96,6 +96,21 @@ MINI_WORDNET = """00001740 03 n 01 entity 0 000 | that which exists
 """
 
 
+@pytest.fixture(scope="session")
+def _session_cache_dir(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("sst-disk-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(_session_cache_dir, monkeypatch):
+    """Point SST_CACHE_DIR at a session temp dir.
+
+    Keeps the suite from ever touching ``~/.cache/sst`` while still
+    exercising the persistent tier on every facade-built runner.
+    """
+    monkeypatch.setenv("SST_CACHE_DIR", _session_cache_dir)
+
+
 @pytest.fixture
 def mini_soqa() -> SOQA:
     """A SOQA facade with one small ontology per supported language."""

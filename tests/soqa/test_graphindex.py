@@ -1,0 +1,155 @@
+"""Unit tests for the compiled taxonomy index and its lazy delegation."""
+
+import pytest
+
+from repro.errors import SSTError, UnknownConceptError
+from repro.soqa.graph import ANY_PATH, VIA_ANCESTOR, Taxonomy
+from repro.soqa.graphindex import (CompiledTaxonomy,
+                                   DEFAULT_INDEX_THRESHOLD,
+                                   INDEX_THRESHOLD_ENV,
+                                   resolve_index_threshold)
+
+#      Root
+#     /    \
+#   Left  Right      (diamond: Bottom has two parents)
+#     \    /
+#     Bottom ── Leaf
+DIAMOND = {
+    "Root": [],
+    "Left": ["Root"],
+    "Right": ["Root"],
+    "Bottom": ["Left", "Right"],
+    "Leaf": ["Bottom"],
+}
+
+
+class TestThresholdResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(INDEX_THRESHOLD_ENV, raising=False)
+        assert resolve_index_threshold() == DEFAULT_INDEX_THRESHOLD
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv(INDEX_THRESHOLD_ENV, "7")
+        assert resolve_index_threshold() == 7
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(INDEX_THRESHOLD_ENV, "7")
+        assert resolve_index_threshold(3) == 3
+
+    def test_invalid_environment_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(INDEX_THRESHOLD_ENV, "many")
+        with pytest.raises(SSTError):
+            resolve_index_threshold()
+
+
+class TestLazyDelegation:
+    def test_small_taxonomy_stays_naive(self):
+        taxonomy = Taxonomy(DIAMOND)  # default threshold is 512
+        taxonomy.mrca("Left", "Right")
+        assert not taxonomy.is_compiled
+
+    def test_compiles_lazily_at_threshold(self):
+        taxonomy = Taxonomy(DIAMOND, index_threshold=5)
+        assert not taxonomy.is_compiled  # construction never compiles
+        taxonomy.mrca("Left", "Right")
+        assert taxonomy.is_compiled
+
+    def test_zero_threshold_always_compiles(self):
+        taxonomy = Taxonomy(DIAMOND, index_threshold=0)
+        taxonomy.depth("Leaf")
+        assert taxonomy.is_compiled
+
+    def test_negative_threshold_never_compiles(self):
+        taxonomy = Taxonomy(DIAMOND, index_threshold=-1)
+        taxonomy.max_depth()
+        taxonomy.mrca("Left", "Right")
+        assert not taxonomy.is_compiled
+
+    def test_environment_threshold_applies(self, monkeypatch):
+        monkeypatch.setenv(INDEX_THRESHOLD_ENV, "2")
+        taxonomy = Taxonomy(DIAMOND)
+        assert taxonomy.index_threshold == 2
+        taxonomy.depth("Leaf")
+        assert taxonomy.is_compiled
+
+    def test_compile_is_idempotent(self):
+        taxonomy = Taxonomy(DIAMOND)
+        first = taxonomy.compile()
+        assert taxonomy.compile() is first
+
+
+class TestCompiledQueries:
+    @pytest.fixture
+    def compiled(self) -> CompiledTaxonomy:
+        return CompiledTaxonomy(DIAMOND)
+
+    def test_structure(self, compiled):
+        assert len(compiled) == 5
+        assert "Bottom" in compiled and "Elsewhere" not in compiled
+        assert compiled.nodes() == list(DIAMOND)
+
+    def test_depths(self, compiled):
+        assert compiled.depth("Root") == 0
+        assert compiled.depth("Bottom") == 2
+        assert compiled.max_depth() == 3
+
+    def test_ancestors(self, compiled):
+        assert compiled.ancestors_with_distance("Bottom") == {
+            "Bottom": 0, "Left": 1, "Right": 1, "Root": 2}
+        assert compiled.common_ancestors("Left", "Right") == {"Root"}
+
+    def test_mrca_diamond_tie_breaks_by_name(self, compiled):
+        # Left and Right are both distance-2 meeting points of nowhere;
+        # for Bottom vs Bottom's uncles the tie is resolved like the
+        # naive implementation: smaller distance sum, deeper ancestor,
+        # then lexicographic name.
+        assert compiled.mrca("Left", "Right") == ("Root", 1, 1)
+        assert compiled.mrca("Bottom", "Left") == ("Left", 1, 0)
+
+    def test_mrca_disjoint_components_is_none(self):
+        taxonomy = CompiledTaxonomy({"A": [], "B": []})
+        assert taxonomy.mrca("A", "B") is None
+        assert taxonomy.shortest_path_length("A", "B") is None
+        assert taxonomy.shortest_path_length("A", "B", ANY_PATH) is None
+
+    def test_path_policies_differ_through_descendants(self):
+        # Two parents share only a child: no common ancestor, but an
+        # undirected path exists through the shared descendant.
+        parents = {"P1": [], "P2": [], "C": ["P1", "P2"]}
+        compiled = CompiledTaxonomy(parents)
+        assert compiled.shortest_path_length("P1", "P2",
+                                             VIA_ANCESTOR) is None
+        assert compiled.shortest_path_length("P1", "P2", ANY_PATH) == 2
+
+    def test_descendants(self, compiled):
+        assert compiled.descendant_count("Root") == 5
+        assert compiled.descendants("Root") == {"Left", "Right", "Bottom",
+                                                "Leaf"}
+        assert compiled.descendant_count("Leaf") == 1
+        assert compiled.descendants("Leaf") == set()
+
+    def test_diamond_descendants_not_double_counted(self, compiled):
+        # Bottom is reachable via Left and Right but counts once.
+        assert compiled.descendant_count("Left") == 3
+
+    def test_path_to_root(self, compiled):
+        assert compiled.path_to_root("Leaf") == ["Leaf", "Bottom", "Left",
+                                                 "Root"]
+
+    def test_unknown_concept_raises(self, compiled):
+        with pytest.raises(UnknownConceptError):
+            compiled.depth("Nope")
+        with pytest.raises(UnknownConceptError):
+            compiled.mrca("Root", "Nope")
+
+    def test_unknown_parent_raises(self):
+        with pytest.raises(UnknownConceptError):
+            CompiledTaxonomy({"A": ["Ghost"]})
+
+    def test_unknown_policy_raises(self, compiled):
+        with pytest.raises(ValueError):
+            compiled.shortest_path_length("Root", "Leaf", "sideways")
+
+    def test_self_distance_is_zero(self, compiled):
+        assert compiled.shortest_path_length("Leaf", "Leaf") == 0
+        assert compiled.shortest_path_length("Leaf", "Leaf", ANY_PATH) == 0

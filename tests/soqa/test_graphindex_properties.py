@@ -1,0 +1,85 @@
+"""Property tests: CompiledTaxonomy is bit-identical to naive Taxonomy.
+
+Two sources of randomized DAGs exercise the equivalence: a
+hypothesis-generated family (small, adversarial shapes — diamonds,
+multiple roots, disconnected components) and the seeded generators of
+:mod:`repro.ontologies.generator` (larger, realistic shapes).  Every
+query of the public Taxonomy API must agree exactly between a
+naive-only instance (negative threshold) and an always-compiled one
+(threshold zero), including tie-breaking and ``None`` results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontologies.generator import (generate_random_dag,
+                                        generate_wordnet_taxonomy)
+from repro.soqa.graph import ANY_PATH, VIA_ANCESTOR, Taxonomy
+
+
+@st.composite
+def random_dags(draw) -> dict[str, list[str]]:
+    """A random DAG as ``{node: parents}`` (same family as the
+    networkx-oracle tests; acyclic because parents precede children)."""
+    size = draw(st.integers(min_value=1, max_value=25))
+    nodes = [f"n{i}" for i in range(size)]
+    parents: dict[str, list[str]] = {nodes[0]: []}
+    for index in range(1, size):
+        earlier = nodes[:index]
+        count = draw(st.integers(min_value=0,
+                                 max_value=min(3, len(earlier))))
+        chosen = draw(st.permutations(earlier))[:count]
+        parents[nodes[index]] = list(chosen)
+    return parents
+
+
+def assert_equivalent(parents: dict[str, list[str]],
+                      pair_limit: int | None = None) -> None:
+    """Every public query agrees between naive and compiled instances."""
+    naive = Taxonomy(parents, index_threshold=-1)
+    compiled = Taxonomy(parents, index_threshold=0)
+    nodes = list(parents)
+    assert naive.max_depth() == compiled.max_depth()
+    assert compiled.is_compiled and not naive.is_compiled
+    for node in nodes:
+        assert naive.depth(node) == compiled.depth(node)
+        assert naive.descendant_count(node) == compiled.descendant_count(node)
+        assert naive.descendants(node) == compiled.descendants(node)
+        assert naive.path_to_root(node) == compiled.path_to_root(node)
+        assert (naive.ancestors_with_distance(node)
+                == compiled.ancestors_with_distance(node))
+    pair_nodes = nodes if pair_limit is None else nodes[:pair_limit]
+    for first in pair_nodes:
+        for second in pair_nodes:
+            assert naive.mrca(first, second) == compiled.mrca(first, second)
+            assert (naive.common_ancestors(first, second)
+                    == compiled.common_ancestors(first, second))
+            for policy in (VIA_ANCESTOR, ANY_PATH):
+                assert (naive.shortest_path_length(first, second, policy)
+                        == compiled.shortest_path_length(first, second,
+                                                         policy))
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_compiled_matches_naive_on_hypothesis_dags(parents):
+    assert_equivalent(parents)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_compiled_matches_naive_on_seeded_random_dags(seed):
+    assert_equivalent(generate_random_dag(120, seed=seed), pair_limit=20)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_compiled_matches_naive_on_wordnet_shape(seed):
+    assert_equivalent(generate_wordnet_taxonomy(300, seed=seed),
+                      pair_limit=15)
+
+
+def test_generators_are_deterministic():
+    assert generate_random_dag(80, seed=5) == generate_random_dag(80, seed=5)
+    assert (generate_wordnet_taxonomy(80, seed=5)
+            == generate_wordnet_taxonomy(80, seed=5))
+    assert generate_random_dag(80, seed=5) != generate_random_dag(80, seed=6)

@@ -1,0 +1,113 @@
+"""Tests for the cache-related CLI surface (sst cache, --no-cache)."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import MINI_OWL
+
+
+@pytest.fixture
+def owl_file(tmp_path) -> str:
+    path = tmp_path / "univ.owl"
+    path.write_text(MINI_OWL, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch) -> str:
+    directory = tmp_path / "cli-cache"
+    monkeypatch.setenv("SST_CACHE_DIR", str(directory))
+    return str(directory)
+
+
+class TestCacheSubcommand:
+    def test_path(self, capsys, cache_dir):
+        assert main(["cache", "path"]) == 0
+        out = capsys.readouterr().out
+        assert cache_dir in out
+        assert "similarity-cache.sqlite" in out
+
+    def test_stats_empty(self, capsys, cache_dir):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+
+    def test_stats_json(self, capsys, cache_dir):
+        import json
+
+        assert main(["cache", "stats", "--format", "json"]) == 0
+        statistics = json.loads(capsys.readouterr().out)
+        assert statistics["exists"] is False
+
+    def test_clear(self, capsys, cache_dir):
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_cache_dir_option_beats_environment(self, capsys, cache_dir,
+                                                tmp_path):
+        other = tmp_path / "elsewhere"
+        assert main(["--cache-dir", str(other), "cache", "path"]) == 0
+        assert str(other) in capsys.readouterr().out
+
+
+class TestWarmStart:
+    def test_second_matrix_run_hits_disk(self, capsys, owl_file, cache_dir):
+        argv = ["--ontology-file", owl_file, "matrix",
+                "univ:Person", "univ:Student", "univ:Course"]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "0.0%" in cold.err  # everything computed cold
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "100.0%" in warm.err
+        assert warm.out == cold.out  # warm results identical
+
+    def test_no_cache_flag_skips_disk(self, capsys, owl_file, cache_dir):
+        argv = ["--ontology-file", owl_file, "matrix",
+                "univ:Person", "univ:Student", "--no-cache"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "disk cache" not in captured.err
+        # Nothing was persisted either:
+        assert main(["cache", "stats", "--format", "json"]) == 0
+
+    def test_no_cache_environment(self, capsys, owl_file, cache_dir,
+                                  monkeypatch):
+        monkeypatch.setenv("SST_NO_CACHE", "1")
+        argv = ["--ontology-file", owl_file, "ksim", "univ", "Person",
+                "-k", "2"]
+        assert main(argv) == 0
+        assert "disk cache" not in capsys.readouterr().err
+
+    def test_ksim_reports_cache(self, capsys, owl_file, cache_dir):
+        argv = ["--ontology-file", owl_file, "ksim", "univ", "Person",
+                "-k", "2"]
+        assert main(argv) == 0
+        assert "disk cache" in capsys.readouterr().err
+
+    def test_align_reports_cache(self, capsys, owl_file, cache_dir):
+        argv = ["--ontology-file", owl_file, "align", "univ", "univ",
+                "-m", "TFIDF"]
+        assert main(argv) == 0
+        assert "disk cache" in capsys.readouterr().err
+
+
+class TestIndexThresholdOption:
+    def test_threshold_is_exported(self, capsys, owl_file, monkeypatch):
+        import os
+
+        from repro.soqa.graphindex import INDEX_THRESHOLD_ENV
+
+        # Seed the variable through monkeypatch so the CLI's write is
+        # rolled back after the test.
+        monkeypatch.setenv(INDEX_THRESHOLD_ENV, "512")
+        argv = ["--ontology-file", owl_file, "--index-threshold", "0",
+                "stats"]
+        assert main(argv) == 0
+        assert os.environ[INDEX_THRESHOLD_ENV] == "0"
+        out = capsys.readouterr().out
+        assert "graph index compiled" in out
+
+    def test_stats_reports_naive_index_state(self, capsys, owl_file):
+        assert main(["--ontology-file", owl_file, "stats"]) == 0
+        assert "graph index naive" in capsys.readouterr().out
