@@ -4,11 +4,20 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench-graphindex bench
+.PHONY: test lint coverage bench-smoke bench-graphindex bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
 	$(PY) -m pytest -x -q
+
+# Tier-1 suite under coverage with the ratcheted minimum (the CI
+# "coverage" job).  The threshold lives in pyproject.toml
+# ([tool.coverage.report] fail_under); needs `pip install -e ".[test,cov]"`.
+coverage:
+	@$(PY) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed; run: pip install -e '.[test,cov]'"; exit 1; }
+	$(PY) -m pytest --cov=repro --cov-report=term-missing \
+		--cov-report=xml:coverage.xml -q
 
 # Static analysis over the bundled ontology corpus (the CI "lint" job).
 # `python -m repro.cli` is the module form of the installed `sst` command.

@@ -15,6 +15,8 @@ Subcommands map onto the facade services:
     sst query "SELECT name FROM concepts WHERE is_root = true LIMIT 5"
     sst lint                            # static analysis of all ontologies
     sst lint --soqaql "SELECT nam FROM concepts" --format json
+    sst trace matrix --from-ontology COURSES   # span tree of any command
+    sst metrics --format json ksim univ-bench_owl Person
     sst browse                          # interactive SST Browser
     sst shell                           # interactive SOQA-QL shell
 
@@ -219,6 +221,24 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--format", choices=("text", "json"),
                        default="text", dest="output_format")
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="run any subcommand with tracing on and print its span tree")
+    trace.add_argument(
+        "wrapped", nargs=argparse.REMAINDER, metavar="COMMAND ...",
+        help="the subcommand (plus arguments) to trace")
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run any subcommand and print the collected metrics "
+             "(the wrapped command's stdout is discarded)")
+    metrics.add_argument("--format", choices=("text", "json", "prometheus"),
+                         default="text", dest="output_format")
+    metrics.add_argument(
+        "wrapped", nargs=argparse.REMAINDER, metavar="COMMAND ...",
+        help="the subcommand (plus arguments) to measure; put --format "
+             "before it")
+
     subparsers.add_parser("browse", help="interactive SST Browser")
     subparsers.add_parser("shell", help="interactive SOQA-QL shell")
     return parser
@@ -252,6 +272,8 @@ def _split_subtree(value: str | None) -> tuple[str | None, str | None]:
 
 def _run(arguments: argparse.Namespace) -> int:
     command = arguments.command
+    if command in ("trace", "metrics"):
+        return _run_observed(arguments)
     if command == "lint" and arguments.list_rules:
         return _print_rule_list()
     if command == "cache":
@@ -272,15 +294,26 @@ def _run(arguments: argparse.Namespace) -> int:
 
 
 def _report_cache(sst: SOQASimPackToolkit) -> None:
-    """One stderr line on how the persistent tier fared this run."""
-    statistics = sst.cache_statistics()
-    l2 = statistics.get("l2")
+    """One stderr line on how the persistent tier fared this run.
+
+    Backed by the telemetry counters (which the process workers merge
+    into, so all three parallel strategies report the same numbers);
+    silent when the ``SST_TELEMETRY=off`` kill switch is set.
+    """
+    from repro.core import telemetry
+
+    if not telemetry.enabled():
+        return
+    registry = telemetry.get_registry()
+    hits = registry.value("cache.l2.hits")
+    total = hits + registry.value("cache.l2.misses")
+    if not total:
+        return
+    l2 = sst.cache_statistics().get("l2")
     if not l2:
         return
-    total = l2["hits"] + l2["misses"]
-    if total:
-        print(f"disk cache: {l2['hits']}/{total} hits "
-              f"({l2['hit_rate']:.1%}) at {l2['path']}", file=sys.stderr)
+    print(f"disk cache: {hits}/{total} hits "
+          f"({hits / total:.1%}) at {l2['path']}", file=sys.stderr)
 
 
 def _dispatch(sst: SOQASimPackToolkit,
@@ -470,6 +503,78 @@ def _run_matrix(sst: SOQASimPackToolkit,
     return 0
 
 
+def _render_metrics(output_format: str) -> str:
+    """The metrics registry in the requested exposition format."""
+    from repro.core import telemetry
+
+    registry = telemetry.get_registry()
+    if output_format == "json":
+        return registry.render_json()
+    if output_format == "prometheus":
+        return registry.render_prometheus()
+    return registry.render_text()
+
+
+def _run_observed(arguments: argparse.Namespace) -> int:
+    """``sst trace <cmd>`` / ``sst metrics <cmd>``: observe any command.
+
+    Both wrappers force telemetry on (an explicit request to observe
+    beats the ambient ``SST_TELEMETRY`` kill switch), re-parse the
+    wrapped argv with the full parser, and run it through the normal
+    dispatch.  ``trace`` appends the span tree and a metrics summary to
+    the command's own output; ``metrics`` discards the wrapped stdout
+    and prints only the exposition, so ``--format json``/``prometheus``
+    stay machine-readable.
+    """
+    import io
+    from contextlib import redirect_stdout
+
+    from repro.core import telemetry
+
+    wrapped = list(arguments.wrapped)
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        if arguments.command == "metrics":
+            # Nothing to run: expose the (empty) registry as-is.
+            print(_render_metrics(arguments.output_format))
+            return 0
+        print("error: sst trace needs a subcommand to wrap, e.g. "
+              "`sst trace matrix --from-ontology COURSES`",
+              file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(wrapped)
+    if inner.command in ("trace", "metrics"):
+        print(f"error: cannot nest {inner.command} inside "
+              f"{arguments.command}", file=sys.stderr)
+        return 2
+    # Global options given before the wrapper apply to the wrapped
+    # command unless it overrides them itself.
+    if not inner.ontology_files:
+        inner.ontology_files = arguments.ontology_files
+    if inner.cache_dir is None:
+        inner.cache_dir = arguments.cache_dir
+    if inner.index_threshold is None:
+        inner.index_threshold = arguments.index_threshold
+    telemetry.set_enabled(True)
+    if arguments.command == "trace":
+        with telemetry.span(f"sst.{inner.command}"):
+            code = _run(inner)
+        print()
+        print("── trace " + "─" * 51)
+        print(telemetry.render_span_tree(telemetry.get_tracer().drain()))
+        print()
+        print("── metrics " + "─" * 49)
+        print(telemetry.get_registry().render_text())
+        return code
+    sink = io.StringIO()
+    with redirect_stdout(sink):
+        with telemetry.span(f"sst.{inner.command}"):
+            code = _run(inner)
+    print(_render_metrics(arguments.output_format))
+    return code
+
+
 def _run_cache(arguments: argparse.Namespace) -> int:
     """The ``sst cache`` subcommand: stats / clear / path."""
     import json
@@ -560,8 +665,14 @@ def _table1_text(sst: SOQASimPackToolkit) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``sst`` command."""
+    from repro.core import telemetry
+
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    # Fresh telemetry per invocation: honor the SST_TELEMETRY kill
+    # switch and drop anything a previous in-process call recorded.
+    telemetry.refresh_from_env()
+    telemetry.reset()
     try:
         return _run(arguments)
     except SSTError as error:

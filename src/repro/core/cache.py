@@ -21,6 +21,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.core import telemetry
 from repro.core.results import QualifiedConcept
 from repro.core.runners import MeasureRunner
 from repro.errors import SSTCoreError
@@ -101,8 +102,10 @@ class CachedRunner(MeasureRunner):
             if cached is not None:
                 self.hits += 1
                 self._table.move_to_end(key)
+                telemetry.count("cache.l1.hits")
                 return cached
             self.misses += 1
+        telemetry.count("cache.l1.misses")
         if self.l2 is not None:
             stored = self.l2.get(self.fingerprint, self.name,
                                  *self._l2_columns(key))
@@ -115,7 +118,10 @@ class CachedRunner(MeasureRunner):
                 else:
                     self.l2_misses += 1
             if stored is not None:
+                telemetry.count("cache.l2.hits")
+                telemetry.count("cache.l1.stores")
                 return stored
+            telemetry.count("cache.l2.misses")
         # Compute outside the lock; two threads racing on the same cold
         # key both compute the (identical) value, which is harmless.
         value = self.inner.run(first, second)
@@ -123,20 +129,25 @@ class CachedRunner(MeasureRunner):
             self._table[key] = value
             while len(self._table) > self.capacity:
                 self._table.popitem(last=False)
+        telemetry.count("cache.l1.stores")
         if self.l2 is not None:
             self.l2.put(self.fingerprint, self.name,
                         *self._l2_columns(key), value)
         return value
 
-    def merge(self, entries, hits: int = 0, misses: int = 0) -> None:
+    def merge(self, entries, hits: int = 0, misses: int = 0,
+              l2_hits: int = 0, l2_misses: int = 0) -> None:
         """Fold a worker's cache delta back into this cache.
 
         ``entries`` are ``(key, value)`` pairs as produced by
-        :meth:`cache_key`; ``hits``/``misses`` are the worker's counter
-        deltas.  Used by the process-backed parallel strategy, whose
-        workers each mutate a forked copy of the table.  Merged entries
-        are also persisted to the L2 here — the workers' own ``put``
-        calls are dropped after a fork, so this is the single writer.
+        :meth:`cache_key`; ``hits``/``misses`` (and the L2 pair) are the
+        worker's counter deltas.  Used by the process-backed parallel
+        strategy, whose workers each mutate a forked copy of the table.
+        Merged entries are also persisted to the L2 here — the workers'
+        own ``put`` calls are dropped after a fork, so this is the
+        single writer.  Telemetry counters are *not* touched: workers
+        ship those through their own telemetry delta
+        (:mod:`repro.core.telemetry`), keeping both books identical.
         """
         entries = list(entries)
         with self._lock:
@@ -147,6 +158,8 @@ class CachedRunner(MeasureRunner):
                 self._table.popitem(last=False)
             self.hits += hits
             self.misses += misses
+            self.l2_hits += l2_hits
+            self.l2_misses += l2_misses
         if self.l2 is not None:
             self.l2.put_many(
                 (self.fingerprint, self.name, *self._l2_columns(key), value)

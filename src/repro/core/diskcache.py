@@ -27,6 +27,7 @@ import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
+from repro.core import telemetry
 from repro.errors import SSTCoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -109,6 +110,10 @@ class DiskCache:
         self._connection: sqlite3.Connection | None = None
         self._owner_pid = os.getpid()
         self._pending: list[tuple[str, str, str, str, str, str, float]] = []
+        #: Writes (and their telemetry) are dropped while True.  The
+        #: parallel engine marks worker-side caches read-only: worker
+        #: scores are persisted exactly once, by the parent's merge.
+        self.read_only = False
 
     # -- connection management ----------------------------------------------------
 
@@ -165,7 +170,8 @@ class DiskCache:
     # -- pickling / forking -------------------------------------------------------
 
     def __getstate__(self) -> dict:
-        return {"directory": self.directory, "path": self.path}
+        return {"directory": self.directory, "path": self.path,
+                "read_only": self.read_only}
 
     def __setstate__(self, state: dict) -> None:
         self.directory = state["directory"]
@@ -174,6 +180,7 @@ class DiskCache:
         self._connection = None
         self._owner_pid = os.getpid()
         self._pending = []
+        self.read_only = state.get("read_only", False)
 
     # -- reads --------------------------------------------------------------------
 
@@ -204,10 +211,11 @@ class DiskCache:
             value: float) -> None:
         """Buffer one score for the next :meth:`flush`.
 
-        No-op in forked children — the parent persists their scores via
-        the ``CachedRunner.merge`` delta instead, exactly once.
+        No-op in read-only mode and in forked children — the parent
+        persists their scores via the ``CachedRunner.merge`` delta
+        instead, exactly once.
         """
-        if os.getpid() != self._owner_pid:
+        if self.read_only or os.getpid() != self._owner_pid:
             return
         with self._lock:
             self._pending.append((fingerprint, measure,
@@ -215,25 +223,30 @@ class DiskCache:
                                   second_ontology, second_concept,
                                   float(value)))
             should_flush = len(self._pending) >= _FLUSH_THRESHOLD
+        telemetry.count("cache.l2.stores")
         if should_flush:
             self.flush()
 
     def put_many(self, rows: Iterable[tuple[str, str, str, str, str, str,
                                             float]]) -> None:
         """Buffer many ``(fingerprint, measure, pair..., value)`` rows."""
-        if os.getpid() != self._owner_pid:
+        if self.read_only or os.getpid() != self._owner_pid:
             return
         with self._lock:
+            before = len(self._pending)
             self._pending.extend(rows)
+            added = len(self._pending) - before
             should_flush = len(self._pending) >= _FLUSH_THRESHOLD
+        if added:
+            telemetry.count("cache.l2.stores", added)
         if should_flush:
             self.flush()
 
     def flush(self) -> int:
         """Write buffered rows in one transaction; returns the row count."""
-        if os.getpid() != self._owner_pid:
+        if self.read_only or os.getpid() != self._owner_pid:
             return 0
-        with self._lock:
+        with telemetry.span("diskcache.flush"), self._lock:
             if not self._pending:
                 return 0
             rows = [(_SCHEMA_VERSION, *row) for row in self._pending]
@@ -246,6 +259,7 @@ class DiskCache:
                 connection.commit()
             except (SSTCoreError, sqlite3.Error):
                 return 0  # losing a warm-start is fine; failing a run is not
+        telemetry.count("cache.l2.flushed_rows", len(rows))
         return len(rows)
 
     # -- maintenance --------------------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core import telemetry
 from repro.core.cache import CachedRunner
 from repro.core.diskcache import (DiskCache, caching_disabled,
                                   corpus_fingerprint)
@@ -134,14 +135,19 @@ class SOQASimPackToolkit:
     def tree(self) -> UnifiedTree:
         """The unified ontology tree (built lazily)."""
         if self._tree is None:
-            self._tree = UnifiedTree(self.soqa, strategy=self.strategy)
+            with telemetry.span("facade.unified_tree.build",
+                                strategy=self.strategy):
+                self._tree = UnifiedTree(self.soqa, strategy=self.strategy)
+            telemetry.gauge("facade.unified_tree.nodes",
+                            len(self._tree.taxonomy))
         return self._tree
 
     @property
     def wrapper(self) -> SOQAWrapperForSimPack:
         """The SOQAWrapper for SimPack (built lazily)."""
         if self._wrapper is None:
-            self._wrapper = SOQAWrapperForSimPack(self.soqa, self.tree)
+            with telemetry.span("facade.wrapper.build"):
+                self._wrapper = SOQAWrapperForSimPack(self.soqa, self.tree)
         return self._wrapper
 
     @property
@@ -322,6 +328,7 @@ class SOQASimPackToolkit:
                        second_ontology_name: str,
                        measure: int | str | Measure) -> float:
         """Similarity of two concepts under one measure (signature S1)."""
+        telemetry.count("facade.get_similarity.calls")
         first = QualifiedConcept(first_ontology_name, first_concept_name)
         second = QualifiedConcept(second_ontology_name, second_concept_name)
         return self.runner(measure).run(first, second)
@@ -366,10 +373,14 @@ class SOQASimPackToolkit:
                               strategy: str | None = None,
                               ) -> list[ConceptAndSimilarity]:
         """Similarity between a concept and a freely composed concept set."""
+        telemetry.count("facade.get_similarity_to_set.calls")
         anchor = QualifiedConcept(ontology_name, concept_name)
         others = [_qualify(reference) for reference in concepts]
-        values = self.engine(measure, workers, strategy).score_against(
-            anchor, others)
+        with telemetry.span("facade.similarity_to_set",
+                            measure=self.runner(measure).name,
+                            candidates=len(others)):
+            values = self.engine(measure, workers, strategy).score_against(
+                anchor, others)
         return [ConceptAndSimilarity(concept_name=other.concept_name,
                                      ontology_name=other.ontology_name,
                                      similarity=value)
@@ -386,10 +397,13 @@ class SOQASimPackToolkit:
         the weighting: ``"tfidf"`` (cosine, scores in [0, 1]) or
         ``"bm25"`` (Okapi scores, unbounded).
         """
+        telemetry.count("facade.search_concepts.calls")
         if scheme == "tfidf":
-            ranked = self.wrapper.vector_space().search(query_text, k=k)
+            with telemetry.span("facade.search", scheme=scheme, k=k):
+                ranked = self.wrapper.vector_space().search(query_text, k=k)
         elif scheme == "bm25":
-            ranked = self.wrapper.bm25().search(query_text, k=k)
+            with telemetry.span("facade.search", scheme=scheme, k=k):
+                ranked = self.wrapper.bm25().search(query_text, k=k)
         else:
             raise SSTCoreError(
                 f"unknown search scheme {scheme!r}; expected 'tfidf' or "
@@ -444,11 +458,15 @@ class SOQASimPackToolkit:
         Candidate scoring is batched through the parallel engine when
         ``workers`` (or ``SST_WORKERS``) exceeds 1.
         """
+        telemetry.count("facade.get_most_similar_concepts.calls")
         anchor = QualifiedConcept(concept_ontology_name, concept_name)
         candidates = self._candidates(subtree_root_concept_name,
                                       subtree_ontology_name, anchor)
-        values = self.engine(measure, workers, strategy).score_against(
-            anchor, candidates)
+        with telemetry.span("facade.most_similar",
+                            measure=self.runner(measure).name,
+                            candidates=len(candidates), k=k):
+            values = self.engine(measure, workers, strategy).score_against(
+                anchor, candidates)
         scored = [ConceptAndSimilarity(candidate.concept_name,
                                        candidate.ontology_name, value)
                   for candidate, value in zip(candidates, values)]
@@ -469,11 +487,15 @@ class SOQASimPackToolkit:
                                      strategy: str | None = None,
                                      ) -> list[ConceptAndSimilarity]:
         """The ``k`` most dissimilar concepts for the given one."""
+        telemetry.count("facade.get_most_dissimilar_concepts.calls")
         anchor = QualifiedConcept(concept_ontology_name, concept_name)
         candidates = self._candidates(subtree_root_concept_name,
                                       subtree_ontology_name, anchor)
-        values = self.engine(measure, workers, strategy).score_against(
-            anchor, candidates)
+        with telemetry.span("facade.most_dissimilar",
+                            measure=self.runner(measure).name,
+                            candidates=len(candidates), k=k):
+            values = self.engine(measure, workers, strategy).score_against(
+                anchor, candidates)
         scored = [ConceptAndSimilarity(candidate.concept_name,
                                        candidate.ontology_name, value)
                   for candidate, value in zip(candidates, values)]
@@ -496,9 +518,13 @@ class SOQASimPackToolkit:
         ``SST_WORKERS`` set) the pair batch is partitioned across a
         worker pool; every strategy produces the identical matrix.
         """
+        telemetry.count("facade.get_similarity_matrix.calls")
         qualified = [_qualify(concept) for concept in concepts]
-        return self.engine(measure, workers, strategy).similarity_matrix(
-            qualified, symmetric=symmetric)
+        with telemetry.span("facade.similarity_matrix",
+                            measure=self.runner(measure).name,
+                            concepts=len(qualified)):
+            return self.engine(measure, workers, strategy).similarity_matrix(
+                qualified, symmetric=symmetric)
 
     # -- visualization services (signature S3) --------------------------------------------------
 

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
+from repro.core import telemetry
 from repro.core.cache import CachedRunner
 from repro.core.results import QualifiedConcept
 from repro.core.runners import MeasureRunner
@@ -143,25 +145,61 @@ _WORKER_RUNNER: MeasureRunner | None = None
 def _initialize_worker(runner: MeasureRunner) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = runner
+    # Workers only ever read the persistent tier: their fresh scores
+    # travel back through the merge delta and the parent persists them
+    # exactly once.  (The pool pickles initargs even under fork, which
+    # would otherwise re-own the cache to the worker's pid.)
+    if isinstance(runner, CachedRunner) and runner.l2 is not None:
+        runner.l2.read_only = True
 
 
-def _score_chunk(pairs: list) -> tuple[list[float], tuple | None]:
+def _score_chunk(payload: tuple) -> tuple[list[float], tuple | None,
+                                          tuple | None]:
     """Score one chunk in a worker process.
 
-    Returns the values plus, for cached runners, the chunk's cache
-    delta ``(entries, hits, misses)`` so the parent can merge worker
-    caches back together.
+    ``payload`` is ``(chunk_index, submitted_at, pairs)``;
+    ``submitted_at`` comes from the parent's ``perf_counter``, which
+    shares a clock domain with forked children, so the queue-wait
+    histogram spans the process boundary.  Returns the values plus, for
+    cached runners, the chunk's cache delta ``(entries, hits, misses,
+    l2_hits, l2_misses)``, plus the worker's telemetry delta
+    ``(metric_diff, span)`` so the parent can merge both books back
+    together.
     """
+    chunk_index, submitted_at, pairs = payload
     runner = _WORKER_RUNNER
     if runner is None:  # pragma: no cover - defensive; initializer always ran
         raise SSTCoreError("worker pool used before initialization")
+    traced = telemetry.enabled()
+    started = time.perf_counter()
+    if traced:
+        # Snapshot *before* the first observation so every worker-side
+        # metric lands in the delta shipped back to the parent.
+        metrics_base = telemetry.snapshot()
+        telemetry.observe("parallel.queue_wait_seconds",
+                          started - submitted_at)
     if isinstance(runner, CachedRunner):
         hits, misses = runner.hits, runner.misses
+        l2_hits, l2_misses = runner.l2_hits, runner.l2_misses
         values = [runner.run(first, second) for first, second in pairs]
         entries = [(runner.cache_key(first, second), value)
                    for (first, second), value in zip(pairs, values)]
-        return values, (entries, runner.hits - hits, runner.misses - misses)
-    return [runner.run(first, second) for first, second in pairs], None
+        delta = (entries, runner.hits - hits, runner.misses - misses,
+                 runner.l2_hits - l2_hits, runner.l2_misses - l2_misses)
+    else:
+        values = [runner.run(first, second) for first, second in pairs]
+        delta = None
+    if not traced:
+        return values, delta, None
+    duration = time.perf_counter() - started
+    telemetry.observe("parallel.task_seconds", duration)
+    # The span is built by hand, detached from any (fork-copied)
+    # thread-local context, so it travels back as a clean subtree.
+    span_record = telemetry.Span(
+        name="parallel.chunk", duration=duration,
+        labels={"chunk": chunk_index, "pairs": len(pairs),
+                "pid": os.getpid()})
+    return values, delta, (telemetry.diff_since(metrics_base), span_record)
 
 
 def _fork_context():
@@ -197,21 +235,24 @@ class BatchSimilarityEngine:
         pairs = list(pairs)
         if not pairs:
             return []
-        if (self.strategy == SERIAL or self.workers <= 1
-                or len(pairs) <= 1):
-            return self._score_serial(pairs)
-        # Prime lazily built wrapper state (taxonomy, TFIDF index, IC
-        # tables) on the first pair in the calling thread, so thread
-        # workers never race on construction and process workers
-        # inherit the warm structures through fork.
-        first_value = self.runner.run(*pairs[0])
-        rest = pairs[1:]
-        chunks = chunk_pairs(rest, self.workers * CHUNKS_PER_WORKER)
-        if self.strategy == THREAD:
-            values = self._score_threaded(chunks)
-        else:
-            values = self._score_processes(chunks)
-        return [first_value] + values
+        with telemetry.span("parallel.score_pairs",
+                            strategy=self.strategy, workers=self.workers,
+                            pairs=len(pairs)):
+            if (self.strategy == SERIAL or self.workers <= 1
+                    or len(pairs) <= 1):
+                return self._score_serial(pairs)
+            # Prime lazily built wrapper state (taxonomy, TFIDF index,
+            # IC tables) on the first pair in the calling thread, so
+            # thread workers never race on construction and process
+            # workers inherit the warm structures through fork.
+            first_value = self.runner.run(*pairs[0])
+            rest = pairs[1:]
+            chunks = chunk_pairs(rest, self.workers * CHUNKS_PER_WORKER)
+            if self.strategy == THREAD:
+                values = self._score_threaded(chunks)
+            else:
+                values = self._score_processes(chunks)
+            return [first_value] + values
 
     def score_against(self, anchor: QualifiedConcept,
                       candidates: Sequence[QualifiedConcept]) -> list[float]:
@@ -255,11 +296,26 @@ class BatchSimilarityEngine:
 
     def _score_threaded(self, chunks: list[list]) -> list[float]:
         runner = self.runner
+        parent_span = telemetry.current_span()
+        submitted_at = time.perf_counter()
+
+        def score(indexed_chunk: tuple[int, list]) -> list[float]:
+            chunk_index, chunk = indexed_chunk
+            started = time.perf_counter()
+            telemetry.observe("parallel.queue_wait_seconds",
+                              started - submitted_at)
+            # Worker-thread spans graft onto the engine span explicitly
+            # — the thread-local context stack is per-thread.
+            with telemetry.span("parallel.chunk", parent=parent_span,
+                                chunk=chunk_index, pairs=len(chunk)):
+                chunk_values = [runner.run(first, second)
+                                for first, second in chunk]
+            telemetry.observe("parallel.task_seconds",
+                              time.perf_counter() - started)
+            return chunk_values
+
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            chunk_values = list(pool.map(
-                lambda chunk: [runner.run(first, second)
-                               for first, second in chunk],
-                chunks))
+            chunk_values = list(pool.map(score, enumerate(chunks)))
         return [value for values in chunk_values for value in values]
 
     def _score_processes(self, chunks: list[list]) -> list[float]:
@@ -268,19 +324,31 @@ class BatchSimilarityEngine:
             # No fork on this platform: deterministic serial fallback.
             return self._score_serial(
                 [pair for chunk in chunks for pair in chunk])
+        parent_span = telemetry.current_span()
+        submitted_at = time.perf_counter()
+        payloads = [(index, submitted_at, chunk)
+                    for index, chunk in enumerate(chunks)]
         with ProcessPoolExecutor(max_workers=self.workers,
                                  mp_context=context,
                                  initializer=_initialize_worker,
                                  initargs=(self.runner,)) as pool:
-            results = list(pool.map(_score_chunk, chunks))
+            results = list(pool.map(_score_chunk, payloads))
         values: list[float] = []
         merged = False
-        for chunk_values, delta in results:
+        worker_spans: list[telemetry.Span] = []
+        for chunk_values, delta, worker_telemetry in results:
             values.extend(chunk_values)
             if delta is not None and isinstance(self.runner, CachedRunner):
-                entries, hits, misses = delta
-                self.runner.merge(entries, hits=hits, misses=misses)
+                entries, hits, misses, l2_hits, l2_misses = delta
+                self.runner.merge(entries, hits=hits, misses=misses,
+                                  l2_hits=l2_hits, l2_misses=l2_misses)
                 merged = True
+            if worker_telemetry is not None:
+                metric_diff, span_record = worker_telemetry
+                telemetry.merge(metric_diff)
+                worker_spans.append(span_record)
+        if worker_spans:
+            telemetry.get_tracer().attach_children(parent_span, worker_spans)
         if merged:
             # merge() buffered the worker scores for the persistent L2
             # tier (the forked workers' own writes are no-ops); make the

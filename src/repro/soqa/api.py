@@ -45,16 +45,32 @@ class SOQA:
     def load_file(self, path: str | Path, name: str | None = None,
                   language: str | None = None) -> Ontology:
         """Load an ontology file, dispatching on language or file suffix."""
+        # Lazy import: the soqa layer cannot import repro.core at module
+        # load time (repro.core.__init__ imports back into soqa).
+        from repro.core import telemetry
+
         if language is not None:
             wrapper = self.registry.for_language(language)
         else:
             wrapper = self.registry.for_path(path)
-        return self.add_ontology(wrapper.load(path, name=name))
+        with telemetry.span("soqa.load_file", language=wrapper.language,
+                            path=str(path)):
+            ontology = wrapper.load(path, name=name)
+        telemetry.count("soqa.ontologies_loaded")
+        telemetry.count("soqa.concepts_loaded", len(ontology))
+        return self.add_ontology(ontology)
 
     def load_text(self, text: str, name: str, language: str) -> Ontology:
         """Parse ontology source ``text`` in the given language."""
+        from repro.core import telemetry
+
         wrapper = self.registry.for_language(language)
-        return self.add_ontology(wrapper.parse(text, name))
+        with telemetry.span("soqa.load_text", language=wrapper.language,
+                            name=name):
+            ontology = wrapper.parse(text, name)
+        telemetry.count("soqa.ontologies_loaded")
+        telemetry.count("soqa.concepts_loaded", len(ontology))
+        return self.add_ontology(ontology)
 
     def remove_ontology(self, name: str) -> None:
         """Forget the ontology called ``name``."""

@@ -78,7 +78,7 @@ class Taxonomy:
     def compile(self) -> CompiledTaxonomy:
         """Build (once) and return the compiled index regardless of size."""
         if self._compiled is None:
-            self._compiled = CompiledTaxonomy(self._parents)
+            self._compiled = self._build_index()
         return self._compiled
 
     def index(self) -> CompiledTaxonomy | None:
@@ -91,8 +91,25 @@ class Taxonomy:
             threshold = self._index_threshold
             if threshold < 0 or len(self._parents) < threshold:
                 return None
-            self._compiled = CompiledTaxonomy(self._parents)
+            self._compiled = self._build_index()
         return self._compiled
+
+    def _build_index(self) -> CompiledTaxonomy:
+        """Compile the index, reporting build time to telemetry."""
+        # Imported lazily: the soqa layer must not import repro.core at
+        # module load time (repro.core.__init__ imports back into soqa).
+        import time
+
+        from repro.core import telemetry
+
+        with telemetry.span("graphindex.compile", nodes=len(self._parents)):
+            started = time.perf_counter()
+            compiled = CompiledTaxonomy(self._parents)
+        telemetry.count("graphindex.compiles")
+        telemetry.gauge("graphindex.nodes", len(self._parents))
+        telemetry.observe("graphindex.compile_seconds",
+                          time.perf_counter() - started)
+        return compiled
 
 
     # -- basic structure ---------------------------------------------------------

@@ -1,0 +1,81 @@
+"""Golden end-to-end conformance test of all 26 similarity measures.
+
+Pins the full cross-ontology similarity matrix of a fixed six-concept
+panel — spanning all five bundled ontologies — under **every**
+registered measure to a checked-in fixture.  Any change to a parser, the
+unified tree, a graph algorithm, an IC table or a measure implementation
+that moves any score by more than 1e-9 fails here, naming the measure
+and the cell.
+
+Regenerate (after an *intentional* semantic change) with::
+
+    SST_REGENERATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_golden_matrix.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+TOLERANCE = 1e-9
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_matrix.json"
+
+REGENERATE_ENV = "SST_REGENERATE_GOLDEN"
+
+
+def _load_fixture() -> dict:
+    with FIXTURE_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_fixture_covers_every_registered_measure(corpus_sst):
+    fixture = _load_fixture()
+    registered = {info["name"] for info in corpus_sst.available_measures()}
+    assert set(fixture["matrices"]) == registered
+
+
+def test_fixture_panel_spans_all_ontologies(corpus_soqa):
+    fixture = _load_fixture()
+    ontologies = {ontology for ontology, _ in fixture["concepts"]}
+    assert ontologies == set(corpus_soqa.ontology_names())
+
+
+@pytest.mark.parametrize("measure_name", sorted(
+    _load_fixture()["matrices"]))
+def test_measure_matrix_matches_golden(corpus_sst, measure_name):
+    fixture = _load_fixture()
+    concepts = [tuple(concept) for concept in fixture["concepts"]]
+    expected = fixture["matrices"][measure_name]
+    actual = corpus_sst.get_similarity_matrix(concepts, measure_name)
+    for row, (expected_row, actual_row) in enumerate(zip(expected, actual)):
+        for column, (expected_value, actual_value) in enumerate(
+                zip(expected_row, actual_row)):
+            assert actual_value == pytest.approx(
+                expected_value, abs=TOLERANCE), (
+                f"{measure_name}[{concepts[row]} x {concepts[column]}]: "
+                f"expected {expected_value!r}, got {actual_value!r}")
+
+
+def test_regenerate_fixture(corpus_sst):
+    """Rewrites the fixture when ``SST_REGENERATE_GOLDEN=1``; otherwise
+    verifies the checked-in file is exactly what a rewrite would emit
+    (guards against hand-edits and stale formatting)."""
+    fixture = _load_fixture()
+    concepts = [tuple(concept) for concept in fixture["concepts"]]
+    regenerated = {
+        "concepts": [list(concept) for concept in concepts],
+        "matrices": {
+            info["name"]: corpus_sst.get_similarity_matrix(
+                concepts, info["name"])
+            for info in corpus_sst.available_measures()},
+    }
+    rendered = json.dumps(regenerated, indent=1, sort_keys=True)
+    if os.environ.get(REGENERATE_ENV, "").strip() not in ("", "0"):
+        FIXTURE_PATH.write_text(rendered, encoding="utf-8")
+    stored = FIXTURE_PATH.read_text(encoding="utf-8").rstrip("\n")
+    assert stored == rendered

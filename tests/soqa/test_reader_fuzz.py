@@ -1,0 +1,146 @@
+"""Hypothesis fuzzing of the ontology readers.
+
+The readers are the toolkit's untrusted-input boundary: whatever bytes
+arrive as an "ontology file" must either parse or raise a *typed* error
+(:class:`repro.errors.SSTError` subclass) — never an ``AttributeError``,
+``IndexError``, ``RecursionError`` or the like, and never hang.  Three
+input families are fuzzed: arbitrary text, valid documents with random
+point mutations, and valid documents spliced/truncated at random.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SSTError
+from repro.soqa.rdfxml import parse_rdfxml
+from repro.soqa.sexpr import read_forms, tokenize
+from repro.soqa.wrapper import default_registry
+from tests.conftest import MINI_OWL, MINI_PLOOM
+
+#: A generous cross-section of XML/Lisp metacharacters and text.
+_CHARS = st.characters(codec="utf-8", exclude_categories=("Cs",))
+_TEXT = st.text(alphabet=_CHARS, max_size=400)
+
+
+def _mutate(document: str, position: int, replacement: str) -> str:
+    """Replace one slice of ``document`` with ``replacement``."""
+    position = position % (len(document) + 1)
+    return document[:position] + replacement + document[position + 1:]
+
+
+def _truncate(document: str, start: int, end: int) -> str:
+    start = start % (len(document) + 1)
+    end = end % (len(document) + 1)
+    if end < start:
+        start, end = end, start
+    return document[:start] + document[end:]
+
+
+def _parse_owl(text: str) -> None:
+    default_registry().for_language("OWL").parse(text, "fuzz")
+
+
+def _parse_powerloom(text: str) -> None:
+    default_registry().for_language("PowerLoom").parse(text, "fuzz")
+
+
+class TestRdfXmlFuzz:
+    @given(_TEXT)
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_text_parses_or_raises_typed(self, text):
+        try:
+            parse_rdfxml(text)
+        except SSTError:
+            pass
+
+    @given(st.integers(min_value=0), _TEXT)
+    @settings(max_examples=120, deadline=None)
+    def test_mutated_document(self, position, replacement):
+        try:
+            parse_rdfxml(_mutate(MINI_OWL, position, replacement))
+        except SSTError:
+            pass
+
+    @given(st.integers(min_value=0), st.integers(min_value=0))
+    @settings(max_examples=120, deadline=None)
+    def test_truncated_document(self, start, end):
+        try:
+            parse_rdfxml(_truncate(MINI_OWL, start, end))
+        except SSTError:
+            pass
+
+    @given(st.integers(min_value=0), _TEXT)
+    @settings(max_examples=60, deadline=None)
+    def test_owl_wrapper_survives_mutations(self, position, replacement):
+        try:
+            _parse_owl(_mutate(MINI_OWL, position, replacement))
+        except SSTError:
+            pass
+
+    @pytest.mark.parametrize("text", [
+        "", "<", "<a", "<a>", "<?xml?>", "<rdf:RDF/>", "&amp;", "<!---->",
+        "<rdf:RDF xmlns:rdf='x'><owl:Class/></rdf:RDF>",
+        "\x00", "<a>\x00</a>",
+    ])
+    def test_known_awkward_inputs(self, text):
+        try:
+            parse_rdfxml(text)
+        except SSTError:
+            pass
+
+
+class TestSexprFuzz:
+    @given(_TEXT)
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_text_reads_or_raises_typed(self, text):
+        try:
+            read_forms(text)
+        except SSTError:
+            pass
+
+    @given(_TEXT)
+    @settings(max_examples=120, deadline=None)
+    def test_tokenize_arbitrary_text(self, text):
+        try:
+            tokenize(text)
+        except SSTError:
+            pass
+
+    @given(st.integers(min_value=0), _TEXT)
+    @settings(max_examples=120, deadline=None)
+    def test_mutated_document(self, position, replacement):
+        try:
+            read_forms(_mutate(MINI_PLOOM, position, replacement))
+        except SSTError:
+            pass
+
+    @given(st.integers(min_value=0), st.integers(min_value=0))
+    @settings(max_examples=120, deadline=None)
+    def test_truncated_document(self, start, end):
+        try:
+            read_forms(_truncate(MINI_PLOOM, start, end))
+        except SSTError:
+            pass
+
+    @given(st.integers(min_value=0), _TEXT)
+    @settings(max_examples=60, deadline=None)
+    def test_powerloom_wrapper_survives_mutations(self, position,
+                                                  replacement):
+        try:
+            _parse_powerloom(_mutate(MINI_PLOOM, position, replacement))
+        except SSTError:
+            pass
+
+    @pytest.mark.parametrize("text", [
+        "", "(", ")", "(()", "())", '"', '"unterminated', "(defconcept)",
+        "(defconcept ())", "(in-module)", "(assert)", ";", "'",
+        "(defconcept A (?x))", "(defmodule)",
+    ])
+    def test_known_awkward_inputs(self, text):
+        try:
+            _parse_powerloom(text)
+        except SSTError:
+            pass
