@@ -4,11 +4,16 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint coverage bench-smoke bench-graphindex bench
+.PHONY: test lint coverage chaos bench-smoke bench-graphindex bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
 	$(PY) -m pytest -x -q
+
+# Chaos suite: fault-injected CLI runs must stay bit-identical to clean
+# serial runs (the CI "chaos" job).
+chaos:
+	$(PY) -m pytest tests/chaos -q
 
 # Tier-1 suite under coverage with the ratcheted minimum (the CI
 # "coverage" job).  The threshold lives in pyproject.toml

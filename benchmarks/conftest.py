@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.facade import SOQASimPackToolkit
+from repro.core.resilience import atomic_write_text
 from repro.ontologies.library import load_corpus
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -43,8 +44,12 @@ def results_dir() -> Path:
 
 
 def record(results_dir: Path, name: str, text: str) -> None:
-    """Write one regenerated artifact and echo it to stdout."""
-    (results_dir / name).write_text(text, encoding="utf-8")
+    """Write one regenerated artifact and echo it to stdout.
+
+    Atomically — an interrupted benchmark run must never leave a
+    truncated artifact behind for the regression gate to misread.
+    """
+    atomic_write_text(results_dir / name, text)
     print(f"\n===== {name} =====\n{text}")
 
 
@@ -54,4 +59,4 @@ def record_root(name: str, text: str) -> None:
     ``BENCH_*.json`` files at the root feed the benchmark trajectory
     tracker; ``benchmarks/results/`` only survives as a CI artifact.
     """
-    (REPO_ROOT / name).write_text(text, encoding="utf-8")
+    atomic_write_text(REPO_ROOT / name, text)

@@ -60,6 +60,17 @@ def _add_parallel_arguments(sub: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable both cache tiers for this run (cold-path "
              "benchmarking; also via SST_NO_CACHE)")
+    sub.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        dest="task_timeout",
+        help="per-chunk timeout for batch scoring (default: "
+             "SST_TASK_TIMEOUT, else none)")
+    sub.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        dest="retry_budget",
+        help="pool relaunches allowed after worker crashes or timeouts "
+             "before degrading to threads (default: SST_RETRY_BUDGET, "
+             "else 2)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="taxonomy size from which the compiled graph index is "
              "built (default: SST_INDEX_THRESHOLD, else 512; 0 always, "
              "negative never)")
+    parser.add_argument(
+        "--l1-max", type=int, default=None, metavar="N", dest="l1_max",
+        help="entry cap of the in-memory similarity cache (default: "
+             "SST_L1_MAX, else 100000)")
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        dest="inject_faults",
+        help="arm deterministic fault injection for this run, e.g. "
+             "'worker.crash=1,cache.corrupt' (sites: worker.crash, "
+             "task.slow, cache.corrupt, loader.io; also via SST_FAULTS)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("ontologies", help="list loaded ontologies")
@@ -252,15 +273,18 @@ def _load_toolkit(arguments: argparse.Namespace) -> SOQASimPackToolkit:
     cache = False if getattr(arguments, "no_cache", False) else None
     cache_dir = (arguments.cache_dir if arguments.cache_dir is not None
                  else default_cache_directory())
+    capacity = getattr(arguments, "l1_max", None)
     if not arguments.ontology_files:
         from repro.ontologies import load_corpus
 
         return SOQASimPackToolkit(load_corpus(), cache=cache,
-                                  cache_dir=cache_dir)
+                                  cache_dir=cache_dir,
+                                  cache_capacity=capacity)
     soqa = SOQA()
     for path in arguments.ontology_files:
         soqa.load_file(path)
-    return SOQASimPackToolkit(soqa, cache=cache, cache_dir=cache_dir)
+    return SOQASimPackToolkit(soqa, cache=cache, cache_dir=cache_dir,
+                              cache_capacity=capacity)
 
 
 def _split_subtree(value: str | None) -> tuple[str | None, str | None]:
@@ -278,12 +302,20 @@ def _run(arguments: argparse.Namespace) -> int:
         return _print_rule_list()
     if command == "cache":
         return _run_cache(arguments)
-    if arguments.index_threshold is not None:
-        import os
+    import os
 
+    if arguments.index_threshold is not None:
         from repro.soqa.graphindex import INDEX_THRESHOLD_ENV
 
         os.environ[INDEX_THRESHOLD_ENV] = str(arguments.index_threshold)
+    if getattr(arguments, "task_timeout", None) is not None:
+        from repro.core.parallel import TASK_TIMEOUT_ENV
+
+        os.environ[TASK_TIMEOUT_ENV] = str(arguments.task_timeout)
+    if getattr(arguments, "retry_budget", None) is not None:
+        from repro.core.parallel import RETRY_BUDGET_ENV
+
+        os.environ[RETRY_BUDGET_ENV] = str(arguments.retry_budget)
     sst = _load_toolkit(arguments)
     try:
         return _dispatch(sst, arguments)
@@ -556,6 +588,8 @@ def _run_observed(arguments: argparse.Namespace) -> int:
         inner.cache_dir = arguments.cache_dir
     if inner.index_threshold is None:
         inner.index_threshold = arguments.index_threshold
+    if inner.l1_max is None:
+        inner.l1_max = arguments.l1_max
     telemetry.set_enabled(True)
     if arguments.command == "trace":
         with telemetry.span(f"sst.{inner.command}"):
@@ -665,7 +699,7 @@ def _table1_text(sst: SOQASimPackToolkit) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``sst`` command."""
-    from repro.core import telemetry
+    from repro.core import resilience, telemetry
 
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -674,7 +708,15 @@ def main(argv: list[str] | None = None) -> int:
     telemetry.refresh_from_env()
     telemetry.reset()
     try:
+        # Fresh fault plan per invocation, same as telemetry:
+        # SST_FAULTS arms injection ambiently, --inject-faults beats it.
+        resilience.refresh_from_env()
+        if arguments.inject_faults is not None:
+            resilience.install_fault_plan(arguments.inject_faults)
         return _run(arguments)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except SSTError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

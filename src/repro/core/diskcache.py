@@ -16,6 +16,18 @@ buffered writes flushed in batches.  Forked process-strategy workers
 treat the cache as read-only — their fresh scores travel back to the
 parent through the existing ``CachedRunner.merge`` delta path, and the
 parent persists them exactly once.
+
+Self-healing: an L2 problem must never fail a run — at worst it costs
+the warm start.  A corrupt, truncated or schema-mismatched sqlite file
+(``sqlite3.DatabaseError`` on open, a foreign ``PRAGMA user_version``)
+is *quarantined* — renamed to ``similarity-cache.sqlite.corrupt-<n>``
+for post-mortems, counted as ``cache.l2.quarantined`` — and a fresh
+database is built in its place.  Corruption surfacing mid-run heals the
+same way on the next access.  Repeated failures trip a
+:class:`~repro.core.resilience.CircuitBreaker` and the cache *fails
+open*: reads miss, writes drop, scores are simply computed without the
+persistent tier (``cache.l2.failopen``) until the breaker's probe
+succeeds again.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
-from repro.core import telemetry
+from repro.core import resilience, telemetry
 from repro.errors import SSTCoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -114,11 +126,93 @@ class DiskCache:
         #: parallel engine marks worker-side caches read-only: worker
         #: scores are persisted exactly once, by the parent's merge.
         self.read_only = False
+        #: Trips after repeated L2 failures; while open the cache fails
+        #: open (reads miss, writes drop) instead of hammering a broken
+        #: file or disk.
+        self.breaker = resilience.CircuitBreaker(
+            failure_threshold=3, reset_timeout=30.0, name="cache.l2")
+        #: Files quarantined by this instance (for tests/diagnostics).
+        self.quarantined = 0
 
     # -- connection management ----------------------------------------------------
 
+    def _open(self) -> sqlite3.Connection:
+        """Open and validate a connection; ``sqlite3.DatabaseError``
+        signals an unusable (corrupt or foreign-schema) file."""
+        connection = sqlite3.connect(str(self.path),
+                                     check_same_thread=False,
+                                     timeout=30.0)
+        try:
+            # The first statement forces sqlite to actually read the
+            # file header — a truncated or scribbled-over database
+            # surfaces here as DatabaseError instead of lurking until
+            # the first query.
+            version = connection.execute(
+                "PRAGMA user_version").fetchone()[0]
+            if version not in (0, _SCHEMA_VERSION):
+                raise sqlite3.DatabaseError(
+                    f"disk cache schema version {version} does not match "
+                    f"expected {_SCHEMA_VERSION}")
+            try:
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.Error:
+                pass  # journaling hints only; defaults still work
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS similarity ("
+                " schema_version INTEGER NOT NULL,"
+                " fingerprint TEXT NOT NULL,"
+                " measure TEXT NOT NULL,"
+                " first_ontology TEXT NOT NULL,"
+                " first_concept TEXT NOT NULL,"
+                " second_ontology TEXT NOT NULL,"
+                " second_concept TEXT NOT NULL,"
+                " value REAL NOT NULL,"
+                " PRIMARY KEY (schema_version, fingerprint, measure,"
+                "  first_ontology, first_concept,"
+                "  second_ontology, second_concept))")
+            if version == 0:
+                connection.execute(
+                    f"PRAGMA user_version = {_SCHEMA_VERSION}")
+            connection.commit()
+        except BaseException:
+            connection.close()
+            raise
+        return connection
+
+    def _quarantine(self) -> Path | None:
+        """Move the unusable database aside and drop its WAL sidecars.
+
+        The file is renamed to the first free ``*.corrupt-<n>`` so the
+        evidence survives for a post-mortem while a fresh database can
+        be built under the canonical path.
+        """
+        if not self.path.exists():
+            return None
+        n = 1
+        while True:
+            candidate = self.path.with_name(f"{self.path.name}.corrupt-{n}")
+            if not candidate.exists():
+                break
+            n += 1
+        os.replace(self.path, candidate)
+        for suffix in ("-wal", "-shm"):
+            sidecar = self.path.with_name(self.path.name + suffix)
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+        telemetry.count("cache.l2.quarantined")
+        return candidate
+
     def _connect(self) -> sqlite3.Connection:
-        """The calling process's connection, opened on first use."""
+        """The calling process's connection, opened on first use.
+
+        A corrupt or schema-mismatched file is quarantined and rebuilt
+        once; only a failure of the *rebuild* (or plain IO trouble)
+        raises.
+        """
         pid = os.getpid()
         if self._connection is None or pid != self._owner_pid:
             if pid != self._owner_pid:
@@ -127,36 +221,55 @@ class DiskCache:
                 self._connection = None
                 self._pending = []
                 self._owner_pid = pid
+            if resilience.maybe_fire("cache.corrupt") is not None:
+                self._scribble()
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
-                connection = sqlite3.connect(str(self.path),
-                                             check_same_thread=False,
-                                             timeout=30.0)
                 try:
-                    connection.execute("PRAGMA journal_mode=WAL")
-                    connection.execute("PRAGMA synchronous=NORMAL")
-                except sqlite3.Error:
-                    pass  # journaling hints only; defaults still work
-                connection.execute(
-                    "CREATE TABLE IF NOT EXISTS similarity ("
-                    " schema_version INTEGER NOT NULL,"
-                    " fingerprint TEXT NOT NULL,"
-                    " measure TEXT NOT NULL,"
-                    " first_ontology TEXT NOT NULL,"
-                    " first_concept TEXT NOT NULL,"
-                    " second_ontology TEXT NOT NULL,"
-                    " second_concept TEXT NOT NULL,"
-                    " value REAL NOT NULL,"
-                    " PRIMARY KEY (schema_version, fingerprint, measure,"
-                    "  first_ontology, first_concept,"
-                    "  second_ontology, second_concept))")
-                connection.commit()
+                    connection = self._open()
+                except sqlite3.DatabaseError:
+                    self._quarantine()
+                    connection = self._open()
             except (OSError, sqlite3.Error) as error:
                 raise SSTCoreError(
                     f"cannot open disk cache at {self.path}: {error}"
                 ) from error
             self._connection = connection
         return self._connection
+
+    def _scribble(self) -> None:
+        """Deterministically corrupt the database file (fault site
+        ``cache.corrupt``): overwrite the sqlite header with garbage and
+        drop the WAL sidecars, exactly what a torn write or bad sector
+        leaves behind.  (With the sidecars intact sqlite would silently
+        recover page 1 from the journal and the fault would not bite.)"""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "wb") as handle:
+                handle.write(b"this is no longer a sqlite database\0" * 8)
+        except OSError:
+            pass
+        for suffix in ("-wal", "-shm"):
+            try:
+                self.path.with_name(self.path.name + suffix).unlink()
+            except OSError:
+                pass
+
+    def _heal(self) -> None:
+        """React to a ``DatabaseError`` on a live connection: drop the
+        handle and quarantine the file, so the next access rebuilds.
+        Callers hold ``self._lock``."""
+        self.breaker.record_failure()
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+        try:
+            self._quarantine()
+        except OSError:
+            pass
 
     def close(self) -> None:
         """Flush pending writes and close this process's connection."""
@@ -181,13 +294,23 @@ class DiskCache:
         self._owner_pid = os.getpid()
         self._pending = []
         self.read_only = state.get("read_only", False)
+        self.breaker = resilience.CircuitBreaker(
+            failure_threshold=3, reset_timeout=30.0, name="cache.l2")
+        self.quarantined = 0
 
     # -- reads --------------------------------------------------------------------
 
     def get(self, fingerprint: str, measure: str,
             first_ontology: str, first_concept: str,
             second_ontology: str, second_concept: str) -> float | None:
-        """The stored score for a canonicalized pair, or ``None``."""
+        """The stored score for a canonicalized pair, or ``None``.
+
+        Fails open: while the breaker is tripped (or on any error) the
+        lookup reports a miss and the score is simply recomputed.
+        """
+        if not self.breaker.allow():
+            telemetry.count("cache.l2.failopen")
+            return None
         with self._lock:
             try:
                 cursor = self._connect().execute(
@@ -199,8 +322,13 @@ class DiskCache:
                      first_ontology, first_concept,
                      second_ontology, second_concept))
                 row = cursor.fetchone()
+            except sqlite3.DatabaseError:
+                self._heal()  # quarantine now; next access rebuilds
+                return None
             except (SSTCoreError, sqlite3.Error):
+                self.breaker.record_failure()
                 return None  # a broken cache must never break scoring
+        self.breaker.record_success()
         return row[0] if row is not None else None
 
     # -- writes -------------------------------------------------------------------
@@ -243,8 +371,20 @@ class DiskCache:
             self.flush()
 
     def flush(self) -> int:
-        """Write buffered rows in one transaction; returns the row count."""
+        """Write buffered rows in one transaction; returns the row count.
+
+        Fails open: with the breaker tripped (or on any write error)
+        the buffered rows are dropped — losing a warm-start is fine,
+        failing a run is not.
+        """
         if self.read_only or os.getpid() != self._owner_pid:
+            return 0
+        if not self.breaker.allow():
+            with self._lock:
+                dropped = len(self._pending)
+                self._pending = []
+            if dropped:
+                telemetry.count("cache.l2.failopen")
             return 0
         with telemetry.span("diskcache.flush"), self._lock:
             if not self._pending:
@@ -257,8 +397,13 @@ class DiskCache:
                     "INSERT OR REPLACE INTO similarity VALUES"
                     " (?, ?, ?, ?, ?, ?, ?, ?)", rows)
                 connection.commit()
+            except sqlite3.DatabaseError:
+                self._heal()
+                return 0
             except (SSTCoreError, sqlite3.Error):
+                self.breaker.record_failure()
                 return 0  # losing a warm-start is fine; failing a run is not
+        self.breaker.record_success()
         telemetry.count("cache.l2.flushed_rows", len(rows))
         return len(rows)
 

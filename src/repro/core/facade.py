@@ -72,12 +72,14 @@ class SOQASimPackToolkit:
                  registry: RunnerRegistry | None = None,
                  cache: bool | None = None,
                  cache_dir=None,
-                 cache_capacity: int = 100_000):
+                 cache_capacity: int | None = None):
         """``cache=None`` enables the in-memory tier unless the
         ``SST_NO_CACHE`` environment variable is set; ``cache=False``
         returns raw, uncached runners.  The persistent tier is attached
         when ``cache_dir`` is given or ``SST_CACHE_DIR`` is set (the
-        CLI passes its default directory explicitly)."""
+        CLI passes its default directory explicitly).
+        ``cache_capacity=None`` defers the L1 entry cap to ``SST_L1_MAX``
+        (falling back to the built-in default)."""
         self.soqa = soqa if soqa is not None else SOQA()
         self.strategy = strategy
         self.registry = (registry if registry is not None

@@ -23,6 +23,19 @@ pool, with three interchangeable strategies:
 All three strategies score the same pairs in the same order, so their
 results are bit-identical — parallelism never changes a single cell.
 
+The process strategy is *supervised*: worker crashes
+(:class:`~concurrent.futures.process.BrokenProcessPool`) and per-chunk
+timeouts (``SST_TASK_TIMEOUT`` / ``--task-timeout``) do not kill the
+batch.  Finished chunks are harvested, the pool is relaunched over the
+unfinished work within a bounded retry budget (``SST_RETRY_BUDGET``,
+default 2 relaunches), and when the budget runs out the remaining
+chunks degrade process → thread → serial.  Every recovery path scores
+the identical pairs in the identical order, so the result stays
+bit-identical to a fault-free run; what happened is surfaced through
+``resilience.*`` telemetry counters and a ``resilience.recover`` span
+instead of an exception.  Genuine measure errors (anything a chunk
+*raises*) are not retried — they reproduce identically and propagate.
+
 Worker counts come from the ``workers=`` parameter, the ``SST_WORKERS``
 environment variable, or default to 1 (serial); the strategy from
 ``strategy=``, ``SST_STRATEGY``, or ``"process"`` whenever more than
@@ -34,10 +47,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (CancelledError, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+
+#: ``concurrent.futures.TimeoutError`` only aliases the builtin from
+#: Python 3.11 on; catch both on 3.10.
+_TIMEOUT_ERRORS = (TimeoutError, FuturesTimeoutError)
 from typing import Sequence
 
-from repro.core import telemetry
+from repro.core import resilience, telemetry
 from repro.core.cache import CachedRunner
 from repro.core.results import QualifiedConcept
 from repro.core.runners import MeasureRunner
@@ -45,12 +65,16 @@ from repro.errors import SSTCoreError
 
 __all__ = [
     "PROCESS",
+    "RETRY_BUDGET_ENV",
     "SERIAL",
     "STRATEGIES",
     "STRATEGY_ENV",
+    "TASK_TIMEOUT_ENV",
     "THREAD",
     "WORKERS_ENV",
     "BatchSimilarityEngine",
+    "effective_retry_budget",
+    "effective_task_timeout",
     "effective_workers",
     "resolve_strategy",
     "score_against",
@@ -70,6 +94,16 @@ WORKERS_ENV = "SST_WORKERS"
 
 #: Environment variable supplying the default execution strategy.
 STRATEGY_ENV = "SST_STRATEGY"
+
+#: Environment variable supplying the default per-chunk timeout
+#: (seconds; unset/empty = no timeout).
+TASK_TIMEOUT_ENV = "SST_TASK_TIMEOUT"
+
+#: Environment variable supplying the default pool-relaunch budget.
+RETRY_BUDGET_ENV = "SST_RETRY_BUDGET"
+
+#: Pool relaunches allowed after crashes/timeouts before degrading.
+DEFAULT_RETRY_BUDGET = 2
 
 #: Chunks handed out per worker; >1 smooths imbalance between chunks
 #: (pairs differ in cost) at a small scheduling overhead.
@@ -111,6 +145,40 @@ def resolve_strategy(strategy: str | None = None, workers: int = 1) -> str:
             f"unknown execution strategy {strategy!r}; expected one of "
             f"{', '.join(STRATEGIES)}")
     return strategy
+
+
+def effective_task_timeout(timeout: float | None = None) -> float | None:
+    """Per-chunk timeout: explicit, ``SST_TASK_TIMEOUT``, or none."""
+    if timeout is None:
+        raw = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise SSTCoreError(
+                f"invalid {TASK_TIMEOUT_ENV} value {raw!r}; expected "
+                "seconds as a number")
+    if timeout <= 0:
+        raise SSTCoreError(f"task timeout must be positive, got {timeout}")
+    return timeout
+
+
+def effective_retry_budget(budget: int | None = None) -> int:
+    """Pool relaunches allowed: explicit, ``SST_RETRY_BUDGET``, or 2."""
+    if budget is None:
+        raw = os.environ.get(RETRY_BUDGET_ENV, "").strip()
+        if not raw:
+            return DEFAULT_RETRY_BUDGET
+        try:
+            budget = int(raw)
+        except ValueError:
+            raise SSTCoreError(
+                f"invalid {RETRY_BUDGET_ENV} value {raw!r}; expected an "
+                "integer")
+    if budget < 0:
+        raise SSTCoreError(f"retry budget cannot be negative, got {budget}")
+    return budget
 
 
 def chunk_pairs(pairs: Sequence, chunk_count: int) -> list[list]:
@@ -170,6 +238,14 @@ def _score_chunk(payload: tuple) -> tuple[list[float], tuple | None,
     runner = _WORKER_RUNNER
     if runner is None:  # pragma: no cover - defensive; initializer always ran
         raise SSTCoreError("worker pool used before initialization")
+    # Chaos-testing sites: each forked worker owns a copy of the armed
+    # fault plan, so a worker.crash quota kills every fresh worker's
+    # first chunks — the supervisor must survive repeated crashes.
+    if resilience.maybe_fire("worker.crash") is not None:
+        os._exit(3)
+    slow = resilience.maybe_fire("task.slow")
+    if slow is not None:
+        time.sleep(slow)
     traced = telemetry.enabled()
     started = time.perf_counter()
     if traced:
@@ -223,10 +299,14 @@ class BatchSimilarityEngine:
     """
 
     def __init__(self, runner: MeasureRunner, workers: int | None = None,
-                 strategy: str | None = None):
+                 strategy: str | None = None,
+                 task_timeout: float | None = None,
+                 retry_budget: int | None = None):
         self.runner = runner
         self.workers = effective_workers(workers)
         self.strategy = resolve_strategy(strategy, self.workers)
+        self.task_timeout = effective_task_timeout(task_timeout)
+        self.retry_budget = effective_retry_budget(retry_budget)
 
     # -- batch primitives ---------------------------------------------------
 
@@ -295,6 +375,10 @@ class BatchSimilarityEngine:
         return [self.runner.run(first, second) for first, second in pairs]
 
     def _score_threaded(self, chunks: list[list]) -> list[float]:
+        return [value for chunk_values in self._thread_chunk_values(chunks)
+                for value in chunk_values]
+
+    def _thread_chunk_values(self, chunks: list[list]) -> list[list[float]]:
         runner = self.runner
         parent_span = telemetry.current_span()
         submitted_at = time.perf_counter()
@@ -315,8 +399,9 @@ class BatchSimilarityEngine:
             return chunk_values
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            chunk_values = list(pool.map(score, enumerate(chunks)))
-        return [value for values in chunk_values for value in values]
+            return list(pool.map(score, enumerate(chunks)))
+
+    # -- supervised process execution -----------------------------------------
 
     def _score_processes(self, chunks: list[list]) -> list[float]:
         context = _fork_context()
@@ -325,36 +410,136 @@ class BatchSimilarityEngine:
             return self._score_serial(
                 [pair for chunk in chunks for pair in chunk])
         parent_span = telemetry.current_span()
-        submitted_at = time.perf_counter()
-        payloads = [(index, submitted_at, chunk)
-                    for index, chunk in enumerate(chunks)]
-        with ProcessPoolExecutor(max_workers=self.workers,
-                                 mp_context=context,
-                                 initializer=_initialize_worker,
-                                 initargs=(self.runner,)) as pool:
-            results = list(pool.map(_score_chunk, payloads))
-        values: list[float] = []
-        merged = False
+        values_by_chunk: dict[int, list[float]] = {}
         worker_spans: list[telemetry.Span] = []
-        for chunk_values, delta, worker_telemetry in results:
-            values.extend(chunk_values)
-            if delta is not None and isinstance(self.runner, CachedRunner):
-                entries, hits, misses, l2_hits, l2_misses = delta
-                self.runner.merge(entries, hits=hits, misses=misses,
-                                  l2_hits=l2_hits, l2_misses=l2_misses)
-                merged = True
-            if worker_telemetry is not None:
-                metric_diff, span_record = worker_telemetry
-                telemetry.merge(metric_diff)
-                worker_spans.append(span_record)
+        failures: list[str] = []
+        # The budget counts pool *relaunches*: the first launch is free,
+        # each recovery attempt spends one.
+        for launch in range(1 + self.retry_budget):
+            pending = [index for index in range(len(chunks))
+                       if index not in values_by_chunk]
+            if not pending:
+                break
+            failure = self._run_pool_once(context, chunks, pending,
+                                          values_by_chunk, worker_spans)
+            if failure is None:
+                continue
+            failures.append(failure)
+            telemetry.count("resilience.pool_failures")
+            telemetry.count(f"resilience.pool_failures.{failure}")
+        pending = [index for index in range(len(chunks))
+                   if index not in values_by_chunk]
+        if pending:
+            self._recover_degraded(chunks, pending, values_by_chunk,
+                                   parent_span, failures)
         if worker_spans:
             telemetry.get_tracer().attach_children(parent_span, worker_spans)
-        if merged:
+        if isinstance(self.runner, CachedRunner):
             # merge() buffered the worker scores for the persistent L2
             # tier (the forked workers' own writes are no-ops); make the
             # batch durable before returning.
             self.runner.flush()
-        return values
+        return [value for index in range(len(chunks))
+                for value in values_by_chunk[index]]
+
+    def _run_pool_once(self, context, chunks: list[list],
+                       pending: list[int],
+                       values_by_chunk: dict[int, list[float]],
+                       worker_spans: list) -> str | None:
+        """One process-pool launch over the pending chunks.
+
+        Fills ``values_by_chunk`` with everything that finished (even
+        when the pool fails mid-flight, completed futures are
+        harvested) and returns ``None`` on success or the failure kind
+        (``"crash"``/``"timeout"``).  Exceptions *raised by* a chunk —
+        genuine measure errors that would reproduce identically — are
+        not treated as pool failures and propagate to the caller.
+        """
+        submitted_at = time.perf_counter()
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)),
+                mp_context=context, initializer=_initialize_worker,
+                initargs=(self.runner,))
+        except OSError:
+            return "crash"  # cannot fork any workers at all
+        failure: str | None = None
+        futures: dict[int, object] = {}
+        try:
+            try:
+                for index in pending:
+                    futures[index] = pool.submit(
+                        _score_chunk, (index, submitted_at, chunks[index]))
+                for index, future in futures.items():
+                    result = future.result(timeout=self.task_timeout)
+                    self._absorb(index, result, values_by_chunk,
+                                 worker_spans)
+            except BrokenProcessPool:
+                failure = "crash"
+            except _TIMEOUT_ERRORS:
+                failure = "timeout"
+            if failure is not None:
+                # Harvest chunks that did complete before the failure.
+                for index, future in futures.items():
+                    if index in values_by_chunk or not future.done():
+                        continue
+                    try:
+                        if (future.cancelled()
+                                or future.exception(timeout=0) is not None):
+                            continue
+                        result = future.result(timeout=0)
+                    except (BrokenProcessPool, CancelledError,
+                            *_TIMEOUT_ERRORS):
+                        continue
+                    self._absorb(index, result, values_by_chunk,
+                                 worker_spans)
+        finally:
+            # After a timeout the stuck worker may never return; don't
+            # block shutdown on it.  Crashed pools join instantly.
+            pool.shutdown(wait=failure != "timeout", cancel_futures=True)
+        return failure
+
+    def _absorb(self, index: int, result: tuple,
+                values_by_chunk: dict[int, list[float]],
+                worker_spans: list) -> None:
+        """Fold one finished worker chunk into the parent's books."""
+        chunk_values, delta, worker_telemetry = result
+        values_by_chunk[index] = chunk_values
+        if delta is not None and isinstance(self.runner, CachedRunner):
+            entries, hits, misses, l2_hits, l2_misses = delta
+            self.runner.merge(entries, hits=hits, misses=misses,
+                              l2_hits=l2_hits, l2_misses=l2_misses)
+        if worker_telemetry is not None:
+            metric_diff, span_record = worker_telemetry
+            telemetry.merge(metric_diff)
+            worker_spans.append(span_record)
+
+    def _recover_degraded(self, chunks: list[list], pending: list[int],
+                          values_by_chunk: dict[int, list[float]],
+                          parent_span, failures: list[str]) -> None:
+        """Score the unfinished chunks after the retry budget ran out.
+
+        Degrades process → thread (sharing the parent runner and its
+        caches) and, should the thread pool itself be unavailable,
+        thread → serial.  Either way the pairs are scored in their
+        original chunk order, so the batch result stays bit-identical.
+        """
+        telemetry.count("resilience.degraded")
+        pending_chunks = [chunks[index] for index in pending]
+        with telemetry.span("resilience.recover", parent=parent_span,
+                            strategy=THREAD, chunks=len(pending),
+                            failures=",".join(failures) or "budget"):
+            try:
+                recovered = self._thread_chunk_values(pending_chunks)
+            except RuntimeError:
+                # Thread pool unavailable (e.g. thread limits): the
+                # serial loop is the strategy of last resort.
+                telemetry.count("resilience.degraded")
+                recovered = [[self.runner.run(first, second)
+                              for first, second in chunk]
+                             for chunk in pending_chunks]
+        for index, chunk_values in zip(pending, recovered):
+            values_by_chunk[index] = chunk_values
 
 
 # ---------------------------------------------------------------------------

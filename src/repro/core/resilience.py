@@ -1,0 +1,489 @@
+"""Fault-tolerance primitives and deterministic fault injection.
+
+The ROADMAP's north star is a long-running service, and the paper's
+batch scenario (full NxM similarity matrices over five real ontologies,
+EDBT 2006 section 4) is exactly the workload that must degrade
+gracefully instead of dying on the first crashed fork worker, truncated
+cache file or pathological pair.  This module is the policy layer the
+rest of the toolkit builds its fault handling on:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff,
+  optional jitter through an *injected* RNG (determinism stays in the
+  caller's hands), and typed retryable/non-retryable error sets.
+* :class:`Deadline` — a wall-clock budget that can be checked or
+  enforced (``DeadlineExceededError``); the clock is injectable so
+  tests never sleep.
+* :class:`CircuitBreaker` — closed/open/half-open over consecutive
+  failures; the disk cache fails open (computes without its L2 tier)
+  while its breaker is tripped.
+* :class:`FaultPlan` — a *deterministic* fault-injection framework.
+  ``SST_FAULTS=worker.crash=2,cache.corrupt`` (or ``sst
+  --inject-faults``) arms counted faults at named sites; instrumented
+  code asks :func:`maybe_fire` and the first N invocations of each site
+  fire, every later one does not.  The chaos suite
+  (``tests/chaos/``) uses this to assert that every injected fault
+  still yields bit-identical results.
+* :func:`atomic_write_text` — temp file + ``os.replace`` so an
+  interrupted run can never leave a truncated artifact behind.
+
+Telemetry: retries, breaker transitions and injected faults surface as
+``resilience.*`` / ``faults.injected*`` counters through
+:mod:`repro.core.telemetry`, so a degraded run is visible in ``sst
+metrics`` instead of silent.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Mapping
+
+from repro.core import telemetry
+from repro.errors import (CircuitOpenError, DeadlineExceededError,
+                          FaultSpecError, ResilienceError,
+                          RetryExhaustedError)
+
+__all__ = [
+    "FAULTS_ENV",
+    "KNOWN_FAULT_SITES",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "RetryPolicy",
+    "active_fault_plan",
+    "atomic_write_text",
+    "injected_faults",
+    "install_fault_plan",
+    "io_retry_policy",
+    "maybe_fire",
+    "maybe_raise",
+    "refresh_from_env",
+]
+
+#: Environment variable arming the deterministic fault plan.
+FAULTS_ENV = "SST_FAULTS"
+
+#: Every site instrumented with :func:`maybe_fire`; specs naming
+#: anything else are rejected up front, so a typo cannot silently arm
+#: nothing.
+KNOWN_FAULT_SITES = (
+    "worker.crash",   # a forked pool worker dies mid-chunk (os._exit)
+    "task.slow",      # a worker chunk sleeps (arg = seconds, default 0.25)
+    "cache.corrupt",  # the L2 sqlite file is scribbled over before open
+    "loader.io",      # an ontology file read raises OSError
+)
+
+
+# ---------------------------------------------------------------------------
+# Retry
+# ---------------------------------------------------------------------------
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and optional jitter.
+
+    ``attempts`` counts total tries (1 = no retry).  The delay before
+    retry *i* (0-based) is ``min(max_delay, base_delay * multiplier**i)``,
+    multiplied — when an ``rng`` is injected — by a factor uniform in
+    ``[1 - jitter, 1 + jitter]``.  Without an RNG the schedule is fully
+    deterministic.  ``retryable`` is the tuple of exception types worth
+    retrying; ``non_retryable`` subtypes are re-raised immediately even
+    when they match (e.g. retry ``OSError`` but not
+    ``FileNotFoundError``).  ``sleep`` is injectable so tests never
+    block.
+    """
+
+    def __init__(self, attempts: int = 3, base_delay: float = 0.05,
+                 multiplier: float = 2.0, max_delay: float = 2.0,
+                 jitter: float = 0.0,
+                 retryable: tuple[type[BaseException], ...] = (OSError,),
+                 non_retryable: tuple[type[BaseException], ...] = (),
+                 rng=None, sleep: Callable[[float], None] = time.sleep,
+                 name: str = "retry"):
+        if attempts < 1:
+            raise ResilienceError("retry attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1:
+            raise ResilienceError(
+                "retry delays must be >= 0 and the multiplier >= 1")
+        if not 0 <= jitter <= 1:
+            raise ResilienceError("retry jitter must be within [0, 1]")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retryable = retryable
+        self.non_retryable = non_retryable
+        self.rng = rng
+        self.sleep = sleep
+        self.name = name
+
+    def delay(self, retry_index: int) -> float:
+        """The backoff before retry ``retry_index`` (0-based)."""
+        base = min(self.max_delay,
+                   self.base_delay * self.multiplier ** retry_index)
+        if self.rng is not None and self.jitter:
+            base *= 1 + self.jitter * (2 * self.rng.random() - 1)
+        return max(0.0, base)
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (``attempts - 1`` entries)."""
+        return [self.delay(index) for index in range(self.attempts - 1)]
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` under this policy.
+
+        Non-retryable errors (and anything not in ``retryable``) pass
+        straight through; when the last allowed attempt fails a
+        :class:`~repro.errors.RetryExhaustedError` chains the final
+        error.
+        """
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.non_retryable:
+                raise
+            except self.retryable as error:
+                telemetry.count("resilience.retries")
+                if attempt == self.attempts - 1:
+                    telemetry.count("resilience.retry_exhausted")
+                    raise RetryExhaustedError(
+                        f"{self.name}: all {self.attempts} attempts "
+                        f"failed; last error: {error}",
+                        last_error=error) from error
+                self.sleep(self.delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def io_retry_policy() -> RetryPolicy:
+    """The shared policy for ontology file reads.
+
+    Three quick attempts over transient ``OSError``; missing files,
+    permission problems and directory mix-ups are terminal and pass
+    straight through.
+    """
+    return RetryPolicy(
+        attempts=3, base_delay=0.01, multiplier=2.0, max_delay=0.1,
+        retryable=(OSError,),
+        non_retryable=(FileNotFoundError, PermissionError,
+                       IsADirectoryError, NotADirectoryError),
+        name="loader.io")
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+
+class Deadline:
+    """A wall-clock budget.  ``seconds=None`` never expires.
+
+    >>> deadline = Deadline(None)
+    >>> deadline.expired()
+    False
+    """
+
+    def __init__(self, seconds: float | None,
+                 clock: Callable[[], float] = time.monotonic):
+        if seconds is not None and seconds <= 0:
+            raise ResilienceError("deadline must be positive (or None)")
+        self.seconds = seconds
+        self.clock = clock
+        self._expires_at = None if seconds is None else clock() + seconds
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        return cls(None)
+
+    def remaining(self) -> float | None:
+        """Seconds left, floored at 0; ``None`` for a boundless deadline."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self.clock())
+
+    def expired(self) -> bool:
+        return self._expires_at is not None and self.clock() >= self._expires_at
+
+    def check(self, what: str = "task") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` when due."""
+        if self.expired():
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.seconds:g}s deadline")
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Closed / open / half-open over consecutive failures.
+
+    ``failure_threshold`` consecutive failures open the circuit;
+    :meth:`allow` then refuses until ``reset_timeout`` seconds pass, at
+    which point exactly one probe call is let through (half-open).  A
+    probe success closes the circuit, a probe failure re-opens it for
+    another full timeout.  The clock is injectable for tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "breaker"):
+        if failure_threshold < 1:
+            raise ResilienceError("breaker threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ResilienceError("breaker reset timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self.name = name
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In the open state the first caller after the reset timeout is
+        granted a half-open probe; everyone else is refused until the
+        probe reports back.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self.clock() - self._opened_at >= self.reset_timeout:
+                    self._state = self.HALF_OPEN
+                    return True
+                return False
+            return False  # half-open: one probe is already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            tripped = (self._state == self.HALF_OPEN
+                       or (self._state == self.CLOSED
+                           and self._failures >= self.failure_threshold))
+            if tripped:
+                self._state = self.OPEN
+                self._opened_at = self.clock()
+        if tripped:
+            telemetry.count("resilience.breaker.opened")
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` through the breaker, recording the outcome.
+
+        Raises :class:`~repro.errors.CircuitOpenError` while refused.
+        """
+        if not self.allow():
+            raise CircuitOpenError(self.name)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Deterministic fault injection
+# ---------------------------------------------------------------------------
+
+
+class FaultPlan:
+    """Counted faults at named sites, parsed from a one-line spec.
+
+    Spec grammar (comma-separated entries)::
+
+        site            fire once
+        site=N          fire on the first N calls of the site
+        site=N@ARG      ... passing the float ARG to the site
+                        (task.slow uses it as the sleep seconds)
+
+    Counters are thread-safe; forked pool workers inherit their own
+    copy of the plan, so a ``worker.crash`` quota applies per worker
+    process (every fresh worker crashes its first N chunks — the
+    supervisor must survive repeated crashes, not just one).
+    """
+
+    def __init__(self, quotas: Mapping[str, int],
+                 arguments: Mapping[str, float] | None = None):
+        for site in quotas:
+            if site not in KNOWN_FAULT_SITES:
+                raise FaultSpecError(
+                    f"unknown fault site {site!r}; known sites: "
+                    f"{', '.join(KNOWN_FAULT_SITES)}")
+        self._remaining = dict(quotas)
+        self._arguments = dict(arguments or {})
+        self._fired: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        quotas: dict[str, int] = {}
+        arguments: dict[str, float] = {}
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site, _, quota_text = entry.partition("=")
+            site = site.strip()
+            count, argument = 1, None
+            if quota_text:
+                quota_text, _, argument_text = quota_text.partition("@")
+                try:
+                    count = int(quota_text)
+                    if argument_text:
+                        argument = float(argument_text)
+                except ValueError as error:
+                    raise FaultSpecError(
+                        f"malformed fault entry {entry!r}; expected "
+                        "site[=count][@arg]") from error
+                if count < 1:
+                    raise FaultSpecError(
+                        f"fault count must be >= 1 in {entry!r}")
+            quotas[site] = quotas.get(site, 0) + count
+            if argument is not None:
+                arguments[site] = argument
+        if not quotas:
+            raise FaultSpecError(
+                "empty fault spec; expected comma-separated "
+                "site[=count][@arg] entries")
+        return cls(quotas, arguments)
+
+    def should_fire(self, site: str) -> bool:
+        """Consume one quota unit of ``site``; True while any remain."""
+        with self._lock:
+            remaining = self._remaining.get(site, 0)
+            if remaining <= 0:
+                return False
+            self._remaining[site] = remaining - 1
+            self._fired[site] = self._fired.get(site, 0) + 1
+            return True
+
+    def argument(self, site: str, default: float) -> float:
+        return self._arguments.get(site, default)
+
+    def fired(self, site: str) -> int:
+        """How many times ``site`` has fired so far."""
+        with self._lock:
+            return self._fired.get(site, 0)
+
+    def remaining(self, site: str) -> int:
+        with self._lock:
+            return self._remaining.get(site, 0)
+
+
+def _plan_from_env() -> FaultPlan | None:
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    return FaultPlan.parse(spec) if spec else None
+
+
+#: The armed fault plan.  ``refresh_from_env`` and ``install_fault_plan``
+#: are the only writers; forked workers inherit the parent's plan object
+#: (each fork gets its own counter copy from that moment on).
+_PLAN: FaultPlan | None = _plan_from_env()
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The armed plan, or ``None`` when no faults are injected."""
+    return _PLAN
+
+
+def install_fault_plan(plan: "FaultPlan | str | None") -> FaultPlan | None:
+    """Arm a plan (or spec string); ``None`` disarms.  Returns the plan."""
+    global _PLAN
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    _PLAN = plan
+    return _PLAN
+
+
+def refresh_from_env() -> FaultPlan | None:
+    """Re-read ``SST_FAULTS`` (the CLI does this once per command)."""
+    global _PLAN
+    _PLAN = _plan_from_env()
+    return _PLAN
+
+
+@contextmanager
+def injected_faults(spec: str) -> Iterator[FaultPlan]:
+    """Arm a spec for one ``with`` block (tests), restoring after."""
+    previous = _PLAN
+    plan = install_fault_plan(spec)
+    try:
+        yield plan
+    finally:
+        install_fault_plan(previous)
+
+
+def maybe_fire(site: str, default_argument: float = 0.25) -> float | None:
+    """Consult the armed plan at an instrumented site.
+
+    Returns the site's argument (e.g. the injected sleep seconds) when
+    the fault fires, ``None`` otherwise.  Fired faults are counted as
+    ``faults.injected`` / ``faults.injected.<site>``.
+    """
+    plan = _PLAN
+    if plan is None or not plan.should_fire(site):
+        return None
+    telemetry.count("faults.injected")
+    telemetry.count(f"faults.injected.{site}")
+    return plan.argument(site, default_argument)
+
+
+def maybe_raise(site: str, exception_type: type[BaseException],
+                message: str) -> None:
+    """Raise ``exception_type(message)`` when the site's fault fires."""
+    if maybe_fire(site) is not None:
+        raise exception_type(message)
+
+
+# ---------------------------------------------------------------------------
+# Atomic artifact writes
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_text(path: "str | Path", text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` via a same-directory temp file and
+    ``os.replace``, so readers only ever see the old or the complete new
+    content — never a truncated file from an interrupted run."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path

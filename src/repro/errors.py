@@ -130,6 +130,45 @@ class UnknownMeasureError(SSTCoreError):
 
 
 # ---------------------------------------------------------------------------
+# Resilience layer
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(SSTCoreError):
+    """Base class for errors raised by the fault-tolerance layer."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every attempt a :class:`~repro.core.resilience.RetryPolicy`
+    allowed has failed.
+
+    ``last_error`` carries the exception of the final attempt (also set
+    as ``__cause__``).
+    """
+
+    def __init__(self, message: str, last_error: BaseException | None = None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class DeadlineExceededError(ResilienceError):
+    """A :class:`~repro.core.resilience.Deadline` expired before the
+    guarded work finished."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was refused because its circuit breaker is open."""
+
+    def __init__(self, name: str):
+        super().__init__(f"circuit breaker {name!r} is open")
+        self.name = name
+
+
+class FaultSpecError(ResilienceError):
+    """An ``SST_FAULTS`` / ``--inject-faults`` spec could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
 # Static analysis layer
 # ---------------------------------------------------------------------------
 

@@ -49,9 +49,21 @@ CORPUS_NAMES = ("univ-bench_owl", "COURSES", "base1_0_daml", "swrc_owl",
 
 
 def data_text(filename: str) -> str:
-    """The text of a bundled ontology data file."""
-    return (resources.files("repro.ontologies") / "data" / filename
-            ).read_text(encoding="utf-8")
+    """The text of a bundled ontology data file.
+
+    Read under the shared loader retry policy: transient ``OSError``
+    gets a few backed-off attempts (and the ``loader.io`` fault site
+    makes the path chaos-testable), missing files fail fast.
+    """
+    from repro.core import resilience
+
+    def _read() -> str:
+        resilience.maybe_raise(
+            "loader.io", OSError, f"injected IO fault reading {filename}")
+        return (resources.files("repro.ontologies") / "data" / filename
+                ).read_text(encoding="utf-8")
+
+    return resilience.io_retry_policy().call(_read)
 
 
 def _load(soqa: SOQA | None, filename: str, name: str,

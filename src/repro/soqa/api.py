@@ -47,15 +47,23 @@ class SOQA:
         """Load an ontology file, dispatching on language or file suffix."""
         # Lazy import: the soqa layer cannot import repro.core at module
         # load time (repro.core.__init__ imports back into soqa).
-        from repro.core import telemetry
+        from repro.core import resilience, telemetry
 
         if language is not None:
             wrapper = self.registry.for_language(language)
         else:
             wrapper = self.registry.for_path(path)
+
+        def _load() -> Ontology:
+            resilience.maybe_raise(
+                "loader.io", OSError, f"injected IO fault reading {path}")
+            return wrapper.load(path, name=name)
+
         with telemetry.span("soqa.load_file", language=wrapper.language,
                             path=str(path)):
-            ontology = wrapper.load(path, name=name)
+            # Transient IO errors (network mounts, contended files) get a
+            # few backed-off attempts; missing/forbidden paths fail fast.
+            ontology = resilience.io_retry_policy().call(_load)
         telemetry.count("soqa.ontologies_loaded")
         telemetry.count("soqa.concepts_loaded", len(ontology))
         return self.add_ontology(ontology)

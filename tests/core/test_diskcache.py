@@ -1,13 +1,16 @@
 """Tests for the persistent L2 similarity cache and its facade wiring."""
 
 import pickle
+import sqlite3
 
 import pytest
 
+from repro.core import telemetry
 from repro.core.cache import CachedRunner
 from repro.core.diskcache import DiskCache, corpus_fingerprint
 from repro.core.facade import SOQASimPackToolkit
 from repro.core.registry import Measure
+from repro.core.resilience import injected_faults
 from repro.core.results import QualifiedConcept
 
 PROFESSOR = QualifiedConcept("univ", "Professor")
@@ -85,6 +88,96 @@ class TestDiskCache:
         assert cache.get("fp", "m", "o", "a", "o", "b") is None
         cache.put("fp", "m", "o", "a", "o", "b", 0.5)
         assert cache.flush() == 0
+
+
+class TestSelfHealing:
+    def _corrupt(self, cache: DiskCache) -> None:
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.path.write_bytes(b"torn write garbage\0" * 16)
+
+    def test_corrupt_file_is_quarantined_and_rebuilt(self, cache):
+        telemetry.reset()
+        self._corrupt(cache)
+        assert cache.get("fp", "m", "o", "a", "o", "b") is None
+        cache.put("fp", "m", "o", "a", "o", "b", 0.5)
+        assert cache.flush() == 1
+        assert cache.get("fp", "m", "o", "a", "o", "b") == 0.5
+        assert cache.quarantined == 1
+        evidence = list(cache.directory.glob("*.corrupt-*"))
+        assert len(evidence) == 1
+        assert telemetry.get_registry().value("cache.l2.quarantined") == 1
+
+    def test_schema_version_mismatch_is_quarantined(self, cache):
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        foreign = sqlite3.connect(str(cache.path))
+        foreign.execute("PRAGMA user_version = 99")
+        foreign.commit()
+        foreign.close()
+        assert cache.get("fp", "m", "o", "a", "o", "b") is None
+        assert cache.quarantined == 1
+
+    def test_repeated_quarantines_keep_all_evidence(self, cache):
+        for _ in range(2):
+            # Close first: a live WAL connection would checkpoint over
+            # the scribbled bytes and accidentally repair the file.
+            cache.close()
+            self._corrupt(cache)
+            cache.get("fp", "m", "o", "a", "o", "b")
+        assert cache.quarantined == 2
+        assert len(list(cache.directory.glob("*.corrupt-*"))) == 2
+
+    def test_midrun_corruption_heals_on_next_access(self, cache):
+        cache.put("fp", "m", "o", "a", "o", "b", 0.5)
+        cache.flush()
+
+        class Broken:
+            def execute(self, *args):
+                raise sqlite3.DatabaseError("malformed")
+
+            def close(self):
+                pass
+
+        cache._connection = Broken()
+        assert cache.get("fp", "m", "o", "a", "o", "b") is None
+        assert cache.quarantined == 1
+        assert cache._connection is None
+        # The next access rebuilds a fresh, working database.
+        cache.put("fp", "m", "o", "a", "o", "b", 0.25)
+        assert cache.flush() == 1
+        assert cache.get("fp", "m", "o", "a", "o", "b") == 0.25
+
+    def test_breaker_fails_open_after_repeated_failures(self, tmp_path):
+        telemetry.reset()
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        cache = DiskCache(blocker / "cache")
+        for _ in range(cache.breaker.failure_threshold):
+            assert cache.get("fp", "m", "o", "a", "o", "b") is None
+        assert cache.breaker.state == cache.breaker.OPEN
+        # Refused without touching the broken path; pending writes drop.
+        assert cache.get("fp", "m", "o", "a", "o", "b") is None
+        cache.put("fp", "m", "o", "a", "o", "b", 0.5)
+        assert cache.flush() == 0
+        registry = telemetry.get_registry()
+        assert registry.value("cache.l2.failopen") >= 2
+        assert registry.value("resilience.breaker.opened") == 1
+
+    def test_cache_corrupt_fault_injection_heals(self, tmp_path):
+        telemetry.reset()
+        with injected_faults("cache.corrupt=1"):
+            cache = DiskCache(tmp_path / "cache")
+            cache.put("fp", "m", "o", "a", "o", "b", 0.5)
+            assert cache.flush() == 1
+            assert cache.get("fp", "m", "o", "a", "o", "b") == 0.5
+        assert cache.quarantined <= 1  # nothing to quarantine pre-file
+        registry = telemetry.get_registry()
+        assert registry.value("faults.injected.cache.corrupt") == 1
+
+    def test_pickle_resets_healing_state(self, cache):
+        cache.breaker.record_failure()
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.breaker.state == clone.breaker.CLOSED
+        assert clone.quarantined == 0
 
 
 class TestCorpusFingerprint:

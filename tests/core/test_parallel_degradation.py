@@ -1,0 +1,197 @@
+"""Degradation and recovery paths of the batch similarity engine.
+
+Covers the boundary batches every strategy must agree on (empty sets,
+more workers than pairs, single-concept matrices) and the supervised
+process strategy's recovery ladder: crashed workers and timed-out
+chunks burn the retry budget, then the unfinished chunks degrade
+process -> thread (-> serial) with bit-identical results and visible
+``resilience.*`` counters.
+"""
+
+import pytest
+
+from repro.core import parallel, telemetry
+from repro.core.parallel import (
+    DEFAULT_RETRY_BUDGET,
+    PROCESS,
+    RETRY_BUDGET_ENV,
+    STRATEGIES,
+    TASK_TIMEOUT_ENV,
+    BatchSimilarityEngine,
+    effective_retry_budget,
+    effective_task_timeout,
+)
+from repro.core.registry import Measure
+from repro.core.resilience import injected_faults
+from repro.core.results import QualifiedConcept
+from repro.errors import SSTCoreError
+
+PERSON = QualifiedConcept("univ", "Person")
+EMPLOYEE = QualifiedConcept("univ", "Employee")
+PROFESSOR = QualifiedConcept("univ", "Professor")
+STUDENT = QualifiedConcept("univ", "Student")
+COURSE = QualifiedConcept("univ", "Course")
+
+CONCEPTS = (PERSON, EMPLOYEE, PROFESSOR, STUDENT, COURSE)
+PAIRS = [(first, second) for first in CONCEPTS for second in CONCEPTS]
+
+
+class PoisonedRunner:
+    """Delegates to a real runner but raises on one specific pair."""
+
+    def __init__(self, inner, poison):
+        self.inner = inner
+        self.poison = poison
+
+    def run(self, first, second):
+        if (first, second) == self.poison:
+            raise ValueError("poisoned pair")
+        return self.inner.run(first, second)
+
+
+@pytest.fixture
+def runner(mini_sst):
+    return mini_sst.runner(Measure.SHORTEST_PATH)
+
+
+@pytest.fixture
+def serial_values(runner):
+    return [runner.run(first, second) for first, second in PAIRS]
+
+
+class TestKnobResolution:
+    def test_timeout_default_is_none(self, monkeypatch):
+        monkeypatch.delenv(TASK_TIMEOUT_ENV, raising=False)
+        assert effective_task_timeout() is None
+
+    def test_timeout_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "1.5")
+        assert effective_task_timeout() == 1.5
+        assert effective_task_timeout(0.2) == 0.2  # explicit wins
+
+    def test_invalid_timeout_rejected(self, monkeypatch):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "soon")
+        with pytest.raises(SSTCoreError):
+            effective_task_timeout()
+        with pytest.raises(SSTCoreError):
+            effective_task_timeout(0)
+
+    def test_budget_default(self, monkeypatch):
+        monkeypatch.delenv(RETRY_BUDGET_ENV, raising=False)
+        assert effective_retry_budget() == DEFAULT_RETRY_BUDGET
+
+    def test_budget_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(RETRY_BUDGET_ENV, "5")
+        assert effective_retry_budget() == 5
+        assert effective_retry_budget(0) == 0  # zero is a valid choice
+
+    def test_invalid_budget_rejected(self, monkeypatch):
+        monkeypatch.setenv(RETRY_BUDGET_ENV, "many")
+        with pytest.raises(SSTCoreError):
+            effective_retry_budget()
+        with pytest.raises(SSTCoreError):
+            effective_retry_budget(-1)
+
+    def test_engine_reads_environment(self, monkeypatch, runner):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "2.5")
+        monkeypatch.setenv(RETRY_BUDGET_ENV, "1")
+        engine = BatchSimilarityEngine(runner)
+        assert engine.task_timeout == 2.5
+        assert engine.retry_budget == 1
+
+
+class TestBoundaryBatches:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_empty_concept_set(self, runner, strategy):
+        engine = BatchSimilarityEngine(runner, workers=4, strategy=strategy)
+        assert engine.score_pairs([]) == []
+        assert engine.similarity_matrix([]) == []
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_single_concept_matrix(self, runner, strategy):
+        engine = BatchSimilarityEngine(runner, workers=4, strategy=strategy)
+        expected = [[runner.run(PERSON, PERSON)]]
+        assert engine.similarity_matrix([PERSON]) == expected
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_more_workers_than_pairs(self, runner, strategy):
+        pairs = [(PERSON, STUDENT), (PERSON, COURSE), (STUDENT, COURSE)]
+        expected = [runner.run(first, second) for first, second in pairs]
+        engine = BatchSimilarityEngine(runner, workers=16,
+                                       strategy=strategy)
+        assert engine.score_pairs(pairs) == expected
+
+    def test_no_fork_platform_degrades_to_serial(self, runner, monkeypatch,
+                                                 serial_values):
+        monkeypatch.setattr(parallel, "_fork_context", lambda: None)
+        engine = BatchSimilarityEngine(runner, workers=2, strategy=PROCESS)
+        assert engine.score_pairs(PAIRS) == serial_values
+
+
+class TestCrashRecovery:
+    def test_worker_crashes_degrade_bit_identically(self, runner,
+                                                    serial_values):
+        telemetry.reset()
+        engine = BatchSimilarityEngine(runner, workers=2, strategy=PROCESS,
+                                       retry_budget=1)
+        # Forked workers inherit the armed plan, so every fresh worker
+        # kills itself on its first chunk: both the initial launch and
+        # the one budgeted relaunch fail, and the batch must finish on
+        # the thread ladder rung.
+        with injected_faults("worker.crash=99"):
+            values = engine.score_pairs(PAIRS)
+        assert values == serial_values
+        registry = telemetry.get_registry()
+        assert registry.value("resilience.pool_failures.crash") == 2
+        assert registry.value("resilience.pool_failures") == 2
+        assert registry.value("resilience.degraded") == 1
+
+    def test_zero_budget_degrades_after_first_crash(self, runner,
+                                                    serial_values):
+        telemetry.reset()
+        engine = BatchSimilarityEngine(runner, workers=2, strategy=PROCESS,
+                                       retry_budget=0)
+        with injected_faults("worker.crash=99"):
+            assert engine.score_pairs(PAIRS) == serial_values
+        assert telemetry.get_registry().value(
+            "resilience.pool_failures.crash") == 1
+
+
+class TestTimeoutRecovery:
+    def test_slow_chunks_degrade_bit_identically(self, runner,
+                                                 serial_values):
+        telemetry.reset()
+        engine = BatchSimilarityEngine(runner, workers=2, strategy=PROCESS,
+                                       task_timeout=0.15, retry_budget=0)
+        # Each fresh worker sleeps through its first chunk for far
+        # longer than the task timeout; with no relaunch budget the
+        # engine degrades immediately.
+        with injected_faults("task.slow=99@0.6"):
+            values = engine.score_pairs(PAIRS)
+        assert values == serial_values
+        registry = telemetry.get_registry()
+        assert registry.value("resilience.pool_failures.timeout") == 1
+        assert registry.value("resilience.degraded") == 1
+
+    def test_generous_timeout_stays_on_process_strategy(self, runner,
+                                                        serial_values):
+        telemetry.reset()
+        engine = BatchSimilarityEngine(runner, workers=2, strategy=PROCESS,
+                                       task_timeout=60.0)
+        assert engine.score_pairs(PAIRS) == serial_values
+        assert telemetry.get_registry().value("resilience.degraded") == 0
+
+
+class TestGenuineErrors:
+    def test_measure_errors_propagate_unretried(self, runner):
+        telemetry.reset()
+        poisoned = PoisonedRunner(runner, (STUDENT, COURSE))
+        engine = BatchSimilarityEngine(poisoned, workers=2,
+                                       strategy=PROCESS)
+        with pytest.raises(ValueError):
+            engine.score_pairs(PAIRS)
+        # A deterministic exception is not an infrastructure failure:
+        # no pool relaunches, no degradation.
+        registry = telemetry.get_registry()
+        assert registry.value("resilience.pool_failures") == 0
+        assert registry.value("resilience.degraded") == 0

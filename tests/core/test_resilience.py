@@ -1,0 +1,333 @@
+"""Unit tests for the fault-tolerance primitives."""
+
+import pytest
+
+from repro.core import resilience, telemetry
+from repro.core.resilience import (
+    FAULTS_ENV,
+    KNOWN_FAULT_SITES,
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    RetryPolicy,
+    active_fault_plan,
+    atomic_write_text,
+    injected_faults,
+    install_fault_plan,
+    io_retry_policy,
+    maybe_fire,
+    maybe_raise,
+    refresh_from_env,
+)
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultSpecError,
+    ResilienceError,
+    RetryExhaustedError,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Flaky:
+    """Fails its first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures: int, error: BaseException = OSError("io")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_succeeds_without_retry(self):
+        policy = RetryPolicy(sleep=lambda _: None)
+        assert policy.call(lambda: 42) == 42
+
+    def test_retries_until_success(self):
+        flaky = Flaky(2)
+        policy = RetryPolicy(attempts=3, sleep=lambda _: None)
+        assert policy.call(flaky) == "ok"
+        assert flaky.calls == 3
+
+    def test_exhaustion_chains_last_error(self):
+        flaky = Flaky(10)
+        policy = RetryPolicy(attempts=2, sleep=lambda _: None)
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.call(flaky)
+        assert flaky.calls == 2
+        assert isinstance(info.value.last_error, OSError)
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_non_retryable_passes_through(self):
+        flaky = Flaky(1, error=FileNotFoundError("gone"))
+        policy = RetryPolicy(attempts=5, retryable=(OSError,),
+                             non_retryable=(FileNotFoundError,),
+                             sleep=lambda _: None)
+        with pytest.raises(FileNotFoundError):
+            policy.call(flaky)
+        assert flaky.calls == 1
+
+    def test_unlisted_error_passes_through(self):
+        policy = RetryPolicy(attempts=5, retryable=(OSError,),
+                             sleep=lambda _: None)
+        with pytest.raises(ValueError):
+            policy.call(Flaky(1, error=ValueError("nope")))
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5)
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_uses_injected_rng(self):
+        class Rng:
+            def random(self):
+                return 1.0  # maximal positive jitter
+
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, rng=Rng())
+        assert policy.delay(0) == pytest.approx(0.15)
+        # Without an RNG the schedule is deterministic even with jitter.
+        assert RetryPolicy(base_delay=0.1, jitter=0.5).delay(0) == 0.1
+
+    def test_sleeps_between_attempts(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, base_delay=0.05,
+                             sleep=slept.append)
+        policy.call(Flaky(2))
+        assert slept == [0.05, 0.1]
+
+    def test_counts_retries(self):
+        telemetry.reset()
+        policy = RetryPolicy(attempts=2, sleep=lambda _: None)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(Flaky(5))
+        registry = telemetry.get_registry()
+        assert registry.value("resilience.retries") == 2
+        assert registry.value("resilience.retry_exhausted") == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": 0},
+        {"base_delay": -1},
+        {"multiplier": 0.5},
+        {"jitter": 2.0},
+    ])
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(**kwargs)
+
+    def test_io_policy_fails_fast_on_missing_file(self):
+        flaky = Flaky(1, error=FileNotFoundError("gone"))
+        with pytest.raises(FileNotFoundError):
+            io_retry_policy().call(flaky)
+        assert flaky.calls == 1
+
+
+class TestDeadline:
+    def test_boundless(self):
+        deadline = Deadline.never()
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.check()  # never raises
+
+    def test_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert not deadline.expired()
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("matrix batch")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ResilienceError):
+            Deadline(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10,
+                                 clock=clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_and_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(11)
+        assert breaker.allow()  # the single half-open probe
+        assert not breaker.allow()  # everyone else still refused
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(11)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5)
+        assert not breaker.allow()  # a fresh full timeout applies
+
+    def test_call_wrapper(self):
+        breaker = CircuitBreaker(failure_threshold=1, name="l2")
+        with pytest.raises(ValueError):
+            breaker.call(Flaky(5, error=ValueError("boom")))
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.call(lambda: "never runs")
+        assert "l2" in str(info.value)
+
+    def test_trip_is_counted(self):
+        telemetry.reset()
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        assert telemetry.get_registry().value(
+            "resilience.breaker.opened") == 1
+
+
+class TestFaultPlan:
+    def test_parse_counts_and_arguments(self):
+        plan = FaultPlan.parse("worker.crash=2,task.slow=1@0.5")
+        assert plan.remaining("worker.crash") == 2
+        assert plan.remaining("task.slow") == 1
+        assert plan.argument("task.slow", 0.25) == 0.5
+        assert plan.argument("worker.crash", 0.25) == 0.25
+
+    def test_bare_site_fires_once(self):
+        plan = FaultPlan.parse("cache.corrupt")
+        assert plan.should_fire("cache.corrupt")
+        assert not plan.should_fire("cache.corrupt")
+        assert plan.fired("cache.corrupt") == 1
+
+    @pytest.mark.parametrize("spec", [
+        "warp.core",            # unknown site
+        "worker.crash=zero",    # non-integer count
+        "worker.crash=0",       # count below one
+        "",                     # empty spec
+        " , ,",                 # whitespace only
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_known_sites_are_instrumented(self):
+        # Guards the spec grammar docs against drift: every advertised
+        # site parses.
+        for site in KNOWN_FAULT_SITES:
+            assert FaultPlan.parse(site).remaining(site) == 1
+
+
+class TestGlobalPlan:
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        previous = active_fault_plan()
+        install_fault_plan(None)
+        yield
+        install_fault_plan(previous)
+
+    def test_disarmed_by_default(self):
+        assert maybe_fire("worker.crash") is None
+
+    def test_injected_faults_context(self):
+        with injected_faults("task.slow=1@0.1"):
+            assert maybe_fire("task.slow") == 0.1
+            assert maybe_fire("task.slow") is None
+        assert active_fault_plan() is None
+
+    def test_maybe_raise(self):
+        with injected_faults("loader.io=1"):
+            with pytest.raises(OSError):
+                maybe_raise("loader.io", OSError, "injected")
+            maybe_raise("loader.io", OSError, "quota spent")  # no raise
+
+    def test_fired_faults_are_counted(self):
+        telemetry.reset()
+        with injected_faults("cache.corrupt=2"):
+            maybe_fire("cache.corrupt")
+            maybe_fire("cache.corrupt")
+        registry = telemetry.get_registry()
+        assert registry.value("faults.injected") == 2
+        assert registry.value("faults.injected.cache.corrupt") == 2
+
+    def test_refresh_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "worker.crash=3")
+        plan = refresh_from_env()
+        assert plan is not None
+        assert plan.remaining("worker.crash") == 3
+        monkeypatch.delenv(FAULTS_ENV)
+        assert refresh_from_env() is None
+
+    def test_install_accepts_spec_strings(self):
+        plan = install_fault_plan("task.slow")
+        assert active_fault_plan() is plan
+        assert resilience.maybe_fire("task.slow") is not None
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text(encoding="utf-8") == "second"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "artifact.txt"
+        atomic_write_text(target, "content")
+        assert target.read_text(encoding="utf-8") == "content"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "x" * 4096)
+        assert [entry.name for entry in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_failed_write_preserves_old_content(self, tmp_path,
+                                                monkeypatch):
+        target = tmp_path / "artifact.json"
+        atomic_write_text(target, "old")
+
+        def explode(source, destination):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.core.resilience.os.replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "old"
+        assert [entry.name for entry in tmp_path.iterdir()] == [
+            "artifact.json"]

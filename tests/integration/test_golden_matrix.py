@@ -76,6 +76,8 @@ def test_regenerate_fixture(corpus_sst):
     }
     rendered = json.dumps(regenerated, indent=1, sort_keys=True)
     if os.environ.get(REGENERATE_ENV, "").strip() not in ("", "0"):
-        FIXTURE_PATH.write_text(rendered, encoding="utf-8")
+        from repro.core.resilience import atomic_write_text
+
+        atomic_write_text(FIXTURE_PATH, rendered)
     stored = FIXTURE_PATH.read_text(encoding="utf-8").rstrip("\n")
     assert stored == rendered
