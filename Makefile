@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint coverage chaos bench-smoke bench-graphindex bench
+.PHONY: test lint analyze coverage chaos bench-smoke bench-graphindex bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
@@ -28,6 +28,12 @@ coverage:
 # `python -m repro.cli` is the module form of the installed `sst` command.
 lint:
 	$(PY) -m repro.cli lint --fail-on error
+
+# Code rules over the toolkit's own source (the CI "analyze" job).
+# Fails on any NEW warning-or-worse finding not accepted by the
+# committed .sst-analyze-baseline.json.
+analyze:
+	$(PY) -m repro.cli analyze src/repro --fail-on warning
 
 # Fast benchmark subset with JSON artifacts (the CI "bench-smoke" job).
 bench-smoke:

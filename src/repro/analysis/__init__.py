@@ -1,13 +1,18 @@
-"""Static analysis for ontologies and SOQA-QL queries (``sst lint``).
+"""Static analysis for ontologies, SOQA-QL queries and the toolkit's
+own source (``sst lint`` / ``sst analyze``).
 
-Two analyzer families share one rule engine:
+Three analyzer families share one rule engine:
 
 * :func:`lint_ontology` / :func:`lint_concepts` — the ontology linter,
   superset of the legacy :func:`repro.soqa.validate.validate_ontology`;
 * :func:`check_query` — the SOQA-QL static checker, which walks a parsed
-  query against the meta-model schema without executing it.
+  query against the meta-model schema without executing it;
+* :func:`analyze_paths` — the code checker, which walks the toolkit's
+  Python source and enforces its determinism, concurrency, resilience
+  and observability invariants (with a committed-baseline /
+  ``# sst: disable=<code>`` pragma suppression workflow).
 
-Both return :class:`Finding` lists that render as text or schema-stable
+All return :class:`Finding` lists that render as text or schema-stable
 JSON via :func:`render_text` / :func:`render_json`.
 """
 
@@ -24,6 +29,11 @@ from repro.analysis.engine import (
     sort_findings,
     summarize,
 )
+from repro.analysis.code_rules import (
+    CODE_RULES,
+    METRIC_NAMESPACES,
+    analyze_paths,
+)
 from repro.analysis.ontology_rules import (
     ONTOLOGY_RULES,
     lint_concepts,
@@ -37,7 +47,9 @@ from repro.analysis.query_check import (
 
 __all__ = [
     "AnalysisConfig",
+    "CODE_RULES",
     "Finding",
+    "METRIC_NAMESPACES",
     "ONTOLOGY_RULES",
     "QUERY_RULES",
     "Rule",
@@ -45,6 +57,7 @@ __all__ = [
     "SEVERITIES",
     "SOURCE_SCHEMAS",
     "all_rules",
+    "analyze_paths",
     "check_query",
     "gate",
     "lint_concepts",
@@ -58,6 +71,7 @@ __all__ = [
 
 
 def all_rules() -> list[Rule]:
-    """Every registered rule of both families, ordered by code."""
-    rules = ONTOLOGY_RULES.rules() + QUERY_RULES.rules()
+    """Every registered rule of all three families, ordered by code."""
+    rules = ONTOLOGY_RULES.rules() + QUERY_RULES.rules() \
+        + CODE_RULES.rules()
     return sorted(rules, key=lambda rule: (rule.family, rule.code))

@@ -1,0 +1,386 @@
+"""AST-walking infrastructure for the code-rule family.
+
+The third rule family of :mod:`repro.analysis` checks the toolkit's
+*own source* against its engineering invariants (determinism,
+concurrency discipline, resilience, observability hygiene).  The rules
+in :mod:`repro.analysis.code_rules` stay declarative because this
+module owns the mechanics:
+
+* :class:`ModuleSource` — one parsed module: source text, AST with
+  parent links attached, an :class:`ImportMap`, and the parsed
+  ``# sst: disable=<code>`` suppression pragmas;
+* :class:`ImportMap` — local-name -> dotted-origin resolution, so a
+  rule can ask "does this call reach ``time.time``?" regardless of
+  whether the module wrote ``import time``, ``import time as t`` or
+  ``from time import time as now``;
+* :class:`ScopeInfo` — which names a function binds locally (and which
+  it declares ``global``/``nonlocal``), the basis of the shared-state
+  mutation checks;
+* mutation helpers — assignment targets and known mutating method
+  calls (``append``, ``update``, ``__setitem__`` via subscripts, ...)
+  expressed as ``(name, node)`` pairs.
+
+Everything here is pure :mod:`ast`; no module under analysis is ever
+imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "ImportMap",
+    "ModuleSource",
+    "MUTATING_METHODS",
+    "PRAGMA_PATTERN",
+    "ScopeInfo",
+    "ancestors",
+    "attach_parents",
+    "enclosing_class",
+    "collect_python_files",
+    "dotted_name",
+    "enclosing_function",
+    "iter_calls",
+    "iter_functions",
+    "load_module",
+    "mutated_outer_names",
+    "parent",
+    "parse_suppressions",
+    "qualname_of",
+    "scope_info",
+]
+
+#: Inline suppression pragma: ``# sst: disable=code-a,code-b`` (or
+#: ``disable=all``) on the offending line silences those codes there.
+PRAGMA_PATTERN = re.compile(
+    r"#\s*sst:\s*disable=([A-Za-z0-9_*,\- ]+)")
+
+#: Method names that mutate their receiver in place.  Used to detect
+#: shared-state mutation (``shared.append(...)`` on a non-local name).
+MUTATING_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popitem", "remove", "reverse", "setdefault",
+    "sort", "update",
+})
+
+
+def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """``line -> codes`` map of ``# sst: disable=...`` pragmas.
+
+    Lines are 1-based, matching AST/``Finding`` positions.  The special
+    code ``all`` (or ``*``) suppresses every rule on that line.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        match = PRAGMA_PATTERN.search(line)
+        if match is None:
+            continue
+        codes = frozenset(code.strip() for code in match.group(1).split(",")
+                          if code.strip())
+        if codes:
+            suppressions[line_number] = codes
+    return suppressions
+
+
+class ImportMap:
+    """Local names -> the dotted names they import.
+
+    >>> import ast
+    >>> imports = ImportMap(ast.parse("from time import time as now"))
+    >>> imports.resolve(ast.parse("now()").body[0].value.func)
+    'time.time'
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports keep their dots; rules match on full
+                # dotted paths, so a relative origin simply never hits.
+                prefix = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    origin = f"{prefix}.{alias.name}" if prefix \
+                        else alias.name
+                    self.aliases[local] = origin
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The fully qualified dotted name a ``Name``/``Attribute``
+        chain refers to, or the plain dotted text when nothing was
+        imported under its head (builtins, locals), or ``None`` when
+        the expression is not a name chain at all."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return name
+        return f"{origin}.{rest}" if rest else origin
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``"a.b.c"`` for a pure ``Name``/``Attribute`` chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Thread a parent link through every node (``parent(node)``)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._sst_parent = node  # type: ignore[attr-defined]
+
+
+def parent(node: ast.AST) -> ast.AST | None:
+    """The parent attached by :func:`attach_parents` (``None`` at root)."""
+    return getattr(node, "_sst_parent", None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """The parent chain of ``node``, nearest first."""
+    current = parent(node)
+    while current is not None:
+        yield current
+        current = parent(current)
+
+
+@dataclass
+class ModuleSource:
+    """One module under analysis: text, AST, imports, pragmas."""
+
+    path: Path
+    display: str
+    text: str
+    tree: ast.Module
+    imports: ImportMap
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when a pragma on ``line`` silences ``code``."""
+        codes = self.suppressions.get(line)
+        if not codes:
+            return False
+        return code in codes or "all" in codes or "*" in codes
+
+    def resolve(self, node: ast.AST) -> str | None:
+        return self.imports.resolve(node)
+
+
+def load_module(path: "str | Path", display: str | None = None
+                ) -> ModuleSource:
+    """Parse one Python file into a :class:`ModuleSource`.
+
+    Propagates :class:`SyntaxError` (and ``OSError``) — the analyzer
+    entry point turns those into findings so one broken file cannot
+    abort a whole run.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    attach_parents(tree)
+    return ModuleSource(
+        path=path, display=display or path.as_posix(), text=text,
+        tree=tree, imports=ImportMap(tree),
+        suppressions=parse_suppressions(text))
+
+
+def collect_python_files(paths: Iterable["str | Path"]
+                         ) -> list[tuple[Path, str]]:
+    """``(file, display)`` pairs for files and directories, sorted.
+
+    Directory arguments are walked recursively for ``*.py``; display
+    paths stay relative to the argument as given, so reports and
+    baseline fingerprints do not depend on the absolute checkout
+    location.
+    """
+    collected: list[tuple[Path, str]] = []
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            for file_path in sorted(base.rglob("*.py")):
+                relative = file_path.relative_to(base).as_posix()
+                display = f"{base.as_posix().rstrip('/')}/{relative}"
+                collected.append((file_path, display))
+        else:
+            collected.append((base, base.as_posix()))
+    return collected
+
+
+# ---------------------------------------------------------------------------
+# Functions and scopes
+# ---------------------------------------------------------------------------
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every (async) function definition anywhere in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNCTION_NODES):
+            yield node
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every call expression anywhere in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | None:
+    """The innermost function definition containing ``node``."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, _FUNCTION_NODES):
+            return ancestor
+    return None
+
+
+def enclosing_class(node: ast.AST) -> ast.ClassDef | None:
+    """The innermost class definition containing ``node``."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def qualname_of(node: ast.AST) -> str:
+    """A readable ``Class.method`` / ``function`` / ``<module>`` label."""
+    parts: list[str] = []
+    current: ast.AST | None = node
+    while current is not None:
+        if isinstance(current, _FUNCTION_NODES + (ast.ClassDef,)):
+            parts.append(current.name)
+        current = parent(current)
+    if not parts:
+        return "<module>"
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ScopeInfo:
+    """Which names a function binds — the basis of closure analysis."""
+
+    params: frozenset[str]
+    assigned: frozenset[str]
+    declared_global: frozenset[str]
+    declared_nonlocal: frozenset[str]
+
+    @property
+    def local_names(self) -> frozenset[str]:
+        """Names resolved locally inside the function."""
+        return (self.params | self.assigned) \
+            - self.declared_global - self.declared_nonlocal
+
+    def is_outer(self, name: str) -> bool:
+        """True when ``name`` resolves outside the function's scope."""
+        return name not in self.local_names
+
+
+def _own_scope_nodes(function: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested scopes."""
+    stack: list[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCTION_NODES + (ast.Lambda, ast.ClassDef)):
+            continue  # nested scope: its bindings are its own
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def scope_info(function: ast.FunctionDef) -> ScopeInfo:
+    """The names ``function`` binds, declares global, or nonlocal."""
+    params = {argument.arg for argument in (
+        function.args.posonlyargs + function.args.args
+        + function.args.kwonlyargs)}
+    if function.args.vararg is not None:
+        params.add(function.args.vararg.arg)
+    if function.args.kwarg is not None:
+        params.add(function.args.kwarg.arg)
+    assigned: set[str] = set()
+    declared_global: set[str] = set()
+    declared_nonlocal: set[str] = set()
+    for node in _own_scope_nodes(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            assigned.add(node.id)
+        elif isinstance(node, _FUNCTION_NODES + (ast.ClassDef,)):
+            assigned.add(node.name)
+        elif isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Nonlocal):
+            declared_nonlocal.update(node.names)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    assigned.add(alias.asname
+                                 or alias.name.split(".")[0])
+    return ScopeInfo(params=frozenset(params), assigned=frozenset(assigned),
+                     declared_global=frozenset(declared_global),
+                     declared_nonlocal=frozenset(declared_nonlocal))
+
+
+def _base_name(node: ast.AST) -> str | None:
+    """The root ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def mutated_outer_names(function: ast.FunctionDef
+                        ) -> list[tuple[str, ast.AST, str]]:
+    """Mutations of names the function does not own.
+
+    Returns ``(name, node, how)`` triples for: assignments to
+    ``global``/``nonlocal``-declared names, item/attribute stores and
+    augmented assignments whose base name resolves to an outer scope,
+    and :data:`MUTATING_METHODS` calls on outer names.  ``how`` is a
+    short human-readable description for findings.
+    """
+    scope = scope_info(function)
+    mutations: list[tuple[str, ast.AST, str]] = []
+
+    def record(name: str | None, node: ast.AST, how: str) -> None:
+        if name is None or name == "self" or not scope.is_outer(name):
+            return
+        mutations.append((name, node, how))
+
+    for node in _own_scope_nodes(function):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in scope.declared_global \
+                            or target.id in scope.declared_nonlocal:
+                        record(target.id, node,
+                               "assigns the shared name")
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    record(_base_name(target), node,
+                           "stores into the shared object")
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATING_METHODS:
+            record(_base_name(node.func.value), node,
+                   f"calls .{node.func.attr}() on the shared object")
+    return mutations

@@ -1,0 +1,127 @@
+"""Accepted-findings baseline for ``sst analyze``.
+
+A static-analysis gate is only adoptable when it fails on *new*
+findings: pre-existing, reviewed-and-accepted findings live in a
+committed baseline file (``.sst-analyze-baseline.json``) and no longer
+fail CI.  Every entry is a **fingerprint** of the finding — rule code,
+file, subject and message, deliberately *excluding* line and column —
+so unrelated edits that shift a finding a few lines do not resurrect
+it, while any change to what the finding says makes it new again.
+
+The file keeps human-readable context next to each fingerprint, so a
+review of the baseline reads like a findings report.  It is written via
+:func:`repro.core.resilience.atomic_write_text` — the analyzer obeys
+its own ``nonatomic-write`` rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.engine import Finding
+from repro.errors import SSTError
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "fingerprint",
+    "write_baseline",
+]
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+#: Where ``sst analyze`` looks for the baseline by default (relative to
+#: the working directory, i.e. the repository root in CI).
+DEFAULT_BASELINE_NAME = ".sst-analyze-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """A stable, line-independent identity for one finding."""
+    basis = "\x1f".join((finding.code, finding.ontology, finding.subject,
+                         finding.message))
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The accepted findings of one analysis target."""
+
+    fingerprints: dict[str, dict] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: "str | Path | None") -> "Baseline":
+        """Read a baseline file; a missing path yields an empty baseline.
+
+        A malformed file raises :class:`~repro.errors.SSTError` — a
+        gate that silently ignores its baseline would fail on every
+        accepted finding (or worse, a truncated file could hide new
+        ones behind a parse fallback).
+        """
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            version = payload["version"]
+            entries = payload["findings"]
+            fingerprints = {entry["fingerprint"]: entry
+                            for entry in entries}
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise SSTError(
+                f"malformed analyze baseline at {path}: {error}") from error
+        if version != BASELINE_VERSION:
+            raise SSTError(
+                f"analyze baseline at {path} has version {version!r}; "
+                f"this toolkit reads version {BASELINE_VERSION}")
+        return cls(fingerprints=fingerprints, path=path)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return fingerprint(finding) in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def split(self, findings: Iterable[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """``(new, accepted)``: findings not in / in the baseline."""
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in findings:
+            (accepted if finding in self else new).append(finding)
+        return new, accepted
+
+
+def write_baseline(path: "str | Path", findings: Iterable[Finding]) -> Path:
+    """Accept ``findings`` as the new baseline at ``path`` (atomic).
+
+    Entries are sorted by fingerprint so regenerating an unchanged
+    analysis produces a byte-identical file.
+    """
+    from repro.core.resilience import atomic_write_text
+
+    entries = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        entries[key] = {
+            "fingerprint": key,
+            "code": finding.code,
+            "severity": finding.severity,
+            "path": finding.ontology,
+            "subject": finding.subject,
+            "message": finding.message,
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [entries[key] for key in sorted(entries)],
+    }
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=False) + "\n")

@@ -395,6 +395,80 @@ def _always_true(rule, context: QueryContext):
 
 
 # ---------------------------------------------------------------------------
+# Redundancy and cost
+# ---------------------------------------------------------------------------
+
+
+def _comparison_key(comparison: Comparison) -> tuple:
+    """Canonical identity of a predicate (field, op, folded literal)."""
+    return (comparison.field, comparison.op, _equality_value(comparison))
+
+
+@QUERY_RULES.rule("duplicate-comparison", "warning", "query")
+def _duplicate_comparison(rule, context: QueryContext):
+    """The same predicate appears twice in one AND/OR group.
+
+    The duplicate is shadowed by its first occurrence — it can never
+    change the result set, so either it is dead weight or a different
+    predicate was intended.
+    """
+    for connective, groups in (("AND", context.conjunctions()),
+                               ("OR", context.disjunctions())):
+        for group in groups:
+            seen: dict[tuple, Comparison] = {}
+            for comparison in group:
+                key = _comparison_key(comparison)
+                first = seen.get(key)
+                if first is None:
+                    seen[key] = comparison
+                    continue
+                yield rule.finding(
+                    f"predicate {comparison.field} {comparison.op} "
+                    f"{comparison.value.value!r} appears twice in the "
+                    f"same {connective} group; the second is shadowed",
+                    subject=comparison.field,
+                    line=comparison.span[0], column=comparison.span[1],
+                    hint="drop the duplicate or fix the intended "
+                         "predicate")
+
+
+#: WHERE fields the evaluator can satisfy without visiting every row
+#: (lookup keys of the concept stores).
+_INDEXED_FIELDS = frozenset({"name", "ontology"})
+
+
+@QUERY_RULES.rule("full-scan", "warning", "query")
+def _full_scan(rule, context: QueryContext):
+    """Cost estimate: a filtered concepts query with no indexed field.
+
+    A WHERE clause over ``concepts`` that never tests ``name`` or
+    ``ontology`` by equality (and has no ``IN ontology`` and no
+    ``LIMIT``) must visit the full taxonomy of every loaded ontology to
+    evaluate its filter.
+    """
+    query = context.query
+    if not isinstance(query, SelectQuery) or query.source != "concepts":
+        return
+    if query.count or query.limit is not None or query.ontology is not None:
+        return
+    if query.where is None:
+        return  # deliberate enumeration, not a filter scan
+    for comparison in context.comparisons():
+        if comparison.op == "=" and comparison.field in _INDEXED_FIELDS:
+            return
+    scale = ""
+    if context.soqa is not None:
+        scale = f" ({context.soqa.concept_count()} loaded concepts)"
+    first = next(iter(context.comparisons()), None)
+    line, column = first.span if first is not None else query.source_span
+    yield rule.finding(
+        "WHERE clause has no indexed field (name/ontology equality); "
+        f"the query scans the full taxonomy{scale}",
+        subject=query.source, line=line, column=column,
+        hint="add a name/ontology equality, IN <ontology>, or LIMIT")
+
+
+# ---------------------------------------------------------------------------
 # Catalog references
 # ---------------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ Subcommands map onto the facade services:
     sst query "SELECT name FROM concepts WHERE is_root = true LIMIT 5"
     sst lint                            # static analysis of all ontologies
     sst lint --soqaql "SELECT nam FROM concepts" --format json
+    sst analyze src/repro               # code rules over toolkit source
     sst trace matrix --from-ontology COURSES   # span tree of any command
     sst metrics --format json ksim univ-bench_owl Person
     sst browse                          # interactive SST Browser
@@ -215,6 +216,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list all rule codes and exit")
 
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="static analysis of the toolkit's own source code")
+    analyze.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="Python files or directories to analyze (default: the "
+             "installed repro package)")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text", dest="output_format")
+    analyze.add_argument(
+        "--fail-on", choices=("error", "warning"), default="error",
+        dest="fail_on",
+        help="exit non-zero when NEW findings of this severity (or "
+             "worse) exist (default: error)")
+    analyze.add_argument(
+        "--rule", action="append", default=None, metavar="CODE",
+        dest="rules", help="run only this rule (repeatable)")
+    analyze.add_argument(
+        "--disable", action="append", default=[], metavar="CODE",
+        help="disable this rule (repeatable)")
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="list the code-family rule codes and exit")
+    analyze.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline of accepted findings (default: "
+             ".sst-analyze-baseline.json in the working directory)")
+    analyze.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new")
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings: write them to the baseline "
+             "file and exit 0")
+
     export = subparsers.add_parser(
         "export", help="export an ontology to SOQA meta-model JSON")
     export.add_argument("ontology")
@@ -300,6 +336,8 @@ def _run(arguments: argparse.Namespace) -> int:
         return _run_observed(arguments)
     if command == "lint" and arguments.list_rules:
         return _print_rule_list()
+    if command == "analyze":
+        return _run_analyze(arguments)
     if command == "cache":
         return _run_cache(arguments)
     import os
@@ -462,12 +500,12 @@ def _dispatch(sst: SOQASimPackToolkit,
     elif command == "export":
         from pathlib import Path
 
+        from repro.core.resilience import atomic_write_text
         from repro.soqa.serialize import ontology_to_json
 
         ontology = sst.soqa.ontology(arguments.ontology)
         output_path = Path(arguments.output)
-        output_path.write_text(ontology_to_json(ontology),
-                               encoding="utf-8")
+        atomic_write_text(output_path, ontology_to_json(ontology))
         print(f"wrote {output_path} ({len(ontology)} concepts)")
     elif command == "explain":
         from repro.core.explain import explain_similarity
@@ -630,6 +668,69 @@ def _run_cache(arguments: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached scores from {cache.path}")
     return 0
+
+
+def _run_analyze(arguments: argparse.Namespace) -> int:
+    """The ``sst analyze`` subcommand: code rules over toolkit source.
+
+    Exit status mirrors ``sst lint``: 0 when no *new* finding (i.e. not
+    accepted by the baseline) reaches the ``--fail-on`` severity, 1
+    otherwise, 2 for unusable inputs.  Baseline-accepted findings are
+    reported as a count on stderr so stdout stays schema-stable.
+    """
+    from pathlib import Path
+
+    from repro.analysis import (
+        CODE_RULES,
+        AnalysisConfig,
+        analyze_paths,
+        gate,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.baseline import (
+        Baseline,
+        DEFAULT_BASELINE_NAME,
+        write_baseline,
+    )
+
+    if arguments.list_rules:
+        rows = [[rule.code, rule.severity, rule.description]
+                for rule in CODE_RULES.rules()]
+        print(render_table(["code", "severity", "description"], rows))
+        return 0
+    paths = list(arguments.paths)
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+            return 2
+    config = AnalysisConfig.create(only=arguments.rules,
+                                   disabled=arguments.disable)
+    config.validate(CODE_RULES)
+    findings = analyze_paths(paths, config=config)
+    baseline_path = arguments.baseline or DEFAULT_BASELINE_NAME
+    if arguments.write_baseline:
+        written = write_baseline(baseline_path, findings)
+        print(f"accepted {len(findings)} finding(s) into {written}")
+        return 0
+    if arguments.no_baseline:
+        baseline = Baseline()
+    else:
+        baseline = Baseline.load(baseline_path)
+    new, accepted = baseline.split(findings)
+    if arguments.output_format == "json":
+        print(render_json(new))
+    else:
+        print(render_text(new))
+    if accepted:
+        print(f"({len(accepted)} baselined finding(s) suppressed by "
+              f"{baseline_path})", file=sys.stderr)
+    return 1 if gate(new, arguments.fail_on) else 0
 
 
 def _print_rule_list() -> int:

@@ -75,7 +75,7 @@ class BM25Scorer:
         """The ``k`` best documents for a free-text query."""
         query_terms = self.index.analyze(query_text)
         candidates: set[str] = set()
-        for term in set(query_terms):
+        for term in sorted(set(query_terms)):
             candidates.update(self.index.documents_containing(term))
         ranked = sorted(
             ((document_id, self.score_terms(query_terms, document_id))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.resilience import atomic_write_text
 from repro.viz.ascii import render_bar_chart_ascii
 from repro.viz.gnuplot import GnuplotArtifacts, gnuplot_bar_chart
 from repro.viz.heatmap import render_heatmap_ascii, render_heatmap_svg
@@ -44,11 +45,11 @@ class BarChart:
                                  output_name=output_name)
 
     def save(self, directory: str | Path, stem: str = "chart") -> list[Path]:
-        """Write SVG, Gnuplot script and data file into ``directory``."""
+        """Write SVG, Gnuplot script and data file into ``directory``
+        (atomically, like every SST artifact write)."""
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         svg_path = directory / f"{stem}.svg"
-        svg_path.write_text(self.to_svg(), encoding="utf-8")
+        atomic_write_text(svg_path, self.to_svg())
         artifacts = self.to_gnuplot(output_name=f"{stem}.png")
         artifacts.script_name = f"{stem}.gp"
         artifacts.data_name = f"{stem}.dat"
@@ -79,13 +80,12 @@ class HeatmapChart:
 
     def save(self, directory: str | Path,
              stem: str = "heatmap") -> list[Path]:
-        """Write the SVG and a plain-text matrix dump."""
+        """Write the SVG and a plain-text matrix dump (atomically)."""
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         svg_path = directory / f"{stem}.svg"
-        svg_path.write_text(self.to_svg(), encoding="utf-8")
+        atomic_write_text(svg_path, self.to_svg())
         text_path = directory / f"{stem}.txt"
-        text_path.write_text(self.to_ascii(), encoding="utf-8")
+        atomic_write_text(text_path, self.to_ascii())
         return [svg_path, text_path]
 
 
@@ -117,11 +117,10 @@ class GroupedBarChart:
         return "\n\n".join(sections)
 
     def save(self, directory: str | Path, stem: str = "chart") -> list[Path]:
-        """Write the SVG and per-series Gnuplot artifacts."""
+        """Write the SVG and per-series Gnuplot artifacts (atomically)."""
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         paths = [directory / f"{stem}.svg"]
-        paths[0].write_text(self.to_svg(), encoding="utf-8")
+        atomic_write_text(paths[0], self.to_svg())
         for index, (name, values) in enumerate(self.series.items()):
             artifacts = gnuplot_bar_chart(
                 f"{self.title} — {name}", self.group_labels, values,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.resilience import atomic_write_text
 from repro.errors import VisualizationError
 
 __all__ = ["GnuplotArtifacts", "gnuplot_bar_chart"]
@@ -27,13 +28,16 @@ class GnuplotArtifacts:
     data_name: str = "chart.dat"
 
     def write(self, directory: str | Path) -> tuple[Path, Path]:
-        """Write both artifacts into ``directory``; returns their paths."""
+        """Write both artifacts into ``directory``; returns their paths.
+
+        Writes are atomic (temp file + rename): an interrupted run
+        never leaves a truncated script for Gnuplot to choke on.
+        """
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         script_path = directory / self.script_name
         data_path = directory / self.data_name
-        script_path.write_text(self.script, encoding="utf-8")
-        data_path.write_text(self.data, encoding="utf-8")
+        atomic_write_text(script_path, self.script)
+        atomic_write_text(data_path, self.data)
         return script_path, data_path
 
 

@@ -1,0 +1,7 @@
+"""Fixture: unregistered fault-injection site string (positive)."""
+from repro.core import resilience
+
+
+def flaky_load(path):
+    resilience.maybe_raise("loader.oi")
+    return path

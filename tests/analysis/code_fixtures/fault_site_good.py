@@ -1,0 +1,9 @@
+"""Fixture: registered fault-injection sites (negative)."""
+from repro.core import resilience
+
+
+def flaky_load(path):
+    resilience.maybe_raise("loader.io")
+    if resilience.maybe_fire("cache.corrupt") is not None:
+        return None
+    return path

@@ -1,0 +1,15 @@
+"""Fixture: fork-unsafe resources in process-pool initargs (positive)."""
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _init_worker(connection, handle):
+    pass
+
+
+def run(path):
+    connection = sqlite3.connect(path)
+    pool = ProcessPoolExecutor(
+        initializer=_init_worker,
+        initargs=(connection, open(path)))
+    return pool

@@ -1,0 +1,15 @@
+"""Fixture: initargs carry plain data; workers open handles (negative)."""
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+
+_WORKER_DB = None
+
+
+def _init_worker(path):
+    global _WORKER_DB
+    _WORKER_DB = sqlite3.connect(path)
+
+
+def run(path):
+    return ProcessPoolExecutor(initializer=_init_worker,
+                               initargs=(str(path),))

@@ -1,0 +1,8 @@
+"""Fixture: malformed metric names (positive)."""
+from repro.core import telemetry
+
+
+def record(hits, size):
+    telemetry.count("hits")
+    telemetry.gauge("bogus.index.size", size)
+    telemetry.observe(f"widget.{hits}.latency", 1.5)

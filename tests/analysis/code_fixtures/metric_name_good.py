@@ -1,0 +1,8 @@
+"""Fixture: namespaced dotted metric names (negative)."""
+from repro.core import telemetry
+
+
+def record(hits, kind, size):
+    telemetry.count("cache.l2.hits", hits)
+    telemetry.gauge("graphindex.nodes", size)
+    telemetry.observe(f"parallel.{kind}.latency", 1.5)

@@ -1,0 +1,16 @@
+"""Fixture: mutable default arguments (positive)."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, *, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def build(seed, pool=set()):
+    pool.add(seed)
+    return pool

@@ -1,0 +1,11 @@
+"""Fixture: None defaults, object created per call (negative)."""
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def label(name, suffix=""):
+    return name + suffix

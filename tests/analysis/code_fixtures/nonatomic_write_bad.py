@@ -1,0 +1,16 @@
+"""Fixture: direct artifact writes (positive)."""
+from pathlib import Path
+
+
+def dump(path, text):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def dump_path(path, text):
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def append_log(path, line):
+    with open(path, mode="a") as handle:
+        handle.write(line)

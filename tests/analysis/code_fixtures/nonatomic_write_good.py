@@ -1,0 +1,16 @@
+"""Fixture: atomic writes and plain reads (negative)."""
+from repro.core.resilience import atomic_write_text
+
+
+def dump(path, text):
+    atomic_write_text(path, text)
+
+
+def slurp(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def slurp_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()

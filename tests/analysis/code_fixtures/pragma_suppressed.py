@@ -1,0 +1,10 @@
+"""Fixture: violations silenced by inline pragmas."""
+import time
+
+
+def stamp():
+    return time.time()  # sst: disable=wallclock-call
+
+
+def stamp_all():
+    return time.time()  # sst: disable=all

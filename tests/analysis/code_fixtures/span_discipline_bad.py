@@ -1,0 +1,11 @@
+"""Fixture: span opened outside a with statement (positive)."""
+from repro.core import telemetry
+
+
+def trace_by_hand(work):
+    span = telemetry.span("facade.compare")
+    span.__enter__()
+    try:
+        return work()
+    finally:
+        span.__exit__(None, None, None)

@@ -1,0 +1,13 @@
+"""Fixture: spans as context managers (negative)."""
+from repro.core import telemetry
+
+
+def trace(work):
+    with telemetry.span("facade.compare"):
+        return work()
+
+
+def trace_bound(work):
+    with telemetry.span("facade.compare") as span:
+        span.note = "bound"
+        return work()

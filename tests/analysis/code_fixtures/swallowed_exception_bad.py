@@ -1,0 +1,15 @@
+"""Fixture: swallowed exceptions (positive)."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:  # noqa: E722
+        return None
+
+
+def swallow_broad(work):
+    try:
+        return work()
+    except Exception:
+        return None

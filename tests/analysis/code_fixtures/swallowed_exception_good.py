@@ -1,0 +1,16 @@
+"""Fixture: narrow or re-raising handlers (negative)."""
+
+
+def tolerate_missing(path):
+    try:
+        return open(path, encoding="utf-8").read()
+    except FileNotFoundError:
+        return ""
+
+
+def record_and_reraise(work, failures):
+    try:
+        return work()
+    except Exception as error:
+        failures.append(error)
+        raise

@@ -1,0 +1,5 @@
+"""Fixture: a file that does not parse (module-syntax-error)."""
+
+
+def broken(:
+    return None

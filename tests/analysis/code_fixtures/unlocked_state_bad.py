@@ -1,0 +1,15 @@
+"""Fixture: lock-guarded attribute mutated unguarded (positive)."""
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def clear(self):
+        self._entries.clear()

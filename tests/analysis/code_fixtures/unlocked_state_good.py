@@ -1,0 +1,16 @@
+"""Fixture: consistent lock discipline (negative)."""
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,12 @@
+"""Fixture: draws from the global unseeded RNG (positive)."""
+import random
+from random import shuffle as mix
+
+
+def jitter():
+    return random.random()
+
+
+def scramble(items):
+    mix(items)
+    return items

@@ -1,0 +1,7 @@
+"""Fixture: owned, seeded random stream (negative)."""
+import random
+
+
+def jitter(seed=7):
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,16 @@
+"""Fixture: set iteration order reaching output (positive)."""
+
+
+def label_all(names):
+    lines = []
+    for name in set(names):
+        lines.append(name.upper())
+    return lines
+
+
+def render(names):
+    return ", ".join({name for name in names})
+
+
+def as_list():
+    return list({3, 1, 2})

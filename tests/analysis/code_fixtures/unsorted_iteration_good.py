@@ -1,0 +1,13 @@
+"""Fixture: ordered or order-insensitive set use (negative)."""
+
+
+def label_all(names):
+    return [name.upper() for name in sorted(set(names))]
+
+
+def total(values):
+    return sum({value * 2 for value in values})
+
+
+def contains(name, names):
+    return name in {n.lower() for n in names}

@@ -1,0 +1,16 @@
+"""Fixture: wall-clock reads in similarity code (positive)."""
+import datetime
+import time
+from time import time as now
+
+
+def stamp_result(value):
+    return value, time.time()
+
+
+def stamp_aliased(value):
+    return value, now()
+
+
+def stamp_datetime():
+    return datetime.datetime.now()

@@ -1,0 +1,14 @@
+"""Fixture: duration measurement via monotonic clocks (negative)."""
+import time
+
+
+def measure(work):
+    start = time.perf_counter()
+    result = work()
+    return result, time.perf_counter() - start
+
+
+def coarse(work):
+    start = time.monotonic()
+    work()
+    return time.monotonic() - start

@@ -1,0 +1,14 @@
+"""Fixture: pool worker mutating shared state (positive)."""
+RESULTS = []
+PROGRESS = {"done": 0}
+
+
+def score_chunk(chunk):
+    for item in chunk:
+        RESULTS.append(item * 2)
+    PROGRESS["done"] += 1
+
+
+def run(pool, chunks):
+    for chunk in chunks:
+        pool.submit(score_chunk, chunk)

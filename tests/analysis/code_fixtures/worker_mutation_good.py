@@ -1,0 +1,15 @@
+"""Fixture: worker returns a merge delta (negative)."""
+
+
+def score_chunk(chunk):
+    scored = []
+    for item in chunk:
+        scored.append(item * 2)
+    return scored
+
+
+def run(pool, chunks):
+    merged = []
+    for future in [pool.submit(score_chunk, chunk) for chunk in chunks]:
+        merged.extend(future.result())
+    return merged

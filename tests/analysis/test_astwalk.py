@@ -1,0 +1,226 @@
+"""Unit tests for the AST infrastructure behind the code rules:
+import resolution, parent links, scopes, mutation detection, pragmas."""
+
+import ast
+
+import pytest
+
+from repro.analysis.astwalk import (
+    ImportMap,
+    attach_parents,
+    ancestors,
+    collect_python_files,
+    dotted_name,
+    enclosing_class,
+    enclosing_function,
+    load_module,
+    mutated_outer_names,
+    parent,
+    parse_suppressions,
+    qualname_of,
+    scope_info,
+)
+
+
+def first_call(source: str) -> tuple[ast.Module, ast.Call]:
+    tree = ast.parse(source)
+    attach_parents(tree)
+    call = next(node for node in ast.walk(tree)
+                if isinstance(node, ast.Call))
+    return tree, call
+
+
+def function_named(source: str, name: str) -> ast.FunctionDef:
+    tree = ast.parse(source)
+    attach_parents(tree)
+    return next(node for node in ast.walk(tree)
+                if isinstance(node, ast.FunctionDef)
+                and node.name == name)
+
+
+class TestImportMap:
+    def resolve(self, source: str, expression: str):
+        imports = ImportMap(ast.parse(source))
+        return imports.resolve(ast.parse(expression).body[0].value)
+
+    def test_plain_import(self):
+        assert self.resolve("import time", "time.time") == "time.time"
+
+    def test_import_as(self):
+        assert self.resolve("import time as t", "t.time") == "time.time"
+
+    def test_from_import_as(self):
+        assert self.resolve("from time import time as now",
+                            "now") == "time.time"
+
+    def test_from_package_import_module(self):
+        assert self.resolve("from repro.core import telemetry",
+                            "telemetry.span") \
+            == "repro.core.telemetry.span"
+
+    def test_unimported_name_passes_through(self):
+        assert self.resolve("import time", "open") == "open"
+
+    def test_relative_import_keeps_dots(self):
+        assert self.resolve("from . import helpers",
+                            "helpers.run") == "..helpers.run"
+
+    def test_non_name_expression_is_none(self):
+        imports = ImportMap(ast.parse("import time"))
+        subscripted = ast.parse("table[0]").body[0].value
+        assert imports.resolve(subscripted) is None
+
+    def test_dotted_name_of_chain(self):
+        node = ast.parse("a.b.c").body[0].value
+        assert dotted_name(node) == "a.b.c"
+
+
+class TestParentsAndQualnames:
+    SOURCE = (
+        "class Runner:\n"
+        "    def go(self):\n"
+        "        return fire()\n"
+    )
+
+    def test_parent_chain_reaches_module(self):
+        tree, call = first_call(self.SOURCE)
+        chain = list(ancestors(call))
+        assert chain[-1] is tree
+        assert parent(tree) is None
+
+    def test_enclosing_function_and_class(self):
+        _tree, call = first_call(self.SOURCE)
+        assert enclosing_function(call).name == "go"
+        assert enclosing_class(call).name == "Runner"
+
+    def test_qualname_is_dotted(self):
+        _tree, call = first_call(self.SOURCE)
+        assert qualname_of(call) == "Runner.go"
+
+    def test_module_level_qualname(self):
+        _tree, call = first_call("fire()\n")
+        assert qualname_of(call) == "<module>"
+
+
+class TestScopeInfo:
+    def test_params_and_assignments_are_local(self):
+        function = function_named(
+            "def f(a, *rest, b=1, **extra):\n"
+            "    c = a + b\n"
+            "    return c\n", "f")
+        scope = scope_info(function)
+        assert {"a", "b", "c", "rest", "extra"} <= scope.local_names
+        assert scope.is_outer("shared")
+        assert not scope.is_outer("c")
+
+    def test_global_and_nonlocal_are_outer(self):
+        function = function_named(
+            "def f():\n"
+            "    global counter\n"
+            "    counter = 1\n", "f")
+        scope = scope_info(function)
+        assert scope.is_outer("counter")
+
+    def test_nested_scopes_keep_their_own_bindings(self):
+        function = function_named(
+            "def outer():\n"
+            "    def inner():\n"
+            "        hidden = 1\n"
+            "        return hidden\n"
+            "    return inner\n", "outer")
+        scope = scope_info(function)
+        assert "inner" in scope.local_names
+        assert "hidden" not in scope.local_names
+
+
+class TestMutatedOuterNames:
+    def test_global_assignment_recorded_once(self):
+        function = function_named(
+            "def f():\n"
+            "    global total\n"
+            "    total += 1\n", "f")
+        mutations = mutated_outer_names(function)
+        assert [(name, how) for name, _node, how in mutations] \
+            == [("total", "assigns the shared name")]
+
+    def test_mutating_method_on_outer_name(self):
+        function = function_named(
+            "SHARED = []\n"
+            "def f(x):\n"
+            "    SHARED.append(x)\n", "f")
+        names = [name for name, _node, _how in mutated_outer_names(function)]
+        assert names == ["SHARED"]
+
+    def test_subscript_store_on_outer_name(self):
+        function = function_named(
+            "TABLE = {}\n"
+            "def f(k, v):\n"
+            "    TABLE[k] = v\n", "f")
+        mutations = mutated_outer_names(function)
+        assert mutations[0][0] == "TABLE"
+        assert "stores into" in mutations[0][2]
+
+    def test_local_and_self_mutations_ignored(self):
+        function = function_named(
+            "def f(self, x):\n"
+            "    own = []\n"
+            "    own.append(x)\n"
+            "    self.items.append(x)\n", "f")
+        assert mutated_outer_names(function) == []
+
+
+class TestSuppressions:
+    def test_codes_parsed_per_line(self):
+        text = ("x = 1\n"
+                "y = 2  # sst: disable=rule-a, rule-b\n"
+                "z = 3  # sst:disable=all\n")
+        parsed = parse_suppressions(text)
+        assert parsed == {2: frozenset({"rule-a", "rule-b"}),
+                          3: frozenset({"all"})}
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions("x = 1  # noqa: E501\n") == {}
+
+
+class TestModuleLoading:
+    def test_load_module_attaches_everything(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n"
+                          "x = time.time()  # sst: disable=wallclock-call\n",
+                          encoding="utf-8")
+        module = load_module(target, display="mod.py")
+        assert module.display == "mod.py"
+        assert module.suppressed(2, "wallclock-call")
+        assert not module.suppressed(1, "wallclock-call")
+        assert module.resolve(ast.parse("time.time").body[0].value) \
+            == "time.time"
+
+    def test_syntax_error_propagates(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n", encoding="utf-8")
+        with pytest.raises(SyntaxError):
+            load_module(target)
+
+    def test_collect_walks_directories_sorted(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("", encoding="utf-8")
+        (tmp_path / "pkg" / "a.py").write_text("", encoding="utf-8")
+        (tmp_path / "pkg" / "notes.txt").write_text("", encoding="utf-8")
+        collected = collect_python_files([str(tmp_path / "pkg")])
+        displays = [display for _path, display in collected]
+        assert displays == [f"{(tmp_path / 'pkg').as_posix()}/a.py",
+                            f"{(tmp_path / 'pkg').as_posix()}/b.py"]
+
+    def test_collect_display_stays_relative_to_argument(self, tmp_path,
+                                                        monkeypatch):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "m.py").write_text("", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        collected = collect_python_files(["src"])
+        assert [display for _path, display in collected] == ["src/m.py"]
+
+    def test_single_file_argument(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("", encoding="utf-8")
+        collected = collect_python_files([str(target)])
+        assert collected == [(target, target.as_posix())]

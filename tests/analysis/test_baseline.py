@@ -1,0 +1,106 @@
+"""Unit tests for the analyze baseline: fingerprints, load/write
+round-trips, and the new-vs-accepted split that gates CI."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    fingerprint,
+    write_baseline,
+)
+from repro.analysis.engine import Finding
+from repro.errors import SSTError
+
+
+def finding(code="wallclock-call", path="src/mod.py", subject="f",
+            message="wall-clock read", line=10, severity="warning"):
+    return Finding(severity=severity, code=code, message=message,
+                   subject=subject, ontology=path, line=line, column=3)
+
+
+class TestFingerprint:
+    def test_is_stable_and_line_independent(self):
+        assert fingerprint(finding(line=10)) == fingerprint(finding(line=99))
+
+    def test_changes_with_identity_fields(self):
+        base = fingerprint(finding())
+        assert fingerprint(finding(code="unseeded-random")) != base
+        assert fingerprint(finding(path="src/other.py")) != base
+        assert fingerprint(finding(subject="g")) != base
+        assert fingerprint(finding(message="different")) != base
+
+    def test_is_short_hex(self):
+        value = fingerprint(finding())
+        assert len(value) == 16
+        assert int(value, 16) >= 0
+
+
+class TestLoad:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+        assert finding() not in baseline
+
+    def test_none_path_is_empty(self):
+        assert len(Baseline.load(None)) == 0
+
+    def test_malformed_json_raises(self, tmp_path):
+        target = tmp_path / "broken.json"
+        target.write_text("{truncated", encoding="utf-8")
+        with pytest.raises(SSTError, match="malformed"):
+            Baseline.load(target)
+
+    def test_missing_keys_raise(self, tmp_path):
+        target = tmp_path / "nokeys.json"
+        target.write_text('{"version": 1}', encoding="utf-8")
+        with pytest.raises(SSTError, match="malformed"):
+            Baseline.load(target)
+
+    def test_wrong_version_raises(self, tmp_path):
+        target = tmp_path / "future.json"
+        target.write_text('{"version": 99, "findings": []}',
+                          encoding="utf-8")
+        with pytest.raises(SSTError, match="version"):
+            Baseline.load(target)
+
+
+class TestRoundTrip:
+    def test_written_findings_come_back_accepted(self, tmp_path):
+        accepted = finding()
+        target = write_baseline(tmp_path / "baseline.json", [accepted])
+        baseline = Baseline.load(target)
+        assert accepted in baseline
+        new, old = baseline.split([accepted, finding(code="metric-name")])
+        assert [f.code for f in new] == ["metric-name"]
+        assert [f.code for f in old] == ["wallclock-call"]
+
+    def test_line_drift_does_not_resurrect(self, tmp_path):
+        target = write_baseline(tmp_path / "baseline.json",
+                                [finding(line=10)])
+        assert finding(line=42) in Baseline.load(target)
+
+    def test_file_keeps_human_readable_context(self, tmp_path):
+        target = write_baseline(tmp_path / "baseline.json", [finding()])
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["version"] == BASELINE_VERSION
+        entry = payload["findings"][0]
+        assert entry["code"] == "wallclock-call"
+        assert entry["path"] == "src/mod.py"
+        assert entry["subject"] == "f"
+        assert entry["fingerprint"] == fingerprint(finding())
+
+    def test_regeneration_is_byte_identical(self, tmp_path):
+        findings = [finding(), finding(code="metric-name", severity="error")]
+        first = write_baseline(tmp_path / "a.json", findings)
+        second = write_baseline(tmp_path / "b.json", list(reversed(findings)))
+        assert first.read_text(encoding="utf-8") \
+            == second.read_text(encoding="utf-8")
+
+    def test_empty_baseline_accepts_nothing(self, tmp_path):
+        target = write_baseline(tmp_path / "baseline.json", [])
+        baseline = Baseline.load(target)
+        new, old = baseline.split([finding()])
+        assert len(new) == 1 and old == []

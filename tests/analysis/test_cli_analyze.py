@@ -1,0 +1,185 @@
+"""Tests for the ``sst analyze`` subcommand: exit codes, the baseline
+workflow, and a golden-file check of the JSON report schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN_JSON = FIXTURES / "golden_analyze.json"
+REPO_ROOT = Path(__file__).parents[2]
+
+#: Deterministic sample with one error and two warnings; analyzed via a
+#: relative path so display paths (and the golden report) stay stable.
+SAMPLE_SOURCE = (
+    "import time\n"
+    "from repro.core import telemetry\n"
+    "\n"
+    "\n"
+    "def stamp():\n"
+    '    telemetry.count("hits")\n'
+    "    return time.time()\n"
+    "\n"
+    "\n"
+    "def guard(work):\n"
+    "    try:\n"
+    "        return work()\n"
+    "    except:  # noqa: E722\n"
+    "        return None\n"
+)
+
+
+@pytest.fixture
+def sample(tmp_path, monkeypatch) -> str:
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "sample.py").write_text(SAMPLE_SOURCE, encoding="utf-8")
+    return "sample.py"
+
+
+@pytest.fixture
+def clean(tmp_path, monkeypatch) -> str:
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "clean.py").write_text(
+        "def double(x):\n    return x * 2\n", encoding="utf-8")
+    return "clean.py"
+
+
+class TestAnalyzeCommand:
+    def test_clean_file_exits_zero(self, capsys, clean):
+        assert main(["analyze", clean]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_error_findings_fail_by_default(self, capsys, sample):
+        code = main(["analyze", sample])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "error[swallowed-exception]" in out
+        assert "warning[wallclock-call]" in out
+        assert "sample.py:" in out
+
+    def test_fail_on_warning_tightens_the_gate(self, capsys, sample):
+        assert main(["analyze", sample,
+                     "--disable", "swallowed-exception"]) == 0
+        assert main(["analyze", sample, "--disable", "swallowed-exception",
+                     "--fail-on", "warning"]) == 1
+
+    def test_rule_filter_restricts_findings(self, capsys, sample):
+        code = main(["analyze", sample, "--rule", "metric-name"])
+        out = capsys.readouterr().out
+        assert code == 0  # metric-name is a warning
+        assert "metric-name" in out
+        assert "wallclock-call" not in out
+
+    def test_unknown_rule_rejected(self, capsys, sample):
+        assert main(["analyze", sample, "--rule", "ghost-rule"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "ghost-rule" in err
+
+    def test_missing_path_exits_two(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["analyze", "no/such/dir"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("wallclock-call", "unlocked-shared-state",
+                     "nonatomic-write", "span-discipline"):
+            assert code in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_pass_then_fail_on_new(self, capsys, sample,
+                                              tmp_path):
+        assert main(["analyze", sample, "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+        assert main(["analyze", sample, "--write-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted 3 finding(s)" in out
+        assert (tmp_path / ".sst-analyze-baseline.json").exists()
+
+        assert main(["analyze", sample, "--fail-on", "warning"]) == 0
+        captured = capsys.readouterr()
+        assert "no findings" in captured.out
+        assert "3 baselined finding(s) suppressed" in captured.err
+
+        amended = SAMPLE_SOURCE + "\n\ndef ts():\n    return time.time()\n"
+        (tmp_path / "sample.py").write_text(amended, encoding="utf-8")
+        assert main(["analyze", sample, "--fail-on", "warning"]) == 1
+        captured = capsys.readouterr()
+        assert "wallclock-call" in captured.out
+        assert "3 baselined finding(s) suppressed" in captured.err
+
+    def test_no_baseline_flag_sees_everything(self, capsys, sample):
+        main(["analyze", sample, "--write-baseline"])
+        capsys.readouterr()
+        assert main(["analyze", sample, "--no-baseline",
+                     "--fail-on", "warning"]) == 1
+        assert "wallclock-call" in capsys.readouterr().out
+
+    def test_explicit_baseline_path(self, capsys, sample, tmp_path):
+        custom = tmp_path / "accepted.json"
+        main(["analyze", sample, "--baseline", str(custom),
+              "--write-baseline"])
+        capsys.readouterr()
+        assert main(["analyze", sample, "--baseline", str(custom),
+                     "--fail-on", "warning"]) == 0
+
+    def test_malformed_baseline_fails_loudly(self, capsys, sample,
+                                             tmp_path):
+        (tmp_path / ".sst-analyze-baseline.json").write_text(
+            "{broken", encoding="utf-8")
+        assert main(["analyze", sample]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_pragma_suppresses_without_baseline(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "pragmatic.py").write_text(
+            "import time\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()  # sst: disable=wallclock-call\n",
+            encoding="utf-8")
+        assert main(["analyze", "pragmatic.py",
+                     "--fail-on", "warning"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestGoldenJson:
+    def test_json_report_matches_golden(self, capsys, sample):
+        code = main(["analyze", sample, "--no-baseline",
+                     "--format", "json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        golden = json.loads(GOLDEN_JSON.read_text(encoding="utf-8"))
+        assert report == golden
+
+    def test_report_shape_matches_lint_schema(self, capsys, sample):
+        main(["analyze", sample, "--no-baseline", "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert list(report) == ["version", "findings", "summary"]
+        for finding in report["findings"]:
+            assert list(finding) == [
+                "severity", "code", "ontology", "subject", "message",
+                "line", "column", "hint"]
+
+
+class TestSelfAnalysis:
+    def test_toolkit_source_is_clean_against_baseline(self, capsys,
+                                                      monkeypatch):
+        """The committed baseline keeps ``sst analyze src/repro`` green —
+        the exact gate CI runs."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["analyze", "src/repro",
+                     "--fail-on", "warning"]) == 0
+
+    def test_default_paths_analyze_the_installed_package(self, capsys,
+                                                         monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["analyze", "--fail-on", "warning",
+                     "--no-baseline"]) == 0

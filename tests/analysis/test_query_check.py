@@ -15,8 +15,11 @@ from tests.soqa.test_wrappers import DAML_TEXT
 
 
 def codes(query: str, soqa=None, config=None) -> list[str]:
+    """Finding codes, minus the advisory ``full-scan`` cost warning
+    (dedicated coverage in :class:`TestRedundancyAndCost`)."""
     return [finding.code
-            for finding in check_query(query, soqa=soqa, config=config)]
+            for finding in check_query(query, soqa=soqa, config=config)
+            if finding.code != "full-scan"]
 
 
 @pytest.fixture
@@ -87,9 +90,11 @@ class TestDegeneratePredicates:
                       "WHERE name = 'A' AND name = 'B'")
         assert "always-false" in found
 
-    def test_same_equalities_clean(self):
-        assert codes("SELECT name FROM concepts "
-                     "WHERE name = 'A' AND name = 'A'") == []
+    def test_same_equalities_not_always_false(self):
+        found = codes("SELECT name FROM concepts "
+                      "WHERE name = 'A' AND name = 'A'")
+        assert "always-false" not in found
+        assert found == ["duplicate-comparison"]
 
     def test_empty_numeric_interval_always_false(self):
         found = codes("SELECT name FROM concepts "
@@ -147,6 +152,72 @@ class TestCatalogRules:
         assert found == ["unknown-ontology"]
 
 
+def raw_codes(query: str, soqa=None) -> list[str]:
+    return [finding.code for finding in check_query(query, soqa=soqa)]
+
+
+class TestRedundancyAndCost:
+    def test_duplicate_in_and_group(self):
+        findings = check_query(
+            "SELECT name FROM concepts IN u "
+            "WHERE is_root = true AND is_root = true")
+        assert [f.code for f in findings] == ["duplicate-comparison"]
+        assert "shadowed" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_duplicate_in_or_group(self):
+        found = raw_codes("SELECT name FROM concepts IN u "
+                          "WHERE name = 'A' OR name = 'A'")
+        assert found == ["duplicate-comparison"]
+
+    def test_distinct_predicates_clean(self):
+        assert raw_codes("SELECT name FROM concepts IN u "
+                         "WHERE name = 'A' AND is_root = true") == []
+
+    def test_same_field_different_op_is_not_a_duplicate(self):
+        assert raw_codes(
+            "SELECT name FROM attributes "
+            "WHERE name = 'A' OR name != 'A'") == []
+
+    def test_full_scan_on_unindexed_filter(self, soqa):
+        findings = check_query(
+            "SELECT name FROM concepts WHERE is_root = true", soqa=soqa)
+        assert [f.code for f in findings] == ["full-scan"]
+        assert findings[0].severity == "warning"
+        assert f"({soqa.concept_count()} loaded concepts)" \
+            in findings[0].message
+        assert "LIMIT" in (findings[0].hint or "")
+
+    def test_full_scan_without_soqa_omits_scale(self):
+        findings = check_query(
+            "SELECT name FROM concepts WHERE attribute_count > 2")
+        assert [f.code for f in findings] == ["full-scan"]
+        assert "loaded concepts" not in findings[0].message
+
+    def test_name_equality_uses_index(self):
+        assert raw_codes(
+            "SELECT name FROM concepts WHERE name = 'Professor'") == []
+
+    def test_in_ontology_suppresses_full_scan(self):
+        assert raw_codes(
+            "SELECT name FROM concepts IN u WHERE is_root = true") == []
+
+    def test_limit_suppresses_full_scan(self):
+        assert raw_codes("SELECT name FROM concepts "
+                         "WHERE is_root = true LIMIT 5") == []
+
+    def test_plain_enumeration_is_not_a_scan(self):
+        assert raw_codes("SELECT name FROM concepts") == []
+
+    def test_count_is_not_flagged(self):
+        assert raw_codes(
+            "SELECT COUNT(*) FROM concepts WHERE is_root = true") == []
+
+    def test_non_concepts_source_not_flagged(self):
+        assert raw_codes(
+            "SELECT name FROM attributes WHERE datatype = 'String'") == []
+
+
 class TestSyntaxErrors:
     def test_unparseable_query_becomes_finding(self):
         findings = check_query("SELEC name FROM concepts")
@@ -177,7 +248,7 @@ class TestNoExecution:
         findings = soqa.check_query(
             "SELECT nam FROM concepts WHERE ghost = 3")
         assert [finding.code for finding in findings] == [
-            "unknown-select-field", "unknown-where-field"]
+            "unknown-select-field", "unknown-where-field", "full-scan"]
 
 
 #: One small ontology per bundled wrapper language.
