@@ -27,7 +27,9 @@ imported or executed.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -72,17 +74,28 @@ def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
     """``line -> codes`` map of ``# sst: disable=...`` pragmas.
 
     Lines are 1-based, matching AST/``Finding`` positions.  The special
-    code ``all`` (or ``*``) suppresses every rule on that line.
+    code ``all`` (or ``*``) suppresses every rule on that line.  Only
+    real comments count: the pragma text inside a string literal is
+    data, not a suppression — tokenizing (rather than regex-scanning
+    physical lines) is what makes that distinction.
     """
     suppressions: dict[int, frozenset[str]] = {}
-    for line_number, line in enumerate(text.splitlines(), start=1):
-        match = PRAGMA_PATTERN.search(line)
-        if match is None:
-            continue
-        codes = frozenset(code.strip() for code in match.group(1).split(",")
-                          if code.strip())
-        if codes:
-            suppressions[line_number] = codes
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_PATTERN.search(token.string)
+            if match is None:
+                continue
+            codes = frozenset(code.strip()
+                              for code in match.group(1).split(",")
+                              if code.strip())
+            if codes:
+                suppressions[token.start[0]] = codes
+    except (tokenize.TokenError, IndentationError):
+        # Un-tokenizable tail (the analyzer reports the SyntaxError
+        # separately); keep the pragmas found before the bad region.
+        pass
     return suppressions
 
 

@@ -56,18 +56,26 @@ class Baseline:
     path: Path | None = None
 
     @classmethod
-    def load(cls, path: "str | Path | None") -> "Baseline":
+    def load(cls, path: "str | Path | None",
+             required: bool = False) -> "Baseline":
         """Read a baseline file; a missing path yields an empty baseline.
 
-        A malformed file raises :class:`~repro.errors.SSTError` — a
-        gate that silently ignores its baseline would fail on every
-        accepted finding (or worse, a truncated file could hide new
-        ones behind a parse fallback).
+        With ``required=True`` a missing file raises instead — when the
+        user *named* a baseline (``--baseline``), a typo'd path must not
+        silently degrade to "everything is new".  A malformed file
+        raises :class:`~repro.errors.SSTError` either way — a gate that
+        silently ignores its baseline would fail on every accepted
+        finding (or worse, a truncated file could hide new ones behind
+        a parse fallback).
         """
         if path is None:
             return cls()
         path = Path(path)
         if not path.exists():
+            if required:
+                raise SSTError(
+                    f"analyze baseline {path} does not exist; fix the "
+                    "--baseline path or create it with --write-baseline")
             return cls(path=path)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))

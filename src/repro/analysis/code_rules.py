@@ -468,8 +468,19 @@ def _unknown_fault_site(rule, context: CodeContext):
 
 
 def _handler_reraises(handler: ast.ExceptHandler) -> bool:
-    return any(isinstance(node, ast.Raise)
-               for node in ast.walk(handler))
+    """A ``raise`` in the handler's *own* control flow — a raise inside
+    a nested function/class merely defined in the handler does not
+    re-raise, so it must not excuse a swallowed exception."""
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
 
 
 def _broad_exception_names(handler: ast.ExceptHandler,

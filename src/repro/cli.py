@@ -721,7 +721,10 @@ def _run_analyze(arguments: argparse.Namespace) -> int:
     if arguments.no_baseline:
         baseline = Baseline()
     else:
-        baseline = Baseline.load(baseline_path)
+        # A user-named baseline must exist: a typo'd --baseline path
+        # silently reporting everything as new defeats the gate.
+        baseline = Baseline.load(
+            baseline_path, required=arguments.baseline is not None)
     new, accepted = baseline.split(findings)
     if arguments.output_format == "json":
         print(render_json(new))

@@ -13,3 +13,12 @@ def swallow_broad(work):
         return work()
     except Exception:
         return None
+
+
+def swallow_despite_nested_raiser(work):
+    try:
+        return work()
+    except Exception:
+        def raiser():
+            raise RuntimeError("defined, never called: not a re-raise")
+        return raiser

@@ -181,6 +181,18 @@ class TestSuppressions:
     def test_unrelated_comments_ignored(self):
         assert parse_suppressions("x = 1  # noqa: E501\n") == {}
 
+    def test_pragma_inside_string_literal_is_data(self):
+        text = ('x = "# sst: disable=wallclock-call"\n'
+                'y = """\n'
+                '# sst: disable=all\n'
+                '"""\n')
+        assert parse_suppressions(text) == {}
+
+    def test_pragmas_kept_before_untokenizable_tail(self):
+        text = ("x = 1  # sst: disable=rule-a\n"
+                "y = (\n")
+        assert parse_suppressions(text) == {1: frozenset({"rule-a"})}
+
 
 class TestModuleLoading:
     def test_load_module_attaches_everything(self, tmp_path):

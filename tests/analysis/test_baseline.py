@@ -47,6 +47,10 @@ class TestLoad:
     def test_none_path_is_empty(self):
         assert len(Baseline.load(None)) == 0
 
+    def test_missing_required_file_raises(self, tmp_path):
+        with pytest.raises(SSTError, match="does not exist"):
+            Baseline.load(tmp_path / "typo.json", required=True)
+
     def test_malformed_json_raises(self, tmp_path):
         target = tmp_path / "broken.json"
         target.write_text("{truncated", encoding="utf-8")

@@ -129,6 +129,13 @@ class TestBaselineWorkflow:
         assert main(["analyze", sample, "--baseline", str(custom),
                      "--fail-on", "warning"]) == 0
 
+    def test_typoed_explicit_baseline_fails_loudly(self, capsys, sample,
+                                                   tmp_path):
+        missing = tmp_path / "typo.json"
+        assert main(["analyze", sample,
+                     "--baseline", str(missing)]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
     def test_malformed_baseline_fails_loudly(self, capsys, sample,
                                              tmp_path):
         (tmp_path / ".sst-analyze-baseline.json").write_text(

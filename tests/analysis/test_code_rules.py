@@ -37,7 +37,7 @@ RULE_CASES = [
      "nonatomic-write", 3),
     ("fault_site_bad.py", "fault_site_good.py", "unknown-fault-site", 1),
     ("swallowed_exception_bad.py", "swallowed_exception_good.py",
-     "swallowed-exception", 2),
+     "swallowed-exception", 3),
     ("metric_name_bad.py", "metric_name_good.py", "metric-name", 3),
     ("span_discipline_bad.py", "span_discipline_good.py",
      "span-discipline", 1),
