@@ -4,7 +4,8 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze coverage chaos bench-smoke bench-graphindex bench
+.PHONY: test lint analyze coverage chaos bench-smoke bench-graphindex \
+	bench-kernel bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
@@ -45,6 +46,13 @@ bench-smoke:
 # 5x speedup gate and regenerate BENCH_graphindex.json at the root.
 bench-graphindex:
 	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_graphindex_scaling.py -q
+
+# Batch-kernel benchmark, quick mode (the CI "bench-kernel" job).
+# Hard-gates bit-identical kernel/naive matrices and the 5x sweep
+# speedup, and compares against the committed BENCH_kernel.json; run
+# without SST_BENCH_QUICK=1 for the nightly full-size configuration.
+bench-kernel:
+	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_kernel_scaling.py -q
 
 # The full benchmark suite (not run in CI; slow).
 bench:

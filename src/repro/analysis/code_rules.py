@@ -61,8 +61,8 @@ CODE_RULES = RuleRegistry()
 #: fragment the prometheus exposition the service endpoint scrapes.
 METRIC_NAMESPACES = (
     "align", "analysis", "cache", "cluster", "diskcache", "facade",
-    "faults", "graphindex", "parallel", "query", "resilience", "service",
-    "soqa", "telemetry",
+    "faults", "graphindex", "kernel", "parallel", "query", "resilience",
+    "service", "soqa", "telemetry",
 )
 
 #: Wall-clock reads that break run-to-run reproducibility when they
@@ -592,6 +592,63 @@ def _span_discipline(rule, context: CodeContext):
             "telemetry.span(...) used outside a with statement; the "
             "span will not close on exceptions",
             hint="write `with telemetry.span(...):` around the work")
+
+
+# ---------------------------------------------------------------------------
+# Performance
+# ---------------------------------------------------------------------------
+
+#: The batch kernel module; importing it marks a module as hot-path
+#: code expected to score pairs in batches.
+_KERNEL_MODULE = "repro.core.kernel"
+
+#: Loop constructs (statement loops and comprehensions) whose bodies
+#: multiply a per-pair call into N or N-squared facade re-entries.
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While, ast.ListComp,
+               ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _imports_kernel(module: ModuleSource) -> bool:
+    for origin in module.imports.aliases.values():
+        if origin == _KERNEL_MODULE \
+                or origin.startswith(_KERNEL_MODULE + "."):
+            return True
+    return False
+
+
+@CODE_RULES.rule("prefer-batch-kernel", "info", "code")
+def _prefer_batch_kernel(rule, context: CodeContext):
+    """Performance: a per-pair ``runner.run(a, b)`` inside a loop, in a
+    module that already imports the batch kernel, re-enters the facade
+    N (or N-squared) times where one kernel batch would do.
+
+    Only modules importing :mod:`repro.core.kernel` are held to this —
+    they are the hot paths that chose batch scoring; everything else
+    (tests, the runners themselves) stays free to loop.  Deliberate
+    per-pair loops (the fallback for measures without a batch form, the
+    reference loop the kernel is gated against) carry a pragma.
+    """
+    for module in context.modules:
+        if not _imports_kernel(module):
+            continue
+        for call in iter_calls(module.tree):
+            function = call.func
+            if not isinstance(function, ast.Attribute) \
+                    or function.attr != "run":
+                continue
+            if len(call.args) != 2 or call.keywords:
+                continue
+            if not any(isinstance(above, _LOOP_NODES)
+                       for above in ancestors(call)):
+                continue
+            yield _code_finding(
+                rule, module, call,
+                "per-pair .run(first, second) inside a loop in a "
+                "kernel-importing module; this re-enters the facade "
+                "once per pair",
+                hint="score the whole batch with "
+                     "repro.core.kernel.try_batch (or pragma a "
+                     "deliberate fallback loop)")
 
 
 # ---------------------------------------------------------------------------

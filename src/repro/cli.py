@@ -72,6 +72,14 @@ def _add_parallel_arguments(sub: argparse.ArgumentParser) -> None:
         help="pool relaunches allowed after worker crashes or timeouts "
              "before degrading to threads (default: SST_RETRY_BUDGET, "
              "else 2)")
+    from repro.core.kernel import ENGINES
+
+    sub.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="batch scoring engine: 'kernel' evaluates batchable graph "
+             "measures over the compiled taxonomy, 'naive' loops per "
+             "pair (default: SST_ENGINE, else kernel; both are "
+             "bit-identical)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -354,6 +362,10 @@ def _run(arguments: argparse.Namespace) -> int:
         from repro.core.parallel import RETRY_BUDGET_ENV
 
         os.environ[RETRY_BUDGET_ENV] = str(arguments.retry_budget)
+    if getattr(arguments, "engine", None) is not None:
+        from repro.core.kernel import ENGINE_ENV
+
+        os.environ[ENGINE_ENV] = arguments.engine
     sst = _load_toolkit(arguments)
     try:
         return _dispatch(sst, arguments)
@@ -411,7 +423,8 @@ def _dispatch(sst: SOQASimPackToolkit,
                           subtree_ontology_name=subtree_ontology,
                           k=arguments.k, measure=arguments.measure,
                           workers=arguments.workers,
-                          strategy=arguments.strategy)
+                          strategy=arguments.strategy,
+                          engine=arguments.engine)
         rows = [[str(index + 1), entry.concept_name, entry.ontology_name,
                  f"{entry.similarity:.4f}"]
                 for index, entry in enumerate(entries)]
@@ -556,7 +569,8 @@ def _run_matrix(sst: SOQASimPackToolkit,
         return 1
     matrix = sst.get_similarity_matrix(references, arguments.measure,
                                        workers=arguments.workers,
-                                       strategy=arguments.strategy)
+                                       strategy=arguments.strategy,
+                                       engine=arguments.engine)
     labels = [f"{ontology_name}:{concept_name}"
               for ontology_name, concept_name in references]
     if arguments.output_format == "json":

@@ -165,6 +165,95 @@ class CachedRunner(MeasureRunner):
                         *self._l2_columns(key), value)
         return value
 
+    def bulk_lookup(self, pairs):
+        """Serve a whole batch of pairs from the L1/L2 tiers at once.
+
+        Returns ``(values, pending)``: ``values`` has one slot per
+        input pair (``None`` where no tier had it), and ``pending``
+        maps each *distinct* missing cache key to the positions it
+        must fill.  The caller computes the pending keys (one kernel
+        batch), then hands ``(key, value)`` pairs to
+        :meth:`bulk_store`.
+
+        Counter bookkeeping is per-pair-equivalent: every pair counts
+        exactly one L1 hit or miss, and every distinct missing key
+        exactly one L2 hit or miss — duplicate occurrences of a
+        missing key count as L1 *hits*, just as the sequential
+        per-pair loop (which stores the first occurrence before
+        looking up the second) would have counted them.
+        """
+        values: list[float | None] = [None] * len(pairs)
+        pending: dict[tuple, list[int]] = {}
+        l1_hits = l1_misses = 0
+        with self._lock:
+            for position, (first, second) in enumerate(pairs):
+                key = self._key(first, second)
+                cached = self._table.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    l1_hits += 1
+                    self._table.move_to_end(key)
+                    values[position] = cached
+                elif key in pending:
+                    self.hits += 1
+                    l1_hits += 1
+                    pending[key].append(position)
+                else:
+                    self.misses += 1
+                    l1_misses += 1
+                    pending[key] = [position]
+        if l1_hits:
+            telemetry.count("cache.l1.hits", l1_hits)
+        if l1_misses:
+            telemetry.count("cache.l1.misses", l1_misses)
+        if self.l2 is not None and pending:
+            l2_hits = l2_misses = 0
+            for key in list(pending):
+                stored = self.l2.get(self.fingerprint, self.name,
+                                     *self._l2_columns(key))
+                if stored is None:
+                    l2_misses += 1
+                    continue
+                l2_hits += 1
+                with self._lock:
+                    self.l2_hits += 1
+                    self._table[key] = stored
+                    while len(self._table) > self.capacity:
+                        self._table.popitem(last=False)
+                for position in pending.pop(key):
+                    values[position] = stored
+            with self._lock:
+                self.l2_misses += l2_misses
+            if l2_hits:
+                telemetry.count("cache.l2.hits", l2_hits)
+                telemetry.count("cache.l1.stores", l2_hits)
+            if l2_misses:
+                telemetry.count("cache.l2.misses", l2_misses)
+        return values, pending
+
+    def bulk_store(self, entries) -> None:
+        """Store freshly computed ``(key, value)`` pairs in both tiers.
+
+        The batch-side counterpart of the store half of :meth:`run`:
+        one ``cache.l1.stores`` per entry, and the same L2 ``put``
+        semantics (buffered in the parent, silently dropped in forked
+        read-only workers — whose entries the parent re-stores via
+        :meth:`merge`, the single L2 writer).
+        """
+        entries = list(entries)
+        if not entries:
+            return
+        with self._lock:
+            for key, value in entries:
+                self._table[key] = value
+            while len(self._table) > self.capacity:
+                self._table.popitem(last=False)
+        telemetry.count("cache.l1.stores", len(entries))
+        if self.l2 is not None:
+            self.l2.put_many(
+                (self.fingerprint, self.name, *self._l2_columns(key), value)
+                for key, value in entries)
+
     def merge(self, entries, hits: int = 0, misses: int = 0,
               l2_hits: int = 0, l2_misses: int = 0) -> None:
         """Fold a worker's cache delta back into this cache.

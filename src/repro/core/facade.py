@@ -358,21 +358,28 @@ class SOQASimPackToolkit:
 
     def engine(self, measure: int | str | Measure,
                workers: int | None = None,
-               strategy: str | None = None) -> BatchSimilarityEngine:
+               strategy: str | None = None,
+               engine: str | None = None) -> BatchSimilarityEngine:
         """A batch execution engine over the measure's runner.
 
         ``workers`` defaults to the ``SST_WORKERS`` environment variable
         (or 1), ``strategy`` to ``SST_STRATEGY`` (or serial/process
         depending on the worker count); see :mod:`repro.core.parallel`.
+        ``engine`` picks the batch scoring path — ``"kernel"`` (the
+        default; batchable graph measures score whole chunks over the
+        compiled taxonomy) or ``"naive"`` (per-pair loop) — with
+        ``SST_ENGINE`` as the environment fallback; see
+        :mod:`repro.core.kernel`.
         """
         return BatchSimilarityEngine(self.runner(measure), workers=workers,
-                                     strategy=strategy)
+                                     strategy=strategy, engine=engine)
 
     def get_similarity_to_set(self, concept_name: str, ontology_name: str,
                               concepts: Iterable[ConceptRef],
                               measure: int | str | Measure,
                               workers: int | None = None,
                               strategy: str | None = None,
+                              engine: str | None = None,
                               ) -> list[ConceptAndSimilarity]:
         """Similarity between a concept and a freely composed concept set."""
         telemetry.count("facade.get_similarity_to_set.calls")
@@ -381,8 +388,8 @@ class SOQASimPackToolkit:
         with telemetry.span("facade.similarity_to_set",
                             measure=self.runner(measure).name,
                             candidates=len(others)):
-            values = self.engine(measure, workers, strategy).score_against(
-                anchor, others)
+            values = self.engine(measure, workers, strategy,
+                                 engine).score_against(anchor, others)
         return [ConceptAndSimilarity(concept_name=other.concept_name,
                                      ontology_name=other.ontology_name,
                                      similarity=value)
@@ -451,6 +458,7 @@ class SOQASimPackToolkit:
                                   Measure.SHORTEST_PATH,
                                   workers: int | None = None,
                                   strategy: str | None = None,
+                                  engine: str | None = None,
                                   ) -> list[ConceptAndSimilarity]:
         """The ``k`` most similar concepts for the given one (signature S2).
 
@@ -467,8 +475,8 @@ class SOQASimPackToolkit:
         with telemetry.span("facade.most_similar",
                             measure=self.runner(measure).name,
                             candidates=len(candidates), k=k):
-            values = self.engine(measure, workers, strategy).score_against(
-                anchor, candidates)
+            values = self.engine(measure, workers, strategy,
+                                 engine).score_against(anchor, candidates)
         scored = [ConceptAndSimilarity(candidate.concept_name,
                                        candidate.ontology_name, value)
                   for candidate, value in zip(candidates, values)]
@@ -487,6 +495,7 @@ class SOQASimPackToolkit:
                                      Measure.SHORTEST_PATH,
                                      workers: int | None = None,
                                      strategy: str | None = None,
+                                     engine: str | None = None,
                                      ) -> list[ConceptAndSimilarity]:
         """The ``k`` most dissimilar concepts for the given one."""
         telemetry.count("facade.get_most_dissimilar_concepts.calls")
@@ -496,8 +505,8 @@ class SOQASimPackToolkit:
         with telemetry.span("facade.most_dissimilar",
                             measure=self.runner(measure).name,
                             candidates=len(candidates), k=k):
-            values = self.engine(measure, workers, strategy).score_against(
-                anchor, candidates)
+            values = self.engine(measure, workers, strategy,
+                                 engine).score_against(anchor, candidates)
         scored = [ConceptAndSimilarity(candidate.concept_name,
                                        candidate.ontology_name, value)
                   for candidate, value in zip(candidates, values)]
@@ -511,6 +520,7 @@ class SOQASimPackToolkit:
                               symmetric: bool = True,
                               workers: int | None = None,
                               strategy: str | None = None,
+                              engine: str | None = None,
                               ) -> list[list[float]]:
         """The full pairwise similarity matrix of a concept list.
 
@@ -525,7 +535,8 @@ class SOQASimPackToolkit:
         with telemetry.span("facade.similarity_matrix",
                             measure=self.runner(measure).name,
                             concepts=len(qualified)):
-            return self.engine(measure, workers, strategy).similarity_matrix(
+            return self.engine(measure, workers, strategy,
+                               engine).similarity_matrix(
                 qualified, symmetric=symmetric)
 
     # -- visualization services (signature S3) --------------------------------------------------

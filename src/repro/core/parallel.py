@@ -57,6 +57,7 @@ from concurrent.futures.process import BrokenProcessPool
 _TIMEOUT_ERRORS = (TimeoutError, FuturesTimeoutError)
 from typing import Sequence
 
+from repro.core import kernel as kernel_engine
 from repro.core import resilience, telemetry
 from repro.core.cache import CachedRunner
 from repro.core.results import QualifiedConcept
@@ -110,6 +111,30 @@ DEFAULT_RETRY_BUDGET = 2
 CHUNKS_PER_WORKER = 4
 
 Pair = "tuple[QualifiedConcept, QualifiedConcept]"
+
+
+def _score_chunk_pairs(runner: MeasureRunner, pairs: Sequence,
+                       engine: str) -> list[float]:
+    """Score one contiguous run of pairs with the selected engine.
+
+    The single funnel every strategy (serial loop, thread chunk,
+    forked-process chunk, degradation fallback) goes through: with the
+    kernel engine, batchable measures are scored as one
+    :func:`repro.core.kernel.try_batch` call per chunk; everything else
+    — and the ``"naive"`` engine — takes the per-pair loop.  Both paths
+    score the same pairs in the same order and are bit-identical by the
+    kernel's parity contract.
+    """
+    if engine == kernel_engine.KERNEL:
+        values = kernel_engine.try_batch(runner, pairs)
+        if values is not None:
+            return values
+        telemetry.count("kernel.fallback.batches")
+        telemetry.count("kernel.fallback.pairs", len(pairs))
+    # The deliberate per-pair path: the fallback for measures without a
+    # batch form, and the reference loop the kernel is gated against.
+    return [runner.run(first, second)  # sst: disable=prefer-batch-kernel
+            for first, second in pairs]
 
 
 def effective_workers(workers: int | None = None) -> int:
@@ -209,10 +234,15 @@ def chunk_pairs(pairs: Sequence, chunk_count: int) -> list[list]:
 #: behind it) is inherited copy-on-write — nothing is pickled.
 _WORKER_RUNNER: MeasureRunner | None = None
 
+#: The batch engine of the current worker process (kernel or naive).
+_WORKER_ENGINE: str = kernel_engine.KERNEL
 
-def _initialize_worker(runner: MeasureRunner) -> None:
-    global _WORKER_RUNNER
+
+def _initialize_worker(runner: MeasureRunner,
+                       engine: str = kernel_engine.KERNEL) -> None:
+    global _WORKER_RUNNER, _WORKER_ENGINE
     _WORKER_RUNNER = runner
+    _WORKER_ENGINE = engine
     # Workers only ever read the persistent tier: their fresh scores
     # travel back through the merge delta and the parent persists them
     # exactly once.  (The pool pickles initargs even under fork, which
@@ -257,13 +287,13 @@ def _score_chunk(payload: tuple) -> tuple[list[float], tuple | None,
     if isinstance(runner, CachedRunner):
         hits, misses = runner.hits, runner.misses
         l2_hits, l2_misses = runner.l2_hits, runner.l2_misses
-        values = [runner.run(first, second) for first, second in pairs]
+        values = _score_chunk_pairs(runner, pairs, _WORKER_ENGINE)
         entries = [(runner.cache_key(first, second), value)
                    for (first, second), value in zip(pairs, values)]
         delta = (entries, runner.hits - hits, runner.misses - misses,
                  runner.l2_hits - l2_hits, runner.l2_misses - l2_misses)
     else:
-        values = [runner.run(first, second) for first, second in pairs]
+        values = _score_chunk_pairs(runner, pairs, _WORKER_ENGINE)
         delta = None
     if not traced:
         return values, delta, None
@@ -301,12 +331,14 @@ class BatchSimilarityEngine:
     def __init__(self, runner: MeasureRunner, workers: int | None = None,
                  strategy: str | None = None,
                  task_timeout: float | None = None,
-                 retry_budget: int | None = None):
+                 retry_budget: int | None = None,
+                 engine: str | None = None):
         self.runner = runner
         self.workers = effective_workers(workers)
         self.strategy = resolve_strategy(strategy, self.workers)
         self.task_timeout = effective_task_timeout(task_timeout)
         self.retry_budget = effective_retry_budget(retry_budget)
+        self.engine = kernel_engine.resolve_engine(engine)
 
     # -- batch primitives ---------------------------------------------------
 
@@ -325,6 +357,8 @@ class BatchSimilarityEngine:
             # IC tables) on the first pair in the calling thread, so
             # thread workers never race on construction and process
             # workers inherit the warm structures through fork.
+            if self.engine == kernel_engine.KERNEL:
+                kernel_engine.prime(self.runner)
             first_value = self.runner.run(*pairs[0])
             rest = pairs[1:]
             chunks = chunk_pairs(rest, self.workers * CHUNKS_PER_WORKER)
@@ -372,7 +406,7 @@ class BatchSimilarityEngine:
     # -- strategies -----------------------------------------------------------
 
     def _score_serial(self, pairs: list) -> list[float]:
-        return [self.runner.run(first, second) for first, second in pairs]
+        return _score_chunk_pairs(self.runner, pairs, self.engine)
 
     def _score_threaded(self, chunks: list[list]) -> list[float]:
         return [value for chunk_values in self._thread_chunk_values(chunks)
@@ -392,8 +426,7 @@ class BatchSimilarityEngine:
             # — the thread-local context stack is per-thread.
             with telemetry.span("parallel.chunk", parent=parent_span,
                                 chunk=chunk_index, pairs=len(chunk)):
-                chunk_values = [runner.run(first, second)
-                                for first, second in chunk]
+                chunk_values = _score_chunk_pairs(runner, chunk, self.engine)
             telemetry.observe("parallel.task_seconds",
                               time.perf_counter() - started)
             return chunk_values
@@ -460,7 +493,7 @@ class BatchSimilarityEngine:
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending)),
                 mp_context=context, initializer=_initialize_worker,
-                initargs=(self.runner,))
+                initargs=(self.runner, self.engine))
         except OSError:
             return "crash"  # cannot fork any workers at all
         failure: str | None = None
@@ -535,8 +568,8 @@ class BatchSimilarityEngine:
                 # Thread pool unavailable (e.g. thread limits): the
                 # serial loop is the strategy of last resort.
                 telemetry.count("resilience.degraded")
-                recovered = [[self.runner.run(first, second)
-                              for first, second in chunk]
+                recovered = [_score_chunk_pairs(self.runner, chunk,
+                                                self.engine)
                              for chunk in pending_chunks]
         for index, chunk_values in zip(pending, recovered):
             values_by_chunk[index] = chunk_values
@@ -549,25 +582,31 @@ class BatchSimilarityEngine:
 
 def score_pairs(runner: MeasureRunner, pairs: Sequence,
                 workers: int | None = None,
-                strategy: str | None = None) -> list[float]:
+                strategy: str | None = None,
+                engine: str | None = None) -> list[float]:
     """One-shot batch scoring of concept pairs."""
-    return BatchSimilarityEngine(runner, workers, strategy).score_pairs(pairs)
+    return BatchSimilarityEngine(runner, workers, strategy,
+                                 engine=engine).score_pairs(pairs)
 
 
 def score_against(runner: MeasureRunner, anchor: QualifiedConcept,
                   candidates: Sequence[QualifiedConcept],
                   workers: int | None = None,
-                  strategy: str | None = None) -> list[float]:
+                  strategy: str | None = None,
+                  engine: str | None = None) -> list[float]:
     """One-shot anchor-vs-candidates scoring."""
-    return BatchSimilarityEngine(runner, workers,
-                                 strategy).score_against(anchor, candidates)
+    return BatchSimilarityEngine(runner, workers, strategy,
+                                 engine=engine).score_against(anchor,
+                                                              candidates)
 
 
 def similarity_matrix(runner: MeasureRunner,
                       concepts: Sequence[QualifiedConcept],
                       symmetric: bool = True,
                       workers: int | None = None,
-                      strategy: str | None = None) -> list[list[float]]:
+                      strategy: str | None = None,
+                      engine: str | None = None) -> list[list[float]]:
     """One-shot pairwise similarity matrix."""
-    return BatchSimilarityEngine(runner, workers, strategy).similarity_matrix(
+    return BatchSimilarityEngine(runner, workers, strategy,
+                                 engine=engine).similarity_matrix(
         concepts, symmetric=symmetric)

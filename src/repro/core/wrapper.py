@@ -39,6 +39,7 @@ class SOQAWrapperForSimPack:
         self._vector_space: TfidfVectorSpace | None = None
         self._bm25: "object | None" = None
         self._information_content: dict[str, InformationContent] = {}
+        self._kernel: "object | None" = None
 
     # -- taxonomy ------------------------------------------------------------
 
@@ -50,6 +51,19 @@ class SOQAWrapperForSimPack:
     def node(self, concept: QualifiedConcept) -> str:
         """The unified-tree node of a qualified concept."""
         return self.tree.node_of(concept)
+
+    def kernel(self):
+        """The batch :class:`~repro.core.kernel.SimilarityKernel`.
+
+        Built once per wrapper (and therefore once per corpus state —
+        the facade swaps the wrapper when the loaded ontologies
+        change).  Imported lazily to keep the wrapper importable from
+        the kernel module itself.
+        """
+        if self._kernel is None:
+            from repro.core.kernel import SimilarityKernel
+            self._kernel = SimilarityKernel(self)
+        return self._kernel
 
     def depth(self, concept: QualifiedConcept) -> int:
         """Depth of the concept below the unified root."""

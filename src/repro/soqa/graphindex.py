@@ -27,6 +27,7 @@ past :func:`resolve_index_threshold` nodes (``SST_INDEX_THRESHOLD``).
 from __future__ import annotations
 
 import os
+from array import array
 from collections import deque
 from typing import Iterable, Iterator, Mapping
 
@@ -36,6 +37,7 @@ __all__ = [
     "CompiledTaxonomy",
     "DEFAULT_INDEX_THRESHOLD",
     "INDEX_THRESHOLD_ENV",
+    "TaxonomyTables",
     "resolve_index_threshold",
 ]
 
@@ -82,6 +84,38 @@ def _iter_bits(bits: int) -> Iterator[int]:
         bits ^= low
 
 
+class TaxonomyTables:
+    """Read-only columnar view of one :class:`CompiledTaxonomy`.
+
+    The export surface for batch consumers (:mod:`repro.core.kernel`):
+    instead of re-deriving per-node structure through the string-keyed
+    query API pair by pair, a kernel reads these tables once and works
+    in dense integer IDs.  Scalar per-node columns are stdlib
+    ``array`` objects (cheap to scan, and a zero-copy ``memoryview``
+    away from any optional numpy fast path); the ancestor-distance
+    maps and descendant bitsets are shared with the index itself and
+    must be treated as immutable.
+    """
+
+    __slots__ = ("names", "ids", "size", "max_depth", "depths",
+                 "ancestor_distances", "descendant_bits",
+                 "descendant_counts")
+
+    def __init__(self, names: list[str], ids: dict[str, int],
+                 depths: "array[int]", max_depth: int,
+                 ancestor_distances: tuple[dict[int, int], ...],
+                 descendant_bits: tuple[int, ...],
+                 descendant_counts: "array[int]"):
+        self.names = names
+        self.ids = ids
+        self.size = len(names)
+        self.depths = depths
+        self.max_depth = max_depth
+        self.ancestor_distances = ancestor_distances
+        self.descendant_bits = descendant_bits
+        self.descendant_counts = descendant_counts
+
+
 class CompiledTaxonomy:
     """Precomputed query structures over a specialization DAG.
 
@@ -96,7 +130,7 @@ class CompiledTaxonomy:
         "_names", "_ids", "_parent_ids", "_child_ids",
         "_ancestor_bits", "_ancestor_distances",
         "_descendant_bits", "_depths", "_longest",
-        "_max_depth", "_neighbor_ids",
+        "_max_depth", "_neighbor_ids", "_tables",
     )
 
     def __init__(self, parents: Mapping[str, Iterable[str]]):
@@ -118,6 +152,7 @@ class CompiledTaxonomy:
             tuple(row) for row in child_ids]
         self._compile()
         self._neighbor_ids: list[tuple[int, ...]] | None = None
+        self._tables: TaxonomyTables | None = None
 
     # -- compilation --------------------------------------------------------------
 
@@ -170,6 +205,29 @@ class CompiledTaxonomy:
         self._depths = depths
         self._longest = longest
         self._max_depth = max(longest, default=0)
+
+    # -- table export -------------------------------------------------------------
+
+    def export_tables(self) -> TaxonomyTables:
+        """The columnar :class:`TaxonomyTables` view (built once).
+
+        The ancestor-popcount column (``descendant_counts``) is
+        materialized here — one popcount per node — so IC-style
+        consumers never touch the big-int bitsets on the hot path.
+        """
+        if self._tables is None:
+            self._tables = TaxonomyTables(
+                names=self._names,
+                ids=self._ids,
+                depths=array("l", self._depths),
+                max_depth=self._max_depth,
+                ancestor_distances=tuple(self._ancestor_distances),
+                descendant_bits=tuple(self._descendant_bits),
+                descendant_counts=array(
+                    "l", (bits.bit_count()
+                          for bits in self._descendant_bits)),
+            )
+        return self._tables
 
     # -- basic structure ----------------------------------------------------------
 

@@ -1,0 +1,16 @@
+"""Positive fixture: per-pair scoring loops in a kernel-importing
+module — each should be one batch call."""
+
+from repro.core import kernel
+
+
+def score_loop(runner, pairs):
+    engine = kernel.resolve_engine()
+    values = []
+    for first, second in pairs:
+        values.append(runner.run(first, second))
+    return engine, values
+
+
+def score_comprehension(runner, pairs):
+    return [runner.run(first, second) for first, second in pairs]

@@ -1,0 +1,21 @@
+"""Negative fixture: batch scoring, a pragma'd deliberate fallback,
+single calls outside loops, and non-pair ``.run`` arities."""
+
+from repro.core import kernel
+
+
+def score_batch(runner, pairs):
+    values = kernel.try_batch(runner, pairs)
+    if values is None:
+        values = [runner.run(first, second)  # sst: disable=prefer-batch-kernel
+                  for first, second in pairs]
+    return values
+
+
+def score_one(runner, first, second):
+    return runner.run(first, second)
+
+
+def restart_services(services):
+    for service in services:
+        service.run(once=True)

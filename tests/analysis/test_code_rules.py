@@ -43,6 +43,8 @@ RULE_CASES = [
      "span-discipline", 1),
     ("mutable_default_bad.py", "mutable_default_good.py",
      "mutable-default-argument", 3),
+    ("prefer_batch_kernel_bad.py", "prefer_batch_kernel_good.py",
+     "prefer-batch-kernel", 2),
 ]
 
 

@@ -1,0 +1,381 @@
+"""The batch similarity kernel: parity with the per-pair path, engine
+selection, cache integration, fallbacks, and edge cases."""
+
+import pytest
+
+from repro.core import kernel, telemetry
+from repro.core.cache import CachedRunner
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.parallel import BatchSimilarityEngine
+from repro.core.registry import Measure
+from repro.core.results import QualifiedConcept
+from repro.core.runners import (LinRunner, MeasureRunner,
+                                ShortestPathRunner)
+from repro.errors import SSTCoreError, UnknownConceptError
+
+#: Every measure with a kernel batch form.
+BATCHABLE_MEASURES = (
+    Measure.CONCEPTUAL_SIMILARITY, Measure.SHORTEST_PATH, Measure.EDGE,
+    Measure.LEACOCK_CHODOROW, Measure.LIN, Measure.RESNIK,
+    Measure.RESNIK_NORMALIZED, Measure.JIANG_CONRATH,
+    Measure.EXTENSIONAL,
+)
+
+#: A cross-language, cross-ontology concept panel over the mini corpus.
+PANEL = [
+    ("univ", "Professor"), ("univ", "Student"), ("univ", "Course"),
+    ("MINI", "EMPLOYEE"), ("MINI", "COURSE"), ("wn", "person"),
+]
+
+
+class TestEngineResolution:
+    def test_default_is_kernel(self, monkeypatch):
+        monkeypatch.delenv(kernel.ENGINE_ENV, raising=False)
+        assert kernel.resolve_engine() == kernel.KERNEL
+
+    def test_explicit_choice_wins(self, monkeypatch):
+        monkeypatch.setenv(kernel.ENGINE_ENV, "naive")
+        assert kernel.resolve_engine("kernel") == kernel.KERNEL
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(kernel.ENGINE_ENV, "naive")
+        assert kernel.resolve_engine() == kernel.NAIVE
+
+    def test_case_insensitive(self):
+        assert kernel.resolve_engine("KERNEL") == kernel.KERNEL
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SSTCoreError, match="unknown batch engine"):
+            kernel.resolve_engine("vectorized")
+
+    def test_unknown_environment_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernel.ENGINE_ENV, "gpu")
+        with pytest.raises(SSTCoreError, match="unknown batch engine"):
+            kernel.resolve_engine()
+
+    def test_engine_object_resolves_environment(self, mini_sst,
+                                                monkeypatch):
+        monkeypatch.setenv(kernel.ENGINE_ENV, "naive")
+        engine = BatchSimilarityEngine(
+            mini_sst.runner(Measure.SHORTEST_PATH))
+        assert engine.engine == kernel.NAIVE
+
+
+class TestNumpyProbe:
+    def test_probe_matches_flag(self):
+        assert kernel.numpy_available() == (kernel._NUMPY is not None)
+
+    def test_probe_survives_missing_numpy(self, monkeypatch):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_numpy(name, *args, **kwargs):
+            if name == "numpy":
+                raise ImportError("numpy is not installed")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_numpy)
+        assert kernel._probe_numpy() is None
+
+    def test_batch_parity_without_numpy(self, mini_sst, monkeypatch):
+        monkeypatch.setattr(kernel, "_NUMPY", None)
+        naive = mini_sst.get_similarity_matrix(
+            PANEL, Measure.CONCEPTUAL_SIMILARITY, engine="naive")
+        batched = mini_sst.get_similarity_matrix(
+            PANEL, Measure.CONCEPTUAL_SIMILARITY, engine="kernel")
+        assert batched == naive
+
+
+class TestBatchability:
+    def test_batchable_measures(self, mini_sst):
+        for measure in BATCHABLE_MEASURES:
+            runner = mini_sst.runner(measure)
+            inner = runner.inner if isinstance(runner, CachedRunner) \
+                else runner
+            assert kernel.batchable(inner), measure
+
+    def test_non_graph_measures_fall_back(self, mini_sst):
+        for measure in (Measure.LEVENSHTEIN, Measure.TFIDF,
+                        Measure.COSINE, Measure.TREE_EDIT,
+                        Measure.NAME_LEVENSHTEIN):
+            runner = mini_sst.runner(measure)
+            inner = runner.inner if isinstance(runner, CachedRunner) \
+                else runner
+            assert not kernel.batchable(inner), measure
+
+    def test_subclass_is_not_batchable(self, mini_sst):
+        class CustomShortestPath(ShortestPathRunner):
+            def run(self, first, second):
+                return 0.5
+
+        runner = CustomShortestPath(mini_sst.wrapper)
+        assert not kernel.batchable(runner)
+        assert kernel.try_batch(runner, [PANEL[0]]) is None
+
+    def test_retargeted_ic_source_is_not_batchable(self, mini_sst):
+        runner = LinRunner(mini_sst.wrapper)
+        assert kernel.batchable(runner)
+        runner.ic_source = "instances"
+        assert not kernel.batchable(runner)
+
+
+def _qualified_panel():
+    return [QualifiedConcept(ontology, name) for ontology, name in PANEL]
+
+
+class TestParity:
+    @pytest.mark.parametrize("measure", BATCHABLE_MEASURES,
+                             ids=[m.name for m in BATCHABLE_MEASURES])
+    def test_matrix_bit_identical(self, mini_sst, measure):
+        naive = mini_sst.get_similarity_matrix(PANEL, measure,
+                                               engine="naive")
+        batched = mini_sst.get_similarity_matrix(PANEL, measure,
+                                                 engine="kernel")
+        assert batched == naive
+
+    @pytest.mark.parametrize("measure", BATCHABLE_MEASURES,
+                             ids=[m.name for m in BATCHABLE_MEASURES])
+    def test_uncached_direct_batch_bit_identical(self, mini_sst, measure):
+        runner = mini_sst.runner(measure)
+        inner = runner.inner if isinstance(runner, CachedRunner) \
+            else runner
+        concepts = _qualified_panel()
+        pairs = [(a, b) for a in concepts for b in concepts]
+        batched = kernel.try_batch(inner, pairs)
+        assert batched is not None
+        assert batched == [inner.run(a, b) for a, b in pairs]
+
+    def test_most_similar_identical_across_engines(self, mini_sst):
+        naive = mini_sst.get_most_similar_concepts(
+            "Professor", "univ", k=5, measure=Measure.LIN,
+            engine="naive")
+        batched = mini_sst.get_most_similar_concepts(
+            "Professor", "univ", k=5, measure=Measure.LIN,
+            engine="kernel")
+        assert batched == naive
+
+    def test_similarity_to_set_identical_across_engines(self, mini_sst):
+        others = PANEL[1:]
+        naive = mini_sst.get_similarity_to_set(
+            "Professor", "univ", others, Measure.JIANG_CONRATH,
+            engine="naive")
+        batched = mini_sst.get_similarity_to_set(
+            "Professor", "univ", others, Measure.JIANG_CONRATH,
+            engine="kernel")
+        assert batched == naive
+
+    def test_fallback_measure_identical_across_engines(self, mini_sst):
+        naive = mini_sst.get_similarity_matrix(
+            PANEL, Measure.NAME_LEVENSHTEIN, engine="naive")
+        batched = mini_sst.get_similarity_matrix(
+            PANEL, Measure.NAME_LEVENSHTEIN, engine="kernel")
+        assert batched == naive
+
+
+class TestEdgeCases:
+    def test_empty_concept_set(self, mini_sst):
+        assert mini_sst.get_similarity_matrix(
+            [], Measure.SHORTEST_PATH, engine="kernel") == []
+
+    def test_singleton_concept_set(self, mini_sst):
+        matrix = mini_sst.get_similarity_matrix(
+            [PANEL[0]], Measure.SHORTEST_PATH, engine="kernel")
+        assert matrix == [[1.0]]
+
+    def test_empty_pair_batch(self, mini_sst):
+        runner = mini_sst.runner(Measure.SHORTEST_PATH)
+        engine = BatchSimilarityEngine(runner, engine=kernel.KERNEL)
+        assert engine.score_pairs([]) == []
+
+    def test_cross_ontology_pairs(self, mini_sst):
+        professor = QualifiedConcept("univ", "Professor")
+        employee = QualifiedConcept("MINI", "EMPLOYEE")
+        runner = mini_sst.runner(Measure.CONCEPTUAL_SIMILARITY)
+        inner = runner.inner if isinstance(runner, CachedRunner) \
+            else runner
+        batched = kernel.try_batch(inner, [(professor, employee)])
+        assert batched == [inner.run(professor, employee)]
+        # Cross-ontology concepts only meet at Super Thing, but Wu &
+        # Palmer's node-counted root distance still scores positively.
+        assert batched[0] > 0.0
+
+    def test_unknown_concept_raises_like_naive(self, mini_sst):
+        ghost = ("univ", "Ghost")
+        with pytest.raises(UnknownConceptError):
+            mini_sst.get_similarity_matrix(
+                [PANEL[0], ghost], Measure.SHORTEST_PATH, engine="naive")
+        with pytest.raises(UnknownConceptError):
+            mini_sst.get_similarity_matrix(
+                [PANEL[0], ghost], Measure.SHORTEST_PATH, engine="kernel")
+
+    def test_asymmetric_runner_in_asymmetric_matrix(self, mini_sst):
+        class Directional(MeasureRunner):
+            name = "Directional"
+
+            def run(self, first, second):
+                if first == second:
+                    return 1.0
+                forward = (first.ontology_name, first.concept_name) < (
+                    second.ontology_name, second.concept_name)
+                return 0.75 if forward else 0.25
+
+        runner = Directional(mini_sst.wrapper)
+        concepts = _qualified_panel()
+        for engine_name in (kernel.NAIVE, kernel.KERNEL):
+            engine = BatchSimilarityEngine(runner, engine=engine_name)
+            matrix = engine.similarity_matrix(concepts, symmetric=False)
+            assert matrix[0][1] == 0.75
+            assert matrix[1][0] == 0.25
+            assert all(matrix[i][i] == 1.0
+                       for i in range(len(concepts)))
+
+
+class TestWrapperIntegration:
+    def test_kernel_is_cached_per_wrapper(self, mini_sst):
+        assert mini_sst.wrapper.kernel() is mini_sst.wrapper.kernel()
+
+    def test_prime_builds_kernel_and_ic(self, mini_sst):
+        runner = mini_sst.runner(Measure.LIN)
+        kernel.prime(runner)
+        built = mini_sst.wrapper._kernel
+        assert built is not None
+        assert built._ic is not None
+
+    def test_prime_ignores_non_batchable(self, mini_sst):
+        runner = mini_sst.runner(Measure.TFIDF)
+        kernel.prime(runner)
+
+    def test_tables_are_shared_with_compiled_index(self, mini_sst):
+        built = mini_sst.wrapper.kernel()
+        compiled = mini_sst.wrapper.taxonomy.compile()
+        assert built.tables is compiled.export_tables()
+        assert built.tables.size == len(mini_sst.wrapper.taxonomy)
+
+
+class TestCachedBatches:
+    @pytest.fixture
+    def cached(self, mini_sst):
+        runner = mini_sst.runner(Measure.SHORTEST_PATH)
+        return CachedRunner(runner.inner if isinstance(runner, CachedRunner)
+                            else runner)
+
+    def test_cold_bulk_lookup_reports_all_pending(self, cached):
+        concepts = _qualified_panel()
+        pairs = [(concepts[0], concepts[1]), (concepts[0], concepts[2])]
+        values, pending = cached.bulk_lookup(pairs)
+        assert values == [None, None]
+        assert sorted(positions for positions in pending.values()) \
+            == [[0], [1]]
+        assert cached.misses == 2 and cached.hits == 0
+
+    def test_duplicate_pairs_count_as_hits(self, cached):
+        concepts = _qualified_panel()
+        pair = (concepts[0], concepts[1])
+        mirrored = (concepts[1], concepts[0])
+        values, pending = cached.bulk_lookup([pair, mirrored, pair])
+        assert values == [None, None, None]
+        # One distinct key; the second and third occurrences are the
+        # hits the sequential loop would have scored.
+        assert len(pending) == 1
+        assert list(pending.values()) == [[0, 1, 2]]
+        assert cached.misses == 1 and cached.hits == 2
+
+    def test_bulk_store_then_warm_lookup(self, cached):
+        concepts = _qualified_panel()
+        pairs = [(concepts[0], concepts[1]), (concepts[0], concepts[2])]
+        _, pending = cached.bulk_lookup(pairs)
+        entries = [(key, 0.5) for key in pending]
+        cached.bulk_store(entries)
+        values, pending = cached.bulk_lookup(pairs)
+        assert values == [0.5, 0.5]
+        assert pending == {}
+        assert cached.hits == 2
+
+    def test_bulk_store_respects_capacity(self, mini_sst):
+        runner = mini_sst.runner(Measure.SHORTEST_PATH)
+        cached = CachedRunner(
+            runner.inner if isinstance(runner, CachedRunner) else runner,
+            capacity=2)
+        concepts = _qualified_panel()
+        pairs = [(concepts[0], other) for other in concepts[1:5]]
+        _, pending = cached.bulk_lookup(pairs)
+        cached.bulk_store((key, 0.25) for key in pending)
+        assert len(cached) == 2
+
+    def test_try_batch_warm_run_skips_kernel(self, cached):
+        concepts = _qualified_panel()
+        pairs = [(a, b) for a in concepts for b in concepts]
+        cold = kernel.try_batch(cached, pairs)
+        built = cached.wrapper.kernel()
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("kernel re-entered on a warm run")
+
+        original = built.batch
+        built.batch = boom
+        try:
+            warm = kernel.try_batch(cached, pairs)
+        finally:
+            built.batch = original
+        assert warm == cold
+
+    def test_cached_engine_matches_uncached(self, mini_sst, cached):
+        concepts = _qualified_panel()
+        pairs = [(a, b) for a in concepts for b in concepts]
+        inner = cached.inner
+        assert kernel.try_batch(cached, pairs) \
+            == kernel.try_batch(inner, pairs)
+
+
+class TestTelemetry:
+    # Counter-exactness tests run uncached: the suite's session-scoped
+    # L2 tier could otherwise satisfy pairs an earlier test already
+    # scored, and cached pairs legitimately never reach the kernel.
+    def test_batch_counters(self, mini_soqa):
+        sst = SOQASimPackToolkit(mini_soqa, cache=False)
+        telemetry.reset()
+        sst.get_similarity_matrix(PANEL, Measure.SHORTEST_PATH,
+                                  engine="kernel")
+        registry = telemetry.get_registry()
+        # One serial batch over the whole upper triangle (diagonal
+        # included).
+        pair_count = len(PANEL) * (len(PANEL) + 1) // 2
+        assert registry.value("kernel.batches") == 1
+        assert registry.value("kernel.pairs") == pair_count
+
+    def test_fallback_counters(self, mini_soqa):
+        sst = SOQASimPackToolkit(mini_soqa, cache=False)
+        telemetry.reset()
+        sst.get_similarity_matrix(PANEL[:3], Measure.NAME_LEVENSHTEIN,
+                                  engine="kernel")
+        registry = telemetry.get_registry()
+        assert registry.value("kernel.fallback.batches") == 1
+        assert registry.value("kernel.batches") == 0
+
+    def test_naive_engine_emits_no_kernel_metrics(self, mini_soqa):
+        sst = SOQASimPackToolkit(mini_soqa, cache=False)
+        telemetry.reset()
+        sst.get_similarity_matrix(PANEL[:3], Measure.SHORTEST_PATH,
+                                  engine="naive")
+        registry = telemetry.get_registry()
+        assert registry.value("kernel.batches") == 0
+        assert registry.value("kernel.fallback.batches") == 0
+
+
+class TestStandaloneCorpus:
+    def test_cache_disabled_facade_parity(self):
+        from repro.ontologies.generator import generate_sumo_owl
+        from repro.soqa.api import SOQA
+
+        soqa = SOQA()
+        soqa.load_text(generate_sumo_owl(120), "sumo", "OWL")
+        sst = SOQASimPackToolkit(soqa, cache=False)
+        concepts = [("sumo", concept.name)
+                    for concept in soqa.ontology("sumo").concepts()[:10]]
+        for measure in BATCHABLE_MEASURES:
+            naive = sst.get_similarity_matrix(concepts, measure,
+                                              engine="naive")
+            batched = sst.get_similarity_matrix(concepts, measure,
+                                                engine="kernel")
+            assert batched == naive, measure

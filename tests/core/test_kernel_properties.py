@@ -1,0 +1,100 @@
+"""Property tests: the batch kernel is bit-identical to the per-pair
+path on randomized DAGs.
+
+Same two-source strategy as the CompiledTaxonomy equivalence suite: a
+hypothesis-generated family (small adversarial shapes — diamonds,
+multiple roots, forests) and the seeded realistic generators.  For
+every batchable measure, a full all-pairs matrix must agree *exactly*
+— same floats, bit for bit — between ``engine="naive"`` and
+``engine="kernel"``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.core.registry import Measure
+from repro.ontologies.generator import (generate_random_dag,
+                                        generate_wordnet_taxonomy)
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import Concept, Ontology, OntologyMetadata
+
+BATCHABLE_MEASURES = (
+    Measure.CONCEPTUAL_SIMILARITY, Measure.SHORTEST_PATH, Measure.EDGE,
+    Measure.LEACOCK_CHODOROW, Measure.LIN, Measure.RESNIK,
+    Measure.RESNIK_NORMALIZED, Measure.JIANG_CONRATH,
+    Measure.EXTENSIONAL,
+)
+
+
+def toolkit_over(ontologies: dict[str, dict[str, list[str]]]
+                 ) -> SOQASimPackToolkit:
+    """An SST facade over ``{ontology: {concept: parents}}`` DAGs."""
+    soqa = SOQA()
+    for ontology_name, parents in ontologies.items():
+        concepts = [Concept(name=name, documentation=f"doc {name}",
+                            superconcept_names=list(node_parents))
+                    for name, node_parents in parents.items()]
+        soqa.add_ontology(Ontology(
+            OntologyMetadata(name=ontology_name, language="OWL"),
+            concepts))
+    return SOQASimPackToolkit(soqa, cache=False)
+
+
+def assert_engines_agree(ontologies: dict[str, dict[str, list[str]]],
+                         concept_limit: int | None = None) -> None:
+    sst = toolkit_over(ontologies)
+    references = [(ontology_name, concept_name)
+                  for ontology_name, parents in ontologies.items()
+                  for concept_name in parents]
+    if concept_limit is not None:
+        references = references[:concept_limit]
+    for measure in BATCHABLE_MEASURES:
+        naive = sst.get_similarity_matrix(references, measure,
+                                          engine="naive")
+        batched = sst.get_similarity_matrix(references, measure,
+                                            engine="kernel")
+        assert batched == naive, measure
+
+
+@st.composite
+def random_dags(draw) -> dict[str, list[str]]:
+    """A random DAG as ``{node: parents}`` (acyclic because parents
+    precede children; includes forests and diamond shapes)."""
+    size = draw(st.integers(min_value=1, max_value=14))
+    nodes = [f"n{i}" for i in range(size)]
+    parents: dict[str, list[str]] = {nodes[0]: []}
+    for index in range(1, size):
+        earlier = nodes[:index]
+        count = draw(st.integers(min_value=0,
+                                 max_value=min(3, len(earlier))))
+        chosen = draw(st.permutations(earlier))[:count]
+        parents[nodes[index]] = list(chosen)
+    return parents
+
+
+@given(random_dags())
+@settings(max_examples=25, deadline=None)
+def test_kernel_matches_naive_on_hypothesis_dags(parents):
+    assert_engines_agree({"hyp": parents})
+
+
+@given(random_dags(), random_dags())
+@settings(max_examples=10, deadline=None)
+def test_kernel_matches_naive_across_two_ontologies(first, second):
+    assert_engines_agree({"alpha": first, "beta": second},
+                         concept_limit=14)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_kernel_matches_naive_on_seeded_random_dags(seed):
+    assert_engines_agree({"rnd": generate_random_dag(130, seed=seed)},
+                         concept_limit=18)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_kernel_matches_naive_on_wordnet_shape(seed):
+    assert_engines_agree(
+        {"wn": generate_wordnet_taxonomy(200, seed=seed)},
+        concept_limit=15)
