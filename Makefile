@@ -5,7 +5,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint analyze coverage chaos bench-smoke bench-graphindex \
-	bench-kernel bench
+	bench-kernel bench-scale bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
@@ -53,6 +53,14 @@ bench-graphindex:
 # without SST_BENCH_QUICK=1 for the nightly full-size configuration.
 bench-kernel:
 	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_kernel_scaling.py -q
+
+# Warm-start scale ladder, quick mode (the CI "bench-scale" job).
+# Hard-gates bit-identical loaded/compiled indexes and the 5x
+# warm-start speedup at the 10k rung; run without SST_BENCH_QUICK=1 to
+# add the 100k WordNet-scale rung and regenerate BENCH_scale.json at
+# the root.
+bench-scale:
+	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_scale.py -q
 
 # The full benchmark suite (not run in CI; slow).
 bench:

@@ -61,8 +61,8 @@ CODE_RULES = RuleRegistry()
 #: fragment the prometheus exposition the service endpoint scrapes.
 METRIC_NAMESPACES = (
     "align", "analysis", "cache", "cluster", "diskcache", "facade",
-    "faults", "graphindex", "kernel", "parallel", "query", "resilience",
-    "service", "soqa", "telemetry",
+    "faults", "graphindex", "index", "kernel", "parallel", "query",
+    "resilience", "service", "soqa", "store", "telemetry",
 )
 
 #: Wall-clock reads that break run-to-run reproducibility when they
@@ -649,6 +649,96 @@ def _prefer_batch_kernel(rule, context: CodeContext):
                 hint="score the whole batch with "
                      "repro.core.kernel.try_batch (or pragma a "
                      "deliberate fallback loop)")
+
+
+#: Storage-layer classes held to indexed lookup: suffixes of class
+#: names that own a concept collection with a by-name index.
+_STORAGE_CLASS_SUFFIXES = ("Store", "Wrapper", "Ontology")
+
+#: Comprehension nodes whose generators can scan a concept collection.
+_COMPREHENSION_NODES = (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                        ast.DictComp)
+
+
+def _concept_scan(node: ast.AST) -> str | None:
+    """The spelled form of a full-corpus scan iterable — an argument-less
+    ``<x>.concepts()`` call or ``<x>._concepts.values()`` — else None."""
+    if not isinstance(node, ast.Call) or node.args or node.keywords:
+        return None
+    function = node.func
+    if not isinstance(function, ast.Attribute):
+        return None
+    if function.attr == "concepts":
+        return ".concepts()"
+    if function.attr == "values" \
+            and isinstance(function.value, ast.Attribute) \
+            and function.value.attr == "_concepts":
+        return "._concepts.values()"
+    return None
+
+
+def _compares_name_of(nodes: Iterable[ast.AST],
+                      loop_names: set[str]) -> bool:
+    """True when any node tests ``<target>.name ==`` (either side)."""
+    for top in nodes:
+        for node in ast.walk(top):
+            if not isinstance(node, ast.Compare) \
+                    or not any(isinstance(op, ast.Eq) for op in node.ops):
+                continue
+            for operand in (node.left, *node.comparators):
+                if isinstance(operand, ast.Attribute) \
+                        and operand.attr == "name" \
+                        and isinstance(operand.value, ast.Name) \
+                        and operand.value.id in loop_names:
+                    return True
+    return False
+
+
+def _loop_target_names(target: ast.AST) -> set[str]:
+    return {name.id for name in ast.walk(target)
+            if isinstance(name, ast.Name)}
+
+
+@CODE_RULES.rule("full-materialization", "info", "code")
+def _full_materialization(rule, context: CodeContext):
+    """Performance: a storage class scanning every concept to find one
+    by name.
+
+    ``for concept in self.concepts(): if concept.name == wanted``
+    materializes the whole corpus per lookup — at WordNet scale that is
+    a hundred thousand rows pulled through the wrapper to answer one
+    probe.  Store/wrapper/ontology classes keep a by-name index
+    (``concept(name)`` / the sqlite name column) precisely so a lookup
+    never depends on corpus size.
+    """
+    hint = ("look the concept up through the indexed accessor "
+            "(concept(name) / an indexed sqlite query) instead of "
+            "scanning the collection")
+    for module, class_node in context.classes():
+        if not class_node.name.endswith(_STORAGE_CLASS_SUFFIXES):
+            continue
+        for node in ast.walk(class_node):
+            if isinstance(node, ast.For):
+                scanned = _concept_scan(node.iter)
+                if scanned is not None and _compares_name_of(
+                        node.body, _loop_target_names(node.target)):
+                    yield _code_finding(
+                        rule, module, node,
+                        f"loop over {scanned} filters by concept name in "
+                        f"{class_node.name}; this materializes every "
+                        "concept to find one",
+                        hint=hint)
+            elif isinstance(node, _COMPREHENSION_NODES):
+                for generator in node.generators:
+                    scanned = _concept_scan(generator.iter)
+                    if scanned is not None and _compares_name_of(
+                            [node], _loop_target_names(generator.target)):
+                        yield _code_finding(
+                            rule, module, node,
+                            f"comprehension over {scanned} filters by "
+                            f"concept name in {class_node.name}; this "
+                            "materializes every concept to find one",
+                            hint=hint)
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.browser.shell import run_browser
 from repro.core.facade import SOQASimPackToolkit
@@ -279,12 +280,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the persistent similarity cache")
-    cache.add_argument("action", choices=("stats", "clear", "path"),
-                       help="stats: entry counts and size; clear: drop "
-                            "all stored scores; path: print the cache "
-                            "file location")
+    cache.add_argument("action",
+                       choices=("stats", "clear", "path", "compact",
+                                "prune"),
+                       help="stats: per-shard entry counts and sizes; "
+                            "clear: drop all stored scores; path: print "
+                            "the cache directory; compact: checkpoint "
+                            "and VACUUM every shard; prune: evict "
+                            "least-recently-written corpora until the "
+                            "cache fits --max-bytes")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       metavar="BYTES", dest="max_bytes",
+                       help="size bound for 'prune'")
     cache.add_argument("--format", choices=("text", "json"),
                        default="text", dest="output_format")
+
+    importer = subparsers.add_parser(
+        "import",
+        help="import ontology files into a sqlite ontology store "
+             "(one-time parse; later runs open the store lazily)")
+    importer.add_argument(
+        "sources", nargs="+", metavar="FILE",
+        help="ontology files in any wrapper-supported language")
+    importer.add_argument(
+        "--output", "-o", required=True, metavar="STORE",
+        help="store file to create (conventionally *.sstdb)")
+    importer.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing store file")
 
     trace = subparsers.add_parser(
         "trace",
@@ -348,6 +371,8 @@ def _run(arguments: argparse.Namespace) -> int:
         return _run_analyze(arguments)
     if command == "cache":
         return _run_cache(arguments)
+    if command == "import":
+        return _run_import(arguments)
     import os
 
     if arguments.index_threshold is not None:
@@ -492,10 +517,28 @@ def _dispatch(sst: SOQASimPackToolkit,
         rows = [statistics.as_row()
                 for statistics in corpus_statistics(sst.soqa)]
         print(render_table(OntologyStatistics.header(), rows))
+        from repro.soqa.sqlstore import SqliteOntology
+
         info = sst.tree.index_info()
         state = "compiled" if info["compiled"] else "naive"
         print(f"\nunified tree: {info['nodes']} nodes, graph index "
               f"{state} (threshold {info['index_threshold']})")
+        provenance = sst.tree.taxonomy.index_provenance
+        if provenance is not None:
+            origin = ("loaded from persisted artifact"
+                      if provenance["source"] == "artifact"
+                      else "compiled fresh")
+            print(f"graph index {origin} in "
+                  f"{provenance['seconds'] * 1000:.1f} ms")
+        backends: dict[str, int] = {}
+        for name in sst.ontology_names():
+            kind = ("sqlite" if isinstance(sst.soqa.ontology(name),
+                                           SqliteOntology)
+                    else "in-memory")
+            backends[kind] = backends.get(kind, 0) + 1
+        summary = ", ".join(f"{count} {kind}"
+                            for kind, count in sorted(backends.items()))
+        print(f"store backend: {summary}")
     elif command == "validate":
         from repro.analysis import render_json
 
@@ -662,12 +705,13 @@ def _run_observed(arguments: argparse.Namespace) -> int:
 
 
 def _run_cache(arguments: argparse.Namespace) -> int:
-    """The ``sst cache`` subcommand: stats / clear / path."""
+    """The ``sst cache`` subcommand: stats / clear / path / compact /
+    prune over the sharded L2."""
     import json
 
-    from repro.core.diskcache import DiskCache
+    from repro.core.shardedcache import ShardedDiskCache
 
-    cache = DiskCache(arguments.cache_dir)
+    cache = ShardedDiskCache(arguments.cache_dir)
     if arguments.action == "path":
         print(cache.path)
     elif arguments.action == "stats":
@@ -675,12 +719,67 @@ def _run_cache(arguments: argparse.Namespace) -> int:
         if arguments.output_format == "json":
             print(json.dumps(statistics, indent=2))
         else:
+            per_shard = statistics.pop("per_shard")
             rows = [[key, str(value)]
                     for key, value in statistics.items()]
             print(render_table(["key", "value"], rows))
+            shard_rows = [
+                [str(index), Path(shard["path"]).name,
+                 str(shard["entries"]), str(shard["fingerprints"]),
+                 str(shard["size_bytes"])]
+                for index, shard in enumerate(per_shard)]
+            print(render_table(
+                ["shard", "file", "entries", "fingerprints",
+                 "size_bytes"], shard_rows))
     elif arguments.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached scores from {cache.path}")
+    elif arguments.action == "compact":
+        result = cache.compact()
+        print(f"compacted {cache.shard_count} shard(s): "
+              f"{result['before_bytes']} -> {result['after_bytes']} bytes")
+    elif arguments.action == "prune":
+        if arguments.max_bytes is None:
+            print("cache prune requires --max-bytes", file=sys.stderr)
+            return 2
+        result = cache.prune(arguments.max_bytes)
+        print(f"pruned {result['removed_fingerprints']} corpus "
+              f"fingerprint(s), {result['removed_rows']} row(s); cache "
+              f"is now {result['size_bytes']} bytes")
+    return 0
+
+
+def _run_import(arguments: argparse.Namespace) -> int:
+    """The ``sst import`` subcommand: parse sources once, stream them
+    into a sqlite ontology store."""
+    from repro.soqa.sqlstore import SqliteOntologyStore
+    from repro.soqa.wrapper import default_registry
+
+    registry = default_registry()
+    # Resolve every source to a wrapper before touching the output path:
+    # a typo'd extension must not leave behind an empty store that then
+    # demands --overwrite on the corrected retry.
+    wrappers = [registry.for_path(source) for source in arguments.sources]
+    store = SqliteOntologyStore.create(arguments.output,
+                                       overwrite=arguments.overwrite)
+    try:
+        for source, wrapper in zip(arguments.sources, wrappers):
+            if hasattr(wrapper, "load_all"):
+                ontologies = wrapper.load_all(source)
+            else:
+                ontologies = [wrapper.load(source)]
+            for ontology in ontologies:
+                summary = store.import_ontology(ontology)
+                print(f"imported {summary['ontology']} "
+                      f"({summary['concepts']} concepts, "
+                      f"{summary['language'] or 'unknown language'}) "
+                      f"from {source}")
+        totals = store.stats()
+        print(f"store {store.path}: {len(totals['ontologies'])} "
+              f"ontologies, {totals['concepts']} concepts, "
+              f"{totals['size_bytes']} bytes")
+    finally:
+        store.close()
     return 0
 
 

@@ -60,7 +60,7 @@ _SCHEMA_VERSION = 1
 #: Buffered writes are flushed automatically past this many rows.
 _FLUSH_THRESHOLD = 256
 
-_FINGERPRINT_FORMAT = "sst-corpus-fingerprint/1"
+_FINGERPRINT_FORMAT = "sst-corpus-fingerprint/2"
 
 
 def default_cache_directory() -> Path:
@@ -81,21 +81,21 @@ def caching_disabled() -> bool:
 def corpus_fingerprint(soqa: "SOQA", strategy: str) -> str:
     """Content hash of every loaded ontology plus the tree strategy.
 
-    Built from the canonical meta-model JSON of each ontology (names,
-    subsumptions, attributes, methods, relationships, instances,
+    Built from each ontology's canonical meta-model content digest
+    (names, subsumptions, attributes, methods, relationships, instances,
     documentation), so any visible content change yields a new
     fingerprint while reloading identical files keeps the old one.
+    Store-backed ontologies persisted their digest at import time, so
+    fingerprinting a 100k-synset corpus costs one row read instead of a
+    full serialization.
     """
-    from repro.soqa.serialize import ontology_to_json
-
     digest = hashlib.sha256()
     digest.update(f"{_FINGERPRINT_FORMAT}:{strategy}".encode())
     for name in sorted(soqa.ontology_names()):
         digest.update(b"\x00")
         digest.update(name.encode())
         digest.update(b"\x00")
-        digest.update(
-            ontology_to_json(soqa.ontology(name), indent=None).encode())
+        digest.update(soqa.ontology(name).content_digest().encode())
     return digest.hexdigest()
 
 
@@ -114,10 +114,14 @@ class DiskCache:
     their merged deltas).
     """
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(self, directory: str | Path | None = None,
+                 filename: str | None = None):
         self.directory = (Path(directory).expanduser() if directory is not None
                           else default_cache_directory())
-        self.path = self.directory / "similarity-cache.sqlite"
+        # ``filename`` lets ShardedDiskCache run one DiskCache per
+        # shard file; the default keeps the historical single-file name
+        # (which doubles as shard 0, so old caches stay warm).
+        self.path = self.directory / (filename or "similarity-cache.sqlite")
         self._lock = threading.Lock()
         self._connection: sqlite3.Connection | None = None
         self._owner_pid = os.getpid()
@@ -171,6 +175,17 @@ class DiskCache:
                 " PRIMARY KEY (schema_version, fingerprint, measure,"
                 "  first_ontology, first_concept,"
                 "  second_ontology, second_concept))")
+            # Write-recency bookkeeping for size-bounded eviction: a
+            # monotonic generation counter (never wall-clock — pruning
+            # order must be reproducible) bumped per flushed
+            # fingerprint.  CREATE IF NOT EXISTS retrofits the table
+            # onto pre-existing cache files without a schema bump.
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS fingerprint_meta ("
+                " schema_version INTEGER NOT NULL,"
+                " fingerprint TEXT NOT NULL,"
+                " generation INTEGER NOT NULL,"
+                " PRIMARY KEY (schema_version, fingerprint))")
             if version == 0:
                 connection.execute(
                     f"PRAGMA user_version = {_SCHEMA_VERSION}")
@@ -398,6 +413,18 @@ class DiskCache:
                 connection.executemany(
                     "INSERT OR REPLACE INTO similarity VALUES"
                     " (?, ?, ?, ?, ?, ?, ?, ?)", rows)
+                # Mark every flushed fingerprint as most recently
+                # written, all with the same fresh generation.
+                touched = sorted({row[1] for row in rows})
+                (generation,) = connection.execute(
+                    "SELECT COALESCE(MAX(generation), 0)"
+                    " FROM fingerprint_meta WHERE schema_version=?",
+                    (_SCHEMA_VERSION,)).fetchone()
+                connection.executemany(
+                    "INSERT OR REPLACE INTO fingerprint_meta"
+                    " VALUES (?, ?, ?)",
+                    [(_SCHEMA_VERSION, fingerprint, generation + 1)
+                     for fingerprint in touched])
                 connection.commit()
             except sqlite3.DatabaseError:
                 self._heal()
@@ -432,6 +459,90 @@ class DiskCache:
         return {"path": str(self.path), "exists": True, "entries": entries,
                 "fingerprints": fingerprints, "measures": measures,
                 "size_bytes": self.path.stat().st_size, "pending": pending}
+
+    def compact(self) -> dict:
+        """Flush, checkpoint the WAL and ``VACUUM``; returns sizes.
+
+        Deleting rows never shrinks a sqlite file on its own — pages
+        just go on the freelist — so maintenance runs (``sst cache
+        compact``) reclaim the space explicitly.
+        """
+        self.flush()
+        if not self.path.exists():
+            return {"path": str(self.path), "before_bytes": 0,
+                    "after_bytes": 0}
+        with self._lock:
+            before = self.path.stat().st_size
+            connection = self._connect()
+            try:
+                connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                pass  # checkpointing is best-effort; VACUUM still helps
+            connection.execute("VACUUM")
+            after = self.path.stat().st_size
+        telemetry.count("cache.l2.compactions")
+        return {"path": str(self.path), "before_bytes": before,
+                "after_bytes": after}
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict fingerprints, least recently written first, until the
+        file fits in ``max_bytes``; returns what was removed.
+
+        Eviction is whole-fingerprint — a corpus warm start is only
+        useful complete — ordered by the monotonic write generation
+        (ties broken by fingerprint for reproducibility), with a
+        ``VACUUM`` after each eviction so the size check sees reclaimed
+        space.
+        """
+        self.flush()
+        removed_rows = 0
+        removed_fingerprints = 0
+        if not self.path.exists():
+            return {"path": str(self.path), "removed_rows": 0,
+                    "removed_fingerprints": 0, "size_bytes": 0}
+        with self._lock:
+            connection = self._connect()
+            while True:
+                try:
+                    connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+                except sqlite3.Error:
+                    pass
+                size = self.path.stat().st_size
+                if size <= max_bytes:
+                    break
+                row = connection.execute(
+                    "SELECT fingerprint FROM fingerprint_meta"
+                    " WHERE schema_version=?"
+                    " ORDER BY generation, fingerprint LIMIT 1",
+                    (_SCHEMA_VERSION,)).fetchone()
+                if row is None:
+                    # Rows from before the meta table existed: evict in
+                    # stable fingerprint order.
+                    row = connection.execute(
+                        "SELECT fingerprint FROM similarity"
+                        " ORDER BY fingerprint LIMIT 1").fetchone()
+                if row is None:
+                    break  # nothing left to evict
+                victim = row[0]
+                cursor = connection.execute(
+                    "DELETE FROM similarity WHERE fingerprint=?",
+                    (victim,))
+                connection.execute(
+                    "DELETE FROM fingerprint_meta WHERE fingerprint=?",
+                    (victim,))
+                connection.commit()
+                connection.execute("VACUUM")
+                removed_rows += max(cursor.rowcount, 0)
+                removed_fingerprints += 1
+            size = self.path.stat().st_size
+        if removed_rows:
+            telemetry.count("cache.l2.pruned_rows", removed_rows)
+        if removed_fingerprints:
+            telemetry.count("cache.l2.pruned_fingerprints",
+                            removed_fingerprints)
+        return {"path": str(self.path), "removed_rows": removed_rows,
+                "removed_fingerprints": removed_fingerprints,
+                "size_bytes": size}
 
     def clear(self, fingerprint: str | None = None) -> int:
         """Drop all entries (or one fingerprint's); returns rows removed."""

@@ -22,8 +22,8 @@ from typing import Iterable, Sequence
 
 from repro.core import telemetry
 from repro.core.cache import CachedRunner
-from repro.core.diskcache import (DiskCache, caching_disabled,
-                                  corpus_fingerprint)
+from repro.core.diskcache import caching_disabled, corpus_fingerprint
+from repro.core.shardedcache import ShardedDiskCache
 from repro.core.parallel import BatchSimilarityEngine
 from repro.core.registry import Measure, RunnerRegistry, TABLE1_MEASURES
 from repro.core.results import ConceptAndSimilarity, QualifiedConcept
@@ -88,7 +88,7 @@ class SOQASimPackToolkit:
         self._cache_enabled = (not caching_disabled() if cache is None
                                else bool(cache))
         self._cache_dir = cache_dir
-        self._disk_cache: DiskCache | None = None
+        self._disk_cache: ShardedDiskCache | None = None
         self._fingerprint: str | None = None
         self._tree: UnifiedTree | None = None
         self._wrapper: SOQAWrapperForSimPack | None = None
@@ -142,7 +142,46 @@ class SOQASimPackToolkit:
                 self._tree = UnifiedTree(self.soqa, strategy=self.strategy)
             telemetry.gauge("facade.unified_tree.nodes",
                             len(self._tree.taxonomy))
+            self._attach_index_store(self._tree)
         return self._tree
+
+    def _attach_index_store(self, tree: UnifiedTree) -> None:
+        """Warm-start the unified taxonomy's index from disk if eligible.
+
+        Eligible means: caching is on, a cache directory is configured
+        (the same condition that attaches the L2 score store), and the
+        unified tree has at least ``SST_INDEX_PERSIST`` nodes.  The
+        artifact lives under ``<cache dir>/index/``, keyed by the corpus
+        fingerprint, so any content or strategy change compiles (and
+        persists) a fresh one.
+        """
+        from repro.soqa.indexstore import (IndexStore,
+                                           resolve_persist_threshold)
+
+        if not self._cache_enabled:
+            return
+        threshold = resolve_persist_threshold()
+        if threshold < 0 or len(tree.taxonomy) < threshold:
+            return
+        directory = self._artifact_directory()
+        if directory is None:
+            return
+        tree.taxonomy.attach_index_store(IndexStore(directory),
+                                         self.fingerprint())
+
+    def _artifact_directory(self):
+        """``<cache dir>/index``, or ``None`` when no cache dir applies."""
+        import os
+
+        from repro.core.diskcache import (CACHE_DIR_ENV,
+                                          default_cache_directory)
+
+        if self._cache_dir is not None:
+            from pathlib import Path
+            return Path(self._cache_dir).expanduser() / "index"
+        if os.environ.get(CACHE_DIR_ENV, "").strip():
+            return default_cache_directory() / "index"
+        return None
 
     @property
     def wrapper(self) -> SOQAWrapperForSimPack:
@@ -153,12 +192,14 @@ class SOQASimPackToolkit:
         return self._wrapper
 
     @property
-    def disk_cache(self) -> DiskCache | None:
+    def disk_cache(self) -> ShardedDiskCache | None:
         """The persistent L2 score store, or ``None`` when not configured.
 
         Attached when the facade was given a ``cache_dir`` or the
         ``SST_CACHE_DIR`` environment variable names one (and caching
-        is not disabled); see :mod:`repro.core.diskcache`.
+        is not disabled).  The store is fingerprint-sharded across
+        ``SST_CACHE_SHARDS`` databases; see
+        :mod:`repro.core.shardedcache`.
         """
         if not self._cache_enabled:
             return None
@@ -169,7 +210,7 @@ class SOQASimPackToolkit:
             if self._cache_dir is None and not os.environ.get(
                     CACHE_DIR_ENV, "").strip():
                 return None
-            self._disk_cache = DiskCache(self._cache_dir)
+            self._disk_cache = ShardedDiskCache(self._cache_dir)
         return self._disk_cache
 
     def fingerprint(self) -> str:

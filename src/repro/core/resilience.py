@@ -75,6 +75,7 @@ KNOWN_FAULT_SITES = (
     "task.slow",      # a worker chunk sleeps (arg = seconds, default 0.25)
     "cache.corrupt",  # the L2 sqlite file is scribbled over before open
     "loader.io",      # an ontology file read raises OSError
+    "index.corrupt",  # a persisted index artifact is scribbled before load
 )
 
 

@@ -61,7 +61,6 @@ class UnifiedTree:
         else:
             parents[MERGED_THING_NODE] = []
         for ontology in self.soqa.ontologies():
-            roots = [concept.name for concept in ontology.root_concepts()]
             if self.strategy == SUPER_THING:
                 # One virtual Thing per ontology under Super Thing; each
                 # ontology root hangs below it.  An ontology whose source
@@ -75,12 +74,17 @@ class UnifiedTree:
                 root_parent = [virtual]
             else:
                 root_parent = [MERGED_THING_NODE]
-            for concept in ontology:
-                node = self.key(ontology.name, concept.name)
-                if concept.superconcept_names:
+            # The wholesale parent map instead of concept objects: on a
+            # store-backed ontology this is one indexed edge scan, so
+            # building the unified tree over 100k+ stored synsets never
+            # materializes the concept set.
+            for concept_name, super_names in (
+                    ontology.superconcept_map().items()):
+                node = self.key(ontology.name, concept_name)
+                if super_names:
                     parents[node] = [
                         self.key(ontology.name, super_name)
-                        for super_name in concept.superconcept_names]
+                        for super_name in super_names]
                 else:
                     parents[node] = list(root_parent)
         return Taxonomy(parents)

@@ -129,6 +129,14 @@ class UnknownMeasureError(SSTCoreError):
         self.measure = measure
 
 
+class IndexArtifactError(SSTCoreError):
+    """A persisted compiled-index artifact is corrupt or unreadable.
+
+    Callers quarantine the artifact and recompile; a broken artifact
+    must never fail a run.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Resilience layer
 # ---------------------------------------------------------------------------

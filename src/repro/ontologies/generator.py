@@ -27,8 +27,8 @@ import random
 from repro.errors import SSTError
 
 __all__ = ["generate_random_dag", "generate_sumo_owl",
-           "generate_synthetic_taxonomy", "generate_wordnet_taxonomy",
-           "sumo_class_list"]
+           "generate_synthetic_taxonomy", "generate_wordnet_data",
+           "generate_wordnet_taxonomy", "sumo_class_list"]
 
 # ---------------------------------------------------------------------------
 # Hand-authored upper structure: (class, parent, gloss).
@@ -695,3 +695,28 @@ def generate_wordnet_taxonomy(concept_count: int,
         parents[name] = chosen
         depths[name] = 1 + min(depths[parent] for parent in chosen)
     return parents
+
+
+def generate_wordnet_data(concept_count: int, seed: int = 0) -> str:
+    """The :func:`generate_wordnet_taxonomy` hierarchy serialized as a
+    Princeton WordNet ``data.*`` lexical database file.
+
+    Gives the import path (``sst import``) a WordNet-native stress
+    corpus: the text round-trips through the WordNet wrapper into
+    exactly the taxonomy the generator produced (one word per synset,
+    ``@`` hypernym pointers, a synthetic gloss).  Deterministic for a
+    given ``(concept_count, seed)``.
+    """
+    parents = generate_wordnet_taxonomy(concept_count, seed)
+    names = list(parents)  # insertion order == generation order
+    offsets = {name: f"{index + 1740:08d}"
+               for index, name in enumerate(names)}
+    lines = []
+    for name in names:
+        hypernyms = parents[name]
+        pointers = "".join(f" @ {offsets[parent]} n 0000"
+                           for parent in hypernyms)
+        lines.append(
+            f"{offsets[name]} 03 n 01 {name.lower()} 0 "
+            f"{len(hypernyms):03d}{pointers} | synthetic synset {name}")
+    return "\n".join(lines) + "\n"

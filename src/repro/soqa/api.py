@@ -54,19 +54,25 @@ class SOQA:
         else:
             wrapper = self.registry.for_path(path)
 
-        def _load() -> Ontology:
+        def _load() -> list[Ontology]:
             resilience.maybe_raise(
                 "loader.io", OSError, f"injected IO fault reading {path}")
-            return wrapper.load(path, name=name)
+            # A store file can hold several ontologies; wrappers with a
+            # load_all surface (the sqlite store) register them all.
+            if name is None and hasattr(wrapper, "load_all"):
+                return list(wrapper.load_all(path))
+            return [wrapper.load(path, name=name)]
 
         with telemetry.span("soqa.load_file", language=wrapper.language,
                             path=str(path)):
             # Transient IO errors (network mounts, contended files) get a
             # few backed-off attempts; missing/forbidden paths fail fast.
-            ontology = resilience.io_retry_policy().call(_load)
-        telemetry.count("soqa.ontologies_loaded")
-        telemetry.count("soqa.concepts_loaded", len(ontology))
-        return self.add_ontology(ontology)
+            ontologies = resilience.io_retry_policy().call(_load)
+        for ontology in ontologies:
+            telemetry.count("soqa.ontologies_loaded")
+            telemetry.count("soqa.concepts_loaded", len(ontology))
+            self.add_ontology(ontology)
+        return ontologies[0]
 
     def load_text(self, text: str, name: str, language: str) -> Ontology:
         """Parse ontology source ``text`` in the given language."""
@@ -223,9 +229,8 @@ class SOQA:
         taxonomy = self._taxonomies.get(ontology_name)
         if taxonomy is None:
             ontology = self.ontology(ontology_name)
-            taxonomy = Taxonomy({
-                concept.name: concept.superconcept_names
-                for concept in ontology
-            })
+            # superconcept_map never materializes concepts on a
+            # store-backed ontology — one indexed edge scan instead.
+            taxonomy = Taxonomy(ontology.superconcept_map())
             self._taxonomies[ontology_name] = taxonomy
         return taxonomy

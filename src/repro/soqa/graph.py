@@ -62,6 +62,11 @@ class Taxonomy:
         self._max_depth: int | None = None
         self._index_threshold = resolve_index_threshold(index_threshold)
         self._compiled: CompiledTaxonomy | None = None
+        self._index_store = None
+        self._index_fingerprint = ""
+        #: How the compiled index was obtained: ``None`` until built,
+        #: else ``{"source": "compiled"|"artifact", "seconds": ...}``.
+        self.index_provenance: dict | None = None
 
     # -- compiled index -----------------------------------------------------------
 
@@ -94,6 +99,20 @@ class Taxonomy:
             self._compiled = self._build_index()
         return self._compiled
 
+    def attach_index_store(self, store, fingerprint: str) -> None:
+        """Warm-start the compiled index from a persisted artifact.
+
+        ``store`` is a :class:`~repro.soqa.indexstore.IndexStore`;
+        once attached, the (still lazy) index build goes through
+        ``store.load_or_compile`` — loading the fingerprint-keyed
+        artifact when one exists, else compiling incrementally and
+        persisting the result for the next run.  Must be called before
+        the first heavy query; attaching after the index was built is a
+        no-op.
+        """
+        self._index_store = store
+        self._index_fingerprint = fingerprint
+
     def _build_index(self) -> CompiledTaxonomy:
         """Compile the index, reporting build time to telemetry."""
         # Imported lazily: the soqa layer must not import repro.core at
@@ -102,13 +121,21 @@ class Taxonomy:
 
         from repro.core import telemetry
 
+        if self._index_store is not None:
+            compiled, provenance = self._index_store.load_or_compile(
+                self._parents, self._index_fingerprint)
+            self.index_provenance = provenance
+            telemetry.gauge("graphindex.nodes", len(self._parents))
+            return compiled
         with telemetry.span("graphindex.compile", nodes=len(self._parents)):
             started = time.perf_counter()
             compiled = CompiledTaxonomy(self._parents)
+            elapsed = time.perf_counter() - started
         telemetry.count("graphindex.compiles")
         telemetry.gauge("graphindex.nodes", len(self._parents))
-        telemetry.observe("graphindex.compile_seconds",
-                          time.perf_counter() - started)
+        telemetry.observe("graphindex.compile_seconds", elapsed)
+        self.index_provenance = {"source": "compiled", "seconds": elapsed,
+                                 "nodes": len(self._parents)}
         return compiled
 
 

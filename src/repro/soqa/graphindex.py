@@ -54,6 +54,12 @@ DEFAULT_INDEX_THRESHOLD = 512
 _VIA_ANCESTOR = "via_ancestor"
 _ANY_PATH = "any"
 
+#: Nodes per chunk for :meth:`CompiledTaxonomy.compile_incremental`.
+_DEFAULT_COMPILE_CHUNK = 8192
+
+#: A memory budget can shrink compile chunks down to this floor.
+_MIN_COMPILE_CHUNK = 256
+
 
 def resolve_index_threshold(threshold: int | None = None) -> int:
     """The effective compile threshold in nodes.
@@ -93,8 +99,10 @@ class TaxonomyTables:
     in dense integer IDs.  Scalar per-node columns are stdlib
     ``array`` objects (cheap to scan, and a zero-copy ``memoryview``
     away from any optional numpy fast path); the ancestor-distance
-    maps and descendant bitsets are shared with the index itself and
-    must be treated as immutable.
+    maps and descendant bitsets are shared with the index itself —
+    tuples on a freshly compiled index, lazy mmap-backed views on an
+    artifact-loaded one — and support only indexing; they must be
+    treated as immutable.
     """
 
     __slots__ = ("names", "ids", "size", "max_depth", "depths",
@@ -103,8 +111,8 @@ class TaxonomyTables:
 
     def __init__(self, names: list[str], ids: dict[str, int],
                  depths: "array[int]", max_depth: int,
-                 ancestor_distances: tuple[dict[int, int], ...],
-                 descendant_bits: tuple[int, ...],
+                 ancestor_distances,
+                 descendant_bits,
                  descendant_counts: "array[int]"):
         self.names = names
         self.ids = ids
@@ -129,7 +137,7 @@ class CompiledTaxonomy:
     __slots__ = (
         "_names", "_ids", "_parent_ids", "_child_ids",
         "_ancestor_bits", "_ancestor_distances",
-        "_descendant_bits", "_depths", "_longest",
+        "_descendant_bits", "_descendant_counts", "_depths", "_longest",
         "_max_depth", "_neighbor_ids", "_tables",
     )
 
@@ -153,6 +161,157 @@ class CompiledTaxonomy:
         self._compile()
         self._neighbor_ids: list[tuple[int, ...]] | None = None
         self._tables: TaxonomyTables | None = None
+
+    # -- alternate constructors ---------------------------------------------------
+
+    @classmethod
+    def from_state(cls, names: list[str],
+                   parent_ids: list[tuple[int, ...]],
+                   ancestor_bits,
+                   ancestor_distances,
+                   descendant_bits,
+                   depths: list[int], longest: list[int],
+                   max_depth: int,
+                   descendant_counts=None) -> "CompiledTaxonomy":
+        """Rebuild an index from previously compiled state.
+
+        The deserialization entry point for persisted index artifacts
+        (:mod:`repro.soqa.indexstore`): everything :meth:`_compile`
+        derives is supplied, so construction is O(edges) for the child
+        adjacency instead of a full topological recompile.  The bitset
+        and distance columns only need indexing/iteration — the
+        artifact loader passes lazy mmap-backed views, not lists — and
+        ``descendant_counts``, when given, spares IC-style consumers
+        from ever materializing a descendant bitset.
+        """
+        self = cls.__new__(cls)
+        self._names = names
+        self._ids = {name: index for index, name in enumerate(names)}
+        self._parent_ids = parent_ids
+        child_ids: list[list[int]] = [[] for _ in names]
+        for index, row in enumerate(parent_ids):
+            for parent in row:
+                child_ids[parent].append(index)
+        self._child_ids = [tuple(row) for row in child_ids]
+        self._ancestor_bits = ancestor_bits
+        self._ancestor_distances = ancestor_distances
+        self._descendant_bits = descendant_bits
+        self._descendant_counts = descendant_counts
+        self._depths = depths
+        self._longest = longest
+        self._max_depth = max_depth
+        self._neighbor_ids = None
+        self._tables = None
+        return self
+
+    @classmethod
+    def compile_incremental(cls, parents: Mapping[str, Iterable[str]], *,
+                            chunk_size: int | None = None,
+                            memory_budget_bytes: int | None = None,
+                            ) -> "CompiledTaxonomy":
+        """Compile in topological chunks instead of one monolithic pass.
+
+        Bit-identical to ``CompiledTaxonomy(parents)`` — the node order
+        and every per-node operation are the same, only the loop is
+        partitioned — but the per-chunk scratch (the ancestor-map
+        working set grown inside one chunk) is bounded: after each chunk
+        the estimated live scratch is measured against
+        ``memory_budget_bytes`` and the next chunk shrinks (down to
+        :data:`_MIN_COMPILE_CHUNK` nodes) when the estimate exceeds it.
+        This is the build path for 100k+-node taxonomies, where one
+        unbounded pass would grow hundreds of MB of intermediate state
+        between two observable checkpoints.
+        """
+        self = cls.__new__(cls)
+        self._names = list(parents)
+        self._ids = {name: index
+                     for index, name in enumerate(self._names)}
+        self._parent_ids = []
+        child_ids: list[list[int]] = [[] for _ in self._names]
+        for index, name in enumerate(self._names):
+            row = []
+            for parent in parents[name]:
+                parent_id = self._ids.get(parent)
+                if parent_id is None:
+                    raise UnknownConceptError(parent)
+                row.append(parent_id)
+                child_ids[parent_id].append(index)
+            self._parent_ids.append(tuple(row))
+        self._child_ids = [tuple(row) for row in child_ids]
+        self._compile_chunked(chunk_size, memory_budget_bytes)
+        self._neighbor_ids = None
+        self._tables = None
+        return self
+
+    def _compile_chunked(self, chunk_size: int | None,
+                         memory_budget_bytes: int | None) -> None:
+        import sys
+
+        size = len(self._names)
+        order = self._topological_ids()
+        ancestor_bits = [0] * size
+        ancestor_distances: list[dict[int, int]] = [{}] * size
+        depths = [0] * size
+        longest = [0] * size
+        chunk = chunk_size or _DEFAULT_COMPILE_CHUNK
+        position = 0
+        while position < size:
+            window = order[position:position + chunk]
+            scratch_bytes = 0
+            for index in window:
+                bits = 1 << index
+                distances = {index: 0}
+                row = self._parent_ids[index]
+                for parent in row:
+                    bits |= ancestor_bits[parent]
+                    for ancestor, distance in (
+                            ancestor_distances[parent].items()):
+                        candidate = distance + 1
+                        known = distances.get(ancestor)
+                        if known is None or candidate < known:
+                            distances[ancestor] = candidate
+                if row:
+                    depths[index] = 1 + min(
+                        depths[parent] for parent in row)
+                    longest[index] = 1 + max(
+                        longest[parent] for parent in row)
+                ancestor_bits[index] = bits
+                ancestor_distances[index] = distances
+                scratch_bytes += (sys.getsizeof(distances)
+                                  + sys.getsizeof(bits))
+            position += len(window)
+            if memory_budget_bytes and scratch_bytes > memory_budget_bytes:
+                # The last chunk's scratch outgrew the budget: shrink
+                # proportionally so the next chunk's working set fits.
+                shrunk = max(_MIN_COMPILE_CHUNK,
+                             chunk * memory_budget_bytes // scratch_bytes)
+                chunk = int(shrunk)
+        descendant_bits = [0] * size
+        for index in reversed(order):
+            bits = 1 << index
+            for child in self._child_ids[index]:
+                bits |= descendant_bits[child]
+            descendant_bits[index] = bits
+        self._ancestor_bits = ancestor_bits
+        self._ancestor_distances = ancestor_distances
+        self._descendant_bits = descendant_bits
+        self._descendant_counts = None
+        self._depths = depths
+        self._longest = longest
+        self._max_depth = max(longest, default=0)
+
+    def state(self) -> dict:
+        """The compiled components, for artifact serialization."""
+        return {
+            "names": self._names,
+            "parent_ids": self._parent_ids,
+            "ancestor_bits": self._ancestor_bits,
+            "ancestor_distances": self._ancestor_distances,
+            "descendant_bits": self._descendant_bits,
+            "depths": self._depths,
+            "longest": self._longest,
+            "max_depth": self._max_depth,
+        }
 
     # -- compilation --------------------------------------------------------------
 
@@ -202,6 +361,7 @@ class CompiledTaxonomy:
         self._ancestor_bits = ancestor_bits
         self._ancestor_distances = ancestor_distances
         self._descendant_bits = descendant_bits
+        self._descendant_counts = None
         self._depths = depths
         self._longest = longest
         self._max_depth = max(longest, default=0)
@@ -211,21 +371,33 @@ class CompiledTaxonomy:
     def export_tables(self) -> TaxonomyTables:
         """The columnar :class:`TaxonomyTables` view (built once).
 
-        The ancestor-popcount column (``descendant_counts``) is
+        The descendant-popcount column (``descendant_counts``) is
         materialized here — one popcount per node — so IC-style
-        consumers never touch the big-int bitsets on the hot path.
+        consumers never touch the big-int bitsets on the hot path.  On
+        an artifact-loaded index the distance and bitset columns are
+        lazy mmap-backed views and the counts come persisted: they are
+        handed over as-is, so exporting tables stays O(1) instead of
+        decoding the whole corpus.
         """
         if self._tables is None:
+            distances = self._ancestor_distances
+            if isinstance(distances, list):
+                distances = tuple(distances)
+            descendant_bits = self._descendant_bits
+            if isinstance(descendant_bits, list):
+                descendant_bits = tuple(descendant_bits)
+            counts = self._descendant_counts
+            if counts is None:
+                counts = array("l", (bits.bit_count()
+                                     for bits in descendant_bits))
             self._tables = TaxonomyTables(
                 names=self._names,
                 ids=self._ids,
                 depths=array("l", self._depths),
                 max_depth=self._max_depth,
-                ancestor_distances=tuple(self._ancestor_distances),
-                descendant_bits=tuple(self._descendant_bits),
-                descendant_counts=array(
-                    "l", (bits.bit_count()
-                          for bits in self._descendant_bits)),
+                ancestor_distances=distances,
+                descendant_bits=descendant_bits,
+                descendant_counts=counts,
             )
         return self._tables
 
@@ -383,7 +555,11 @@ class CompiledTaxonomy:
     # -- subtree statistics -------------------------------------------------------
 
     def descendant_count(self, node: str) -> int:
-        return self._descendant_bits[self._id(node)].bit_count()
+        index = self._id(node)
+        counts = self._descendant_counts
+        if counts is not None:
+            return counts[index]
+        return self._descendant_bits[index].bit_count()
 
     def descendants(self, node: str) -> set[str]:
         index = self._id(node)

@@ -307,6 +307,37 @@ class Ontology:
         """All concepts, in definition order."""
         return list(self._concepts.values())
 
+    def superconcept_map(self) -> dict[str, list[str]]:
+        """Definition-ordered ``{concept name: direct superconcept names}``.
+
+        The wholesale structure consumers like the unified tree need;
+        store-backed ontologies override this with an indexed edge scan
+        so taxonomy construction never materializes concept objects.
+        """
+        return {concept.name: list(concept.superconcept_names)
+                for concept in self._concepts.values()}
+
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical per-concept serialization.
+
+        The per-ontology contribution to the corpus fingerprint behind
+        the persistent caches.  Hashed concept by concept (rather than
+        over one monolithic JSON document) so a store-backed ontology
+        can persist the identical digest at import time and skip the
+        serialization entirely on later runs.
+        """
+        import hashlib
+        import json
+
+        from repro.soqa.serialize import _concept_to_dict
+
+        digest = hashlib.sha256()
+        for concept in self._concepts.values():
+            digest.update(json.dumps(_concept_to_dict(concept),
+                                     sort_keys=False).encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
     def root_concepts(self) -> list[Concept]:
         """Concepts with no superconcept (taxonomy roots)."""
         return [concept for concept in self._concepts.values()

@@ -104,9 +104,11 @@ def default_registry() -> WrapperRegistry:
     from repro.soqa.wrappers.powerloom import PowerLoomWrapper
     from repro.soqa.wrappers.rdfs import RDFSWrapper
     from repro.soqa.wrappers.shoe import SHOEWrapper
+    from repro.soqa.sqlstore import SqliteWrapper
     from repro.soqa.wrappers.wordnet import WordNetWrapper
 
     registry = WrapperRegistry()
+    registry.register(SqliteWrapper())
     registry.register(OWLWrapper())
     registry.register(OWLTurtleWrapper())
     registry.register(NTriplesWrapper())

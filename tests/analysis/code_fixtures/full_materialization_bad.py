@@ -1,0 +1,28 @@
+"""Positive fixture: storage classes scanning every concept to find
+one by name — each lookup should hit the by-name index instead."""
+
+
+class ToyOntologyStore:
+    def __init__(self, concepts):
+        self._concepts = {concept.name: concept for concept in concepts}
+
+    def concepts(self):
+        return list(self._concepts.values())
+
+    def find(self, wanted):
+        for concept in self.concepts():
+            if concept.name == wanted:
+                return concept
+        return None
+
+    def find_reversed(self, wanted):
+        # Comparison order must not matter.
+        matches = [concept for concept in self._concepts.values()
+                   if wanted == concept.name]
+        return matches[0] if matches else None
+
+
+class ToyWrapper:
+    def resolve(self, ontology, wanted):
+        return next(concept for concept in ontology.concepts()
+                    if concept.name == wanted)

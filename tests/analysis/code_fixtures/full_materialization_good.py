@@ -1,0 +1,39 @@
+"""Negative fixture: indexed lookups, non-storage classes, and scans
+that do not filter by name stay clean."""
+
+
+class ToyOntologyStore:
+    def __init__(self, concepts):
+        self._concepts = {concept.name: concept for concept in concepts}
+
+    def concepts(self):
+        return list(self._concepts.values())
+
+    def find(self, wanted):
+        # Indexed lookup — no scan.
+        return self._concepts.get(wanted)
+
+    def depths(self):
+        # Iterating every concept is fine when the work genuinely
+        # needs all of them.
+        return [concept.depth for concept in self.concepts()]
+
+    def roots(self):
+        for concept in self._concepts.values():
+            if not concept.parents:
+                yield concept
+
+
+class ReportBuilder:
+    # Not a storage class: free to scan however it likes.
+    def find(self, ontology, wanted):
+        for concept in ontology.concepts():
+            if concept.name == wanted:
+                return concept
+        return None
+
+
+def module_level_scan(ontology, wanted):
+    # Rule only binds inside storage classes.
+    return [concept for concept in ontology.concepts()
+            if concept.name == wanted]

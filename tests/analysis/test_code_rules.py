@@ -45,6 +45,8 @@ RULE_CASES = [
      "mutable-default-argument", 3),
     ("prefer_batch_kernel_bad.py", "prefer_batch_kernel_good.py",
      "prefer-batch-kernel", 2),
+    ("full_materialization_bad.py", "full_materialization_good.py",
+     "full-materialization", 3),
 ]
 
 

@@ -215,7 +215,7 @@ class TestSevenLanguageRegistry:
 
         assert default_registry().languages() == [
             "DAML", "N-Triples", "OWL", "OWL-Turtle", "Ontolingua",
-            "PowerLoom", "RDFS", "SHOE", "WordNet"]
+            "PowerLoom", "RDFS", "SHOE", "SQLiteStore", "WordNet"]
 
     def test_suffix_dispatch(self):
         from repro.soqa.wrapper import default_registry

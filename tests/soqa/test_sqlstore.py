@@ -1,0 +1,187 @@
+"""Unit tests for the sqlite-backed lazy ontology store."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (OntologyParseError, SOQAError, UnknownConceptError,
+                          UnknownOntologyError)
+from repro.soqa.api import SOQA
+from repro.soqa.sqlstore import (SqliteOntology, SqliteOntologyStore,
+                                 SqliteWrapper)
+from repro.soqa.wrappers import OWLWrapper
+from tests.conftest import MINI_OWL
+
+
+@pytest.fixture
+def univ():
+    return OWLWrapper().parse(MINI_OWL, "univ")
+
+
+@pytest.fixture
+def store(tmp_path, univ):
+    store = SqliteOntologyStore.create(tmp_path / "corpus.sstdb")
+    store.import_ontology(univ)
+    yield store
+    store.close()
+
+
+class TestStoreLifecycle:
+    def test_create_and_reopen(self, tmp_path, univ):
+        path = tmp_path / "c.sstdb"
+        SqliteOntologyStore.create(path).import_ontology(univ)
+        reopened = SqliteOntologyStore(path)
+        assert reopened.ontology_names() == ["univ"]
+
+    def test_create_refuses_to_clobber(self, tmp_path):
+        path = tmp_path / "c.sstdb"
+        SqliteOntologyStore.create(path)
+        with pytest.raises(SOQAError, match="already exists"):
+            SqliteOntologyStore.create(path)
+        SqliteOntologyStore.create(path, overwrite=True)  # explicit wins
+
+    def test_missing_file_raises_parse_error(self, tmp_path):
+        with pytest.raises(OntologyParseError, match="not found"):
+            SqliteOntologyStore(tmp_path / "absent.sstdb")
+
+    def test_non_store_file_raises_parse_error(self, tmp_path):
+        path = tmp_path / "junk.sstdb"
+        path.write_bytes(b"this is not a sqlite database at all")
+        with pytest.raises(OntologyParseError, match="not a readable"):
+            SqliteOntologyStore(path)
+
+    def test_wrong_format_stamp_rejected(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.sstdb"
+        SqliteOntologyStore.create(path).close()
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "UPDATE meta SET value='other-format/9' WHERE key='format'")
+        connection.commit()
+        connection.close()
+        with pytest.raises(OntologyParseError, match="unsupported store"):
+            SqliteOntologyStore(path)
+
+
+class TestImport:
+    def test_summary(self, tmp_path, univ):
+        store = SqliteOntologyStore.create(tmp_path / "c.sstdb")
+        summary = store.import_ontology(univ)
+        assert summary["ontology"] == "univ"
+        assert summary["language"] == "OWL"
+        assert summary["concepts"] == len(univ)
+        assert summary["fingerprint"]
+
+    def test_duplicate_name_rejected(self, store, univ):
+        with pytest.raises(SOQAError, match="already stored"):
+            store.import_ontology(univ)
+
+    def test_fingerprint_matches_in_memory_digest(self, store, univ):
+        assert store.ontology().content_digest() == univ.content_digest()
+
+    def test_stats(self, store, univ):
+        stats = store.stats()
+        assert stats["ontologies"] == {"univ": len(univ)}
+        assert stats["concepts"] == len(univ)
+        assert stats["size_bytes"] > 0
+
+
+class TestLazyOntology:
+    def test_indexed_lookup(self, store):
+        ontology = store.ontology()
+        assert ontology.concept("Professor").superconcept_names == [
+            "Employee"]
+        assert "Student" in ontology
+        assert "Ghost" not in ontology
+
+    def test_unknown_concept_raises(self, store):
+        with pytest.raises(UnknownConceptError):
+            store.ontology().concept("Ghost")
+
+    def test_unknown_ontology_raises(self, store):
+        with pytest.raises(UnknownOntologyError):
+            store.ontology("absent")
+
+    def test_iteration_preserves_definition_order(self, store, univ):
+        lazy = store.ontology()
+        assert [c.name for c in lazy] == [c.name for c in univ]
+        assert lazy.concept_names() == [c.name for c in univ]
+        assert len(lazy) == len(univ)
+
+    def test_roots_and_leaves(self, store, univ):
+        lazy = store.ontology()
+        assert ([c.name for c in lazy.root_concepts()]
+                == [c.name for c in univ.root_concepts()])
+        assert ([c.name for c in lazy.leaf_concepts()]
+                == [c.name for c in univ.leaf_concepts()])
+
+    def test_subconcepts_derived_from_edges(self, store, univ):
+        lazy = store.ontology()
+        assert ([c.name for c in lazy.direct_subconcepts("Person")]
+                == [c.name for c in univ.direct_subconcepts("Person")])
+        assert (lazy.concept("Person").subconcept_names
+                == univ.concept("Person").subconcept_names)
+
+    def test_superconcept_map(self, store, univ):
+        assert store.ontology().superconcept_map() == {
+            concept.name: list(concept.superconcept_names)
+            for concept in univ}
+
+    def test_long_tail_round_trips(self, store, univ):
+        concept = store.ontology().concept("Person")
+        original = univ.concept("Person")
+        assert [a.name for a in concept.attributes] == [
+            a.name for a in original.attributes]
+        assert concept.documentation == original.documentation
+
+
+class TestPickling:
+    def test_store_pickles_as_path_shell(self, store):
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.path == store.path
+        assert clone.ontology_names() == ["univ"]
+
+    def test_lazy_ontology_survives_via_soqa(self, store):
+        # The facade hands whole SOQA corpora to process workers.
+        soqa = SOQA()
+        soqa.add_ontology(store.ontology())
+        clone = pickle.loads(pickle.dumps(soqa))
+        assert clone.concept("Professor", "univ").superconcept_names == [
+            "Employee"]
+
+
+class TestWrapper:
+    def test_load_by_path(self, store):
+        ontology = SqliteWrapper().load(store.path)
+        assert isinstance(ontology, SqliteOntology)
+        assert ontology.language == "OWL"
+
+    def test_load_all(self, tmp_path, univ):
+        store = SqliteOntologyStore.create(tmp_path / "two.sstdb")
+        store.import_ontology(univ)
+        other = OWLWrapper().parse(
+            MINI_OWL.replace('rdf:about=""', 'rdf:about="#other"'), "univ2")
+        store.import_ontology(other)
+        names = [o.name for o in SqliteWrapper().load_all(store.path)]
+        assert names == ["univ", "univ2"]
+
+    def test_parse_refuses_text(self):
+        with pytest.raises(OntologyParseError, match="binary"):
+            SqliteWrapper().parse("text", "x")
+
+    def test_multi_ontology_store_needs_explicit_name(self, tmp_path, univ):
+        store = SqliteOntologyStore.create(tmp_path / "two.sstdb")
+        store.import_ontology(univ)
+        other = OWLWrapper().parse(
+            MINI_OWL.replace('rdf:about=""', 'rdf:about="#other"'), "univ2")
+        store.import_ontology(other)
+        with pytest.raises(SOQAError, match="name one explicitly"):
+            store.ontology()
+        assert store.ontology("univ2").name == "univ2"
+
+    def test_soqa_load_file_uses_load_all(self, store):
+        soqa = SOQA()
+        soqa.load_file(store.path)
+        assert soqa.ontology_names() == ["univ"]
+        assert "SQLiteStore" not in soqa.languages_in_use()  # real language

@@ -1,0 +1,150 @@
+"""Parity suite: a store-backed corpus is bit-identical to its
+in-memory twin.
+
+The acceptance bar for the sqlite backend is not "close" but *equal*:
+the same concepts in the same order, the same taxonomy answers, and
+bit-identical similarity scores for every taxonomy-backed measure the
+batch kernel implements.  Randomized DAGs come from hypothesis (small,
+adversarial shapes) and the seeded WordNet-shaped generator (realistic
+shapes); every corpus is imported into a store and both facades are
+queried side by side with caching disabled.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.facade import SOQASimPackToolkit
+from repro.ontologies.generator import (generate_random_dag,
+                                        generate_wordnet_taxonomy)
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import Concept, Ontology, OntologyMetadata
+from repro.soqa.sqlstore import SqliteOntologyStore
+
+#: The taxonomy-backed measures of the batch kernel — the ones whose
+#: scores depend on the corpus structure the store must reproduce.
+KERNEL_MEASURES = [
+    "Conceptual Similarity", "Lin", "Resnik", "Shortest Path", "Edge",
+    "Leacock-Chodorow", "Jiang-Conrath", "Resnik (normalized)",
+    "Extensional",
+]
+
+
+def materialize(parents: dict[str, list[str]], name: str) -> Ontology:
+    concepts = [Concept(name=node, superconcept_names=list(node_parents))
+                for node, node_parents in parents.items()]
+    return Ontology(OntologyMetadata(name=name, language="OWL"), concepts)
+
+
+def twin_toolkits(tmp_path, parents: dict[str, list[str]],
+                  name: str = "dag"):
+    """(in-memory toolkit, store-backed toolkit) over the same DAG."""
+    memory_soqa = SOQA()
+    memory_soqa.add_ontology(materialize(parents, name))
+    store = SqliteOntologyStore.create(tmp_path / f"{name}.sstdb",
+                                       overwrite=True)
+    store.import_ontology(materialize(parents, name))
+    lazy_soqa = SOQA()
+    lazy_soqa.add_ontology(store.ontology())
+    # cache=False: the twins share corpus fingerprints by design, so a
+    # shared cache could serve one toolkit's scores to the other and
+    # mask a real divergence.
+    return (SOQASimPackToolkit(memory_soqa, cache=False),
+            SOQASimPackToolkit(lazy_soqa, cache=False))
+
+
+def assert_corpus_parity(memory, lazy, name: str) -> None:
+    """Concept inventory and direct taxonomy structure agree."""
+    memory_ontology = memory.soqa.ontology(name)
+    lazy_ontology = lazy.soqa.ontology(name)
+    assert ([c.name for c in lazy_ontology]
+            == [c.name for c in memory_ontology])
+    for concept in memory_ontology:
+        twin = lazy_ontology.concept(concept.name)
+        assert twin.superconcept_names == concept.superconcept_names
+        assert twin.subconcept_names == concept.subconcept_names
+    assert (lazy_ontology.content_digest()
+            == memory_ontology.content_digest())
+
+
+def assert_query_parity(memory, lazy, parents: dict[str, list[str]],
+                        name: str, pair_limit: int) -> None:
+    """MRCA and all kernel measures agree on sampled pairs."""
+    memory_tree = memory.tree.taxonomy
+    lazy_tree = lazy.tree.taxonomy
+    nodes = sorted(parents)[:pair_limit]
+    labels = [f"{name}:{node}" for node in nodes]
+    for first in labels:
+        for second in labels:
+            assert (memory_tree.mrca(first, second)
+                    == lazy_tree.mrca(first, second))
+    for measure in KERNEL_MEASURES:
+        for first in nodes:
+            for second in nodes:
+                expected = memory.get_similarity(first, name, second,
+                                                 name, measure)
+                actual = lazy.get_similarity(first, name, second,
+                                             name, measure)
+                assert expected == actual, (measure, first, second)
+
+
+@st.composite
+def random_dags(draw) -> dict[str, list[str]]:
+    size = draw(st.integers(min_value=1, max_value=12))
+    nodes = [f"n{i}" for i in range(size)]
+    parents: dict[str, list[str]] = {nodes[0]: []}
+    for index in range(1, size):
+        earlier = nodes[:index]
+        count = draw(st.integers(min_value=0,
+                                 max_value=min(3, len(earlier))))
+        chosen = draw(st.permutations(earlier))[:count]
+        parents[nodes[index]] = list(chosen)
+    return parents
+
+
+@given(random_dags())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_store_matches_memory_on_hypothesis_dags(tmp_path, parents):
+    memory, lazy = twin_toolkits(tmp_path, parents)
+    assert_corpus_parity(memory, lazy, "dag")
+    assert_query_parity(memory, lazy, parents, "dag", pair_limit=4)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_store_matches_memory_on_seeded_random_dags(tmp_path, seed):
+    parents = generate_random_dag(80, seed=seed)
+    memory, lazy = twin_toolkits(tmp_path, parents, name=f"rand{seed}")
+    assert_corpus_parity(memory, lazy, f"rand{seed}")
+    assert_query_parity(memory, lazy, parents, f"rand{seed}", pair_limit=5)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_store_matches_memory_on_wordnet_shape(tmp_path, seed):
+    parents = generate_wordnet_taxonomy(150, seed=seed)
+    memory, lazy = twin_toolkits(tmp_path, parents, name=f"wn{seed}")
+    assert_corpus_parity(memory, lazy, f"wn{seed}")
+    assert_query_parity(memory, lazy, parents, f"wn{seed}", pair_limit=5)
+
+
+def test_batch_api_parity(tmp_path):
+    """The matrix path (the kernel batch entry) agrees end to end."""
+    parents = generate_random_dag(60, seed=9)
+    memory, lazy = twin_toolkits(tmp_path, parents, name="batch")
+    concepts = [("batch", node) for node in sorted(parents)[:6]]
+    for measure in KERNEL_MEASURES:
+        assert (memory.get_similarity_matrix(concepts, measure)
+                == lazy.get_similarity_matrix(concepts, measure))
+
+
+def test_all_measures_dict_parity(tmp_path):
+    """get_similarities returns identical measure dictionaries."""
+    parents = generate_random_dag(40, seed=11)
+    memory, lazy = twin_toolkits(tmp_path, parents, name="dicts")
+    nodes = sorted(parents)[:3]
+    for first in nodes:
+        for second in nodes:
+            assert (memory.get_similarities(first, "dicts", second,
+                                            "dicts", KERNEL_MEASURES)
+                    == lazy.get_similarities(first, "dicts", second,
+                                             "dicts", KERNEL_MEASURES))

@@ -227,11 +227,12 @@ class TestRegistry:
     def test_default_registry_languages(self):
         registry = default_registry()
         # The paper's four implemented wrappers plus the further
-        # languages it names (Ontolingua, SHOE) and plain RDFS.
+        # languages it names (Ontolingua, SHOE), plain RDFS, and the
+        # toolkit's own sqlite store format.
         assert registry.languages() == ["DAML", "N-Triples", "OWL",
                                         "OWL-Turtle", "Ontolingua",
                                         "PowerLoom", "RDFS", "SHOE",
-                                        "WordNet"]
+                                        "SQLiteStore", "WordNet"]
 
     def test_lookup_by_language_case_insensitive(self):
         registry = default_registry()

@@ -22,10 +22,11 @@ def cache_dir(tmp_path, monkeypatch) -> str:
 
 class TestCacheSubcommand:
     def test_path(self, capsys, cache_dir):
+        # Since sharding, the user-facing L2 location is the directory
+        # (shard files live inside it).
         assert main(["cache", "path"]) == 0
         out = capsys.readouterr().out
         assert cache_dir in out
-        assert "similarity-cache.sqlite" in out
 
     def test_stats_empty(self, capsys, cache_dir):
         assert main(["cache", "stats"]) == 0
