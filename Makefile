@@ -4,8 +4,8 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze coverage chaos bench-smoke bench-graphindex \
-	bench-kernel bench-scale bench
+.PHONY: test lint analyze coverage chaos serve-test bench-smoke \
+	bench-graphindex bench-kernel bench-scale bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
@@ -15,6 +15,12 @@ test:
 # serial runs (the CI "chaos" job).
 chaos:
 	$(PY) -m pytest tests/chaos -q
+
+# Service battery: byte-for-byte CLI parity, coalescing/concurrency
+# hammers and HTTP fuzz over a live `sst serve`, plus chaos under
+# traffic (the CI "serve" job).
+serve-test:
+	$(PY) -m pytest tests/server tests/chaos/test_serve_chaos.py -q
 
 # Tier-1 suite under coverage with the ratcheted minimum (the CI
 # "coverage" job).  The threshold lives in pyproject.toml

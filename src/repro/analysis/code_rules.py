@@ -62,7 +62,7 @@ CODE_RULES = RuleRegistry()
 METRIC_NAMESPACES = (
     "align", "analysis", "cache", "cluster", "diskcache", "facade",
     "faults", "graphindex", "index", "kernel", "parallel", "query",
-    "resilience", "service", "soqa", "store", "telemetry",
+    "resilience", "server", "service", "soqa", "store", "telemetry",
 )
 
 #: Wall-clock reads that break run-to-run reproducibility when they
@@ -399,6 +399,56 @@ def _fork_unsafe_initargs(rule, context: CodeContext):
                     "process-pool initarg",
                     hint="open the resource inside the worker "
                          "initializer instead (per-process handle)")
+
+
+#: Calls that block the calling thread outright; inside an ``async
+#: def`` they freeze the whole event loop (the ``sst serve`` accept
+#: loop serves no one while one coroutine sleeps).
+_ASYNC_BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.system",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output",
+    "urllib.request.urlopen", "socket.create_connection",
+    "sqlite3.connect",
+})
+
+
+def _own_flow_calls(function: ast.AST) -> Iterator[ast.Call]:
+    """Calls in the function's own control flow — code inside a nested
+    ``def``/``lambda`` runs when *that* function is called (possibly on
+    an executor thread), so it is not this function's verdict."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@CODE_RULES.rule("async-blocking-call", "error", "code")
+def _async_blocking_call(rule, context: CodeContext):
+    """Concurrency: no blocking calls inside ``async def`` — a
+    ``time.sleep`` (or subprocess / blocking socket call) in a
+    coroutine wedges the entire event loop, so the server stops
+    accepting connections for its duration."""
+    for module in context.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _own_flow_calls(node):
+                resolved = module.resolve(call.func) or ""
+                if not _matches(resolved, _ASYNC_BLOCKING_CALLS):
+                    continue
+                yield _code_finding(
+                    rule, module, call,
+                    f"blocking call {resolved}(...) inside async "
+                    f"function {node.name!r} stalls the event loop",
+                    subject=node.name,
+                    hint="await asyncio.sleep(...) for delays, or move "
+                         "blocking work to loop.run_in_executor(...)")
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ Subcommands map onto the facade services:
     sst analyze src/repro               # code rules over toolkit source
     sst trace matrix --from-ontology COURSES   # span tree of any command
     sst metrics --format json ksim univ-bench_owl Person
+    sst serve --port 8642               # resident HTTP/JSON service
     sst browse                          # interactive SST Browser
     sst shell                           # interactive SOQA-QL shell
 
@@ -112,7 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
         dest="inject_faults",
         help="arm deterministic fault injection for this run, e.g. "
              "'worker.crash=1,cache.corrupt' (sites: worker.crash, "
-             "task.slow, cache.corrupt, loader.io; also via SST_FAULTS)")
+             "task.slow, cache.corrupt, loader.io, index.corrupt, "
+             "server.slow; also via SST_FAULTS)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("ontologies", help="list loaded ontologies")
@@ -309,6 +311,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--overwrite", action="store_true",
         help="replace an existing store file")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident similarity service (HTTP/JSON): loads "
+             "the corpus once and answers /v1/similarity, /v1/ksim, "
+             "/v1/ontologies, /healthz and /metrics")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port; 0 binds an ephemeral port "
+                            "(default: 8642)")
+    serve.add_argument(
+        "--serve-workers", type=int, default=None, metavar="N",
+        dest="serve_workers",
+        help="request worker threads (default: SST_SERVE_WORKERS, "
+             "else 8)")
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline, answered with 504 when exceeded; "
+             "0 disables (default: SST_SERVE_DEADLINE, else 30)")
+    serve.add_argument(
+        "--max-body", type=int, default=None, metavar="BYTES",
+        dest="max_body",
+        help="request body cap, answered with 413 beyond it "
+             "(default: SST_SERVE_MAX_BODY, else 1 MiB)")
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        dest="breaker_threshold",
+        help="consecutive failures that open the admission breaker "
+             "(default: SST_SERVE_BREAKER_THRESHOLD, else 5)")
+    serve.add_argument(
+        "--breaker-reset", type=float, default=None, metavar="SECONDS",
+        dest="breaker_reset",
+        help="open-circuit hold before the half-open probe; also the "
+             "Retry-After hint (default: SST_SERVE_BREAKER_RESET, "
+             "else 30)")
+
     trace = subparsers.add_parser(
         "trace",
         help="run any subcommand with tracing on and print its span tree")
@@ -466,6 +504,8 @@ def _dispatch(sst: SOQASimPackToolkit,
             print("\nwrote: " + ", ".join(str(path) for path in paths))
     elif command == "matrix":
         return _run_matrix(sst, arguments)
+    elif command == "serve":
+        return _run_serve(sst, arguments)
     elif command == "table1":
         print(_table1_text(sst))
     elif command == "measures":
@@ -627,6 +667,26 @@ def _run_matrix(sst: SOQASimPackToolkit,
                 for label, row in zip(labels, matrix)]
         print(render_table(["concept"] + labels, rows))
     _report_cache(sst)
+    return 0
+
+
+def _run_serve(sst: SOQASimPackToolkit,
+               arguments: argparse.Namespace) -> int:
+    """The ``sst serve`` subcommand: the resident similarity service.
+
+    Blocks until interrupted; the corpus is loaded (and the unified
+    tree built) exactly once, then shared across every request.
+    """
+    from repro.core.server import ServerConfig, serve
+
+    config = ServerConfig(
+        host=arguments.host, port=arguments.port,
+        workers=arguments.serve_workers,
+        deadline_seconds=arguments.deadline,
+        max_body_bytes=arguments.max_body,
+        breaker_threshold=arguments.breaker_threshold,
+        breaker_reset=arguments.breaker_reset)
+    serve(sst, config, log=lambda line: print(line, file=sys.stderr))
     return 0
 
 

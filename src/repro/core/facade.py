@@ -18,6 +18,7 @@ MeasureRunners; on top it offers the services the paper lists:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 from repro.core import telemetry
@@ -93,6 +94,13 @@ class SOQASimPackToolkit:
         self._tree: UnifiedTree | None = None
         self._wrapper: SOQAWrapperForSimPack | None = None
         self._runners: dict[int, MeasureRunner] = {}
+        # Re-entrancy guard for every lazy single-build attribute (tree,
+        # wrapper, runners, fingerprint, disk cache).  The server shares
+        # one facade across executor threads; two concurrent cold-start
+        # calls must not each build a CachedRunner for the same measure,
+        # or the L1 memo splits across request threads.  RLock because
+        # the builds nest (runner -> wrapper -> tree -> fingerprint).
+        self._lazy_lock = threading.RLock()
 
     # -- ontology management ------------------------------------------------------
 
@@ -118,10 +126,11 @@ class SOQASimPackToolkit:
 
     def refresh(self) -> None:
         """Rebuild the unified tree after the ontology set changed."""
-        self._tree = None
-        self._wrapper = None
-        self._runners.clear()
-        self._fingerprint = None
+        with self._lazy_lock:
+            self._tree = None
+            self._wrapper = None
+            self._runners.clear()
+            self._fingerprint = None
 
     def ontology_names(self) -> list[str]:
         """Names of all loaded ontologies."""
@@ -136,14 +145,16 @@ class SOQASimPackToolkit:
     @property
     def tree(self) -> UnifiedTree:
         """The unified ontology tree (built lazily)."""
-        if self._tree is None:
-            with telemetry.span("facade.unified_tree.build",
-                                strategy=self.strategy):
-                self._tree = UnifiedTree(self.soqa, strategy=self.strategy)
-            telemetry.gauge("facade.unified_tree.nodes",
-                            len(self._tree.taxonomy))
-            self._attach_index_store(self._tree)
-        return self._tree
+        with self._lazy_lock:
+            if self._tree is None:
+                with telemetry.span("facade.unified_tree.build",
+                                    strategy=self.strategy):
+                    self._tree = UnifiedTree(self.soqa,
+                                             strategy=self.strategy)
+                telemetry.gauge("facade.unified_tree.nodes",
+                                len(self._tree.taxonomy))
+                self._attach_index_store(self._tree)
+            return self._tree
 
     def _attach_index_store(self, tree: UnifiedTree) -> None:
         """Warm-start the unified taxonomy's index from disk if eligible.
@@ -186,10 +197,12 @@ class SOQASimPackToolkit:
     @property
     def wrapper(self) -> SOQAWrapperForSimPack:
         """The SOQAWrapper for SimPack (built lazily)."""
-        if self._wrapper is None:
-            with telemetry.span("facade.wrapper.build"):
-                self._wrapper = SOQAWrapperForSimPack(self.soqa, self.tree)
-        return self._wrapper
+        with self._lazy_lock:
+            if self._wrapper is None:
+                with telemetry.span("facade.wrapper.build"):
+                    self._wrapper = SOQAWrapperForSimPack(self.soqa,
+                                                          self.tree)
+            return self._wrapper
 
     @property
     def disk_cache(self) -> ShardedDiskCache | None:
@@ -203,21 +216,24 @@ class SOQASimPackToolkit:
         """
         if not self._cache_enabled:
             return None
-        if self._disk_cache is None:
-            import os
+        with self._lazy_lock:
+            if self._disk_cache is None:
+                import os
 
-            from repro.core.diskcache import CACHE_DIR_ENV
-            if self._cache_dir is None and not os.environ.get(
-                    CACHE_DIR_ENV, "").strip():
-                return None
-            self._disk_cache = ShardedDiskCache(self._cache_dir)
-        return self._disk_cache
+                from repro.core.diskcache import CACHE_DIR_ENV
+                if self._cache_dir is None and not os.environ.get(
+                        CACHE_DIR_ENV, "").strip():
+                    return None
+                self._disk_cache = ShardedDiskCache(self._cache_dir)
+            return self._disk_cache
 
     def fingerprint(self) -> str:
         """Content fingerprint of the loaded corpus (cached per refresh)."""
-        if self._fingerprint is None:
-            self._fingerprint = corpus_fingerprint(self.soqa, self.strategy)
-        return self._fingerprint
+        with self._lazy_lock:
+            if self._fingerprint is None:
+                self._fingerprint = corpus_fingerprint(self.soqa,
+                                                       self.strategy)
+            return self._fingerprint
 
     def runner(self, measure: int | str | Measure) -> MeasureRunner:
         """The (cached) runner instance for a measure.
@@ -229,16 +245,18 @@ class SOQASimPackToolkit:
         measure.
         """
         measure_id = self.registry.resolve(measure)
-        runner = self._runners.get(measure_id)
-        if runner is None:
-            runner = self.registry.create(measure_id, self.wrapper)
-            if self._cache_enabled:
-                l2 = self.disk_cache
-                runner = CachedRunner(
-                    runner, capacity=self.cache_capacity, l2=l2,
-                    fingerprint=self.fingerprint() if l2 is not None else "")
-            self._runners[measure_id] = runner
-        return runner
+        with self._lazy_lock:
+            runner = self._runners.get(measure_id)
+            if runner is None:
+                runner = self.registry.create(measure_id, self.wrapper)
+                if self._cache_enabled:
+                    l2 = self.disk_cache
+                    runner = CachedRunner(
+                        runner, capacity=self.cache_capacity, l2=l2,
+                        fingerprint=self.fingerprint()
+                        if l2 is not None else "")
+                self._runners[measure_id] = runner
+            return runner
 
     def cache_statistics(self) -> dict:
         """Aggregated L1/L2 cache statistics over all active runners."""

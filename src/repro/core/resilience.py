@@ -76,6 +76,7 @@ KNOWN_FAULT_SITES = (
     "cache.corrupt",  # the L2 sqlite file is scribbled over before open
     "loader.io",      # an ontology file read raises OSError
     "index.corrupt",  # a persisted index artifact is scribbled before load
+    "server.slow",    # a served request stalls (arg = seconds, default 0.25)
 )
 
 
@@ -273,6 +274,18 @@ class CircuitBreaker:
                     return True
                 return False
             return False  # half-open: one probe is already in flight
+
+    def retry_after(self) -> float:
+        """Seconds until an open circuit grants its half-open probe.
+
+        0.0 while closed or half-open, so servers can put the value
+        straight into a ``Retry-After`` header.
+        """
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            return max(0.0,
+                       self.reset_timeout - (self.clock() - self._opened_at))
 
     def record_success(self) -> None:
         with self._lock:

@@ -1,0 +1,891 @@
+"""``sst serve`` — the resident similarity service (ROADMAP tentpole).
+
+Every one-shot ``sst`` invocation re-parses the corpus, recompiles the
+taxonomy index and rewarms L1 from disk; the paper frames the toolkit
+as a shared service ("SST Web Services") answering similarity queries
+for many clients.  This module is that service: a stdlib-only
+HTTP/JSON server on :func:`asyncio.start_server` that
+
+* loads ontologies **once** (including ``.sstdb`` sqlite stores) and
+  shares the facade — CompiledTaxonomy tables, SimilarityKernel,
+  CachedRunner L1/L2 — across all requests,
+* **coalesces** duplicate in-flight pair queries across requests
+  (:class:`PairGate`): the first request computes, everyone else waits
+  on the same slot, counted as ``server.coalesced``,
+* **batches** each request's pairs through the existing batch
+  kernel/parallel engine (one ``score_pairs`` call per request, not a
+  Python loop per pair),
+* applies the resilience layer: a per-request
+  :class:`~repro.core.resilience.Deadline` (expiry → 504) and a
+  :class:`~repro.core.resilience.CircuitBreaker` as admission control
+  (open → 503 with ``Retry-After``),
+* exposes the telemetry registry as prometheus text on ``/metrics``
+  and traces every request as a ``server.request`` span with a
+  propagated request id (``X-Request-Id`` in, echoed out).
+
+Endpoints::
+
+    POST /v1/similarity   pair, pair-batch, or matrix similarity
+    POST /v1/ksim         k most (dis)similar concepts
+    GET  /v1/ontologies   the loaded corpus
+    GET  /healthz         liveness + corpus summary
+    GET  /metrics         prometheus exposition
+
+Responses are bit-identical to the one-shot CLI because both go
+through the very same facade services (``tests/server/`` pins this).
+Every error is typed JSON — ``{"error": {"code", "message",
+"request_id"}}`` — never a traceback, and a malformed request can
+never wedge the accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import math
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.core import resilience, telemetry
+from repro.core.registry import Measure
+from repro.core.resilience import CircuitBreaker, Deadline
+from repro.core.results import QualifiedConcept
+from repro.errors import (DeadlineExceededError, SSTCoreError, SSTError,
+                          UnknownConceptError, UnknownMeasureError,
+                          UnknownOntologyError)
+
+__all__ = [
+    "DEADLINE_ENV",
+    "MAX_BODY_ENV",
+    "PairGate",
+    "RequestError",
+    "ServerConfig",
+    "ServerHandle",
+    "SimilarityServer",
+    "SimilarityService",
+    "WORKERS_ENV",
+    "serve",
+    "serve_in_thread",
+]
+
+#: Environment fallbacks for the ``sst serve`` flags of the same name.
+DEADLINE_ENV = "SST_SERVE_DEADLINE"
+MAX_BODY_ENV = "SST_SERVE_MAX_BODY"
+WORKERS_ENV = "SST_SERVE_WORKERS"
+BREAKER_THRESHOLD_ENV = "SST_SERVE_BREAKER_THRESHOLD"
+BREAKER_RESET_ENV = "SST_SERVE_BREAKER_RESET"
+
+#: Hard parse limits: a request line or header block beyond these is
+#: rejected up front, before any body bytes are read.
+MAX_REQUEST_LINE = 4096
+MAX_HEADER_BYTES = 16384
+MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    411: "Length Required", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+class ServerConfig:
+    """Resolved ``sst serve`` settings (flag beats env beats default).
+
+    ``deadline_seconds <= 0`` disables the per-request deadline;
+    ``port=0`` binds an ephemeral port (tests read it back from the
+    handle).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 workers: int | None = None,
+                 deadline_seconds: float | None = None,
+                 max_body_bytes: int | None = None,
+                 breaker_threshold: int | None = None,
+                 breaker_reset: float | None = None,
+                 io_timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.workers = (workers if workers is not None
+                        else max(1, _env_int(WORKERS_ENV, 8)))
+        self.deadline_seconds = (
+            deadline_seconds if deadline_seconds is not None
+            else _env_float(DEADLINE_ENV, 30.0))
+        self.max_body_bytes = (
+            max_body_bytes if max_body_bytes is not None
+            else max(1024, _env_int(MAX_BODY_ENV, 1 << 20)))
+        self.breaker_threshold = (
+            breaker_threshold if breaker_threshold is not None
+            else max(1, _env_int(BREAKER_THRESHOLD_ENV, 5)))
+        self.breaker_reset = (
+            breaker_reset if breaker_reset is not None
+            else _env_float(BREAKER_RESET_ENV, 30.0))
+        self.io_timeout = io_timeout
+
+    def deadline(self) -> Deadline:
+        """A fresh per-request deadline under this configuration."""
+        if self.deadline_seconds and self.deadline_seconds > 0:
+            return Deadline(self.deadline_seconds)
+        return Deadline.never()
+
+
+class RequestError(SSTCoreError):
+    """A request the service refuses, carrying its HTTP mapping.
+
+    ``status`` is the response code, ``code`` the machine-readable
+    error token in the JSON body, ``headers`` any extra response
+    headers (e.g. ``Retry-After``).
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 headers: Sequence[tuple[str, str]] = ()):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.headers = list(headers)
+
+
+# ---------------------------------------------------------------------------
+# Cross-request pair coalescing
+# ---------------------------------------------------------------------------
+
+
+class _Slot:
+    """One in-flight pair computation: leader fills, followers wait."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: float | None = None
+        self.error: BaseException | None = None
+
+
+class PairGate:
+    """Coalesces duplicate in-flight pair queries across requests.
+
+    Each request partitions its (measure, pair) keys into *owned*
+    (first in flight — this thread computes them, in **one** batch via
+    the facade engine) and *foreign* (another request is already
+    computing — wait on its slot instead of recomputing).  Foreign
+    waits are bounded by the request deadline and counted as
+    ``server.coalesced``; every batch computed here increments
+    ``server.batches`` / ``server.batch_pairs``.
+    """
+
+    def __init__(self, toolkit):
+        self._toolkit = toolkit
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, _Slot] = {}
+
+    @staticmethod
+    def _key(measure_name: str, engine_name: str | None,
+             first: QualifiedConcept, second: QualifiedConcept) -> tuple:
+        endpoints = sorted([(first.ontology_name, first.concept_name),
+                            (second.ontology_name, second.concept_name)])
+        return (measure_name, engine_name or "", endpoints[0], endpoints[1])
+
+    def score(self, measure, pairs: Sequence[tuple], deadline: Deadline,
+              engine: str | None = None) -> list[float]:
+        """Similarity of every pair, in order, coalesced and batched."""
+        runner = self._toolkit.runner(measure)
+        keys = [self._key(runner.name, engine, first, second)
+                for first, second in pairs]
+        mine: dict[tuple, _Slot] = {}
+        theirs: dict[tuple, _Slot] = {}
+        representative: dict[tuple, tuple] = {}
+        coalesced = 0
+        with self._lock:
+            for key, pair in zip(keys, pairs):
+                if key in mine or key in theirs:
+                    continue
+                slot = self._inflight.get(key)
+                if slot is not None:
+                    theirs[key] = slot
+                    coalesced += 1
+                else:
+                    slot = _Slot()
+                    self._inflight[key] = slot
+                    mine[key] = slot
+                    representative[key] = pair
+        if coalesced:
+            telemetry.count("server.coalesced", coalesced)
+        if mine:
+            self._compute(measure, engine, mine, representative)
+        resolved: dict[tuple, float] = {key: slot.value
+                                        for key, slot in mine.items()}
+        for key, slot in theirs.items():
+            if not slot.event.wait(deadline.remaining()):
+                raise DeadlineExceededError(
+                    "coalesced pair wait exceeded the request deadline")
+            if slot.error is not None:
+                raise SSTCoreError(
+                    f"coalesced computation failed: {slot.error}"
+                ) from slot.error
+            resolved[key] = slot.value
+        return [resolved[key] for key in keys]
+
+    def _compute(self, measure, engine: str | None,
+                 mine: dict[tuple, _Slot],
+                 representative: dict[tuple, tuple]) -> None:
+        """Leader path: one engine batch for every owned key."""
+        owned_keys = list(mine)
+        owned_pairs = [representative[key] for key in owned_keys]
+        try:
+            values = self._toolkit.engine(
+                measure, engine=engine).score_pairs(owned_pairs)
+        except BaseException as error:
+            for slot in mine.values():
+                slot.error = error
+                slot.event.set()
+            with self._lock:
+                for key in owned_keys:
+                    self._inflight.pop(key, None)
+            raise
+        for key, value in zip(owned_keys, values):
+            mine[key].value = value
+            mine[key].event.set()
+        with self._lock:
+            for key in owned_keys:
+                self._inflight.pop(key, None)
+        telemetry.count("server.batches")
+        telemetry.count("server.batch_pairs", len(owned_pairs))
+
+
+# ---------------------------------------------------------------------------
+# Transport-independent request handling
+# ---------------------------------------------------------------------------
+
+
+def _require(payload: dict, field: str, kinds: tuple[type, ...],
+             kind_name: str):
+    value = payload.get(field)
+    if value is None:
+        raise RequestError(422, "missing_field",
+                           f"request body needs a {kind_name} {field!r} "
+                           "field")
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise RequestError(422, "invalid_field",
+                           f"field {field!r} must be a {kind_name}")
+    return value
+
+
+def _concept_ref(value, field: str) -> tuple[str, str]:
+    """Validate one ``[ontology, concept]`` reference."""
+    if (not isinstance(value, (list, tuple)) or len(value) != 2
+            or not all(isinstance(part, str) and part for part in value)):
+        raise RequestError(
+            422, "invalid_concept",
+            f"field {field!r} must be a two-element "
+            "[ontology, concept] list of non-empty strings")
+    return value[0], value[1]
+
+
+class SimilarityService:
+    """JSON payloads → facade services, independent of any transport.
+
+    The HTTP layer (and the fuzz tests, directly) hand validated-JSON
+    dicts to :meth:`similarity` / :meth:`ksim`; every refusal is a
+    :class:`RequestError` with its HTTP mapping attached.  Both methods
+    run on worker threads and honor the request ``Deadline``.
+    """
+
+    def __init__(self, toolkit, breaker: CircuitBreaker | None = None):
+        self.toolkit = toolkit
+        self.gate = PairGate(toolkit)
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name="server")
+
+    def warm(self) -> None:
+        """Build the shared structures once, before serving traffic."""
+        self.toolkit.tree
+        self.toolkit.wrapper
+
+    # -- validation ---------------------------------------------------------
+
+    def _resolve_measure(self, payload: dict):
+        measure = payload.get("measure", int(Measure.SHORTEST_PATH))
+        if isinstance(measure, bool) or not isinstance(measure, (int, str)):
+            raise RequestError(422, "invalid_field",
+                               "field 'measure' must be a measure id or "
+                               "name")
+        try:
+            self.toolkit.registry.resolve(measure)
+        except UnknownMeasureError as error:
+            raise RequestError(422, "unknown_measure", str(error)) from error
+        return measure
+
+    def _resolve_engine(self, payload: dict) -> str | None:
+        engine = payload.get("engine")
+        if engine is None:
+            return None
+        from repro.core.kernel import ENGINES
+
+        if engine not in ENGINES:
+            raise RequestError(
+                422, "unknown_engine",
+                f"unknown engine {engine!r}; expected one of "
+                f"{', '.join(ENGINES)}")
+        return engine
+
+    def _validate_concept(self, ontology_name: str, concept_name: str,
+                          ) -> QualifiedConcept:
+        try:
+            self.toolkit.soqa.ontology(ontology_name)
+        except UnknownOntologyError as error:
+            raise RequestError(404, "unknown_ontology", str(error)) from error
+        concept = QualifiedConcept(ontology_name, concept_name)
+        try:
+            self.toolkit.tree.node_of(concept)
+        except UnknownConceptError as error:
+            raise RequestError(404, "unknown_concept", str(error)) from error
+        return concept
+
+    @staticmethod
+    def _payload_dict(payload) -> dict:
+        if not isinstance(payload, dict):
+            raise RequestError(422, "invalid_payload",
+                               "request body must be a JSON object")
+        return payload
+
+    # -- endpoints ----------------------------------------------------------
+
+    def similarity(self, payload, deadline: Deadline) -> dict:
+        """``POST /v1/similarity``: pair, pair-batch, or matrix mode."""
+        payload = self._payload_dict(payload)
+        delay = resilience.maybe_fire("server.slow")
+        if delay:
+            time.sleep(delay)
+        deadline.check("similarity request")
+        measure = self._resolve_measure(payload)
+        engine = self._resolve_engine(payload)
+        runner_name = self.toolkit.runner(measure).name
+        if "concepts" in payload:
+            references = _require(payload, "concepts", (list,), "list")
+            if not references:
+                raise RequestError(422, "invalid_field",
+                                   "field 'concepts' must not be empty")
+            qualified = [
+                self._validate_concept(*_concept_ref(ref, "concepts"))
+                for ref in references]
+            matrix = self.toolkit.get_similarity_matrix(
+                qualified, measure, engine=engine)
+            labels = [f"{concept.ontology_name}:{concept.concept_name}"
+                      for concept in qualified]
+            return {"measure": runner_name, "labels": labels,
+                    "matrix": matrix}
+        if "pairs" in payload:
+            raw_pairs = _require(payload, "pairs", (list,), "list")
+            if not raw_pairs:
+                raise RequestError(422, "invalid_field",
+                                   "field 'pairs' must not be empty")
+            pairs = []
+            for entry in raw_pairs:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 4:
+                    raise RequestError(
+                        422, "invalid_pair",
+                        "every pair must be a four-element "
+                        "[ontology, concept, ontology, concept] list")
+                first = self._validate_concept(
+                    *_concept_ref(entry[:2], "pairs"))
+                second = self._validate_concept(
+                    *_concept_ref(entry[2:], "pairs"))
+                pairs.append((first, second))
+            values = self.gate.score(measure, pairs, deadline,
+                                     engine=engine)
+            return {"measure": runner_name, "values": values}
+        if "first" in payload or "second" in payload:
+            first = self._validate_concept(
+                *_concept_ref(payload.get("first"), "first"))
+            second = self._validate_concept(
+                *_concept_ref(payload.get("second"), "second"))
+            values = self.gate.score(measure, [(first, second)], deadline,
+                                     engine=engine)
+            return {"measure": runner_name, "similarity": values[0]}
+        raise RequestError(
+            422, "missing_field",
+            "request body needs 'first'/'second', 'pairs', or 'concepts'")
+
+    def ksim(self, payload, deadline: Deadline) -> dict:
+        """``POST /v1/ksim``: the k most (dis)similar concepts."""
+        payload = self._payload_dict(payload)
+        delay = resilience.maybe_fire("server.slow")
+        if delay:
+            time.sleep(delay)
+        deadline.check("ksim request")
+        ontology_name = _require(payload, "ontology", (str,), "string")
+        concept_name = _require(payload, "concept", (str,), "string")
+        measure = self._resolve_measure(payload)
+        engine = self._resolve_engine(payload)
+        k = payload.get("k", 10)
+        if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+            raise RequestError(422, "invalid_field",
+                               "field 'k' must be a positive integer")
+        dissimilar = payload.get("dissimilar", False)
+        if not isinstance(dissimilar, bool):
+            raise RequestError(422, "invalid_field",
+                               "field 'dissimilar' must be a boolean")
+        subtree_concept = subtree_ontology = None
+        subtree = payload.get("subtree")
+        if subtree is not None:
+            if not isinstance(subtree, str) or ":" not in subtree:
+                raise RequestError(
+                    422, "invalid_field",
+                    "field 'subtree' must be an 'ontology:Concept' "
+                    "string")
+            subtree_ontology, _, subtree_concept = subtree.partition(":")
+            self._validate_concept(subtree_ontology, subtree_concept)
+        self._validate_concept(ontology_name, concept_name)
+        service = (self.toolkit.get_most_dissimilar_concepts if dissimilar
+                   else self.toolkit.get_most_similar_concepts)
+        entries = service(concept_name, ontology_name,
+                          subtree_root_concept_name=subtree_concept,
+                          subtree_ontology_name=subtree_ontology,
+                          k=k, measure=measure, engine=engine)
+        return {
+            "measure": self.toolkit.runner(measure).name,
+            "k": k,
+            "entries": [{
+                "rank": rank,
+                "ontology": entry.ontology_name,
+                "concept": entry.concept_name,
+                "similarity": entry.similarity,
+            } for rank, entry in enumerate(entries, start=1)],
+        }
+
+    def ontologies(self) -> dict:
+        """``GET /v1/ontologies``: the loaded corpus summary."""
+        soqa = self.toolkit.soqa
+        return {"ontologies": [{
+            "name": name,
+            "language": soqa.ontology(name).language,
+            "concepts": len(soqa.ontology(name)),
+        } for name in self.toolkit.ontology_names()]}
+
+    def health(self) -> dict:
+        """``GET /healthz``: liveness plus corpus shape."""
+        return {
+            "status": "ok",
+            "ontologies": len(self.toolkit.ontology_names()),
+            "concepts": self.toolkit.concept_count(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The asyncio HTTP server
+# ---------------------------------------------------------------------------
+
+
+class _Response:
+    """One rendered HTTP response."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(self, status: int, body: bytes,
+                 content_type: str = "application/json",
+                 headers: Sequence[tuple[str, str]] = ()):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = list(headers)
+
+
+def _json_response(status: int, payload: dict,
+                   headers: Sequence[tuple[str, str]] = ()) -> _Response:
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    return _Response(status, body, headers=headers)
+
+
+def _error_response(status: int, code: str, message: str, request_id: str,
+                    headers: Sequence[tuple[str, str]] = ()) -> _Response:
+    return _json_response(status, {"error": {
+        "code": code, "message": message, "request_id": request_id,
+    }}, headers=headers)
+
+
+class SimilarityServer:
+    """The asyncio accept loop around a :class:`SimilarityService`.
+
+    One request per connection (``Connection: close``), every request
+    parsed under hard limits, computed on a bounded worker pool under
+    breaker admission and a per-request deadline, and answered with
+    typed JSON.  A failing request can only fail itself: the handler
+    catches everything and the accept loop never sees an exception.
+    """
+
+    def __init__(self, service: SimilarityService,
+                 config: ServerConfig | None = None):
+        self.service = service
+        self.config = config if config is not None else ServerConfig()
+        self.host: str | None = None
+        self.port: int | None = None
+        self._ids = itertools.count(1)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def run(self, ready: threading.Event | None = None) -> None:
+        """Serve until :meth:`request_stop` (or cancellation)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="sst-serve")
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=max(MAX_HEADER_BYTES * 4, 1 << 16))
+        try:
+            sockname = server.sockets[0].getsockname()
+            self.host, self.port = sockname[0], sockname[1]
+            telemetry.gauge("server.workers", self.config.workers)
+            if ready is not None:
+                ready.set()
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._executor.shutdown(wait=False)
+            if ready is not None:
+                ready.set()  # unblock a waiter even on startup failure
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit (thread-safe)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        # One-element box: header parsing replaces the generated id with
+        # a client-supplied X-Request-Id, and the error and response
+        # paths must all see whichever id ends up in effect.
+        request_id = [f"req-{next(self._ids)}"]
+        started = time.monotonic()
+        response: _Response | None = None
+        try:
+            response = await self._serve_one(reader, request_id)
+        # The one deliberate catch-all of the server: a failing request
+        # must fail alone — the accept loop can never see an exception.
+        except Exception as error:  # sst: disable=swallowed-exception
+            telemetry.count("server.errors.internal")
+            response = _error_response(
+                500, "internal", f"internal error: {type(error).__name__}",
+                request_id[0])
+        if response is not None:
+            telemetry.count("server.requests")
+            telemetry.count(
+                f"server.responses.{response.status // 100}xx")
+            telemetry.observe("server.request.seconds",
+                              time.monotonic() - started)
+            await self._write_response(writer, response, request_id[0])
+        else:
+            # The client went away before sending a request line.
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              response: _Response,
+                              request_id: str) -> None:
+        reason = _REASONS.get(response.status, "Status")
+        lines = [f"HTTP/1.1 {response.status} {reason}",
+                 f"Content-Type: {response.content_type}",
+                 f"Content-Length: {len(response.body)}",
+                 f"X-Request-Id: {request_id}"]
+        lines.extend(f"{name}: {value}"
+                     for name, value in response.headers)
+        lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            writer.write(head + response.body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # client hung up mid-response; nothing left to do
+
+    async def _read_line(self, reader: asyncio.StreamReader,
+                         limit: int, what: str) -> bytes:
+        try:
+            line = await asyncio.wait_for(reader.readline(),
+                                          self.config.io_timeout)
+        except asyncio.TimeoutError:
+            raise RequestError(408, "timeout",
+                               f"timed out reading the {what}") from None
+        except ValueError:
+            raise RequestError(400, "bad_request",
+                               f"{what} exceeds the stream limit") from None
+        if len(line) > limit:
+            raise RequestError(
+                431 if what == "header" else 400, "bad_request",
+                f"{what} longer than {limit} bytes")
+        return line
+
+    async def _serve_one(self, reader: asyncio.StreamReader,
+                         request_id: list[str]) -> _Response | None:
+        try:
+            return await self._parse_and_route(reader, request_id)
+        except RequestError as error:
+            return _error_response(error.status, error.code, str(error),
+                                   request_id[0], headers=error.headers)
+
+    async def _parse_and_route(self, reader: asyncio.StreamReader,
+                               request_id: list[str]) -> _Response | None:
+        request_line = await self._read_line(reader, MAX_REQUEST_LINE,
+                                             "request line")
+        if not request_line.strip():
+            return None  # connection closed (or bare CRLF) — no request
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise RequestError(400, "bad_request",
+                               "malformed HTTP request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            line = await self._read_line(reader, MAX_HEADER_BYTES, "header")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES or len(headers) >= MAX_HEADERS:
+                raise RequestError(431, "headers_too_large",
+                                   "request header block is too large")
+            name, separator, value = line.decode("latin-1").partition(":")
+            if not separator:
+                raise RequestError(400, "bad_request",
+                                   f"malformed header line {name.strip()!r}")
+            headers[name.strip().lower()] = value.strip()
+        client_id = headers.get("x-request-id", "")
+        if client_id and len(client_id) <= 128 and client_id.isprintable():
+            request_id[0] = client_id
+        path = target.split("?", 1)[0]
+        with telemetry.span("server.request", method=method, path=path,
+                            request_id=request_id[0]):
+            return await self._route(method, path, headers, reader,
+                                     request_id[0])
+
+    async def _route(self, method: str, path: str, headers: dict,
+                     reader: asyncio.StreamReader,
+                     request_id: str) -> _Response:
+        if path == "/healthz":
+            self._check_method(method, "GET")
+            return _json_response(200, self.service.health())
+        if path == "/metrics":
+            self._check_method(method, "GET")
+            body = telemetry.get_registry().render_prometheus()
+            return _Response(200, body.encode("utf-8"),
+                             content_type="text/plain; version=0.0.4")
+        if path == "/v1/ontologies":
+            self._check_method(method, "GET")
+            return _json_response(200, self.service.ontologies())
+        if path == "/v1/similarity":
+            self._check_method(method, "POST")
+            payload = await self._read_json_body(reader, headers)
+            return await self._compute(self.service.similarity, payload,
+                                       request_id)
+        if path == "/v1/ksim":
+            self._check_method(method, "POST")
+            payload = await self._read_json_body(reader, headers)
+            return await self._compute(self.service.ksim, payload,
+                                       request_id)
+        raise RequestError(404, "unknown_path",
+                           f"no such endpoint: {path}")
+
+    @staticmethod
+    def _check_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise RequestError(405, "method_not_allowed",
+                               f"use {expected} for this endpoint",
+                               headers=[("Allow", expected)])
+
+    async def _read_json_body(self, reader: asyncio.StreamReader,
+                              headers: dict):
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            raise RequestError(411, "length_required",
+                               "request needs a Content-Length header")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise RequestError(400, "bad_request",
+                               "malformed Content-Length header") from None
+        if length < 0:
+            raise RequestError(400, "bad_request",
+                               "negative Content-Length")
+        if length > self.config.max_body_bytes:
+            raise RequestError(
+                413, "payload_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes} byte limit")
+        try:
+            body = await asyncio.wait_for(reader.readexactly(length),
+                                          self.config.io_timeout)
+        except asyncio.IncompleteReadError:
+            raise RequestError(400, "truncated_body",
+                               "request body ended early") from None
+        except asyncio.TimeoutError:
+            raise RequestError(408, "timeout",
+                               "timed out reading the request body"
+                               ) from None
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(400, "bad_json",
+                               f"request body is not valid JSON: {error}"
+                               ) from error
+
+    async def _compute(self, handler: Callable, payload,
+                       request_id: str) -> _Response:
+        """Run a service endpoint on the worker pool, guarded by the
+        breaker (admission) and the per-request deadline."""
+        breaker = self.service.breaker
+        if not breaker.allow():
+            telemetry.count("server.rejected.breaker")
+            retry_after = max(1, math.ceil(breaker.retry_after()))
+            raise RequestError(
+                503, "unavailable",
+                "service temporarily refusing work (circuit open)",
+                headers=[("Retry-After", str(retry_after))])
+        deadline = self.config.deadline()
+        loop = asyncio.get_running_loop()
+        try:
+            result = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, handler, payload,
+                                     deadline),
+                deadline.remaining())
+        except (asyncio.TimeoutError, DeadlineExceededError):
+            breaker.record_failure()
+            telemetry.count("server.responses.deadline")
+            raise RequestError(
+                504, "deadline_exceeded",
+                f"request exceeded its {self.config.deadline_seconds:g}s "
+                "deadline") from None
+        except RequestError:
+            raise  # client errors are not service failures
+        except SSTError as error:
+            breaker.record_failure()
+            raise RequestError(500, "internal",
+                               f"computation failed: {error}") from error
+        breaker.record_success()
+        return _json_response(200, result)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def serve(toolkit, config: ServerConfig | None = None,
+          log=None) -> None:
+    """Run the service in the current thread until interrupted.
+
+    This is the ``sst serve`` blocking entry point; ``log`` (a callable
+    taking one string) receives the startup line.
+    """
+    config = config if config is not None else ServerConfig()
+    service = SimilarityService(toolkit, breaker=CircuitBreaker(
+        failure_threshold=config.breaker_threshold,
+        reset_timeout=config.breaker_reset, name="server"))
+    service.warm()
+    server = SimilarityServer(service, config)
+
+    async def _main() -> None:
+        task = asyncio.ensure_future(server.run())
+        await asyncio.sleep(0)  # let run() bind the socket
+        while server.port is None and not task.done():
+            await asyncio.sleep(0.01)
+        if log is not None and server.port is not None:
+            log(f"sst serve: listening on http://{server.host}:"
+                f"{server.port} ({len(toolkit.ontology_names())} "
+                f"ontologies, {toolkit.concept_count()} concepts)")
+        await task
+
+    asyncio.run(_main())
+
+
+class ServerHandle:
+    """A running background server (tests): address plus ``stop()``."""
+
+    def __init__(self, server: SimilarityServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def service(self) -> SimilarityService:
+        return self.server.service
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.server.request_stop()
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(toolkit, config: ServerConfig | None = None,
+                    warm: bool = True) -> ServerHandle:
+    """Start the service on a daemon thread and return its handle.
+
+    The returned handle's ``host``/``port`` are bound (pass ``port=0``
+    in the config for an ephemeral port); ``stop()`` shuts the loop
+    down.  Usable as a context manager.
+    """
+    config = config if config is not None else ServerConfig(port=0)
+    service = SimilarityService(toolkit, breaker=CircuitBreaker(
+        failure_threshold=config.breaker_threshold,
+        reset_timeout=config.breaker_reset, name="server"))
+    if warm:
+        service.warm()
+    server = SimilarityServer(service, config)
+    ready = threading.Event()
+
+    def _run() -> None:
+        asyncio.run(server.run(ready))
+
+    thread = threading.Thread(target=_run, name="sst-serve-loop",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(30.0) or server.port is None:
+        raise SSTCoreError("sst serve failed to start within 30s")
+    return ServerHandle(server, thread)

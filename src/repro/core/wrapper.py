@@ -18,6 +18,8 @@ wrapper whenever the set of loaded ontologies changes.
 
 from __future__ import annotations
 
+import threading
+
 from repro.core.results import QualifiedConcept
 from repro.core.unified import UnifiedTree
 from repro.simpack.infocontent import InformationContent
@@ -40,6 +42,21 @@ class SOQAWrapperForSimPack:
         self._bm25: "object | None" = None
         self._information_content: dict[str, InformationContent] = {}
         self._kernel: "object | None" = None
+        # Guards every lazy single-build attribute below.  The wrapper is
+        # shared across server request threads; without the lock two
+        # concurrent first calls each build (and then disagree on) the
+        # kernel / vector space / IC tables.
+        self._lazy_lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        # Locks cannot cross process boundaries; each copy gets its own.
+        state = dict(self.__dict__)
+        del state["_lazy_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lazy_lock = threading.RLock()
 
     # -- taxonomy ------------------------------------------------------------
 
@@ -60,10 +77,11 @@ class SOQAWrapperForSimPack:
         change).  Imported lazily to keep the wrapper importable from
         the kernel module itself.
         """
-        if self._kernel is None:
-            from repro.core.kernel import SimilarityKernel
-            self._kernel = SimilarityKernel(self)
-        return self._kernel
+        with self._lazy_lock:
+            if self._kernel is None:
+                from repro.core.kernel import SimilarityKernel
+                self._kernel = SimilarityKernel(self)
+            return self._kernel
 
     def depth(self, concept: QualifiedConcept) -> int:
         """Depth of the concept below the unified root."""
@@ -119,23 +137,25 @@ class SOQAWrapperForSimPack:
 
         Document ids are unified-tree node names; built on first use.
         """
-        if self._vector_space is None:
-            index = InvertedIndex()
-            for ontology in self.soqa.ontologies():
-                for concept in ontology:
-                    node = self.tree.key(ontology.name, concept.name)
-                    index.add_document(
-                        node, ontology.concept_description(concept.name))
-            self._vector_space = TfidfVectorSpace(index)
-        return self._vector_space
+        with self._lazy_lock:
+            if self._vector_space is None:
+                index = InvertedIndex()
+                for ontology in self.soqa.ontologies():
+                    for concept in ontology:
+                        node = self.tree.key(ontology.name, concept.name)
+                        index.add_document(
+                            node, ontology.concept_description(concept.name))
+                self._vector_space = TfidfVectorSpace(index)
+            return self._vector_space
 
     def bm25(self):
         """A BM25 scorer over the same concept-description index."""
-        if self._bm25 is None:
-            from repro.simpack.text.bm25 import BM25Scorer
+        with self._lazy_lock:
+            if self._bm25 is None:
+                from repro.simpack.text.bm25 import BM25Scorer
 
-            self._bm25 = BM25Scorer(self.vector_space().index)
-        return self._bm25
+                self._bm25 = BM25Scorer(self.vector_space().index)
+            return self._bm25
 
     # -- information content ----------------------------------------------------------------
 
@@ -147,16 +167,17 @@ class SOQAWrapperForSimPack:
         concept across all ontologies (the alternative estimator the
         paper discusses for richly-instantiated ontologies).
         """
-        cached = self._information_content.get(source)
-        if cached is None:
-            instance_counts: dict[str, int] | None = None
-            if source == "instances":
-                instance_counts = {}
-                for ontology in self.soqa.ontologies():
-                    for concept in ontology:
-                        node = self.tree.key(ontology.name, concept.name)
-                        instance_counts[node] = len(concept.instances)
-            cached = InformationContent(self.taxonomy, source=source,
-                                        instance_counts=instance_counts)
-            self._information_content[source] = cached
-        return cached
+        with self._lazy_lock:
+            cached = self._information_content.get(source)
+            if cached is None:
+                instance_counts: dict[str, int] | None = None
+                if source == "instances":
+                    instance_counts = {}
+                    for ontology in self.soqa.ontologies():
+                        for concept in ontology:
+                            node = self.tree.key(ontology.name, concept.name)
+                            instance_counts[node] = len(concept.instances)
+                cached = InformationContent(self.taxonomy, source=source,
+                                            instance_counts=instance_counts)
+                self._information_content[source] = cached
+            return cached

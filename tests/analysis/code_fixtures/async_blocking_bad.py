@@ -1,0 +1,16 @@
+"""Fixture: blocking calls inside async functions (positive)."""
+import subprocess
+import time
+import urllib.request
+
+
+async def stall_loop():
+    time.sleep(0.5)
+
+
+async def shell_out():
+    subprocess.run(["true"], check=True)
+
+
+async def fetch(url):
+    return urllib.request.urlopen(url).read()

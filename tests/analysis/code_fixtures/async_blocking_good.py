@@ -1,0 +1,26 @@
+"""Fixture: async code that never blocks the loop (negative)."""
+import asyncio
+import time
+
+
+async def pause():
+    await asyncio.sleep(0.5)
+
+
+async def offload(work):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, work)
+
+
+async def offload_sleep():
+    loop = asyncio.get_running_loop()
+
+    def blocking():
+        # Runs on an executor thread, not in the loop's own flow.
+        time.sleep(0.5)
+
+    return await loop.run_in_executor(None, blocking)
+
+
+def synchronous_wait():
+    time.sleep(0.5)

@@ -33,6 +33,8 @@ RULE_CASES = [
      "unlocked-shared-state", 1),
     ("fork_initargs_bad.py", "fork_initargs_good.py",
      "fork-unsafe-initargs", 2),
+    ("async_blocking_bad.py", "async_blocking_good.py",
+     "async-blocking-call", 3),
     ("nonatomic_write_bad.py", "nonatomic_write_good.py",
      "nonatomic-write", 3),
     ("fault_site_bad.py", "fault_site_good.py", "unknown-fault-site", 1),

@@ -1,0 +1,209 @@
+"""Chaos under traffic: a live ``sst serve`` absorbs injected faults.
+
+The service-level counterpart of ``test_chaos.py``: faults are armed
+via :func:`repro.core.resilience.injected_faults` against a **running**
+server, and the bar is the same — responses bit-identical to a clean
+run, failures typed (504 on deadline, 503 + Retry-After while the
+breaker holds), recovery automatic (quarantined L2 shards, self-healed
+index artifacts, half-open probes), and everything visible in
+``/metrics`` instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.registry import Measure
+from repro.core.resilience import CircuitBreaker, injected_faults
+from repro.core.server import ServerConfig, serve_in_thread
+from repro.ontologies.generator import generate_random_dag
+from tests.server.conftest import client_for, counter, dag_toolkit
+
+#: One fixed DAG per module so every boot serves the same corpus.
+DAG = generate_random_dag(48, seed=11)
+NAMES = sorted(DAG)
+
+#: The matrix request every chaos scenario replays.
+PAYLOAD = {"concepts": [["chaos", name] for name in NAMES[:8]],
+           "measure": int(Measure.SHORTEST_PATH)}
+
+
+@pytest.fixture(autouse=True)
+def _own_cache_dir(tmp_path, monkeypatch):
+    """Each chaos test gets a private L2 directory it may destroy."""
+    monkeypatch.setenv("SST_CACHE_DIR", str(tmp_path / "l2"))
+    monkeypatch.delenv("SST_FAULTS", raising=False)
+    yield tmp_path / "l2"
+
+
+def chaos_toolkit(cache: bool = False):
+    return dag_toolkit({"chaos": DAG}, cache=cache)
+
+
+def matrix(client) -> tuple[int, dict, bytes]:
+    return client.post_json("/v1/similarity", PAYLOAD)
+
+
+class TestSlowRequestChaos:
+    def test_slow_fault_times_out_then_serves_identically(self):
+        config = ServerConfig(port=0, deadline_seconds=0.3)
+        with serve_in_thread(chaos_toolkit(), config) as handle:
+            client = client_for(handle)
+            status, _, clean = matrix(client)
+            assert status == 200
+            deadline_responses = counter("server.responses.deadline")
+            fired = counter("faults.injected.server.slow")
+            with injected_faults("server.slow=1@1.0"):
+                status, _, body = matrix(client)
+                assert status == 504, body
+                assert json.loads(body)["error"]["code"] \
+                    == "deadline_exceeded"
+            assert counter("server.responses.deadline") \
+                == deadline_responses + 1
+            assert counter("faults.injected.server.slow") == fired + 1
+            # The fault quota is spent: the very next response is 200
+            # with the exact bytes of the clean run.
+            status, _, body = matrix(client)
+            assert status == 200
+            assert body == clean
+
+
+class TestBreakerChaos:
+    def test_breaker_opens_rejects_then_half_open_recovers(self):
+        config = ServerConfig(port=0, deadline_seconds=0.2,
+                              breaker_threshold=2, breaker_reset=0.5)
+        with serve_in_thread(chaos_toolkit(), config) as handle:
+            client = client_for(handle)
+            status, _, clean = matrix(client)
+            assert status == 200
+            rejected = counter("server.rejected.breaker")
+            with injected_faults("server.slow=2@1.0"):
+                for _ in range(2):
+                    status, _, body = matrix(client)
+                    assert status == 504, body
+            assert handle.service.breaker.state == CircuitBreaker.OPEN
+            # While the circuit holds, requests are refused up front
+            # with a typed 503 and a Retry-After hint.
+            status, headers, body = matrix(client)
+            assert status == 503, body
+            assert json.loads(body)["error"]["code"] == "unavailable"
+            assert int(headers["retry-after"]) >= 1
+            assert counter("server.rejected.breaker") == rejected + 1
+            # After the reset window one probe is admitted; its success
+            # closes the circuit and service resumes bit-identically.
+            time.sleep(0.6)
+            status, _, body = matrix(client)
+            assert status == 200, body
+            assert body == clean
+            assert handle.service.breaker.state == CircuitBreaker.CLOSED
+
+
+class TestWorkerCrashChaos:
+    def test_crashing_pool_workers_under_traffic_stay_identical(
+            self, monkeypatch):
+        monkeypatch.setenv("SST_WORKERS", "2")
+        monkeypatch.setenv("SST_STRATEGY", "process")
+        monkeypatch.setenv("SST_RETRY_BUDGET", "1")
+        payload = {"pairs": [["chaos", NAMES[index],
+                              "chaos", NAMES[index + 9]]
+                             for index in range(12)],
+                   "measure": int(Measure.LIN)}
+        with serve_in_thread(chaos_toolkit()) as handle:
+            client = client_for(handle)
+            status, _, clean = client.post_json("/v1/similarity", payload)
+            assert status == 200
+            degraded = counter("resilience.degraded")
+            with injected_faults("worker.crash=99"):
+                # Every forked worker kills its first 99 chunks; the
+                # request must ride the degradation ladder down to a
+                # serial batch and still answer the same bytes.
+                status, _, body = client.post_json("/v1/similarity",
+                                                   payload)
+            assert status == 200, body
+            assert body == clean
+            assert counter("resilience.degraded") >= degraded + 1
+            assert client.get_json("/healthz")["status"] == "ok"
+
+
+class TestCacheCorruptionChaos:
+    def test_corrupt_l2_is_quarantined_between_boots(self,
+                                                     _own_cache_dir):
+        with serve_in_thread(chaos_toolkit(cache=True)) as handle:
+            status, _, clean = matrix(client_for(handle))
+            assert status == 200
+            handle.service.toolkit.flush_caches()
+        quarantined = counter("cache.l2.quarantined")
+        with injected_faults("cache.corrupt=1"):
+            # A fresh boot over the (scribbled-at-connect) store must
+            # quarantine the shard and recompute the same bytes.
+            with serve_in_thread(chaos_toolkit(cache=True)) as handle:
+                status, _, body = matrix(client_for(handle))
+                assert status == 200, body
+                assert body == clean
+        assert counter("cache.l2.quarantined") == quarantined + 1
+        assert len(list(_own_cache_dir.glob("*.corrupt-*"))) == 1
+
+
+class TestIndexCorruptionChaos:
+    def test_corrupt_index_artifact_self_heals(self, monkeypatch,
+                                               _own_cache_dir):
+        monkeypatch.setenv("SST_INDEX_THRESHOLD", "0")
+        monkeypatch.setenv("SST_INDEX_PERSIST", "0")
+        with serve_in_thread(chaos_toolkit(cache=True)) as handle:
+            status, _, clean = matrix(client_for(handle))
+            assert status == 200
+        artifacts = list((_own_cache_dir / "index").glob("*.sstidx"))
+        assert artifacts, "first boot must persist the compiled index"
+        quarantined = counter("index.persist.quarantined")
+        fired = counter("faults.injected.index.corrupt")
+        with injected_faults("index.corrupt=1"):
+            with serve_in_thread(chaos_toolkit(cache=True)) as handle:
+                status, _, body = matrix(client_for(handle))
+                assert status == 200, body
+                assert body == clean
+        assert counter("faults.injected.index.corrupt") == fired + 1
+        assert counter("index.persist.quarantined") == quarantined + 1
+        assert list((_own_cache_dir / "index").glob("*.corrupt-*"))
+
+
+class TestChaosVisibility:
+    def test_fault_and_outcome_counters_surface_in_metrics(self):
+        config = ServerConfig(port=0, deadline_seconds=0.3)
+        with serve_in_thread(chaos_toolkit(), config) as handle:
+            client = client_for(handle)
+            with injected_faults("server.slow=1@1.0"):
+                status, _, _ = matrix(client)
+                assert status == 504
+            status, _, body = client.get("/metrics")
+            assert status == 200
+            text = body.decode("utf-8")
+            assert "sst_faults_injected" in text
+            assert "sst_server_responses_deadline" in text
+            assert "sst_server_requests" in text
+
+    def test_everything_at_once_under_traffic(self, _own_cache_dir):
+        with serve_in_thread(chaos_toolkit(cache=True)) as handle:
+            status, _, clean = matrix(client_for(handle))
+            assert status == 200
+            handle.service.toolkit.flush_caches()
+        quarantined = counter("cache.l2.quarantined")
+        config = ServerConfig(port=0, deadline_seconds=0.4)
+        with injected_faults("server.slow=1@1.0,cache.corrupt=1"):
+            with serve_in_thread(chaos_toolkit(cache=True),
+                                 config) as handle:
+                client = client_for(handle)
+                status, _, body = matrix(client)
+                assert status == 504, body
+                # Quotas spent, shard quarantined: service recovers to
+                # the exact clean bytes without a restart.
+                for _ in range(50):
+                    status, _, body = matrix(client)
+                    if status == 200:
+                        break
+                    time.sleep(0.1)
+                assert status == 200, body
+                assert body == clean
+        assert counter("cache.l2.quarantined") == quarantined + 1

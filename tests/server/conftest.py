@@ -1,0 +1,116 @@
+"""Shared plumbing for the ``sst serve`` battery.
+
+``ServiceClient`` speaks the service's own dialect — one request per
+connection, JSON in, JSON out — through :mod:`http.client`, so tests
+exercise a real TCP round trip rather than calling the service layer
+directly.  ``raw_request`` bypasses even that for the malformed-bytes
+robustness tests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+from repro.core import telemetry
+from repro.core.facade import SOQASimPackToolkit
+from repro.soqa.api import SOQA
+from repro.soqa.metamodel import Concept, Ontology, OntologyMetadata
+
+
+def dag_toolkit(ontologies: dict[str, dict[str, list[str]]],
+                cache: bool = False) -> SOQASimPackToolkit:
+    """An SST facade over ``{ontology: {concept: parents}}`` DAGs."""
+    soqa = SOQA()
+    for ontology_name, parents in ontologies.items():
+        concepts = [Concept(name=name, documentation=f"doc {name}",
+                            superconcept_names=list(node_parents))
+                    for name, node_parents in parents.items()]
+        soqa.add_ontology(Ontology(
+            OntologyMetadata(name=ontology_name, language="OWL"),
+            concepts))
+    return SOQASimPackToolkit(soqa, cache=cache)
+
+
+def counter(name: str) -> int:
+    return telemetry.get_registry().value(name)
+
+
+class ServiceClient:
+    """A minimal HTTP client bound to one running server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, body: bytes | None = None,
+                headers: dict[str, str] | None = None,
+                ) -> tuple[int, dict[str, str], bytes]:
+        """One request; returns ``(status, lowercased headers, body)``."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request(method, path, body=body,
+                               headers=dict(headers or {}))
+            response = connection.getresponse()
+            payload = response.read()
+            header_map = {name.lower(): value
+                          for name, value in response.getheaders()}
+            return response.status, header_map, payload
+        finally:
+            connection.close()
+
+    def get(self, path: str, headers: dict[str, str] | None = None,
+            ) -> tuple[int, dict[str, str], bytes]:
+        return self.request("GET", path, headers=headers)
+
+    def post_json(self, path: str, payload,
+                  headers: dict[str, str] | None = None,
+                  ) -> tuple[int, dict[str, str], bytes]:
+        body = json.dumps(payload).encode("utf-8")
+        merged = {"Content-Type": "application/json"}
+        merged.update(headers or {})
+        return self.request("POST", path, body=body, headers=merged)
+
+    def get_json(self, path: str):
+        status, _, body = self.get(path)
+        assert status == 200, body
+        return json.loads(body)
+
+    def post_ok(self, path: str, payload):
+        status, _, body = self.post_json(path, payload)
+        assert status == 200, body
+        return json.loads(body)
+
+
+def client_for(handle) -> ServiceClient:
+    return ServiceClient(handle.host, handle.port)
+
+
+def raw_request(host: str, port: int, data: bytes,
+                timeout: float = 10.0) -> bytes:
+    """Send raw bytes, half-close, and drain whatever comes back."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        if data:
+            sock.sendall(data)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
+
+
+def error_code(body: bytes) -> str:
+    """The typed ``error.code`` of a refusal response."""
+    payload = json.loads(body)
+    assert set(payload) == {"error"}, payload
+    assert {"code", "message", "request_id"} <= set(payload["error"])
+    return payload["error"]["code"]
