@@ -321,11 +321,24 @@ class SimilarityService:
         self.gate = PairGate(toolkit)
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             name="server")
+        self._corpus_summary: dict | None = None
 
     def warm(self) -> None:
         """Build the shared structures once, before serving traffic."""
         self.toolkit.tree
         self.toolkit.wrapper
+        # The corpus is immutable while serving, so summarise it once
+        # here instead of walking (possibly sqlite-backed) stores on
+        # every /healthz and /v1/ontologies hit.
+        self._corpus_summary = self._summarise_corpus()
+
+    def _summarise_corpus(self) -> dict:
+        soqa = self.toolkit.soqa
+        return {"ontologies": [{
+            "name": name,
+            "language": soqa.ontology(name).language,
+            "concepts": len(soqa.ontology(name)),
+        } for name in self.toolkit.ontology_names()]}
 
     # -- validation ---------------------------------------------------------
 
@@ -481,19 +494,18 @@ class SimilarityService:
 
     def ontologies(self) -> dict:
         """``GET /v1/ontologies``: the loaded corpus summary."""
-        soqa = self.toolkit.soqa
-        return {"ontologies": [{
-            "name": name,
-            "language": soqa.ontology(name).language,
-            "concepts": len(soqa.ontology(name)),
-        } for name in self.toolkit.ontology_names()]}
+        summary = self._corpus_summary
+        if summary is None:  # cold service (warm=False): compute now
+            summary = self._summarise_corpus()
+        return summary
 
     def health(self) -> dict:
         """``GET /healthz``: liveness plus corpus shape."""
+        entries = self.ontologies()["ontologies"]
         return {
             "status": "ok",
-            "ontologies": len(self.toolkit.ontology_names()),
-            "concepts": self.toolkit.concept_count(),
+            "ontologies": len(entries),
+            "concepts": sum(entry["concepts"] for entry in entries),
         }
 
 
@@ -559,10 +571,14 @@ class SimilarityServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="sst-serve")
-        server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port,
-            limit=max(MAX_HEADER_BYTES * 4, 1 << 16))
         try:
+            # Inside the try so a failed bind (port in use, bad host)
+            # still shuts the executor down and propagates the OSError
+            # instead of leaving a waiter to time out on ``ready``.
+            server = await asyncio.start_server(
+                self._handle_connection, self.config.host,
+                self.config.port,
+                limit=max(MAX_HEADER_BYTES * 4, 1 << 16))
             sockname = server.sockets[0].getsockname()
             self.host, self.port = sockname[0], sockname[1]
             telemetry.gauge("server.workers", self.config.workers)
@@ -572,8 +588,6 @@ class SimilarityServer:
                 await self._stop.wait()
         finally:
             self._executor.shutdown(wait=False)
-            if ready is not None:
-                ready.set()  # unblock a waiter even on startup failure
 
     def request_stop(self) -> None:
         """Ask the serve loop to exit (thread-safe)."""
@@ -697,17 +711,26 @@ class SimilarityServer:
     async def _route(self, method: str, path: str, headers: dict,
                      reader: asyncio.StreamReader,
                      request_id: str) -> _Response:
+        # The GET endpoints run on the worker pool too: an unwarmed
+        # corpus summary or a large metrics render must never stall
+        # the accept loop.
+        loop = asyncio.get_running_loop()
         if path == "/healthz":
             self._check_method(method, "GET")
-            return _json_response(200, self.service.health())
+            payload = await loop.run_in_executor(self._executor,
+                                                 self.service.health)
+            return _json_response(200, payload)
         if path == "/metrics":
             self._check_method(method, "GET")
-            body = telemetry.get_registry().render_prometheus()
+            body = await loop.run_in_executor(
+                self._executor, telemetry.get_registry().render_prometheus)
             return _Response(200, body.encode("utf-8"),
                              content_type="text/plain; version=0.0.4")
         if path == "/v1/ontologies":
             self._check_method(method, "GET")
-            return _json_response(200, self.service.ontologies())
+            payload = await loop.run_in_executor(self._executor,
+                                                 self.service.ontologies)
+            return _json_response(200, payload)
         if path == "/v1/similarity":
             self._check_method(method, "POST")
             payload = await self._read_json_body(reader, headers)
@@ -767,7 +790,13 @@ class SimilarityServer:
     async def _compute(self, handler: Callable, payload,
                        request_id: str) -> _Response:
         """Run a service endpoint on the worker pool, guarded by the
-        breaker (admission) and the per-request deadline."""
+        breaker (admission) and the per-request deadline.
+
+        Every admitted request records exactly one breaker outcome —
+        otherwise a half-open probe that happens to be a client error
+        (or hits an unexpected exception) would leave the breaker
+        HALF_OPEN forever, refusing all traffic until restart.
+        """
         breaker = self.service.breaker
         if not breaker.allow():
             telemetry.count("server.rejected.breaker")
@@ -791,11 +820,21 @@ class SimilarityServer:
                 f"request exceeded its {self.config.deadline_seconds:g}s "
                 "deadline") from None
         except RequestError:
-            raise  # client errors are not service failures
+            # A client-level refusal (404/422/...) means the backend
+            # did its job: not a service failure, but it must still
+            # resolve a half-open probe as healthy.
+            breaker.record_success()
+            raise
         except SSTError as error:
             breaker.record_failure()
             raise RequestError(500, "internal",
                                f"computation failed: {error}") from error
+        except BaseException:
+            # Unexpected exceptions escape to the connection handler's
+            # catch-all (500) — record the failure first so the probe
+            # can never leak.
+            breaker.record_failure()
+            raise
         breaker.record_success()
         return _json_response(200, result)
 
@@ -879,13 +918,23 @@ def serve_in_thread(toolkit, config: ServerConfig | None = None,
         service.warm()
     server = SimilarityServer(service, config)
     ready = threading.Event()
+    failure: list[BaseException] = []
 
     def _run() -> None:
-        asyncio.run(server.run(ready))
+        try:
+            asyncio.run(server.run(ready))
+        # Not swallowed: the startup waiter below re-raises it chained.
+        except BaseException as error:  # sst: disable=swallowed-exception
+            failure.append(error)
+        finally:
+            ready.set()  # failure is recorded before any waiter wakes
 
     thread = threading.Thread(target=_run, name="sst-serve-loop",
                               daemon=True)
     thread.start()
     if not ready.wait(30.0) or server.port is None:
+        if failure:
+            raise SSTCoreError(
+                f"sst serve failed to start: {failure[0]}") from failure[0]
         raise SSTCoreError("sst serve failed to start within 30s")
     return ServerHandle(server, thread)

@@ -100,6 +100,70 @@ class TestBreakerChaos:
             assert body == clean
             assert handle.service.breaker.state == CircuitBreaker.CLOSED
 
+    def test_client_error_probe_resolves_instead_of_wedging(self):
+        """Regression: a half-open probe that turns out to be a 422
+        must close the circuit, not leave it HALF_OPEN forever (which
+        would 503 every request until restart)."""
+        config = ServerConfig(port=0, deadline_seconds=0.2,
+                              breaker_threshold=2, breaker_reset=0.3)
+        with serve_in_thread(chaos_toolkit(), config) as handle:
+            client = client_for(handle)
+            status, _, clean = matrix(client)
+            assert status == 200
+            with injected_faults("server.slow=2@1.0"):
+                for _ in range(2):
+                    status, _, _ = matrix(client)
+                    assert status == 504
+            assert handle.service.breaker.state == CircuitBreaker.OPEN
+            time.sleep(0.4)
+            # The admitted probe is a client error: backend healthy.
+            status, _, body = client.post_json(
+                "/v1/similarity", {"measure": "no-such-measure"})
+            assert status == 422, body
+            assert handle.service.breaker.state == CircuitBreaker.CLOSED
+            # Traffic flows again immediately — no permanent 503.
+            status, _, body = matrix(client)
+            assert status == 200, body
+            assert body == clean
+
+    def test_unexpected_probe_failure_reopens_instead_of_wedging(self):
+        """Regression: a half-open probe dying on a non-SST exception
+        must re-open the circuit (failure recorded), never strand it
+        HALF_OPEN with allow() refusing everything."""
+        config = ServerConfig(port=0, deadline_seconds=0.2,
+                              breaker_threshold=2, breaker_reset=0.3)
+        with serve_in_thread(chaos_toolkit(), config) as handle:
+            client = client_for(handle)
+            status, _, clean = matrix(client)
+            assert status == 200
+            with injected_faults("server.slow=2@1.0"):
+                for _ in range(2):
+                    status, _, _ = matrix(client)
+                    assert status == 504
+            assert handle.service.breaker.state == CircuitBreaker.OPEN
+            time.sleep(0.4)
+            original = handle.service.similarity
+
+            def _explode(payload, deadline):
+                raise RuntimeError("probe dies unexpectedly")
+
+            handle.service.similarity = _explode
+            try:
+                status, _, body = matrix(client)
+                assert status == 500, body
+            finally:
+                handle.service.similarity = original
+            # The failed probe re-opened the circuit — a resolved
+            # outcome, not a leak: the next window admits a new probe.
+            assert handle.service.breaker.state == CircuitBreaker.OPEN
+            status, _, _ = matrix(client)
+            assert status == 503
+            time.sleep(0.4)
+            status, _, body = matrix(client)
+            assert status == 200, body
+            assert body == clean
+            assert handle.service.breaker.state == CircuitBreaker.CLOSED
+
 
 class TestWorkerCrashChaos:
     def test_crashing_pool_workers_under_traffic_stay_identical(

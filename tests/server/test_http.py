@@ -13,6 +13,8 @@ payload validator (arbitrary JSON-shaped objects) to pin the
 from __future__ import annotations
 
 import json
+import socket
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -22,6 +24,7 @@ from repro.core.facade import SOQASimPackToolkit
 from repro.core.registry import Measure
 from repro.core.resilience import Deadline
 from repro.core.server import RequestError, ServerConfig, serve_in_thread
+from repro.errors import SSTCoreError
 from repro.soqa.api import SOQA
 from tests.conftest import MINI_OWL, MINI_PLOOM, MINI_WORDNET
 from tests.server.conftest import (ServiceClient, client_for, error_code,
@@ -340,3 +343,24 @@ class TestWireFuzz:
         assert isinstance(payload, dict)
         if status != 200:
             assert set(payload) == {"error"}
+
+
+class TestLifecycle:
+    def test_bind_failure_surfaces_the_real_error_fast(self):
+        """Regression: a failed bind (port already taken) must raise
+        promptly with the underlying OSError attached — not block 30s
+        and mask it behind a generic startup-timeout message."""
+        soqa = SOQA()
+        soqa.load_text(MINI_OWL, "univ", "OWL")
+        toolkit = SOQASimPackToolkit(soqa)
+        with socket.socket() as occupier:
+            occupier.bind(("127.0.0.1", 0))
+            occupier.listen(1)
+            port = occupier.getsockname()[1]
+            config = ServerConfig(host="127.0.0.1", port=port)
+            started = time.monotonic()
+            with pytest.raises(SSTCoreError) as exc_info:
+                serve_in_thread(toolkit, config)
+            assert time.monotonic() - started < 10.0
+            assert "failed to start" in str(exc_info.value)
+            assert isinstance(exc_info.value.__cause__, OSError)
