@@ -5,7 +5,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint analyze coverage chaos serve-test bench-smoke \
-	bench-graphindex bench-kernel bench-scale bench
+	bench-graphindex bench-kernel bench-scale bench-serve bench
 
 # Tier-1 test suite (the CI "tests" job).
 test:
@@ -18,9 +18,11 @@ chaos:
 
 # Service battery: byte-for-byte CLI parity, coalescing/concurrency
 # hammers and HTTP fuzz over a live `sst serve`, plus chaos under
-# traffic (the CI "serve" job).
+# traffic and lifecycle chaos (real SIGTERM drains, kill -9 imports;
+# the CI "serve" job).
 serve-test:
-	$(PY) -m pytest tests/server tests/chaos/test_serve_chaos.py -q
+	$(PY) -m pytest tests/server tests/chaos/test_serve_chaos.py \
+		tests/chaos/test_lifecycle_chaos.py -q
 
 # Tier-1 suite under coverage with the ratcheted minimum (the CI
 # "coverage" job).  The threshold lives in pyproject.toml
@@ -67,6 +69,14 @@ bench-kernel:
 # the root.
 bench-scale:
 	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_scale.py -q
+
+# Service throughput + overload posture, quick mode.  Non-gating on
+# timings (loopback HTTP is too noisy to band) but hard on overload
+# correctness: typed 429s with Retry-After, zero 500s.  Regenerates
+# BENCH_serve.json at the root; run without SST_BENCH_QUICK=1 for the
+# nightly full-size configuration (results directory only).
+bench-serve:
+	SST_BENCH_QUICK=1 $(PY) -m pytest benchmarks/test_serve_overload.py -q
 
 # The full benchmark suite (not run in CI; slow).
 bench:

@@ -571,6 +571,93 @@ def _swallowed_exception(rule, context: CodeContext):
 
 
 # ---------------------------------------------------------------------------
+# Lifecycle discipline
+# ---------------------------------------------------------------------------
+
+
+def _constant_false_keyword(call: ast.Call, name: str) -> bool:
+    """True when ``call`` passes the literal ``name=False``."""
+    for keyword in call.keywords:
+        if keyword.arg == name \
+                and isinstance(keyword.value, ast.Constant) \
+                and keyword.value.value is False:
+            return True
+    return False
+
+
+@CODE_RULES.rule("abandoning-executor-shutdown", "warning", "code")
+def _abandoning_executor_shutdown(rule, context: CodeContext):
+    """Lifecycle: ``Executor.shutdown(wait=False)`` abandons in-flight
+    work silently — outside a drain-aware teardown (which has already
+    waited for, or deliberately counted, the survivors) it drops
+    requests the caller believes are still being answered.
+
+    Only literal ``wait=False`` is flagged; a computed ``wait=`` is a
+    decision, not an abandonment.  Functions whose name carries
+    ``drain`` are the documented escape hatch: by then the drain loop
+    owns the accounting (``server.drain.*``).
+    """
+    for module, call, _resolved in context.calls():
+        if not isinstance(call.func, ast.Attribute) \
+                or call.func.attr != "shutdown":
+            continue
+        if not _constant_false_keyword(call, "wait"):
+            continue
+        function = enclosing_function(call)
+        if function is not None and "drain" in function.name:
+            continue
+        yield _code_finding(
+            rule, module, call,
+            "shutdown(wait=False) abandons in-flight work without "
+            "draining or accounting for it",
+            hint="drain first (wait for in-flight work, count what "
+                 "was abandoned — see SimilarityServer."
+                 "_drain_aware_executor_shutdown), or pragma a "
+                 "deliberate abandonment")
+
+
+def _under_main_thread_guard(node: ast.AST,
+                             module: ModuleSource) -> bool:
+    """True when ``node`` sits under ``if ... threading.main_thread()``."""
+    for ancestor in ancestors(node):
+        if not isinstance(ancestor, ast.If):
+            continue
+        for part in ast.walk(ancestor.test):
+            if isinstance(part, ast.Call) and _matches(
+                    module.resolve(part.func) or "",
+                    ("threading.main_thread",)):
+                return True
+    return False
+
+
+@CODE_RULES.rule("signal-off-main-thread", "warning", "code")
+def _signal_off_main_thread(rule, context: CodeContext):
+    """Lifecycle: ``signal.signal(...)`` raises ``ValueError`` anywhere
+    but the main thread — library code cannot know its thread, so a
+    bare registration is a latent crash in every embedded or
+    background-thread deployment.
+
+    Either install through the event loop (``loop.add_signal_handler``
+    runs the callback on the loop, any thread) or guard the fallback
+    with an explicit main-thread check, as
+    :func:`repro.core.lifecycle.install_signal_drain` does.
+    """
+    for module, call, resolved in context.calls():
+        if not _matches(resolved, ("signal.signal",)):
+            continue
+        if _under_main_thread_guard(call, module):
+            continue
+        yield _code_finding(
+            rule, module, call,
+            "signal.signal(...) without a main-thread guard raises "
+            "ValueError in embedded/background-thread servers",
+            hint="prefer loop.add_signal_handler, or guard with "
+                 "`if threading.current_thread() is "
+                 "threading.main_thread():` (see lifecycle."
+                 "install_signal_drain)")
+
+
+# ---------------------------------------------------------------------------
 # Observability hygiene
 # ---------------------------------------------------------------------------
 

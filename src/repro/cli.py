@@ -315,7 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the resident similarity service (HTTP/JSON): loads "
              "the corpus once and answers /v1/similarity, /v1/ksim, "
-             "/v1/ontologies, /healthz and /metrics")
+             "/v1/ontologies, /healthz, /readyz and /metrics; "
+             "SIGTERM drains gracefully")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8642,
@@ -346,6 +347,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-circuit hold before the half-open probe; also the "
              "Retry-After hint (default: SST_SERVE_BREAKER_RESET, "
              "else 30)")
+    serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        dest="drain_timeout",
+        help="on SIGTERM/SIGINT, how long in-flight requests may "
+             "finish before the process exits (default: "
+             "SST_SERVE_DRAIN, else 10)")
+    serve.add_argument(
+        "--no-keep-alive", action="store_true", dest="no_keep_alive",
+        help="close every connection after one request instead of "
+             "HTTP keep-alive (default: SST_SERVE_KEEPALIVE, else on)")
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        dest="idle_timeout",
+        help="close a kept-alive connection after this long without a "
+             "new request; 0 disables (default: SST_SERVE_IDLE, "
+             "else 30)")
+    serve.add_argument(
+        "--max-requests-per-conn", type=int, default=None, metavar="N",
+        dest="max_requests_per_conn",
+        help="requests served per connection before it is closed "
+             "(default: SST_SERVE_MAX_REQUESTS, else 100)")
+    serve.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        dest="max_connections",
+        help="concurrent connection cap, answered with 503 beyond it "
+             "(default: SST_SERVE_MAX_CONNECTIONS, else 128)")
+    serve.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        dest="queue_limit",
+        help="admitted requests that may wait behind the worker pool "
+             "before new work is shed with 429; 0 means four per "
+             "worker (default: SST_SERVE_QUEUE)")
+    serve.add_argument(
+        "--max-wait", type=float, default=None, metavar="SECONDS",
+        dest="max_wait",
+        help="shed with 429 when the estimated queue wait exceeds "
+             "this; 0 disables (default: SST_SERVE_MAX_WAIT, else 10)")
 
     trace = subparsers.add_parser(
         "trace",
@@ -685,7 +723,14 @@ def _run_serve(sst: SOQASimPackToolkit,
         deadline_seconds=arguments.deadline,
         max_body_bytes=arguments.max_body,
         breaker_threshold=arguments.breaker_threshold,
-        breaker_reset=arguments.breaker_reset)
+        breaker_reset=arguments.breaker_reset,
+        drain_seconds=arguments.drain_timeout,
+        keep_alive=False if arguments.no_keep_alive else None,
+        idle_timeout=arguments.idle_timeout,
+        max_requests_per_connection=arguments.max_requests_per_conn,
+        max_connections=arguments.max_connections,
+        queue_limit=arguments.queue_limit,
+        max_queue_wait=arguments.max_wait)
     serve(sst, config, log=lambda line: print(line, file=sys.stderr))
     return 0
 
@@ -811,7 +856,14 @@ def _run_cache(arguments: argparse.Namespace) -> int:
 
 def _run_import(arguments: argparse.Namespace) -> int:
     """The ``sst import`` subcommand: parse sources once, stream them
-    into a sqlite ontology store."""
+    into a sqlite ontology store.
+
+    The store is built **crash-safely**: rows stream into a journaled
+    same-directory temp file which is fsynced and ``os.replace``d over
+    the target only once complete, so a ``kill -9`` at any byte offset
+    leaves either the previous store or the new one — never a partial
+    that would demand ``--overwrite`` on the retry.
+    """
     from repro.soqa.sqlstore import SqliteOntologyStore
     from repro.soqa.wrapper import default_registry
 
@@ -820,9 +872,8 @@ def _run_import(arguments: argparse.Namespace) -> int:
     # a typo'd extension must not leave behind an empty store that then
     # demands --overwrite on the corrected retry.
     wrappers = [registry.for_path(source) for source in arguments.sources]
-    store = SqliteOntologyStore.create(arguments.output,
-                                       overwrite=arguments.overwrite)
-    try:
+    with SqliteOntologyStore.build(arguments.output,
+                                   overwrite=arguments.overwrite) as store:
         for source, wrapper in zip(arguments.sources, wrappers):
             if hasattr(wrapper, "load_all"):
                 ontologies = wrapper.load_all(source)
@@ -835,11 +886,11 @@ def _run_import(arguments: argparse.Namespace) -> int:
                       f"{summary['language'] or 'unknown language'}) "
                       f"from {source}")
         totals = store.stats()
-        print(f"store {store.path}: {len(totals['ontologies'])} "
-              f"ontologies, {totals['concepts']} concepts, "
-              f"{totals['size_bytes']} bytes")
-    finally:
-        store.close()
+    # Printed only after the atomic promote: this line showing up means
+    # the store at its final path is complete and loadable.
+    print(f"store {store.path}: {len(totals['ontologies'])} "
+          f"ontologies, {totals['concepts']} concepts, "
+          f"{totals['size_bytes']} bytes")
     return 0
 
 

@@ -1,0 +1,245 @@
+"""Service lifecycle: the health state machine behind ``sst serve``.
+
+The ROADMAP's heavy-traffic posture means the service gets *rolled*:
+orchestrators send SIGTERM, health-check two different questions
+("is the process alive?" vs "should I route traffic here?"), and
+expect a draining instance to finish what it accepted.  A binary
+up/down flag cannot express that — the ontology-in-the-control-loop
+literature (Pessemier et al., PAPERS.md) makes the same point for
+observatory software: embedded services need *defined* degraded and
+draining states, not a crash.
+
+:class:`ServiceLifecycle` is that definition — a thread-safe state
+machine over five states::
+
+    STARTING ──▶ READY ◀──▶ DEGRADED
+        │          │            │
+        └──────────┴─────┬──────┘
+                         ▼
+                     DRAINING ──▶ STOPPED
+
+* ``STARTING``  — corpus loading / warm-up; readiness is *false*.
+* ``READY``     — serving; the only state advertising readiness.
+* ``DEGRADED``  — alive and serving, but saturated (admission control
+  is shedding); readiness flips *false* so load balancers back off
+  while in-flight work still completes.  Recoverable back to READY.
+* ``DRAINING``  — shutdown requested: stop accepting, refuse new work
+  with 503 + ``Retry-After``, let admitted work finish.
+* ``STOPPED``   — terminal.
+
+Transitions are validated (:class:`~repro.errors.LifecycleError` on
+anything not drawn above), idempotent when re-entering the current
+state, counted as ``server.lifecycle.transitions``, and mirrored into
+the ``server.ready`` / ``server.draining`` gauges so ``/metrics``
+always shows the current state.  ``on_transition`` listeners let the
+server close its listening socket the moment DRAINING is entered.
+
+:func:`install_signal_drain` wires SIGTERM/SIGINT to a drain callback
+on an asyncio loop — via ``loop.add_signal_handler`` where the
+platform supports it, falling back to :mod:`signal` only on the main
+thread (anywhere else the registration would raise ``ValueError`` at
+runtime; embedded servers rely on explicit ``request_drain()``
+instead).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from typing import Callable
+
+from repro.core import telemetry
+from repro.errors import LifecycleError
+
+__all__ = [
+    "DEGRADED",
+    "DRAINING",
+    "READY",
+    "STARTING",
+    "STOPPED",
+    "ServiceLifecycle",
+    "install_signal_drain",
+]
+
+STARTING = "starting"
+READY = "ready"
+DEGRADED = "degraded"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+#: Every legal edge of the state machine.  Re-entering the current
+#: state is always a no-op (not listed, never an error).
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    STARTING: frozenset({READY, DEGRADED, DRAINING, STOPPED}),
+    READY: frozenset({DEGRADED, DRAINING, STOPPED}),
+    DEGRADED: frozenset({READY, DRAINING, STOPPED}),
+    DRAINING: frozenset({STOPPED}),
+    STOPPED: frozenset(),
+}
+
+
+class ServiceLifecycle:
+    """Thread-safe five-state service health machine.
+
+    One instance per served process.  Writers call the explicit
+    transition helpers (:meth:`mark_ready`, :meth:`degrade`,
+    :meth:`restore`, :meth:`begin_drain`, :meth:`mark_stopped`);
+    readers ask :meth:`is_ready` (readiness: route traffic here?) and
+    :meth:`accepts_work` (liveness of admission: may a request enter
+    at all?).  Listeners registered with :meth:`on_transition` run
+    outside the lock, in registration order, and exceptions they raise
+    are swallowed — a misbehaving listener must not wedge a state
+    change mid-drain.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STARTING
+        self._entered_at = clock()
+        self._reason = ""
+        self._listeners: list[Callable[[str, str], None]] = []
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def reason(self) -> str:
+        """Why the current state was entered (e.g. the degrade cause)."""
+        with self._lock:
+            return self._reason
+
+    def seconds_in_state(self) -> float:
+        with self._lock:
+            return max(0.0, self._clock() - self._entered_at)
+
+    def is_ready(self) -> bool:
+        """Readiness: should a load balancer route new traffic here?"""
+        with self._lock:
+            return self._state == READY
+
+    def accepts_work(self) -> bool:
+        """Admission liveness: may a new request enter at all?
+
+        DEGRADED still accepts (admission control decides per-request
+        whether to shed); DRAINING and STOPPED refuse everything.
+        """
+        with self._lock:
+            return self._state in (READY, DEGRADED)
+
+    def snapshot(self) -> dict:
+        """State, reason and dwell time in one consistent read."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "reason": self._reason,
+                "seconds_in_state": max(0.0,
+                                        self._clock() - self._entered_at),
+            }
+
+    # -- transitions --------------------------------------------------------
+
+    def on_transition(self,
+                      listener: Callable[[str, str], None]) -> None:
+        """Register ``listener(old_state, new_state)``."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _transition(self, target: str, reason: str = "") -> bool:
+        """Move to ``target``; False when already there, raises on an
+        illegal edge."""
+        with self._lock:
+            current = self._state
+            if current == target:
+                return False
+            if target not in _TRANSITIONS[current]:
+                raise LifecycleError(current, target)
+            self._state = target
+            self._entered_at = self._clock()
+            self._reason = reason
+            listeners = list(self._listeners)
+        telemetry.count("server.lifecycle.transitions")
+        telemetry.count(f"server.lifecycle.to_{target}")
+        telemetry.gauge("server.ready", 1.0 if target == READY else 0.0)
+        telemetry.gauge("server.draining",
+                        1.0 if target == DRAINING else 0.0)
+        for listener in listeners:
+            try:
+                listener(current, target)
+            except Exception:  # sst: disable=swallowed-exception
+                # A listener failure must not abort the state change —
+                # especially not the DRAINING edge a signal handler
+                # just requested.
+                telemetry.count("server.lifecycle.listener_errors")
+        return True
+
+    def mark_ready(self) -> bool:
+        """STARTING/DEGRADED → READY (warm-up done, or load receded)."""
+        return self._transition(READY)
+
+    def degrade(self, reason: str = "saturated") -> bool:
+        """READY → DEGRADED: still serving, but shedding; not ready."""
+        with self._lock:
+            if self._state != READY:
+                # Never *enter* degradation while draining or stopped,
+                # and don't churn listeners when already degraded.
+                return False
+        return self._transition(DEGRADED, reason)
+
+    def restore(self) -> bool:
+        """DEGRADED → READY once saturation clears."""
+        with self._lock:
+            if self._state != DEGRADED:
+                return False
+        return self._transition(READY)
+
+    def begin_drain(self, reason: str = "shutdown requested") -> bool:
+        """Any live state → DRAINING.  True only for the first caller,
+        so double signals don't restart the drain clock."""
+        with self._lock:
+            if self._state in (DRAINING, STOPPED):
+                return False
+        changed = self._transition(DRAINING, reason)
+        if changed:
+            telemetry.count("server.drain.started")
+        return changed
+
+    def mark_stopped(self) -> bool:
+        """Terminal: the loop has exited."""
+        with self._lock:
+            if self._state == STOPPED:
+                return False
+        return self._transition(STOPPED)
+
+
+def install_signal_drain(loop, callback: Callable[[], None],
+                         signals: tuple = (signal.SIGTERM,
+                                           signal.SIGINT)) -> list:
+    """Route ``signals`` to ``callback`` for a served asyncio ``loop``.
+
+    Prefers ``loop.add_signal_handler`` (Unix event loops): the
+    callback runs *on the loop*, so it may touch asyncio state
+    directly.  Where that is unsupported (Windows, uncommon loops) it
+    falls back to :func:`signal.signal` — but only on the main thread,
+    because CPython rejects handler registration anywhere else; a
+    background-thread server simply keeps its explicit
+    ``request_drain()`` path.  Returns the signal numbers actually
+    installed so callers can report (and tests can assert) coverage.
+    """
+    installed: list = []
+    for signum in signals:
+        try:
+            loop.add_signal_handler(signum, callback)
+            installed.append(signum)
+            continue
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+        if threading.current_thread() is threading.main_thread():
+            signal.signal(signum, lambda _signum, _frame: callback())
+            installed.append(signum)
+    return installed

@@ -34,6 +34,7 @@ metrics`` instead of silent.
 
 from __future__ import annotations
 
+import math
 import os
 import tempfile
 import threading
@@ -44,18 +45,20 @@ from typing import Callable, Iterator, Mapping
 
 from repro.core import telemetry
 from repro.errors import (CircuitOpenError, DeadlineExceededError,
-                          FaultSpecError, ResilienceError,
+                          FaultSpecError, OverloadedError, ResilienceError,
                           RetryExhaustedError)
 
 __all__ = [
     "FAULTS_ENV",
     "KNOWN_FAULT_SITES",
+    "AdmissionController",
     "CircuitBreaker",
     "Deadline",
     "FaultPlan",
     "RetryPolicy",
     "active_fault_plan",
     "atomic_write_text",
+    "durable_replace",
     "injected_faults",
     "install_fault_plan",
     "io_retry_policy",
@@ -77,6 +80,8 @@ KNOWN_FAULT_SITES = (
     "loader.io",      # an ontology file read raises OSError
     "index.corrupt",  # a persisted index artifact is scribbled before load
     "server.slow",    # a served request stalls (arg = seconds, default 0.25)
+    "import.crash",   # sst import dies (kill -9 style) once the imported
+                      # concept count reaches the arg (default 0 = at once)
 )
 
 
@@ -321,6 +326,149 @@ class CircuitBreaker:
 
 
 # ---------------------------------------------------------------------------
+# Saturation-aware admission control
+# ---------------------------------------------------------------------------
+
+
+class AdmissionController:
+    """Load shedding *before* work is queued, by saturation rather than
+    by failure.
+
+    The :class:`CircuitBreaker` reacts to what already went wrong —
+    consecutive failures open it.  Under a pure overload nothing fails:
+    every request is valid, the pool is simply outnumbered, and
+    unbounded queueing turns a throughput problem into a latency
+    collapse where *every* client times out.  This controller bounds
+    the line instead: a request is admitted only while
+
+    * the queue behind the worker pool is shorter than ``queue_limit``
+      (admitted-but-unfinished work beyond ``workers``), and
+    * the *estimated wait* to reach a worker — queue position divided
+      by pool drain rate, from an exponentially-weighted average of
+      recent service times — stays under ``max_wait`` seconds.
+
+    Refusals raise :class:`~repro.errors.OverloadedError` carrying an
+    integer ``retry_after`` hint (the estimated time for the backlog to
+    clear), which servers map onto a typed 429.  Admission and release
+    maintain the ``server.queue_depth`` gauge, sheds count as
+    ``server.shed`` / ``server.shed.queue_full`` /
+    ``server.shed.slow_drain``; :meth:`saturation` reports queue
+    fullness in ``[0, 1]`` so a lifecycle can flip DEGRADED at 1.0 and
+    restore below :attr:`RESTORE_FRACTION`.
+
+    The clock is injectable; all state is lock-guarded and the admit /
+    release pair is safe from any thread.
+    """
+
+    #: Saturation at or below which a degraded service may recover.
+    RESTORE_FRACTION = 0.5
+
+    #: EWMA weight of the newest service-time sample.
+    _ALPHA = 0.2
+
+    def __init__(self, workers: int, queue_limit: int | None = None,
+                 max_wait: float | None = 10.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "server"):
+        if workers < 1:
+            raise ResilienceError("admission needs at least one worker")
+        if queue_limit is not None and queue_limit < 1:
+            raise ResilienceError("admission queue limit must be >= 1")
+        if max_wait is not None and max_wait <= 0:
+            raise ResilienceError(
+                "admission max wait must be positive (or None)")
+        self.workers = workers
+        self.queue_limit = (queue_limit if queue_limit is not None
+                            else workers * 4)
+        self.max_wait = max_wait
+        self.clock = clock
+        self.name = name
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._ewma_seconds: float | None = None
+
+    # -- inspection ---------------------------------------------------------
+
+    def inflight(self) -> int:
+        """Admitted-and-unfinished requests (running + queued)."""
+        with self._lock:
+            return self._inflight
+
+    def queue_depth(self) -> int:
+        """Admitted requests beyond the worker pool (the waiting line)."""
+        with self._lock:
+            return max(0, self._inflight - self.workers)
+
+    def saturation(self) -> float:
+        """Queue fullness in ``[0, 1]`` (1.0 = shedding boundary)."""
+        with self._lock:
+            depth = max(0, self._inflight - self.workers)
+        return min(1.0, depth / self.queue_limit)
+
+    def estimated_wait(self) -> float:
+        """Seconds a new arrival would wait for a worker (0 when the
+        pool has free capacity or no latency samples exist yet)."""
+        with self._lock:
+            return self._estimated_wait_locked()
+
+    def _estimated_wait_locked(self) -> float:
+        depth = max(0, self._inflight - self.workers)
+        if depth <= 0 or self._ewma_seconds is None:
+            return 0.0
+        # With `workers` servers draining in parallel, the line moves
+        # one place every ewma/workers seconds.
+        return (depth + 1) * self._ewma_seconds / self.workers
+
+    def _retry_after(self, estimated: float) -> int:
+        if estimated <= 0 and self._ewma_seconds is not None:
+            estimated = self.queue_limit * self._ewma_seconds / self.workers
+        return max(1, math.ceil(min(60.0, estimated)))
+
+    # -- admit / release ----------------------------------------------------
+
+    def try_admit(self) -> float:
+        """Admit one request, returning its start stamp for
+        :meth:`release`; raises :class:`~repro.errors.OverloadedError`
+        when the service should shed instead of queue."""
+        with self._lock:
+            depth = max(0, self._inflight - self.workers)
+            estimated = self._estimated_wait_locked()
+            if depth >= self.queue_limit:
+                telemetry.count("server.shed")
+                telemetry.count("server.shed.queue_full")
+                raise OverloadedError(
+                    f"admission queue full ({depth} waiting, limit "
+                    f"{self.queue_limit})",
+                    retry_after=self._retry_after(estimated))
+            if self.max_wait is not None and estimated > self.max_wait:
+                telemetry.count("server.shed")
+                telemetry.count("server.shed.slow_drain")
+                raise OverloadedError(
+                    f"estimated queue wait {estimated:.1f}s exceeds the "
+                    f"{self.max_wait:g}s shedding bound",
+                    retry_after=self._retry_after(estimated))
+            self._inflight += 1
+            depth = max(0, self._inflight - self.workers)
+        telemetry.count("server.admitted")
+        telemetry.gauge("server.queue_depth", depth)
+        return self.clock()
+
+    def release(self, started: float) -> None:
+        """Mark one admitted request finished, feeding its service time
+        into the drain-rate estimate."""
+        elapsed = max(0.0, self.clock() - started)
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            if self._ewma_seconds is None:
+                self._ewma_seconds = elapsed
+            else:
+                self._ewma_seconds += self._ALPHA * (elapsed
+                                                     - self._ewma_seconds)
+            depth = max(0, self._inflight - self.workers)
+        telemetry.gauge("server.queue_depth", depth)
+
+
+# ---------------------------------------------------------------------------
 # Deterministic fault injection
 # ---------------------------------------------------------------------------
 
@@ -501,3 +649,35 @@ def atomic_write_text(path: "str | Path", text: str,
             pass
         raise
     return path
+
+
+def durable_replace(temp_path: "str | Path",
+                    final_path: "str | Path") -> Path:
+    """Atomically promote a fully-written file into place, durably.
+
+    The binary-artifact counterpart of :func:`atomic_write_text` for
+    files written by someone else (e.g. a sqlite store builder): fsync
+    the temp file's *content*, ``os.replace`` it over ``final_path``,
+    then fsync the directory so the rename itself survives power loss.
+    A crash at any byte offset leaves either the old file or the
+    complete new one — never a partial.
+    """
+    temp_path = Path(temp_path)
+    final_path = Path(final_path)
+    descriptor = os.open(str(temp_path), os.O_RDONLY)
+    try:
+        os.fsync(descriptor)
+    finally:
+        os.close(descriptor)
+    os.replace(temp_path, final_path)
+    try:
+        directory = os.open(str(final_path.parent), os.O_RDONLY)
+    except OSError:
+        return final_path  # platform without directory fds
+    try:
+        os.fsync(directory)
+    except OSError:
+        pass  # directory fsync is best-effort off POSIX
+    finally:
+        os.close(directory)
+    return final_path

@@ -15,10 +15,26 @@ HTTP/JSON server on :func:`asyncio.start_server` that
 * **batches** each request's pairs through the existing batch
   kernel/parallel engine (one ``score_pairs`` call per request, not a
   Python loop per pair),
-* applies the resilience layer: a per-request
-  :class:`~repro.core.resilience.Deadline` (expiry → 504) and a
-  :class:`~repro.core.resilience.CircuitBreaker` as admission control
-  (open → 503 with ``Retry-After``),
+* speaks **persistent HTTP/1.1**: connections default to
+  ``keep-alive`` with per-connection defenses — an idle/header read
+  deadline (a slow-loris trickling bytes gets a typed 408; a quietly
+  idle connection is closed cleanly), a cap on concurrent connections
+  and on requests served per connection,
+* runs a five-state **lifecycle**
+  (:class:`~repro.core.lifecycle.ServiceLifecycle`): ``/readyz``
+  advertises readiness (200 only in READY), ``/healthz`` stays
+  liveness; SIGTERM/SIGINT begin a **graceful drain** — the listener
+  closes, new work is refused with 503 + ``Retry-After``, admitted
+  work finishes within ``--drain-timeout``, then the process exits 0,
+* applies layered admission control *before* work is queued:
+  the failure-driven :class:`~repro.core.resilience.CircuitBreaker`
+  (open → 503) plus the saturation-driven
+  :class:`~repro.core.resilience.AdmissionController` (queue full or
+  drain too slow → typed 429 with ``Retry-After``; sustained shedding
+  flips the lifecycle DEGRADED so ``/readyz`` turns traffic away
+  while in-flight work completes),
+* bounds every computation with a per-request
+  :class:`~repro.core.resilience.Deadline` (expiry → 504),
 * exposes the telemetry registry as prometheus text on ``/metrics``
   and traces every request as a ``server.request`` span with a
   propagated request id (``X-Request-Id`` in, echoed out).
@@ -28,14 +44,45 @@ Endpoints::
     POST /v1/similarity   pair, pair-batch, or matrix similarity
     POST /v1/ksim         k most (dis)similar concepts
     GET  /v1/ontologies   the loaded corpus
-    GET  /healthz         liveness + corpus summary
+    GET  /healthz         liveness + corpus summary + lifecycle state
+    GET  /readyz          readiness (200 only while READY)
     GET  /metrics         prometheus exposition
 
+Status table — every refusal is typed JSON ``{"error": {"code",
+"message", "request_id"}}``, never a traceback::
+
+    status  code                  when
+    ------  --------------------  ------------------------------------
+    400     bad_request           malformed request line / header /
+                                  Content-Length
+    400     bad_json              body is not valid JSON
+    400     truncated_body        body ended before Content-Length
+    404     unknown_path          no such endpoint
+    404     unknown_ontology      request names an unloaded ontology
+    404     unknown_concept       request names an undefined concept
+    405     method_not_allowed    wrong verb (carries ``Allow``)
+    408     timeout               read deadline hit mid-request
+                                  (slow-loris defense; connection
+                                  closes)
+    411     length_required       POST without Content-Length
+    413     payload_too_large     body exceeds ``--max-body``
+    422     missing_field /       body is structurally valid JSON but
+            invalid_field / ...   not a valid request
+    429     overloaded            admission control shed the request
+                                  before queueing (``Retry-After``)
+    431     headers_too_large     header block beyond hard limits
+    500     internal              unexpected server-side failure
+    503     unavailable           circuit breaker open
+                                  (``Retry-After``)
+    503     draining              shutting down; retry elsewhere
+                                  (``Retry-After``, connection closes)
+    503     too_many_connections  connection cap reached
+    504     deadline_exceeded     per-request deadline expired
+
 Responses are bit-identical to the one-shot CLI because both go
-through the very same facade services (``tests/server/`` pins this).
-Every error is typed JSON — ``{"error": {"code", "message",
-"request_id"}}`` — never a traceback, and a malformed request can
-never wedge the accept loop.
+through the very same facade services (``tests/server/`` pins this),
+and a malformed request or misbehaving connection can never wedge the
+accept loop.
 """
 
 from __future__ import annotations
@@ -45,23 +92,32 @@ import itertools
 import json
 import math
 import os
+import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.core import resilience, telemetry
+from repro.core.lifecycle import (DEGRADED, DRAINING, READY,
+                                  ServiceLifecycle, install_signal_drain)
 from repro.core.registry import Measure
-from repro.core.resilience import CircuitBreaker, Deadline
+from repro.core.resilience import AdmissionController, CircuitBreaker, Deadline
 from repro.core.results import QualifiedConcept
-from repro.errors import (DeadlineExceededError, SSTCoreError, SSTError,
-                          UnknownConceptError, UnknownMeasureError,
-                          UnknownOntologyError)
+from repro.errors import (DeadlineExceededError, OverloadedError,
+                          SSTCoreError, SSTError, UnknownConceptError,
+                          UnknownMeasureError, UnknownOntologyError)
 
 __all__ = [
     "DEADLINE_ENV",
+    "DRAIN_ENV",
+    "IDLE_ENV",
+    "KEEPALIVE_ENV",
     "MAX_BODY_ENV",
+    "MAX_CONNECTIONS_ENV",
+    "MAX_REQUESTS_ENV",
     "PairGate",
+    "QUEUE_LIMIT_ENV",
     "RequestError",
     "ServerConfig",
     "ServerHandle",
@@ -78,6 +134,14 @@ MAX_BODY_ENV = "SST_SERVE_MAX_BODY"
 WORKERS_ENV = "SST_SERVE_WORKERS"
 BREAKER_THRESHOLD_ENV = "SST_SERVE_BREAKER_THRESHOLD"
 BREAKER_RESET_ENV = "SST_SERVE_BREAKER_RESET"
+DRAIN_ENV = "SST_SERVE_DRAIN"
+IDLE_ENV = "SST_SERVE_IDLE"
+HEADER_TIMEOUT_ENV = "SST_SERVE_HEADER_TIMEOUT"
+KEEPALIVE_ENV = "SST_SERVE_KEEPALIVE"
+MAX_REQUESTS_ENV = "SST_SERVE_MAX_REQUESTS"
+MAX_CONNECTIONS_ENV = "SST_SERVE_MAX_CONNECTIONS"
+QUEUE_LIMIT_ENV = "SST_SERVE_QUEUE"
+MAX_WAIT_ENV = "SST_SERVE_MAX_WAIT"
 
 #: Hard parse limits: a request line or header block beyond these is
 #: rejected up front, before any body bytes are read.
@@ -89,7 +153,8 @@ _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout",
     411: "Length Required", 413: "Payload Too Large",
-    422: "Unprocessable Entity", 431: "Request Header Fields Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -115,12 +180,24 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "off", "false", "no")
+
+
 class ServerConfig:
     """Resolved ``sst serve`` settings (flag beats env beats default).
 
     ``deadline_seconds <= 0`` disables the per-request deadline;
     ``port=0`` binds an ephemeral port (tests read it back from the
-    handle).
+    handle).  ``idle_timeout`` / ``header_timeout <= 0`` disable the
+    respective read deadline; ``queue_limit <= 0`` means the admission
+    default (four requests queued per worker); ``max_queue_wait <= 0``
+    disables estimated-wait shedding.  ``install_signals`` is only set
+    by the blocking :func:`serve` entry point — embedded servers drain
+    via :meth:`SimilarityServer.request_drain` instead.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
@@ -129,7 +206,16 @@ class ServerConfig:
                  max_body_bytes: int | None = None,
                  breaker_threshold: int | None = None,
                  breaker_reset: float | None = None,
-                 io_timeout: float = 30.0):
+                 io_timeout: float = 30.0,
+                 drain_seconds: float | None = None,
+                 keep_alive: bool | None = None,
+                 idle_timeout: float | None = None,
+                 header_timeout: float | None = None,
+                 max_requests_per_connection: int | None = None,
+                 max_connections: int | None = None,
+                 queue_limit: int | None = None,
+                 max_queue_wait: float | None = None,
+                 install_signals: bool = False):
         self.host = host
         self.port = port
         self.workers = (workers if workers is not None
@@ -147,6 +233,29 @@ class ServerConfig:
             breaker_reset if breaker_reset is not None
             else _env_float(BREAKER_RESET_ENV, 30.0))
         self.io_timeout = io_timeout
+        self.drain_seconds = (
+            drain_seconds if drain_seconds is not None
+            else max(0.0, _env_float(DRAIN_ENV, 10.0)))
+        self.keep_alive = (keep_alive if keep_alive is not None
+                           else _env_flag(KEEPALIVE_ENV, True))
+        self.idle_timeout = (idle_timeout if idle_timeout is not None
+                             else _env_float(IDLE_ENV, 30.0))
+        self.header_timeout = (
+            header_timeout if header_timeout is not None
+            else _env_float(HEADER_TIMEOUT_ENV, 10.0))
+        self.max_requests_per_connection = (
+            max_requests_per_connection
+            if max_requests_per_connection is not None
+            else max(1, _env_int(MAX_REQUESTS_ENV, 100)))
+        self.max_connections = (
+            max_connections if max_connections is not None
+            else max(1, _env_int(MAX_CONNECTIONS_ENV, 128)))
+        self.queue_limit = (queue_limit if queue_limit is not None
+                            else _env_int(QUEUE_LIMIT_ENV, 0))
+        self.max_queue_wait = (
+            max_queue_wait if max_queue_wait is not None
+            else _env_float(MAX_WAIT_ENV, 10.0))
+        self.install_signals = install_signals
 
     def deadline(self) -> Deadline:
         """A fresh per-request deadline under this configuration."""
@@ -154,21 +263,34 @@ class ServerConfig:
             return Deadline(self.deadline_seconds)
         return Deadline.never()
 
+    def admission(self) -> AdmissionController:
+        """A fresh admission controller under this configuration."""
+        return AdmissionController(
+            self.workers,
+            queue_limit=self.queue_limit if self.queue_limit > 0 else None,
+            max_wait=(self.max_queue_wait if self.max_queue_wait > 0
+                      else None))
+
 
 class RequestError(SSTCoreError):
     """A request the service refuses, carrying its HTTP mapping.
 
     ``status`` is the response code, ``code`` the machine-readable
     error token in the JSON body, ``headers`` any extra response
-    headers (e.g. ``Retry-After``).
+    headers (e.g. ``Retry-After``).  ``close_connection`` marks
+    refusals after which the connection cannot be kept alive — either
+    because request framing is unknown (the body was never consumed)
+    or because the service is going away.
     """
 
     def __init__(self, status: int, code: str, message: str,
-                 headers: Sequence[tuple[str, str]] = ()):
+                 headers: Sequence[tuple[str, str]] = (),
+                 close_connection: bool = False):
         super().__init__(message)
         self.status = status
         self.code = code
         self.headers = list(headers)
+        self.close_connection = close_connection
 
 
 # ---------------------------------------------------------------------------
@@ -544,11 +666,21 @@ def _error_response(status: int, code: str, message: str, request_id: str,
 class SimilarityServer:
     """The asyncio accept loop around a :class:`SimilarityService`.
 
-    One request per connection (``Connection: close``), every request
-    parsed under hard limits, computed on a bounded worker pool under
-    breaker admission and a per-request deadline, and answered with
-    typed JSON.  A failing request can only fail itself: the handler
-    catches everything and the accept loop never sees an exception.
+    Connections are persistent (``Connection: keep-alive``) up to
+    ``max_requests_per_connection``, bounded in number by
+    ``max_connections``, and defended against slow clients by idle /
+    header / body read deadlines.  Every request is parsed under hard
+    limits, admitted through the breaker *and* the saturation
+    controller, computed on a bounded worker pool under a per-request
+    deadline, and answered with typed JSON.  A failing request can
+    only fail itself: the handler catches everything and the accept
+    loop never sees an exception.
+
+    Shutdown is graceful: :meth:`request_drain` (wired to
+    SIGTERM/SIGINT by the blocking entry point) flips the lifecycle to
+    DRAINING, closes the listener, refuses new work with 503 and waits
+    up to ``drain_seconds`` for admitted work before stopping; a
+    second *signal* escalates to an immediate stop.
     """
 
     def __init__(self, service: SimilarityService,
@@ -557,15 +689,28 @@ class SimilarityServer:
         self.config = config if config is not None else ServerConfig()
         self.host: str | None = None
         self.port: int | None = None
+        self.lifecycle = ServiceLifecycle()
+        self.admission = self.config.admission()
+        #: Filled by the drain sequence: how much admitted work
+        #: finished inside the drain window vs. was abandoned at the
+        #: deadline.
+        self.drain_report: dict = {"inflight_at_drain": 0, "completed": 0,
+                                   "abandoned": 0, "drain_seconds": 0.0}
         self._ids = itertools.count(1)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._executor: ThreadPoolExecutor | None = None
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._drain_task: asyncio.Task | None = None
+        # Touched only on the loop thread (coroutines and
+        # call_soon_threadsafe callbacks), so plain ints suffice.
+        self._open_connections = 0
+        self._active_requests = 0
 
     # -- lifecycle ----------------------------------------------------------
 
     async def run(self, ready: threading.Event | None = None) -> None:
-        """Serve until :meth:`request_stop` (or cancellation)."""
+        """Serve until drained, :meth:`request_stop`, or cancellation."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self._executor = ThreadPoolExecutor(
@@ -579,58 +724,183 @@ class SimilarityServer:
                 self._handle_connection, self.config.host,
                 self.config.port,
                 limit=max(MAX_HEADER_BYTES * 4, 1 << 16))
+            self._asyncio_server = server
             sockname = server.sockets[0].getsockname()
             self.host, self.port = sockname[0], sockname[1]
             telemetry.gauge("server.workers", self.config.workers)
+            if self.config.install_signals:
+                install_signal_drain(self._loop, self._on_signal)
+            self.lifecycle.mark_ready()
             if ready is not None:
                 ready.set()
             async with server:
                 await self._stop.wait()
         finally:
-            self._executor.shutdown(wait=False)
+            self.lifecycle.mark_stopped()
+            self._drain_aware_executor_shutdown()
+
+    def _drain_aware_executor_shutdown(self) -> None:
+        """Tear the worker pool down without betraying the drain.
+
+        After a clean drain (or an idle stop) nothing is in flight and
+        ``wait=True`` returns immediately while guaranteeing that any
+        just-finishing thread has fully released.  Only work still
+        running *past the drain deadline* is abandoned: queued futures
+        are cancelled, running threads release at process exit.
+        """
+        executor = self._executor
+        if executor is None:
+            return
+        if self._active_requests == 0:
+            executor.shutdown(wait=True)
+        else:
+            telemetry.count("server.drain.executor_cancelled")
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def request_stop(self) -> None:
-        """Ask the serve loop to exit (thread-safe)."""
+        """Ask the serve loop to exit *immediately* (thread-safe).
+
+        Skips the drain: in-flight requests are abandoned.  Prefer
+        :meth:`request_drain` for production shutdown.
+        """
         loop, stop = self._loop, self._stop
         if loop is not None and stop is not None:
-            loop.call_soon_threadsafe(stop.set)
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to stop
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (thread- and signal-safe, idempotent).
+
+        Lifecycle → DRAINING, listener closes, new work is refused
+        with 503, admitted work gets ``drain_seconds`` to finish, then
+        the loop exits.  Calling again while a drain is in progress is
+        a no-op — escalation to an immediate stop is reserved for
+        repeated *signals* (double Ctrl-C) and :meth:`request_stop`.
+        """
+        loop = self._loop
+        if loop is None or self._stop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._begin_drain_on_loop)
+        except RuntimeError:
+            pass  # loop already closed: already stopped
+
+    def _begin_drain_on_loop(self) -> None:
+        if self.lifecycle.begin_drain():
+            self._drain_task = asyncio.ensure_future(self._drain_and_stop())
+
+    def _on_signal(self) -> None:
+        """First signal drains gracefully; a second stops immediately."""
+        if self.lifecycle.state == DRAINING:
+            telemetry.count("server.drain.escalated")
+            self.request_stop()
+        else:
+            self.request_drain()
+
+    async def _drain_and_stop(self) -> None:
+        started = time.monotonic()
+        deadline = started + max(0.0, self.config.drain_seconds)
+        initial = self._active_requests
+        server = self._asyncio_server
+        if server is not None:
+            server.close()  # stop accepting; existing sockets live on
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        remaining = self._active_requests
+        completed = max(0, initial - remaining)
+        elapsed = time.monotonic() - started
+        self.drain_report = {
+            "inflight_at_drain": initial,
+            "completed": completed,
+            "abandoned": remaining,
+            "drain_seconds": round(elapsed, 6),
+        }
+        telemetry.count("server.drain.completed", completed)
+        if remaining:
+            telemetry.count("server.drain.abandoned", remaining)
+        telemetry.observe("server.drain.wait_seconds", elapsed)
+        self._stop.set()
 
     # -- connection handling ------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        # One-element box: header parsing replaces the generated id with
-        # a client-supplied X-Request-Id, and the error and response
-        # paths must all see whichever id ends up in effect.
-        request_id = [f"req-{next(self._ids)}"]
-        started = time.monotonic()
-        response: _Response | None = None
+        self._open_connections += 1
+        telemetry.gauge("server.connections", self._open_connections)
+        telemetry.count("server.connections.opened")
         try:
-            response = await self._serve_one(reader, request_id)
-        # The one deliberate catch-all of the server: a failing request
-        # must fail alone — the accept loop can never see an exception.
-        except Exception as error:  # sst: disable=swallowed-exception
-            telemetry.count("server.errors.internal")
-            response = _error_response(
-                500, "internal", f"internal error: {type(error).__name__}",
-                request_id[0])
-        if response is not None:
+            if self._open_connections > self.config.max_connections:
+                telemetry.count("server.rejected.connections")
+                response = _error_response(
+                    503, "too_many_connections",
+                    f"connection cap of {self.config.max_connections} "
+                    "reached", "conn-cap",
+                    headers=[("Retry-After", "1")])
+                # Swallow whatever request bytes already arrived so
+                # the close after the 503 is a FIN, not an RST that
+                # could destroy the response before the client reads
+                # it.
+                try:
+                    await asyncio.wait_for(reader.read(65536), 0.2)
+                except (asyncio.TimeoutError, ConnectionError, OSError):
+                    pass
+                await self._send(writer, response, "conn-cap",
+                                 keep_alive=False)
+                return
+            await self._connection_loop(reader, writer)
+        # The accept loop can never see an exception; a connection that
+        # breaks in an unforeseen way is simply closed.
+        except Exception:  # sst: disable=swallowed-exception
+            telemetry.count("server.errors.connection")
+        finally:
+            self._open_connections -= 1
+            telemetry.gauge("server.connections", self._open_connections)
+            await self._close_writer(writer)
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        """Serve requests off one connection until it should close."""
+        served = 0
+        while True:
+            # One-element box: header parsing replaces the generated id
+            # with a client-supplied X-Request-Id, and the error and
+            # response paths must all see whichever id is in effect.
+            request_id = [f"req-{next(self._ids)}"]
+            started = time.monotonic()
+            try:
+                outcome = await self._serve_one(reader, request_id,
+                                                first=(served == 0))
+            # The one deliberate catch-all of the request path: a
+            # failing request must fail alone.
+            except Exception as error:  # sst: disable=swallowed-exception
+                telemetry.count("server.errors.internal")
+                outcome = (_error_response(
+                    500, "internal",
+                    f"internal error: {type(error).__name__}",
+                    request_id[0]), False)
+            if outcome is None:
+                return  # EOF or clean idle timeout: nothing to answer
+            response, keep = outcome
+            served += 1
+            if served > 1:
+                telemetry.count("server.keepalive.reuse")
+            keep = (keep and self.config.keep_alive
+                    and served < self.config.max_requests_per_connection
+                    and self.lifecycle.accepts_work())
             telemetry.count("server.requests")
             telemetry.count(
                 f"server.responses.{response.status // 100}xx")
             telemetry.observe("server.request.seconds",
                               time.monotonic() - started)
-            await self._write_response(writer, response, request_id[0])
-        else:
-            # The client went away before sending a request line.
-            try:
-                writer.close()
-            except OSError:
-                pass
+            if not await self._send(writer, response, request_id[0],
+                                    keep_alive=keep):
+                return
 
-    async def _write_response(self, writer: asyncio.StreamWriter,
-                              response: _Response,
-                              request_id: str) -> None:
+    async def _send(self, writer: asyncio.StreamWriter, response: _Response,
+                    request_id: str, keep_alive: bool) -> bool:
+        """Write one response; True when the connection stays usable."""
         reason = _REASONS.get(response.status, "Status")
         lines = [f"HTTP/1.1 {response.status} {reason}",
                  f"Content-Type: {response.content_type}",
@@ -638,75 +908,188 @@ class SimilarityServer:
                  f"X-Request-Id: {request_id}"]
         lines.extend(f"{name}: {value}"
                      for name, value in response.headers)
-        lines.append("Connection: close")
+        if keep_alive:
+            lines.append("Connection: keep-alive")
+            if self.config.idle_timeout > 0:
+                lines.append("Keep-Alive: timeout="
+                             f"{max(1, int(self.config.idle_timeout))}")
+        else:
+            lines.append("Connection: close")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         try:
             writer.write(head + response.body)
             await writer.drain()
+        except (ConnectionError, OSError):
+            return False  # client hung up mid-response
+        if not keep_alive:
+            await self._close_writer(writer)
+            return False
+        return True
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
             writer.close()
             await writer.wait_closed()
         except (ConnectionError, OSError):
-            pass  # client hung up mid-response; nothing left to do
+            pass
 
-    async def _read_line(self, reader: asyncio.StreamReader,
-                         limit: int, what: str) -> bytes:
+    @staticmethod
+    def _partial_request(reader: asyncio.StreamReader) -> bool:
+        """Did the client start (but not finish) a request line?
+
+        Distinguishes a slow-loris mid-request stall (typed 408) from
+        a quietly idle keep-alive connection (clean close).  Falls
+        back to "idle" on stream implementations without the CPython
+        buffer attribute.
+        """
+        return bool(getattr(reader, "_buffer", b""))
+
+    async def _read_request_line(self, reader: asyncio.StreamReader,
+                                 first: bool) -> bytes | None:
+        """The next request line, or None when the connection is done.
+
+        A fresh connection gets ``header_timeout`` to produce its
+        first line; a kept-alive one may sit idle for
+        ``idle_timeout``.  Timing out with bytes already on the wire
+        is a slow client (408); timing out clean is just idleness.
+        """
+        timeout = (self.config.header_timeout if first
+                   else self.config.idle_timeout)
         try:
-            line = await asyncio.wait_for(reader.readline(),
-                                          self.config.io_timeout)
+            line = await asyncio.wait_for(
+                reader.readline(), timeout if timeout > 0 else None)
         except asyncio.TimeoutError:
-            raise RequestError(408, "timeout",
-                               f"timed out reading the {what}") from None
+            if first or self._partial_request(reader):
+                raise RequestError(
+                    408, "timeout", "timed out reading the request line",
+                    close_connection=True) from None
+            return None
         except ValueError:
-            raise RequestError(400, "bad_request",
-                               f"{what} exceeds the stream limit") from None
-        if len(line) > limit:
             raise RequestError(
-                431 if what == "header" else 400, "bad_request",
-                f"{what} longer than {limit} bytes")
+                400, "bad_request",
+                "request line exceeds the stream limit",
+                close_connection=True) from None
+        if not line.strip():
+            return None  # EOF (or bare CRLF) — no request
+        if len(line) > MAX_REQUEST_LINE:
+            raise RequestError(
+                400, "bad_request",
+                f"request line longer than {MAX_REQUEST_LINE} bytes",
+                close_connection=True)
+        return line
+
+    async def _read_header_line(self, reader: asyncio.StreamReader,
+                                deadline: Deadline) -> bytes:
+        remaining = deadline.remaining()
+        if remaining is not None and remaining <= 0:
+            raise RequestError(
+                408, "timeout", "timed out reading the header block",
+                close_connection=True)
+        try:
+            line = await asyncio.wait_for(reader.readline(), remaining)
+        except asyncio.TimeoutError:
+            raise RequestError(
+                408, "timeout", "timed out reading the header block",
+                close_connection=True) from None
+        except ValueError:
+            raise RequestError(
+                400, "bad_request", "header exceeds the stream limit",
+                close_connection=True) from None
+        if len(line) > MAX_HEADER_BYTES:
+            raise RequestError(
+                431, "headers_too_large",
+                f"header longer than {MAX_HEADER_BYTES} bytes",
+                close_connection=True)
         return line
 
     async def _serve_one(self, reader: asyncio.StreamReader,
-                         request_id: list[str]) -> _Response | None:
-        try:
-            return await self._parse_and_route(reader, request_id)
-        except RequestError as error:
-            return _error_response(error.status, error.code, str(error),
-                                   request_id[0], headers=error.headers)
+                         request_id: list[str],
+                         first: bool) -> tuple[_Response, bool] | None:
+        """Parse and answer one request.
 
-    async def _parse_and_route(self, reader: asyncio.StreamReader,
-                               request_id: list[str]) -> _Response | None:
-        request_line = await self._read_line(reader, MAX_REQUEST_LINE,
-                                             "request line")
-        if not request_line.strip():
-            return None  # connection closed (or bare CRLF) — no request
+        Returns ``(response, may_keep_alive)``, or ``None`` when the
+        connection ended without a request.  ``may_keep_alive``
+        reflects both the client's wish and whether request framing
+        stayed intact (an unconsumed body poisons the stream).
+        """
+        client_keep = True
+        try:
+            parsed = await self._parse_request(reader, request_id, first)
+            if parsed is None:
+                return None
+            method, path, headers, client_keep = parsed
+            with telemetry.span("server.request", method=method, path=path,
+                                request_id=request_id[0]):
+                response = await self._route(method, path, headers, reader,
+                                             request_id[0])
+            return response, client_keep
+        except RequestError as error:
+            return (_error_response(error.status, error.code, str(error),
+                                    request_id[0], headers=error.headers),
+                    client_keep and not error.close_connection)
+
+    async def _parse_request(self, reader: asyncio.StreamReader,
+                             request_id: list[str], first: bool,
+                             ) -> tuple[str, str, dict, bool] | None:
+        request_line = await self._read_request_line(reader, first)
+        if request_line is None:
+            return None
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             raise RequestError(400, "bad_request",
-                               "malformed HTTP request line")
-        method, target, _version = parts
+                               "malformed HTTP request line",
+                               close_connection=True)
+        method, target, version = parts
+        # The whole header block shares one read deadline: trickling
+        # one header byte per second can't hold a connection open.
+        header_deadline = (Deadline(self.config.header_timeout)
+                           if self.config.header_timeout > 0
+                           else Deadline.never())
         headers: dict[str, str] = {}
         header_bytes = 0
         while True:
-            line = await self._read_line(reader, MAX_HEADER_BYTES, "header")
+            line = await self._read_header_line(reader, header_deadline)
             if line in (b"\r\n", b"\n", b""):
                 break
             header_bytes += len(line)
             if header_bytes > MAX_HEADER_BYTES or len(headers) >= MAX_HEADERS:
                 raise RequestError(431, "headers_too_large",
-                                   "request header block is too large")
+                                   "request header block is too large",
+                                   close_connection=True)
             name, separator, value = line.decode("latin-1").partition(":")
             if not separator:
                 raise RequestError(400, "bad_request",
-                                   f"malformed header line {name.strip()!r}")
+                                   f"malformed header line {name.strip()!r}",
+                                   close_connection=True)
             headers[name.strip().lower()] = value.strip()
         client_id = headers.get("x-request-id", "")
         if client_id and len(client_id) <= 128 and client_id.isprintable():
             request_id[0] = client_id
+        keep = self._client_keep_alive(version, method, headers)
         path = target.split("?", 1)[0]
-        with telemetry.span("server.request", method=method, path=path,
-                            request_id=request_id[0]):
-            return await self._route(method, path, headers, reader,
-                                     request_id[0])
+        return method, path, headers, keep
+
+    @staticmethod
+    def _client_keep_alive(version: str, method: str,
+                           headers: dict) -> bool:
+        """May the connection persist after this exchange?
+
+        HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+        HTTP/1.0 requires an explicit ``Connection: keep-alive``.  A
+        GET that smuggles a body is never kept alive — its body bytes
+        are not consumed and would poison the next request's framing.
+        """
+        tokens = {token.strip().lower()
+                  for token in headers.get("connection", "").split(",")}
+        if version.startswith("HTTP/1.0"):
+            keep = "keep-alive" in tokens
+        else:
+            keep = "close" not in tokens
+        if method != "POST" and headers.get("content-length", "0") not in (
+                "0", ""):
+            keep = False
+        return keep
 
     async def _route(self, method: str, path: str, headers: dict,
                      reader: asyncio.StreamReader,
@@ -719,7 +1102,11 @@ class SimilarityServer:
             self._check_method(method, "GET")
             payload = await loop.run_in_executor(self._executor,
                                                  self.service.health)
+            payload["state"] = self.lifecycle.state
             return _json_response(200, payload)
+        if path == "/readyz":
+            self._check_method(method, "GET")
+            return self._readiness_response()
         if path == "/metrics":
             self._check_method(method, "GET")
             body = await loop.run_in_executor(
@@ -744,6 +1131,27 @@ class SimilarityServer:
         raise RequestError(404, "unknown_path",
                            f"no such endpoint: {path}")
 
+    def _readiness_response(self) -> _Response:
+        """``GET /readyz``: should a balancer route traffic here?
+
+        Pure in-memory state — deliberately *not* on the worker pool,
+        so readiness stays answerable even when every worker is busy
+        (that saturation is exactly what the body reports).
+        """
+        snapshot = self.lifecycle.snapshot()
+        payload = {
+            "status": snapshot["state"],
+            "ready": snapshot["state"] == READY,
+            "queue_depth": self.admission.queue_depth(),
+            "saturation": round(self.admission.saturation(), 4),
+        }
+        if snapshot["reason"]:
+            payload["reason"] = snapshot["reason"]
+        if payload["ready"]:
+            return _json_response(200, payload)
+        return _json_response(503, payload,
+                              headers=[("Retry-After", "1")])
+
     @staticmethod
     def _check_method(method: str, expected: str) -> None:
         if method != expected:
@@ -756,33 +1164,40 @@ class SimilarityServer:
         raw_length = headers.get("content-length")
         if raw_length is None:
             raise RequestError(411, "length_required",
-                               "request needs a Content-Length header")
+                               "request needs a Content-Length header",
+                               close_connection=True)
         try:
             length = int(raw_length)
         except ValueError:
             raise RequestError(400, "bad_request",
-                               "malformed Content-Length header") from None
+                               "malformed Content-Length header",
+                               close_connection=True) from None
         if length < 0:
             raise RequestError(400, "bad_request",
-                               "negative Content-Length")
+                               "negative Content-Length",
+                               close_connection=True)
         if length > self.config.max_body_bytes:
             raise RequestError(
                 413, "payload_too_large",
                 f"request body of {length} bytes exceeds the "
-                f"{self.config.max_body_bytes} byte limit")
+                f"{self.config.max_body_bytes} byte limit",
+                close_connection=True)
         try:
             body = await asyncio.wait_for(reader.readexactly(length),
                                           self.config.io_timeout)
         except asyncio.IncompleteReadError:
             raise RequestError(400, "truncated_body",
-                               "request body ended early") from None
+                               "request body ended early",
+                               close_connection=True) from None
         except asyncio.TimeoutError:
             raise RequestError(408, "timeout",
-                               "timed out reading the request body"
-                               ) from None
+                               "timed out reading the request body",
+                               close_connection=True) from None
         try:
             return json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            # Body fully consumed: framing is intact, keep-alive is
+            # fine even though the payload was garbage.
             raise RequestError(400, "bad_json",
                                f"request body is not valid JSON: {error}"
                                ) from error
@@ -790,13 +1205,25 @@ class SimilarityServer:
     async def _compute(self, handler: Callable, payload,
                        request_id: str) -> _Response:
         """Run a service endpoint on the worker pool, guarded by the
-        breaker (admission) and the per-request deadline.
+        lifecycle (draining → 503), the breaker (failure admission →
+        503), the saturation controller (overload admission → 429) and
+        the per-request deadline (expiry → 504).
 
         Every admitted request records exactly one breaker outcome —
         otherwise a half-open probe that happens to be a client error
         (or hits an unexpected exception) would leave the breaker
         HALF_OPEN forever, refusing all traffic until restart.
+        Admission release and drain accounting ride the *executor*
+        future's done callback, so they fire when the worker thread
+        truly finishes — not when an impatient awaiter times out.
         """
+        if not self.lifecycle.accepts_work():
+            telemetry.count("server.rejected.draining")
+            raise RequestError(
+                503, "draining",
+                "service is draining for shutdown; retry against "
+                "another instance",
+                headers=[("Retry-After", "1")], close_connection=True)
         breaker = self.service.breaker
         if not breaker.allow():
             telemetry.count("server.rejected.breaker")
@@ -805,13 +1232,23 @@ class SimilarityServer:
                 503, "unavailable",
                 "service temporarily refusing work (circuit open)",
                 headers=[("Retry-After", str(retry_after))])
+        try:
+            ticket = self.admission.try_admit()
+        except OverloadedError as error:
+            self.lifecycle.degrade("admission control shedding")
+            raise RequestError(
+                429, "overloaded", str(error),
+                headers=[("Retry-After", str(error.retry_after))]
+            ) from error
         deadline = self.config.deadline()
         loop = asyncio.get_running_loop()
+        self._active_requests += 1
+        work = self._executor.submit(handler, payload, deadline)
+        work.add_done_callback(
+            lambda future: self._finished_threadsafe(loop, ticket, future))
         try:
-            result = await asyncio.wait_for(
-                loop.run_in_executor(self._executor, handler, payload,
-                                     deadline),
-                deadline.remaining())
+            result = await asyncio.wait_for(asyncio.wrap_future(work),
+                                            deadline.remaining())
         except (asyncio.TimeoutError, DeadlineExceededError):
             breaker.record_failure()
             telemetry.count("server.responses.deadline")
@@ -838,6 +1275,26 @@ class SimilarityServer:
         breaker.record_success()
         return _json_response(200, result)
 
+    def _finished_threadsafe(self, loop: asyncio.AbstractEventLoop,
+                             ticket: float, future) -> None:
+        """Executor-thread side of request completion accounting."""
+        if not future.cancelled():
+            future.exception()  # abandoned work must never warn
+        try:
+            loop.call_soon_threadsafe(self._request_finished, ticket)
+        except RuntimeError:
+            # The loop is already gone (hard stop): account directly —
+            # the single-threaded invariant no longer matters.
+            self._request_finished(ticket)
+
+    def _request_finished(self, ticket: float) -> None:
+        self.admission.release(ticket)
+        self._active_requests -= 1
+        if (self.lifecycle.state == DEGRADED
+                and self.admission.saturation()
+                <= AdmissionController.RESTORE_FRACTION):
+            self.lifecycle.restore()
+
 
 # ---------------------------------------------------------------------------
 # Entry points
@@ -849,9 +1306,12 @@ def serve(toolkit, config: ServerConfig | None = None,
     """Run the service in the current thread until interrupted.
 
     This is the ``sst serve`` blocking entry point; ``log`` (a callable
-    taking one string) receives the startup line.
+    taking one string) receives the startup and drain lines.  SIGTERM
+    and SIGINT trigger a graceful drain and a clean (exit 0) return;
+    a second signal stops immediately.
     """
     config = config if config is not None else ServerConfig()
+    config.install_signals = True
     service = SimilarityService(toolkit, breaker=CircuitBreaker(
         failure_threshold=config.breaker_threshold,
         reset_timeout=config.breaker_reset, name="server"))
@@ -870,6 +1330,20 @@ def serve(toolkit, config: ServerConfig | None = None,
         await task
 
     asyncio.run(_main())
+    if log is not None:
+        report = server.drain_report
+        log(f"sst serve: drained ({report['completed']} completed, "
+            f"{report['abandoned']} abandoned, "
+            f"{report['drain_seconds']:.3f}s)")
+    if server._active_requests > 0:
+        # Abandoned work (drain overrun or an escalated second signal)
+        # is still running on non-daemon pool threads, which the
+        # interpreter would join at exit — for however long the stuck
+        # handler takes.  The report is out and the sockets are
+        # closed; leave without waiting for work nobody will read.
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(0)
 
 
 class ServerHandle:
@@ -891,9 +1365,19 @@ class ServerHandle:
     def service(self) -> SimilarityService:
         return self.server.service
 
-    def stop(self, timeout: float = 10.0) -> None:
-        self.server.request_stop()
+    def stop(self, timeout: float = 10.0) -> dict:
+        """Gracefully drain, stop, and report.
+
+        Returns the drain report (``completed`` vs ``abandoned``
+        in-flight requests and the drain wait).  Should the drain
+        overrun ``timeout``, escalates to an immediate stop.
+        """
+        self.server.request_drain()
         self.thread.join(timeout)
+        if self.thread.is_alive():
+            self.server.request_stop()
+            self.thread.join(timeout)
+        return dict(self.server.drain_report)
 
     def __enter__(self) -> "ServerHandle":
         return self
@@ -907,8 +1391,8 @@ def serve_in_thread(toolkit, config: ServerConfig | None = None,
     """Start the service on a daemon thread and return its handle.
 
     The returned handle's ``host``/``port`` are bound (pass ``port=0``
-    in the config for an ephemeral port); ``stop()`` shuts the loop
-    down.  Usable as a context manager.
+    in the config for an ephemeral port); ``stop()`` drains and shuts
+    the loop down.  Usable as a context manager.
     """
     config = config if config is not None else ServerConfig(port=0)
     service = SimilarityService(toolkit, breaker=CircuitBreaker(

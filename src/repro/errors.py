@@ -176,6 +176,29 @@ class FaultSpecError(ResilienceError):
     """An ``SST_FAULTS`` / ``--inject-faults`` spec could not be parsed."""
 
 
+class LifecycleError(ResilienceError):
+    """An illegal service lifecycle transition was requested (e.g.
+    READY after STOPPED)."""
+
+    def __init__(self, current: str, requested: str):
+        super().__init__(
+            f"illegal lifecycle transition {current} -> {requested}")
+        self.current = current
+        self.requested = requested
+
+
+class OverloadedError(ResilienceError):
+    """Admission control refused work because the service is saturated.
+
+    ``retry_after`` is the integer seconds a client should wait before
+    retrying (servers map this straight onto a 429 ``Retry-After``).
+    """
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 # ---------------------------------------------------------------------------
 # Static analysis layer
 # ---------------------------------------------------------------------------

@@ -47,6 +47,7 @@ import json
 import os
 import sqlite3
 import threading
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
 
@@ -79,6 +80,26 @@ _CONCEPT_CACHE_SIZE = 4096
 
 #: Rows fetched per round-trip while streaming a full iteration.
 _SCAN_BATCH = 512
+
+
+def _maybe_import_crash(written: int) -> None:
+    """The ``import.crash`` fault site: die kill-9 style mid-import.
+
+    Unlike the quota-only sites, the spec argument is a *concept
+    offset* — ``import.crash=1@2500`` kills the process the first time
+    a batch flush has written at least 2500 concepts — so the chaos
+    suite can park the crash at any point of a large import.  The
+    death is ``os._exit``: no ``finally`` blocks, no connection close,
+    exactly what ``kill -9`` leaves behind.
+    """
+    from repro.core import resilience
+
+    plan = resilience.active_fault_plan()
+    if plan is None or plan.remaining("import.crash") <= 0:
+        return
+    if written >= plan.argument("import.crash", 0.0) \
+            and plan.should_fire("import.crash"):
+        os._exit(137)
 
 
 def _connect(path: Path) -> sqlite3.Connection:
@@ -210,6 +231,65 @@ class SqliteOntologyStore:
                     pass
         return cls(path, _create=True)
 
+    @classmethod
+    @contextmanager
+    def build(cls, path: str | Path,
+              overwrite: bool = False) -> Iterator["SqliteOntologyStore"]:
+        """Crash-safe store construction: journaled temp + atomic rename.
+
+        Yields a store rooted at a same-directory temp file; on clean
+        exit the temp is fsynced and :func:`os.replace`d over ``path``
+        (via :func:`repro.core.resilience.durable_replace`), so a
+        ``kill -9`` at *any* byte offset leaves either the previous
+        store or the complete new one — never a partial that demands
+        ``--overwrite`` on retry.  Stale temps from earlier crashed
+        builds of the same target are swept first; on an exception the
+        temp (and its WAL sidecars) are removed and the error
+        propagates.
+
+        The existing-target check happens up front, before any work,
+        matching :meth:`create` semantics — but the target itself is
+        not touched until the final rename.
+        """
+        from repro.core.resilience import durable_replace
+
+        path = Path(path).expanduser()
+        if path.exists() and not overwrite:
+            raise SOQAError(
+                f"store already exists: {path} (pass overwrite)")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        prefix = f".{path.name}.import-"
+        for stale in path.parent.glob(f"{prefix}*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        temp = path.parent / f"{prefix}{os.getpid()}"
+        store = cls(temp, _create=True)
+        try:
+            yield store
+            store.close()  # last connection: WAL checkpointed + removed
+            _maybe_import_crash(float("inf"))  # post-build, pre-promote
+            for suffix in ("-wal", "-shm"):
+                # Sidecars of a previous store at the target would be
+                # mistaken for the new file's journal after the rename.
+                sidecar = path.with_name(path.name + suffix)
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
+            durable_replace(temp, path)
+            store.path = path
+        except BaseException:
+            store.close()
+            for leftover in (temp, temp.with_name(temp.name + "-wal"),
+                             temp.with_name(temp.name + "-shm")):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+            raise
+
     def close(self) -> None:
         """Close this process's connection (reopened lazily on next use)."""
         with self._lock:
@@ -315,6 +395,14 @@ class SqliteOntologyStore:
                     concept_rows.clear()
                     edge_rows.clear()
 
+                written = 0
+
+                def _flush_checked() -> None:
+                    nonlocal written
+                    written += len(concept_rows)
+                    _flush_rows()
+                    _maybe_import_crash(written)
+
                 for concept in ontology:
                     payload = json.dumps(_concept_to_dict(concept),
                                          sort_keys=False)
@@ -324,9 +412,9 @@ class SqliteOntologyStore:
                     for parent in concept.superconcept_names:
                         edge_rows.append((ontology_id, concept.name, parent))
                     if len(concept_rows) >= _IMPORT_BATCH:
-                        _flush_rows()
+                        _flush_checked()
                 if concept_rows or edge_rows:
-                    _flush_rows()
+                    _flush_checked()
                 fingerprint = digest.hexdigest()
                 connection.execute(
                     "UPDATE ontologies SET fingerprint=? WHERE id=?",

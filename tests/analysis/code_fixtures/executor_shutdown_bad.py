@@ -1,0 +1,14 @@
+"""Fixture: abandoning pool shutdowns outside a drain path (positive)."""
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self):
+        self.pool = ThreadPoolExecutor(2)
+
+    def stop(self):
+        self.pool.shutdown(wait=False)
+
+
+def halt(pool):
+    pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,24 @@
+"""Fixture: waiting shutdowns and the drain-aware teardown (negative)."""
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self):
+        self.pool = ThreadPoolExecutor(2)
+        self.active = 0
+
+    def stop(self):
+        self.pool.shutdown(wait=True)
+
+    def _drain_aware_stop(self):
+        # The drain loop already waited for in-flight work and counted
+        # the survivors; abandoning the rest is the contract here.
+        self.pool.shutdown(wait=False, cancel_futures=True)
+
+    def stop_unless_wedged(self, wedged):
+        # A computed wait= is a decision, not an abandonment.
+        self.pool.shutdown(wait=not wedged, cancel_futures=True)
+
+
+def close(pool):
+    pool.shutdown()

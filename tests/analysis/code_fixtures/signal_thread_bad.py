@@ -1,0 +1,6 @@
+"""Fixture: signal registration with no main-thread guard (positive)."""
+import signal
+
+
+def arm(callback):
+    signal.signal(signal.SIGTERM, lambda _s, _f: callback())

@@ -1,0 +1,11 @@
+"""Fixture: loop installation with a guarded fallback (negative)."""
+import signal
+import threading
+
+
+def arm(loop, callback):
+    try:
+        loop.add_signal_handler(signal.SIGTERM, callback)
+    except NotImplementedError:
+        if threading.current_thread() is threading.main_thread():
+            signal.signal(signal.SIGTERM, lambda _s, _f: callback())

@@ -49,6 +49,10 @@ RULE_CASES = [
      "prefer-batch-kernel", 2),
     ("full_materialization_bad.py", "full_materialization_good.py",
      "full-materialization", 3),
+    ("executor_shutdown_bad.py", "executor_shutdown_good.py",
+     "abandoning-executor-shutdown", 2),
+    ("signal_thread_bad.py", "signal_thread_good.py",
+     "signal-off-main-thread", 1),
 ]
 
 

@@ -1,0 +1,252 @@
+"""Process-level lifecycle chaos: real signals, real ``kill -9``.
+
+Two guarantees that can only be proven against *processes*, not
+threads:
+
+* **graceful drain** — a live ``sst serve`` under traffic that
+  receives SIGTERM answers every admitted request with the exact bytes
+  of a clean run, refuses late arrivals, reports the drain on stderr
+  and exits 0;
+* **crash-safe import** — ``sst import`` killed at any concept offset
+  (via the ``import.crash`` fault site, which dies ``os._exit``-style
+  like ``kill -9``) leaves either the previous store or no store —
+  never a partial file that a later boot would trip over, and a plain
+  retry succeeds without ``--overwrite`` gymnastics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.ontologies.generator import generate_wordnet_data
+from repro.soqa.sqlstore import SqliteOntologyStore
+from tests.conftest import MINI_OWL
+
+SRC = str(Path(repro.__file__).resolve().parents[1])
+
+PAIR_PAYLOAD = json.dumps({"first": ["univ", "Professor"],
+                           "second": ["univ", "Student"]}).encode()
+
+
+def subprocess_env(faults: str | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.pop("SST_FAULTS", None)
+    if faults:
+        env["SST_FAULTS"] = faults
+    return env
+
+
+@pytest.fixture
+def owl_file(tmp_path) -> str:
+    path = tmp_path / "univ.owl"
+    path.write_text(MINI_OWL, encoding="utf-8")
+    return str(path)
+
+
+class ServeProcess:
+    """A real ``sst serve`` child process on an ephemeral port."""
+
+    def __init__(self, owl_file: str, faults: str | None = None,
+                 extra_args: tuple = ()):
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli",
+             "--ontology-file", owl_file, "serve",
+             "--host", "127.0.0.1", "--port", "0", *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=subprocess_env(faults))
+        self.port = self._await_port()
+
+    def _await_port(self) -> int:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = self.process.stderr.readline().decode("utf-8",
+                                                         "replace")
+            match = re.search(r"listening on http://[0-9.]+:(\d+)", line)
+            if match:
+                return int(match.group(1))
+            if not line and self.process.poll() is not None:
+                break
+        self.process.kill()
+        raise AssertionError("sst serve child never reported its port")
+
+    def post(self, body: bytes = PAIR_PAYLOAD,
+             timeout: float = 30.0) -> tuple[int, bytes]:
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=timeout)
+        try:
+            connection.request("POST", "/v1/similarity", body=body)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def finish(self, timeout: float = 20.0) -> tuple[int, str]:
+        """Wait for exit; returns (returncode, remaining stderr)."""
+        try:
+            _, stderr = self.process.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            raise
+        return self.process.returncode, stderr.decode("utf-8", "replace")
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.communicate(timeout=10.0)
+
+
+class TestSigtermDrain:
+    def test_sigterm_under_traffic_drains_and_exits_zero(self, owl_file):
+        # Clean run first: the exact bytes this corpus must answer.
+        clean = ServeProcess(owl_file)
+        try:
+            status, baseline = clean.post()
+            assert status == 200
+        finally:
+            clean.process.send_signal(signal.SIGTERM)
+            returncode, stderr = clean.finish()
+            assert returncode == 0
+            assert "drained (0 completed, 0 abandoned" in stderr
+
+        # Faulted run: one admitted request sleeps 1.5s server-side,
+        # SIGTERM lands mid-flight, and the drain must still answer it
+        # byte-identically before exiting 0.
+        server = ServeProcess(owl_file, faults="server.slow=1@1.5")
+        results: list = []
+        try:
+            worker = threading.Thread(
+                target=lambda: results.append(server.post()))
+            worker.start()
+            time.sleep(0.6)  # the request is admitted and sleeping
+            server.process.send_signal(signal.SIGTERM)
+            worker.join(20.0)
+            assert not worker.is_alive()
+            # Late arrivals during the drain find the listener closed.
+            with pytest.raises(OSError):
+                server.post(timeout=2.0)
+            returncode, stderr = server.finish()
+        finally:
+            server.kill()
+        assert returncode == 0
+        assert results, "in-flight request must be answered"
+        status, body = results[0]
+        assert status == 200
+        assert body == baseline
+        assert "drained (1 completed, 0 abandoned" in stderr
+
+    def test_second_sigterm_escalates_to_immediate_stop(self, owl_file):
+        server = ServeProcess(owl_file, faults="server.slow=1@30.0",
+                              extra_args=("--drain-timeout", "60",
+                                          "--deadline", "60"))
+        def abandoned_post():
+            try:
+                server.post()
+            except (OSError, http.client.HTTPException):
+                pass  # the escalation abandons this request
+
+        try:
+            worker = threading.Thread(target=abandoned_post)
+            worker.daemon = True
+            worker.start()
+            time.sleep(0.6)
+            server.process.send_signal(signal.SIGTERM)
+            time.sleep(0.3)  # draining, held open by the 30s sleep
+            assert server.process.poll() is None
+            server.process.send_signal(signal.SIGTERM)
+            returncode, _ = server.finish(timeout=10.0)
+            # The escalation abandoned the sleeper instead of waiting
+            # out the 60s drain window; the exit is still orderly.
+            assert returncode == 0
+        finally:
+            server.kill()
+
+
+def run_import(source: Path, output: Path, *args: str,
+               faults: str | None = None) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "import", str(source),
+         "-o", str(output), *args],
+        capture_output=True, env=subprocess_env(faults), timeout=300)
+
+
+@pytest.fixture(scope="module")
+def wordnet_10k(tmp_path_factory) -> Path:
+    source = tmp_path_factory.mktemp("corpus") / "synth10k.wn"
+    source.write_text(generate_wordnet_data(10_000, seed=3),
+                      encoding="utf-8")
+    return source
+
+
+class TestKill9Import:
+    @pytest.mark.parametrize("offset", [0, 2500, 7500])
+    def test_kill9_mid_import_leaves_no_store(self, tmp_path,
+                                              wordnet_10k, offset):
+        output = tmp_path / "big.sstdb"
+        result = run_import(wordnet_10k, output,
+                            faults=f"import.crash=1@{offset}")
+        assert result.returncode == 137, result.stderr
+        # The completion line is the commit point — it must not have
+        # been printed, and the store must not exist at all (the
+        # journaled temp absorbed the crash).
+        assert b"store " not in result.stdout
+        assert not output.exists()
+        assert not output.with_name(output.name + "-wal").exists()
+
+    def test_plain_retry_after_crash_succeeds(self, tmp_path,
+                                              wordnet_10k):
+        output = tmp_path / "big.sstdb"
+        crashed = run_import(wordnet_10k, output,
+                             faults="import.crash=1@2500")
+        assert crashed.returncode == 137
+        # The crashed build's temp may linger; a *plain* retry (no
+        # --overwrite) must sweep it and build a loadable store.
+        result = run_import(wordnet_10k, output)
+        assert result.returncode == 0, result.stderr
+        assert b"10000 concepts" in result.stdout
+        store = SqliteOntologyStore(output)
+        try:
+            assert len(store.ontology("synth10k")) == 10_000
+        finally:
+            store.close()
+        leftovers = [entry.name for entry in tmp_path.iterdir()
+                     if entry.name.startswith(".big.sstdb.import-")]
+        assert leftovers == []
+
+    def test_kill9_after_build_before_promote_leaves_no_store(
+            self, tmp_path, owl_file):
+        output = tmp_path / "small.sstdb"
+        # An offset beyond the corpus: the in-import checks never
+        # fire, only the post-build / pre-promote crash point does.
+        result = run_import(Path(owl_file), output,
+                            faults="import.crash=1@999999999")
+        assert result.returncode == 137
+        assert not output.exists()
+
+    def test_kill9_during_overwrite_preserves_the_old_store(
+            self, tmp_path, owl_file):
+        output = tmp_path / "corpus.sstdb"
+        assert run_import(Path(owl_file), output).returncode == 0
+        before = output.read_bytes()
+        crashed = run_import(Path(owl_file), output, "--overwrite",
+                             faults="import.crash=1@0")
+        assert crashed.returncode == 137
+        # The old store is byte-for-byte untouched and still loads.
+        assert output.read_bytes() == before
+        store = SqliteOntologyStore(output)
+        try:
+            assert len(store.ontology("univ")) == 5
+        finally:
+            store.close()

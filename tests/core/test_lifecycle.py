@@ -1,0 +1,212 @@
+"""Unit tests for the service lifecycle state machine."""
+
+import asyncio
+import signal
+import threading
+
+import pytest
+
+from repro.core import telemetry
+from repro.core.lifecycle import (
+    DEGRADED,
+    DRAINING,
+    READY,
+    STARTING,
+    STOPPED,
+    ServiceLifecycle,
+    install_signal_drain,
+)
+from repro.errors import LifecycleError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def counter(name: str) -> int:
+    return telemetry.get_registry().value(name)
+
+
+class TestStateMachine:
+    def test_starts_in_starting_and_not_ready(self):
+        lifecycle = ServiceLifecycle()
+        assert lifecycle.state == STARTING
+        assert not lifecycle.is_ready()
+        assert not lifecycle.accepts_work()
+
+    def test_happy_path_to_stopped(self):
+        lifecycle = ServiceLifecycle()
+        assert lifecycle.mark_ready()
+        assert lifecycle.is_ready()
+        assert lifecycle.accepts_work()
+        assert lifecycle.begin_drain("rollout")
+        assert lifecycle.state == DRAINING
+        assert not lifecycle.accepts_work()
+        assert lifecycle.reason == "rollout"
+        assert lifecycle.mark_stopped()
+        assert lifecycle.state == STOPPED
+
+    def test_degrade_and_restore_cycle(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.mark_ready()
+        assert lifecycle.degrade("queue full")
+        assert lifecycle.state == DEGRADED
+        # Degraded keeps serving (admission sheds per request) but is
+        # no longer advertised as ready.
+        assert lifecycle.accepts_work()
+        assert not lifecycle.is_ready()
+        assert lifecycle.reason == "queue full"
+        assert lifecycle.restore()
+        assert lifecycle.state == READY
+
+    def test_degrade_only_from_ready(self):
+        lifecycle = ServiceLifecycle()
+        assert not lifecycle.degrade()  # still STARTING
+        lifecycle.mark_ready()
+        lifecycle.begin_drain()
+        # A late shed during the drain must not derail it.
+        assert not lifecycle.degrade()
+        assert lifecycle.state == DRAINING
+
+    def test_restore_only_from_degraded(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.mark_ready()
+        assert not lifecycle.restore()
+        assert lifecycle.state == READY
+
+    def test_begin_drain_true_only_for_first_caller(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.mark_ready()
+        started = counter("server.drain.started")
+        assert lifecycle.begin_drain()
+        assert not lifecycle.begin_drain()
+        assert counter("server.drain.started") == started + 1
+
+    def test_illegal_transitions_raise(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.mark_ready()
+        lifecycle.begin_drain()
+        with pytest.raises(LifecycleError) as excinfo:
+            lifecycle.mark_ready()
+        assert excinfo.value.current == DRAINING
+        assert excinfo.value.requested == READY
+        lifecycle.mark_stopped()
+        with pytest.raises(LifecycleError):
+            lifecycle.mark_ready()
+
+    def test_stopped_is_terminal_and_idempotent(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.mark_stopped()
+        assert not lifecycle.mark_stopped()
+        assert not lifecycle.begin_drain()
+
+    def test_seconds_in_state_tracks_the_clock(self):
+        clock = FakeClock()
+        lifecycle = ServiceLifecycle(clock=clock)
+        clock.advance(5.0)
+        assert lifecycle.seconds_in_state() == pytest.approx(5.0)
+        lifecycle.mark_ready()
+        assert lifecycle.seconds_in_state() == pytest.approx(0.0)
+        clock.advance(2.0)
+        snapshot = lifecycle.snapshot()
+        assert snapshot["state"] == READY
+        assert snapshot["seconds_in_state"] == pytest.approx(2.0)
+
+    def test_transitions_surface_in_telemetry(self):
+        lifecycle = ServiceLifecycle()
+        transitions = counter("server.lifecycle.transitions")
+        lifecycle.mark_ready()
+        assert counter("server.lifecycle.transitions") == transitions + 1
+        assert telemetry.get_registry().value("server.ready") == 1.0
+        lifecycle.begin_drain()
+        assert telemetry.get_registry().value("server.ready") == 0.0
+        assert telemetry.get_registry().value("server.draining") == 1.0
+
+
+class TestListeners:
+    def test_listener_sees_every_edge_outside_the_lock(self):
+        lifecycle = ServiceLifecycle()
+        seen = []
+        lifecycle.on_transition(
+            lambda old, new: seen.append((old, new)))
+        lifecycle.mark_ready()
+        lifecycle.begin_drain()
+        assert seen == [(STARTING, READY), (READY, DRAINING)]
+
+    def test_failing_listener_cannot_block_the_transition(self):
+        lifecycle = ServiceLifecycle()
+        seen = []
+
+        def explode(old, new):
+            raise RuntimeError("listener dies")
+
+        lifecycle.on_transition(explode)
+        lifecycle.on_transition(lambda old, new: seen.append(new))
+        errors = counter("server.lifecycle.listener_errors")
+        assert lifecycle.mark_ready()
+        assert lifecycle.state == READY
+        assert seen == [READY]
+        assert counter("server.lifecycle.listener_errors") == errors + 1
+
+    def test_thread_safety_single_drain_winner(self):
+        lifecycle = ServiceLifecycle()
+        lifecycle.mark_ready()
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            if lifecycle.begin_drain():
+                wins.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1
+        assert lifecycle.state == DRAINING
+
+
+class TestSignalInstall:
+    def test_installs_on_the_loop_and_fires_callback(self):
+        fired = []
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            installed = install_signal_drain(loop, lambda: fired.append(1),
+                                             signals=(signal.SIGUSR1,))
+            assert installed == [signal.SIGUSR1]
+            signal.raise_signal(signal.SIGUSR1)
+            await asyncio.sleep(0.05)
+            loop.remove_signal_handler(signal.SIGUSR1)
+
+        asyncio.run(scenario())
+        assert fired == [1]
+
+    def test_background_thread_without_loop_support_installs_nothing(self):
+        class NoSignalLoop:
+            def add_signal_handler(self, signum, callback):
+                raise NotImplementedError
+
+        result = []
+
+        def target():
+            result.append(install_signal_drain(
+                NoSignalLoop(), lambda: None,
+                signals=(signal.SIGUSR1,)))
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        # Off the main thread signal.signal would raise ValueError, so
+        # nothing may be installed — the embedded server keeps its
+        # explicit request_drain() path instead.
+        assert result == [[]]

@@ -6,12 +6,14 @@ from repro.core import resilience, telemetry
 from repro.core.resilience import (
     FAULTS_ENV,
     KNOWN_FAULT_SITES,
+    AdmissionController,
     CircuitBreaker,
     Deadline,
     FaultPlan,
     RetryPolicy,
     active_fault_plan,
     atomic_write_text,
+    durable_replace,
     injected_faults,
     install_fault_plan,
     io_retry_policy,
@@ -23,6 +25,7 @@ from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
     FaultSpecError,
+    OverloadedError,
     ResilienceError,
     RetryExhaustedError,
 )
@@ -331,3 +334,109 @@ class TestAtomicWrite:
         assert target.read_text(encoding="utf-8") == "old"
         assert [entry.name for entry in tmp_path.iterdir()] == [
             "artifact.json"]
+
+
+class TestDurableReplace:
+    def test_promotes_and_removes_temp(self, tmp_path):
+        temp = tmp_path / ".store.import-1"
+        target = tmp_path / "store.sstdb"
+        temp.write_bytes(b"payload")
+        result = durable_replace(temp, target)
+        assert result == target
+        assert target.read_bytes() == b"payload"
+        assert not temp.exists()
+
+    def test_replaces_existing_target(self, tmp_path):
+        temp = tmp_path / ".store.import-1"
+        target = tmp_path / "store.sstdb"
+        target.write_bytes(b"old")
+        temp.write_bytes(b"new")
+        durable_replace(temp, target)
+        assert target.read_bytes() == b"new"
+
+    def test_missing_temp_raises_and_preserves_target(self, tmp_path):
+        target = tmp_path / "store.sstdb"
+        target.write_bytes(b"old")
+        with pytest.raises(OSError):
+            durable_replace(tmp_path / "absent", target)
+        assert target.read_bytes() == b"old"
+
+
+class TestAdmissionController:
+    def test_validates_construction(self):
+        with pytest.raises(ResilienceError):
+            AdmissionController(0)
+        with pytest.raises(ResilienceError):
+            AdmissionController(2, queue_limit=0)
+        with pytest.raises(ResilienceError):
+            AdmissionController(2, max_wait=0)
+
+    def test_queue_limit_defaults_to_four_per_worker(self):
+        assert AdmissionController(3).queue_limit == 12
+
+    def test_admits_until_queue_full_then_sheds_typed(self):
+        clock = FakeClock()
+        admission = AdmissionController(1, queue_limit=2, max_wait=None,
+                                        clock=clock)
+        tickets = [admission.try_admit() for _ in range(3)]
+        assert admission.inflight() == 3
+        assert admission.queue_depth() == 2
+        assert admission.saturation() == pytest.approx(1.0)
+        with pytest.raises(OverloadedError) as excinfo:
+            admission.try_admit()
+        assert excinfo.value.retry_after >= 1
+        # Releasing one space readmits.
+        admission.release(tickets.pop())
+        admission.try_admit()
+
+    def test_estimated_wait_shedding_uses_service_times(self):
+        clock = FakeClock()
+        admission = AdmissionController(1, queue_limit=100, max_wait=1.0,
+                                        clock=clock)
+        # One request takes 2s: the EWMA now predicts a 2s drain per
+        # queued request.
+        started = admission.try_admit()
+        clock.advance(2.0)
+        admission.release(started)
+        # Fill the single worker, then one more to open a queue.
+        admission.try_admit()
+        admission.try_admit()
+        shed_before = telemetry.get_registry().value(
+            "server.shed.slow_drain")
+        with pytest.raises(OverloadedError) as excinfo:
+            admission.try_admit()
+        assert excinfo.value.retry_after >= 2
+        assert telemetry.get_registry().value(
+            "server.shed.slow_drain") == shed_before + 1
+
+    def test_no_wait_shedding_with_empty_queue(self):
+        clock = FakeClock()
+        admission = AdmissionController(2, queue_limit=4, max_wait=0.5,
+                                        clock=clock)
+        started = admission.try_admit()
+        clock.advance(10.0)
+        admission.release(started)
+        # Workers are free: slow history alone must not shed.
+        admission.try_admit()
+
+    def test_telemetry_tracks_queue_depth_and_sheds(self):
+        registry = telemetry.get_registry()
+        admission = AdmissionController(1, queue_limit=1, max_wait=None)
+        shed = registry.value("server.shed")
+        admitted = registry.value("server.admitted")
+        first = admission.try_admit()
+        second = admission.try_admit()
+        assert registry.value("server.queue_depth") == 1.0
+        with pytest.raises(OverloadedError):
+            admission.try_admit()
+        assert registry.value("server.shed") == shed + 1
+        assert registry.value("server.admitted") == admitted + 2
+        admission.release(second)
+        admission.release(first)
+        assert registry.value("server.queue_depth") == 0.0
+        assert admission.inflight() == 0
+
+    def test_release_never_goes_negative(self):
+        admission = AdmissionController(1)
+        admission.release(admission.clock())
+        assert admission.inflight() == 0
